@@ -1,0 +1,98 @@
+//! Criterion benches for entity resolution (FS.1): per-record resolve
+//! latency under each blocking strategy and similarity-metric costs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scdb_datagen::corrupt::CorruptionConfig;
+use scdb_datagen::life_science::{scaled, ScaledConfig};
+use scdb_er::blocking::BlockingStrategy;
+use scdb_er::incremental::{IncrementalResolver, ResolverConfig};
+use scdb_er::similarity::{jaro_winkler, levenshtein, string_similarity, token_jaccard};
+use scdb_types::{Record, RecordId, SymbolTable};
+
+fn corpus() -> (SymbolTable, Vec<(RecordId, Record)>) {
+    let cfg = ScaledConfig {
+        n_drugs: 300,
+        n_sources: 3,
+        duplicate_rate: 0.5,
+        corruption: CorruptionConfig::moderate(),
+        seed: 2,
+        ..Default::default()
+    };
+    let mut symbols = SymbolTable::new();
+    let sources = scaled(&cfg, &mut symbols);
+    let mut records = Vec::new();
+    for src in &sources {
+        for (off, rec) in src.records.iter().enumerate() {
+            records.push((RecordId::new(src.id, off as u64), rec.record.clone()));
+        }
+    }
+    (symbols, records)
+}
+
+fn bench_resolver(c: &mut Criterion) {
+    let (symbols, records) = corpus();
+    let mut group = c.benchmark_group("er/fs1_resolve_stream");
+    group.sample_size(10);
+    for (name, blocking) in [
+        ("standard", BlockingStrategy::StandardKeys { prefix_len: 4 }),
+        ("lsh", BlockingStrategy::MinHashLsh { bands: 8, rows: 2 }),
+        ("none", BlockingStrategy::None),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &blocking, |b, &bk| {
+            b.iter(|| {
+                let cfg = ResolverConfig {
+                    blocking: bk,
+                    realign_interval: 64,
+                    ..Default::default()
+                };
+                let mut r = IncrementalResolver::new(cfg);
+                for (rid, rec) in &records {
+                    r.add(*rid, rec.clone(), &symbols);
+                }
+                black_box(r.comparisons())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let pairs = [
+        ("Methotrexate", "methotrexate sodium"),
+        ("Warfarin", "Acetaminophen"),
+        ("Rheumatoid Arthritis", "Arthritis, Rheumatoid"),
+    ];
+    let mut group = c.benchmark_group("er/similarity");
+    group.bench_function("levenshtein", |b| {
+        b.iter(|| {
+            for (a, x) in pairs {
+                black_box(levenshtein(a, x));
+            }
+        })
+    });
+    group.bench_function("jaro_winkler", |b| {
+        b.iter(|| {
+            for (a, x) in pairs {
+                black_box(jaro_winkler(a, x));
+            }
+        })
+    });
+    group.bench_function("token_jaccard", |b| {
+        b.iter(|| {
+            for (a, x) in pairs {
+                black_box(token_jaccard(a, x));
+            }
+        })
+    });
+    group.bench_function("blended", |b| {
+        b.iter(|| {
+            for (a, x) in pairs {
+                black_box(string_similarity(a, x));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolver, bench_similarity);
+criterion_main!(benches);

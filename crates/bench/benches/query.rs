@@ -1,0 +1,75 @@
+//! Criterion benches for the query layer (FS.5): parse, plan+optimize,
+//! and end-to-end execution including semantic atoms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scdb_core::SelfCuratingDb;
+use scdb_query::optimizer::{Optimizer, OptimizerConfig};
+use scdb_query::parse;
+use scdb_query::plan::LogicalPlan;
+use scdb_types::{Record, Value};
+
+const SQL: &str = "SELECT name, dose FROM drugs \
+    WHERE dose CLOSE TO 5.0 WITHIN 0.5 AND name != 'placebo' \
+      AND dose > 1.0 AND dose > 2.0 AND dose < 9.0 LIMIT 50";
+
+fn curated() -> SelfCuratingDb {
+    let mut db = SelfCuratingDb::new();
+    db.register_source("drugs", Some("name"));
+    let name = db.symbols().intern("name");
+    let dose = db.symbols().intern("dose");
+    for i in 0..5000i64 {
+        let r = Record::from_pairs([
+            (name, Value::str(drug_name(i))),
+            (dose, Value::Float(1.0 + (i % 90) as f64 / 10.0)),
+        ]);
+        db.ingest("drugs", r, None).expect("ingest");
+    }
+    db.ontology_mut().subclass("ApprovedDrug", "Drug");
+    for i in 0..100 {
+        db.assert_entity_type(&drug_name(i), "ApprovedDrug")
+            .expect("typed");
+    }
+    db
+}
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("query/parse", |b| b.iter(|| black_box(parse(SQL).unwrap())));
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let q = parse(SQL).unwrap();
+    let opt = Optimizer::new(OptimizerConfig::default());
+    c.bench_function("query/optimize", |b| {
+        b.iter(|| {
+            let plan = LogicalPlan::from_query(&q);
+            black_box(opt.optimize(plan, None, None, 5000))
+        })
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut db = curated();
+    c.bench_function("query/execute_5k_rows", |b| {
+        b.iter(|| black_box(db.query(SQL).unwrap().rows.len()))
+    });
+    c.bench_function("query/execute_semantic_atom_5k", |b| {
+        b.iter(|| {
+            black_box(
+                db.query("SELECT name FROM drugs WHERE name IS 'Drug' LIMIT 20")
+                    .unwrap()
+                    .rows
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_optimize, bench_execute);
+criterion_main!(benches);
+
+/// Names for synthetic drugs that are far apart in edit space (hash
+/// prefix), so fuzzy identity matching does not merge distinct serials.
+fn drug_name(i: i64) -> String {
+    let tag = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 44;
+    format!("{tag:05x}-drug-{i}")
+}

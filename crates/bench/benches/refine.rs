@@ -1,0 +1,49 @@
+//! Criterion benches for FS.6: random-walk discovery cost vs steps.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scdb_graph::graph::test_provenance;
+use scdb_graph::PropertyGraph;
+use scdb_query::refine::{discover, RefineConfig};
+use scdb_types::{EntityId, SymbolTable};
+
+fn graph(n: u64) -> PropertyGraph {
+    let mut syms = SymbolTable::new();
+    let role = syms.intern("r");
+    let mut g = PropertyGraph::new();
+    for i in 0..n {
+        g.ensure_node(EntityId(i));
+    }
+    for i in 0..n {
+        let _ = g.add_edge(
+            EntityId(i),
+            EntityId((i * 7 + 1) % n),
+            role,
+            test_provenance(0, 0),
+        );
+        let _ = g.add_edge(
+            EntityId(i),
+            EntityId((i + 13) % n),
+            role,
+            test_provenance(0, 0),
+        );
+    }
+    g
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let g = graph(10_000);
+    let mut group = c.benchmark_group("refine/fs6_walk");
+    for steps in [1_000usize, 5_000, 20_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            let cfg = RefineConfig {
+                steps,
+                ..Default::default()
+            };
+            b.iter(|| black_box(discover(&g, &[EntityId(0)], &cfg).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk);
+criterion_main!(benches);

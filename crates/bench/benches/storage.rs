@@ -1,0 +1,93 @@
+//! Criterion benches for the instance layer (OS.1 substrate):
+//! ingest throughput, clustered-vs-unclustered replay, column encodings.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scdb_datagen::workload::{co_access, CoAccessConfig};
+use scdb_storage::cluster::{ClusterStrategy, ClusteredLayout, CoAccessTracker};
+use scdb_storage::column::ColumnSegment;
+use scdb_storage::page::PageConfig;
+use scdb_storage::RowStore;
+use scdb_types::{Record, SourceId, SymbolTable, Value};
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut syms = SymbolTable::new();
+    let name = syms.intern("name");
+    let dose = syms.intern("dose");
+    c.bench_function("storage/append_10k", |b| {
+        b.iter(|| {
+            let mut store = RowStore::new(SourceId(0));
+            for i in 0..10_000i64 {
+                store.append(Record::from_pairs([
+                    (name, Value::str("drug")),
+                    (dose, Value::Int(i)),
+                ]));
+            }
+            black_box(store.len())
+        })
+    });
+}
+
+fn bench_cluster_replay(c: &mut Criterion) {
+    let w = co_access(&CoAccessConfig {
+        n_records: 10_000,
+        n_groups: 300,
+        group_size: 8,
+        n_accesses: 3_000,
+        skew: 0.9,
+        noise: 0.05,
+        seed: 1,
+    });
+    let pages = PageConfig::new(16);
+    let mut tracker = CoAccessTracker::default();
+    for g in &w.accesses {
+        tracker.observe(g);
+    }
+    let mut group = c.benchmark_group("storage/os1_replay");
+    for strategy in [
+        ClusterStrategy::Identity,
+        ClusterStrategy::FrequencyOrder,
+        ClusterStrategy::CoAccessGreedy,
+    ] {
+        let layout = ClusteredLayout::build(&tracker, 10_000, pages, strategy);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &layout,
+            |b, layout| b.iter(|| black_box(layout.replay(&w.accesses, pages))),
+        );
+    }
+    group.finish();
+
+    c.bench_function("storage/os1_build_greedy_layout", |b| {
+        b.iter(|| {
+            black_box(ClusteredLayout::build(
+                &tracker,
+                10_000,
+                pages,
+                ClusterStrategy::CoAccessGreedy,
+            ))
+        })
+    });
+}
+
+fn bench_column_encodings(c: &mut Criterion) {
+    let sorted: Vec<Value> = (0..50_000)
+        .map(|i| Value::str(format!("cat-{:02}", i / 2000)))
+        .collect();
+    let ints: Vec<Value> = (0..50_000).map(Value::Int).collect();
+    let mut group = c.benchmark_group("storage/column_encode");
+    group.bench_function("rle_candidate_50k", |b| {
+        b.iter(|| black_box(ColumnSegment::build(&sorted).unwrap().1))
+    });
+    group.bench_function("delta_candidate_50k", |b| {
+        b.iter(|| black_box(ColumnSegment::build(&ints).unwrap().1))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_cluster_replay,
+    bench_column_encodings
+);
+criterion_main!(benches);

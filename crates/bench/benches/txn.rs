@@ -1,0 +1,68 @@
+//! Criterion benches for FS.11: transaction throughput under snapshot vs
+//! relaxed enrichment isolation, and WAL encode/decode.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scdb_txn::{EnrichedDb, IsolationMode, LogRecord, Wal};
+use scdb_types::Value;
+
+fn bench_read_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn/fs11_reads");
+    for mode in [IsolationMode::Snapshot, IsolationMode::RelaxedEnrichment] {
+        let db = EnrichedDb::new(mode);
+        for k in 0..1000u64 {
+            db.enrich(k, Value::Int(k as i64));
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    let mut t = db.begin();
+                    let mut acc = 0i64;
+                    for k in 0..1000u64 {
+                        if let Some(Value::Int(v)) = db.read(&mut t, k) {
+                            acc += v;
+                        }
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let db = EnrichedDb::new(IsolationMode::Snapshot);
+    c.bench_function("txn/commit_10_writes", |b| {
+        b.iter(|| {
+            let mut t = db.begin();
+            for k in 0..10u64 {
+                t.write(k, Value::Int(1)).unwrap();
+            }
+            black_box(db.txn_manager().commit(&mut t).unwrap())
+        })
+    });
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut wal = Wal::new();
+    for i in 0..10_000u64 {
+        wal.append(LogRecord::Write {
+            txn: i,
+            key: i,
+            value: Some(Value::Int(i as i64)),
+        });
+        wal.append(LogRecord::Commit { txn: i });
+    }
+    c.bench_function("txn/wal_encode_10k", |b| {
+        b.iter(|| black_box(wal.encode().len()))
+    });
+    let bytes = wal.encode();
+    c.bench_function("txn/wal_decode_10k", |b| {
+        b.iter(|| black_box(Wal::decode(bytes.clone()).len()))
+    });
+}
+
+criterion_group!(benches, bench_read_modes, bench_commit, bench_wal);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches for FS.3/FS.10: possible-world enumeration, evidence
+//! algebra, and parallel-world justified answers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scdb_types::{ConceptId, Record, SymbolTable, Value, WorldId};
+use scdb_uncertain::{
+    CTable, Condition, Evidence, ParallelWorld, ParallelWorldSet, PossibleWorlds, Variable,
+};
+use std::collections::HashMap;
+
+fn bench_possible_worlds(c: &mut Criterion) {
+    let mut syms = SymbolTable::new();
+    let a = syms.intern("a");
+    let mut t = CTable::new();
+    for v in 0..10u32 {
+        t.declare(Variable(v), vec![Value::Int(0), Value::Int(1)]);
+        t.add(
+            Record::from_pairs([(a, Value::Int(i64::from(v)))]),
+            Condition::Eq(Variable(v), Value::Int(1)),
+        );
+    }
+    c.bench_function("uncertain/enumerate_1024_worlds", |b| {
+        b.iter(|| {
+            let pw = PossibleWorlds::enumerate(&t, &HashMap::new(), 2048).unwrap();
+            black_box(pw.len())
+        })
+    });
+}
+
+fn bench_evidence(c: &mut Criterion) {
+    c.bench_function("uncertain/fs3_evidence_fuse_1k", |b| {
+        b.iter(|| {
+            let mut acc = Evidence::UNKNOWN;
+            for i in 0..1000 {
+                let e = Evidence::from_probability(f64::from(i % 100) / 100.0);
+                acc = Evidence::fuse(&[(acc, 1.0), (e, 1.0)]);
+            }
+            black_box(acc.support())
+        })
+    });
+}
+
+fn bench_parallel_worlds(c: &mut Criterion) {
+    let mut syms = SymbolTable::new();
+    let dose = syms.intern("dose");
+    let mut set = ParallelWorldSet::new();
+    for w in 0..20u32 {
+        set.add(ParallelWorld {
+            id: WorldId(w),
+            premises: vec![ConceptId(w)],
+            tuples: (0..500)
+                .map(|i| Record::from_pairs([(dose, Value::Float(f64::from(i % 80) / 10.0))]))
+                .collect(),
+        });
+    }
+    let degree = move |r: &Record| {
+        r.get(dose)
+            .and_then(|v| v.as_float())
+            .map(|x| (1.0 - (x - 5.0f64).abs() / 0.5).max(0.0))
+            .unwrap_or(0.0)
+    };
+    c.bench_function("uncertain/fs10_justified_20x500", |b| {
+        b.iter(|| black_box(set.justified(&degree, 0.5, |_, _| true).justified))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_possible_worlds,
+    bench_evidence,
+    bench_parallel_worlds
+);
+criterion_main!(benches);

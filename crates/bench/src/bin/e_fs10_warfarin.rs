@@ -1,0 +1,137 @@
+//! E-T1-FS10 / E-S4 — parallel worlds: the Warfarin dosage scenario.
+//!
+//! The paper's only worked quantitative example. Reproduces the naive vs
+//! justified contrast at the paper's numbers and sweeps the fuzzy
+//! "therapeutic range" width and the number of sources to show where the
+//! semantics flip.
+
+use scdb_bench::{banner, Table};
+use scdb_datagen::clinical::{generate, paper_populations, TrialSource};
+use scdb_semantic::Taxonomy;
+use scdb_types::{Record, SymbolTable, WorldId};
+use scdb_uncertain::{FuzzyPredicate, ParallelWorld, ParallelWorldSet};
+
+fn build_worlds(
+    populations: &[TrialSource],
+    seed: u64,
+) -> (ParallelWorldSet, Taxonomy, SymbolTable) {
+    let mut symbols = SymbolTable::new();
+    let corpus = generate(populations, seed, &mut symbols);
+    let mut worlds = ParallelWorldSet::new();
+    for (i, src) in corpus.sources.iter().enumerate() {
+        let premise = corpus
+            .ontology
+            .find_concept(&corpus.premises[i])
+            .expect("premise");
+        worlds.add(ParallelWorld {
+            id: WorldId(i as u32),
+            premises: vec![premise],
+            tuples: src.records.iter().map(|r| r.record.clone()).collect(),
+        });
+    }
+    let taxonomy = Taxonomy::build(&corpus.ontology);
+    (worlds, taxonomy, symbols)
+}
+
+fn degree_fn(symbols: &SymbolTable, center: f64, width: f64) -> impl Fn(&Record) -> f64 {
+    let dose = symbols.get("effective_dose").expect("attr");
+    let pred = FuzzyPredicate::CloseTo { center, width };
+    move |r: &Record| {
+        r.get(dose)
+            .and_then(|v| v.as_float())
+            .map(|x| pred.membership(x))
+            .unwrap_or(0.0)
+    }
+}
+
+fn main() {
+    banner(
+        "E-T1-FS10 / E-S4",
+        "§4.2 Warfarin scenario (parallel worlds, justified answers)",
+        "naive certain answer FALSE, justified answer TRUE via disjoint population premises",
+    );
+
+    // The paper's exact configuration.
+    let (worlds, taxonomy, symbols) = build_worlds(&paper_populations(), 0x5A4);
+    let q = "Is 5.0 mg an effective dosage of Warfarin?";
+    let degree = degree_fn(&symbols, 5.0, 0.5);
+    let naive = worlds.naive_certain(&degree, 0.5);
+    let justified = worlds.justified(&degree, 0.5, |a, b| taxonomy.are_disjoint(a, b));
+    println!("Q: {q}");
+    println!("  sources report 5.1 / 3.4 / 6.1 mg for disjoint populations");
+    println!("  naive certain answer:      {naive}");
+    println!(
+        "  justified answer:          {} (premises disjoint: {})",
+        justified.justified, justified.premises_disjoint
+    );
+    for (w, d) in &justified.support {
+        println!("    world {w}: support {d:.2}");
+    }
+    println!();
+
+    // Width sweep: narrow range is what makes semantics necessary.
+    println!("therapeutic-range width sweep (query center 5.0):");
+    let mut t = Table::new(&["width", "naive", "justified"]);
+    for width in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let d = degree_fn(&symbols, 5.0, width);
+        let n = worlds.naive_certain(&d, 0.5);
+        let j = worlds
+            .justified(&d, 0.5, |a, b| taxonomy.are_disjoint(a, b))
+            .justified;
+        t.row(&[format!("{width}"), n.to_string(), j.to_string()]);
+    }
+    println!("{}", t.render());
+
+    // Source-count sweep: more disjoint worlds never break justification.
+    println!("source-count sweep (width 0.5):");
+    let mut t = Table::new(&["sources", "naive", "justified", "supporting worlds"]);
+    for extra in [0usize, 2, 5, 10] {
+        let mut pops = paper_populations();
+        for i in 0..extra {
+            pops.push(TrialSource {
+                population: format!("Cohort{i}"),
+                mean_dose: 1.5 + i as f64,
+                std_dose: 0.1,
+                n: 20,
+            });
+        }
+        let (w, tax, syms) = build_worlds(&pops, 0x5A4);
+        let d = degree_fn(&syms, 5.0, 0.5);
+        let ans = w.justified(&d, 0.5, |a, b| tax.are_disjoint(a, b));
+        let supporting = ans.support.iter().filter(|(_, s)| *s >= 0.5).count();
+        t.row(&[
+            pops.len().to_string(),
+            w.naive_certain(&d, 0.5).to_string(),
+            ans.justified.to_string(),
+            supporting.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Context-conditioned refinement per population. Premise concept ids
+    // come from the generated ontology (never hardcode ConceptIds).
+    println!("refined queries (context = population):");
+    let mut t = Table::new(&["population", "dose asked", "justified"]);
+    let mut syms2 = SymbolTable::new();
+    let corpus = scdb_datagen::clinical::generate(&paper_populations(), 0x5A4, &mut syms2);
+    let (worlds2, _tax, _) = build_worlds(&paper_populations(), 0x5A4);
+    for (pop, center) in [
+        ("WhitePopulation", 5.1),
+        ("AsianPopulation", 3.4),
+        ("BlackPopulation", 6.1),
+    ] {
+        let premise = corpus.ontology.find_concept(pop).expect("declared");
+        let d = degree_fn(&syms2, center, 0.5);
+        let ans = worlds2.justified_given(&d, 0.5, premise);
+        t.row(&[
+            pop.to_string(),
+            format!("{center}"),
+            ans.justified.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shape check: the paper's FALSE→TRUE flip at width 0.5; naive flips TRUE only when");
+    println!(
+        "the range is so wide semantics are unnecessary; justification is stable in #sources."
+    );
+}

@@ -1,0 +1,104 @@
+//! E-T1-FS11 — isolation under continuous non-deterministic enrichment.
+//!
+//! Concurrent reader transactions run against a store being enriched by a
+//! curation thread. Snapshot isolation keeps reads repeatable but stale;
+//! relaxed enrichment isolation is fresh but incurs non-deterministic
+//! phantoms. The experiment quantifies the trade at several enrichment
+//! rates, plus explicit-writer abort rates (first-committer-wins is
+//! unaffected by the enrichment mode).
+
+use scdb_bench::{banner, Table};
+use scdb_txn::{EnrichedDb, IsolationMode};
+use scdb_types::Value;
+
+struct RunStats {
+    phantom_rate: f64,
+    stale_rate: f64,
+    commits: u64,
+    aborts: u64,
+}
+
+fn run(mode: IsolationMode, enrich_per_txn: usize) -> RunStats {
+    let db = EnrichedDb::new(mode);
+    for k in 0..100u64 {
+        db.enrich(k, Value::Int(0));
+    }
+    let mut latest: Vec<i64> = vec![0; 100];
+    let mut stale_reads = 0u64;
+    let mut total_reads = 0u64;
+    let mut version = 0i64;
+
+    // Interleave: reader txn reads 20 keys twice; curation lands between
+    // the two passes.
+    for round in 0..200u64 {
+        let mut txn = db.begin();
+        let keys: Vec<u64> = (0..20).map(|i| (round * 7 + i) % 100).collect();
+        for &k in &keys {
+            let _ = db.read(&mut txn, k);
+            total_reads += 1;
+        }
+        // Enrichment storm.
+        for i in 0..enrich_per_txn {
+            version += 1;
+            let k = (round as usize * 3 + i) % 100;
+            db.enrich(k as u64, Value::Int(version));
+            latest[k] = version;
+        }
+        // Second pass: staleness = read ≠ latest committed enrichment.
+        for &k in &keys {
+            let v = db.read(&mut txn, k).and_then(|v| v.as_int());
+            total_reads += 1;
+            if v != Some(latest[k as usize]) {
+                stale_reads += 1;
+            }
+        }
+        // An explicit writer that conflicts half the time.
+        let mut w1 = db.begin();
+        let mut w2 = db.begin();
+        w1.write(1000 + round % 5, Value::Int(round as i64))
+            .unwrap();
+        w2.write(1000 + round % 5, Value::Int(-(round as i64)))
+            .unwrap();
+        let _ = db.txn_manager().commit(&mut w1);
+        let _ = db.txn_manager().commit(&mut w2);
+    }
+    let (commits, aborts) = db.txn_manager().stats();
+    RunStats {
+        phantom_rate: db.stats().phantom_rate(),
+        stale_rate: stale_reads as f64 / total_reads as f64,
+        commits,
+        aborts,
+    }
+}
+
+fn main() {
+    banner(
+        "E-T1-FS11",
+        "Table 1 row FS.11 (concurrency control for non-deterministic enrichment)",
+        "snapshot: repeatable but stale; relaxed: fresh but phantom-prone — a real dial",
+    );
+    let mut t = Table::new(&[
+        "mode",
+        "enrich/txn",
+        "phantom_rate",
+        "stale_rate",
+        "commits",
+        "aborts",
+    ]);
+    for &rate in &[1usize, 5, 20] {
+        for mode in [IsolationMode::Snapshot, IsolationMode::RelaxedEnrichment] {
+            let s = run(mode, rate);
+            t.row(&[
+                format!("{mode:?}"),
+                rate.to_string(),
+                format!("{:.3}", s.phantom_rate),
+                format!("{:.3}", s.stale_rate),
+                s.commits.to_string(),
+                s.aborts.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("shape check: Snapshot has zero phantoms but staleness grows with enrichment rate;");
+    println!("Relaxed trades phantoms for freshness; write-conflict aborts are mode-independent.");
+}

@@ -1,0 +1,145 @@
+//! E-T1-FS1 — incremental entity resolution vs periodic re-resolution.
+//!
+//! Streams the scaled corpus record by record. The incremental resolver
+//! does bounded work per record; the baseline re-runs batch resolution
+//! from scratch at checkpoints (the "all-to-all" regime §3.2 warns
+//! about). Reported: cumulative comparisons (cost) and pairwise F1
+//! (quality) — plus the blocking ablation.
+
+use std::collections::HashMap;
+
+use scdb_bench::{banner, time_ms, Table};
+use scdb_datagen::corrupt::CorruptionConfig;
+use scdb_datagen::life_science::{scaled, ScaledConfig};
+use scdb_er::blocking::BlockingStrategy;
+use scdb_er::eval::score_pairs;
+use scdb_er::incremental::{BatchResolver, IncrementalResolver, ResolverConfig};
+use scdb_types::{Record, RecordId, SymbolTable};
+
+fn corpus(
+    n_drugs: usize,
+) -> (
+    SymbolTable,
+    Vec<(RecordId, Record)>,
+    HashMap<RecordId, String>,
+) {
+    let cfg = ScaledConfig {
+        n_drugs,
+        n_sources: 3,
+        duplicate_rate: 0.5,
+        corruption: CorruptionConfig::moderate(),
+        seed: 0xF51,
+        ..Default::default()
+    };
+    let mut symbols = SymbolTable::new();
+    let sources = scaled(&cfg, &mut symbols);
+    let mut records = Vec::new();
+    let mut truth = HashMap::new();
+    for src in &sources {
+        for (off, rec) in src.records.iter().enumerate() {
+            let rid = RecordId::new(src.id, off as u64);
+            records.push((rid, rec.record.clone()));
+            truth.insert(rid, rec.truth.clone().expect("labelled"));
+        }
+    }
+    (symbols, records, truth)
+}
+
+fn main() {
+    banner(
+        "E-T1-FS1",
+        "Table 1 row FS.1 (continuous incremental entity resolution)",
+        "incremental ER matches batch quality at a fraction of the comparisons",
+    );
+
+    // Part 1: incremental vs periodic batch, growing corpus.
+    let mut table = Table::new(&[
+        "records",
+        "inc_F1",
+        "inc_cmps",
+        "inc_ms",
+        "batch_F1",
+        "batch_cmps",
+        "batch_ms",
+    ]);
+    for n_drugs in [100usize, 200, 400] {
+        let (symbols, records, truth) = corpus(n_drugs);
+        let cfg = ResolverConfig {
+            realign_interval: 64,
+            ..Default::default()
+        };
+
+        let ((inc_f1, inc_cmps), inc_ms) = time_ms(|| {
+            let mut r = IncrementalResolver::new(cfg.clone());
+            for (rid, rec) in &records {
+                r.add(*rid, rec.clone(), &symbols);
+            }
+            (score_pairs(&r.assignments(), &truth).f1(), r.comparisons())
+        });
+
+        // Periodic re-resolution: batch from scratch at 4 checkpoints.
+        let ((batch_f1, batch_cmps), batch_ms) = time_ms(|| {
+            let mut total_cmps = 0u64;
+            let mut last_f1 = 0.0;
+            let batch = BatchResolver::new(cfg.clone());
+            for checkpoint in 1..=4usize {
+                let upto = records.len() * checkpoint / 4;
+                let (assignments, cmps) = batch.resolve(&records[..upto], &symbols);
+                total_cmps += cmps;
+                if checkpoint == 4 {
+                    last_f1 = score_pairs(&assignments, &truth).f1();
+                }
+            }
+            (last_f1, total_cmps)
+        });
+
+        table.row(&[
+            records.len().to_string(),
+            format!("{inc_f1:.3}"),
+            inc_cmps.to_string(),
+            format!("{inc_ms:.0}"),
+            format!("{batch_f1:.3}"),
+            batch_cmps.to_string(),
+            format!("{batch_ms:.0}"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Part 2: blocking ablation at fixed size.
+    println!("blocking ablation (200 drugs, moderate corruption):");
+    let mut ab = Table::new(&["blocking", "F1", "comparisons"]);
+    let (symbols, records, truth) = corpus(200);
+    for (name, strategy) in [
+        ("none (all-pairs)", BlockingStrategy::None),
+        (
+            "standard prefix-4",
+            BlockingStrategy::StandardKeys { prefix_len: 4 },
+        ),
+        (
+            "minhash-lsh 8x2",
+            BlockingStrategy::MinHashLsh { bands: 8, rows: 2 },
+        ),
+    ] {
+        let mut cfg = ResolverConfig {
+            realign_interval: 64,
+            blocking: strategy,
+            ..Default::default()
+        };
+        if matches!(strategy, BlockingStrategy::None) {
+            cfg.max_candidates = usize::MAX;
+        }
+        let mut r = IncrementalResolver::new(cfg);
+        for (rid, rec) in &records {
+            r.add(*rid, rec.clone(), &symbols);
+        }
+        ab.row(&[
+            name.to_string(),
+            format!("{:.3}", score_pairs(&r.assignments(), &truth).f1()),
+            r.comparisons().to_string(),
+        ]);
+    }
+    println!("{}", ab.render());
+    println!("shape check: incremental F1 matches or exceeds periodic batch (bounded ranked");
+    println!("candidates regularize against chained false merges) at far fewer comparisons;");
+    println!("blocking preserves F1 at a fraction of all-pairs comparisons.");
+}

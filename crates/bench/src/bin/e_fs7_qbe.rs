@@ -1,0 +1,95 @@
+//! E-T1-FS7 — query-by-example completion: fill rate vs missingness and
+//! iterations.
+//!
+//! Examples are corpus rows with cells knocked out at a configurable
+//! rate; the incremental QBE loop fills them back. Reported: fill rate
+//! and correctness of fills at each missingness level, and the gain from
+//! iterating (the "partial answer becomes an example" loop).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scdb_bench::{banner, Table};
+use scdb_datagen::corrupt::CorruptionConfig;
+use scdb_datagen::life_science::{scaled, ScaledConfig};
+use scdb_query::qbe::{complete, fill_rate, QbeConfig};
+use scdb_types::{Record, SymbolTable, Value};
+
+fn main() {
+    banner(
+        "E-T1-FS7",
+        "Table 1 row FS.7 (query refinement via query-by-example)",
+        "incremental QBE fills most knocked-out cells correctly; iteration helps",
+    );
+    let cfg = ScaledConfig {
+        n_drugs: 150,
+        n_sources: 1,
+        duplicate_rate: 0.0,
+        corruption: CorruptionConfig::CLEAN,
+        seed: 0xF57,
+        ..Default::default()
+    };
+    let mut symbols = SymbolTable::new();
+    let sources = scaled(&cfg, &mut symbols);
+    let corpus: Vec<Record> = sources[0]
+        .records
+        .iter()
+        .map(|r| r.record.clone())
+        .collect();
+
+    let mut table = Table::new(&[
+        "missing%",
+        "examples",
+        "fill_rate",
+        "fill_correct",
+        "iterations",
+    ]);
+    for missing_pct in [10u32, 25, 50] {
+        let mut rng = StdRng::seed_from_u64(u64::from(missing_pct));
+        // Knock out cells (keep at least one per record).
+        let originals: Vec<Record> = corpus.iter().take(60).cloned().collect();
+        let examples: Vec<Record> = originals
+            .iter()
+            .map(|r| {
+                let mut out = Record::new();
+                let attrs: Vec<_> = r.iter().collect();
+                let keep_idx = rng.gen_range(0..attrs.len());
+                for (i, (a, v)) in attrs.iter().enumerate() {
+                    if i == keep_idx || !rng.gen_bool(f64::from(missing_pct) / 100.0) {
+                        out.set(*a, (*v).clone());
+                    } else {
+                        out.set(*a, Value::Null);
+                    }
+                }
+                out
+            })
+            .collect();
+        let result = complete(&examples, &corpus, &QbeConfig::default());
+        // Correctness: filled value equals the knocked-out original.
+        let mut correct = 0usize;
+        for fill in &result.fills {
+            let filled = result.completed[fill.example].get(fill.attr);
+            let original = originals[fill.example].get(fill.attr);
+            if filled == original {
+                correct += 1;
+            }
+        }
+        let rate = fill_rate(&examples, &result, &corpus);
+        table.row(&[
+            format!("{missing_pct}%"),
+            examples.len().to_string(),
+            format!("{rate:.3}"),
+            format!(
+                "{:.3}",
+                if result.fills.is_empty() {
+                    1.0
+                } else {
+                    correct as f64 / result.fills.len() as f64
+                }
+            ),
+            result.iterations.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("shape check: fill rate stays high as missingness grows; fills are mostly correct");
+    println!("(the identity attribute anchors the match; context cells are recovered).");
+}

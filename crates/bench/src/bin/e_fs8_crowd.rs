@@ -1,0 +1,64 @@
+//! E-T1-FS8 — crowd escalation under qualitative vs quantitative cost
+//! functions: the accuracy/cost frontier.
+
+use scdb_bench::{banner, Table};
+use scdb_query::crowd::{resolve, CostFunction, Worker};
+
+fn main() {
+    banner(
+        "E-T1-FS8",
+        "Table 1 row FS.8 (incompleteness resolution through the crowd)",
+        "qualitative targets buy accuracy with cost; quantitative budgets cap cost and coverage",
+    );
+    let questions: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+    let pool: Vec<Worker> = (0..20)
+        .map(|i| Worker {
+            accuracy: 0.65 + 0.02 * f64::from(i % 10),
+            cost: 1.0,
+        })
+        .collect();
+
+    println!("qualitative cost function (confidence targets):");
+    let mut t = Table::new(&["target", "accuracy", "asks", "cost", "answered"]);
+    for target in [0.75, 0.9, 0.97, 0.995] {
+        let o = resolve(
+            &questions,
+            &pool,
+            CostFunction::Qualitative {
+                target,
+                max_asks: 25,
+            },
+            0xF58,
+        );
+        let answered = o.answers.iter().filter(|a| a.is_some()).count();
+        t.row(&[
+            format!("{target}"),
+            format!("{:.3}", o.accuracy),
+            o.asks.to_string(),
+            format!("{:.0}", o.total_cost),
+            answered.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("quantitative cost function (budgets):");
+    let mut t = Table::new(&["budget", "accuracy", "asks", "answered"]);
+    for budget in [50.0, 200.0, 600.0, 2000.0] {
+        let o = resolve(
+            &questions,
+            &pool,
+            CostFunction::Quantitative { budget },
+            0xF58,
+        );
+        let answered = o.answers.iter().filter(|a| a.is_some()).count();
+        t.row(&[
+            format!("{budget}"),
+            format!("{:.3}", o.accuracy),
+            o.asks.to_string(),
+            answered.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shape check: accuracy rises monotonically with target/budget; qualitative spends");
+    println!("per-question until confident, quantitative trades coverage for hard cost caps.");
+}

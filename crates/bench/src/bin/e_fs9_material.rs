@@ -1,0 +1,136 @@
+//! E-T1-FS9 — context-aware materialization of discovered facts.
+//!
+//! A repeated contextual-exploration workload: Zipf-skewed queries over a
+//! working set of drug contexts. With the materialization cache, repeat
+//! contexts skip random-walk discovery entirely. Reported: end-to-end
+//! time and hit rate with the cache on vs off, plus the richness-based
+//! conflict resolution behaviour.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scdb_bench::{banner, curated_db, time_ms, Table};
+use scdb_datagen::corrupt::CorruptionConfig;
+use scdb_datagen::life_science::ScaledConfig;
+use scdb_query::materialize::{DiscoveredFact, MaterializationCache};
+use scdb_query::refine::{discover, RefineConfig};
+use scdb_types::EntityId;
+
+fn main() {
+    banner(
+        "E-T1-FS9",
+        "Table 1 row FS.9 (context-aware materialization of discovered data)",
+        "materializing per-context discoveries turns repeat explorations into cache hits",
+    );
+    let cfg = ScaledConfig {
+        n_drugs: 150,
+        n_sources: 3,
+        duplicate_rate: 0.5,
+        corruption: CorruptionConfig::CLEAN,
+        seed: 0xF59,
+        ..Default::default()
+    };
+    let (db, sources) = curated_db(&cfg);
+    // Working set: drug names from source 0.
+    let sym = db.symbols_ref().get("Drug Name").expect("attr");
+    let drugs: Vec<String> = sources[0]
+        .records
+        .iter()
+        .filter_map(|r| r.record.get(sym).map(|v| v.render().into_owned()))
+        .take(30)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0xF59);
+    let contexts: Vec<String> = (0..150)
+        .map(|_| {
+            let idx = (rng.gen_range(0.0f64..1.0).powi(3) * drugs.len() as f64) as usize;
+            drugs[idx.min(drugs.len() - 1)].clone()
+        })
+        .collect();
+
+    let walk = RefineConfig {
+        steps: 3000,
+        ..Default::default()
+    };
+    let run = |use_cache: bool| {
+        let mut cache = MaterializationCache::new(64);
+        let (discoveries_run, ms) = time_ms(|| {
+            let mut walks = 0usize;
+            for ctx in &contexts {
+                let key = format!("explore|{ctx}");
+                if use_cache && cache.lookup(&key).is_some() {
+                    continue;
+                }
+                let Some(seed) = db.entity_named(ctx) else {
+                    continue;
+                };
+                walks += 1;
+                let found = discover(db.graph(), &[seed], &walk);
+                if use_cache {
+                    let facts: Vec<DiscoveredFact> = found
+                        .iter()
+                        .map(|d| DiscoveredFact {
+                            subject: seed,
+                            role: "discovered".into(),
+                            object: d.entity,
+                            richness: 0.5,
+                        })
+                        .collect();
+                    // Materialize even empty discovery sets so the context
+                    // is remembered.
+                    cache.materialize(&key, facts);
+                }
+            }
+            walks
+        });
+        (ms, discoveries_run, cache.stats(), cache.hit_rate())
+    };
+
+    let (cold_ms, cold_walks, _, _) = run(false);
+    let (warm_ms, warm_walks, (hits, misses), hit_rate) = run(true);
+
+    let mut t = Table::new(&[
+        "mode",
+        "explorations",
+        "walks run",
+        "time_ms",
+        "hits",
+        "misses",
+        "hit_rate",
+    ]);
+    t.row(&[
+        "no materialization".into(),
+        contexts.len().to_string(),
+        cold_walks.to_string(),
+        format!("{cold_ms:.0}"),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.row(&[
+        "with materialization".into(),
+        contexts.len().to_string(),
+        warm_walks.to_string(),
+        format!("{warm_ms:.0}"),
+        hits.to_string(),
+        misses.to_string(),
+        format!("{hit_rate:.3}"),
+    ]);
+    println!("{}", t.render());
+
+    // Conflict resolution by richness (FS.2 feeding FS.9).
+    let mut cache = MaterializationCache::new(8);
+    let fact = |object: u64, richness: f64| DiscoveredFact {
+        subject: EntityId(1),
+        role: "treats".into(),
+        object: EntityId(object),
+        richness,
+    };
+    cache.materialize("ctx", vec![fact(2, 0.3)]);
+    let rejected_poorer = cache.materialize("ctx", vec![fact(3, 0.1)]);
+    cache.materialize("ctx", vec![fact(4, 0.9)]);
+    let winner = cache.lookup("ctx").expect("cached")[0].object;
+    println!(
+        "conflict resolution: poorer source rejected ({rejected_poorer}), richer source's fact won → object {winner:?}"
+    );
+    println!("\nshape check: materialized run re-walks only distinct contexts; hit rate matches");
+    println!("the Zipf skew; conflicting discoveries resolve toward the richer source.");
+}

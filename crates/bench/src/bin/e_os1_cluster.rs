@@ -1,0 +1,96 @@
+//! E-T1-OS1 — dynamic fine-grained clustering: locality and compression.
+//!
+//! Replays a skewed co-access workload against three layouts (arrival
+//! order, frequency-only, co-access greedy) and reports page touches
+//! (the cache-line proxy) and wall time; then shows the compression side:
+//! clustering by a correlated attribute lengthens runs, which the column
+//! encodings convert into bytes.
+
+use scdb_bench::{banner, time_ms, Table};
+use scdb_datagen::workload::{co_access, CoAccessConfig};
+use scdb_storage::cluster::{ClusterStrategy, ClusteredLayout, CoAccessTracker};
+use scdb_storage::column::ColumnSegment;
+use scdb_storage::page::PageConfig;
+use scdb_types::Value;
+
+fn main() {
+    banner(
+        "E-T1-OS1",
+        "Table 1 row OS.1 (dynamic instance-level clustering)",
+        "co-access packing cuts page touches vs arrival order and frequency-only layouts",
+    );
+    let pages = PageConfig::new(16);
+    let mut t = Table::new(&[
+        "workload",
+        "layout",
+        "page_touches",
+        "distinct_pages",
+        "replay_ms",
+        "speedup",
+    ]);
+    for (wname, skew, noise) in [
+        ("skewed", 0.9, 0.05),
+        ("uniform", 0.0, 0.05),
+        ("noisy", 0.8, 0.4),
+    ] {
+        let w = co_access(&CoAccessConfig {
+            n_records: 20_000,
+            n_groups: 500,
+            group_size: 8,
+            n_accesses: 10_000,
+            skew,
+            noise,
+            seed: 0x051,
+        });
+        let mut tracker = CoAccessTracker::default();
+        for g in &w.accesses {
+            tracker.observe(g);
+        }
+        let mut baseline_touches = 0u64;
+        for strategy in [
+            ClusterStrategy::Identity,
+            ClusterStrategy::FrequencyOrder,
+            ClusterStrategy::CoAccessGreedy,
+        ] {
+            let layout = ClusteredLayout::build(&tracker, 20_000, pages, strategy);
+            let ((touches, distinct), ms) = time_ms(|| layout.replay(&w.accesses, pages));
+            if strategy == ClusterStrategy::Identity {
+                baseline_touches = touches;
+            }
+            t.row(&[
+                wname.to_string(),
+                format!("{strategy:?}"),
+                touches.to_string(),
+                distinct.to_string(),
+                format!("{ms:.1}"),
+                format!("{:.2}x", baseline_touches as f64 / touches as f64),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    // Compression side: clustering a column by value lengthens runs.
+    println!("compression under clustering (100k-row category column, 32 categories):");
+    let mut t = Table::new(&["layout", "encoding", "bytes", "ratio vs plain"]);
+    let unclustered: Vec<Value> = (0..100_000)
+        .map(|i| Value::str(format!("category-{:02}", (i * 17) % 32)))
+        .collect();
+    let clustered: Vec<Value> = {
+        let mut v = unclustered.clone();
+        v.sort();
+        v
+    };
+    let plain_bytes: usize = unclustered.iter().map(Value::approx_size).sum();
+    for (name, col) in [("unclustered", &unclustered), ("clustered", &clustered)] {
+        let (seg, enc) = ColumnSegment::build(col).expect("non-empty");
+        t.row(&[
+            name.to_string(),
+            format!("{enc:?}"),
+            seg.encoded_size().to_string(),
+            format!("{:.1}x", plain_bytes as f64 / seg.encoded_size() as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shape check: co-access greedy wins on skewed/noisy workloads and ties on uniform;");
+    println!("clustering flips the encoder to run-length for a large additional ratio.");
+}

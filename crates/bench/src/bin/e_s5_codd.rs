@@ -1,0 +1,80 @@
+//! E-S5 — the §5 revisited-Codd-rules compliance report over a live
+//! curated instance.
+
+use scdb_bench::{banner, curated_db, Table};
+use scdb_core::codd_report;
+use scdb_datagen::corrupt::CorruptionConfig;
+use scdb_datagen::life_science::{figure2_ontology, ScaledConfig};
+
+fn main() {
+    banner(
+        "E-S5",
+        "§5 (revisiting database principles)",
+        "each deviation/extension from Codd's rules is exhibited by the running system",
+    );
+    let cfg = ScaledConfig {
+        n_drugs: 100,
+        n_sources: 3,
+        duplicate_rate: 0.5,
+        corruption: CorruptionConfig::moderate(),
+        seed: 0x055,
+        ..Default::default()
+    };
+    let (mut db, _) = curated_db(&cfg);
+    *db.ontology_mut() = figure2_ontology();
+    // A gene source: the drug records' gene values now reference real
+    // entities, producing the relation-layer links of the information
+    // rule.
+    db.register_source("genes", Some("gene"));
+    let gene = db.symbols().intern("gene");
+    let function = db.symbols().intern("function");
+    for i in 0..15 {
+        db.ingest(
+            "genes",
+            scdb_types::Record::from_pairs([
+                (gene, scdb_types::Value::str(format!("GEN{i:03}"))),
+                (function, scdb_types::Value::str("regulatory")),
+            ]),
+            None,
+        )
+        .expect("ingest");
+    }
+    db.discover_links().expect("links");
+    db.reason().expect("saturation");
+    // An unstructured + heterogeneous + nullable source: the foundation
+    // and null-treatment evidence.
+    db.register_source("notes", None);
+    let title = db.symbols().intern("title");
+    let severity = db.symbols().intern("severity");
+    for (i, text) in [
+        "free-text clinical observation about warfarin response",
+        "nurse note: dosage adjusted after INR reading",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let sev = match i {
+            0 => scdb_types::Value::Int(3),          // numeric severity…
+            _ => scdb_types::Value::str("moderate"), // …or textual: heterogeneous column
+        };
+        let mut r = scdb_types::Record::from_pairs([
+            (title, scdb_types::Value::str(format!("clinical note {i}"))),
+            (severity, sev),
+        ]);
+        if i == 0 {
+            r.set(db.symbols().intern("followup"), scdb_types::Value::Null);
+        }
+        db.ingest("notes", r, Some(text)).expect("ingest");
+    }
+
+    let mut t = Table::new(&["status", "rule", "evidence"]);
+    for item in codd_report(&mut db) {
+        t.row(&[
+            format!("{:?}", item.status),
+            item.rule.to_string(),
+            item.evidence,
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shape check: all six §5 items report Exhibited on a curated instance.");
+}

@@ -1,0 +1,63 @@
+//! Run every experiment binary in sequence, writing each report to
+//! `target/experiments/<id>.txt` — the inputs EXPERIMENTS.md records.
+//!
+//! Usage: `cargo run --release -p scdb-bench --bin run_all_experiments`
+
+use std::path::Path;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "e_f1_holistic",
+    "e_f2_figure2",
+    "e_fs1_er",
+    "e_fs2_richness",
+    "e_fs3_uncertainty",
+    "e_fs5_unified_lang",
+    "e_fs6_refine",
+    "e_fs7_qbe",
+    "e_fs8_crowd",
+    "e_fs9_material",
+    "e_fs10_warfarin",
+    "e_fs11_isolation",
+    "e_os1_cluster",
+    "e_os2_traversal",
+    "e_os3_semopt",
+    "e_os4_placement",
+    "e_s5_codd",
+];
+
+fn main() {
+    let out_dir = Path::new("target/experiments");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        print!("running {exp:<22} … ");
+        let output = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .with_file_name(exp),
+        )
+        .output();
+        match output {
+            Ok(out) if out.status.success() => {
+                let path = out_dir.join(format!("{exp}.txt"));
+                std::fs::write(&path, &out.stdout).expect("write report");
+                println!("ok → {}", path.display());
+            }
+            Ok(out) => {
+                println!("FAILED (status {:?})", out.status.code());
+                failures.push(*exp);
+            }
+            Err(e) => {
+                println!("FAILED to launch: {e}");
+                failures.push(*exp);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

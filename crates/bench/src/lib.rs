@@ -1,0 +1,139 @@
+//! Shared harness utilities for the `scdb` experiment suite.
+//!
+//! Every experiment binary (see `src/bin/e_*.rs`) regenerates one
+//! table/figure-shaped report from DESIGN.md §4. This crate holds the
+//! pieces they share: fixed-width table rendering, deterministic timing
+//! helpers, and corpus-loading shortcuts so each binary stays focused on
+//! its experiment.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use scdb_core::SelfCuratingDb;
+use scdb_datagen::life_science::{scaled, ScaledConfig};
+use scdb_datagen::SyntheticSource;
+
+/// A fixed-width text table builder for experiment reports.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Time a closure, returning `(result, milliseconds)`.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+/// Load a scaled life-science corpus into a fresh [`SelfCuratingDb`],
+/// returning the database and the generated sources (with ground truth).
+pub fn curated_db(config: &ScaledConfig) -> (SelfCuratingDb, Vec<SyntheticSource>) {
+    let mut db = SelfCuratingDb::new();
+    let sources = {
+        let symbols = db.symbols();
+        scaled(config, symbols)
+    };
+    for s in &sources {
+        let name = s.name.clone();
+        db.register_source(&name, None);
+        for rec in &s.records {
+            db.ingest(&name, rec.record.clone(), rec.text.as_deref())
+                .expect("ingest");
+        }
+    }
+    db.discover_links().expect("link discovery");
+    (db, sources)
+}
+
+/// Print an experiment banner.
+pub fn banner(id: &str, anchor: &str, claim: &str) {
+    println!("== {id} — {anchor}");
+    println!("   paper claim: {claim}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+    }
+
+    #[test]
+    fn time_ms_returns_result() {
+        let (v, ms) = time_ms(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn curated_db_loads() {
+        let cfg = ScaledConfig {
+            n_drugs: 20,
+            n_sources: 2,
+            ..Default::default()
+        };
+        let (mut db, sources) = curated_db(&cfg);
+        assert_eq!(db.source_count(), 2);
+        let total: usize = sources.iter().map(|s| s.len()).sum();
+        assert_eq!(db.stats().records as usize, total);
+        assert!(db.entity_count() > 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Errors for the core facade.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::SelfCuratingDb`].
+#[derive(Debug)]
+pub enum CoreError {
+    /// A source name was not registered.
+    UnknownSource(String),
+    /// Storage layer failure.
+    Storage(scdb_storage::StorageError),
+    /// Relation layer failure.
+    Graph(scdb_graph::GraphError),
+    /// Semantic layer failure.
+    Semantic(scdb_semantic::SemanticError),
+    /// Query layer failure.
+    Query(scdb_query::QueryError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownSource(s) => write!(f, "unknown source: {s}"),
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Graph(e) => write!(f, "graph: {e}"),
+            CoreError::Semantic(e) => write!(f, "semantic: {e}"),
+            CoreError::Query(e) => write!(f, "query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::UnknownSource(_) => None,
+            CoreError::Storage(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            CoreError::Semantic(e) => Some(e),
+            CoreError::Query(e) => Some(e),
+        }
+    }
+}
+
+impl From<scdb_storage::StorageError> for CoreError {
+    fn from(e: scdb_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+impl From<scdb_graph::GraphError> for CoreError {
+    fn from(e: scdb_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+impl From<scdb_semantic::SemanticError> for CoreError {
+    fn from(e: scdb_semantic::SemanticError) -> Self {
+        CoreError::Semantic(e)
+    }
+}
+impl From<scdb_query::QueryError> for CoreError {
+    fn from(e: scdb_query::QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::UnknownSource("x".into());
+        assert_eq!(e.to_string(), "unknown source: x");
+        assert!(e.source().is_none());
+        let e: CoreError = scdb_query::QueryError::UnknownModel("m".into()).into();
+        assert!(e.to_string().starts_with("query:"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,204 @@
+//! Context-aware exploration: the §4.1 loop over a live database.
+//!
+//! `explore` runs a query, takes its matched entities as the *context*,
+//! discovers related entities by the FS.6 random walk, turns the top
+//! discoveries into refined follow-up queries, and materializes the
+//! discovered links under the query's context key (FS.9). This is the
+//! paper's example flow — "What is an effective dosage of Warfarin?"
+//! raising "Is Warfarin sensitive to ethnic background?"-style probes —
+//! executable end to end.
+
+use scdb_query::materialize::{context_key, DiscoveredFact, MaterializationCache};
+use scdb_query::refine::{discover, refine_queries, Discovery, RefineConfig};
+use scdb_query::{parse, Query};
+use scdb_types::{EntityId, ValueKind};
+
+use crate::db::{QueryOutcome, SelfCuratingDb};
+use crate::error::CoreError;
+
+/// Exploration knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreConfig {
+    /// Random-walk configuration.
+    pub walk: RefineConfig,
+}
+
+/// The result of one exploration round.
+#[derive(Debug)]
+pub struct ExplorationOutcome {
+    /// The base query's result.
+    pub base: QueryOutcome,
+    /// Seed entities extracted from the base result.
+    pub seeds: Vec<EntityId>,
+    /// Discovered related entities, ranked.
+    pub discoveries: Vec<Discovery>,
+    /// Automatically refined follow-up queries.
+    pub refined: Vec<Query>,
+    /// Number of links materialized under this query's context.
+    pub materialized: usize,
+}
+
+/// Run one explore round against `db`, materializing discoveries into
+/// `cache`.
+pub fn explore(
+    db: &mut SelfCuratingDb,
+    sql: &str,
+    config: &ExploreConfig,
+    cache: &mut MaterializationCache,
+) -> Result<ExplorationOutcome, CoreError> {
+    let query = parse(sql)?;
+    let base = db.run_query(&query)?;
+
+    // Seeds: entities named by any string value in the result rows.
+    let mut seeds: Vec<EntityId> = Vec::new();
+    for row in &base.rows {
+        for (_, v) in row.iter() {
+            if v.kind() == ValueKind::Str {
+                if let Some(e) = db.entity_named(&v.render()) {
+                    if !seeds.contains(&e) {
+                        seeds.push(e);
+                    }
+                }
+            }
+        }
+    }
+    seeds.sort();
+
+    let discoveries = discover(db.graph(), &seeds, &config.walk);
+
+    // Refined queries probe discovered entities through the query's
+    // first projected attribute (or the identity attribute convention).
+    let name_attr_str = query
+        .select
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "name".to_string());
+    let refined = match db.symbols_ref().get(&name_attr_str) {
+        Some(sym) => refine_queries(&query, &discoveries, db.graph(), sym, &name_attr_str),
+        None => Vec::new(),
+    };
+
+    // Materialize discovered links (edges from seeds into discoveries)
+    // under the context key, weighted by current graph richness.
+    let richness = db.richness().richness;
+    let mut facts = Vec::new();
+    for d in &discoveries {
+        for seed in &seeds {
+            for e in db.graph().edges(*seed) {
+                if e.to == d.entity {
+                    facts.push(DiscoveredFact {
+                        subject: *seed,
+                        role: db.symbols_ref().resolve(e.role).to_string(),
+                        object: d.entity,
+                        richness,
+                    });
+                }
+            }
+        }
+    }
+    let materialized = facts.len();
+    if !facts.is_empty() {
+        cache.materialize(&context_key(&query), facts);
+    }
+
+    Ok(ExplorationOutcome {
+        base,
+        seeds,
+        discoveries,
+        refined,
+        materialized,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdb_types::{Record, Value};
+
+    fn seeded_db() -> SelfCuratingDb {
+        let mut db = SelfCuratingDb::new();
+        db.register_source("drugbank", Some("drug"));
+        db.register_source("ctd", Some("gene"));
+        let d = db.symbols().intern("drug");
+        let g = db.symbols().intern("gene");
+        let dis = db.symbols().intern("disease");
+        // Genes first so drug links resolve immediately.
+        for gene in ["TP53", "DHFR", "PTGS2"] {
+            let r = Record::from_pairs([(g, Value::str(gene)), (dis, Value::str("Osteosarcoma"))]);
+            db.ingest("ctd", r, None).unwrap();
+        }
+        for (drug, gene) in [("Warfarin", "TP53"), ("Methotrexate", "DHFR")] {
+            let r = Record::from_pairs([(d, Value::str(drug)), (g, Value::str(gene))]);
+            db.ingest("drugbank", r, None).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn explore_discovers_connected_entities() {
+        let mut db = seeded_db();
+        let mut cache = MaterializationCache::new(8);
+        let out = explore(
+            &mut db,
+            "SELECT drug FROM drugbank WHERE drug = 'Warfarin'",
+            &ExploreConfig::default(),
+            &mut cache,
+        )
+        .unwrap();
+        assert_eq!(out.base.rows.len(), 1);
+        assert_eq!(out.seeds.len(), 1);
+        assert!(!out.discoveries.is_empty(), "walk found neighbors");
+        // TP53 (directly linked) should rank among the discoveries.
+        let tp53 = db.entity_named("TP53").unwrap();
+        assert!(out.discoveries.iter().any(|d| d.entity == tp53));
+        assert!(out.materialized >= 1, "warfarin→tp53 link materialized");
+        assert_eq!(cache.stats().0, 0, "no lookups yet");
+    }
+
+    #[test]
+    fn refined_queries_reference_discovered_names() {
+        let mut db = seeded_db();
+        let mut cache = MaterializationCache::new(8);
+        let out = explore(
+            &mut db,
+            "SELECT drug FROM drugbank WHERE drug = 'Warfarin'",
+            &ExploreConfig::default(),
+            &mut cache,
+        )
+        .unwrap();
+        // Refined queries select through the projected attr `drug`; the
+        // discovered gene nodes carry `gene` attrs, not `drug`, so only
+        // drug-named discoveries yield refinements — at minimum the
+        // mechanism must not error and must produce well-formed queries.
+        for q in &out.refined {
+            assert_eq!(q.from, "drugbank");
+        }
+    }
+
+    #[test]
+    fn empty_result_explores_nothing() {
+        let mut db = seeded_db();
+        let mut cache = MaterializationCache::new(8);
+        let out = explore(
+            &mut db,
+            "SELECT drug FROM drugbank WHERE drug = 'Nonexistent'",
+            &ExploreConfig::default(),
+            &mut cache,
+        )
+        .unwrap();
+        assert!(out.base.rows.is_empty());
+        assert!(out.seeds.is_empty());
+        assert!(out.discoveries.is_empty());
+        assert_eq!(out.materialized, 0);
+    }
+
+    #[test]
+    fn materialized_context_hits_on_repeat() {
+        let mut db = seeded_db();
+        let mut cache = MaterializationCache::new(8);
+        let sql = "SELECT drug FROM drugbank WHERE drug = 'Warfarin'";
+        explore(&mut db, sql, &ExploreConfig::default(), &mut cache).unwrap();
+        let key = context_key(&parse(sql).unwrap());
+        assert!(cache.lookup(&key).is_some());
+    }
+}

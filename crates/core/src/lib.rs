@@ -1,0 +1,60 @@
+//! `scdb-core` — the self-curating database facade.
+//!
+//! This crate assembles every layer of the paper's holistic data model
+//! (Figure 1) behind one type, [`SelfCuratingDb`]:
+//!
+//! * the **instance layer** (`scdb-storage`) stores raw records and text
+//!   and infers per-source schemas from the data;
+//! * the **relation layer** (`scdb-er` + `scdb-graph`) continuously
+//!   resolves records into entities and discovers instance-level links —
+//!   the paper's *horizontal expansion* (data → information);
+//! * the **semantic layer** (`scdb-semantic`) types entities, reasons over
+//!   the TBox/RBox, and hosts declarative statistical models — the
+//!   *vertical expansion* (information → knowledge);
+//! * the **query model** (`scdb-query` + `scdb-uncertain`) executes ScQL
+//!   with semantic optimization, refines queries in context, and answers
+//!   over parallel worlds.
+//!
+//! Curation is not an offline ETL step: every [`SelfCuratingDb::ingest`]
+//! call runs the incremental pipeline, and [`SelfCuratingDb::reason`]
+//! folds graph facts into the semantic layer on demand. The
+//! [`codd`] module renders the paper's §5 "revisited Codd rules" as an
+//! executable compliance report over a live instance.
+//!
+//! ```
+//! use scdb_core::SelfCuratingDb;
+//! use scdb_types::{Record, Value};
+//!
+//! # fn main() -> Result<(), scdb_core::CoreError> {
+//! let mut db = SelfCuratingDb::new();
+//! db.register_source("drugbank", Some("drug"));
+//! let drug = db.symbols().intern("drug");
+//! let dose = db.symbols().intern("dose_mg");
+//! db.ingest(
+//!     "drugbank",
+//!     Record::from_pairs([(drug, Value::str("Warfarin")), (dose, Value::Float(5.1))]),
+//!     None,
+//! )?;
+//! db.ontology_mut().subclass_exists("Drug", "has_target", "Gene");
+//! db.assert_entity_type("Warfarin", "Drug")?;
+//! let out = db.query(
+//!     "SELECT drug FROM drugbank \
+//!      WHERE dose_mg CLOSE TO 5.0 WITHIN 0.5 AND drug HAS SOME has_target",
+//! )?;
+//! assert_eq!(out.rows.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codd;
+pub mod db;
+pub mod error;
+pub mod explore;
+
+pub use codd::{codd_report, CoddItem, CoddStatus};
+pub use db::{CurationStats, IngestReport, QueryOutcome, SelfCuratingDb};
+pub use error::CoreError;
+pub use explore::{explore, ExplorationOutcome, ExploreConfig};

@@ -1,0 +1,193 @@
+//! The §4.2 clinical-trial sources.
+//!
+//! "If the data was collected in \[a\] white-dominant population, the
+//! effective daily dosage is expected to be around 5.1 mg, while in Asian
+//! and black population\[s\], daily doses of 3.4 mg and 6.1 mg are
+//! recommended, respectively." Three sources, each demographically biased,
+//! each locally consistent — the raw material of the parallel-worlds
+//! experiment (E-T1-FS10 / E-S4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scdb_semantic::Ontology;
+use scdb_types::{Record, SourceId, SymbolTable, Value};
+
+use crate::{SyntheticRecord, SyntheticSource};
+
+/// One trial source's parameters.
+#[derive(Debug, Clone)]
+pub struct TrialSource {
+    /// Population premise name (becomes a semantic concept).
+    pub population: String,
+    /// Mean effective dose observed by this source (mg).
+    pub mean_dose: f64,
+    /// Dose standard deviation.
+    pub std_dose: f64,
+    /// Number of trial records.
+    pub n: usize,
+}
+
+/// The paper's three populations with their §4.2 dosages.
+pub fn paper_populations() -> Vec<TrialSource> {
+    vec![
+        TrialSource {
+            population: "WhitePopulation".into(),
+            mean_dose: 5.1,
+            std_dose: 0.15,
+            n: 50,
+        },
+        TrialSource {
+            population: "AsianPopulation".into(),
+            mean_dose: 3.4,
+            std_dose: 0.15,
+            n: 50,
+        },
+        TrialSource {
+            population: "BlackPopulation".into(),
+            mean_dose: 6.1,
+            std_dose: 0.15,
+            n: 50,
+        },
+    ]
+}
+
+/// Output of the clinical generator.
+#[derive(Debug)]
+pub struct ClinicalCorpus {
+    /// One source per population.
+    pub sources: Vec<SyntheticSource>,
+    /// Population premise concept name per source (same order).
+    pub premises: Vec<String>,
+    /// The ontology declaring the populations pairwise disjoint.
+    pub ontology: Ontology,
+}
+
+/// Box–Muller standard normal from two uniforms.
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Generate trial sources: every record reports `drug = Warfarin`, an
+/// `effective_dose` draw, and the `population` tag. The ontology declares
+/// the population concepts pairwise disjoint subclasses of `Population` —
+/// the semantic knowledge the justified-answer evaluation needs.
+pub fn generate(
+    populations: &[TrialSource],
+    seed: u64,
+    symbols: &mut SymbolTable,
+) -> ClinicalCorpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let drug_sym = symbols.intern("drug");
+    let dose_sym = symbols.intern("effective_dose");
+    let pop_sym = symbols.intern("population");
+
+    let mut ontology = Ontology::new();
+    for p in populations {
+        ontology.subclass(&p.population, "Population");
+    }
+    for (i, a) in populations.iter().enumerate() {
+        for b in &populations[i + 1..] {
+            ontology.disjoint(&a.population, &b.population);
+        }
+    }
+    // The therapeutic-range fact: Warfarin is narrow-range (consumed by
+    // the query layer to pick the fuzzy width).
+    ontology.subclass("Warfarin", "NarrowTherapeuticRangeDrug");
+
+    let sources = populations
+        .iter()
+        .enumerate()
+        .map(|(i, p)| SyntheticSource {
+            id: SourceId(i as u32),
+            name: format!("clinical-trials-{}", p.population),
+            records: (0..p.n)
+                .map(|_| {
+                    let dose = p.mean_dose + p.std_dose * normal(&mut rng);
+                    SyntheticRecord {
+                        record: Record::from_pairs([
+                            (drug_sym, Value::str("Warfarin")),
+                            (dose_sym, Value::Float((dose * 100.0).round() / 100.0)),
+                            (pop_sym, Value::str(&p.population)),
+                        ]),
+                        truth: Some("drug:warfarin".into()),
+                        text: None,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+
+    ClinicalCorpus {
+        sources,
+        premises: populations.iter().map(|p| p.population.clone()).collect(),
+        ontology,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdb_semantic::Taxonomy;
+
+    #[test]
+    fn three_sources_with_paper_means() {
+        let mut syms = SymbolTable::new();
+        let corpus = generate(&paper_populations(), 1, &mut syms);
+        assert_eq!(corpus.sources.len(), 3);
+        let dose = syms.get("effective_dose").unwrap();
+        for (src, expected) in corpus.sources.iter().zip([5.1, 3.4, 6.1]) {
+            let doses: Vec<f64> = src
+                .records
+                .iter()
+                .filter_map(|r| r.record.get(dose).and_then(|v| v.as_float()))
+                .collect();
+            assert_eq!(doses.len(), 50);
+            let mean = doses.iter().sum::<f64>() / doses.len() as f64;
+            assert!(
+                (mean - expected).abs() < 0.15,
+                "{}: mean {mean} vs {expected}",
+                src.name
+            );
+        }
+    }
+
+    #[test]
+    fn populations_declared_disjoint() {
+        let mut syms = SymbolTable::new();
+        let corpus = generate(&paper_populations(), 1, &mut syms);
+        let t = Taxonomy::build(&corpus.ontology);
+        let w = corpus.ontology.find_concept("WhitePopulation").unwrap();
+        let a = corpus.ontology.find_concept("AsianPopulation").unwrap();
+        let b = corpus.ontology.find_concept("BlackPopulation").unwrap();
+        assert!(t.are_disjoint(w, a));
+        assert!(t.are_disjoint(a, b));
+        assert!(t.are_disjoint(w, b));
+        let pop = corpus.ontology.find_concept("Population").unwrap();
+        assert!(t.subsumes(pop, w));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut s1 = SymbolTable::new();
+        let mut s2 = SymbolTable::new();
+        let a = generate(&paper_populations(), 9, &mut s1);
+        let b = generate(&paper_populations(), 9, &mut s2);
+        for (x, y) in a.sources.iter().zip(b.sources.iter()) {
+            for (rx, ry) in x.records.iter().zip(y.records.iter()) {
+                assert_eq!(rx.record, ry.record);
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_range_fact_present() {
+        let mut syms = SymbolTable::new();
+        let corpus = generate(&paper_populations(), 1, &mut syms);
+        assert!(corpus
+            .ontology
+            .find_concept("NarrowTherapeuticRangeDrug")
+            .is_ok());
+    }
+}

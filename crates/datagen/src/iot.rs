@@ -1,0 +1,230 @@
+//! IoT sensor and social-mention feeds.
+//!
+//! §1 motivates the vision with exactly this fusion: "sales patterns
+//! correlate with the popularity of the product in social media, and the
+//! popularity of the product itself can be measured in terms of how often
+//! images or tweets are posted of the product." The generator produces a
+//! sales source, a sensor source, and a social source over a shared
+//! product universe with a planted correlation, so the fusion example and
+//! the refinement experiments have a discoverable signal.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scdb_types::{Record, SourceId, SymbolTable, Value};
+
+use crate::{SyntheticRecord, SyntheticSource};
+
+/// Configuration for the IoT/social corpus.
+#[derive(Debug, Clone)]
+pub struct IotConfig {
+    /// Number of products.
+    pub n_products: usize,
+    /// Days of history.
+    pub days: usize,
+    /// Strength of the popularity→sales correlation in `[0, 1]`.
+    pub correlation: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IotConfig {
+    fn default() -> Self {
+        IotConfig {
+            n_products: 20,
+            days: 30,
+            correlation: 0.8,
+            seed: 7,
+        }
+    }
+}
+
+/// Truth key for a product.
+pub fn product_key(i: usize) -> String {
+    format!("product:{i}")
+}
+
+/// Generate the three correlated sources: sales (structured), social
+/// mentions (text-bearing), and device telemetry (numeric stream).
+#[allow(clippy::needless_range_loop)] // p/d index the popularity matrix
+pub fn generate(config: &IotConfig, symbols: &mut SymbolTable) -> Vec<SyntheticSource> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let product = symbols.intern("product");
+    let day_sym = symbols.intern("day");
+    let units = symbols.intern("units_sold");
+    let mentions_sym = symbols.intern("mentions");
+    let device = symbols.intern("device_id");
+    let reading = symbols.intern("reading");
+
+    // Per-product latent popularity per day.
+    let popularity: Vec<Vec<f64>> = (0..config.n_products)
+        .map(|_| {
+            let base: f64 = rng.gen_range(1.0..10.0);
+            (0..config.days)
+                .map(|_| base * rng.gen_range(0.5..1.5))
+                .collect()
+        })
+        .collect();
+
+    let mut sales_records = Vec::new();
+    let mut social_records = Vec::new();
+    let mut sensor_records = Vec::new();
+    for p in 0..config.n_products {
+        let name = format!("Product {p:02}");
+        for d in 0..config.days {
+            let pop = popularity[p][d];
+            let noise: f64 = rng.gen_range(0.0..10.0);
+            let c = config.correlation.clamp(0.0, 1.0);
+            let sold = (c * pop * 10.0 + (1.0 - c) * noise * 10.0).round();
+            sales_records.push(SyntheticRecord {
+                record: Record::from_pairs([
+                    (product, Value::str(&name)),
+                    (day_sym, Value::Int(d as i64)),
+                    (units, Value::Float(sold)),
+                ]),
+                truth: Some(product_key(p)),
+                text: None,
+            });
+            let m = (pop * 3.0).round() as i64;
+            social_records.push(SyntheticRecord {
+                record: Record::from_pairs([
+                    (product, Value::str(name.to_lowercase())),
+                    (day_sym, Value::Int(d as i64)),
+                    (mentions_sym, Value::Int(m)),
+                ]),
+                truth: Some(product_key(p)),
+                text: Some(format!("day {d}: {m} posts mention {name} trending")),
+            });
+        }
+        // One telemetry stream per product's flagship device.
+        for d in 0..config.days {
+            sensor_records.push(SyntheticRecord {
+                record: Record::from_pairs([
+                    (device, Value::str(format!("dev-{p:02}"))),
+                    (day_sym, Value::Int(d as i64)),
+                    (reading, Value::Float(popularity[p][d] * 2.0)),
+                ]),
+                truth: Some(product_key(p)),
+                text: None,
+            });
+        }
+    }
+
+    vec![
+        SyntheticSource {
+            id: SourceId(0),
+            name: "retail_sales".into(),
+            records: sales_records,
+        },
+        SyntheticSource {
+            id: SourceId(1),
+            name: "social_mentions".into(),
+            records: social_records,
+        },
+        SyntheticSource {
+            id: SourceId(2),
+            name: "device_telemetry".into(),
+            records: sensor_records,
+        },
+    ]
+}
+
+/// Pearson correlation between two equal-length series (test/report
+/// helper).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let (a, b) = (&a[..n], &b[..n]);
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_sources_generated() {
+        let mut syms = SymbolTable::new();
+        let cfg = IotConfig::default();
+        let sources = generate(&cfg, &mut syms);
+        assert_eq!(sources.len(), 3);
+        assert_eq!(sources[0].len(), cfg.n_products * cfg.days);
+        assert_eq!(sources[1].len(), cfg.n_products * cfg.days);
+        assert_eq!(sources[2].len(), cfg.n_products * cfg.days);
+    }
+
+    #[test]
+    fn planted_correlation_visible() {
+        let mut syms = SymbolTable::new();
+        let cfg = IotConfig {
+            correlation: 0.95,
+            ..Default::default()
+        };
+        let sources = generate(&cfg, &mut syms);
+        let units = syms.get("units_sold").unwrap();
+        let mentions = syms.get("mentions").unwrap();
+        // Product 0's series across the two sources.
+        let sales: Vec<f64> = sources[0]
+            .records
+            .iter()
+            .filter(|r| r.truth.as_deref() == Some("product:0"))
+            .filter_map(|r| r.record.get(units).and_then(|v| v.as_float()))
+            .collect();
+        let social: Vec<f64> = sources[1]
+            .records
+            .iter()
+            .filter(|r| r.truth.as_deref() == Some("product:0"))
+            .filter_map(|r| r.record.get(mentions).and_then(|v| v.as_float()))
+            .collect();
+        let rho = pearson(&sales, &social);
+        assert!(rho > 0.6, "correlation should survive rounding: {rho}");
+    }
+
+    #[test]
+    fn weak_correlation_when_disabled() {
+        let mut syms = SymbolTable::new();
+        let cfg = IotConfig {
+            correlation: 0.0,
+            days: 30,
+            ..Default::default()
+        };
+        let sources = generate(&cfg, &mut syms);
+        let units = syms.get("units_sold").unwrap();
+        let mentions = syms.get("mentions").unwrap();
+        let sales: Vec<f64> = sources[0]
+            .records
+            .iter()
+            .filter(|r| r.truth.as_deref() == Some("product:1"))
+            .filter_map(|r| r.record.get(units).and_then(|v| v.as_float()))
+            .collect();
+        let social: Vec<f64> = sources[1]
+            .records
+            .iter()
+            .filter(|r| r.truth.as_deref() == Some("product:1"))
+            .filter_map(|r| r.record.get(mentions).and_then(|v| v.as_float()))
+            .collect();
+        let rho = pearson(&sales, &social).abs();
+        assert!(rho < 0.6, "no planted correlation: {rho}");
+    }
+
+    #[test]
+    fn pearson_basics() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &up) - 1.0).abs() < 1e-9);
+        assert!((pearson(&a, &down) + 1.0).abs() < 1e-9);
+        assert_eq!(pearson(&a, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Deterministic synthetic data for the `scdb` experiments.
+//!
+//! The paper's running examples use DrugBank, the Comparative
+//! Toxicogenomics Database (CTD), Uniprot, and multi-country clinical
+//! trial data — none of which ship with entity-resolution ground truth,
+//! and the clinical data is hypothetical in the paper itself. Per the
+//! substitution policy in DESIGN.md, this crate generates:
+//!
+//! * [`life_science`] — the **exact Figure 2 corpus** (every entity, edge,
+//!   and taxonomy level shown in the figure) plus a parameterized scaled
+//!   variant with controlled duplicate rates and labelled ground truth;
+//! * [`clinical`] — the **§4.2 Warfarin setting**: three demographically
+//!   biased trial sources centered at 5.1 / 3.4 / 6.1 mg;
+//! * [`iot`] — sensor and social-mention feeds ("sales patterns correlate
+//!   with the popularity of the product in social media", §1);
+//! * [`corrupt`] — seeded name corruption (typos, qualifiers, reordering)
+//!   so entity resolution has realistic variation to defeat;
+//! * [`workload`] — co-access and traversal workload generators for the
+//!   OS.1/OS.2 locality experiments.
+//!
+//! Everything takes an explicit seed; two runs with the same seed produce
+//! byte-identical data.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clinical;
+pub mod corrupt;
+pub mod iot;
+pub mod life_science;
+pub mod workload;
+
+use scdb_types::{Record, SourceId};
+
+/// A generated record with optional ground-truth entity key and optional
+/// unstructured text payload.
+#[derive(Debug, Clone)]
+pub struct SyntheticRecord {
+    /// The structured record.
+    pub record: Record,
+    /// Canonical entity key this record denotes (ER ground truth), when
+    /// the record denotes a single entity.
+    pub truth: Option<String>,
+    /// Unstructured text attached to the record, if any.
+    pub text: Option<String>,
+}
+
+/// A generated source: a named, schema-bearing stream of records.
+#[derive(Debug, Clone)]
+pub struct SyntheticSource {
+    /// Source id.
+    pub id: SourceId,
+    /// Human-readable source name.
+    pub name: String,
+    /// The records in arrival order.
+    pub records: Vec<SyntheticRecord>,
+}
+
+impl SyntheticSource {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the source is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}

@@ -1,0 +1,408 @@
+//! The Figure 2 life-science corpus: exact and scaled.
+//!
+//! [`figure2_sources`] reproduces every row shown in the figure —
+//! DrugBank's drug table, CTD's gene-interaction and gene-disease tables,
+//! Uniprot's gene-function table — using each source's own attribute
+//! vocabulary (`Drug Name` vs `Gene` vs …), and [`figure2_ontology`]
+//! reproduces the chemical/disease taxonomies and the semantic axioms the
+//! paper's §3.3 walkthrough relies on (`Drug ⊑ ∃has_target.Gene`,
+//! `Neoplasms ⊑ Disease`, …).
+//!
+//! [`scaled`] grows the same shape to arbitrary size with labelled ground
+//! truth for the FS.1 experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scdb_semantic::Ontology;
+use scdb_types::{Record, SourceId, SymbolTable, Value};
+
+use crate::corrupt::{corrupt_name, CorruptionConfig};
+use crate::{SyntheticRecord, SyntheticSource};
+
+/// Truth key for a drug.
+pub fn drug_key(name: &str) -> String {
+    format!("drug:{}", name.to_lowercase())
+}
+
+/// Truth key for a gene.
+pub fn gene_key(name: &str) -> String {
+    format!("gene:{}", name.to_lowercase())
+}
+
+/// Truth key for a disease/condition.
+pub fn disease_key(name: &str) -> String {
+    format!("disease:{}", name.to_lowercase())
+}
+
+/// The exact sources of Figure 2.
+///
+/// * `src0` — DrugBank: `Drug Name / Drug Targets (Genes) / Symptomatic
+///   Treatment` with the four drug rows of the figure;
+/// * `src1` — CTD: `Gene / Interaction Gene` (PTGS2 ↔ TP53) and
+///   `Gene / Disease` (TP53 → Osteosarcoma);
+/// * `src2` — Uniprot: `Gene / Function` (TP53 tumor suppressor, DHFR
+///   limits cell growth).
+pub fn figure2_sources(symbols: &mut SymbolTable) -> Vec<SyntheticSource> {
+    let drug_name = symbols.intern("Drug Name");
+    let drug_targets = symbols.intern("Drug Targets (Genes)");
+    let treatment = symbols.intern("Symptomatic Treatment");
+    let gene = symbols.intern("Gene");
+    let interacts = symbols.intern("Interaction Gene");
+    let disease = symbols.intern("Disease");
+    let function = symbols.intern("Function");
+
+    let drugbank_rows = [
+        ("Ibuprofen", "PTGS2", "Rheumatoid Arthritis"),
+        ("Acetaminophen", "PTGS2", "Relief Fever"),
+        ("Methotrexate", "DHFR", "Antineoplastic Anti-metabolite"),
+        ("Warfarin", "TP53", "Embolism (Blood Clot)"),
+    ];
+    let drugbank = SyntheticSource {
+        id: SourceId(0),
+        name: "DrugBank: Bioinformatics & Cheminformatics Resource".into(),
+        records: drugbank_rows
+            .iter()
+            .map(|(d, g, t)| SyntheticRecord {
+                record: Record::from_pairs([
+                    (drug_name, Value::str(*d)),
+                    (drug_targets, Value::str(*g)),
+                    (treatment, Value::str(*t)),
+                ]),
+                truth: Some(drug_key(d)),
+                text: Some(format!("{d} targets {g} and is used for {t}")),
+            })
+            .collect(),
+    };
+
+    let ctd = SyntheticSource {
+        id: SourceId(1),
+        name: "CTD: Comparative Toxicogenomics Database".into(),
+        records: vec![
+            SyntheticRecord {
+                record: Record::from_pairs([
+                    (gene, Value::str("PTGS2")),
+                    (interacts, Value::str("TP53")),
+                ]),
+                truth: Some(gene_key("PTGS2")),
+                text: None,
+            },
+            SyntheticRecord {
+                record: Record::from_pairs([
+                    (gene, Value::str("TP53")),
+                    (disease, Value::str("Osteosarcoma")),
+                ]),
+                truth: Some(gene_key("TP53")),
+                text: None,
+            },
+        ],
+    };
+
+    let uniprot = SyntheticSource {
+        id: SourceId(2),
+        name: "Uniprot: Universal Protein Resource".into(),
+        records: vec![
+            SyntheticRecord {
+                record: Record::from_pairs([
+                    (gene, Value::str("TP53")),
+                    (function, Value::str("Tumor Suppressor")),
+                ]),
+                truth: Some(gene_key("TP53")),
+                text: Some("TP53 is a tumor suppressor gene".into()),
+            },
+            SyntheticRecord {
+                record: Record::from_pairs([
+                    (gene, Value::str("DHFR")),
+                    (function, Value::str("Limits Cell Growth")),
+                ]),
+                truth: Some(gene_key("DHFR")),
+                text: Some("DHFR limits cell growth".into()),
+            },
+        ],
+    };
+
+    vec![drugbank, ctd, uniprot]
+}
+
+/// The Figure 2 ontology: chemical and disease taxonomies plus the §3.3
+/// axioms.
+pub fn figure2_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    // Chemical taxonomy (left side of the figure).
+    o.subclass("Carboxylic Acids", "Chemical");
+    o.subclass("Heterocyclic", "Chemical");
+    o.subclass("Phenylpropionates", "Carboxylic Acids");
+    o.subclass("Aminopterin", "Heterocyclic");
+    o.subclass("Ibuprofen", "Phenylpropionates");
+    o.subclass("Methotrexate", "Aminopterin");
+    // Disease taxonomy (right side).
+    o.subclass("Immune System", "Disease");
+    o.subclass("Neoplasms", "Disease");
+    o.subclass("Joint Diseases", "Disease");
+    o.subclass("Autoimmune", "Immune System");
+    o.subclass("Arthritis", "Autoimmune");
+    o.subclass("Arthritis", "Joint Diseases");
+    o.subclass("Rheumatoid Arthritis", "Arthritis");
+    o.subclass("Sarcoma", "Neoplasms");
+    o.subclass("Osteosarcoma", "Sarcoma");
+    // Drug axioms (§3.3): every drug has some gene target; approved drugs
+    // are drugs.
+    o.subclass("ApprovedDrug", "Drug");
+    o.subclass_exists("Drug", "has_target", "Gene");
+    // Domain/range for the figure's roles.
+    let has_target = o.role("has_target");
+    let treats = o.role("treats");
+    let interacts = o.role("interacts_with");
+    let drug = o.concept("Drug");
+    let gene = o.concept("Gene");
+    let disease = o.concept("Disease");
+    o.add_axiom(scdb_semantic::Axiom::Domain(has_target, drug));
+    o.add_axiom(scdb_semantic::Axiom::Range(has_target, gene));
+    o.add_axiom(scdb_semantic::Axiom::Range(treats, disease));
+    o.add_axiom(scdb_semantic::Axiom::Domain(interacts, gene));
+    o.add_axiom(scdb_semantic::Axiom::Range(interacts, gene));
+    o
+}
+
+/// Configuration for the scaled corpus.
+#[derive(Debug, Clone)]
+pub struct ScaledConfig {
+    /// Distinct drugs.
+    pub n_drugs: usize,
+    /// Distinct genes.
+    pub n_genes: usize,
+    /// Distinct diseases.
+    pub n_diseases: usize,
+    /// Number of sources; each drug appears in a random subset.
+    pub n_sources: usize,
+    /// Probability a drug appears in each source beyond its home source.
+    pub duplicate_rate: f64,
+    /// Name corruption intensity.
+    pub corruption: CorruptionConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScaledConfig {
+    fn default() -> Self {
+        ScaledConfig {
+            n_drugs: 200,
+            n_genes: 60,
+            n_diseases: 40,
+            n_sources: 3,
+            duplicate_rate: 0.5,
+            corruption: CorruptionConfig::moderate(),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Per-source attribute vocabularies — deliberately different so the
+/// aligner has work to do.
+const DRUG_ATTRS: &[(&str, &str, &str)] = &[
+    ("Drug Name", "Drug Targets (Genes)", "Symptomatic Treatment"),
+    ("drug", "gene", "indication"),
+    ("compound", "target", "treats"),
+    ("medication_name", "protein_target", "condition"),
+    ("agent", "gene_symbol", "therapeutic_use"),
+];
+
+/// Pronounceable synthetic names: deterministic syllable composition with
+/// strong index mixing, so distinct entities get names that do not share
+/// long prefixes (real drug names are far apart in edit space; weakly
+/// mixed names would make every pair look like a near-duplicate to
+/// Jaro–Winkler).
+fn synth_name(kind: &str, i: usize) -> String {
+    const SYLLABLES: &[&str] = &[
+        "ba", "cor", "dex", "fen", "gli", "hex", "ib", "jat", "kel", "lor", "met", "nor", "os",
+        "pra", "qui", "rov", "sta", "tri", "ux", "vel", "war", "xan", "yel", "zol",
+    ];
+    // splitmix64-style scramble of the index.
+    let mut x = (i as u64).wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = || {
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D049BB133111EB);
+        x ^= x >> 31;
+        x
+    };
+    let mut name = String::new();
+    for _ in 0..4 {
+        name.push_str(SYLLABLES[(next() % SYLLABLES.len() as u64) as usize]);
+    }
+    // Disambiguating suffix guarantees global uniqueness.
+    let suffix = i % 100;
+    let mut c = name.chars();
+    let first = c.next().unwrap_or('x').to_uppercase().to_string();
+    format!("{kind}{first}{}{suffix:02}", c.as_str())
+}
+
+/// Generate the scaled corpus. Each source carries drug records in its own
+/// vocabulary; a drug's name is corrupted independently per source. Ground
+/// truth keys are attached to every record.
+pub fn scaled(config: &ScaledConfig, symbols: &mut SymbolTable) -> Vec<SyntheticSource> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let drugs: Vec<String> = (0..config.n_drugs).map(|i| synth_name("", i)).collect();
+    let genes: Vec<String> = (0..config.n_genes).map(|i| format!("GEN{i:03}")).collect();
+    let diseases: Vec<String> = (0..config.n_diseases)
+        .map(|i| synth_name("Mal ", i))
+        .collect();
+
+    // Fixed drug → (gene, disease) assignment shared by all sources, so
+    // cross-source records truly co-refer.
+    let assignment: Vec<(usize, usize)> = (0..config.n_drugs)
+        .map(|_| {
+            (
+                rng.gen_range(0..config.n_genes.max(1)),
+                rng.gen_range(0..config.n_diseases.max(1)),
+            )
+        })
+        .collect();
+
+    let mut sources = Vec::with_capacity(config.n_sources);
+    for s in 0..config.n_sources {
+        let (a_name, a_gene, a_disease) = DRUG_ATTRS[s % DRUG_ATTRS.len()];
+        let name_sym = symbols.intern(a_name);
+        let gene_sym = symbols.intern(a_gene);
+        let disease_sym = symbols.intern(a_disease);
+        let mut records = Vec::new();
+        for (i, drug) in drugs.iter().enumerate() {
+            let home = i % config.n_sources;
+            let included = home == s || rng.gen_bool(config.duplicate_rate.clamp(0.0, 1.0));
+            if !included {
+                continue;
+            }
+            let surface = corrupt_name(drug, &config.corruption, &mut rng);
+            let (g, d) = assignment[i];
+            records.push(SyntheticRecord {
+                record: Record::from_pairs([
+                    (name_sym, Value::str(&surface)),
+                    (gene_sym, Value::str(&genes[g])),
+                    (disease_sym, Value::str(&diseases[d])),
+                ]),
+                truth: Some(drug_key(drug)),
+                text: Some(format!(
+                    "{surface} targets {} treating {}",
+                    genes[g], diseases[d]
+                )),
+            });
+        }
+        sources.push(SyntheticSource {
+            id: SourceId(s as u32),
+            name: format!("synthetic-drug-source-{s}"),
+            records,
+        });
+    }
+    sources
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_has_all_rows() {
+        let mut syms = SymbolTable::new();
+        let sources = figure2_sources(&mut syms);
+        assert_eq!(sources.len(), 3);
+        assert_eq!(sources[0].len(), 4, "DrugBank rows");
+        assert_eq!(sources[1].len(), 2, "CTD rows");
+        assert_eq!(sources[2].len(), 2, "Uniprot rows");
+        // Warfarin row carries its figure content.
+        let dn = syms.get("Drug Name").unwrap();
+        let warfarin = sources[0]
+            .records
+            .iter()
+            .find(|r| r.record.get(dn) == Some(&Value::str("Warfarin")))
+            .expect("warfarin row");
+        assert_eq!(warfarin.truth.as_deref(), Some("drug:warfarin"));
+    }
+
+    #[test]
+    fn figure2_ontology_taxonomy_shape() {
+        let o = figure2_ontology();
+        // Spot checks of the figure's taxonomy.
+        for (sub, sup) in [
+            ("Osteosarcoma", "Sarcoma"),
+            ("Sarcoma", "Neoplasms"),
+            ("Neoplasms", "Disease"),
+            ("Rheumatoid Arthritis", "Arthritis"),
+            ("Ibuprofen", "Phenylpropionates"),
+            ("Methotrexate", "Aminopterin"),
+        ] {
+            let s = o.find_concept(sub).unwrap();
+            let p = o.find_concept(sup).unwrap();
+            let t = scdb_semantic::Taxonomy::build(&o);
+            assert!(t.subsumes(p, s), "{sub} ⊑ {sup}");
+        }
+        assert!(o.find_role("has_target").is_ok());
+    }
+
+    #[test]
+    fn scaled_is_deterministic() {
+        let cfg = ScaledConfig {
+            n_drugs: 30,
+            ..Default::default()
+        };
+        let mut s1 = SymbolTable::new();
+        let mut s2 = SymbolTable::new();
+        let a = scaled(&cfg, &mut s1);
+        let b = scaled(&cfg, &mut s2);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.len(), y.len());
+            for (rx, ry) in x.records.iter().zip(y.records.iter()) {
+                assert_eq!(rx.truth, ry.truth);
+                assert_eq!(rx.record, ry.record);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_produces_cross_source_duplicates() {
+        let cfg = ScaledConfig {
+            n_drugs: 50,
+            duplicate_rate: 0.8,
+            corruption: CorruptionConfig::CLEAN,
+            ..Default::default()
+        };
+        let mut syms = SymbolTable::new();
+        let sources = scaled(&cfg, &mut syms);
+        // Count truth keys appearing in >1 source.
+        let mut seen: std::collections::HashMap<&str, std::collections::HashSet<u32>> =
+            std::collections::HashMap::new();
+        for s in &sources {
+            for r in &s.records {
+                if let Some(t) = &r.truth {
+                    seen.entry(t).or_default().insert(s.id.0);
+                }
+            }
+        }
+        let dups = seen.values().filter(|v| v.len() > 1).count();
+        assert!(
+            dups > 20,
+            "expected many cross-source duplicates, got {dups}"
+        );
+    }
+
+    #[test]
+    fn scaled_every_drug_appears_somewhere() {
+        let cfg = ScaledConfig {
+            n_drugs: 40,
+            duplicate_rate: 0.0,
+            ..Default::default()
+        };
+        let mut syms = SymbolTable::new();
+        let sources = scaled(&cfg, &mut syms);
+        let total: usize = sources.iter().map(SyntheticSource::len).sum();
+        assert_eq!(total, 40, "each drug exactly once at duplicate_rate 0");
+    }
+
+    #[test]
+    fn synth_names_distinct_and_stable() {
+        let names: std::collections::HashSet<String> =
+            (0..100).map(|i| synth_name("", i)).collect();
+        assert!(names.len() >= 95, "names mostly distinct: {}", names.len());
+        assert_eq!(synth_name("", 5), synth_name("", 5));
+    }
+}

@@ -1,0 +1,205 @@
+//! Workload generators for the locality experiments (OS.1 / OS.2).
+//!
+//! OS.1 needs a stream of *co-access groups* with exploitable structure:
+//! queries repeatedly touch the same small sets of records (an entity and
+//! its relational neighborhood) with Zipf-like popularity. OS.2 needs
+//! traversal seeds. Both generators are seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the co-access workload.
+#[derive(Debug, Clone)]
+pub struct CoAccessConfig {
+    /// Universe of record offsets `0..n_records`.
+    pub n_records: u64,
+    /// Number of latent affinity groups.
+    pub n_groups: usize,
+    /// Records per group.
+    pub group_size: usize,
+    /// Number of accesses (queries) to emit.
+    pub n_accesses: usize,
+    /// Zipf skew across groups (0 = uniform, 1 ≈ classic Zipf).
+    pub skew: f64,
+    /// Probability an access ignores groups and picks random records
+    /// (noise).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CoAccessConfig {
+    fn default() -> Self {
+        CoAccessConfig {
+            n_records: 10_000,
+            n_groups: 200,
+            group_size: 8,
+            n_accesses: 5_000,
+            skew: 0.8,
+            noise: 0.1,
+            seed: 13,
+        }
+    }
+}
+
+/// The generated workload plus the planted groups (for diagnostics).
+#[derive(Debug)]
+pub struct CoAccessWorkload {
+    /// Each access: the set of record offsets touched together.
+    pub accesses: Vec<Vec<u64>>,
+    /// The latent groups.
+    pub groups: Vec<Vec<u64>>,
+}
+
+/// Sample a group index with Zipf-like skew.
+fn zipf_index(rng: &mut StdRng, n: usize, skew: f64) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    if skew <= 0.0 {
+        return rng.gen_range(0..n);
+    }
+    // Inverse-CDF over 1/(i+1)^skew weights, computed incrementally.
+    let norm: f64 = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(skew)).sum();
+    let mut u = rng.gen_range(0.0..norm);
+    for i in 0..n {
+        let w = 1.0 / ((i + 1) as f64).powf(skew);
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    n - 1
+}
+
+/// Generate the co-access workload. Groups are disjoint slices of the
+/// record universe scattered across it (so arrival order has no locality
+/// to start from — the worst case the clusterer must fix).
+pub fn co_access(config: &CoAccessConfig) -> CoAccessWorkload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Scatter group members: member j of group g is at offset
+    // (g + j * n_groups * 13) % n_records, deduplicated.
+    let mut groups: Vec<Vec<u64>> = Vec::with_capacity(config.n_groups);
+    for g in 0..config.n_groups {
+        let mut members: Vec<u64> = (0..config.group_size)
+            .map(|j| {
+                ((g as u64) + (j as u64) * (config.n_groups as u64) * 13 + 1)
+                    % config.n_records.max(1)
+            })
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+        groups.push(members);
+    }
+    let accesses = (0..config.n_accesses)
+        .map(|_| {
+            if rng.gen_bool(config.noise.clamp(0.0, 1.0)) {
+                // Noise: random records.
+                (0..config.group_size)
+                    .map(|_| rng.gen_range(0..config.n_records.max(1)))
+                    .collect()
+            } else {
+                let g = zipf_index(&mut rng, config.n_groups, config.skew);
+                groups[g].clone()
+            }
+        })
+        .collect();
+    CoAccessWorkload { accesses, groups }
+}
+
+/// Scale-free-ish graph edges for traversal benchmarks: preferential
+/// attachment with `m` edges per new vertex. Returns `(from, to)` pairs
+/// over vertices `0..n`.
+pub fn preferential_attachment(n: u64, m: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    let mut targets: Vec<u64> = vec![0];
+    for v in 1..n {
+        for _ in 0..m.max(1) {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != v {
+                edges.push((v, t));
+                targets.push(t);
+            }
+            targets.push(v);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_deterministic() {
+        let cfg = CoAccessConfig::default();
+        let a = co_access(&cfg);
+        let b = co_access(&cfg);
+        assert_eq!(a.accesses, b.accesses);
+    }
+
+    #[test]
+    fn accesses_use_planted_groups() {
+        let cfg = CoAccessConfig {
+            noise: 0.0,
+            ..Default::default()
+        };
+        let w = co_access(&cfg);
+        assert_eq!(w.accesses.len(), cfg.n_accesses);
+        // Every access equals some group.
+        for acc in w.accesses.iter().take(100) {
+            assert!(w.groups.contains(acc));
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_accesses() {
+        let skewed = co_access(&CoAccessConfig {
+            skew: 1.2,
+            noise: 0.0,
+            ..Default::default()
+        });
+        // Count how often the most popular group appears.
+        let mut counts: std::collections::HashMap<&[u64], usize> = std::collections::HashMap::new();
+        for acc in &skewed.accesses {
+            *counts.entry(acc.as_slice()).or_insert(0) += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        assert!(
+            max as f64 > skewed.accesses.len() as f64 / 50.0,
+            "head group should be hot: {max}"
+        );
+    }
+
+    #[test]
+    fn offsets_in_range() {
+        let cfg = CoAccessConfig {
+            n_records: 100,
+            noise: 0.5,
+            ..Default::default()
+        };
+        let w = co_access(&cfg);
+        for acc in &w.accesses {
+            for &o in acc {
+                assert!(o < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let edges = preferential_attachment(500, 2, 3);
+        assert!(edges.len() >= 900, "roughly 2 edges per vertex");
+        // Degree distribution should be skewed: some vertex well above m.
+        let mut deg = std::collections::HashMap::new();
+        for (a, b) in &edges {
+            *deg.entry(*a).or_insert(0) += 1;
+            *deg.entry(*b).or_insert(0) += 1;
+        }
+        let max = deg.values().copied().max().unwrap();
+        assert!(max > 20, "hub expected, max degree {max}");
+        // Deterministic.
+        assert_eq!(edges, preferential_attachment(500, 2, 3));
+    }
+}

@@ -1,0 +1,294 @@
+//! Cross-schema attribute alignment without prior knowledge (FS.1).
+//!
+//! Figure 2's sources disagree on vocabulary: DrugBank has `Drug Name` /
+//! `Drug Targets (Genes)`, CTD has `Gene` / `Disease`. The aligner scores
+//! every attribute pair between two sources from three signals computed
+//! *from the data alone* — value-set overlap, value-kind compatibility,
+//! and attribute-name similarity — and keeps a greedy one-to-one matching.
+//! No manual ETL, no declared mappings; exactly the "incremental schema
+//! evolution" FS.1 asks for.
+
+use std::collections::{HashMap, HashSet};
+
+use scdb_types::{Record, Symbol, SymbolTable};
+
+use crate::similarity::string_similarity;
+
+/// A one-to-one attribute alignment between two sources with per-pair
+/// confidence weights.
+#[derive(Debug, Clone, Default)]
+pub struct AlignmentMap {
+    pairs: Vec<(Symbol, Symbol, f64)>,
+}
+
+impl AlignmentMap {
+    /// Empty alignment (forces the fallback path in record similarity).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Identity alignment over `attrs` (same-schema comparison).
+    pub fn identity(attrs: impl IntoIterator<Item = Symbol>) -> Self {
+        AlignmentMap {
+            pairs: attrs.into_iter().map(|a| (a, a, 1.0)).collect(),
+        }
+    }
+
+    /// Build from explicit pairs.
+    pub fn from_pairs(pairs: Vec<(Symbol, Symbol, f64)>) -> Self {
+        AlignmentMap { pairs }
+    }
+
+    /// Aligned `(left attr, right attr, weight)` triples.
+    pub fn pairs(&self) -> impl Iterator<Item = (Symbol, Symbol, f64)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Number of aligned pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no attributes aligned.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The right-side attribute aligned with `left`, if any.
+    pub fn right_of(&self, left: Symbol) -> Option<Symbol> {
+        self.pairs
+            .iter()
+            .find(|(l, _, _)| *l == left)
+            .map(|(_, r, _)| *r)
+    }
+}
+
+/// Accumulates per-attribute value samples for one source and produces
+/// alignments against another source's profile.
+#[derive(Debug, Default)]
+pub struct SchemaAligner {
+    /// attribute → sampled distinct rendered values (bounded).
+    samples: HashMap<Symbol, HashSet<String>>,
+    /// attribute → numeric fraction estimate (numeric count, total count).
+    numeric: HashMap<Symbol, (u64, u64)>,
+    /// attribute → non-null observations.
+    observed: HashMap<Symbol, u64>,
+    sample_cap: usize,
+}
+
+impl SchemaAligner {
+    /// New profile keeping at most `sample_cap` distinct values per
+    /// attribute.
+    pub fn new(sample_cap: usize) -> Self {
+        SchemaAligner {
+            sample_cap: sample_cap.max(8),
+            ..Default::default()
+        }
+    }
+
+    /// Observe one record of this source.
+    pub fn observe(&mut self, record: &Record) {
+        for (attr, value) in record.iter() {
+            if value.is_null() {
+                continue;
+            }
+            let (num, tot) = self.numeric.entry(attr).or_insert((0, 0));
+            *tot += 1;
+            if value.as_float().is_some() {
+                *num += 1;
+            }
+            *self.observed.entry(attr).or_insert(0) += 1;
+            let set = self.samples.entry(attr).or_default();
+            if set.len() < self.sample_cap {
+                set.insert(crate::normalize::normalize(&value.render()));
+            }
+        }
+    }
+
+    /// How *identifying* an attribute is: the ratio of distinct sampled
+    /// values to observations, in `(0, 1]`. Near 1 for identity-like
+    /// attributes (names), low for shared context attributes (a gene
+    /// referenced by many drugs). Used to weight record similarity so two
+    /// records do not co-refer merely because they mention the same
+    /// low-cardinality value.
+    pub fn distinctiveness(&self, attr: Symbol) -> f64 {
+        let Some(set) = self.samples.get(&attr) else {
+            return 1.0;
+        };
+        let observed = self
+            .observed
+            .get(&attr)
+            .copied()
+            .unwrap_or(0)
+            .min(self.sample_cap as u64)
+            .max(1);
+        (set.len() as f64 / observed as f64).clamp(0.05, 1.0)
+    }
+
+    /// Attributes profiled so far.
+    pub fn attrs(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.samples.keys().copied()
+    }
+
+    fn numeric_fraction(&self, attr: Symbol) -> f64 {
+        match self.numeric.get(&attr) {
+            Some((n, t)) if *t > 0 => *n as f64 / *t as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Score the pairing of `self.attr_a` with `other.attr_b` in [0, 1].
+    fn pair_score(
+        &self,
+        attr_a: Symbol,
+        other: &SchemaAligner,
+        attr_b: Symbol,
+        symbols: &SymbolTable,
+    ) -> f64 {
+        let (Some(sa), Some(sb)) = (self.samples.get(&attr_a), other.samples.get(&attr_b)) else {
+            return 0.0;
+        };
+        if sa.is_empty() || sb.is_empty() {
+            return 0.0;
+        }
+        // Signal 1: value overlap (containment-style Jaccard: overlap over
+        // the smaller set, since samples are caps of different universes).
+        let inter = sa.intersection(sb).count() as f64;
+        let overlap = inter / sa.len().min(sb.len()) as f64;
+        // Signal 2: kind compatibility (both numeric or both textual).
+        let fa = self.numeric_fraction(attr_a);
+        let fb = other.numeric_fraction(attr_b);
+        let kind = 1.0 - (fa - fb).abs();
+        // Signal 3: name similarity.
+        let name = string_similarity(symbols.resolve(attr_a), symbols.resolve(attr_b));
+        0.6 * overlap + 0.2 * kind + 0.2 * name
+    }
+
+    /// Align this source's attributes against `other`'s: greedy best-first
+    /// one-to-one matching, keeping pairs scoring at least `threshold`.
+    pub fn align(
+        &self,
+        other: &SchemaAligner,
+        symbols: &SymbolTable,
+        threshold: f64,
+    ) -> AlignmentMap {
+        let mut scored: Vec<(f64, Symbol, Symbol)> = Vec::new();
+        for a in self.samples.keys() {
+            for b in other.samples.keys() {
+                let s = self.pair_score(*a, other, *b, symbols);
+                if s >= threshold {
+                    scored.push((s, *a, *b));
+                }
+            }
+        }
+        scored.sort_by(|x, y| {
+            y.0.total_cmp(&x.0)
+                .then_with(|| (x.1, x.2).cmp(&(y.1, y.2)))
+        });
+        let mut used_a = HashSet::new();
+        let mut used_b = HashSet::new();
+        let mut pairs = Vec::new();
+        for (s, a, b) in scored {
+            if used_a.contains(&a) || used_b.contains(&b) {
+                continue;
+            }
+            used_a.insert(a);
+            used_b.insert(b);
+            pairs.push((a, b, s));
+        }
+        AlignmentMap::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdb_types::Value;
+
+    /// Two sources describing drugs with different vocabularies.
+    fn setup() -> (SymbolTable, SchemaAligner, SchemaAligner, Vec<Symbol>) {
+        let mut syms = SymbolTable::new();
+        let a_name = syms.intern("Drug Name");
+        let a_gene = syms.intern("Drug Targets (Genes)");
+        let a_dose = syms.intern("Daily Dose");
+        let b_name = syms.intern("drug");
+        let b_gene = syms.intern("gene");
+        let b_dose = syms.intern("dosage_mg");
+
+        let drugs = ["Warfarin", "Ibuprofen", "Methotrexate", "Acetaminophen"];
+        let genes = ["TP53", "PTGS2", "DHFR"];
+
+        let mut left = SchemaAligner::new(64);
+        let mut right = SchemaAligner::new(64);
+        for (i, d) in drugs.iter().enumerate() {
+            left.observe(&Record::from_pairs([
+                (a_name, Value::str(*d)),
+                (a_gene, Value::str(genes[i % 3])),
+                (a_dose, Value::Float(5.0 + i as f64)),
+            ]));
+            right.observe(&Record::from_pairs([
+                (b_name, Value::str(d.to_lowercase())),
+                (b_gene, Value::str(genes[(i + 1) % 3])),
+                (b_dose, Value::Float(4.0 + i as f64)),
+            ]));
+        }
+        (
+            syms,
+            left,
+            right,
+            vec![a_name, a_gene, a_dose, b_name, b_gene, b_dose],
+        )
+    }
+
+    #[test]
+    fn aligns_by_value_overlap_despite_renames() {
+        let (syms, left, right, ids) = setup();
+        let map = left.align(&right, &syms, 0.3);
+        // Drug Name ↔ drug and Drug Targets ↔ gene must align.
+        assert_eq!(map.right_of(ids[0]), Some(ids[3]), "name alignment");
+        assert_eq!(map.right_of(ids[1]), Some(ids[4]), "gene alignment");
+    }
+
+    #[test]
+    fn numeric_attrs_align_by_kind() {
+        let (syms, left, right, ids) = setup();
+        let map = left.align(&right, &syms, 0.3);
+        assert_eq!(map.right_of(ids[2]), Some(ids[5]), "dose alignment");
+    }
+
+    #[test]
+    fn alignment_is_one_to_one() {
+        let (syms, left, right, _) = setup();
+        let map = left.align(&right, &syms, 0.0);
+        let lefts: HashSet<Symbol> = map.pairs().map(|(l, _, _)| l).collect();
+        let rights: HashSet<Symbol> = map.pairs().map(|(_, r, _)| r).collect();
+        assert_eq!(lefts.len(), map.len());
+        assert_eq!(rights.len(), map.len());
+    }
+
+    #[test]
+    fn high_threshold_prunes_weak_pairs() {
+        let (syms, left, right, _) = setup();
+        let strict = left.align(&right, &syms, 0.99);
+        let loose = left.align(&right, &syms, 0.1);
+        assert!(strict.len() <= loose.len());
+    }
+
+    #[test]
+    fn identity_map() {
+        let mut syms = SymbolTable::new();
+        let a = syms.intern("x");
+        let m = AlignmentMap::identity([a]);
+        assert_eq!(m.right_of(a), Some(a));
+        assert_eq!(m.len(), 1);
+        assert!(AlignmentMap::empty().is_empty());
+    }
+
+    #[test]
+    fn empty_profiles_align_to_nothing() {
+        let syms = SymbolTable::new();
+        let a = SchemaAligner::new(16);
+        let b = SchemaAligner::new(16);
+        assert!(a.align(&b, &syms, 0.0).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Pairwise precision/recall/F1 evaluation against ground truth.
+//!
+//! The datagen crate labels every synthetic record with the true entity it
+//! denotes; this module scores a resolver's clustering the standard way —
+//! over co-reference *pairs* — using the contingency-table identity so the
+//! computation is linear in the number of records rather than quadratic.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Pairwise clustering quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairScore {
+    /// Correctly predicted co-referent pairs.
+    pub true_positives: u64,
+    /// Predicted pairs that are not truly co-referent.
+    pub false_positives: u64,
+    /// True pairs the prediction missed.
+    pub false_negatives: u64,
+}
+
+impl PairScore {
+    /// Precision = TP / (TP + FP); 1.0 when no pairs were predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when no true pairs exist.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 — harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn choose2(n: u64) -> u64 {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Score `predicted` cluster assignments against `truth` labels. Records
+/// present in only one map are ignored.
+pub fn score_pairs<K, P, T>(predicted: &HashMap<K, P>, truth: &HashMap<K, T>) -> PairScore
+where
+    K: Eq + Hash,
+    P: Eq + Hash + Clone,
+    T: Eq + Hash + Clone,
+{
+    // Contingency table: (predicted cluster, true cluster) → size.
+    let mut cell: HashMap<(P, T), u64> = HashMap::new();
+    let mut pred_sizes: HashMap<P, u64> = HashMap::new();
+    let mut true_sizes: HashMap<T, u64> = HashMap::new();
+    for (k, p) in predicted {
+        let Some(t) = truth.get(k) else { continue };
+        *cell.entry((p.clone(), t.clone())).or_insert(0) += 1;
+        *pred_sizes.entry(p.clone()).or_insert(0) += 1;
+        *true_sizes.entry(t.clone()).or_insert(0) += 1;
+    }
+    let tp: u64 = cell.values().map(|&n| choose2(n)).sum();
+    let predicted_pairs: u64 = pred_sizes.values().map(|&n| choose2(n)).sum();
+    let true_pairs: u64 = true_sizes.values().map(|&n| choose2(n)).sum();
+    PairScore {
+        true_positives: tp,
+        false_positives: predicted_pairs - tp,
+        false_negatives: true_pairs - tp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(u32, u32)]) -> HashMap<u32, u32> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_clustering() {
+        let truth = map(&[(0, 0), (1, 0), (2, 1), (3, 1)]);
+        let pred = map(&[(0, 10), (1, 10), (2, 20), (3, 20)]);
+        let s = score_pairs(&pred, &truth);
+        assert_eq!(s.true_positives, 2);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.false_negatives, 0);
+        assert_eq!(s.f1(), 1.0);
+    }
+
+    #[test]
+    fn over_merging_hurts_precision() {
+        let truth = map(&[(0, 0), (1, 0), (2, 1), (3, 1)]);
+        let pred = map(&[(0, 5), (1, 5), (2, 5), (3, 5)]);
+        let s = score_pairs(&pred, &truth);
+        assert_eq!(s.true_positives, 2);
+        assert_eq!(s.false_positives, 4);
+        assert_eq!(s.recall(), 1.0);
+        assert!(s.precision() < 0.5);
+    }
+
+    #[test]
+    fn under_merging_hurts_recall() {
+        let truth = map(&[(0, 0), (1, 0), (2, 0)]);
+        let pred = map(&[(0, 1), (1, 2), (2, 3)]);
+        let s = score_pairs(&pred, &truth);
+        assert_eq!(s.true_positives, 0);
+        assert_eq!(s.false_negatives, 3);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.precision(), 1.0); // nothing predicted
+        assert_eq!(s.f1(), 0.0);
+    }
+
+    #[test]
+    fn records_missing_from_truth_ignored() {
+        let truth = map(&[(0, 0), (1, 0)]);
+        let pred = map(&[(0, 9), (1, 9), (99, 9)]);
+        let s = score_pairs(&pred, &truth);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = score_pairs::<u32, u32, u32>(&HashMap::new(), &HashMap::new());
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+    }
+}

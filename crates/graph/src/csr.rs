@@ -1,0 +1,206 @@
+//! Immutable CSR snapshots — the traversal-optimized half of OS.2.
+//!
+//! A [`CsrSnapshot`] compiles the mutable [`PropertyGraph`] into compressed
+//! sparse row form under a chosen [`VertexOrdering`]. Neighbor lists are
+//! contiguous slices; a page model identical to the storage layer's counts
+//! the pages a traversal touches, so the OS.2 experiment can compare
+//! orderings by a deterministic locality metric as well as wall-time.
+
+use std::collections::HashMap;
+
+use scdb_types::{EntityId, Symbol};
+
+use crate::error::GraphError;
+use crate::graph::PropertyGraph;
+use crate::order::{compute_order, VertexOrdering};
+
+/// Number of `(neighbor, role)` entries per simulated page of the CSR
+/// adjacency array.
+pub const ADJ_ENTRIES_PER_PAGE: usize = 256;
+
+/// An immutable CSR view of the graph.
+#[derive(Debug)]
+pub struct CsrSnapshot {
+    /// Physical position → entity id.
+    verts: Vec<EntityId>,
+    /// Entity id → physical position.
+    pos: HashMap<EntityId, u32>,
+    /// CSR row offsets (len = verts.len() + 1).
+    offsets: Vec<u32>,
+    /// Flattened neighbor array: (neighbor position, role).
+    adjacency: Vec<(u32, Symbol)>,
+    ordering: VertexOrdering,
+}
+
+impl CsrSnapshot {
+    /// Compile `graph` under `ordering`.
+    pub fn compile(graph: &PropertyGraph, ordering: VertexOrdering) -> Self {
+        let verts = compute_order(graph, ordering);
+        let pos: HashMap<EntityId, u32> = verts
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, i as u32))
+            .collect();
+        let mut offsets = Vec::with_capacity(verts.len() + 1);
+        let mut adjacency = Vec::with_capacity(graph.edge_count());
+        offsets.push(0u32);
+        for id in &verts {
+            let mut nbrs: Vec<(u32, Symbol)> = graph
+                .edges(*id)
+                .iter()
+                .filter_map(|e| pos.get(&e.to).map(|p| (*p, e.role)))
+                .collect();
+            // Sort neighbors by physical position: sequential pages during
+            // expansion.
+            nbrs.sort();
+            adjacency.extend(nbrs);
+            offsets.push(adjacency.len() as u32);
+        }
+        CsrSnapshot {
+            verts,
+            pos,
+            offsets,
+            adjacency,
+            ordering,
+        }
+    }
+
+    /// The ordering this snapshot was compiled with.
+    pub fn ordering(&self) -> VertexOrdering {
+        self.ordering
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Physical position of an entity.
+    pub fn position(&self, id: EntityId) -> Result<u32, GraphError> {
+        self.pos
+            .get(&id)
+            .copied()
+            .ok_or(GraphError::NotInSnapshot(id))
+    }
+
+    /// Entity at a physical position.
+    pub fn entity_at(&self, pos: u32) -> Option<EntityId> {
+        self.verts.get(pos as usize).copied()
+    }
+
+    /// Neighbor slice (by physical position) of the vertex at `pos`.
+    pub fn neighbors(&self, pos: u32) -> &[(u32, Symbol)] {
+        let lo = self.offsets[pos as usize] as usize;
+        let hi = self.offsets[pos as usize + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// The simulated page each adjacency index lives on.
+    pub fn adjacency_page(&self, adj_index: usize) -> u64 {
+        (adj_index / ADJ_ENTRIES_PER_PAGE) as u64
+    }
+
+    /// Pages touched reading the neighbor list of `pos` (at least one page
+    /// per non-empty list; the vertex array itself is considered resident).
+    pub fn pages_for_neighbors(&self, pos: u32) -> impl Iterator<Item = u64> + '_ {
+        let lo = self.offsets[pos as usize] as usize;
+        let hi = self.offsets[pos as usize + 1] as usize;
+        let first = lo / ADJ_ENTRIES_PER_PAGE;
+        let last = if hi > lo {
+            (hi - 1) / ADJ_ENTRIES_PER_PAGE
+        } else {
+            first
+        };
+        let empty = hi == lo;
+        (first..=last).map(|p| p as u64).filter(move |_| !empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::test_provenance;
+    use scdb_types::SymbolTable;
+
+    fn star(n: u64) -> (PropertyGraph, Symbol) {
+        let mut syms = SymbolTable::new();
+        let role = syms.intern("r");
+        let mut g = PropertyGraph::new();
+        for i in 0..n {
+            g.ensure_node(EntityId(i));
+        }
+        for i in 1..n {
+            g.add_edge(EntityId(0), EntityId(i), role, test_provenance(0, 0))
+                .unwrap();
+        }
+        (g, role)
+    }
+
+    #[test]
+    fn compile_preserves_structure() {
+        let (g, role) = star(10);
+        let csr = CsrSnapshot::compile(&g, VertexOrdering::Original);
+        assert_eq!(csr.vertex_count(), 10);
+        assert_eq!(csr.edge_count(), 9);
+        let hub = csr.position(EntityId(0)).unwrap();
+        let nbrs = csr.neighbors(hub);
+        assert_eq!(nbrs.len(), 9);
+        assert!(nbrs.iter().all(|(_, r)| *r == role));
+        // Leaves have no out-neighbors.
+        let leaf = csr.position(EntityId(5)).unwrap();
+        assert!(csr.neighbors(leaf).is_empty());
+    }
+
+    #[test]
+    fn position_entity_roundtrip() {
+        let (g, _) = star(6);
+        let csr = CsrSnapshot::compile(&g, VertexOrdering::Bfs);
+        for i in 0..6 {
+            let p = csr.position(EntityId(i)).unwrap();
+            assert_eq!(csr.entity_at(p), Some(EntityId(i)));
+        }
+        assert!(csr.position(EntityId(100)).is_err());
+        assert!(csr.entity_at(100).is_none());
+    }
+
+    #[test]
+    fn neighbors_sorted_by_position() {
+        let (g, _) = star(20);
+        let csr = CsrSnapshot::compile(&g, VertexOrdering::ReverseCuthillMcKee);
+        let hub = csr.position(EntityId(0)).unwrap();
+        let nbrs = csr.neighbors(hub);
+        let positions: Vec<u32> = nbrs.iter().map(|(p, _)| *p).collect();
+        let mut sorted = positions.clone();
+        sorted.sort();
+        assert_eq!(positions, sorted);
+    }
+
+    #[test]
+    fn page_math() {
+        let (g, _) = star(3);
+        let csr = CsrSnapshot::compile(&g, VertexOrdering::Original);
+        assert_eq!(csr.adjacency_page(0), 0);
+        assert_eq!(csr.adjacency_page(ADJ_ENTRIES_PER_PAGE), 1);
+        let hub = csr.position(EntityId(0)).unwrap();
+        let pages: Vec<u64> = csr.pages_for_neighbors(hub).collect();
+        assert_eq!(pages, vec![0]);
+        let leaf = csr.position(EntityId(1)).unwrap();
+        assert_eq!(csr.pages_for_neighbors(leaf).count(), 0);
+    }
+
+    #[test]
+    fn snapshot_isolated_from_later_mutation() {
+        let (mut g, role) = star(4);
+        let csr = CsrSnapshot::compile(&g, VertexOrdering::Original);
+        g.ensure_node(EntityId(99));
+        g.add_edge(EntityId(0), EntityId(99), role, test_provenance(0, 1))
+            .unwrap();
+        assert_eq!(csr.vertex_count(), 4);
+        assert!(csr.position(EntityId(99)).is_err());
+    }
+}

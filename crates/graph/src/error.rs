@@ -1,0 +1,45 @@
+//! Errors for the relation layer.
+
+use std::fmt;
+
+use scdb_types::EntityId;
+
+/// Errors produced by relation-layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The entity does not exist in the graph.
+    NoSuchEntity(EntityId),
+    /// An edge endpoint was missing when adding an edge.
+    MissingEndpoint(EntityId),
+    /// A snapshot was asked about a vertex it does not cover (added after
+    /// the snapshot was compiled).
+    NotInSnapshot(EntityId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NoSuchEntity(e) => write!(f, "no such entity: {e}"),
+            GraphError::MissingEndpoint(e) => write!(f, "edge endpoint does not exist: {e}"),
+            GraphError::NotInSnapshot(e) => write!(f, "entity {e} not covered by snapshot"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            GraphError::NoSuchEntity(EntityId(7)).to_string(),
+            "no such entity: e7"
+        );
+        assert!(GraphError::NotInSnapshot(EntityId(1))
+            .to_string()
+            .contains("snapshot"));
+    }
+}

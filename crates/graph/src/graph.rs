@@ -1,0 +1,354 @@
+//! The mutable property graph over resolved entities.
+//!
+//! Nodes are [`EntityId`]s carrying attributes and the set of source
+//! records they were resolved from; edges are *roles* (named semantic
+//! properties, e.g. `has_target`) with [`Provenance`]. The graph is the
+//! update-friendly half of the OS.2 answer — traversal-heavy workloads
+//! compile it into a [`CsrSnapshot`](crate::csr::CsrSnapshot).
+
+use std::collections::HashMap;
+
+use scdb_types::{Confidence, EntityId, Provenance, Record, RecordId, Symbol};
+
+use crate::error::GraphError;
+
+/// A directed, labelled edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Target entity.
+    pub to: EntityId,
+    /// Role (property) label.
+    pub role: Symbol,
+    /// Where this link came from (a record, an ER decision, an inference).
+    pub provenance: Provenance,
+}
+
+/// Node payload: merged attributes plus the records resolved into this
+/// entity.
+#[derive(Debug, Clone, Default)]
+pub struct NodeData {
+    /// Merged attribute view (last-writer-wins per attribute; the curation
+    /// pipeline controls merge order).
+    pub attrs: Record,
+    /// Source records fused into this entity (FS.1 output).
+    pub records: Vec<RecordId>,
+}
+
+/// A mutable, provenance-carrying property graph.
+#[derive(Debug, Default)]
+pub struct PropertyGraph {
+    nodes: HashMap<EntityId, NodeData>,
+    out: HashMap<EntityId, Vec<Edge>>,
+    incoming: HashMap<EntityId, Vec<(EntityId, Symbol)>>,
+    edge_count: usize,
+}
+
+impl PropertyGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or get) a node.
+    pub fn ensure_node(&mut self, id: EntityId) -> &mut NodeData {
+        self.out.entry(id).or_default();
+        self.incoming.entry(id).or_default();
+        self.nodes.entry(id).or_default()
+    }
+
+    /// True when the node exists.
+    pub fn contains(&self, id: EntityId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Node payload.
+    pub fn node(&self, id: EntityId) -> Result<&NodeData, GraphError> {
+        self.nodes.get(&id).ok_or(GraphError::NoSuchEntity(id))
+    }
+
+    /// Mutable node payload.
+    pub fn node_mut(&mut self, id: EntityId) -> Result<&mut NodeData, GraphError> {
+        self.nodes.get_mut(&id).ok_or(GraphError::NoSuchEntity(id))
+    }
+
+    /// Add a directed edge. Both endpoints must exist. Duplicate
+    /// `(from, to, role)` edges are refreshed (provenance replaced) rather
+    /// than duplicated — re-curation must be idempotent.
+    pub fn add_edge(
+        &mut self,
+        from: EntityId,
+        to: EntityId,
+        role: Symbol,
+        provenance: Provenance,
+    ) -> Result<bool, GraphError> {
+        if !self.nodes.contains_key(&from) {
+            return Err(GraphError::MissingEndpoint(from));
+        }
+        if !self.nodes.contains_key(&to) {
+            return Err(GraphError::MissingEndpoint(to));
+        }
+        let edges = self.out.entry(from).or_default();
+        if let Some(e) = edges.iter_mut().find(|e| e.to == to && e.role == role) {
+            e.provenance = provenance;
+            return Ok(false);
+        }
+        edges.push(Edge {
+            to,
+            role,
+            provenance,
+        });
+        self.incoming.entry(to).or_default().push((from, role));
+        self.edge_count += 1;
+        Ok(true)
+    }
+
+    /// Remove an edge; returns whether it existed.
+    pub fn remove_edge(&mut self, from: EntityId, to: EntityId, role: Symbol) -> bool {
+        let Some(edges) = self.out.get_mut(&from) else {
+            return false;
+        };
+        let before = edges.len();
+        edges.retain(|e| !(e.to == to && e.role == role));
+        let removed = edges.len() < before;
+        if removed {
+            self.edge_count -= 1;
+            if let Some(inc) = self.incoming.get_mut(&to) {
+                inc.retain(|(f, r)| !(*f == from && *r == role));
+            }
+        }
+        removed
+    }
+
+    /// Outgoing edges of a node (empty slice if absent).
+    pub fn edges(&self, id: EntityId) -> &[Edge] {
+        self.out.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Incoming `(source, role)` pairs of a node.
+    pub fn incoming(&self, id: EntityId) -> &[(EntityId, Symbol)] {
+        self.incoming.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Outgoing neighbors via a specific role.
+    pub fn neighbors_via(&self, id: EntityId, role: Symbol) -> impl Iterator<Item = EntityId> + '_ {
+        self.edges(id)
+            .iter()
+            .filter(move |e| e.role == role)
+            .map(|e| e.to)
+    }
+
+    /// All node ids (arbitrary order).
+    pub fn node_ids(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Out-degree of a node.
+    pub fn degree(&self, id: EntityId) -> usize {
+        self.edges(id).len()
+    }
+
+    /// Merge node `src` into `dst`: attributes (dst wins conflicts),
+    /// records, and edges are transferred; `src` is removed. Used when
+    /// incremental ER discovers two entities are the same (FS.1).
+    pub fn merge_nodes(&mut self, dst: EntityId, src: EntityId) -> Result<(), GraphError> {
+        if dst == src {
+            return Ok(());
+        }
+        if !self.nodes.contains_key(&dst) {
+            return Err(GraphError::NoSuchEntity(dst));
+        }
+        let src_data = self
+            .nodes
+            .remove(&src)
+            .ok_or(GraphError::NoSuchEntity(src))?;
+        // Attributes: keep dst's value on conflict.
+        {
+            let dst_data = self.nodes.get_mut(&dst).expect("checked");
+            for (attr, value) in src_data.attrs.iter() {
+                if dst_data.attrs.get(attr).is_none() {
+                    dst_data.attrs.set(attr, value.clone());
+                }
+            }
+            dst_data.records.extend(src_data.records);
+        }
+        // Outgoing edges of src → dst.
+        let src_out = self.out.remove(&src).unwrap_or_default();
+        for e in src_out {
+            self.edge_count -= 1;
+            if let Some(inc) = self.incoming.get_mut(&e.to) {
+                inc.retain(|(f, r)| !(*f == src && *r == e.role));
+            }
+            if e.to != dst {
+                let _ = self.add_edge(dst, e.to, e.role, e.provenance);
+            }
+        }
+        // Incoming edges of src: re-point to dst.
+        let src_in = self.incoming.remove(&src).unwrap_or_default();
+        for (from, role) in src_in {
+            if let Some(edges) = self.out.get_mut(&from) {
+                let mut prov = None;
+                let before = edges.len();
+                edges.retain(|e| {
+                    if e.to == src && e.role == role {
+                        prov = Some(e.provenance.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                self.edge_count -= before - edges.len();
+                if let Some(p) = prov {
+                    if from != dst {
+                        let _ = self.add_edge(from, dst, role, p);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience to build a [`Provenance`] for tests and examples.
+pub fn test_provenance(source: u32, tick: u64) -> Provenance {
+    Provenance::inferred(scdb_types::SourceId(source), Confidence::CERTAIN, tick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdb_types::{SymbolTable, Value};
+
+    fn setup() -> (PropertyGraph, SymbolTable, Symbol) {
+        let mut syms = SymbolTable::new();
+        let targets = syms.intern("has_target");
+        let mut g = PropertyGraph::new();
+        for i in 0..5 {
+            g.ensure_node(EntityId(i));
+        }
+        (g, syms, targets)
+    }
+
+    #[test]
+    fn add_edge_requires_endpoints() {
+        let (mut g, _s, role) = setup();
+        assert!(g
+            .add_edge(EntityId(0), EntityId(99), role, test_provenance(0, 0))
+            .is_err());
+        assert!(g
+            .add_edge(EntityId(99), EntityId(0), role, test_provenance(0, 0))
+            .is_err());
+        assert!(g
+            .add_edge(EntityId(0), EntityId(1), role, test_provenance(0, 0))
+            .unwrap());
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_edge_refreshes_not_duplicates() {
+        let (mut g, _s, role) = setup();
+        assert!(g
+            .add_edge(EntityId(0), EntityId(1), role, test_provenance(0, 1))
+            .unwrap());
+        assert!(!g
+            .add_edge(EntityId(0), EntityId(1), role, test_provenance(0, 2))
+            .unwrap());
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edges(EntityId(0))[0].provenance.tick, 2);
+    }
+
+    #[test]
+    fn remove_edge_updates_both_sides() {
+        let (mut g, _s, role) = setup();
+        g.add_edge(EntityId(0), EntityId(1), role, test_provenance(0, 0))
+            .unwrap();
+        assert!(g.remove_edge(EntityId(0), EntityId(1), role));
+        assert!(!g.remove_edge(EntityId(0), EntityId(1), role));
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.incoming(EntityId(1)).is_empty());
+    }
+
+    #[test]
+    fn neighbors_via_filters_roles() {
+        let (mut g, mut syms, role) = setup();
+        let other = syms.intern("treats");
+        g.add_edge(EntityId(0), EntityId(1), role, test_provenance(0, 0))
+            .unwrap();
+        g.add_edge(EntityId(0), EntityId(2), other, test_provenance(0, 0))
+            .unwrap();
+        let via: Vec<_> = g.neighbors_via(EntityId(0), role).collect();
+        assert_eq!(via, vec![EntityId(1)]);
+    }
+
+    #[test]
+    fn merge_transfers_edges_and_records() {
+        let (mut g, _s, role) = setup();
+        g.add_edge(EntityId(1), EntityId(2), role, test_provenance(0, 0))
+            .unwrap();
+        g.add_edge(EntityId(3), EntityId(1), role, test_provenance(0, 0))
+            .unwrap();
+        g.node_mut(EntityId(1))
+            .unwrap()
+            .records
+            .push(RecordId::new(scdb_types::SourceId(0), 7));
+        // Merge 1 into 0.
+        g.merge_nodes(EntityId(0), EntityId(1)).unwrap();
+        assert!(!g.contains(EntityId(1)));
+        let out: Vec<_> = g.neighbors_via(EntityId(0), role).collect();
+        assert_eq!(out, vec![EntityId(2)]);
+        let in3: Vec<_> = g.neighbors_via(EntityId(3), role).collect();
+        assert_eq!(in3, vec![EntityId(0)]);
+        assert_eq!(g.node(EntityId(0)).unwrap().records.len(), 1);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn merge_drops_self_loops() {
+        let (mut g, _s, role) = setup();
+        g.add_edge(EntityId(0), EntityId(1), role, test_provenance(0, 0))
+            .unwrap();
+        g.merge_nodes(EntityId(0), EntityId(1)).unwrap();
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.edges(EntityId(0)).is_empty());
+    }
+
+    #[test]
+    fn merge_attr_conflict_keeps_dst() {
+        let (mut g, mut syms, _role) = setup();
+        let name = syms.intern("name");
+        g.node_mut(EntityId(0))
+            .unwrap()
+            .attrs
+            .set(name, Value::str("kept"));
+        g.node_mut(EntityId(1))
+            .unwrap()
+            .attrs
+            .set(name, Value::str("dropped"));
+        g.merge_nodes(EntityId(0), EntityId(1)).unwrap();
+        assert_eq!(
+            g.node(EntityId(0)).unwrap().attrs.get(name),
+            Some(&Value::str("kept"))
+        );
+    }
+
+    #[test]
+    fn merge_same_node_is_noop() {
+        let (mut g, _s, _r) = setup();
+        g.merge_nodes(EntityId(0), EntityId(0)).unwrap();
+        assert!(g.contains(EntityId(0)));
+    }
+}

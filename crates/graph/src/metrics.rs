@@ -1,0 +1,334 @@
+//! FS.2 — formalisms for assessing interconnectedness and richness.
+//!
+//! "What is the right formalism to express and capture the
+//! interconnectedness in order to assess and measure the richness of each
+//! data source based on the connectivity and density? For example,
+//! information content and capacity are a common measure…" (FS.2). This
+//! module implements the measures the statement names — information
+//! content, density, connectivity/flow structure — and composes them into
+//! a single comparable richness score used by the FS.9 feedback loop to
+//! rank conflicting sources by "degree of richness of each source".
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use scdb_types::{EntityId, Symbol};
+
+use crate::graph::PropertyGraph;
+
+/// The richness report for a graph (or a per-source subgraph).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RichnessReport {
+    /// Nodes measured.
+    pub nodes: usize,
+    /// Directed edges measured.
+    pub edges: usize,
+    /// Edge density: `m / (n·(n−1))` for directed graphs.
+    pub density: f64,
+    /// Mean out-degree.
+    pub mean_degree: f64,
+    /// Shannon entropy (bits) of the out-degree distribution — structural
+    /// diversity of connectivity.
+    pub degree_entropy: f64,
+    /// Shannon entropy (bits) of the role-label distribution — semantic
+    /// diversity of relations (the "information content" of FS.2).
+    pub role_entropy: f64,
+    /// Weakly connected components.
+    pub components: usize,
+    /// Size of the largest component as a fraction of all nodes.
+    pub largest_component_frac: f64,
+    /// Global clustering coefficient (undirected triangles / triads).
+    pub clustering_coefficient: f64,
+    /// Composite richness in [0, 1]; see [`richness`] for the formula.
+    pub richness: f64,
+}
+
+/// Shannon entropy (bits) of a count distribution.
+fn entropy(counts: impl IntoIterator<Item = u64>) -> f64 {
+    let counts: Vec<u64> = counts.into_iter().filter(|c| *c > 0).collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    (-counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total;
+            p * p.log2()
+        })
+        .sum::<f64>())
+    .max(0.0)
+}
+
+/// Weakly connected components (undirected reachability).
+fn components(graph: &PropertyGraph) -> Vec<usize> {
+    let mut visited: HashSet<EntityId> = HashSet::new();
+    let mut sizes = Vec::new();
+    let mut ids: Vec<EntityId> = graph.node_ids().collect();
+    ids.sort();
+    for id in ids {
+        if visited.contains(&id) {
+            continue;
+        }
+        let mut size = 0usize;
+        let mut q = VecDeque::from([id]);
+        visited.insert(id);
+        while let Some(v) = q.pop_front() {
+            size += 1;
+            let nbrs = graph
+                .edges(v)
+                .iter()
+                .map(|e| e.to)
+                .chain(graph.incoming(v).iter().map(|(f, _)| *f));
+            for n in nbrs {
+                if visited.insert(n) {
+                    q.push_back(n);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    sizes
+}
+
+/// Global clustering coefficient over the undirected projection.
+fn clustering(graph: &PropertyGraph) -> f64 {
+    // Build undirected neighbor sets.
+    let mut nbrs: HashMap<EntityId, HashSet<EntityId>> = HashMap::new();
+    for v in graph.node_ids() {
+        for e in graph.edges(v) {
+            if e.to != v {
+                nbrs.entry(v).or_default().insert(e.to);
+                nbrs.entry(e.to).or_default().insert(v);
+            }
+        }
+    }
+    let mut triangles = 0u64;
+    let mut triads = 0u64;
+    for (v, set) in &nbrs {
+        let k = set.len() as u64;
+        if k < 2 {
+            continue;
+        }
+        triads += k * (k - 1) / 2;
+        let list: Vec<&EntityId> = set.iter().collect();
+        for (i, a) in list.iter().enumerate() {
+            for b in &list[i + 1..] {
+                if nbrs.get(*a).is_some_and(|s| s.contains(*b)) {
+                    triangles += 1;
+                }
+            }
+        }
+        let _ = v;
+    }
+    if triads == 0 {
+        0.0
+    } else {
+        triangles as f64 / triads as f64
+    }
+}
+
+/// Compute the full report for `graph`.
+pub fn assess(graph: &PropertyGraph) -> RichnessReport {
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let density = if n > 1 {
+        m as f64 / (n as f64 * (n as f64 - 1.0))
+    } else {
+        0.0
+    };
+    let mean_degree = if n > 0 { m as f64 / n as f64 } else { 0.0 };
+
+    let mut degree_counts: HashMap<usize, u64> = HashMap::new();
+    let mut role_counts: HashMap<Symbol, u64> = HashMap::new();
+    for v in graph.node_ids() {
+        *degree_counts.entry(graph.degree(v)).or_insert(0) += 1;
+        for e in graph.edges(v) {
+            *role_counts.entry(e.role).or_insert(0) += 1;
+        }
+    }
+    let degree_entropy = entropy(degree_counts.values().copied());
+    let role_entropy = entropy(role_counts.values().copied());
+
+    let comp_sizes = components(graph);
+    let components = comp_sizes.len();
+    let largest_component_frac = if n > 0 {
+        comp_sizes.iter().copied().max().unwrap_or(0) as f64 / n as f64
+    } else {
+        0.0
+    };
+    let clustering_coefficient = clustering(graph);
+
+    let richness = richness(
+        density,
+        degree_entropy,
+        role_entropy,
+        largest_component_frac,
+        clustering_coefficient,
+        mean_degree,
+    );
+
+    RichnessReport {
+        nodes: n,
+        edges: m,
+        density,
+        mean_degree,
+        degree_entropy,
+        role_entropy,
+        components,
+        largest_component_frac,
+        clustering_coefficient,
+        richness,
+    }
+}
+
+/// Composite richness score in `[0, 1]`.
+///
+/// Geometric-mean-style blend of: connectivity (saturating mean degree),
+/// cohesion (largest component fraction), semantic diversity (role
+/// entropy, saturating at 4 bits), structural diversity (degree entropy,
+/// saturating at 4 bits), and local cohesion (clustering). Density enters
+/// via the saturating degree term rather than raw density, so richness is
+/// comparable across graph sizes.
+pub fn richness(
+    _density: f64,
+    degree_entropy: f64,
+    role_entropy: f64,
+    largest_component_frac: f64,
+    clustering_coefficient: f64,
+    mean_degree: f64,
+) -> f64 {
+    let sat = |x: f64, scale: f64| (x / scale).min(1.0);
+    let connectivity = sat(mean_degree, 4.0);
+    let cohesion = largest_component_frac.clamp(0.0, 1.0);
+    let semantic = sat(role_entropy, 4.0);
+    let structural = sat(degree_entropy, 4.0);
+    let local = clustering_coefficient.clamp(0.0, 1.0);
+    // Weighted arithmetic mean; clustering gets a small weight because
+    // many rich-but-bipartite graphs (drug→gene) legitimately have zero
+    // triangles.
+    0.3 * connectivity + 0.25 * cohesion + 0.25 * semantic + 0.15 * structural + 0.05 * local
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::test_provenance;
+    use scdb_types::SymbolTable;
+
+    fn clique(n: u64, roles: &[Symbol]) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for i in 0..n {
+            g.ensure_node(EntityId(i));
+        }
+        let mut r = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    g.add_edge(
+                        EntityId(i),
+                        EntityId(j),
+                        roles[r % roles.len()],
+                        test_provenance(0, 0),
+                    )
+                    .unwrap();
+                    r += 1;
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_report() {
+        let g = PropertyGraph::new();
+        let r = assess(&g);
+        assert_eq!(r.nodes, 0);
+        assert_eq!(r.edges, 0);
+        assert_eq!(r.density, 0.0);
+        assert_eq!(r.richness, 0.0);
+    }
+
+    #[test]
+    fn clique_has_density_one_and_full_clustering() {
+        let mut syms = SymbolTable::new();
+        let role = syms.intern("r");
+        let g = clique(6, &[role]);
+        let r = assess(&g);
+        assert!((r.density - 1.0).abs() < 1e-9);
+        assert!((r.clustering_coefficient - 1.0).abs() < 1e-9);
+        assert_eq!(r.components, 1);
+        assert!((r.largest_component_frac - 1.0).abs() < 1e-9);
+        // Uniform degrees ⇒ zero degree entropy.
+        assert_eq!(r.degree_entropy, 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes_many_components() {
+        let mut g = PropertyGraph::new();
+        for i in 0..10 {
+            g.ensure_node(EntityId(i));
+        }
+        let r = assess(&g);
+        assert_eq!(r.components, 10);
+        assert!((r.largest_component_frac - 0.1).abs() < 1e-9);
+        assert_eq!(r.mean_degree, 0.0);
+    }
+
+    #[test]
+    fn richer_graph_scores_higher() {
+        let mut syms = SymbolTable::new();
+        let roles: Vec<Symbol> = (0..5).map(|i| syms.intern(&format!("role{i}"))).collect();
+        // Rich: connected, multi-role clique.
+        let rich = assess(&clique(8, &roles));
+        // Poor: a sparse chain with one role.
+        let r0 = roles[0];
+        let mut poor_graph = PropertyGraph::new();
+        for i in 0..8 {
+            poor_graph.ensure_node(EntityId(i));
+        }
+        for i in 0..4 {
+            poor_graph
+                .add_edge(EntityId(i), EntityId(i + 1), r0, test_provenance(0, 0))
+                .unwrap();
+        }
+        let poor = assess(&poor_graph);
+        assert!(
+            rich.richness > poor.richness,
+            "rich {} should exceed poor {}",
+            rich.richness,
+            poor.richness
+        );
+    }
+
+    #[test]
+    fn role_entropy_reflects_label_diversity() {
+        let mut syms = SymbolTable::new();
+        let one = [syms.intern("only")];
+        let many: Vec<Symbol> = (0..8).map(|i| syms.intern(&format!("r{i}"))).collect();
+        let a = assess(&clique(5, &one));
+        let b = assess(&clique(5, &many));
+        assert_eq!(a.role_entropy, 0.0);
+        assert!(b.role_entropy > 2.0);
+    }
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy([]), 0.0);
+        assert_eq!(entropy([10]), 0.0);
+        assert!((entropy([1, 1]) - 1.0).abs() < 1e-9);
+        assert!((entropy([1, 1, 1, 1]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn richness_bounded() {
+        for (d, de, re, lc, cc, md) in [
+            (0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+            (1.0, 10.0, 10.0, 1.0, 1.0, 100.0),
+            (0.5, 2.0, 3.0, 0.8, 0.2, 2.5),
+        ] {
+            let r = richness(d, de, re, lc, cc, md);
+            assert!((0.0..=1.0).contains(&r), "richness {r} out of range");
+        }
+    }
+}

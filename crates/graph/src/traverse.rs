@@ -1,0 +1,390 @@
+//! Multi-hop traversal over graph and CSR, with locality accounting.
+//!
+//! OS.2: indexes "only provide one-hop away direct accesses … the open
+//! challenge is how to improve the locality of multi-hop traversal." The
+//! traversal engine runs the same k-hop expansion over (a) the mutable
+//! hash-adjacency graph (the update-friendly representation), (b) a
+//! [`CsrSnapshot`] (the compiled representation), and (c) a sorted-index
+//! baseline emulating per-hop B-tree lookups, and reports pages touched so
+//! the experiment compares representations fairly.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use scdb_types::{EntityId, Symbol};
+
+use crate::csr::CsrSnapshot;
+use crate::graph::PropertyGraph;
+
+/// Result of a k-hop expansion.
+#[derive(Debug, Clone)]
+pub struct KHopResult {
+    /// Entities reachable within k hops (excluding the seed).
+    pub reached: Vec<EntityId>,
+    /// Number of adjacency pages touched (CSR/baseline only; 0 for the
+    /// hash graph, which has no meaningful page structure).
+    pub pages_touched: u64,
+    /// Edges examined.
+    pub edges_examined: u64,
+}
+
+/// k-hop BFS over the mutable graph.
+pub fn khop_graph(
+    graph: &PropertyGraph,
+    seed: EntityId,
+    k: usize,
+    role_filter: Option<Symbol>,
+) -> KHopResult {
+    let mut visited: HashSet<EntityId> = HashSet::new();
+    visited.insert(seed);
+    let mut frontier = vec![seed];
+    let mut reached = Vec::new();
+    let mut edges_examined = 0u64;
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for v in frontier {
+            for e in graph.edges(v) {
+                edges_examined += 1;
+                if role_filter.is_some_and(|r| r != e.role) {
+                    continue;
+                }
+                if visited.insert(e.to) {
+                    reached.push(e.to);
+                    next.push(e.to);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    KHopResult {
+        reached,
+        pages_touched: 0,
+        edges_examined,
+    }
+}
+
+/// k-hop BFS over a CSR snapshot, counting distinct adjacency pages.
+pub fn khop_csr(
+    csr: &CsrSnapshot,
+    seed: EntityId,
+    k: usize,
+    role_filter: Option<Symbol>,
+) -> Option<KHopResult> {
+    let seed_pos = csr.position(seed).ok()?;
+    let mut visited: HashSet<u32> = HashSet::new();
+    visited.insert(seed_pos);
+    let mut frontier = vec![seed_pos];
+    let mut reached = Vec::new();
+    let mut pages: HashSet<u64> = HashSet::new();
+    let mut edges_examined = 0u64;
+    for _ in 0..k {
+        let mut next = Vec::new();
+        // Visit the frontier in position order — the locality win of a
+        // good vertex ordering comes from exactly this sequential sweep.
+        let mut sorted_frontier = frontier.clone();
+        sorted_frontier.sort_unstable();
+        for pos in sorted_frontier {
+            pages.extend(csr.pages_for_neighbors(pos));
+            for &(npos, role) in csr.neighbors(pos) {
+                edges_examined += 1;
+                if role_filter.is_some_and(|r| r != role) {
+                    continue;
+                }
+                if visited.insert(npos) {
+                    reached.push(csr.entity_at(npos).expect("valid position"));
+                    next.push(npos);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    Some(KHopResult {
+        reached,
+        pages_touched: pages.len() as u64,
+        edges_examined,
+    })
+}
+
+/// A sorted-edge-index baseline emulating per-hop B-tree range probes: the
+/// edge list is sorted by source id; each hop binary-searches every
+/// frontier vertex independently. Pages are counted over the sorted edge
+/// array in id space — the layout a secondary index would have, with no
+/// traversal-aware locality.
+#[derive(Debug)]
+pub struct EdgeIndexBaseline {
+    /// Sorted (from, to, role).
+    edges: Vec<(EntityId, EntityId, Symbol)>,
+    entries_per_page: usize,
+}
+
+impl EdgeIndexBaseline {
+    /// Build from the graph.
+    pub fn build(graph: &PropertyGraph, entries_per_page: usize) -> Self {
+        let mut edges: Vec<(EntityId, EntityId, Symbol)> = graph
+            .node_ids()
+            .flat_map(|v| graph.edges(v).iter().map(move |e| (v, e.to, e.role)))
+            .collect();
+        edges.sort();
+        EdgeIndexBaseline {
+            edges,
+            entries_per_page: entries_per_page.max(1),
+        }
+    }
+
+    /// k-hop expansion via repeated index probes.
+    pub fn khop(&self, seed: EntityId, k: usize, role_filter: Option<Symbol>) -> KHopResult {
+        let mut visited: HashSet<EntityId> = HashSet::new();
+        visited.insert(seed);
+        let mut frontier = vec![seed];
+        let mut reached = Vec::new();
+        let mut pages: HashSet<u64> = HashSet::new();
+        let mut edges_examined = 0u64;
+        for _ in 0..k {
+            let mut next = Vec::new();
+            for v in &frontier {
+                let lo = self.edges.partition_point(|(f, _, _)| *f < *v);
+                let hi = self.edges.partition_point(|(f, _, _)| *f <= *v);
+                for (i, (_, to, role)) in self.edges[lo..hi].iter().enumerate() {
+                    edges_examined += 1;
+                    pages.insert(((lo + i) / self.entries_per_page) as u64);
+                    if role_filter.is_some_and(|r| r != *role) {
+                        continue;
+                    }
+                    if visited.insert(*to) {
+                        reached.push(*to);
+                        next.push(*to);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        KHopResult {
+            reached,
+            pages_touched: pages.len() as u64,
+            edges_examined,
+        }
+    }
+}
+
+/// Bidirectional BFS shortest path (hop count), treating edges as
+/// undirected — used by the refinement engine to explain discovered
+/// connections.
+pub fn shortest_path(graph: &PropertyGraph, from: EntityId, to: EntityId) -> Option<Vec<EntityId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    if !graph.contains(from) || !graph.contains(to) {
+        return None;
+    }
+    let mut fwd: HashMap<EntityId, EntityId> = HashMap::new();
+    let mut bwd: HashMap<EntityId, EntityId> = HashMap::new();
+    fwd.insert(from, from);
+    bwd.insert(to, to);
+    let mut fq = VecDeque::from([from]);
+    let mut bq = VecDeque::from([to]);
+
+    fn undirected<'a>(
+        graph: &'a PropertyGraph,
+        v: EntityId,
+    ) -> impl Iterator<Item = EntityId> + 'a {
+        graph
+            .edges(v)
+            .iter()
+            .map(|e| e.to)
+            .chain(graph.incoming(v).iter().map(|(f, _)| *f))
+    }
+
+    let meet = 'search: loop {
+        // Expand the smaller frontier.
+        if fq.is_empty() && bq.is_empty() {
+            return None;
+        }
+        let expand_fwd = !fq.is_empty() && (bq.is_empty() || fq.len() <= bq.len());
+        let (queue, this, other) = if expand_fwd {
+            (&mut fq, &mut fwd, &bwd)
+        } else {
+            (&mut bq, &mut bwd, &fwd)
+        };
+        let level: Vec<EntityId> = queue.drain(..).collect();
+        if level.is_empty() {
+            return None;
+        }
+        for v in level {
+            for n in undirected(graph, v) {
+                if let std::collections::hash_map::Entry::Vacant(e) = this.entry(n) {
+                    e.insert(v);
+                    if other.contains_key(&n) {
+                        break 'search n;
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+    };
+
+    // Reconstruct.
+    let mut path = Vec::new();
+    let mut cur = meet;
+    while cur != from {
+        path.push(cur);
+        cur = fwd[&cur];
+    }
+    path.push(from);
+    path.reverse();
+    let mut cur = meet;
+    while cur != to {
+        cur = bwd[&cur];
+        path.push(cur);
+    }
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::test_provenance;
+    use crate::order::VertexOrdering;
+    use scdb_types::SymbolTable;
+
+    /// Chain 0→1→2→…→n-1 plus a branch 1→n.
+    fn chain(n: u64) -> (PropertyGraph, Symbol) {
+        let mut syms = SymbolTable::new();
+        let role = syms.intern("r");
+        let mut g = PropertyGraph::new();
+        for i in 0..=n {
+            g.ensure_node(EntityId(i));
+        }
+        for i in 0..n - 1 {
+            g.add_edge(EntityId(i), EntityId(i + 1), role, test_provenance(0, 0))
+                .unwrap();
+        }
+        g.add_edge(EntityId(1), EntityId(n), role, test_provenance(0, 0))
+            .unwrap();
+        (g, role)
+    }
+
+    #[test]
+    fn khop_graph_reaches_expected_set() {
+        let (g, _) = chain(10);
+        let r = khop_graph(&g, EntityId(0), 2, None);
+        let mut reached = r.reached.clone();
+        reached.sort();
+        assert_eq!(reached, vec![EntityId(1), EntityId(2), EntityId(10)]);
+    }
+
+    #[test]
+    fn khop_csr_matches_graph_semantics() {
+        let (g, _) = chain(12);
+        for ordering in [
+            VertexOrdering::Original,
+            VertexOrdering::Bfs,
+            VertexOrdering::ReverseCuthillMcKee,
+        ] {
+            let csr = CsrSnapshot::compile(&g, ordering);
+            for k in 1..5 {
+                let a = khop_graph(&g, EntityId(0), k, None);
+                let b = khop_csr(&csr, EntityId(0), k, None).unwrap();
+                let mut sa = a.reached.clone();
+                let mut sb = b.reached.clone();
+                sa.sort();
+                sb.sort();
+                assert_eq!(sa, sb, "{ordering:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn khop_baseline_matches_too() {
+        let (g, _) = chain(12);
+        let idx = EdgeIndexBaseline::build(&g, 8);
+        let a = khop_graph(&g, EntityId(0), 3, None);
+        let b = idx.khop(EntityId(0), 3, None);
+        let mut sa = a.reached.clone();
+        let mut sb = b.reached.clone();
+        sa.sort();
+        sb.sort();
+        assert_eq!(sa, sb);
+        assert!(b.pages_touched > 0);
+    }
+
+    #[test]
+    fn role_filter_respected_everywhere() {
+        let mut syms = SymbolTable::new();
+        let keep = syms.intern("keep");
+        let skip = syms.intern("skip");
+        let mut g = PropertyGraph::new();
+        for i in 0..4 {
+            g.ensure_node(EntityId(i));
+        }
+        g.add_edge(EntityId(0), EntityId(1), keep, test_provenance(0, 0))
+            .unwrap();
+        g.add_edge(EntityId(0), EntityId(2), skip, test_provenance(0, 0))
+            .unwrap();
+        g.add_edge(EntityId(1), EntityId(3), keep, test_provenance(0, 0))
+            .unwrap();
+
+        let r = khop_graph(&g, EntityId(0), 2, Some(keep));
+        let mut got = r.reached.clone();
+        got.sort();
+        assert_eq!(got, vec![EntityId(1), EntityId(3)]);
+
+        let csr = CsrSnapshot::compile(&g, VertexOrdering::Original);
+        let rc = khop_csr(&csr, EntityId(0), 2, Some(keep)).unwrap();
+        let mut gc = rc.reached.clone();
+        gc.sort();
+        assert_eq!(gc, vec![EntityId(1), EntityId(3)]);
+
+        let idx = EdgeIndexBaseline::build(&g, 4);
+        let ri = idx.khop(EntityId(0), 2, Some(keep));
+        let mut gi = ri.reached.clone();
+        gi.sort();
+        assert_eq!(gi, vec![EntityId(1), EntityId(3)]);
+    }
+
+    #[test]
+    fn khop_missing_seed() {
+        let (g, _) = chain(5);
+        let csr = CsrSnapshot::compile(&g, VertexOrdering::Original);
+        assert!(khop_csr(&csr, EntityId(999), 2, None).is_none());
+        let r = khop_graph(&g, EntityId(999), 2, None);
+        assert!(r.reached.is_empty());
+    }
+
+    #[test]
+    fn shortest_path_on_chain() {
+        let (g, _) = chain(6);
+        let p = shortest_path(&g, EntityId(0), EntityId(4)).unwrap();
+        assert_eq!(p.first(), Some(&EntityId(0)));
+        assert_eq!(p.last(), Some(&EntityId(4)));
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn shortest_path_uses_undirected_edges() {
+        let (g, _) = chain(6);
+        // Edges point 0→…→5; search backwards still finds the path.
+        let p = shortest_path(&g, EntityId(4), EntityId(0)).unwrap();
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn shortest_path_absent() {
+        let mut g = PropertyGraph::new();
+        g.ensure_node(EntityId(0));
+        g.ensure_node(EntityId(1));
+        assert!(shortest_path(&g, EntityId(0), EntityId(1)).is_none());
+        assert!(shortest_path(&g, EntityId(0), EntityId(9)).is_none());
+        assert_eq!(
+            shortest_path(&g, EntityId(0), EntityId(0)),
+            Some(vec![EntityId(0)])
+        );
+    }
+}

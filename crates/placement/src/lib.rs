@@ -1,0 +1,31 @@
+//! OS.4 — data placement in distributed shared memory.
+//!
+//! "How can existing placement strategies be adapted to transition from
+//! disk data placement to placing data in distributed main memory at
+//! cloud scale? How can the data be judiciously placed in distributed
+//! shared memory with close affinity when online integration of data
+//! sources is likely, in order to eliminate the storage access cost and to
+//! reduce the main memory footprint by avoiding data cache duplication?"
+//!
+//! Real RDMA clusters are substituted (per DESIGN.md) by a deterministic
+//! cost model: a cluster of `n` memory nodes, items with sizes, accesses
+//! that touch groups of items from a coordinator node, local accesses at
+//! unit cost and remote accesses at a configurable multiple. Policies:
+//!
+//! * [`PlacementPolicy::Hash`] — uniform scatter (the classical default);
+//! * [`PlacementPolicy::Range`] — contiguous ranges (disk-era placement
+//!   "adapted" naively);
+//! * [`PlacementPolicy::Affinity`] — co-access-aware greedy packing: items
+//!   accessed together land on the same node, subject to capacity;
+//! * optional replication of hot items, which trades memory duplication
+//!   for remote-access reduction — exactly the footprint-vs-cost tension
+//!   the statement names.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod sim;
+
+pub use policy::{compute_placement, PlacementPolicy};
+pub use sim::{evaluate, ClusterConfig, Placement, PlacementReport};

@@ -1,0 +1,250 @@
+//! Placement policies.
+//!
+//! Three primary-placement policies plus optional replication of hot
+//! items. The affinity policy consumes the same co-access evidence the
+//! OS.1 clusterer uses — the paper's point that instance-level affinity
+//! should drive *both* intra-node layout and inter-node placement.
+
+use std::collections::HashMap;
+
+use crate::sim::Placement;
+
+/// Primary placement policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// `item % n_nodes` — uniform scatter.
+    Hash,
+    /// Contiguous ranges of the item space.
+    Range,
+    /// Greedy co-access packing: frequent groups are assigned wholesale to
+    /// the least-loaded node with room.
+    Affinity,
+}
+
+/// Compute a placement of items `0..n_items` on `n_nodes` nodes.
+///
+/// `workload` is consulted only by [`PlacementPolicy::Affinity`].
+/// `capacity` bounds per-node primaries (use `usize::MAX` for unbounded);
+/// `replicate_hot_fraction` (0.0–1.0) additionally replicates the hottest
+/// items to every node that accessed them.
+pub fn compute_placement(
+    policy: PlacementPolicy,
+    n_items: u64,
+    n_nodes: usize,
+    workload: &[Vec<u64>],
+    capacity: usize,
+    replicate_hot_fraction: f64,
+) -> Placement {
+    let n_nodes = n_nodes.max(1);
+    let mut primary = vec![u32::MAX; n_items as usize];
+    let mut loads = vec![0usize; n_nodes];
+
+    match policy {
+        PlacementPolicy::Hash => {
+            for i in 0..n_items {
+                // Multiplicative scramble so adjacent items scatter.
+                let node = ((i.wrapping_mul(0x9E3779B97F4A7C15)) % n_nodes as u64) as u32;
+                primary[i as usize] = node;
+                loads[node as usize] += 1;
+            }
+        }
+        PlacementPolicy::Range => {
+            let per = n_items.div_ceil(n_nodes as u64).max(1);
+            for i in 0..n_items {
+                let node = ((i / per) as usize).min(n_nodes - 1) as u32;
+                primary[i as usize] = node;
+                loads[node as usize] += 1;
+            }
+        }
+        PlacementPolicy::Affinity => {
+            // Count group frequencies.
+            let mut group_freq: HashMap<&[u64], usize> = HashMap::new();
+            for g in workload {
+                *group_freq.entry(g.as_slice()).or_insert(0) += 1;
+            }
+            let mut groups: Vec<(&[u64], usize)> = group_freq.into_iter().collect();
+            groups.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+            // Hottest groups first: place all unassigned members on the
+            // least-loaded node with capacity for them.
+            for (group, _) in groups {
+                let unassigned: Vec<u64> = group
+                    .iter()
+                    .copied()
+                    .filter(|&i| (i as usize) < primary.len() && primary[i as usize] == u32::MAX)
+                    .collect();
+                if unassigned.is_empty() {
+                    continue;
+                }
+                // Prefer the node already holding most of this group.
+                let mut cover = vec![0usize; n_nodes];
+                for &i in group.iter() {
+                    if (i as usize) < primary.len() && primary[i as usize] != u32::MAX {
+                        cover[primary[i as usize] as usize] += 1;
+                    }
+                }
+                let candidate = (0..n_nodes)
+                    .filter(|&n| loads[n] + unassigned.len() <= capacity)
+                    .max_by_key(|&n| (cover[n], std::cmp::Reverse(loads[n])))
+                    .or_else(|| (0..n_nodes).min_by_key(|&n| loads[n]));
+                let node = candidate.unwrap_or(0) as u32;
+                for i in unassigned {
+                    primary[i as usize] = node;
+                    loads[node as usize] += 1;
+                }
+            }
+            // Leftovers (never accessed): fill least-loaded.
+            for slot in primary.iter_mut() {
+                if *slot == u32::MAX {
+                    let node = (0..n_nodes).min_by_key(|&n| loads[n]).unwrap_or(0);
+                    *slot = node as u32;
+                    loads[node] += 1;
+                }
+            }
+        }
+    }
+
+    let mut placement = Placement::new(primary, n_nodes);
+
+    if replicate_hot_fraction > 0.0 && !workload.is_empty() {
+        // Item heat.
+        let mut heat: HashMap<u64, usize> = HashMap::new();
+        let mut accessed_from: HashMap<u64, Vec<u32>> = HashMap::new();
+        for g in workload {
+            // The access's natural coordinator under current primaries.
+            let mut cover: HashMap<u32, usize> = HashMap::new();
+            for &i in g {
+                if let Some(p) = placement.primary_of(i) {
+                    *cover.entry(p).or_insert(0) += 1;
+                }
+            }
+            let coord = cover
+                .iter()
+                .max_by_key(|(n, c)| (**c, std::cmp::Reverse(**n)))
+                .map(|(n, _)| *n)
+                .unwrap_or(0);
+            for &i in g {
+                *heat.entry(i).or_insert(0) += 1;
+                accessed_from.entry(i).or_default().push(coord);
+            }
+        }
+        let mut hot: Vec<(u64, usize)> = heat.into_iter().collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let take = ((hot.len() as f64) * replicate_hot_fraction.clamp(0.0, 1.0)).ceil() as usize;
+        for (item, _) in hot.into_iter().take(take) {
+            if let Some(coords) = accessed_from.get(&item) {
+                for &node in coords {
+                    placement.add_replica(item, node);
+                }
+            }
+        }
+    }
+
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{evaluate, ClusterConfig};
+
+    fn affine_workload() -> Vec<Vec<u64>> {
+        // Groups spanning the item space so range/hash both split them.
+        let mut w = Vec::new();
+        for rep in 0..20 {
+            for g in 0..10u64 {
+                let group = vec![g, g + 50, g + 100, g + 150];
+                w.push(group);
+                let _ = rep;
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn all_policies_place_every_item() {
+        let w = affine_workload();
+        for policy in [
+            PlacementPolicy::Hash,
+            PlacementPolicy::Range,
+            PlacementPolicy::Affinity,
+        ] {
+            let p = compute_placement(policy, 200, 4, &w, usize::MAX, 0.0);
+            for i in 0..200u64 {
+                assert!(p.primary_of(i).is_some(), "{policy:?} item {i}");
+                assert!(p.primary_of(i).unwrap() < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_beats_hash_and_range_on_affine_workload() {
+        let w = affine_workload();
+        let cfg = ClusterConfig {
+            n_nodes: 4,
+            ..Default::default()
+        };
+        let score = |policy| {
+            let p = compute_placement(policy, 200, 4, &w, usize::MAX, 0.0);
+            evaluate(&p, &w, &cfg).remote_ratio
+        };
+        let hash = score(PlacementPolicy::Hash);
+        let range = score(PlacementPolicy::Range);
+        let affinity = score(PlacementPolicy::Affinity);
+        assert!(
+            affinity < hash && affinity < range,
+            "affinity {affinity} vs hash {hash} vs range {range}"
+        );
+        assert!(affinity < 0.05, "affine groups should be fully co-located");
+    }
+
+    #[test]
+    fn capacity_respected_by_affinity() {
+        let w = affine_workload();
+        let p = compute_placement(PlacementPolicy::Affinity, 200, 4, &w, 60, 0.0);
+        for load in p.node_loads() {
+            assert!(load <= 60, "load {load} exceeds capacity");
+        }
+    }
+
+    #[test]
+    fn replication_reduces_remote_ratio() {
+        let w = affine_workload();
+        let cfg = ClusterConfig {
+            n_nodes: 4,
+            ..Default::default()
+        };
+        let base = compute_placement(PlacementPolicy::Hash, 200, 4, &w, usize::MAX, 0.0);
+        let replicated = compute_placement(PlacementPolicy::Hash, 200, 4, &w, usize::MAX, 0.5);
+        let r0 = evaluate(&base, &w, &cfg);
+        let r1 = evaluate(&replicated, &w, &cfg);
+        assert!(r1.remote_ratio < r0.remote_ratio);
+        assert!(r1.duplication > r0.duplication);
+    }
+
+    #[test]
+    fn range_is_contiguous() {
+        let p = compute_placement(PlacementPolicy::Range, 100, 4, &[], usize::MAX, 0.0);
+        // Non-decreasing node over item index.
+        let mut prev = 0;
+        for i in 0..100u64 {
+            let n = p.primary_of(i).unwrap();
+            assert!(n >= prev);
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn single_node_degenerate() {
+        let p = compute_placement(
+            PlacementPolicy::Affinity,
+            10,
+            1,
+            &[vec![1, 2]],
+            usize::MAX,
+            0.0,
+        );
+        for i in 0..10u64 {
+            assert_eq!(p.primary_of(i), Some(0));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The cluster cost model and placement evaluation.
+
+use std::collections::{HashMap, HashSet};
+
+/// Cluster parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of memory nodes.
+    pub n_nodes: usize,
+    /// Per-node capacity in items (replicas count against capacity).
+    pub node_capacity: usize,
+    /// Cost of touching a local item.
+    pub local_cost: f64,
+    /// Cost of touching a remote item (one-sided RDMA-style read).
+    pub remote_cost: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_nodes: 8,
+            node_capacity: usize::MAX,
+            local_cost: 1.0,
+            remote_cost: 10.0,
+        }
+    }
+}
+
+/// A placement: every item has a primary node and possibly replicas.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// item → primary node.
+    primary: Vec<u32>,
+    /// item → replica nodes (not including the primary).
+    replicas: HashMap<u64, Vec<u32>>,
+    n_nodes: usize,
+}
+
+impl Placement {
+    /// Build from primary assignments.
+    pub fn new(primary: Vec<u32>, n_nodes: usize) -> Self {
+        Placement {
+            primary,
+            replicas: HashMap::new(),
+            n_nodes,
+        }
+    }
+
+    /// Number of items placed.
+    pub fn len(&self) -> usize {
+        self.primary.len()
+    }
+
+    /// True when nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.primary.is_empty()
+    }
+
+    /// Primary node of `item`.
+    pub fn primary_of(&self, item: u64) -> Option<u32> {
+        self.primary.get(item as usize).copied()
+    }
+
+    /// Add a replica of `item` on `node` (no-op if it is the primary or
+    /// already replicated there).
+    pub fn add_replica(&mut self, item: u64, node: u32) {
+        if self.primary_of(item) == Some(node) {
+            return;
+        }
+        let list = self.replicas.entry(item).or_default();
+        if !list.contains(&node) {
+            list.push(node);
+        }
+    }
+
+    /// All nodes holding `item`.
+    pub fn holders(&self, item: u64) -> Vec<u32> {
+        let mut v = Vec::new();
+        if let Some(p) = self.primary_of(item) {
+            v.push(p);
+        }
+        if let Some(r) = self.replicas.get(&item) {
+            v.extend(r.iter().copied());
+        }
+        v
+    }
+
+    /// Item count per node (primaries + replicas).
+    pub fn node_loads(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.n_nodes];
+        for &p in &self.primary {
+            if let Some(l) = loads.get_mut(p as usize) {
+                *l += 1;
+            }
+        }
+        for list in self.replicas.values() {
+            for &n in list {
+                if let Some(l) = loads.get_mut(n as usize) {
+                    *l += 1;
+                }
+            }
+        }
+        loads
+    }
+
+    /// Duplication factor: total copies / items (1.0 = no replication).
+    pub fn duplication(&self) -> f64 {
+        if self.primary.is_empty() {
+            return 1.0;
+        }
+        let copies: usize =
+            self.primary.len() + self.replicas.values().map(Vec::len).sum::<usize>();
+        copies as f64 / self.primary.len() as f64
+    }
+}
+
+/// Evaluation result for a placement against a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementReport {
+    /// Total simulated access cost.
+    pub total_cost: f64,
+    /// Fraction of item touches that were remote.
+    pub remote_ratio: f64,
+    /// Largest per-node item count.
+    pub max_node_load: usize,
+    /// Memory duplication factor.
+    pub duplication: f64,
+    /// Number of accesses evaluated.
+    pub accesses: usize,
+}
+
+/// Evaluate `placement` on a workload of co-access groups.
+///
+/// For each access, the coordinator node is chosen optimally for that
+/// access: the node holding (a copy of) the plurality of the group's
+/// items. Items with a copy on the coordinator cost `local_cost`; the
+/// rest cost `remote_cost`.
+pub fn evaluate(
+    placement: &Placement,
+    workload: &[Vec<u64>],
+    config: &ClusterConfig,
+) -> PlacementReport {
+    let mut total_cost = 0.0;
+    let mut touches = 0u64;
+    let mut remote = 0u64;
+    for group in workload {
+        if group.is_empty() {
+            continue;
+        }
+        // Coordinator: node covering the most items of this group.
+        let mut cover: HashMap<u32, usize> = HashMap::new();
+        for &item in group {
+            for node in placement.holders(item) {
+                *cover.entry(node).or_insert(0) += 1;
+            }
+        }
+        let coordinator = cover
+            .iter()
+            .max_by_key(|(node, c)| (**c, std::cmp::Reverse(**node)))
+            .map(|(n, _)| *n)
+            .unwrap_or(0);
+        let local: HashSet<u64> = group
+            .iter()
+            .copied()
+            .filter(|i| placement.holders(*i).contains(&coordinator))
+            .collect();
+        for &item in group {
+            touches += 1;
+            if local.contains(&item) {
+                total_cost += config.local_cost;
+            } else {
+                total_cost += config.remote_cost;
+                remote += 1;
+            }
+        }
+    }
+    PlacementReport {
+        total_cost,
+        remote_ratio: if touches == 0 {
+            0.0
+        } else {
+            remote as f64 / touches as f64
+        },
+        max_node_load: placement.node_loads().into_iter().max().unwrap_or(0),
+        duplication: placement.duplication(),
+        accesses: workload.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holders_and_loads() {
+        let mut p = Placement::new(vec![0, 1, 0], 2);
+        assert_eq!(p.primary_of(1), Some(1));
+        p.add_replica(1, 0);
+        p.add_replica(1, 0); // idempotent
+        p.add_replica(2, 0); // no-op: already primary there
+        assert_eq!(p.holders(1), vec![1, 0]);
+        assert_eq!(p.node_loads(), vec![3, 1]);
+        assert!((p.duplication() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn colocated_group_is_all_local() {
+        let p = Placement::new(vec![0, 0, 0, 1], 2);
+        let cfg = ClusterConfig::default();
+        let report = evaluate(&p, &[vec![0, 1, 2]], &cfg);
+        assert_eq!(report.remote_ratio, 0.0);
+        assert_eq!(report.total_cost, 3.0);
+    }
+
+    #[test]
+    fn scattered_group_pays_remote() {
+        let p = Placement::new(vec![0, 1, 2, 3], 4);
+        let cfg = ClusterConfig::default();
+        let report = evaluate(&p, &[vec![0, 1, 2, 3]], &cfg);
+        // Coordinator covers exactly one item; 3 remote.
+        assert!((report.remote_ratio - 0.75).abs() < 1e-9);
+        assert_eq!(report.total_cost, 1.0 + 3.0 * 10.0);
+    }
+
+    #[test]
+    fn replication_reduces_remote_at_duplication_cost() {
+        let mut p = Placement::new(vec![0, 1], 2);
+        let cfg = ClusterConfig::default();
+        let before = evaluate(&p, &[vec![0, 1]], &cfg);
+        p.add_replica(1, 0);
+        let after = evaluate(&p, &[vec![0, 1]], &cfg);
+        assert!(after.remote_ratio < before.remote_ratio);
+        assert!(after.duplication > before.duplication);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let p = Placement::new(vec![0], 1);
+        let report = evaluate(&p, &[], &ClusterConfig::default());
+        assert_eq!(report.total_cost, 0.0);
+        assert_eq!(report.remote_ratio, 0.0);
+    }
+
+    #[test]
+    fn unplaced_item_counts_remote() {
+        let p = Placement::new(vec![0], 1);
+        let report = evaluate(&p, &[vec![0, 99]], &ClusterConfig::default());
+        assert!(report.remote_ratio > 0.0);
+    }
+}

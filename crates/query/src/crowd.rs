@@ -1,0 +1,312 @@
+//! FS.8 — crowdsourced incompleteness resolution.
+//!
+//! "Is it possible to extend the crowdsourcing formalism to identify and
+//! assess the necessity to fetch incomplete data given certain qualitative
+//! (to improve the accuracy and coverage of answers) or quantitative (to
+//! find information faster) cost functions?" (FS.8)
+//!
+//! The crowd is simulated (DESIGN.md substitution): workers answer boolean
+//! questions correctly with a per-worker accuracy, at a per-ask cost. Two
+//! escalation policies implement the statement's two cost-function
+//! families:
+//!
+//! * **qualitative** — keep asking until the posterior confidence of the
+//!   majority answer reaches a target (accuracy-driven);
+//! * **quantitative** — spend at most a budget, distributing asks over
+//!   questions round-robin (speed/cost-driven).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simulated worker.
+#[derive(Debug, Clone, Copy)]
+pub struct Worker {
+    /// Probability of answering correctly.
+    pub accuracy: f64,
+    /// Cost per answered question.
+    pub cost: f64,
+}
+
+/// The escalation policy.
+#[derive(Debug, Clone, Copy)]
+pub enum CostFunction {
+    /// Ask until the majority's posterior confidence ≥ `target` (or the
+    /// per-question ask cap is hit).
+    Qualitative {
+        /// Target posterior confidence.
+        target: f64,
+        /// Hard cap on asks per question.
+        max_asks: usize,
+    },
+    /// Spend at most `budget` total cost across all questions.
+    Quantitative {
+        /// Total budget.
+        budget: f64,
+    },
+}
+
+/// Outcome of a crowd run.
+#[derive(Debug, Clone)]
+pub struct CrowdOutcome {
+    /// Final answer per question (majority vote; `None` when never
+    /// asked).
+    pub answers: Vec<Option<bool>>,
+    /// Total cost spent.
+    pub total_cost: f64,
+    /// Total asks issued.
+    pub asks: usize,
+    /// Fraction of answered questions answered correctly (requires the
+    /// ground truth passed to [`resolve`]; this is the experiment's
+    /// metric, not information the system would have in production).
+    pub accuracy: f64,
+}
+
+/// Posterior confidence of the majority under a symmetric-accuracy model:
+/// with `yes` yes-votes and `no` no-votes from workers of accuracy `p`,
+/// the log-odds of the majority being right grow with the vote margin.
+fn majority_confidence(yes: usize, no: usize, p: f64) -> f64 {
+    let margin = yes.abs_diff(no) as f64;
+    let p = p.clamp(0.51, 0.999);
+    let odds = (p / (1.0 - p)).powf(margin);
+    odds / (1.0 + odds)
+}
+
+/// Run the crowd over boolean `questions` (each paired with its ground
+/// truth for scoring). Workers are drawn round-robin from `pool`.
+pub fn resolve(
+    questions: &[bool],
+    pool: &[Worker],
+    cost_fn: CostFunction,
+    seed: u64,
+) -> CrowdOutcome {
+    if questions.is_empty() || pool.is_empty() {
+        return CrowdOutcome {
+            answers: vec![None; questions.len()],
+            total_cost: 0.0,
+            asks: 0,
+            accuracy: 0.0,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mean_acc: f64 = pool.iter().map(|w| w.accuracy).sum::<f64>() / pool.len() as f64;
+    let mut votes: Vec<(usize, usize)> = vec![(0, 0); questions.len()]; // (yes, no)
+    let mut total_cost = 0.0;
+    let mut asks = 0usize;
+    let mut worker_idx = 0usize;
+
+    let ask = |q: usize,
+               votes: &mut Vec<(usize, usize)>,
+               total_cost: &mut f64,
+               asks: &mut usize,
+               worker_idx: &mut usize,
+               rng: &mut StdRng| {
+        let w = pool[*worker_idx % pool.len()];
+        *worker_idx += 1;
+        let correct = rng.gen_bool(w.accuracy.clamp(0.0, 1.0));
+        let answer = if correct { questions[q] } else { !questions[q] };
+        if answer {
+            votes[q].0 += 1;
+        } else {
+            votes[q].1 += 1;
+        }
+        *total_cost += w.cost;
+        *asks += 1;
+    };
+
+    match cost_fn {
+        CostFunction::Qualitative { target, max_asks } => {
+            for q in 0..questions.len() {
+                for _ in 0..max_asks.max(1) {
+                    ask(
+                        q,
+                        &mut votes,
+                        &mut total_cost,
+                        &mut asks,
+                        &mut worker_idx,
+                        &mut rng,
+                    );
+                    let (yes, no) = votes[q];
+                    if yes != no && majority_confidence(yes, no, mean_acc) >= target {
+                        break;
+                    }
+                }
+            }
+        }
+        CostFunction::Quantitative { budget } => {
+            let mut q = 0usize;
+            loop {
+                let next_cost = pool[worker_idx % pool.len()].cost;
+                if total_cost + next_cost > budget {
+                    break;
+                }
+                ask(
+                    q,
+                    &mut votes,
+                    &mut total_cost,
+                    &mut asks,
+                    &mut worker_idx,
+                    &mut rng,
+                );
+                q = (q + 1) % questions.len();
+            }
+        }
+    }
+
+    let answers: Vec<Option<bool>> = votes
+        .iter()
+        .map(
+            |(yes, no)| {
+                if yes + no == 0 {
+                    None
+                } else {
+                    Some(yes >= no)
+                }
+            },
+        )
+        .collect();
+    let answered: Vec<(usize, bool)> = answers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, a)| a.map(|v| (i, v)))
+        .collect();
+    let correct = answered.iter().filter(|(i, v)| *v == questions[*i]).count();
+    let accuracy = if answered.is_empty() {
+        0.0
+    } else {
+        correct as f64 / answered.len() as f64
+    };
+    CrowdOutcome {
+        answers,
+        total_cost,
+        asks,
+        accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(accuracy: f64, n: usize) -> Vec<Worker> {
+        vec![
+            Worker {
+                accuracy,
+                cost: 1.0
+            };
+            n
+        ]
+    }
+
+    #[test]
+    fn qualitative_reaches_high_accuracy() {
+        let questions: Vec<bool> = (0..50).map(|i| i % 3 == 0).collect();
+        let out = resolve(
+            &questions,
+            &pool(0.8, 10),
+            CostFunction::Qualitative {
+                target: 0.95,
+                max_asks: 15,
+            },
+            1,
+        );
+        assert!(out.accuracy > 0.9, "accuracy {}", out.accuracy);
+        assert!(out.answers.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn quantitative_respects_budget() {
+        let questions: Vec<bool> = (0..50).map(|i| i % 2 == 0).collect();
+        let out = resolve(
+            &questions,
+            &pool(0.8, 10),
+            CostFunction::Quantitative { budget: 30.0 },
+            1,
+        );
+        assert!(out.total_cost <= 30.0);
+        assert_eq!(out.asks, 30);
+        // Only 30 asks over 50 questions: some unanswered.
+        assert!(out.answers.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn more_budget_more_accuracy() {
+        let questions: Vec<bool> = (0..40).map(|i| i % 3 == 0).collect();
+        let cheap = resolve(
+            &questions,
+            &pool(0.7, 10),
+            CostFunction::Quantitative { budget: 40.0 },
+            7,
+        );
+        let rich = resolve(
+            &questions,
+            &pool(0.7, 10),
+            CostFunction::Quantitative { budget: 400.0 },
+            7,
+        );
+        assert!(
+            rich.accuracy >= cheap.accuracy,
+            "rich {} vs cheap {}",
+            rich.accuracy,
+            cheap.accuracy
+        );
+        assert!(rich.accuracy > 0.85);
+    }
+
+    #[test]
+    fn better_workers_need_fewer_asks() {
+        let questions: Vec<bool> = (0..30).map(|i| i % 2 == 0).collect();
+        let qual = CostFunction::Qualitative {
+            target: 0.9,
+            max_asks: 20,
+        };
+        let sloppy = resolve(&questions, &pool(0.65, 10), qual, 3);
+        let sharp = resolve(&questions, &pool(0.95, 10), qual, 3);
+        assert!(
+            sharp.asks < sloppy.asks,
+            "sharp {} vs sloppy {}",
+            sharp.asks,
+            sloppy.asks
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let questions = vec![true, false, true];
+        let a = resolve(
+            &questions,
+            &pool(0.8, 3),
+            CostFunction::Quantitative { budget: 9.0 },
+            42,
+        );
+        let b = resolve(
+            &questions,
+            &pool(0.8, 3),
+            CostFunction::Quantitative { budget: 9.0 },
+            42,
+        );
+        assert_eq!(a.answers, b.answers);
+        assert_eq!(a.total_cost, b.total_cost);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let out = resolve(
+            &[],
+            &pool(0.9, 2),
+            CostFunction::Quantitative { budget: 5.0 },
+            1,
+        );
+        assert_eq!(out.asks, 0);
+        let out = resolve(&[true], &[], CostFunction::Quantitative { budget: 5.0 }, 1);
+        assert_eq!(out.answers, vec![None]);
+    }
+
+    #[test]
+    fn majority_confidence_grows_with_margin() {
+        let c1 = majority_confidence(2, 1, 0.8);
+        let c3 = majority_confidence(4, 1, 0.8);
+        assert!(c3 > c1);
+        assert!(c1 > 0.5);
+        assert!((majority_confidence(1, 1, 0.8) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,69 @@
+//! Errors for the query layer.
+
+use std::fmt;
+
+/// Errors produced by parsing, planning, and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset in the input.
+        at: usize,
+        /// Offending character.
+        ch: char,
+    },
+    /// Unexpected token during parsing.
+    Parse {
+        /// Byte offset of the unexpected token.
+        at: usize,
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// A semantic atom referenced an undeclared concept.
+    UnknownConcept(String),
+    /// A model atom referenced an unknown model.
+    UnknownModel(String),
+    /// The query referenced an unknown source.
+    UnknownSource(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { at, ch } => write!(f, "unexpected character {ch:?} at offset {at}"),
+            QueryError::Parse {
+                at,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parse error at offset {at}: expected {expected}, found {found}"
+            ),
+            QueryError::UnknownConcept(c) => write!(f, "unknown concept in IS atom: {c}"),
+            QueryError::UnknownModel(m) => write!(f, "unknown model in LINKED BY atom: {m}"),
+            QueryError::UnknownSource(s) => write!(f, "unknown source: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = QueryError::Parse {
+            at: 3,
+            expected: "FROM".into(),
+            found: "WHERE".into(),
+        };
+        assert!(e.to_string().contains("expected FROM"));
+        assert!(QueryError::Lex { at: 0, ch: '§' }
+            .to_string()
+            .contains("'§'"));
+    }
+}

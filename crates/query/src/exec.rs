@@ -1,0 +1,570 @@
+//! The instrumented ScQL executor.
+//!
+//! Evaluation is deliberately simple — a scan with short-circuiting
+//! conjunctive filters — because the experiments measure *relative* costs:
+//! per-atom evaluation counts expose the optimizer's reordering and
+//! pruning wins (E-T1-OS3) independent of machine noise. Fuzzy atoms
+//! evaluate to membership degrees and pass at the `alpha` cut; semantic
+//! atoms consult the saturated ABox; model atoms call a trained FS.4
+//! model over caller-provided features.
+
+use std::collections::HashMap;
+
+use scdb_semantic::{Ontology, Saturation, TrainedModel};
+use scdb_storage::RowStore;
+use scdb_types::{EntityId, Record, Symbol, SymbolTable, Value};
+use scdb_uncertain::FuzzyPredicate;
+
+use crate::ast::{Atom, CompareOp};
+use crate::error::QueryError;
+use crate::plan::{LogicalPlan, PlanNode};
+
+/// A scannable source of records.
+pub trait RowSource {
+    /// Source name (matched against the plan's scan).
+    fn name(&self) -> &str;
+    /// Number of rows (for optimizer base cardinality).
+    fn len(&self) -> usize;
+    /// True when the source has no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Scan all rows.
+    fn scan(&self) -> Box<dyn Iterator<Item = &Record> + '_>;
+    /// Resolve an attribute name to its symbol.
+    fn attr(&self, name: &str) -> Option<Symbol>;
+}
+
+/// A source over an in-memory vector (tests, intermediate results).
+pub struct VecSource {
+    name: String,
+    rows: Vec<Record>,
+    attrs: HashMap<String, Symbol>,
+}
+
+impl VecSource {
+    /// Build from rows, resolving attribute names through `symbols`.
+    pub fn new(name: impl Into<String>, rows: Vec<Record>, symbols: &SymbolTable) -> Self {
+        let attrs = symbols
+            .iter()
+            .map(|(sym, n)| (n.to_string(), sym))
+            .collect();
+        VecSource {
+            name: name.into(),
+            rows,
+            attrs,
+        }
+    }
+}
+
+impl RowSource for VecSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+    fn scan(&self) -> Box<dyn Iterator<Item = &Record> + '_> {
+        Box::new(self.rows.iter())
+    }
+    fn attr(&self, name: &str) -> Option<Symbol> {
+        self.attrs.get(name).copied()
+    }
+}
+
+/// A source over a [`RowStore`] (the instance layer).
+pub struct StoreSource<'a> {
+    name: String,
+    store: &'a RowStore,
+    symbols: &'a SymbolTable,
+}
+
+impl<'a> StoreSource<'a> {
+    /// Wrap a row store.
+    pub fn new(name: impl Into<String>, store: &'a RowStore, symbols: &'a SymbolTable) -> Self {
+        StoreSource {
+            name: name.into(),
+            store,
+            symbols,
+        }
+    }
+}
+
+impl RowSource for StoreSource<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+    fn scan(&self) -> Box<dyn Iterator<Item = &Record> + '_> {
+        Box::new(self.store.scan().map(|(_, r)| r))
+    }
+    fn attr(&self, name: &str) -> Option<Symbol> {
+        self.symbols.get(name)
+    }
+}
+
+/// Semantic knowledge for IS / HAS SOME atoms.
+pub struct SemanticEnv<'a> {
+    /// The ontology (concept/role name resolution).
+    pub ontology: &'a Ontology,
+    /// Saturated ABox.
+    pub saturation: &'a Saturation,
+    /// Mapping from *normalized* entity surface names (see
+    /// [`scdb_er::normalize::normalize`]) to entity ids — produced by the
+    /// curation pipeline. Lookups normalize attribute values the same
+    /// way, so `Warfarin`, `warfarin`, and `Warfarin (brand)` all hit.
+    pub entity_by_name: &'a HashMap<String, EntityId>,
+}
+
+impl SemanticEnv<'_> {
+    /// Resolve an attribute value to the entity it names.
+    fn entity_of(&self, surface: &str) -> Option<EntityId> {
+        self.entity_by_name
+            .get(&scdb_er::normalize::normalize(surface))
+            .copied()
+    }
+}
+
+/// Feature extractor for model atoms.
+pub type FeatureFn<'a> = Box<dyn Fn(&Record) -> Vec<f64> + 'a>;
+
+/// Everything the executor may need beyond the rows.
+pub struct EvalEnv<'a> {
+    /// Semantic knowledge (required by IS / HAS SOME atoms).
+    pub semantic: Option<SemanticEnv<'a>>,
+    /// Trained models with their feature extractors (required by model
+    /// atoms).
+    pub models: HashMap<String, (&'a TrainedModel, FeatureFn<'a>)>,
+    /// Alpha cut for fuzzy atoms (default 0.5).
+    pub alpha: f64,
+}
+
+impl Default for EvalEnv<'_> {
+    fn default() -> Self {
+        EvalEnv {
+            semantic: None,
+            models: HashMap::new(),
+            alpha: 0.5,
+        }
+    }
+}
+
+/// Execution counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows pulled from the scan.
+    pub rows_scanned: u64,
+    /// Total atom evaluations (short-circuiting makes this the cost
+    /// metric the optimizer improves).
+    pub atom_evals: u64,
+    /// Rows produced.
+    pub rows_out: u64,
+}
+
+/// The executor.
+#[derive(Debug, Default)]
+pub struct Executor;
+
+impl Executor {
+    /// Run `plan` against `source` with environment `env`.
+    pub fn execute(
+        &self,
+        plan: &LogicalPlan,
+        source: &dyn RowSource,
+        env: &EvalEnv<'_>,
+    ) -> Result<(Vec<Record>, ExecStats), QueryError> {
+        let mut stats = ExecStats::default();
+        if plan.empty {
+            return Ok((Vec::new(), stats));
+        }
+        match plan.source() {
+            Some(s) if s == source.name() => {}
+            Some(s) => return Err(QueryError::UnknownSource(s.to_string())),
+            None => return Err(QueryError::UnknownSource("<missing scan>".into())),
+        }
+        let atoms = plan.filter_atoms();
+        let project: Option<&[String]> = plan.nodes.iter().find_map(|n| match n {
+            PlanNode::Project { attrs } => Some(attrs.as_slice()),
+            _ => None,
+        });
+        let limit = plan.nodes.iter().find_map(|n| match n {
+            PlanNode::Limit { n } => Some(*n),
+            _ => None,
+        });
+
+        let mut out = Vec::new();
+        for record in source.scan() {
+            if let Some(l) = limit {
+                if out.len() >= l {
+                    break;
+                }
+            }
+            stats.rows_scanned += 1;
+            let mut pass = true;
+            for atom in atoms {
+                stats.atom_evals += 1;
+                if !eval_atom(atom, record, source, env)? {
+                    pass = false;
+                    break;
+                }
+            }
+            if !pass {
+                continue;
+            }
+            let projected = match project {
+                None => record.clone(),
+                Some(attrs) => {
+                    let mut r = Record::new();
+                    for a in attrs {
+                        if let Some(sym) = source.attr(a) {
+                            if let Some(v) = record.get(sym) {
+                                r.set(sym, v.clone());
+                            }
+                        }
+                    }
+                    r
+                }
+            };
+            out.push(projected);
+        }
+        stats.rows_out = out.len() as u64;
+        Ok((out, stats))
+    }
+}
+
+fn compare(v: &Value, op: CompareOp, rhs: &Value) -> bool {
+    if v.is_null() || rhs.is_null() {
+        // Codd three-valued logic: unknown never passes a filter.
+        return false;
+    }
+    let ord = v.cmp(rhs);
+    match op {
+        CompareOp::Eq => ord == std::cmp::Ordering::Equal,
+        CompareOp::Ne => ord != std::cmp::Ordering::Equal,
+        CompareOp::Lt => ord == std::cmp::Ordering::Less,
+        CompareOp::Le => ord != std::cmp::Ordering::Greater,
+        CompareOp::Gt => ord == std::cmp::Ordering::Greater,
+        CompareOp::Ge => ord != std::cmp::Ordering::Less,
+    }
+}
+
+fn eval_atom(
+    atom: &Atom,
+    record: &Record,
+    source: &dyn RowSource,
+    env: &EvalEnv<'_>,
+) -> Result<bool, QueryError> {
+    match atom {
+        Atom::Compare { attr, op, value } => {
+            let Some(sym) = source.attr(attr) else {
+                return Ok(false);
+            };
+            let Some(v) = record.get(sym) else {
+                return Ok(false);
+            };
+            Ok(compare(v, *op, &value.to_value()))
+        }
+        Atom::CloseTo {
+            attr,
+            center,
+            width,
+        } => {
+            let Some(sym) = source.attr(attr) else {
+                return Ok(false);
+            };
+            let Some(x) = record.get(sym).and_then(|v| v.as_float()) else {
+                return Ok(false);
+            };
+            let pred = FuzzyPredicate::CloseTo {
+                center: *center,
+                width: *width,
+            };
+            Ok(pred.membership(x) >= env.alpha)
+        }
+        Atom::IsConcept { attr, concept } => {
+            let Some(sem) = &env.semantic else {
+                return Err(QueryError::UnknownConcept(concept.clone()));
+            };
+            let cid = sem
+                .ontology
+                .find_concept(concept)
+                .map_err(|_| QueryError::UnknownConcept(concept.clone()))?;
+            let Some(sym) = source.attr(attr) else {
+                return Ok(false);
+            };
+            let Some(name) = record.get(sym).map(|v| v.render().into_owned()) else {
+                return Ok(false);
+            };
+            let Some(entity) = sem.entity_of(&name) else {
+                return Ok(false);
+            };
+            Ok(sem.saturation.has_type(entity, cid))
+        }
+        Atom::HasSome { attr, role } => {
+            let Some(sem) = &env.semantic else {
+                return Err(QueryError::UnknownConcept(role.clone()));
+            };
+            let rid = sem
+                .ontology
+                .find_role(role)
+                .map_err(|_| QueryError::UnknownConcept(role.clone()))?;
+            let Some(sym) = source.attr(attr) else {
+                return Ok(false);
+            };
+            let Some(name) = record.get(sym).map(|v| v.render().into_owned()) else {
+                return Ok(false);
+            };
+            let Some(entity) = sem.entity_of(&name) else {
+                return Ok(false);
+            };
+            // A named filler or an inferred existential both satisfy ∃R.
+            let named = !sem.saturation.fillers(rid, entity).is_empty();
+            let inferred = sem
+                .saturation
+                .existentials()
+                .iter()
+                .any(|e| e.entity == entity && e.role == rid);
+            Ok(named || inferred)
+        }
+        Atom::ModelAtom { model, threshold } => {
+            let Some((trained, features)) = env.models.get(model) else {
+                return Err(QueryError::UnknownModel(model.clone()));
+            };
+            let x = features(record);
+            let p = trained
+                .predict(&x)
+                .map_err(|_| QueryError::UnknownModel(model.clone()))?;
+            Ok(p >= *threshold)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::plan::LogicalPlan;
+    use scdb_semantic::{ModelKind, ModelSpec};
+    use scdb_types::Confidence;
+
+    fn trials() -> (SymbolTable, VecSource) {
+        let mut syms = SymbolTable::new();
+        let drug = syms.intern("drug");
+        let dose = syms.intern("effective_dose");
+        let rows = vec![
+            Record::from_pairs([(drug, Value::str("Warfarin")), (dose, Value::Float(5.1))]),
+            Record::from_pairs([(drug, Value::str("Warfarin")), (dose, Value::Float(3.4))]),
+            Record::from_pairs([(drug, Value::str("Ibuprofen")), (dose, Value::Float(5.05))]),
+            Record::from_pairs([(drug, Value::str("Warfarin")), (dose, Value::Null)]),
+        ];
+        let src = VecSource::new("trials", rows, &syms);
+        (syms, src)
+    }
+
+    fn run(sql: &str, src: &VecSource, env: &EvalEnv<'_>) -> (Vec<Record>, ExecStats) {
+        let q = parse(sql).unwrap();
+        let plan = LogicalPlan::from_query(&q);
+        Executor.execute(&plan, src, env).unwrap()
+    }
+
+    #[test]
+    fn compare_and_project() {
+        let (syms, src) = trials();
+        let (rows, stats) = run(
+            "SELECT effective_dose FROM trials WHERE drug = 'Warfarin'",
+            &src,
+            &EvalEnv::default(),
+        );
+        assert_eq!(rows.len(), 3);
+        assert_eq!(stats.rows_scanned, 4);
+        let dose = syms.get("effective_dose").unwrap();
+        let drug = syms.get("drug").unwrap();
+        assert!(rows[0].get(dose).is_some());
+        assert!(rows[0].get(drug).is_none(), "projected away");
+    }
+
+    #[test]
+    fn fuzzy_close_to_alpha_cut() {
+        let (_syms, src) = trials();
+        let (rows, _) = run(
+            "SELECT * FROM trials WHERE effective_dose CLOSE TO 5.0 WITHIN 0.5",
+            &src,
+            &EvalEnv::default(),
+        );
+        // 5.1 (0.8) and 5.05 (0.9) pass at alpha 0.5; 3.4 and NULL fail.
+        assert_eq!(rows.len(), 2);
+        let strict = EvalEnv {
+            alpha: 0.85,
+            ..Default::default()
+        };
+        let (rows, _) = run(
+            "SELECT * FROM trials WHERE effective_dose CLOSE TO 5.0 WITHIN 0.5",
+            &src,
+            &strict,
+        );
+        assert_eq!(rows.len(), 1, "only 5.05 passes alpha 0.85");
+    }
+
+    #[test]
+    fn null_never_passes() {
+        let (_syms, src) = trials();
+        let (rows, _) = run(
+            "SELECT * FROM trials WHERE effective_dose > 0",
+            &src,
+            &EvalEnv::default(),
+        );
+        assert_eq!(rows.len(), 3, "null dose row excluded");
+    }
+
+    #[test]
+    fn limit_short_circuits_scan() {
+        let (_syms, src) = trials();
+        let q = parse("SELECT * FROM trials WHERE drug = 'Warfarin' LIMIT 1").unwrap();
+        let plan = LogicalPlan::from_query(&q);
+        let (rows, stats) = Executor.execute(&plan, &src, &EvalEnv::default()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(stats.rows_scanned < 4, "scan stopped early");
+    }
+
+    #[test]
+    fn short_circuit_saves_atom_evals() {
+        let (_syms, src) = trials();
+        // Selective atom first.
+        let (_, cheap) = run(
+            "SELECT * FROM trials WHERE drug = 'Ibuprofen' AND effective_dose > 0",
+            &src,
+            &EvalEnv::default(),
+        );
+        // Unselective atom first.
+        let (_, costly) = run(
+            "SELECT * FROM trials WHERE effective_dose > 0 AND drug = 'Ibuprofen'",
+            &src,
+            &EvalEnv::default(),
+        );
+        assert!(cheap.atom_evals < costly.atom_evals);
+    }
+
+    #[test]
+    fn unknown_attr_filters_all() {
+        let (_syms, src) = trials();
+        let (rows, _) = run(
+            "SELECT * FROM trials WHERE nonexistent = 1",
+            &src,
+            &EvalEnv::default(),
+        );
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn wrong_source_errors() {
+        let (_syms, src) = trials();
+        let q = parse("SELECT * FROM other").unwrap();
+        let plan = LogicalPlan::from_query(&q);
+        assert!(matches!(
+            Executor.execute(&plan, &src, &EvalEnv::default()),
+            Err(QueryError::UnknownSource(_))
+        ));
+    }
+
+    #[test]
+    fn empty_plan_scans_nothing() {
+        let (_syms, src) = trials();
+        let q = parse("SELECT * FROM trials WHERE drug = 'Warfarin'").unwrap();
+        let mut plan = LogicalPlan::from_query(&q);
+        plan.empty = true;
+        let (rows, stats) = Executor.execute(&plan, &src, &EvalEnv::default()).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(stats.rows_scanned, 0, "the OS.3 unsat win");
+    }
+
+    #[test]
+    fn semantic_atoms() {
+        let (_syms, src) = trials();
+        let mut ontology = Ontology::new();
+        ontology.subclass("ApprovedDrug", "Drug");
+        ontology.subclass_exists("Drug", "has_target", "Gene");
+        let approved = ontology.find_concept("ApprovedDrug").unwrap();
+        let warfarin = EntityId(1);
+        ontology.assert_type(warfarin, approved, Confidence::CERTAIN);
+        let sat = scdb_semantic::Reasoner::new().saturate(&ontology);
+        let mut entity_by_name = HashMap::new();
+        entity_by_name.insert("warfarin".to_string(), warfarin); // normalized key
+        let env = EvalEnv {
+            semantic: Some(SemanticEnv {
+                ontology: &ontology,
+                saturation: &sat,
+                entity_by_name: &entity_by_name,
+            }),
+            ..Default::default()
+        };
+        let (rows, _) = run("SELECT * FROM trials WHERE drug IS 'Drug'", &src, &env);
+        assert_eq!(rows.len(), 3, "Warfarin rows pass via ApprovedDrug ⊑ Drug");
+        // Existential from the TBox: Drug ⊑ ∃has_target.Gene.
+        let (rows, _) = run(
+            "SELECT * FROM trials WHERE drug HAS SOME has_target",
+            &src,
+            &env,
+        );
+        assert_eq!(rows.len(), 3);
+        // Ibuprofen is not registered as an entity ⇒ fails IS.
+        let (rows, _) = run(
+            "SELECT * FROM trials WHERE drug = 'Ibuprofen' AND drug IS 'Drug'",
+            &src,
+            &env,
+        );
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn semantic_atom_without_env_errors() {
+        let (_syms, src) = trials();
+        let q = parse("SELECT * FROM trials WHERE drug IS 'Drug'").unwrap();
+        let plan = LogicalPlan::from_query(&q);
+        assert!(matches!(
+            Executor.execute(&plan, &src, &EvalEnv::default()),
+            Err(QueryError::UnknownConcept(_))
+        ));
+    }
+
+    #[test]
+    fn model_atom() {
+        let (syms, src) = trials();
+        let spec = ModelSpec::new(
+            "dose_ok",
+            ModelKind::LogisticRegression,
+            vec!["dose".into()],
+            "dose acceptability",
+        );
+        let rows: Vec<(Vec<f64>, bool)> =
+            (0..40).map(|i| (vec![i as f64 / 10.0], i >= 20)).collect();
+        let trained = spec.train(&rows).unwrap();
+        let dose = syms.get("effective_dose").unwrap();
+        let mut env = EvalEnv::default();
+        env.models.insert(
+            "dose_ok".to_string(),
+            (
+                &trained,
+                Box::new(move |r: &Record| {
+                    vec![r.get(dose).and_then(|v| v.as_float()).unwrap_or(0.0)]
+                }),
+            ),
+        );
+        let (rows, _) = run(
+            "SELECT * FROM trials WHERE LINKED BY dose_ok >= 0.5",
+            &src,
+            &env,
+        );
+        // Doses 5.1, 3.4, and 5.05 are above the learned boundary (~2.0);
+        // the NULL dose maps to feature 0.0 and is rejected.
+        assert_eq!(rows.len(), 3);
+        // Unknown model errors.
+        let q = parse("SELECT * FROM trials WHERE LINKED BY nope >= 0.5").unwrap();
+        let plan = LogicalPlan::from_query(&q);
+        assert!(matches!(
+            Executor.execute(&plan, &src, &env),
+            Err(QueryError::UnknownModel(_))
+        ));
+    }
+}

@@ -1,0 +1,299 @@
+//! The ScQL lexer.
+
+use crate::error::QueryError;
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset in the input.
+    pub at: usize,
+    /// The token kind/payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive).
+    Ident(String),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::Comma => ",".into(),
+            TokenKind::Star => "*".into(),
+            TokenKind::Eq => "=".into(),
+            TokenKind::Ne => "!=".into(),
+            TokenKind::Lt => "<".into(),
+            TokenKind::Le => "<=".into(),
+            TokenKind::Gt => ">".into(),
+            TokenKind::Ge => ">=".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenize an ScQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let at = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    at,
+                    kind: TokenKind::Comma,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token {
+                    at,
+                    kind: TokenKind::Star,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    at,
+                    kind: TokenKind::Eq,
+                });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                tokens.push(Token {
+                    at,
+                    kind: TokenKind::Ne,
+                });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token {
+                        at,
+                        kind: TokenKind::Le,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    tokens.push(Token {
+                        at,
+                        kind: TokenKind::Ne,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        at,
+                        kind: TokenKind::Lt,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token {
+                        at,
+                        kind: TokenKind::Ge,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        at,
+                        kind: TokenKind::Gt,
+                    });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(QueryError::Lex { at, ch: '\'' });
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    at,
+                    kind: TokenKind::Str(s),
+                });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
+                        || bytes[i] == 'E'
+                        || (matches!(bytes[i], '+' | '-') && matches!(bytes[i - 1], 'e' | 'E')))
+                {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n: f64 = text.parse().map_err(|_| QueryError::Lex { at, ch: c })?;
+                tokens.push(Token {
+                    at,
+                    kind: TokenKind::Number(n),
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+                {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                tokens.push(Token {
+                    at,
+                    kind: TokenKind::Ident(text),
+                });
+            }
+            other => return Err(QueryError::Lex { at, ch: other }),
+        }
+    }
+    tokens.push(Token {
+        at: bytes.len(),
+        kind: TokenKind::Eof,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT *, a_b FROM t"),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Comma,
+                TokenKind::Ident("a_b".into()),
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("5 5.1 -3 1e3 2.5e-2"),
+            vec![
+                TokenKind::Number(5.0),
+                TokenKind::Number(5.1),
+                TokenKind::Number(-3.0),
+                TokenKind::Number(1000.0),
+                TokenKind::Number(0.025),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'Warfarin' 'it''s'"),
+            vec![
+                TokenKind::Str("Warfarin".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(matches!(lex("'oops"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn unexpected_char_rejected() {
+        assert!(matches!(
+            lex("a ; b"),
+            Err(QueryError::Lex { at: 2, ch: ';' })
+        ));
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        assert_eq!(
+            kinds("drug.name"),
+            vec![TokenKind::Ident("drug.name".into()), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! The context-aware query model of the `scdb` self-curating database
+//! (paper §4).
+//!
+//! FS.5 asks for "a new semantically enriched query language that combines
+//! the expressiveness and declarativeness power of SQL … and the leading
+//! semantic formalisms such as OWL … \[extended\] with machine learning
+//! models". The answer here is **ScQL**, a small but real language:
+//!
+//! ```text
+//! SELECT name, dose FROM trials
+//! WHERE dose CLOSE TO 5.0 WITHIN 0.5     -- fuzzy atom (§4.2 closeness)
+//!   AND name = 'Warfarin'                -- relational atom
+//!   AND entity IS 'Drug'                 -- semantic atom (OWL membership)
+//!   AND entity HAS SOME has_target       -- existential atom (§3.3)
+//!   AND LINKED BY link_model >= 0.7      -- model atom (FS.4/FS.5)
+//! LIMIT 10
+//! ```
+//!
+//! Modules:
+//!
+//! * [`ast`], [`lexer`], [`parser`] — the language front-end;
+//! * [`plan`] — logical plans with cardinality estimates;
+//! * [`optimizer`] — **OS.3**: rule/cost optimization *plus* semantic
+//!   rewrites (subsumption collapse, disjointness unsat pruning, range
+//!   merging), each individually toggleable for the ablation;
+//! * [`exec`] — the evaluator, instrumented with per-atom evaluation
+//!   counts so optimizer wins are measurable;
+//! * [`refine`] — **FS.6**: query refinement as a random walk seeded by
+//!   query predicates;
+//! * [`qbe`] — **FS.7**: incremental query-by-example completion;
+//! * [`crowd`] — **FS.8**: crowd escalation under qualitative and
+//!   quantitative cost functions;
+//! * [`materialize`] — **FS.9**: context-keyed materialization of
+//!   discovered facts with richness-weighted conflict resolution.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod crowd;
+pub mod exec;
+pub mod lexer;
+pub mod materialize;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+pub mod qbe;
+pub mod refine;
+
+pub mod error;
+
+pub use ast::{Atom, CompareOp, Literal, Query};
+pub use error::QueryError;
+pub use exec::{ExecStats, Executor, RowSource};
+pub use optimizer::{Optimizer, OptimizerConfig, SemanticContext};
+pub use parser::parse;
+pub use plan::{LogicalPlan, PlanNode};

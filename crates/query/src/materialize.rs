@@ -1,0 +1,240 @@
+//! FS.9 — context-aware materialization of discovered facts.
+//!
+//! "How do we formulate the feedback mechanism to materialize the
+//! discovered information guided by the context of query? If the
+//! discovered information is conflicting, then how could we automatically
+//! assess the richness or validity of discovered entities based on the
+//! degree of richness of each source?" (FS.9)
+//!
+//! [`MaterializationCache`] stores facts discovered during refinement,
+//! keyed by a *context* (a canonicalized rendering of the driving query).
+//! Conflicting facts — same subject and role, different object — are
+//! resolved by source richness (the FS.2 score), implementing the
+//! statement's feedback loop. Eviction is least-recently-used over
+//! contexts, and hit/miss counters feed experiment E-T1-FS9.
+
+use std::collections::HashMap;
+
+use scdb_types::EntityId;
+
+/// A discovered, materializable fact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredFact {
+    /// Subject entity.
+    pub subject: EntityId,
+    /// Role name.
+    pub role: String,
+    /// Object entity.
+    pub object: EntityId,
+    /// Richness of the source that contributed the fact (FS.2).
+    pub richness: f64,
+}
+
+/// LRU, context-keyed materialization cache.
+#[derive(Debug)]
+pub struct MaterializationCache {
+    capacity: usize,
+    entries: HashMap<String, Vec<DiscoveredFact>>,
+    /// Recency: higher = more recent.
+    stamp: HashMap<String, u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl MaterializationCache {
+    /// Cache retaining at most `capacity` contexts.
+    pub fn new(capacity: usize) -> Self {
+        MaterializationCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            stamp: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn touch(&mut self, context: &str) {
+        self.clock += 1;
+        self.stamp.insert(context.to_string(), self.clock);
+    }
+
+    /// Materialize `facts` under `context`, resolving conflicts by
+    /// richness. Returns how many facts were rejected as
+    /// conflicting-but-poorer.
+    pub fn materialize(&mut self, context: &str, facts: Vec<DiscoveredFact>) -> usize {
+        self.touch(context);
+        let entry = self.entries.entry(context.to_string()).or_default();
+        let mut rejected = 0;
+        for fact in facts {
+            match entry
+                .iter_mut()
+                .find(|f| f.subject == fact.subject && f.role == fact.role)
+            {
+                Some(existing) if existing.object != fact.object => {
+                    // Conflict: richer source wins (FS.9's validity
+                    // assessment).
+                    if fact.richness > existing.richness {
+                        *existing = fact;
+                    } else {
+                        rejected += 1;
+                    }
+                }
+                Some(existing) => {
+                    // Same fact: keep the stronger richness evidence.
+                    if fact.richness > existing.richness {
+                        existing.richness = fact.richness;
+                    }
+                }
+                None => entry.push(fact),
+            }
+        }
+        self.evict();
+        rejected
+    }
+
+    /// Look up materialized facts for `context`, counting hit/miss.
+    pub fn lookup(&mut self, context: &str) -> Option<&[DiscoveredFact]> {
+        if self.entries.contains_key(context) {
+            self.hits += 1;
+            self.touch(context);
+            self.entries.get(context).map(Vec::as_slice)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    fn evict(&mut self) {
+        while self.entries.len() > self.capacity {
+            if let Some(oldest) = self
+                .stamp
+                .iter()
+                .filter(|(k, _)| self.entries.contains_key(*k))
+                .min_by_key(|(_, ts)| **ts)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                self.stamp.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of cached contexts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Canonical context key for a query: its normalized rendering. Two
+/// queries differing only in atom order share a key.
+pub fn context_key(query: &crate::ast::Query) -> String {
+    let mut atoms: Vec<String> = query.atoms.iter().map(|a| a.to_string()).collect();
+    atoms.sort();
+    format!("{}|{}", query.from, atoms.join("&"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn fact(s: u64, role: &str, o: u64, richness: f64) -> DiscoveredFact {
+        DiscoveredFact {
+            subject: EntityId(s),
+            role: role.to_string(),
+            object: EntityId(o),
+            richness,
+        }
+    }
+
+    #[test]
+    fn materialize_then_hit() {
+        let mut c = MaterializationCache::new(4);
+        assert!(c.lookup("ctx").is_none());
+        c.materialize("ctx", vec![fact(1, "has_target", 2, 0.5)]);
+        let got = c.lookup("ctx").unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(c.stats(), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conflicts_resolved_by_richness() {
+        let mut c = MaterializationCache::new(4);
+        c.materialize("ctx", vec![fact(1, "treats", 2, 0.3)]);
+        // Richer source overrides.
+        let rejected = c.materialize("ctx", vec![fact(1, "treats", 3, 0.9)]);
+        assert_eq!(rejected, 0);
+        assert_eq!(c.lookup("ctx").unwrap()[0].object, EntityId(3));
+        // Poorer source rejected.
+        let rejected = c.materialize("ctx", vec![fact(1, "treats", 4, 0.1)]);
+        assert_eq!(rejected, 1);
+        assert_eq!(c.lookup("ctx").unwrap()[0].object, EntityId(3));
+    }
+
+    #[test]
+    fn agreeing_fact_strengthens_richness() {
+        let mut c = MaterializationCache::new(4);
+        c.materialize("ctx", vec![fact(1, "treats", 2, 0.3)]);
+        c.materialize("ctx", vec![fact(1, "treats", 2, 0.8)]);
+        let got = c.lookup("ctx").unwrap();
+        assert_eq!(got.len(), 1);
+        assert!((got[0].richness - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = MaterializationCache::new(2);
+        c.materialize("a", vec![fact(1, "r", 2, 0.5)]);
+        c.materialize("b", vec![fact(3, "r", 4, 0.5)]);
+        assert!(c.lookup("a").is_some()); // touch a: b is now LRU
+        c.materialize("c", vec![fact(5, "r", 6, 0.5)]);
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup("b").is_none(), "b evicted");
+        assert!(c.lookup("a").is_some());
+        assert!(c.lookup("c").is_some());
+    }
+
+    #[test]
+    fn context_key_is_order_insensitive() {
+        let q1 = parse("SELECT * FROM t WHERE a = 1 AND b = 2").unwrap();
+        let q2 = parse("SELECT * FROM t WHERE b = 2 AND a = 1").unwrap();
+        assert_eq!(context_key(&q1), context_key(&q2));
+        let q3 = parse("SELECT * FROM t WHERE a = 1").unwrap();
+        assert_ne!(context_key(&q1), context_key(&q3));
+    }
+
+    #[test]
+    fn distinct_roles_do_not_conflict() {
+        let mut c = MaterializationCache::new(4);
+        c.materialize(
+            "ctx",
+            vec![fact(1, "treats", 2, 0.5), fact(1, "has_target", 3, 0.5)],
+        );
+        assert_eq!(c.lookup("ctx").unwrap().len(), 2);
+    }
+}

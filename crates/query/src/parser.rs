@@ -1,0 +1,365 @@
+//! Recursive-descent parser for ScQL.
+//!
+//! ```text
+//! query  := SELECT cols FROM ident [WHERE atom (AND atom)*] [LIMIT n]
+//! cols   := '*' | ident (',' ident)*
+//! atom   := ident op literal
+//!         | ident CLOSE TO number [WITHIN number]
+//!         | ident IS (string | ident)
+//!         | ident HAS SOME ident
+//!         | LINKED BY ident (>= | >) number
+//! ```
+
+use crate::ast::{Atom, CompareOp, Literal, Query};
+use crate::error::QueryError;
+use crate::lexer::{lex, Token, TokenKind};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, expected: &str) -> QueryError {
+        let t = self.peek();
+        QueryError::Parse {
+            at: t.at,
+            expected: expected.to_string(),
+            found: t.kind.describe(),
+        }
+    }
+
+    /// Consume an identifier matching `kw` case-insensitively.
+    fn keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.advance();
+                Ok(())
+            }
+            _ => Err(self.error(kw)),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, QueryError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            _ => Err(self.error("identifier")),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, QueryError> {
+        match self.peek().kind {
+            TokenKind::Number(n) => {
+                self.advance();
+                Ok(n)
+            }
+            _ => Err(self.error("number")),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, QueryError> {
+        let t = self.peek().kind.clone();
+        match t {
+            TokenKind::Number(n) => {
+                self.advance();
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    Ok(Literal::Int(n as i64))
+                } else {
+                    Ok(Literal::Float(n))
+                }
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Literal::Str(s))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("true") => {
+                self.advance();
+                Ok(Literal::Bool(true))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("false") => {
+                self.advance();
+                Ok(Literal::Bool(false))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("null") => {
+                self.advance();
+                Ok(Literal::Null)
+            }
+            _ => Err(self.error("literal")),
+        }
+    }
+
+    fn compare_op(&mut self) -> Result<CompareOp, QueryError> {
+        let op = match self.peek().kind {
+            TokenKind::Eq => CompareOp::Eq,
+            TokenKind::Ne => CompareOp::Ne,
+            TokenKind::Lt => CompareOp::Lt,
+            TokenKind::Le => CompareOp::Le,
+            TokenKind::Gt => CompareOp::Gt,
+            TokenKind::Ge => CompareOp::Ge,
+            _ => return Err(self.error("comparison operator")),
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    fn atom(&mut self) -> Result<Atom, QueryError> {
+        if self.is_keyword("LINKED") {
+            self.advance();
+            self.keyword("BY")?;
+            let model = self.ident()?;
+            let op = self.compare_op()?;
+            if !matches!(op, CompareOp::Ge | CompareOp::Gt) {
+                return Err(self.error(">= or > after model name"));
+            }
+            let threshold = self.number()?;
+            return Ok(Atom::ModelAtom { model, threshold });
+        }
+        let attr = self.ident()?;
+        if self.is_keyword("CLOSE") {
+            self.advance();
+            self.keyword("TO")?;
+            let center = self.number()?;
+            let width = if self.is_keyword("WITHIN") {
+                self.advance();
+                self.number()?
+            } else {
+                // Default width: 10% of |center| (narrow-range default).
+                center.abs() * 0.1
+            };
+            return Ok(Atom::CloseTo {
+                attr,
+                center,
+                width,
+            });
+        }
+        if self.is_keyword("IS") {
+            self.advance();
+            let concept = match self.peek().kind.clone() {
+                TokenKind::Str(s) => {
+                    self.advance();
+                    s
+                }
+                TokenKind::Ident(s) => {
+                    self.advance();
+                    s
+                }
+                _ => return Err(self.error("concept name")),
+            };
+            return Ok(Atom::IsConcept { attr, concept });
+        }
+        if self.is_keyword("HAS") {
+            self.advance();
+            self.keyword("SOME")?;
+            let role = self.ident()?;
+            return Ok(Atom::HasSome { attr, role });
+        }
+        let op = self.compare_op()?;
+        let value = self.literal()?;
+        Ok(Atom::Compare { attr, op, value })
+    }
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        self.keyword("SELECT")?;
+        let mut select = Vec::new();
+        if matches!(self.peek().kind, TokenKind::Star) {
+            self.advance();
+        } else {
+            select.push(self.ident()?);
+            while matches!(self.peek().kind, TokenKind::Comma) {
+                self.advance();
+                select.push(self.ident()?);
+            }
+        }
+        self.keyword("FROM")?;
+        let from = self.ident()?;
+        let mut atoms = Vec::new();
+        if self.is_keyword("WHERE") {
+            self.advance();
+            atoms.push(self.atom()?);
+            while self.is_keyword("AND") {
+                self.advance();
+                atoms.push(self.atom()?);
+            }
+        }
+        let mut limit = None;
+        if self.is_keyword("LIMIT") {
+            self.advance();
+            let n = self.number()?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(self.error("non-negative integer limit"));
+            }
+            limit = Some(n as usize);
+        }
+        if !matches!(self.peek().kind, TokenKind::Eof) {
+            return Err(self.error("end of query"));
+        }
+        Ok(Query {
+            select,
+            from,
+            atoms,
+            limit,
+        })
+    }
+}
+
+/// Parse an ScQL query string.
+pub fn parse(input: &str) -> Result<Query, QueryError> {
+    let tokens = lex(input)?;
+    Parser { tokens, pos: 0 }.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("SELECT * FROM trials").unwrap();
+        assert!(q.select.is_empty());
+        assert_eq!(q.from, "trials");
+        assert!(q.atoms.is_empty());
+        assert_eq!(q.limit, None);
+    }
+
+    #[test]
+    fn full_warfarin_query() {
+        let q = parse(
+            "SELECT drug, effective_dose FROM trials \
+             WHERE drug = 'Warfarin' \
+               AND effective_dose CLOSE TO 5.0 WITHIN 0.5 \
+               AND drug IS 'Drug' \
+               AND drug HAS SOME has_target \
+               AND LINKED BY link_model >= 0.7 \
+             LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(q.select, vec!["drug", "effective_dose"]);
+        assert_eq!(q.atoms.len(), 5);
+        assert_eq!(
+            q.atoms[1],
+            Atom::CloseTo {
+                attr: "effective_dose".into(),
+                center: 5.0,
+                width: 0.5
+            }
+        );
+        assert_eq!(
+            q.atoms[3],
+            Atom::HasSome {
+                attr: "drug".into(),
+                role: "has_target".into()
+            }
+        );
+        assert_eq!(
+            q.atoms[4],
+            Atom::ModelAtom {
+                model: "link_model".into(),
+                threshold: 0.7
+            }
+        );
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn close_to_default_width() {
+        let q = parse("SELECT * FROM t WHERE dose CLOSE TO 5.0").unwrap();
+        assert_eq!(
+            q.atoms[0],
+            Atom::CloseTo {
+                attr: "dose".into(),
+                center: 5.0,
+                width: 0.5
+            }
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let q = parse("select a from t where a >= 3 and b is Drug limit 1").unwrap();
+        assert_eq!(q.atoms.len(), 2);
+        assert_eq!(q.limit, Some(1));
+    }
+
+    #[test]
+    fn literals() {
+        let q =
+            parse("SELECT * FROM t WHERE a = 'x' AND b = 2.5 AND c = true AND d != NULL").unwrap();
+        assert_eq!(q.atoms.len(), 4);
+        assert!(matches!(
+            &q.atoms[0],
+            Atom::Compare { value: Literal::Str(s), .. } if s == "x"
+        ));
+        assert!(matches!(
+            q.atoms[1],
+            Atom::Compare {
+                value: Literal::Float(f),
+                ..
+            } if f == 2.5
+        ));
+        assert!(matches!(
+            q.atoms[2],
+            Atom::Compare {
+                value: Literal::Bool(true),
+                ..
+            }
+        ));
+        assert!(matches!(
+            q.atoms[3],
+            Atom::Compare {
+                value: Literal::Null,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn errors_carry_position_and_expectation() {
+        // `FROM` is lexed as an identifier, so it is consumed as the
+        // column list and the parser then misses the FROM keyword.
+        let err = parse("SELECT FROM t").unwrap_err();
+        match err {
+            QueryError::Parse { expected, .. } => assert_eq!(expected, "FROM"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t LIMIT -1").is_err());
+        assert!(parse("SELECT * FROM t garbage").is_err());
+        assert!(parse("SELECT * FROM t WHERE LINKED BY m = 0.5").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT * FROM t LIMIT 1 LIMIT 2").is_err());
+    }
+
+    #[test]
+    fn display_reparses() {
+        let q = parse(
+            "SELECT a FROM t WHERE a CLOSE TO 5.0 WITHIN 0.5 AND b IS 'Drug' AND c >= 3 LIMIT 2",
+        )
+        .unwrap();
+        let q2 = parse(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+}

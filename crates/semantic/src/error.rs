@@ -1,0 +1,47 @@
+//! Errors for the semantic layer.
+
+use std::fmt;
+
+/// Errors produced by ontology construction and reasoning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SemanticError {
+    /// A concept name was used before being declared.
+    UnknownConcept(String),
+    /// A role name was used before being declared.
+    UnknownRole(String),
+    /// A model was asked to predict before being trained.
+    ModelNotTrained(String),
+    /// Training data was empty or degenerate.
+    DegenerateTrainingData(String),
+}
+
+impl fmt::Display for SemanticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticError::UnknownConcept(n) => write!(f, "unknown concept: {n}"),
+            SemanticError::UnknownRole(n) => write!(f, "unknown role: {n}"),
+            SemanticError::ModelNotTrained(n) => write!(f, "model not trained: {n}"),
+            SemanticError::DegenerateTrainingData(n) => {
+                write!(f, "degenerate training data for model {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemanticError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            SemanticError::UnknownConcept("Drug".into()).to_string(),
+            "unknown concept: Drug"
+        );
+        assert!(SemanticError::ModelNotTrained("m".into())
+            .to_string()
+            .contains("not trained"));
+    }
+}

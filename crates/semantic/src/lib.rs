@@ -1,0 +1,45 @@
+//! Semantic layer of the `scdb` self-curating database (paper §3.3).
+//!
+//! The paper grounds its semantic layer in the SHIN description logic:
+//! "I = (Δᴵ, ·ᴵ)" with concepts, roles, an RBox of transitivity and role
+//! inclusion axioms, a TBox of concept inclusions, and an ABox of
+//! membership/role assertions. Full SHIN reasoning is EXPTIME; a
+//! continuously-curating database needs saturation that finishes while
+//! data streams in, so we implement the **EL⁺-style fragment** of SHIN
+//! (conjunction, existential restriction, role hierarchies, transitivity,
+//! domain/range, disjointness) whose consequences are computable by
+//! polynomial rule saturation. Everything the paper's running example
+//! needs is expressible:
+//!
+//! * `Neoplasms ⊑ Disease` (Figure 2 taxonomy),
+//! * `Drug ⊑ ∃has_target.Gene` — so asserting only that Acetaminophen is a
+//!   Drug lets the reasoner conclude it *has some* target "even if the
+//!   specific relation has yet to be discovered" (§3.3),
+//! * disjoint population classes used by the Warfarin scenario (§4.2).
+//!
+//! Modules:
+//!
+//! * [`ontology`] — concept/role registries, TBox/RBox/ABox axioms;
+//! * [`reasoner`] — saturation: type propagation, conjunction,
+//!   existential-on-the-left, role hierarchy, transitivity, domain/range,
+//!   existential witnesses, inconsistency detection;
+//! * [`taxonomy`] — subsumption queries, ancestors/descendants, least
+//!   common subsumer, concept information content;
+//! * [`models`] — **FS.4**: declarative statistical models (naive Bayes,
+//!   logistic regression) that enrich the semantic layer with learned
+//!   linkage predictions.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod models;
+pub mod ontology;
+pub mod reasoner;
+pub mod taxonomy;
+
+pub use error::SemanticError;
+pub use models::{LogisticRegression, ModelKind, ModelSpec, NaiveBayes, TrainedModel};
+pub use ontology::{Axiom, Concept, Ontology, RoleAssertion, TypeAssertion};
+pub use reasoner::{Inconsistency, InferredExistential, Reasoner, Saturation};
+pub use taxonomy::Taxonomy;

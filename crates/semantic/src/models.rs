@@ -1,0 +1,374 @@
+//! FS.4 — declarative statistical models in the semantic layer.
+//!
+//! "We therefore propose that the vertical data expansion be enriched by
+//! adding statistical models, such as those offered by machine learning,
+//! specifically to improve the linkage coverage and accuracy" (§3.3). And
+//! FS.4 asks: "how does one describe a specific statistical model that
+//! should be applied over the data declaratively?"
+//!
+//! The answer here is a [`ModelSpec`]: a declarative description (name,
+//! model family, feature names, target role/concept) that the query layer
+//! can reference from a *model atom* (`LINKED(a, b) BY model`). Training
+//! and inference are implemented from scratch — Gaussian naive Bayes and
+//! logistic regression over dense feature vectors — so the library has no
+//! opaque dependencies.
+
+use std::fmt;
+
+use scdb_types::Confidence;
+
+use crate::error::SemanticError;
+
+/// Supported model families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Gaussian naive Bayes.
+    NaiveBayes,
+    /// Logistic regression trained by gradient descent.
+    LogisticRegression,
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelKind::NaiveBayes => f.write_str("naive_bayes"),
+            ModelKind::LogisticRegression => f.write_str("logistic_regression"),
+        }
+    }
+}
+
+/// A declarative model description — what a user would write in the
+/// unified language (FS.5) to ask the database to maintain a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Model name, referenced from query model-atoms.
+    pub name: String,
+    /// Model family.
+    pub kind: ModelKind,
+    /// Ordered feature names; vectors passed to train/predict must match.
+    pub features: Vec<String>,
+    /// Human-readable description of the predicted relationship (e.g.
+    /// "probability that two entities are linked by has_target").
+    pub target: String,
+}
+
+impl ModelSpec {
+    /// New spec.
+    pub fn new(
+        name: impl Into<String>,
+        kind: ModelKind,
+        features: Vec<String>,
+        target: impl Into<String>,
+    ) -> Self {
+        ModelSpec {
+            name: name.into(),
+            kind,
+            features,
+            target: target.into(),
+        }
+    }
+
+    /// Train on `(features, label)` rows, producing a [`TrainedModel`].
+    pub fn train(&self, rows: &[(Vec<f64>, bool)]) -> Result<TrainedModel, SemanticError> {
+        if rows.is_empty() {
+            return Err(SemanticError::DegenerateTrainingData(self.name.clone()));
+        }
+        let dims = self.features.len();
+        if rows.iter().any(|(x, _)| x.len() != dims) {
+            return Err(SemanticError::DegenerateTrainingData(self.name.clone()));
+        }
+        let pos = rows.iter().filter(|(_, y)| *y).count();
+        if pos == 0 || pos == rows.len() {
+            return Err(SemanticError::DegenerateTrainingData(self.name.clone()));
+        }
+        let inner = match self.kind {
+            ModelKind::NaiveBayes => InnerModel::Nb(NaiveBayes::fit(rows, dims)),
+            ModelKind::LogisticRegression => {
+                InnerModel::Lr(LogisticRegression::fit(rows, dims, 0.5, 400))
+            }
+        };
+        Ok(TrainedModel {
+            spec: self.clone(),
+            inner,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum InnerModel {
+    Nb(NaiveBayes),
+    Lr(LogisticRegression),
+}
+
+/// A trained model bound to its spec.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    spec: ModelSpec,
+    inner: InnerModel,
+}
+
+impl TrainedModel {
+    /// The spec this model was trained from.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Probability that the label is positive for `features`.
+    pub fn predict(&self, features: &[f64]) -> Result<f64, SemanticError> {
+        if features.len() != self.spec.features.len() {
+            return Err(SemanticError::DegenerateTrainingData(
+                self.spec.name.clone(),
+            ));
+        }
+        Ok(match &self.inner {
+            InnerModel::Nb(m) => m.predict(features),
+            InnerModel::Lr(m) => m.predict(features),
+        })
+    }
+
+    /// Prediction converted to a [`Confidence`].
+    pub fn confidence(&self, features: &[f64]) -> Result<Confidence, SemanticError> {
+        Ok(Confidence::new(self.predict(features)?))
+    }
+}
+
+/// Gaussian naive Bayes: per-class feature mean/variance plus class prior.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    prior_pos: f64,
+    mean: [Vec<f64>; 2],
+    var: [Vec<f64>; 2],
+}
+
+impl NaiveBayes {
+    /// Fit on labelled rows.
+    pub fn fit(rows: &[(Vec<f64>, bool)], dims: usize) -> Self {
+        let mut mean = [vec![0.0; dims], vec![0.0; dims]];
+        let mut var = [vec![0.0; dims], vec![0.0; dims]];
+        let mut count = [0usize; 2];
+        for (x, y) in rows {
+            let c = usize::from(*y);
+            count[c] += 1;
+            for (i, v) in x.iter().enumerate() {
+                mean[c][i] += v;
+            }
+        }
+        for c in 0..2 {
+            for m in &mut mean[c] {
+                *m /= count[c].max(1) as f64;
+            }
+        }
+        for (x, y) in rows {
+            let c = usize::from(*y);
+            for (i, v) in x.iter().enumerate() {
+                let d = v - mean[c][i];
+                var[c][i] += d * d;
+            }
+        }
+        for c in 0..2 {
+            for v in &mut var[c] {
+                *v = (*v / count[c].max(1) as f64).max(1e-6);
+            }
+        }
+        NaiveBayes {
+            prior_pos: count[1] as f64 / rows.len() as f64,
+            mean,
+            var,
+        }
+    }
+
+    fn log_likelihood(&self, class: usize, x: &[f64]) -> f64 {
+        let mut ll = 0.0;
+        for (i, v) in x.iter().enumerate() {
+            let m = self.mean[class][i];
+            let s2 = self.var[class][i];
+            ll += -0.5 * ((v - m) * (v - m) / s2 + s2.ln() + std::f64::consts::TAU.ln());
+        }
+        ll
+    }
+
+    /// P(positive | x).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let lp = self.prior_pos.max(1e-12).ln() + self.log_likelihood(1, x);
+        let ln = (1.0 - self.prior_pos).max(1e-12).ln() + self.log_likelihood(0, x);
+        let m = lp.max(ln);
+        let ep = (lp - m).exp();
+        let en = (ln - m).exp();
+        ep / (ep + en)
+    }
+}
+
+/// Logistic regression with full-batch gradient descent and z-score
+/// feature standardization (learned at fit time, applied at predict).
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    feat_mean: Vec<f64>,
+    feat_std: Vec<f64>,
+}
+
+impl LogisticRegression {
+    /// Fit with learning rate `lr` for `epochs` full-batch passes.
+    pub fn fit(rows: &[(Vec<f64>, bool)], dims: usize, lr: f64, epochs: usize) -> Self {
+        let n = rows.len() as f64;
+        let mut feat_mean = vec![0.0; dims];
+        let mut feat_std = vec![0.0; dims];
+        for (x, _) in rows {
+            for (i, v) in x.iter().enumerate() {
+                feat_mean[i] += v;
+            }
+        }
+        for m in &mut feat_mean {
+            *m /= n;
+        }
+        for (x, _) in rows {
+            for (i, v) in x.iter().enumerate() {
+                let d = v - feat_mean[i];
+                feat_std[i] += d * d;
+            }
+        }
+        for s in &mut feat_std {
+            *s = (*s / n).sqrt().max(1e-9);
+        }
+        let standardized: Vec<(Vec<f64>, f64)> = rows
+            .iter()
+            .map(|(x, y)| {
+                (
+                    x.iter()
+                        .enumerate()
+                        .map(|(i, v)| (v - feat_mean[i]) / feat_std[i])
+                        .collect(),
+                    f64::from(u8::from(*y)),
+                )
+            })
+            .collect();
+        let mut weights = vec![0.0; dims];
+        let mut bias = 0.0;
+        for _ in 0..epochs {
+            let mut grad_w = vec![0.0; dims];
+            let mut grad_b = 0.0;
+            for (x, y) in &standardized {
+                let z: f64 = bias + weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+                let p = sigmoid(z);
+                let err = p - y;
+                for (i, v) in x.iter().enumerate() {
+                    grad_w[i] += err * v;
+                }
+                grad_b += err;
+            }
+            for (w, g) in weights.iter_mut().zip(&grad_w) {
+                *w -= lr * g / n;
+            }
+            bias -= lr * grad_b / n;
+        }
+        LogisticRegression {
+            weights,
+            bias,
+            feat_mean,
+            feat_std,
+        }
+    }
+
+    /// P(positive | x).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let z: f64 = self.bias
+            + self
+                .weights
+                .iter()
+                .enumerate()
+                .map(|(i, w)| w * (x[i] - self.feat_mean[i]) / self.feat_std[i])
+                .sum::<f64>();
+        sigmoid(z)
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable data: positive iff x0 + x1 > 1.
+    fn separable(n: usize) -> Vec<(Vec<f64>, bool)> {
+        (0..n)
+            .map(|i| {
+                let a = (i % 10) as f64 / 10.0;
+                let b = ((i / 10) % 10) as f64 / 10.0;
+                (vec![a, b], a + b > 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn logistic_regression_learns_separable() {
+        let spec = ModelSpec::new(
+            "link",
+            ModelKind::LogisticRegression,
+            vec!["a".into(), "b".into()],
+            "test",
+        );
+        let m = spec.train(&separable(100)).unwrap();
+        assert!(m.predict(&[0.9, 0.9]).unwrap() > 0.8);
+        assert!(m.predict(&[0.1, 0.1]).unwrap() < 0.2);
+    }
+
+    #[test]
+    fn naive_bayes_learns_separable() {
+        let spec = ModelSpec::new(
+            "link",
+            ModelKind::NaiveBayes,
+            vec!["a".into(), "b".into()],
+            "test",
+        );
+        let m = spec.train(&separable(100)).unwrap();
+        assert!(m.predict(&[0.95, 0.95]).unwrap() > 0.7);
+        assert!(m.predict(&[0.05, 0.05]).unwrap() < 0.3);
+    }
+
+    #[test]
+    fn degenerate_training_rejected() {
+        let spec = ModelSpec::new("m", ModelKind::NaiveBayes, vec!["a".into()], "t");
+        assert!(spec.train(&[]).is_err());
+        // Single class.
+        assert!(spec.train(&[(vec![1.0], true), (vec![2.0], true)]).is_err());
+        // Dimension mismatch.
+        assert!(spec
+            .train(&[(vec![1.0, 2.0], true), (vec![1.0, 2.0], false)])
+            .is_err());
+    }
+
+    #[test]
+    fn predict_dimension_checked() {
+        let spec = ModelSpec::new("m", ModelKind::LogisticRegression, vec!["a".into()], "t");
+        let m = spec
+            .train(&[(vec![0.0], false), (vec![1.0], true)])
+            .unwrap();
+        assert!(m.predict(&[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn confidence_clamped() {
+        let spec = ModelSpec::new("m", ModelKind::LogisticRegression, vec!["a".into()], "t");
+        let rows: Vec<(Vec<f64>, bool)> = (0..50).map(|i| (vec![i as f64], i >= 25)).collect();
+        let m = spec.train(&rows).unwrap();
+        let c = m.confidence(&[49.0]).unwrap();
+        assert!(c.value() > 0.5 && c.value() <= 1.0);
+    }
+
+    #[test]
+    fn constant_feature_does_not_explode() {
+        let spec = ModelSpec::new(
+            "m",
+            ModelKind::LogisticRegression,
+            vec!["const".into(), "signal".into()],
+            "t",
+        );
+        let rows: Vec<(Vec<f64>, bool)> = (0..40).map(|i| (vec![5.0, i as f64], i >= 20)).collect();
+        let m = spec.train(&rows).unwrap();
+        let p = m.predict(&[5.0, 39.0]).unwrap();
+        assert!(p.is_finite() && p > 0.5);
+    }
+}

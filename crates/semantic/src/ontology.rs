@@ -1,0 +1,278 @@
+//! Concept/role registries and the TBox / RBox / ABox.
+//!
+//! Following §3.3: "A TBox T is a set of concept inclusion axioms of the
+//! form C ⊑ D … An RBox R is a finite set of transitivity axioms and role
+//! inclusion axioms … An ABox A is a set of axioms of the form a : C … and
+//! R(a, b)". Axioms here are restricted to the tractable EL⁺ shapes the
+//! reasoner saturates (see crate docs).
+
+use std::collections::HashMap;
+
+use scdb_types::{ConceptId, Confidence, EntityId, RoleId};
+
+use crate::error::SemanticError;
+
+/// A concept expression in the supported fragment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Concept {
+    /// ⊤ — everything.
+    Top,
+    /// A named atomic concept.
+    Named(ConceptId),
+    /// C₁ ⊓ C₂ ⊓ … (conjunction of named concepts).
+    And(Vec<ConceptId>),
+    /// ∃R.C — existential restriction over a named filler.
+    Exists(RoleId, ConceptId),
+}
+
+/// A TBox / RBox axiom.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Axiom {
+    /// `C ⊑ D` with a named LHS (e.g. `Neoplasms ⊑ Disease`).
+    Subclass(ConceptId, Concept),
+    /// `C₁ ⊓ … ⊓ Cₙ ⊑ D` — conjunction on the left.
+    ConjunctionSubclass(Vec<ConceptId>, ConceptId),
+    /// `∃R.C ⊑ D` — existential on the left ("anything that targets a gene
+    /// is a drug-like agent").
+    ExistsSubclass(RoleId, ConceptId, ConceptId),
+    /// `Disjoint(C, D)` — no individual may be both.
+    Disjoint(ConceptId, ConceptId),
+    /// `R ⊑ P` — role inclusion (RBox).
+    Subrole(RoleId, RoleId),
+    /// `Trans(R)` — transitivity (RBox).
+    Transitive(RoleId),
+    /// `∃R.⊤ ⊑ C` — domain restriction.
+    Domain(RoleId, ConceptId),
+    /// `⊤ ⊑ ∀R.C`, used as: `R(a,b) ⇒ b : C` — range restriction.
+    Range(RoleId, ConceptId),
+}
+
+/// An ABox membership assertion `a : C` with confidence (the paper extends
+/// nulls/uncertainty to every data item; semantic facts carry confidence
+/// so the uncertainty layer can consume them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeAssertion {
+    /// The individual.
+    pub entity: EntityId,
+    /// The named concept.
+    pub concept: ConceptId,
+    /// Assertion confidence.
+    pub confidence: Confidence,
+}
+
+/// An ABox role assertion `R(a, b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoleAssertion {
+    /// Subject.
+    pub from: EntityId,
+    /// Role.
+    pub role: RoleId,
+    /// Object.
+    pub to: EntityId,
+    /// Assertion confidence.
+    pub confidence: Confidence,
+}
+
+/// The ontology: name registries plus TBox/RBox axioms and the ABox.
+#[derive(Debug, Default, Clone)]
+pub struct Ontology {
+    concept_names: Vec<String>,
+    concept_ids: HashMap<String, ConceptId>,
+    role_names: Vec<String>,
+    role_ids: HashMap<String, RoleId>,
+    axioms: Vec<Axiom>,
+    type_assertions: Vec<TypeAssertion>,
+    role_assertions: Vec<RoleAssertion>,
+}
+
+impl Ontology {
+    /// Empty ontology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare (or fetch) a concept by name.
+    pub fn concept(&mut self, name: &str) -> ConceptId {
+        if let Some(id) = self.concept_ids.get(name) {
+            return *id;
+        }
+        let id = ConceptId(self.concept_names.len() as u32);
+        self.concept_names.push(name.to_string());
+        self.concept_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declare (or fetch) a role by name.
+    pub fn role(&mut self, name: &str) -> RoleId {
+        if let Some(id) = self.role_ids.get(name) {
+            return *id;
+        }
+        let id = RoleId(self.role_names.len() as u32);
+        self.role_names.push(name.to_string());
+        self.role_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up a concept id without declaring.
+    pub fn find_concept(&self, name: &str) -> Result<ConceptId, SemanticError> {
+        self.concept_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| SemanticError::UnknownConcept(name.to_string()))
+    }
+
+    /// Look up a role id without declaring.
+    pub fn find_role(&self, name: &str) -> Result<RoleId, SemanticError> {
+        self.role_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| SemanticError::UnknownRole(name.to_string()))
+    }
+
+    /// Concept name.
+    pub fn concept_name(&self, id: ConceptId) -> &str {
+        &self.concept_names[id.index()]
+    }
+
+    /// Role name.
+    pub fn role_name(&self, id: RoleId) -> &str {
+        &self.role_names[id.index()]
+    }
+
+    /// Number of declared concepts.
+    pub fn concept_count(&self) -> usize {
+        self.concept_names.len()
+    }
+
+    /// Number of declared roles.
+    pub fn role_count(&self) -> usize {
+        self.role_names.len()
+    }
+
+    /// Add a TBox/RBox axiom.
+    pub fn add_axiom(&mut self, axiom: Axiom) {
+        if !self.axioms.contains(&axiom) {
+            self.axioms.push(axiom);
+        }
+    }
+
+    /// Shorthand: `sub ⊑ sup` between named concepts.
+    pub fn subclass(&mut self, sub: &str, sup: &str) {
+        let s = self.concept(sub);
+        let p = self.concept(sup);
+        self.add_axiom(Axiom::Subclass(s, Concept::Named(p)));
+    }
+
+    /// Shorthand: `sub ⊑ ∃role.filler`.
+    pub fn subclass_exists(&mut self, sub: &str, role: &str, filler: &str) {
+        let s = self.concept(sub);
+        let r = self.role(role);
+        let f = self.concept(filler);
+        self.add_axiom(Axiom::Subclass(s, Concept::Exists(r, f)));
+    }
+
+    /// Shorthand: disjointness.
+    pub fn disjoint(&mut self, a: &str, b: &str) {
+        let ca = self.concept(a);
+        let cb = self.concept(b);
+        self.add_axiom(Axiom::Disjoint(ca, cb));
+    }
+
+    /// All axioms.
+    pub fn axioms(&self) -> &[Axiom] {
+        &self.axioms
+    }
+
+    /// Assert `entity : concept`.
+    pub fn assert_type(&mut self, entity: EntityId, concept: ConceptId, confidence: Confidence) {
+        self.type_assertions.push(TypeAssertion {
+            entity,
+            concept,
+            confidence,
+        });
+    }
+
+    /// Assert `role(from, to)`.
+    pub fn assert_role(
+        &mut self,
+        from: EntityId,
+        role: RoleId,
+        to: EntityId,
+        confidence: Confidence,
+    ) {
+        self.role_assertions.push(RoleAssertion {
+            from,
+            role,
+            to,
+            confidence,
+        });
+    }
+
+    /// ABox membership assertions.
+    pub fn type_assertions(&self) -> &[TypeAssertion] {
+        &self.type_assertions
+    }
+
+    /// ABox role assertions.
+    pub fn role_assertions(&self) -> &[RoleAssertion] {
+        &self.role_assertions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_is_idempotent() {
+        let mut o = Ontology::new();
+        let a = o.concept("Drug");
+        let b = o.concept("Drug");
+        assert_eq!(a, b);
+        assert_eq!(o.concept_count(), 1);
+        assert_eq!(o.concept_name(a), "Drug");
+        let r = o.role("has_target");
+        assert_eq!(o.role("has_target"), r);
+        assert_eq!(o.role_name(r), "has_target");
+    }
+
+    #[test]
+    fn find_requires_declaration() {
+        let mut o = Ontology::new();
+        assert!(o.find_concept("Gene").is_err());
+        let id = o.concept("Gene");
+        assert_eq!(o.find_concept("Gene").unwrap(), id);
+        assert!(o.find_role("treats").is_err());
+    }
+
+    #[test]
+    fn axioms_deduplicate() {
+        let mut o = Ontology::new();
+        o.subclass("Neoplasms", "Disease");
+        o.subclass("Neoplasms", "Disease");
+        assert_eq!(o.axioms().len(), 1);
+    }
+
+    #[test]
+    fn shorthand_builders() {
+        let mut o = Ontology::new();
+        o.subclass_exists("Drug", "has_target", "Gene");
+        o.disjoint("WhitePopulation", "AsianPopulation");
+        assert_eq!(o.axioms().len(), 2);
+        assert!(matches!(
+            o.axioms()[0],
+            Axiom::Subclass(_, Concept::Exists(_, _))
+        ));
+    }
+
+    #[test]
+    fn abox_assertions_recorded() {
+        let mut o = Ontology::new();
+        let drug = o.concept("Drug");
+        let target = o.role("has_target");
+        o.assert_type(EntityId(1), drug, Confidence::CERTAIN);
+        o.assert_role(EntityId(1), target, EntityId(2), Confidence::new(0.9));
+        assert_eq!(o.type_assertions().len(), 1);
+        assert_eq!(o.role_assertions().len(), 1);
+    }
+}

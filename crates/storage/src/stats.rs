@@ -1,0 +1,347 @@
+//! Per-attribute statistics feeding the cost-based optimizer.
+//!
+//! OS.3 observes that "today's optimizers fail completely in the absence of
+//! statistics". The instance layer therefore maintains cheap, incremental
+//! statistics per attribute: an equi-width histogram over numeric values, a
+//! bounded most-common-values sketch, and null/row counts. The semantic
+//! optimizer (in `scdb-query`) combines these with TBox knowledge to infer
+//! selectivities that the raw statistics alone cannot provide.
+
+use std::collections::HashMap;
+
+use scdb_types::Value;
+
+/// An equi-width histogram over numeric values, built in two passes or
+/// incrementally with a fixed range learned from the first `warmup` values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    total: u64,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi]` with `buckets` equal-width buckets.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets.max(1)],
+            total: 0,
+            below: 0,
+            above: 0,
+        }
+    }
+
+    /// Build from observed values.
+    pub fn from_values(values: impl IntoIterator<Item = f64>, buckets: usize) -> Option<Self> {
+        let vals: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut h = Histogram::new(lo, hi, buckets);
+        for v in vals {
+            h.add(v);
+        }
+        Some(h)
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.total += 1;
+        if v < self.lo {
+            self.below += 1;
+            return;
+        }
+        if v > self.hi {
+            self.above += 1;
+            return;
+        }
+        let width = (self.hi - self.lo).max(f64::MIN_POSITIVE);
+        let idx = (((v - self.lo) / width) * self.buckets.len() as f64) as usize;
+        let idx = idx.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated selectivity of `value <= x` (fraction of rows).
+    pub fn selectivity_le(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if x < self.lo {
+            return self.below as f64 / self.total as f64 * 0.5;
+        }
+        if x >= self.hi {
+            return (self.total - self.above) as f64 / self.total as f64
+                + self.above as f64 / self.total as f64 * 0.5;
+        }
+        let width = (self.hi - self.lo).max(f64::MIN_POSITIVE);
+        let pos = (x - self.lo) / width * self.buckets.len() as f64;
+        let full = pos.floor() as usize;
+        let frac = pos - pos.floor();
+        let mut count = self.below as f64;
+        for b in &self.buckets[..full.min(self.buckets.len())] {
+            count += *b as f64;
+        }
+        if full < self.buckets.len() {
+            count += self.buckets[full] as f64 * frac;
+        }
+        (count / self.total as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of `a <= value <= b`.
+    pub fn selectivity_range(&self, a: f64, b: f64) -> f64 {
+        if a > b {
+            return 0.0;
+        }
+        (self.selectivity_le(b) - self.selectivity_le(a)).max(0.0)
+    }
+}
+
+/// Bounded most-common-values sketch (space-saving style: when full, the
+/// minimum-count entry is evicted and its count inherited).
+#[derive(Debug, Clone)]
+pub struct CommonValues {
+    counts: HashMap<Value, u64>,
+    capacity: usize,
+    total: u64,
+}
+
+impl CommonValues {
+    /// Sketch tracking at most `capacity` candidates.
+    pub fn new(capacity: usize) -> Self {
+        CommonValues {
+            counts: HashMap::new(),
+            capacity: capacity.max(1),
+            total: 0,
+        }
+    }
+
+    /// Observe a value.
+    pub fn add(&mut self, v: &Value) {
+        self.total += 1;
+        if let Some(c) = self.counts.get_mut(v) {
+            *c += 1;
+            return;
+        }
+        if self.counts.len() < self.capacity {
+            self.counts.insert(v.clone(), 1);
+            return;
+        }
+        // Space-saving eviction.
+        let (min_v, min_c) = self
+            .counts
+            .iter()
+            .min_by_key(|(_, c)| **c)
+            .map(|(v, c)| (v.clone(), *c))
+            .expect("non-empty at capacity");
+        self.counts.remove(&min_v);
+        self.counts.insert(v.clone(), min_c + 1);
+    }
+
+    /// Estimated frequency (fraction) of `v`.
+    pub fn frequency(&self, v: &Value) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .get(v)
+            .map(|c| *c as f64 / self.total as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// The top `k` values by estimated count.
+    pub fn top(&self, k: usize) -> Vec<(Value, u64)> {
+        let mut v: Vec<(Value, u64)> = self.counts.iter().map(|(v, c)| (v.clone(), *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Full statistics for one attribute.
+#[derive(Debug, Clone)]
+pub struct AttrStatistics {
+    /// Rows observed (including nulls).
+    pub rows: u64,
+    /// Null/absent observations.
+    pub nulls: u64,
+    /// Numeric histogram, present when the attribute is numeric-bearing.
+    pub histogram: Option<Histogram>,
+    /// Most-common-values sketch.
+    pub common: CommonValues,
+    /// Exact-then-frozen distinct estimate.
+    pub distinct: u64,
+    distinct_set: Option<std::collections::HashSet<Value>>,
+}
+
+impl AttrStatistics {
+    /// New statistics tracker. `mcv_capacity` bounds the common-values
+    /// sketch, `distinct_cap` the exact distinct tracking.
+    pub fn new(mcv_capacity: usize, distinct_cap: usize) -> Self {
+        AttrStatistics {
+            rows: 0,
+            nulls: 0,
+            histogram: None,
+            common: CommonValues::new(mcv_capacity),
+            distinct: 0,
+            distinct_set: Some(std::collections::HashSet::with_capacity(
+                distinct_cap.min(1024),
+            )),
+        }
+    }
+
+    /// Observe one value (pass `Value::Null` for absent).
+    pub fn observe(&mut self, v: &Value) {
+        self.rows += 1;
+        if v.is_null() {
+            self.nulls += 1;
+            return;
+        }
+        self.common.add(v);
+        if let Some(f) = v.as_float() {
+            match &mut self.histogram {
+                Some(h) => h.add(f),
+                None => {
+                    // Start a generously wide histogram on first numeric.
+                    let mut h = Histogram::new(f - 1.0, f + 1.0, 32);
+                    h.add(f);
+                    self.histogram = Some(h);
+                }
+            }
+        }
+        if let Some(set) = &mut self.distinct_set {
+            set.insert(v.clone());
+            self.distinct = set.len() as u64;
+            if set.len() >= 4096 {
+                self.distinct_set = None; // freeze
+            }
+        }
+    }
+
+    /// Estimated selectivity of equality with `v`.
+    pub fn selectivity_eq(&self, v: &Value) -> f64 {
+        let mcv = self.common.frequency(v);
+        if mcv > 0.0 {
+            return mcv;
+        }
+        if self.distinct > 0 {
+            1.0 / self.distinct as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of non-null rows.
+    pub fn non_null_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            (self.rows - self.nulls) as f64 / self.rows as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_uniform_selectivity() {
+        let h = Histogram::from_values((0..1000).map(|i| i as f64), 50).unwrap();
+        let s = h.selectivity_le(499.0);
+        assert!((s - 0.5).abs() < 0.05, "got {s}");
+        let r = h.selectivity_range(250.0, 750.0);
+        assert!((r - 0.5).abs() < 0.05, "got {r}");
+    }
+
+    #[test]
+    fn histogram_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        for i in 0..10 {
+            h.add(i as f64);
+        }
+        h.add(-5.0);
+        h.add(100.0);
+        assert_eq!(h.total(), 12);
+        assert!(h.selectivity_le(-10.0) < 0.1);
+        assert!(h.selectivity_le(1000.0) > 0.9);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(f64::NAN);
+        h.add(f64::INFINITY);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn histogram_reversed_bounds_normalized() {
+        let h = Histogram::new(10.0, 0.0, 4);
+        assert!(h.selectivity_le(5.0) >= 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_from_values() {
+        assert!(Histogram::from_values(std::iter::empty(), 4).is_none());
+    }
+
+    #[test]
+    fn common_values_tracks_heavy_hitters() {
+        let mut c = CommonValues::new(2);
+        for _ in 0..100 {
+            c.add(&Value::str("hot"));
+        }
+        for i in 0..10 {
+            c.add(&Value::Int(i));
+        }
+        let top = c.top(1);
+        assert_eq!(top[0].0, Value::str("hot"));
+        assert!(c.frequency(&Value::str("hot")) > 0.5);
+    }
+
+    #[test]
+    fn attr_stats_selectivity() {
+        let mut s = AttrStatistics::new(8, 4096);
+        for _ in 0..90 {
+            s.observe(&Value::str("common"));
+        }
+        for i in 0..10 {
+            s.observe(&Value::str(format!("rare{i}")));
+        }
+        assert!((s.selectivity_eq(&Value::str("common")) - 0.9).abs() < 0.01);
+        let rare = s.selectivity_eq(&Value::str("unseen"));
+        assert!(rare > 0.0 && rare < 0.2);
+    }
+
+    #[test]
+    fn attr_stats_nulls_and_histogram() {
+        let mut s = AttrStatistics::new(8, 4096);
+        s.observe(&Value::Null);
+        s.observe(&Value::Float(5.1));
+        s.observe(&Value::Float(3.4));
+        assert_eq!(s.nulls, 1);
+        assert!((s.non_null_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert!(s.histogram.is_some());
+    }
+}

@@ -1,0 +1,252 @@
+//! Token-indexed text store — the unstructured end of the instance layer.
+//!
+//! §3.1: "future databases must natively also support … unstructured data
+//! such as text documents". The relation layer "may additionally capture
+//! the results of information extraction"; this store provides the
+//! substrate: documents, a tokenizer, an inverted index, and TF-IDF scoring
+//! used both for retrieval and by the entity-resolution similarity metrics.
+
+use std::collections::HashMap;
+
+use scdb_types::RecordId;
+
+/// Lowercasing, alphanumeric-run tokenizer. Deterministic and cheap; the
+/// entity-resolution crate reuses it so record text and document text
+/// tokenize identically.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// A scored retrieval hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The matching document's record id.
+    pub record: RecordId,
+    /// TF-IDF score (higher is better).
+    pub score: f64,
+}
+
+/// An in-memory text store with an inverted index.
+#[derive(Debug, Default)]
+pub struct TextStore {
+    docs: HashMap<RecordId, String>,
+    /// token → (record, term frequency)
+    postings: HashMap<String, Vec<(RecordId, u32)>>,
+    /// per-document token counts (for TF normalization)
+    doc_len: HashMap<RecordId, u32>,
+}
+
+impl TextStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index `text` under `record`. Re-indexing the same record replaces
+    /// its previous content.
+    pub fn index(&mut self, record: RecordId, text: &str) {
+        if self.docs.contains_key(&record) {
+            self.remove(record);
+        }
+        let tokens = tokenize(text);
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in &tokens {
+            *tf.entry(t.clone()).or_insert(0) += 1;
+        }
+        for (token, count) in tf {
+            self.postings
+                .entry(token)
+                .or_default()
+                .push((record, count));
+        }
+        self.doc_len.insert(record, tokens.len() as u32);
+        self.docs.insert(record, text.to_string());
+    }
+
+    /// Remove a record's document from the index.
+    pub fn remove(&mut self, record: RecordId) -> Option<String> {
+        let text = self.docs.remove(&record)?;
+        self.doc_len.remove(&record);
+        for token in tokenize(&text) {
+            if let Some(list) = self.postings.get_mut(&token) {
+                list.retain(|(r, _)| *r != record);
+                if list.is_empty() {
+                    self.postings.remove(&token);
+                }
+            }
+        }
+        Some(text)
+    }
+
+    /// Raw document text.
+    pub fn get(&self, record: RecordId) -> Option<&str> {
+        self.docs.get(&record).map(String::as_str)
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Inverse document frequency of a token.
+    fn idf(&self, token: &str) -> f64 {
+        let n = self.docs.len() as f64;
+        let df = self
+            .postings
+            .get(token)
+            .map(|l| l.len() as f64)
+            .unwrap_or(0.0);
+        if df == 0.0 {
+            0.0
+        } else {
+            ((n + 1.0) / (df + 0.5)).ln().max(0.0)
+        }
+    }
+
+    /// TF-IDF ranked search; returns the top `k` hits.
+    pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
+        let mut scores: HashMap<RecordId, f64> = HashMap::new();
+        for token in tokenize(query) {
+            let idf = self.idf(&token);
+            if idf == 0.0 {
+                continue;
+            }
+            if let Some(list) = self.postings.get(&token) {
+                for (record, tf) in list {
+                    let len = self.doc_len.get(record).copied().unwrap_or(1).max(1) as f64;
+                    *scores.entry(*record).or_insert(0.0) += (*tf as f64 / len) * idf;
+                }
+            }
+        }
+        let mut hits: Vec<Hit> = scores
+            .into_iter()
+            .map(|(record, score)| Hit { record, score })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.record.cmp(&b.record))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// TF-IDF weight vector for a record's document (token → weight),
+    /// used by cosine similarity in entity resolution.
+    pub fn tfidf_vector(&self, record: RecordId) -> HashMap<String, f64> {
+        let mut out = HashMap::new();
+        let Some(text) = self.docs.get(&record) else {
+            return out;
+        };
+        let len = self.doc_len.get(&record).copied().unwrap_or(1).max(1) as f64;
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in tokenize(text) {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        for (token, count) in tf {
+            let idf = self.idf(&token);
+            if idf > 0.0 {
+                out.insert(token, (count as f64 / len) * idf);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdb_types::SourceId;
+
+    fn rid(o: u64) -> RecordId {
+        RecordId::new(SourceId(0), o)
+    }
+
+    #[test]
+    fn tokenizer_lowercases_and_splits() {
+        assert_eq!(
+            tokenize("Warfarin, 5.1mg — blood-clot!"),
+            vec!["warfarin", "5", "1mg", "blood", "clot"]
+        );
+        assert!(tokenize("   ").is_empty());
+        assert_eq!(tokenize("ÉCLAIR"), vec!["éclair"]);
+    }
+
+    #[test]
+    fn search_ranks_relevant_docs_first() {
+        let mut s = TextStore::new();
+        s.index(rid(0), "warfarin prevents blood clots in patients");
+        s.index(rid(1), "ibuprofen reduces fever and pain");
+        s.index(rid(2), "warfarin warfarin dosage guidance");
+        let hits = s.search("warfarin dosage", 10);
+        assert_eq!(hits[0].record, rid(2));
+        assert!(hits.iter().any(|h| h.record == rid(0)));
+        assert!(!hits.iter().any(|h| h.record == rid(1)));
+    }
+
+    #[test]
+    fn reindex_replaces() {
+        let mut s = TextStore::new();
+        s.index(rid(0), "alpha beta");
+        s.index(rid(0), "gamma delta");
+        assert!(s.search("alpha", 10).is_empty());
+        assert_eq!(s.search("gamma", 10).len(), 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_cleans_postings() {
+        let mut s = TextStore::new();
+        s.index(rid(0), "unique token here");
+        assert_eq!(s.remove(rid(0)), Some("unique token here".to_string()));
+        assert!(s.search("unique", 10).is_empty());
+        assert!(s.is_empty());
+        assert_eq!(s.remove(rid(0)), None);
+    }
+
+    #[test]
+    fn unknown_query_tokens_score_zero() {
+        let mut s = TextStore::new();
+        s.index(rid(0), "something");
+        assert!(s.search("nonexistenttoken", 10).is_empty());
+    }
+
+    #[test]
+    fn tfidf_vector_downweights_common_tokens() {
+        let mut s = TextStore::new();
+        s.index(rid(0), "drug target drug");
+        s.index(rid(1), "drug gene");
+        s.index(rid(2), "drug disease");
+        let v = s.tfidf_vector(rid(0));
+        // "drug" appears everywhere → lower idf than "target".
+        let drug = v.get("drug").copied().unwrap_or(0.0);
+        let target = v.get("target").copied().unwrap_or(0.0);
+        assert!(target > drug, "target {target} should outweigh drug {drug}");
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let mut s = TextStore::new();
+        for i in 0..20 {
+            s.index(rid(i), "shared token");
+        }
+        assert_eq!(s.search("shared", 5).len(), 5);
+    }
+}

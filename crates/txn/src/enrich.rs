@@ -1,0 +1,241 @@
+//! Enrichment-aware isolation — the heart of FS.11.
+//!
+//! Curation is a writer that no transaction controls: entity resolution
+//! merges nodes, the reasoner derives new facts, models re-predict links.
+//! The paper asks whether classical isolation "could ever be satisfied"
+//! when such non-deterministic writes flow continuously, and proposes
+//! "relaxed isolation semantics (e.g., eventual consistencies) … to
+//! account for situations where changes … once received may be
+//! non-deterministic (i.e., pulled and eventually received with
+//! uncertainty)".
+//!
+//! [`EnrichedDb`] exposes both regimes over one MVCC store:
+//!
+//! * [`IsolationMode::Snapshot`] — enrichment versions obey snapshot
+//!   visibility: transactions are repeatable but read *stale* enrichment;
+//! * [`IsolationMode::RelaxedEnrichment`] — enrichment versions are
+//!   visible the moment they land, even mid-transaction: fresh but
+//!   non-repeatable. Every read records whether it observed a version
+//!   newer than the snapshot (a *non-deterministic phantom*), so the
+//!   E-T1-FS11 experiment can report the anomaly rate it costs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use scdb_types::Value;
+
+use crate::mvcc::{Transaction, TxnManager, VersionOrigin};
+
+/// The isolation regime for enrichment visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationMode {
+    /// Enrichment writes obey snapshot visibility (repeatable, stale).
+    Snapshot,
+    /// Enrichment writes are immediately visible (fresh, non-repeatable).
+    RelaxedEnrichment,
+}
+
+/// Counters describing what reads observed.
+#[derive(Debug, Default)]
+pub struct ReadStats {
+    /// Total reads served.
+    pub reads: AtomicU64,
+    /// Reads that observed an enrichment version newer than the reader's
+    /// snapshot — the non-deterministic phantoms of FS.11.
+    pub phantoms: AtomicU64,
+    /// Reads that returned enrichment-origin data (any age).
+    pub enriched_reads: AtomicU64,
+}
+
+impl ReadStats {
+    /// Snapshot of `(reads, phantoms, enriched_reads)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.reads.load(Ordering::Relaxed),
+            self.phantoms.load(Ordering::Relaxed),
+            self.enriched_reads.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Phantom rate in `[0, 1]`.
+    pub fn phantom_rate(&self) -> f64 {
+        let (reads, phantoms, _) = self.snapshot();
+        if reads == 0 {
+            0.0
+        } else {
+            phantoms as f64 / reads as f64
+        }
+    }
+}
+
+/// An MVCC store shared between user transactions and the curation
+/// pipeline.
+#[derive(Debug, Clone)]
+pub struct EnrichedDb {
+    tm: TxnManager,
+    mode: IsolationMode,
+    stats: Arc<ReadStats>,
+}
+
+impl EnrichedDb {
+    /// New store under `mode`.
+    pub fn new(mode: IsolationMode) -> Self {
+        EnrichedDb {
+            tm: TxnManager::new(),
+            mode,
+            stats: Arc::new(ReadStats::default()),
+        }
+    }
+
+    /// The isolation mode in effect.
+    pub fn mode(&self) -> IsolationMode {
+        self.mode
+    }
+
+    /// The underlying transaction manager (for explicit writes).
+    pub fn txn_manager(&self) -> &TxnManager {
+        &self.tm
+    }
+
+    /// Begin a user transaction.
+    pub fn begin(&self) -> Transaction {
+        self.tm.begin()
+    }
+
+    /// A curation write: lands immediately at a fresh timestamp with
+    /// enrichment origin — "not the result of explicit update queries".
+    pub fn enrich(&self, key: u64, value: Value) -> u64 {
+        self.tm
+            .install_raw(key, Some(value), VersionOrigin::Enrichment)
+    }
+
+    /// A curation retraction (e.g. an ER merge superseded an entity).
+    pub fn retract(&self, key: u64) -> u64 {
+        self.tm.install_raw(key, None, VersionOrigin::Enrichment)
+    }
+
+    /// Read under the configured isolation mode, recording anomaly
+    /// statistics.
+    pub fn read(&self, txn: &mut Transaction, key: u64) -> Option<Value> {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        match self.mode {
+            IsolationMode::Snapshot => self.tm.read(txn, key),
+            IsolationMode::RelaxedEnrichment => {
+                // Latest enrichment version (any timestamp) vs snapshot-
+                // visible explicit state: prefer the fresher of the two.
+                let snapshot_view = self.tm.read(txn, key);
+                let latest_enrich = self
+                    .tm
+                    .read_latest_with(key, |v| v.origin == VersionOrigin::Enrichment);
+                match latest_enrich {
+                    Some((ts, value)) => {
+                        // Is the enrichment version the freshest overall?
+                        let explicit_ts = self
+                            .tm
+                            .read_with(key, u64::MAX, |v| v.origin == VersionOrigin::Explicit)
+                            .map(|_| ());
+                        let _ = explicit_ts;
+                        self.stats.enriched_reads.fetch_add(1, Ordering::Relaxed);
+                        if ts > txn.snapshot_ts() {
+                            self.stats.phantoms.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Freshest enrichment wins over the snapshot view
+                        // when newer; otherwise the snapshot view already
+                        // includes it.
+                        if ts > txn.snapshot_ts() {
+                            value
+                        } else {
+                            snapshot_view
+                        }
+                    }
+                    None => snapshot_view,
+                }
+            }
+        }
+    }
+
+    /// Anomaly statistics.
+    pub fn stats(&self) -> &ReadStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_mode_hides_mid_txn_enrichment() {
+        let db = EnrichedDb::new(IsolationMode::Snapshot);
+        db.enrich(1, Value::Int(1));
+        let mut t = db.begin();
+        assert_eq!(db.read(&mut t, 1), Some(Value::Int(1)));
+        db.enrich(1, Value::Int(2)); // curation lands mid-transaction
+        assert_eq!(db.read(&mut t, 1), Some(Value::Int(1)), "repeatable");
+        assert_eq!(db.stats().snapshot().1, 0, "no phantoms in snapshot mode");
+    }
+
+    #[test]
+    fn relaxed_mode_sees_fresh_enrichment_and_counts_phantom() {
+        let db = EnrichedDb::new(IsolationMode::RelaxedEnrichment);
+        db.enrich(1, Value::Int(1));
+        let mut t = db.begin();
+        assert_eq!(db.read(&mut t, 1), Some(Value::Int(1)));
+        db.enrich(1, Value::Int(2));
+        assert_eq!(db.read(&mut t, 1), Some(Value::Int(2)), "fresh");
+        let (reads, phantoms, enriched) = db.stats().snapshot();
+        assert_eq!(reads, 2);
+        assert_eq!(phantoms, 1);
+        assert_eq!(enriched, 2);
+        assert!(db.stats().phantom_rate() > 0.4);
+    }
+
+    #[test]
+    fn relaxed_mode_retraction_visible() {
+        let db = EnrichedDb::new(IsolationMode::RelaxedEnrichment);
+        db.enrich(5, Value::str("fact"));
+        let mut t = db.begin();
+        assert_eq!(db.read(&mut t, 5), Some(Value::str("fact")));
+        db.retract(5);
+        assert_eq!(db.read(&mut t, 5), None, "retraction observed");
+    }
+
+    #[test]
+    fn explicit_writes_still_snapshot_isolated_in_relaxed_mode() {
+        let db = EnrichedDb::new(IsolationMode::RelaxedEnrichment);
+        let mut setup = db.begin();
+        setup.write(9, Value::Int(1)).unwrap();
+        db.txn_manager().commit(&mut setup).unwrap();
+
+        let mut reader = db.begin();
+        assert_eq!(db.read(&mut reader, 9), Some(Value::Int(1)));
+        // A concurrent *explicit* commit stays invisible.
+        let mut writer = db.begin();
+        writer.write(9, Value::Int(2)).unwrap();
+        db.txn_manager().commit(&mut writer).unwrap();
+        assert_eq!(
+            db.read(&mut reader, 9),
+            Some(Value::Int(1)),
+            "explicit writes keep snapshot semantics"
+        );
+    }
+
+    #[test]
+    fn old_enrichment_does_not_count_as_phantom() {
+        let db = EnrichedDb::new(IsolationMode::RelaxedEnrichment);
+        db.enrich(2, Value::Int(7));
+        let mut t = db.begin();
+        assert_eq!(db.read(&mut t, 2), Some(Value::Int(7)));
+        let (_, phantoms, _) = db.stats().snapshot();
+        assert_eq!(phantoms, 0, "enrichment before snapshot is not a phantom");
+    }
+
+    #[test]
+    fn missing_key_reads_none_everywhere() {
+        for mode in [IsolationMode::Snapshot, IsolationMode::RelaxedEnrichment] {
+            let db = EnrichedDb::new(mode);
+            let mut t = db.begin();
+            assert_eq!(db.read(&mut t, 404), None);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Errors for the transaction layer.
+
+use std::fmt;
+
+/// Errors produced by transactional operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// First-committer-wins validation failed: another transaction
+    /// committed a conflicting write after this transaction's snapshot.
+    WriteConflict {
+        /// The contended key.
+        key: u64,
+    },
+    /// The transaction is not active (already committed or aborted).
+    NotActive,
+    /// The write-ahead log contained a malformed record.
+    CorruptLog {
+        /// Byte offset of the malformed record.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::WriteConflict { key } => {
+                write!(f, "write-write conflict on key {key}")
+            }
+            TxnError::NotActive => write!(f, "transaction is not active"),
+            TxnError::CorruptLog { offset } => {
+                write!(f, "corrupt log record at byte offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            TxnError::WriteConflict { key: 9 }.to_string(),
+            "write-write conflict on key 9"
+        );
+        assert!(TxnError::CorruptLog { offset: 4 }.to_string().contains("4"));
+    }
+}

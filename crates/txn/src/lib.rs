@@ -1,0 +1,38 @@
+//! Concurrency control for the enriched data model — FS.11.
+//!
+//! The paper asks: "If the relation and semantic layers can be changed
+//! continuously, even when the instance layer does not change, and these
+//! layers are further enhanced with non-deterministic predictive inference
+//! power, could the classical isolation semantics … ever be satisfied? In
+//! what ways must concurrency control be extended to account for the
+//! non-determinism that is not the result of explicit update queries?"
+//!
+//! This crate provides the machinery to *pose and measure* that question:
+//!
+//! * [`mvcc`] — a classical multi-version store with snapshot-isolation
+//!   transactions (first-committer-wins write conflicts);
+//! * [`wal`] — write-ahead logging and crash recovery (redo of committed
+//!   transactions, checkpointing), because "these fundamental changes to
+//!   the concurrency model will inevitably have implication\[s\] for …
+//!   logging and recovery protocols";
+//! * [`enrich`] — the extension: *enrichment writes* originate from the
+//!   curation pipeline, not from user transactions. Under
+//!   [`enrich::IsolationMode::Snapshot`] they stay invisible to running
+//!   transactions (repeatable reads, stale enrichment); under
+//!   [`enrich::IsolationMode::RelaxedEnrichment`] — the paper's "pulled
+//!   and eventually received with uncertainty" — they become visible
+//!   immediately, trading repeatability for freshness. The anomaly
+//!   counters quantify the trade in experiment E-T1-FS11.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enrich;
+pub mod error;
+pub mod mvcc;
+pub mod wal;
+
+pub use enrich::{EnrichedDb, IsolationMode, ReadStats};
+pub use error::TxnError;
+pub use mvcc::{Transaction, TxnManager, TxnStatus};
+pub use wal::{LogRecord, RecoveryReport, Wal};

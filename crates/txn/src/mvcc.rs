@@ -1,0 +1,457 @@
+//! Multi-version concurrency control with snapshot isolation.
+//!
+//! Keys are opaque `u64`s (the core crate maps `(entity, attribute)` pairs
+//! onto them); values are instance-layer [`Value`]s. Writers buffer
+//! locally; commit validates first-committer-wins against versions
+//! installed after the transaction's snapshot, then installs all writes
+//! atomically at a fresh commit timestamp.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use scdb_types::Value;
+
+use crate::error::TxnError;
+
+/// Visibility origin of a version (consumed by the enrichment layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionOrigin {
+    /// Installed by an explicit transaction commit.
+    Explicit,
+    /// Installed by the curation pipeline (relation/semantic layer churn).
+    Enrichment,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Version {
+    pub commit_ts: u64,
+    pub value: Option<Value>,
+    pub origin: VersionOrigin,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Store {
+    /// key → versions sorted ascending by `commit_ts`.
+    pub chains: HashMap<u64, Vec<Version>>,
+}
+
+impl Store {
+    /// Latest version visible at `ts`, optionally filtered by origin
+    /// predicate.
+    pub fn visible<F: Fn(&Version) -> bool>(
+        &self,
+        key: u64,
+        ts: u64,
+        admit: F,
+    ) -> Option<&Version> {
+        self.chains
+            .get(&key)?
+            .iter()
+            .rev()
+            .find(|v| v.commit_ts <= ts && admit(v))
+    }
+
+    /// Latest committed version regardless of snapshot.
+    pub fn latest(&self, key: u64) -> Option<&Version> {
+        self.chains.get(&key)?.last()
+    }
+
+    pub fn install(&mut self, key: u64, version: Version) {
+        self.chains.entry(key).or_default().push(version);
+    }
+}
+
+/// Transaction lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Running.
+    Active,
+    /// Successfully committed.
+    Committed,
+    /// Rolled back (explicitly or by conflict).
+    Aborted,
+}
+
+/// A snapshot-isolation transaction handle.
+#[derive(Debug)]
+pub struct Transaction {
+    id: u64,
+    snapshot_ts: u64,
+    writes: HashMap<u64, Option<Value>>,
+    /// Keys read, retained for diagnostics/validation extensions.
+    reads: Vec<u64>,
+    status: TxnStatus,
+}
+
+impl Transaction {
+    /// Transaction id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The snapshot timestamp reads are served at.
+    pub fn snapshot_ts(&self) -> u64 {
+        self.snapshot_ts
+    }
+
+    /// Current status.
+    pub fn status(&self) -> TxnStatus {
+        self.status
+    }
+
+    /// Buffer a write.
+    pub fn write(&mut self, key: u64, value: Value) -> Result<(), TxnError> {
+        if self.status != TxnStatus::Active {
+            return Err(TxnError::NotActive);
+        }
+        self.writes.insert(key, Some(value));
+        Ok(())
+    }
+
+    /// Buffer a delete.
+    pub fn delete(&mut self, key: u64) -> Result<(), TxnError> {
+        if self.status != TxnStatus::Active {
+            return Err(TxnError::NotActive);
+        }
+        self.writes.insert(key, None);
+        Ok(())
+    }
+
+    /// Keys written by this transaction.
+    pub fn write_set(&self) -> impl Iterator<Item = u64> + '_ {
+        self.writes.keys().copied()
+    }
+}
+
+/// The transaction manager: timestamp oracle plus the shared store.
+#[derive(Debug, Clone)]
+pub struct TxnManager {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    next_ts: AtomicU64,
+    next_txn: AtomicU64,
+    store: Mutex<Store>,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnManager {
+    /// Fresh manager with an empty store.
+    pub fn new() -> Self {
+        TxnManager {
+            inner: Arc::new(Inner {
+                next_ts: AtomicU64::new(1),
+                next_txn: AtomicU64::new(1),
+                store: Mutex::new(Store::default()),
+                commits: AtomicU64::new(0),
+                aborts: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Begin a transaction with a snapshot at the current timestamp.
+    pub fn begin(&self) -> Transaction {
+        Transaction {
+            id: self.inner.next_txn.fetch_add(1, Ordering::Relaxed),
+            snapshot_ts: self.inner.next_ts.load(Ordering::SeqCst),
+            writes: HashMap::new(),
+            reads: Vec::new(),
+            status: TxnStatus::Active,
+        }
+    }
+
+    /// Read `key` inside `txn`: own writes first, then the snapshot.
+    pub fn read(&self, txn: &mut Transaction, key: u64) -> Option<Value> {
+        txn.reads.push(key);
+        if let Some(buffered) = txn.writes.get(&key) {
+            return buffered.clone();
+        }
+        let store = self.inner.store.lock();
+        store
+            .visible(key, txn.snapshot_ts, |_| true)
+            .and_then(|v| v.value.clone())
+    }
+
+    /// Commit: validate first-committer-wins, then install all writes at a
+    /// fresh commit timestamp. Returns the commit timestamp.
+    pub fn commit(&self, txn: &mut Transaction) -> Result<u64, TxnError> {
+        if txn.status != TxnStatus::Active {
+            return Err(TxnError::NotActive);
+        }
+        let mut store = self.inner.store.lock();
+        // Validation: any key we wrote that has a version newer than our
+        // snapshot was committed by a concurrent transaction.
+        for key in txn.writes.keys() {
+            if let Some(latest) = store.latest(*key) {
+                if latest.commit_ts > txn.snapshot_ts {
+                    txn.status = TxnStatus::Aborted;
+                    self.inner.aborts.fetch_add(1, Ordering::Relaxed);
+                    return Err(TxnError::WriteConflict { key: *key });
+                }
+            }
+        }
+        let commit_ts = self.inner.next_ts.fetch_add(1, Ordering::SeqCst) + 1;
+        for (key, value) in txn.writes.drain() {
+            store.install(
+                key,
+                Version {
+                    commit_ts,
+                    value,
+                    origin: VersionOrigin::Explicit,
+                },
+            );
+        }
+        txn.status = TxnStatus::Committed;
+        self.inner.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(commit_ts)
+    }
+
+    /// Abort explicitly.
+    pub fn abort(&self, txn: &mut Transaction) {
+        if txn.status == TxnStatus::Active {
+            txn.status = TxnStatus::Aborted;
+            txn.writes.clear();
+            self.inner.aborts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Install a version outside any transaction (used by WAL recovery
+    /// and the enrichment layer). Returns the timestamp used.
+    pub(crate) fn install_raw(&self, key: u64, value: Option<Value>, origin: VersionOrigin) -> u64 {
+        let ts = self.inner.next_ts.fetch_add(1, Ordering::SeqCst) + 1;
+        self.inner.store.lock().install(
+            key,
+            Version {
+                commit_ts: ts,
+                value,
+                origin,
+            },
+        );
+        ts
+    }
+
+    /// Read the latest committed value ignoring snapshots (autocommit
+    /// read).
+    pub fn read_latest(&self, key: u64) -> Option<Value> {
+        let store = self.inner.store.lock();
+        store.latest(key).and_then(|v| v.value.clone())
+    }
+
+    /// Snapshot-free visibility query used by the enrichment layer.
+    pub(crate) fn read_with<F: Fn(&Version) -> bool>(
+        &self,
+        key: u64,
+        ts: u64,
+        admit: F,
+    ) -> Option<Value> {
+        let store = self.inner.store.lock();
+        store.visible(key, ts, admit).and_then(|v| v.value.clone())
+    }
+
+    /// Latest version newer than `ts` matching `admit` (for relaxed
+    /// enrichment visibility).
+    pub(crate) fn read_latest_with<F: Fn(&Version) -> bool>(
+        &self,
+        key: u64,
+        admit: F,
+    ) -> Option<(u64, Option<Value>)> {
+        let store = self.inner.store.lock();
+        store
+            .chains
+            .get(&key)?
+            .iter()
+            .rev()
+            .find(|v| admit(v))
+            .map(|v| (v.commit_ts, v.value.clone()))
+    }
+
+    /// `(commits, aborts)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.inner.commits.load(Ordering::Relaxed),
+            self.inner.aborts.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of keys with at least one version.
+    pub fn key_count(&self) -> usize {
+        self.inner.store.lock().chains.len()
+    }
+
+    /// Drop versions older than `ts` that are shadowed by newer ones —
+    /// basic vacuuming so long-running curation does not grow unbounded.
+    pub fn vacuum(&self, ts: u64) -> usize {
+        let mut store = self.inner.store.lock();
+        let mut dropped = 0;
+        for chain in store.chains.values_mut() {
+            // Keep the newest version ≤ ts plus everything > ts.
+            let keep_from = chain.iter().rposition(|v| v.commit_ts <= ts).unwrap_or(0);
+            if keep_from > 0 {
+                dropped += keep_from;
+                chain.drain(..keep_from);
+            }
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_your_own_writes() {
+        let tm = TxnManager::new();
+        let mut t = tm.begin();
+        assert_eq!(tm.read(&mut t, 1), None);
+        t.write(1, Value::Int(42)).unwrap();
+        assert_eq!(tm.read(&mut t, 1), Some(Value::Int(42)));
+        t.delete(1).unwrap();
+        assert_eq!(tm.read(&mut t, 1), None);
+    }
+
+    #[test]
+    fn committed_writes_visible_to_later_snapshots_only() {
+        let tm = TxnManager::new();
+        let mut writer = tm.begin();
+        let mut concurrent = tm.begin();
+        writer.write(7, Value::str("x")).unwrap();
+        tm.commit(&mut writer).unwrap();
+        // Concurrent snapshot predates the commit.
+        assert_eq!(tm.read(&mut concurrent, 7), None);
+        let mut later = tm.begin();
+        assert_eq!(tm.read(&mut later, 7), Some(Value::str("x")));
+    }
+
+    #[test]
+    fn snapshot_reads_are_repeatable() {
+        let tm = TxnManager::new();
+        let mut setup = tm.begin();
+        setup.write(3, Value::Int(1)).unwrap();
+        tm.commit(&mut setup).unwrap();
+
+        let mut reader = tm.begin();
+        let first = tm.read(&mut reader, 3);
+        let mut writer = tm.begin();
+        writer.write(3, Value::Int(2)).unwrap();
+        tm.commit(&mut writer).unwrap();
+        let second = tm.read(&mut reader, 3);
+        assert_eq!(first, second, "snapshot isolation: repeatable read");
+        assert_eq!(first, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let tm = TxnManager::new();
+        let mut a = tm.begin();
+        let mut b = tm.begin();
+        a.write(5, Value::Int(1)).unwrap();
+        b.write(5, Value::Int(2)).unwrap();
+        tm.commit(&mut a).unwrap();
+        let err = tm.commit(&mut b).unwrap_err();
+        assert_eq!(err, TxnError::WriteConflict { key: 5 });
+        assert_eq!(b.status(), TxnStatus::Aborted);
+        let (commits, aborts) = tm.stats();
+        assert_eq!((commits, aborts), (1, 1));
+    }
+
+    #[test]
+    fn disjoint_writes_both_commit() {
+        let tm = TxnManager::new();
+        let mut a = tm.begin();
+        let mut b = tm.begin();
+        a.write(1, Value::Int(1)).unwrap();
+        b.write(2, Value::Int(2)).unwrap();
+        tm.commit(&mut a).unwrap();
+        tm.commit(&mut b).unwrap();
+        let mut r = tm.begin();
+        assert_eq!(tm.read(&mut r, 1), Some(Value::Int(1)));
+        assert_eq!(tm.read(&mut r, 2), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn operations_on_finished_txn_rejected() {
+        let tm = TxnManager::new();
+        let mut t = tm.begin();
+        t.write(1, Value::Int(1)).unwrap();
+        tm.commit(&mut t).unwrap();
+        assert_eq!(t.write(2, Value::Int(2)), Err(TxnError::NotActive));
+        assert!(matches!(tm.commit(&mut t), Err(TxnError::NotActive)));
+    }
+
+    #[test]
+    fn abort_discards_writes() {
+        let tm = TxnManager::new();
+        let mut t = tm.begin();
+        t.write(9, Value::Int(1)).unwrap();
+        tm.abort(&mut t);
+        assert_eq!(t.status(), TxnStatus::Aborted);
+        let mut r = tm.begin();
+        assert_eq!(tm.read(&mut r, 9), None);
+    }
+
+    #[test]
+    fn delete_produces_tombstone() {
+        let tm = TxnManager::new();
+        let mut t = tm.begin();
+        t.write(4, Value::Int(9)).unwrap();
+        tm.commit(&mut t).unwrap();
+        let mut d = tm.begin();
+        d.delete(4).unwrap();
+        tm.commit(&mut d).unwrap();
+        let mut r = tm.begin();
+        assert_eq!(tm.read(&mut r, 4), None);
+    }
+
+    #[test]
+    fn vacuum_drops_shadowed_versions() {
+        let tm = TxnManager::new();
+        for i in 0..5 {
+            let mut t = tm.begin();
+            t.write(1, Value::Int(i)).unwrap();
+            tm.commit(&mut t).unwrap();
+        }
+        let mut r = tm.begin();
+        let visible_before = tm.read(&mut r, 1);
+        let dropped = tm.vacuum(r.snapshot_ts());
+        assert!(dropped >= 3, "dropped {dropped}");
+        assert_eq!(tm.read(&mut r, 1), visible_before);
+    }
+
+    #[test]
+    fn concurrent_threads_conflict_safely() {
+        let tm = TxnManager::new();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let tm = tm.clone();
+                std::thread::spawn(move || {
+                    let mut ok = 0;
+                    for _ in 0..50 {
+                        let mut t = tm.begin();
+                        t.write(i % 2, Value::Int(i as i64)).unwrap();
+                        if tm.commit(&mut t).is_ok() {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let (commits, aborts) = tm.stats();
+        assert_eq!(commits, total);
+        assert_eq!(commits + aborts, 400);
+        assert!(commits > 0);
+    }
+}

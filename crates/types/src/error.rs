@@ -1,0 +1,53 @@
+//! Errors produced by the shared type layer.
+
+use std::fmt;
+
+use crate::value::ValueKind;
+
+/// Errors arising from value handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A coercion between value kinds was not meaning-preserving.
+    Coercion {
+        /// Source kind.
+        from: ValueKind,
+        /// Target kind.
+        to: ValueKind,
+    },
+    /// A JSON document exceeded the configured nesting depth.
+    JsonTooDeep {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Coercion { from, to } => {
+                write!(f, "cannot coerce {from} value to {to}")
+            }
+            TypeError::JsonTooDeep { limit } => {
+                write!(f, "JSON document exceeds nesting depth limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TypeError::Coercion {
+            from: ValueKind::Str,
+            to: ValueKind::Int,
+        };
+        assert_eq!(e.to_string(), "cannot coerce str value to int");
+        let e = TypeError::JsonTooDeep { limit: 8 };
+        assert!(e.to_string().contains("limit 8"));
+    }
+}

@@ -1,0 +1,191 @@
+//! JSON ingestion: mapping `serde_json` documents into [`Value`]s and
+//! flattening nested documents into attribute paths.
+//!
+//! §3.1: "future databases must natively also support semi-structured data
+//! such as XML and JSON". We accept arbitrary JSON, convert it to the
+//! instance-layer [`Value`] model, and offer a deterministic flattening
+//! (`a.b[0].c` path style) so document fields participate in schema
+//! inference, entity resolution, and querying like any tabular attribute.
+
+use std::sync::Arc;
+
+use crate::error::TypeError;
+use crate::record::Record;
+use crate::symbol::SymbolTable;
+use crate::value::{Doc, Value};
+
+/// Maximum nesting depth accepted from untrusted documents.
+pub const MAX_JSON_DEPTH: usize = 64;
+
+/// Convert a `serde_json::Value` into an instance-layer [`Value`].
+///
+/// Objects are key-sorted for determinism; integers that fit `i64` stay
+/// integers; other numbers become floats.
+pub fn from_json(json: &serde_json::Value) -> Result<Value, TypeError> {
+    from_json_depth(json, 0)
+}
+
+fn from_json_depth(json: &serde_json::Value, depth: usize) -> Result<Value, TypeError> {
+    if depth > MAX_JSON_DEPTH {
+        return Err(TypeError::JsonTooDeep {
+            limit: MAX_JSON_DEPTH,
+        });
+    }
+    Ok(match json {
+        serde_json::Value::Null => Value::Null,
+        serde_json::Value::Bool(b) => Value::Bool(*b),
+        serde_json::Value::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Value::Int(i)
+            } else {
+                Value::Float(n.as_f64().unwrap_or(f64::NAN))
+            }
+        }
+        serde_json::Value::String(s) => Value::str(s),
+        serde_json::Value::Array(items) => {
+            let vals: Result<Vec<Value>, TypeError> = items
+                .iter()
+                .map(|v| from_json_depth(v, depth + 1))
+                .collect();
+            Value::Doc(Arc::new(Doc::Array(vals?)))
+        }
+        serde_json::Value::Object(map) => {
+            let mut fields: Vec<(String, Value)> = map
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), from_json_depth(v, depth + 1)?)))
+                .collect::<Result<_, TypeError>>()?;
+            fields.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Doc(Arc::new(Doc::Object(fields)))
+        }
+    })
+}
+
+/// Parse a JSON text and convert it, reporting parse failures as `None`.
+pub fn parse_json(text: &str) -> Option<Value> {
+    let json: serde_json::Value = serde_json::from_str(text).ok()?;
+    from_json(&json).ok()
+}
+
+/// Flatten a (possibly nested) value into a [`Record`] whose attribute
+/// names are dotted/bracketed paths rooted at `root`.
+///
+/// Scalars map to a single field; arrays index with `[i]`; objects extend
+/// the dotted path. Empty docs produce no fields.
+pub fn flatten_into(root: &str, value: &Value, symbols: &mut SymbolTable, record: &mut Record) {
+    match value {
+        Value::Doc(doc) => match doc.as_ref() {
+            Doc::Array(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    flatten_into(&format!("{root}[{i}]"), item, symbols, record);
+                }
+            }
+            Doc::Object(fields) => {
+                for (k, v) in fields {
+                    let path = if root.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{root}.{k}")
+                    };
+                    flatten_into(&path, v, symbols, record);
+                }
+            }
+        },
+        scalar => {
+            let sym = symbols.intern(root);
+            record.set(sym, scalar.clone());
+        }
+    }
+}
+
+/// Flatten a JSON text directly into a record. Returns `None` on parse
+/// failure.
+pub fn flatten_json(text: &str, symbols: &mut SymbolTable) -> Option<Record> {
+    let value = parse_json(text)?;
+    let mut record = Record::new();
+    flatten_into("", &value, symbols, &mut record);
+    Some(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_convert() {
+        assert_eq!(parse_json("null"), Some(Value::Null));
+        assert_eq!(parse_json("true"), Some(Value::Bool(true)));
+        assert_eq!(parse_json("42"), Some(Value::Int(42)));
+        assert_eq!(parse_json("2.5"), Some(Value::Float(2.5)));
+        assert_eq!(parse_json("\"x\""), Some(Value::str("x")));
+    }
+
+    #[test]
+    fn object_keys_sorted() {
+        let v = parse_json(r#"{"b":1,"a":2}"#).unwrap();
+        match v {
+            Value::Doc(d) => match d.as_ref() {
+                Doc::Object(fields) => {
+                    let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                    assert_eq!(keys, vec!["a", "b"]);
+                }
+                _ => panic!("expected object"),
+            },
+            _ => panic!("expected doc"),
+        }
+    }
+
+    #[test]
+    fn flatten_nested() {
+        let mut syms = SymbolTable::new();
+        let rec = flatten_json(
+            r#"{"drug":{"name":"Warfarin","targets":["TP53","PTGS2"]},"dose":5.1}"#,
+            &mut syms,
+        )
+        .unwrap();
+        let get = |name: &str, syms: &SymbolTable, rec: &Record| {
+            rec.get(syms.get(name).expect("attr interned")).cloned()
+        };
+        assert_eq!(get("dose", &syms, &rec), Some(Value::Float(5.1)));
+        assert_eq!(get("drug.name", &syms, &rec), Some(Value::str("Warfarin")));
+        assert_eq!(
+            get("drug.targets[0]", &syms, &rec),
+            Some(Value::str("TP53"))
+        );
+        assert_eq!(
+            get("drug.targets[1]", &syms, &rec),
+            Some(Value::str("PTGS2"))
+        );
+    }
+
+    #[test]
+    fn deep_nesting_rejected() {
+        let mut text = String::new();
+        for _ in 0..70 {
+            text.push('[');
+        }
+        text.push('1');
+        for _ in 0..70 {
+            text.push(']');
+        }
+        // Either serde_json's recursion limit or ours must reject it.
+        assert!(parse_json(&text).is_none());
+    }
+
+    #[test]
+    fn parse_failure_is_none() {
+        assert!(parse_json("{not json").is_none());
+        assert!(flatten_json("{not json", &mut SymbolTable::new()).is_none());
+    }
+
+    #[test]
+    fn big_ints_stay_ints_and_large_numbers_float() {
+        assert_eq!(
+            parse_json("9223372036854775807"),
+            Some(Value::Int(i64::MAX))
+        );
+        match parse_json("1e300") {
+            Some(Value::Float(f)) => assert!(f > 1e299),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+}

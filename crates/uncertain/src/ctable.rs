@@ -1,0 +1,267 @@
+//! Conditional tables (c-tables).
+//!
+//! "A well-known expressive representational model is a conditional table
+//! (c-table), in which each tuple tᵢ is associated with a Boolean formula
+//! (the condition cᵢ). The existence of a tuple in a possible world is
+//! subject to the satisfaction of its condition; c-tables are formally
+//! expressed as the valuation function of conditions v(c)." (§4.2)
+//!
+//! Variables range over finite domains; a *valuation* assigns each
+//! variable a value; a condition evaluates under a valuation; the set of
+//! valuations induces the possible worlds consumed by
+//! [`crate::worlds::PossibleWorlds`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use scdb_types::{Record, Value};
+
+/// A condition variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Variable(pub u32);
+
+/// A boolean condition over variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Condition {
+    /// Always true (a certain tuple).
+    True,
+    /// Always false.
+    False,
+    /// `var = value`.
+    Eq(Variable, Value),
+    /// `var ≠ value`.
+    Ne(Variable, Value),
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+    /// Negation.
+    Not(Box<Condition>),
+}
+
+impl Condition {
+    /// Conjoin two conditions, simplifying the `True`/`False` units.
+    pub fn and(self, other: Condition) -> Condition {
+        match (self, other) {
+            (Condition::True, c) | (c, Condition::True) => c,
+            (Condition::False, _) | (_, Condition::False) => Condition::False,
+            (a, b) => Condition::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjoin two conditions, simplifying units.
+    pub fn or(self, other: Condition) -> Condition {
+        match (self, other) {
+            (Condition::False, c) | (c, Condition::False) => c,
+            (Condition::True, _) | (_, Condition::True) => Condition::True,
+            (a, b) => Condition::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Evaluate under a (total) valuation. Variables absent from the
+    /// valuation make `Eq`/`Ne` evaluate pessimistically to `false`.
+    pub fn eval(&self, valuation: &HashMap<Variable, Value>) -> bool {
+        match self {
+            Condition::True => true,
+            Condition::False => false,
+            Condition::Eq(v, val) => valuation.get(v).is_some_and(|x| x == val),
+            Condition::Ne(v, val) => valuation.get(v).is_some_and(|x| x != val),
+            Condition::And(a, b) => a.eval(valuation) && b.eval(valuation),
+            Condition::Or(a, b) => a.eval(valuation) || b.eval(valuation),
+            Condition::Not(a) => !a.eval(valuation),
+        }
+    }
+
+    /// Collect the variables mentioned.
+    pub fn variables(&self) -> Vec<Variable> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Variable>) {
+        match self {
+            Condition::True | Condition::False => {}
+            Condition::Eq(v, _) | Condition::Ne(v, _) => out.push(*v),
+            Condition::And(a, b) | Condition::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Condition::Not(a) => a.collect_vars(out),
+        }
+    }
+}
+
+/// A conditional table: tuples paired with existence conditions, plus the
+/// domains of the condition variables.
+#[derive(Debug, Clone, Default)]
+pub struct CTable {
+    tuples: Vec<(Record, Condition)>,
+    domains: BTreeMap<Variable, Vec<Value>>,
+}
+
+impl CTable {
+    /// Empty c-table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a variable's finite domain. Duplicate values are removed.
+    pub fn declare(&mut self, var: Variable, mut domain: Vec<Value>) {
+        domain.dedup();
+        self.domains.insert(var, domain);
+    }
+
+    /// Add a tuple guarded by `condition`.
+    pub fn add(&mut self, tuple: Record, condition: Condition) {
+        self.tuples.push((tuple, condition));
+    }
+
+    /// The tuples with their conditions.
+    pub fn tuples(&self) -> &[(Record, Condition)] {
+        &self.tuples
+    }
+
+    /// Number of tuples (certain and conditional).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Declared variables in order.
+    pub fn variables(&self) -> impl Iterator<Item = (Variable, &[Value])> {
+        self.domains.iter().map(|(v, d)| (*v, d.as_slice()))
+    }
+
+    /// Enumerate all valuations (cartesian product of domains). The count
+    /// is exponential in the number of variables; callers guard size.
+    pub fn valuations(&self) -> Vec<HashMap<Variable, Value>> {
+        let mut out: Vec<HashMap<Variable, Value>> = vec![HashMap::new()];
+        for (var, domain) in &self.domains {
+            let mut next = Vec::with_capacity(out.len() * domain.len().max(1));
+            for partial in &out {
+                for value in domain {
+                    let mut v = partial.clone();
+                    v.insert(*var, value.clone());
+                    next.push(v);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// The world (set of tuples) induced by one valuation.
+    pub fn world_of(&self, valuation: &HashMap<Variable, Value>) -> Vec<&Record> {
+        self.tuples
+            .iter()
+            .filter(|(_, c)| c.eval(valuation))
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Tuples whose condition is `True` — present in every world
+    /// regardless of the valuation (the syntactic certain core).
+    pub fn certain_core(&self) -> Vec<&Record> {
+        self.tuples
+            .iter()
+            .filter(|(_, c)| *c == Condition::True)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Number of possible worlds (product of domain sizes).
+    pub fn world_count(&self) -> u64 {
+        self.domains
+            .values()
+            .map(|d| d.len() as u64)
+            .product::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdb_types::SymbolTable;
+
+    fn rec(syms: &mut SymbolTable, name: &str) -> Record {
+        let a = syms.intern("name");
+        Record::from_pairs([(a, Value::str(name))])
+    }
+
+    #[test]
+    fn condition_eval() {
+        let x = Variable(0);
+        let mut v = HashMap::new();
+        v.insert(x, Value::Int(1));
+        assert!(Condition::Eq(x, Value::Int(1)).eval(&v));
+        assert!(!Condition::Eq(x, Value::Int(2)).eval(&v));
+        assert!(Condition::Ne(x, Value::Int(2)).eval(&v));
+        assert!(Condition::Not(Box::new(Condition::Eq(x, Value::Int(2)))).eval(&v));
+        let and = Condition::Eq(x, Value::Int(1)).and(Condition::Ne(x, Value::Int(0)));
+        assert!(and.eval(&v));
+    }
+
+    #[test]
+    fn unbound_variable_is_false() {
+        let v = HashMap::new();
+        assert!(!Condition::Eq(Variable(9), Value::Int(1)).eval(&v));
+        assert!(!Condition::Ne(Variable(9), Value::Int(1)).eval(&v));
+    }
+
+    #[test]
+    fn unit_simplification() {
+        let x = Variable(0);
+        let c = Condition::Eq(x, Value::Int(1));
+        assert_eq!(Condition::True.and(c.clone()), c);
+        assert_eq!(Condition::False.and(c.clone()), Condition::False);
+        assert_eq!(Condition::False.or(c.clone()), c);
+        assert_eq!(Condition::True.or(c.clone()), Condition::True);
+    }
+
+    #[test]
+    fn variables_collected() {
+        let c = Condition::Eq(Variable(2), Value::Int(1))
+            .and(Condition::Ne(Variable(0), Value::Int(3)))
+            .or(Condition::Eq(Variable(2), Value::Int(9)));
+        assert_eq!(c.variables(), vec![Variable(0), Variable(2)]);
+    }
+
+    #[test]
+    fn valuations_cartesian() {
+        let mut t = CTable::new();
+        t.declare(Variable(0), vec![Value::Int(1), Value::Int(2)]);
+        t.declare(Variable(1), vec![Value::Bool(true), Value::Bool(false)]);
+        assert_eq!(t.valuations().len(), 4);
+        assert_eq!(t.world_count(), 4);
+    }
+
+    #[test]
+    fn worlds_select_tuples_by_condition() {
+        let mut syms = SymbolTable::new();
+        let mut t = CTable::new();
+        let x = Variable(0);
+        t.declare(x, vec![Value::Int(0), Value::Int(1)]);
+        t.add(rec(&mut syms, "always"), Condition::True);
+        t.add(rec(&mut syms, "when-1"), Condition::Eq(x, Value::Int(1)));
+        let vals = t.valuations();
+        let worlds: Vec<usize> = vals.iter().map(|v| t.world_of(v).len()).collect();
+        let mut sorted = worlds.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![1, 2]);
+        assert_eq!(t.certain_core().len(), 1);
+    }
+
+    #[test]
+    fn empty_ctable_has_one_world() {
+        let t = CTable::new();
+        assert_eq!(t.valuations().len(), 1);
+        assert_eq!(t.world_count(), 1);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Fuzzy logic: membership functions and t-norms.
+//!
+//! §4.2: "the notion of closeness can further be formulated based on fuzzy
+//! logic in light of the fact that 'Warfarin has a very narrow therapeutic
+//! range'." A [`FuzzyPredicate`] maps a value to a membership degree in
+//! `[0, 1]`; t-norms/t-conorms combine degrees conjunctively and
+//! disjunctively.
+
+/// Triangular-norm families for fuzzy conjunction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TNorm {
+    /// Gödel (minimum) — the standard fuzzy "and".
+    Minimum,
+    /// Product — independent-evidence flavour.
+    Product,
+    /// Łukasiewicz — `max(0, a + b − 1)`.
+    Lukasiewicz,
+}
+
+/// Fuzzy conjunction under the chosen t-norm.
+pub fn t_norm(norm: TNorm, a: f64, b: f64) -> f64 {
+    let (a, b) = (a.clamp(0.0, 1.0), b.clamp(0.0, 1.0));
+    match norm {
+        TNorm::Minimum => a.min(b),
+        TNorm::Product => a * b,
+        TNorm::Lukasiewicz => (a + b - 1.0).max(0.0),
+    }
+}
+
+/// The dual t-conorm (fuzzy disjunction) of each t-norm.
+pub fn t_conorm(norm: TNorm, a: f64, b: f64) -> f64 {
+    let (a, b) = (a.clamp(0.0, 1.0), b.clamp(0.0, 1.0));
+    match norm {
+        TNorm::Minimum => a.max(b),
+        TNorm::Product => a + b - a * b,
+        TNorm::Lukasiewicz => (a + b).min(1.0),
+    }
+}
+
+/// Fuzzy negation (standard complement).
+pub fn f_not(a: f64) -> f64 {
+    1.0 - a.clamp(0.0, 1.0)
+}
+
+/// A fuzzy predicate over numeric values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuzzyPredicate {
+    /// Triangular "close to `center`" with full membership at the center
+    /// decaying linearly to 0 at distance `width`. The §4.2 dosage
+    /// predicate: narrow therapeutic range ⇒ small `width`.
+    CloseTo {
+        /// Peak of the triangle.
+        center: f64,
+        /// Half-width at zero membership.
+        width: f64,
+    },
+    /// Trapezoidal membership: full inside `[core_lo, core_hi]`, linear
+    /// shoulders out to `[support_lo, support_hi]`.
+    Trapezoid {
+        /// Left support edge (membership 0).
+        support_lo: f64,
+        /// Left core edge (membership 1).
+        core_lo: f64,
+        /// Right core edge (membership 1).
+        core_hi: f64,
+        /// Right support edge (membership 0).
+        support_hi: f64,
+    },
+    /// Smooth sigmoid "at least `threshold`", steepness `slope`.
+    AtLeast {
+        /// Inflection point.
+        threshold: f64,
+        /// Steepness; larger is crisper.
+        slope: f64,
+    },
+}
+
+impl FuzzyPredicate {
+    /// Membership degree of `x`.
+    pub fn membership(&self, x: f64) -> f64 {
+        match *self {
+            FuzzyPredicate::CloseTo { center, width } => {
+                if width <= 0.0 {
+                    return f64::from(u8::from(x == center));
+                }
+                (1.0 - (x - center).abs() / width).max(0.0)
+            }
+            FuzzyPredicate::Trapezoid {
+                support_lo,
+                core_lo,
+                core_hi,
+                support_hi,
+            } => {
+                if x < support_lo || x > support_hi {
+                    0.0
+                } else if x >= core_lo && x <= core_hi {
+                    1.0
+                } else if x < core_lo {
+                    (x - support_lo) / (core_lo - support_lo).max(f64::MIN_POSITIVE)
+                } else {
+                    (support_hi - x) / (support_hi - core_hi).max(f64::MIN_POSITIVE)
+                }
+            }
+            FuzzyPredicate::AtLeast { threshold, slope } => {
+                1.0 / (1.0 + (-slope * (x - threshold)).exp())
+            }
+        }
+    }
+
+    /// Crisp cut: membership at or above `alpha`.
+    pub fn alpha_cut(&self, x: f64, alpha: f64) -> bool {
+        self.membership(x) >= alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_to_triangle() {
+        let p = FuzzyPredicate::CloseTo {
+            center: 5.0,
+            width: 0.5,
+        };
+        assert_eq!(p.membership(5.0), 1.0);
+        assert!((p.membership(5.1) - 0.8).abs() < 1e-9);
+        assert_eq!(p.membership(5.5), 0.0);
+        assert_eq!(p.membership(6.0), 0.0);
+        assert_eq!(p.membership(4.5), 0.0);
+    }
+
+    #[test]
+    fn warfarin_narrow_range_semantics() {
+        // Narrow therapeutic range: 5.1 mg is "close to" 5.0 mg, 3.4 and
+        // 6.1 are not.
+        let narrow = FuzzyPredicate::CloseTo {
+            center: 5.0,
+            width: 0.5,
+        };
+        assert!(narrow.alpha_cut(5.1, 0.5));
+        assert!(!narrow.alpha_cut(3.4, 0.5));
+        assert!(!narrow.alpha_cut(6.1, 0.5));
+    }
+
+    #[test]
+    fn degenerate_width() {
+        let p = FuzzyPredicate::CloseTo {
+            center: 2.0,
+            width: 0.0,
+        };
+        assert_eq!(p.membership(2.0), 1.0);
+        assert_eq!(p.membership(2.0001), 0.0);
+    }
+
+    #[test]
+    fn trapezoid() {
+        let p = FuzzyPredicate::Trapezoid {
+            support_lo: 0.0,
+            core_lo: 1.0,
+            core_hi: 2.0,
+            support_hi: 4.0,
+        };
+        assert_eq!(p.membership(-1.0), 0.0);
+        assert!((p.membership(0.5) - 0.5).abs() < 1e-9);
+        assert_eq!(p.membership(1.5), 1.0);
+        assert!((p.membership(3.0) - 0.5).abs() < 1e-9);
+        assert_eq!(p.membership(5.0), 0.0);
+    }
+
+    #[test]
+    fn at_least_sigmoid() {
+        let p = FuzzyPredicate::AtLeast {
+            threshold: 10.0,
+            slope: 2.0,
+        };
+        assert!((p.membership(10.0) - 0.5).abs() < 1e-9);
+        assert!(p.membership(15.0) > 0.99);
+        assert!(p.membership(5.0) < 0.01);
+    }
+
+    #[test]
+    fn t_norm_laws() {
+        for norm in [TNorm::Minimum, TNorm::Product, TNorm::Lukasiewicz] {
+            // Identity: T(a, 1) = a.
+            assert!((t_norm(norm, 0.7, 1.0) - 0.7).abs() < 1e-9, "{norm:?}");
+            // Annihilator: T(a, 0) = 0.
+            assert_eq!(t_norm(norm, 0.7, 0.0), 0.0, "{norm:?}");
+            // Commutativity.
+            assert_eq!(t_norm(norm, 0.3, 0.6), t_norm(norm, 0.6, 0.3));
+            // Bounded.
+            let v = t_norm(norm, 0.4, 0.9);
+            assert!((0.0..=1.0).contains(&v));
+            // De Morgan duality with the standard complement.
+            let a = 0.35;
+            let b = 0.8;
+            let lhs = f_not(t_norm(norm, a, b));
+            let rhs = t_conorm(norm, f_not(a), f_not(b));
+            assert!((lhs - rhs).abs() < 1e-9, "{norm:?}");
+        }
+    }
+
+    #[test]
+    fn t_norm_ordering() {
+        // Łukasiewicz ≤ product ≤ minimum pointwise.
+        let (a, b) = (0.6, 0.7);
+        assert!(t_norm(TNorm::Lukasiewicz, a, b) <= t_norm(TNorm::Product, a, b));
+        assert!(t_norm(TNorm::Product, a, b) <= t_norm(TNorm::Minimum, a, b));
+    }
+
+    #[test]
+    fn inputs_clamped() {
+        assert_eq!(t_norm(TNorm::Minimum, 1.5, 2.0), 1.0);
+        assert_eq!(t_conorm(TNorm::Product, -0.5, 0.0), 0.0);
+        assert_eq!(f_not(2.0), 0.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Incomplete databases: labelled nulls, OWA/CWA, certain answers.
+//!
+//! "The incompleteness semantics ⟦·⟧ is defined for an incomplete database
+//! D as a set of complete databases ⟦D⟧ constructed given an
+//! interpretation of null values under either an open- or closed-world
+//! assumption … the certain answer is defined as certain(Q, D) =
+//! ⋂ {Q(Dᵢ) | Dᵢ ∈ ⟦D⟧}" (§4.2, after Libkin \[10\]).
+//!
+//! We evaluate selection-style queries directly on the incomplete instance
+//! with **Codd three-valued logic** (the paper's named example of a null
+//! interpretation): predicates over nulls return [`Truth::Unknown`], a
+//! tuple is a *certain* answer when the predicate is [`Truth::True`] under
+//! every completion, and a *possible* answer when some completion makes it
+//! true. For the predicate class we support (per-attribute comparisons),
+//! three-valued evaluation computes exactly the certain/possible sets
+//! without enumerating completions — the standard naive-evaluation result.
+
+use scdb_types::{Record, Symbol, Value};
+
+/// Kleene/Codd three-valued truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// Unknown (a null was involved).
+    Unknown,
+}
+
+impl Truth {
+    /// Three-valued conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Three-valued disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Three-valued negation.
+    #[allow(clippy::should_implement_trait)] // the logic-literature name
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// From a definite boolean.
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+}
+
+/// A predicate over records evaluated in three-valued logic.
+pub trait ThreeValuedPredicate {
+    /// Evaluate against one record.
+    fn eval(&self, record: &Record) -> Truth;
+}
+
+/// `attr op value` comparison predicate.
+#[derive(Debug, Clone)]
+pub struct Compare {
+    /// Attribute to test.
+    pub attr: Symbol,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Right-hand constant.
+    pub value: Value,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl ThreeValuedPredicate for Compare {
+    fn eval(&self, record: &Record) -> Truth {
+        let Some(v) = record.get(self.attr) else {
+            // Attribute absent ⇒ treated as null.
+            return Truth::Unknown;
+        };
+        if v.is_null() || self.value.is_null() {
+            return Truth::Unknown;
+        }
+        let ord = v.cmp(&self.value);
+        let b = match self.op {
+            CompareOp::Eq => ord == std::cmp::Ordering::Equal,
+            CompareOp::Ne => ord != std::cmp::Ordering::Equal,
+            CompareOp::Lt => ord == std::cmp::Ordering::Less,
+            CompareOp::Le => ord != std::cmp::Ordering::Greater,
+            CompareOp::Gt => ord == std::cmp::Ordering::Greater,
+            CompareOp::Ge => ord != std::cmp::Ordering::Less,
+        };
+        Truth::from_bool(b)
+    }
+}
+
+/// An incomplete database instance: records where `Value::Null` stands for
+/// a labelled null (each occurrence independent, per the marked-null model
+/// with distinct labels).
+#[derive(Debug, Clone, Default)]
+pub struct IncompleteDb {
+    records: Vec<Record>,
+}
+
+impl IncompleteDb {
+    /// Empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a (possibly incomplete) record.
+    pub fn add(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Fraction of records containing at least one null.
+    pub fn incompleteness(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let with_null = self
+            .records
+            .iter()
+            .filter(|r| r.iter().any(|(_, v)| v.is_null()))
+            .count();
+        with_null as f64 / self.records.len() as f64
+    }
+
+    /// Certain answers to a selection: records whose predicate is
+    /// definitely true in every completion.
+    pub fn certain<P: ThreeValuedPredicate>(&self, pred: &P) -> Vec<&Record> {
+        self.records
+            .iter()
+            .filter(|r| pred.eval(r) == Truth::True)
+            .collect()
+    }
+
+    /// Possible answers: records true in at least one completion (i.e.
+    /// not definitely false).
+    pub fn possible<P: ThreeValuedPredicate>(&self, pred: &P) -> Vec<&Record> {
+        self.records
+            .iter()
+            .filter(|r| pred.eval(r) != Truth::False)
+            .collect()
+    }
+
+    /// Certain boolean answer under the **closed-world assumption**: the
+    /// query "∃ record satisfying pred" is certainly true iff some record
+    /// satisfies it definitely.
+    pub fn certain_exists_cwa<P: ThreeValuedPredicate>(&self, pred: &P) -> bool {
+        !self.certain(pred).is_empty()
+    }
+
+    /// Under the **open-world assumption** the instance is a lower bound:
+    /// existence can never be certainly *false*, so the function reports
+    /// `Some(true)` when certain, `None` (unknown) otherwise — there is no
+    /// certain "no" in OWA.
+    pub fn certain_exists_owa<P: ThreeValuedPredicate>(&self, pred: &P) -> Option<bool> {
+        if self.certain_exists_cwa(pred) {
+            Some(true)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdb_types::SymbolTable;
+
+    fn db() -> (IncompleteDb, Symbol) {
+        let mut syms = SymbolTable::new();
+        let dose = syms.intern("dose");
+        let mut db = IncompleteDb::new();
+        db.add(Record::from_pairs([(dose, Value::Float(5.1))]));
+        db.add(Record::from_pairs([(dose, Value::Null)]));
+        db.add(Record::from_pairs([(dose, Value::Float(3.4))]));
+        (db, dose)
+    }
+
+    #[test]
+    fn three_valued_tables() {
+        use Truth::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(True.not(), False);
+    }
+
+    #[test]
+    fn certain_excludes_nulls_possible_includes() {
+        let (db, dose) = db();
+        let pred = Compare {
+            attr: dose,
+            op: CompareOp::Gt,
+            value: Value::Float(4.0),
+        };
+        assert_eq!(db.certain(&pred).len(), 1);
+        assert_eq!(db.possible(&pred).len(), 2); // the null row might be > 4
+    }
+
+    #[test]
+    fn absent_attribute_is_null() {
+        let mut syms = SymbolTable::new();
+        let dose = syms.intern("dose");
+        let other = syms.intern("other");
+        let mut db = IncompleteDb::new();
+        db.add(Record::from_pairs([(other, Value::Int(1))]));
+        let pred = Compare {
+            attr: dose,
+            op: CompareOp::Eq,
+            value: Value::Int(1),
+        };
+        assert!(db.certain(&pred).is_empty());
+        assert_eq!(db.possible(&pred).len(), 1);
+    }
+
+    #[test]
+    fn cwa_vs_owa_existence() {
+        let (db, dose) = db();
+        let hit = Compare {
+            attr: dose,
+            op: CompareOp::Eq,
+            value: Value::Float(5.1),
+        };
+        let miss = Compare {
+            attr: dose,
+            op: CompareOp::Eq,
+            value: Value::Float(9.9),
+        };
+        assert!(db.certain_exists_cwa(&hit));
+        assert!(!db.certain_exists_cwa(&miss));
+        assert_eq!(db.certain_exists_owa(&hit), Some(true));
+        // Under OWA a miss is unknown, not false: more data may exist.
+        assert_eq!(db.certain_exists_owa(&miss), None);
+    }
+
+    #[test]
+    fn incompleteness_fraction() {
+        let (db, _) = db();
+        assert!((db.incompleteness() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(IncompleteDb::new().incompleteness(), 0.0);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let mut syms = SymbolTable::new();
+        let a = syms.intern("a");
+        let r = Record::from_pairs([(a, Value::Int(5))]);
+        let test = |op, v: i64| {
+            Compare {
+                attr: a,
+                op,
+                value: Value::Int(v),
+            }
+            .eval(&r)
+        };
+        assert_eq!(test(CompareOp::Eq, 5), Truth::True);
+        assert_eq!(test(CompareOp::Ne, 5), Truth::False);
+        assert_eq!(test(CompareOp::Lt, 6), Truth::True);
+        assert_eq!(test(CompareOp::Le, 5), Truth::True);
+        assert_eq!(test(CompareOp::Gt, 5), Truth::False);
+        assert_eq!(test(CompareOp::Ge, 6), Truth::False);
+    }
+}

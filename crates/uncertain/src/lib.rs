@@ -1,0 +1,43 @@
+//! Uncertainty formalisms for the `scdb` self-curating database.
+//!
+//! §4.2 of the paper reviews the classical machinery — possible worlds,
+//! c-tables, incompleteness semantics `⟦D⟧` under open- and closed-world
+//! assumptions — and then asks for two new things:
+//!
+//! * **FS.3** — "a new unifying approach … to aggregate these isolated
+//!   forms of uncertainty in a single tractable formalism": see
+//!   [`unified`], which folds probabilistic evidence, fuzzy membership,
+//!   and null-incompleteness into one algebra;
+//! * **FS.10** — "parallel world semantics … for computing justified
+//!   answers" over independent *actual* worlds whose facts are only
+//!   locally consistent: see [`parallel`], which implements the Warfarin
+//!   dosage scenario end-to-end (naive certain answer = *false*, justified
+//!   answer = *true*).
+//!
+//! The classical substrates are implemented faithfully first:
+//!
+//! * [`ctable`] — conditional tables `(tᵢ, cᵢ)` with boolean conditions
+//!   over variables, valuations `v(c)`, and world extraction;
+//! * [`worlds`] — the discrete probability space `P = (W, P)` with
+//!   `Σ P(Iᵢ) = 1`, tuple marginals, and certain answers;
+//! * [`incomplete`] — labelled nulls, Codd three-valued logic, and
+//!   `certain(Q, D) = ⋂ {Q(Dᵢ) | Dᵢ ∈ ⟦D⟧}`;
+//! * [`fuzzy`] — membership functions and t-norms for the "very narrow
+//!   therapeutic range" closeness predicate.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctable;
+pub mod fuzzy;
+pub mod incomplete;
+pub mod parallel;
+pub mod unified;
+pub mod worlds;
+
+pub use ctable::{CTable, Condition, Variable};
+pub use fuzzy::{t_conorm, t_norm, FuzzyPredicate, TNorm};
+pub use incomplete::{IncompleteDb, Truth};
+pub use parallel::{JustifiedAnswer, ParallelWorld, ParallelWorldSet};
+pub use unified::{Evidence, UnifiedValue};
+pub use worlds::{PossibleWorlds, WorldProb};

@@ -1,0 +1,347 @@
+//! FS.10 — parallel worlds and justified answers (§4.2).
+//!
+//! "Data at the web scale consist\[s\] of a large set of actual worlds
+//! (independent data sources), not just postulated probable worlds. These
+//! independent actual worlds, which we refer to as 'parallel worlds' …
+//! may have conflicting facts, an alternative view of worlds, or relative
+//! facts that are only locally consistent given the premise of the
+//! particular world." A *justified* answer takes "justify … as a fuzzy
+//! definition of 'certain' to capture, possibly in a relaxed form,
+//! correctness and consistency".
+//!
+//! The Warfarin scenario is the acceptance test: three clinical sources
+//! report effective dosages 5.1 / 3.4 / 6.1 mg for white / Asian / black
+//! populations. Asked "is 5.0 mg effective?":
+//!
+//! * **naive certain answer** — must hold in *every* world ⇒ `false`
+//!   (3.4 and 6.1 are not close to 5.0);
+//! * **justified answer** — the worlds' premises (population classes) are
+//!   pairwise *disjoint*, so the worlds describe different slices of
+//!   reality, not contradictory views of one; it suffices that *some*
+//!   world supports the answer ⇒ `true`, justified by the white-population
+//!   world at fuzzy degree 0.8.
+
+use scdb_types::{ConceptId, Record, WorldId};
+
+/// One independent actual world: a source's data plus the premises
+/// (concept tags, e.g. a population class) under which its facts hold.
+#[derive(Debug, Clone)]
+pub struct ParallelWorld {
+    /// World identity (typically one per source).
+    pub id: WorldId,
+    /// The premises of the world — semantic classes qualifying every fact.
+    pub premises: Vec<ConceptId>,
+    /// The world's tuples (locally complete and consistent).
+    pub tuples: Vec<Record>,
+}
+
+/// The answer of a justified evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JustifiedAnswer {
+    /// The verdict at the requested threshold.
+    pub justified: bool,
+    /// Per-world support degree in `[0, 1]`, sorted by world id.
+    pub support: Vec<(WorldId, f64)>,
+    /// Whether the worlds were recognized as premise-disjoint (parallel)
+    /// rather than overlapping views that must agree.
+    pub premises_disjoint: bool,
+}
+
+impl JustifiedAnswer {
+    /// The strongest supporting world, if any support exists.
+    pub fn best_world(&self) -> Option<(WorldId, f64)> {
+        self.support
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+/// A set of parallel worlds with evaluation semantics.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelWorldSet {
+    worlds: Vec<ParallelWorld>,
+}
+
+impl ParallelWorldSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a world.
+    pub fn add(&mut self, world: ParallelWorld) {
+        self.worlds.push(world);
+    }
+
+    /// The worlds.
+    pub fn worlds(&self) -> &[ParallelWorld] {
+        &self.worlds
+    }
+
+    /// Number of worlds.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// True when no worlds.
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Per-world fuzzy support for a query: the maximum membership any
+    /// tuple of the world achieves under `degree`.
+    pub fn world_support<F: Fn(&Record) -> f64>(&self, degree: &F) -> Vec<(WorldId, f64)> {
+        let mut v: Vec<(WorldId, f64)> = self
+            .worlds
+            .iter()
+            .map(|w| {
+                let best = w
+                    .tuples
+                    .iter()
+                    .map(degree)
+                    .fold(0.0f64, |acc, d| acc.max(d.clamp(0.0, 1.0)));
+                (w.id, best)
+            })
+            .collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// **Naive certain answer**: the query must hold (degree ≥ `alpha`) in
+    /// every world — the semantics that returns *false* for the Warfarin
+    /// question.
+    pub fn naive_certain<F: Fn(&Record) -> f64>(&self, degree: &F, alpha: f64) -> bool {
+        !self.worlds.is_empty() && self.world_support(degree).iter().all(|(_, d)| *d >= alpha)
+    }
+
+    /// **Justified answer** (FS.10): when the worlds' premises are
+    /// pairwise disjoint (per `disjoint`), the worlds are parallel slices
+    /// of reality and one sufficiently supporting world justifies the
+    /// answer. When premises overlap (or are absent), the worlds are
+    /// competing views of the same reality and the naive intersection
+    /// semantics is kept.
+    pub fn justified<F, D>(&self, degree: &F, alpha: f64, disjoint: D) -> JustifiedAnswer
+    where
+        F: Fn(&Record) -> f64,
+        D: Fn(ConceptId, ConceptId) -> bool,
+    {
+        let support = self.world_support(degree);
+        let premises_disjoint = self.premises_pairwise_disjoint(&disjoint);
+        let justified = if premises_disjoint {
+            support.iter().any(|(_, d)| *d >= alpha)
+        } else {
+            !support.is_empty() && support.iter().all(|(_, d)| *d >= alpha)
+        };
+        JustifiedAnswer {
+            justified,
+            support,
+            premises_disjoint,
+        }
+    }
+
+    /// Context-conditioned evaluation: restrict to worlds whose premises
+    /// include `premise` (the refined query "…for the Asian population").
+    pub fn justified_given<F: Fn(&Record) -> f64>(
+        &self,
+        degree: &F,
+        alpha: f64,
+        premise: ConceptId,
+    ) -> JustifiedAnswer {
+        let mut sub = ParallelWorldSet::new();
+        for w in &self.worlds {
+            if w.premises.contains(&premise) {
+                sub.add(w.clone());
+            }
+        }
+        let support = sub.world_support(degree);
+        JustifiedAnswer {
+            justified: support.iter().any(|(_, d)| *d >= alpha),
+            support,
+            premises_disjoint: true,
+        }
+    }
+
+    /// True when every pair of worlds has pairwise-disjoint premise sets:
+    /// each pair must exhibit at least one disjoint concept pair and no
+    /// shared concept.
+    fn premises_pairwise_disjoint<D>(&self, disjoint: &D) -> bool
+    where
+        D: Fn(ConceptId, ConceptId) -> bool,
+    {
+        if self.worlds.len() < 2 {
+            return false;
+        }
+        for (i, a) in self.worlds.iter().enumerate() {
+            for b in &self.worlds[i + 1..] {
+                if a.premises.is_empty() || b.premises.is_empty() {
+                    return false;
+                }
+                let shares = a.premises.iter().any(|p| b.premises.contains(p));
+                if shares {
+                    return false;
+                }
+                let any_disjoint = a
+                    .premises
+                    .iter()
+                    .any(|p| b.premises.iter().any(|q| disjoint(*p, *q)));
+                if !any_disjoint {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdb_types::{SymbolTable, Value};
+
+    /// The §4.2 Warfarin setting: three clinical sources with disjoint
+    /// population premises and dosages 5.1 / 3.4 / 6.1.
+    fn warfarin() -> (
+        ParallelWorldSet,
+        SymbolTable,
+        ConceptId,
+        ConceptId,
+        ConceptId,
+    ) {
+        let mut syms = SymbolTable::new();
+        let dose = syms.intern("dose");
+        let white = ConceptId(0);
+        let asian = ConceptId(1);
+        let black = ConceptId(2);
+        let mut set = ParallelWorldSet::new();
+        for (i, (premise, d)) in [(white, 5.1), (asian, 3.4), (black, 6.1)]
+            .into_iter()
+            .enumerate()
+        {
+            set.add(ParallelWorld {
+                id: WorldId(i as u32),
+                premises: vec![premise],
+                tuples: vec![Record::from_pairs([(dose, Value::Float(d))])],
+            });
+        }
+        (set, syms, white, asian, black)
+    }
+
+    /// Fuzzy "effective at 5.0 mg" with narrow width (0.5).
+    fn close_to_5(syms: &SymbolTable) -> impl Fn(&Record) -> f64 {
+        let dose = syms.get("dose").unwrap();
+        move |r: &Record| {
+            r.get(dose)
+                .and_then(|v| v.as_float())
+                .map(|x| (1.0 - (x - 5.0f64).abs() / 0.5).max(0.0))
+                .unwrap_or(0.0)
+        }
+    }
+
+    #[test]
+    fn warfarin_naive_certain_is_false() {
+        let (set, syms, ..) = warfarin();
+        assert!(!set.naive_certain(&close_to_5(&syms), 0.5));
+    }
+
+    #[test]
+    fn warfarin_justified_is_true_under_disjoint_premises() {
+        let (set, syms, ..) = warfarin();
+        let ans = set.justified(&close_to_5(&syms), 0.5, |_, _| true);
+        assert!(ans.justified, "paper's headline result");
+        assert!(ans.premises_disjoint);
+        let (best_world, best_degree) = ans.best_world().unwrap();
+        assert_eq!(best_world, WorldId(0), "white-population world supports");
+        assert!(
+            (best_degree - 0.8).abs() < 1e-9,
+            "5.1 is close to 5.0 at 0.8"
+        );
+    }
+
+    #[test]
+    fn without_disjointness_knowledge_falls_back_to_naive() {
+        let (set, syms, ..) = warfarin();
+        // The semantic layer cannot prove disjointness ⇒ intersection
+        // semantics ⇒ false.
+        let ans = set.justified(&close_to_5(&syms), 0.5, |_, _| false);
+        assert!(!ans.justified);
+        assert!(!ans.premises_disjoint);
+    }
+
+    #[test]
+    fn context_conditioned_answer() {
+        let (set, syms, _white, asian, _black) = warfarin();
+        let dose = syms.get("dose").unwrap();
+        // "Is 3.4 mg effective for the Asian population?"
+        let close_to_34 = move |r: &Record| {
+            r.get(dose)
+                .and_then(|v| v.as_float())
+                .map(|x| (1.0 - (x - 3.4f64).abs() / 0.5).max(0.0))
+                .unwrap_or(0.0)
+        };
+        let ans = set.justified_given(&close_to_34, 0.9, asian);
+        assert!(ans.justified);
+        assert_eq!(ans.support.len(), 1);
+        // The same question for 5.0 mg in the Asian world fails.
+        let ans = set.justified_given(&close_to_5(&syms), 0.5, asian);
+        assert!(!ans.justified);
+    }
+
+    #[test]
+    fn shared_premises_are_not_parallel() {
+        let (mut set, syms, white, ..) = warfarin();
+        // Add a world sharing the white premise: now views overlap.
+        let dose = syms.get("dose").unwrap();
+        set.add(ParallelWorld {
+            id: WorldId(9),
+            premises: vec![white],
+            tuples: vec![Record::from_pairs([(dose, Value::Float(2.0))])],
+        });
+        let ans = set.justified(&close_to_5(&syms), 0.5, |_, _| true);
+        assert!(!ans.premises_disjoint);
+        assert!(!ans.justified);
+    }
+
+    #[test]
+    fn single_world_is_not_parallel() {
+        let (_, syms, white, ..) = warfarin();
+        let dose = syms.get("dose").unwrap();
+        let mut set = ParallelWorldSet::new();
+        set.add(ParallelWorld {
+            id: WorldId(0),
+            premises: vec![white],
+            tuples: vec![Record::from_pairs([(dose, Value::Float(5.1))])],
+        });
+        let ans = set.justified(&close_to_5(&syms), 0.5, |_, _| true);
+        // One world: plain evaluation; 5.1 supports at 0.8 ≥ 0.5.
+        assert!(ans.justified);
+        assert!(!ans.premises_disjoint);
+    }
+
+    #[test]
+    fn empty_set_answers_nothing() {
+        let set = ParallelWorldSet::new();
+        let ans = set.justified(&|_: &Record| 1.0, 0.5, |_, _| true);
+        assert!(!ans.justified);
+        assert!(!set.naive_certain(&|_: &Record| 1.0, 0.5));
+    }
+
+    #[test]
+    fn worlds_without_premises_not_parallel() {
+        let mut syms = SymbolTable::new();
+        let dose = syms.intern("dose");
+        let mut set = ParallelWorldSet::new();
+        for i in 0..2 {
+            set.add(ParallelWorld {
+                id: WorldId(i),
+                premises: vec![],
+                tuples: vec![Record::from_pairs([(dose, Value::Float(5.1))])],
+            });
+        }
+        let ans = set.justified(&close_to_5(&syms), 0.5, |_, _| true);
+        assert!(!ans.premises_disjoint);
+        // Both worlds support 0.8 ≥ 0.5, so even the naive semantics says
+        // yes here.
+        assert!(ans.justified);
+    }
+}

@@ -1,0 +1,300 @@
+//! FS.3 — a single tractable formalism aggregating isolated uncertainty
+//! forms.
+//!
+//! "Is it possible to define a new unifying approach, but perhaps less
+//! expressive, to aggregate these isolated forms of uncertainty in a
+//! single tractable formalism?" (FS.3). The paper distinguishes *hard*
+//! sources ("a clear mathematical model of uncertainty, e.g., sensor
+//! data") from *soft* sources ("vague statements of truth (often fuzzy)").
+//!
+//! [`Evidence`] is that unifying value: a pair `(support, plausibility)`
+//! with `0 ≤ support ≤ plausibility ≤ 1` — a Dempster–Shafer-style
+//! interval chosen deliberately because each isolated formalism embeds
+//! into it *losslessly for decision-making*:
+//!
+//! * probability `p` ↦ `(p, p)` (the Bayesian special case);
+//! * fuzzy degree `μ` ↦ `(μ, μ)` after an explicit reinterpretation, or
+//!   `(0, μ)` under a "possibilistic" reading — both provided;
+//! * a missing value (labelled null) ↦ `(0, 1)` (total ignorance);
+//! * a certain fact ↦ `(1, 1)`; certain absence ↦ `(0, 0)`.
+//!
+//! Combination is interval arithmetic under the product t-norm
+//! (conjunction), its dual (disjunction), and a source-fusion average
+//! weighted by source richness (FS.2 feeds FS.3, as the paper's feedback
+//! loop in FS.9 requires). All operations are O(1) — "tractable" in the
+//! strongest sense — at the cost of expressiveness (no joint
+//! distributions), matching the statement's "perhaps less expressive".
+
+use scdb_types::Confidence;
+
+/// A unified uncertainty value: `[support, plausibility]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evidence {
+    support: f64,
+    plausibility: f64,
+}
+
+impl Evidence {
+    /// Certain truth.
+    pub const TRUE: Evidence = Evidence {
+        support: 1.0,
+        plausibility: 1.0,
+    };
+    /// Certain falsity.
+    pub const FALSE: Evidence = Evidence {
+        support: 0.0,
+        plausibility: 0.0,
+    };
+    /// Total ignorance (a labelled null).
+    pub const UNKNOWN: Evidence = Evidence {
+        support: 0.0,
+        plausibility: 1.0,
+    };
+
+    /// Construct, clamping and ordering the bounds.
+    pub fn new(support: f64, plausibility: f64) -> Self {
+        let s = if support.is_nan() {
+            0.0
+        } else {
+            support.clamp(0.0, 1.0)
+        };
+        let p = if plausibility.is_nan() {
+            1.0
+        } else {
+            plausibility.clamp(0.0, 1.0)
+        };
+        Evidence {
+            support: s.min(p),
+            plausibility: s.max(p),
+        }
+    }
+
+    /// Embed a probability (hard source): a point interval.
+    pub fn from_probability(p: f64) -> Self {
+        Evidence::new(p, p)
+    }
+
+    /// Embed a fuzzy degree read as graded truth (soft source, truth-
+    /// functional reading).
+    pub fn from_fuzzy(mu: f64) -> Self {
+        Evidence::new(mu, mu)
+    }
+
+    /// Embed a fuzzy degree read possibilistically: the statement is
+    /// *possible* to degree μ but has no committed support.
+    pub fn from_possibility(mu: f64) -> Self {
+        Evidence::new(0.0, mu)
+    }
+
+    /// Embed a [`Confidence`] from the provenance layer.
+    pub fn from_confidence(c: Confidence) -> Self {
+        Evidence::from_probability(c.value())
+    }
+
+    /// Lower bound: committed support.
+    pub fn support(&self) -> f64 {
+        self.support
+    }
+
+    /// Upper bound: plausibility.
+    pub fn plausibility(&self) -> f64 {
+        self.plausibility
+    }
+
+    /// Width of the interval — the residual ignorance.
+    pub fn ignorance(&self) -> f64 {
+        self.plausibility - self.support
+    }
+
+    /// Conjunction (independent evidence, product t-norm on both bounds).
+    pub fn and(self, other: Evidence) -> Evidence {
+        Evidence::new(
+            self.support * other.support,
+            self.plausibility * other.plausibility,
+        )
+    }
+
+    /// Disjunction (dual of the product t-norm on both bounds).
+    pub fn or(self, other: Evidence) -> Evidence {
+        let s = self.support + other.support - self.support * other.support;
+        let p = self.plausibility + other.plausibility - self.plausibility * other.plausibility;
+        Evidence::new(s, p)
+    }
+
+    /// Negation: `¬[s, p] = [1−p, 1−s]`.
+    #[allow(clippy::should_implement_trait)] // the logic-literature name
+    pub fn not(self) -> Evidence {
+        Evidence::new(1.0 - self.plausibility, 1.0 - self.support)
+    }
+
+    /// Fuse evidence about the same proposition from independent sources,
+    /// weighted (e.g. by FS.2 richness). Weighted mean of both bounds —
+    /// commutative, idempotent on identical inputs, and ignorance-
+    /// reducing when sources agree.
+    pub fn fuse(items: &[(Evidence, f64)]) -> Evidence {
+        let total: f64 = items.iter().map(|(_, w)| w.max(0.0)).sum();
+        if total <= 0.0 {
+            return Evidence::UNKNOWN;
+        }
+        let s = items
+            .iter()
+            .map(|(e, w)| e.support * w.max(0.0))
+            .sum::<f64>()
+            / total;
+        let p = items
+            .iter()
+            .map(|(e, w)| e.plausibility * w.max(0.0))
+            .sum::<f64>()
+            / total;
+        Evidence::new(s, p)
+    }
+
+    /// Decision rule: accept when support clears `tau`, reject when
+    /// plausibility falls below it, abstain otherwise (the three-valued
+    /// projection).
+    pub fn decide(&self, tau: f64) -> Option<bool> {
+        if self.support >= tau {
+            Some(true)
+        } else if self.plausibility < tau {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+/// A value annotated with unified evidence — what the holistic data model
+/// stores when "each data item \[may\] be noisy, fuzzy, uncertain, or
+/// incomplete" (§5, extended null-treatment rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnifiedValue<T> {
+    /// The carried value.
+    pub value: T,
+    /// Evidence that the value is correct.
+    pub evidence: Evidence,
+}
+
+impl<T> UnifiedValue<T> {
+    /// A certain value.
+    pub fn certain(value: T) -> Self {
+        UnifiedValue {
+            value,
+            evidence: Evidence::TRUE,
+        }
+    }
+
+    /// A value with probabilistic evidence.
+    pub fn probabilistic(value: T, p: f64) -> Self {
+        UnifiedValue {
+            value,
+            evidence: Evidence::from_probability(p),
+        }
+    }
+
+    /// A value with fuzzy evidence.
+    pub fn fuzzy(value: T, mu: f64) -> Self {
+        UnifiedValue {
+            value,
+            evidence: Evidence::from_fuzzy(mu),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings() {
+        let p = Evidence::from_probability(0.7);
+        assert_eq!(p.support(), 0.7);
+        assert_eq!(p.plausibility(), 0.7);
+        assert_eq!(p.ignorance(), 0.0);
+        let f = Evidence::from_possibility(0.4);
+        assert_eq!(f.support(), 0.0);
+        assert_eq!(f.plausibility(), 0.4);
+        assert_eq!(Evidence::UNKNOWN.ignorance(), 1.0);
+        assert_eq!(Evidence::TRUE.decide(0.9), Some(true));
+        assert_eq!(Evidence::FALSE.decide(0.1), Some(false));
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        let e = Evidence::new(0.9, 0.2); // reversed bounds
+        assert_eq!(e.support(), 0.2);
+        assert_eq!(e.plausibility(), 0.9);
+        let e = Evidence::new(f64::NAN, f64::NAN);
+        assert_eq!((e.support(), e.plausibility()), (0.0, 1.0));
+        let e = Evidence::new(-1.0, 2.0);
+        assert_eq!((e.support(), e.plausibility()), (0.0, 1.0));
+    }
+
+    #[test]
+    fn negation_swaps_bounds() {
+        let e = Evidence::new(0.3, 0.8);
+        let n = e.not();
+        assert!((n.support() - 0.2).abs() < 1e-9);
+        assert!((n.plausibility() - 0.7).abs() < 1e-9);
+        // Double negation.
+        let nn = n.not();
+        assert!((nn.support() - e.support()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conjunction_with_unknown_keeps_ignorance() {
+        let p = Evidence::from_probability(0.9);
+        let c = p.and(Evidence::UNKNOWN);
+        assert_eq!(c.support(), 0.0);
+        assert!((c.plausibility() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probability_special_case_matches_bayes() {
+        // On point intervals the algebra reduces to independent
+        // probability combination.
+        let a = Evidence::from_probability(0.5);
+        let b = Evidence::from_probability(0.4);
+        let and = a.and(b);
+        assert!((and.support() - 0.2).abs() < 1e-9);
+        assert_eq!(and.ignorance(), 0.0);
+        let or = a.or(b);
+        assert!((or.support() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fusion_weights_by_richness() {
+        let rich = (Evidence::from_probability(0.9), 3.0);
+        let poor = (Evidence::from_probability(0.1), 1.0);
+        let fused = Evidence::fuse(&[rich, poor]);
+        assert!(fused.support() > 0.6, "rich source dominates: {fused:?}");
+        // Degenerate weights.
+        assert_eq!(Evidence::fuse(&[]), Evidence::UNKNOWN);
+        assert_eq!(Evidence::fuse(&[(Evidence::TRUE, 0.0)]), Evidence::UNKNOWN);
+    }
+
+    #[test]
+    fn fusion_of_agreement_reduces_ignorance() {
+        let vague = Evidence::new(0.4, 0.9);
+        let sharp = Evidence::from_probability(0.7);
+        let fused = Evidence::fuse(&[(vague, 1.0), (sharp, 1.0)]);
+        assert!(fused.ignorance() < vague.ignorance());
+    }
+
+    #[test]
+    fn decide_abstains_inside_interval() {
+        let e = Evidence::new(0.3, 0.8);
+        assert_eq!(e.decide(0.5), None);
+        assert_eq!(e.decide(0.2), Some(true));
+        assert_eq!(e.decide(0.9), Some(false));
+    }
+
+    #[test]
+    fn unified_value_constructors() {
+        let v = UnifiedValue::certain(5);
+        assert_eq!(v.evidence, Evidence::TRUE);
+        let v = UnifiedValue::probabilistic("x", 0.5);
+        assert_eq!(v.evidence.support(), 0.5);
+        let v = UnifiedValue::fuzzy(1.5f64, 0.8);
+        assert_eq!(v.evidence.plausibility(), 0.8);
+    }
+}

@@ -1,0 +1,210 @@
+//! The possible-worlds probability space.
+//!
+//! "Given an instance of data with uncertainty, we have a discrete
+//! probability space P = (W, P), where W is a set of all the possible
+//! worlds … and P is a probability model that assigns probability P(Iᵢ) to
+//! each possible world Iᵢ such that 0 ≤ P(I) ≤ 1 and Σ P(Iᵢ) = 1. The
+//! probability of any tuple t is the total probability of all worlds in
+//! which t exists." (§4.2)
+
+use std::collections::HashMap;
+
+use scdb_types::{Record, Value};
+
+use crate::ctable::{CTable, Variable};
+
+/// A world with its probability.
+#[derive(Debug, Clone)]
+pub struct WorldProb {
+    /// Tuples present in this world.
+    pub tuples: Vec<Record>,
+    /// World probability.
+    pub prob: f64,
+}
+
+/// A fully enumerated probability space over the worlds of a c-table.
+#[derive(Debug, Clone)]
+pub struct PossibleWorlds {
+    worlds: Vec<WorldProb>,
+}
+
+impl PossibleWorlds {
+    /// Enumerate the worlds of `table` under independent per-variable
+    /// distributions. Variables missing from `dist` get a uniform
+    /// distribution over their domain. Each distribution is normalized.
+    ///
+    /// Worlds are capped at `max_worlds`; `None` is returned when the
+    /// space is larger (callers fall back to the condition-level
+    /// [`CTable::certain_core`]).
+    pub fn enumerate(
+        table: &CTable,
+        dist: &HashMap<Variable, HashMap<Value, f64>>,
+        max_worlds: u64,
+    ) -> Option<Self> {
+        if table.world_count() > max_worlds {
+            return None;
+        }
+        let valuations = table.valuations();
+        let mut worlds = Vec::with_capacity(valuations.len());
+        for valuation in &valuations {
+            let mut prob = 1.0f64;
+            for (var, value) in valuation {
+                let domain_size = table
+                    .variables()
+                    .find(|(v, _)| v == var)
+                    .map(|(_, d)| d.len())
+                    .unwrap_or(1)
+                    .max(1);
+                let p = match dist.get(var) {
+                    Some(d) => {
+                        let total: f64 = d.values().sum();
+                        if total <= 0.0 {
+                            1.0 / domain_size as f64
+                        } else {
+                            d.get(value).copied().unwrap_or(0.0) / total
+                        }
+                    }
+                    None => 1.0 / domain_size as f64,
+                };
+                prob *= p;
+            }
+            worlds.push(WorldProb {
+                tuples: table.world_of(valuation).into_iter().cloned().collect(),
+                prob,
+            });
+        }
+        // Normalize (guards against zero-probability assignments summing
+        // below 1).
+        let total: f64 = worlds.iter().map(|w| w.prob).sum();
+        if total > 0.0 {
+            for w in &mut worlds {
+                w.prob /= total;
+            }
+        }
+        Some(PossibleWorlds { worlds })
+    }
+
+    /// The worlds.
+    pub fn worlds(&self) -> &[WorldProb] {
+        &self.worlds
+    }
+
+    /// Number of worlds.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// True when empty (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Marginal probability of a tuple: `Σ {P(I) | t ∈ I}`.
+    pub fn tuple_probability(&self, tuple: &Record) -> f64 {
+        self.worlds
+            .iter()
+            .filter(|w| w.tuples.iter().any(|t| t == tuple))
+            .map(|w| w.prob)
+            .sum()
+    }
+
+    /// Certain answer for a boolean query: true iff `q` holds in *every*
+    /// world (the classical intersection semantics).
+    pub fn certain<Q: Fn(&[Record]) -> bool>(&self, q: Q) -> bool {
+        self.worlds.iter().all(|w| q(&w.tuples))
+    }
+
+    /// Possible answer: true iff `q` holds in *some* world.
+    pub fn possible<Q: Fn(&[Record]) -> bool>(&self, q: Q) -> bool {
+        self.worlds.iter().any(|w| q(&w.tuples))
+    }
+
+    /// Probability that the boolean query holds.
+    pub fn probability<Q: Fn(&[Record]) -> bool>(&self, q: Q) -> f64 {
+        self.worlds
+            .iter()
+            .filter(|w| q(&w.tuples))
+            .map(|w| w.prob)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctable::Condition;
+    use scdb_types::SymbolTable;
+
+    fn rec(syms: &mut SymbolTable, name: &str) -> Record {
+        let a = syms.intern("name");
+        Record::from_pairs([(a, Value::str(name))])
+    }
+
+    /// One variable x ∈ {0,1}: tuple A always, tuple B iff x=1.
+    fn simple() -> (CTable, Record, Record) {
+        let mut syms = SymbolTable::new();
+        let mut t = CTable::new();
+        let x = Variable(0);
+        t.declare(x, vec![Value::Int(0), Value::Int(1)]);
+        let a = rec(&mut syms, "A");
+        let b = rec(&mut syms, "B");
+        t.add(a.clone(), Condition::True);
+        t.add(b.clone(), Condition::Eq(x, Value::Int(1)));
+        (t, a, b)
+    }
+
+    #[test]
+    fn uniform_marginals() {
+        let (t, a, b) = simple();
+        let pw = PossibleWorlds::enumerate(&t, &HashMap::new(), 1000).unwrap();
+        assert_eq!(pw.len(), 2);
+        assert!((pw.tuple_probability(&a) - 1.0).abs() < 1e-9);
+        assert!((pw.tuple_probability(&b) - 0.5).abs() < 1e-9);
+        let total: f64 = pw.worlds().iter().map(|w| w.prob).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_marginals() {
+        let (t, _a, b) = simple();
+        let mut dist = HashMap::new();
+        let mut d = HashMap::new();
+        d.insert(Value::Int(0), 0.2);
+        d.insert(Value::Int(1), 0.8);
+        dist.insert(Variable(0), d);
+        let pw = PossibleWorlds::enumerate(&t, &dist, 1000).unwrap();
+        assert!((pw.tuple_probability(&b) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certain_vs_possible() {
+        let (t, a, b) = simple();
+        let pw = PossibleWorlds::enumerate(&t, &HashMap::new(), 1000).unwrap();
+        let has = |needle: Record| move |ts: &[Record]| ts.contains(&needle);
+        assert!(pw.certain(has(a.clone())));
+        assert!(!pw.certain(has(b.clone())));
+        assert!(pw.possible(has(b.clone())));
+        assert!((pw.probability(has(b)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_respected() {
+        let mut t = CTable::new();
+        for i in 0..20 {
+            t.declare(Variable(i), vec![Value::Int(0), Value::Int(1)]);
+        }
+        assert!(PossibleWorlds::enumerate(&t, &HashMap::new(), 1000).is_none());
+    }
+
+    #[test]
+    fn unnormalized_distribution_normalized() {
+        let (t, _a, b) = simple();
+        let mut dist = HashMap::new();
+        let mut d = HashMap::new();
+        d.insert(Value::Int(0), 2.0);
+        d.insert(Value::Int(1), 6.0);
+        dist.insert(Variable(0), d);
+        let pw = PossibleWorlds::enumerate(&t, &dist, 1000).unwrap();
+        assert!((pw.tuple_probability(&b) - 0.75).abs() < 1e-9);
+    }
+}

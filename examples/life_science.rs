@@ -1,0 +1,87 @@
+//! The paper's Figure 2, end to end.
+//!
+//! Loads the exact DrugBank/CTD/Uniprot rows of Figure 2 into a
+//! `SelfCuratingDb`, installs the figure's chemical & disease taxonomies,
+//! and reproduces the §3.3 showcase inference: *"if the actual instance
+//! data only stated that Acetaminophen is a Drug, a self-curating database
+//! could infer that Acetaminophen has a target, even if the specific
+//! relation has yet to be discovered"*.
+//!
+//! Run with: `cargo run --example life_science`
+
+use scdb_core::{codd_report, SelfCuratingDb};
+use scdb_datagen::life_science::{figure2_ontology, figure2_sources};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = SelfCuratingDb::new();
+
+    // Instance layer: the three sources of Figure 2.
+    let sources = figure2_sources(db.symbols());
+    let identity = ["Drug Name", "Gene", "Gene"];
+    for (i, src) in sources.iter().enumerate() {
+        db.register_source(&src.name, Some(identity[i]));
+        for rec in &src.records {
+            db.ingest(&src.name, rec.record.clone(), rec.text.as_deref())?;
+        }
+        println!("loaded {:<55} ({} records)", src.name, src.len());
+    }
+    // References arrived before their targets in places; re-pass.
+    let late = db.discover_links()?;
+    println!("late-discovered links: {late}");
+
+    // Semantic layer: the figure's taxonomies + Drug ⊑ ∃has_target.Gene.
+    *db.ontology_mut() = figure2_ontology();
+    for gene in ["TP53", "DHFR", "PTGS2"] {
+        // PTGS2 only appears as a target value; register when present.
+        if db.entity_named(gene).is_some() {
+            db.assert_entity_type(gene, "Gene")?;
+        }
+    }
+    for drug in ["Ibuprofen", "Acetaminophen", "Methotrexate", "Warfarin"] {
+        db.assert_entity_type(drug, "ApprovedDrug")?;
+    }
+    db.assert_entity_type("Osteosarcoma", "Osteosarcoma").ok();
+
+    db.reason()?;
+
+    // The §3.3 inference.
+    let acetaminophen = db.entity_named("Acetaminophen").expect("resolved");
+    let gene_concept = db.ontology().find_concept("Gene")?;
+    let has_target = db.ontology().find_role("has_target")?;
+    let sat = db.reason()?;
+    let named_targets = sat.fillers(has_target, acetaminophen);
+    let has_some = sat.has_some(acetaminophen, has_target, gene_concept);
+    println!("\nAcetaminophen named targets in the data: {named_targets:?}");
+    println!("Acetaminophen ⊨ ∃has_target.Gene (inferred): {has_some}");
+    assert!(named_targets.is_empty() && has_some, "the §3.3 inference");
+
+    // Relation layer: cross-source identity. Methotrexate's DHFR target
+    // resolves to Uniprot's DHFR entity.
+    let mtx = db.entity_named("Methotrexate").expect("resolved");
+    let dhfr = db.entity_named("DHFR").expect("resolved");
+    let linked = db.graph().edges(mtx).iter().any(|e| e.to == dhfr);
+    println!("Methotrexate —target→ DHFR (cross-source): {linked}");
+
+    // Richness (FS.2) per source.
+    println!("\nSource richness (FS.2):");
+    for name in db.source_names().map(str::to_string).collect::<Vec<_>>() {
+        let r = db.source_richness(&name)?;
+        println!(
+            "  {:<55} nodes={} edges={} richness={:.3}",
+            name, r.nodes, r.edges, r.richness
+        );
+    }
+    let whole = db.richness();
+    println!(
+        "  {:<55} nodes={} edges={} richness={:.3}",
+        "(unified graph)", whole.nodes, whole.edges, whole.richness
+    );
+
+    // §5: the revisited-Codd compliance report.
+    println!("\nRevisited Codd rules (§5):");
+    for item in codd_report(&mut db) {
+        println!("  [{:?}] {}", item.status, item.rule);
+        println!("         {}", item.evidence);
+    }
+    Ok(())
+}

@@ -1,0 +1,160 @@
+//! Curation quality on the scaled corpus: ER accuracy (FS.1), blocking
+//! ablation, schema alignment, and the FS.2 richness ordering.
+
+use scdb_bench::curated_db;
+use scdb_datagen::corrupt::CorruptionConfig;
+use scdb_datagen::life_science::{scaled, ScaledConfig};
+use scdb_er::blocking::BlockingStrategy;
+use scdb_er::eval::score_pairs;
+use scdb_er::incremental::{IncrementalResolver, ResolverConfig};
+use scdb_types::{RecordId, SymbolTable};
+use std::collections::HashMap;
+
+/// Run the incremental resolver over a scaled corpus, returning pairwise
+/// F1 against ground truth.
+fn resolve_f1(cfg: &ScaledConfig, resolver_cfg: ResolverConfig) -> (f64, u64) {
+    let mut symbols = SymbolTable::new();
+    let sources = scaled(cfg, &mut symbols);
+    let mut resolver = IncrementalResolver::new(resolver_cfg);
+    let mut truth: HashMap<RecordId, String> = HashMap::new();
+    for src in &sources {
+        for (off, rec) in src.records.iter().enumerate() {
+            let rid = RecordId::new(src.id, off as u64);
+            resolver.add(rid, rec.record.clone(), &symbols);
+            if let Some(t) = &rec.truth {
+                truth.insert(rid, t.clone());
+            }
+        }
+    }
+    let predicted = resolver.assignments();
+    let score = score_pairs(&predicted, &truth);
+    (score.f1(), resolver.comparisons())
+}
+
+#[test]
+fn clean_corpus_resolves_with_high_f1() {
+    let cfg = ScaledConfig {
+        n_drugs: 120,
+        n_sources: 3,
+        duplicate_rate: 0.5,
+        corruption: CorruptionConfig::CLEAN,
+        ..Default::default()
+    };
+    let rcfg = ResolverConfig {
+        realign_interval: 32,
+        ..Default::default()
+    };
+    let (f1, _) = resolve_f1(&cfg, rcfg);
+    assert!(f1 > 0.9, "clean corpus F1 {f1}");
+}
+
+#[test]
+fn moderate_corruption_still_resolves_reasonably() {
+    let cfg = ScaledConfig {
+        n_drugs: 120,
+        n_sources: 3,
+        duplicate_rate: 0.5,
+        corruption: CorruptionConfig::moderate(),
+        ..Default::default()
+    };
+    let rcfg = ResolverConfig {
+        realign_interval: 32,
+        match_threshold: 0.85,
+        ..Default::default()
+    };
+    let (f1, _) = resolve_f1(&cfg, rcfg);
+    assert!(f1 > 0.5, "moderate corruption F1 {f1}");
+}
+
+#[test]
+fn blocking_cuts_comparisons_without_losing_much_f1() {
+    let cfg = ScaledConfig {
+        n_drugs: 150,
+        corruption: CorruptionConfig::CLEAN,
+        ..Default::default()
+    };
+    let blocked = ResolverConfig {
+        realign_interval: 32,
+        blocking: BlockingStrategy::StandardKeys { prefix_len: 4 },
+        ..Default::default()
+    };
+    let unblocked = ResolverConfig {
+        realign_interval: 32,
+        blocking: BlockingStrategy::None,
+        max_candidates: usize::MAX,
+        ..Default::default()
+    };
+    let (f1_blocked, cmp_blocked) = resolve_f1(&cfg, blocked);
+    let (f1_all, cmp_all) = resolve_f1(&cfg, unblocked);
+    assert!(
+        cmp_blocked * 4 < cmp_all,
+        "blocking saves >4x comparisons: {cmp_blocked} vs {cmp_all}"
+    );
+    assert!(
+        f1_blocked >= f1_all - 0.1,
+        "blocked F1 {f1_blocked} ~ all-pairs F1 {f1_all}"
+    );
+}
+
+#[test]
+fn lsh_blocking_works_too() {
+    let cfg = ScaledConfig {
+        n_drugs: 100,
+        corruption: CorruptionConfig::CLEAN,
+        ..Default::default()
+    };
+    let rcfg = ResolverConfig {
+        realign_interval: 32,
+        blocking: BlockingStrategy::MinHashLsh { bands: 8, rows: 2 },
+        ..Default::default()
+    };
+    let (f1, _) = resolve_f1(&cfg, rcfg);
+    assert!(f1 > 0.8, "LSH-blocked F1 {f1}");
+}
+
+#[test]
+fn curated_db_links_multiple_sources() {
+    let cfg = ScaledConfig {
+        n_drugs: 60,
+        n_sources: 3,
+        duplicate_rate: 0.6,
+        corruption: CorruptionConfig::CLEAN,
+        ..Default::default()
+    };
+    let (mut db, _) = curated_db(&cfg);
+    assert_eq!(db.source_count(), 3);
+    assert!(db.stats().merges > 0, "cross-source merges happened");
+    assert!(db.entity_count() < db.stats().records as usize);
+}
+
+#[test]
+fn richer_source_scores_higher_richness() {
+    // Build two sources by hand: one with links, one isolated.
+    let mut db = scdb_core::SelfCuratingDb::new();
+    db.register_source("rich", Some("a"));
+    db.register_source("poor", Some("a"));
+    let a = db.symbols().intern("a");
+    let b = db.symbols().intern("b");
+    // Rich source: chain of records referencing each other.
+    for i in 0..10 {
+        let rec = scdb_types::Record::from_pairs([
+            (a, scdb_types::Value::str(format!("n{i}"))),
+            (b, scdb_types::Value::str(format!("n{}", (i + 1) % 10))),
+        ]);
+        db.ingest("rich", rec, None).unwrap();
+    }
+    db.discover_links().unwrap();
+    // Poor source: isolated records.
+    for i in 0..10 {
+        let rec = scdb_types::Record::from_pairs([(a, scdb_types::Value::str(format!("solo{i}")))]);
+        db.ingest("poor", rec, None).unwrap();
+    }
+    let rich = db.source_richness("rich").unwrap();
+    let poor = db.source_richness("poor").unwrap();
+    assert!(
+        rich.richness > poor.richness,
+        "rich {} > poor {}",
+        rich.richness,
+        poor.richness
+    );
+}

@@ -1,0 +1,259 @@
+//! Property-based tests over core invariants (proptest).
+//!
+//! Each property targets a load-bearing invariant a downstream user relies
+//! on: total ordering of heterogeneous values, lossless column encodings,
+//! WAL crash-safety, c-table world algebra, layout permutations, fuzzy
+//! logic laws, and evidence-interval wellformedness.
+
+use proptest::prelude::*;
+use scdb_storage::cluster::{ClusterStrategy, ClusteredLayout, CoAccessTracker};
+use scdb_storage::column::{ColumnSegment, Encoding};
+use scdb_storage::page::PageConfig;
+use scdb_txn::wal::recover;
+use scdb_txn::{LogRecord, Wal};
+use scdb_types::Value;
+use scdb_uncertain::{t_conorm, t_norm, Evidence, TNorm};
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,16}".prop_map(Value::str),
+        any::<i64>().prop_map(Value::Timestamp),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Value ordering is a total order: antisymmetric and transitive over
+    /// sampled triples, and consistent with equality.
+    #[test]
+    fn value_ordering_is_total(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+        }
+        // Transitivity (≤ chains).
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // Eq consistency.
+        prop_assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
+    }
+
+    /// Every column encoding round-trips every scalar column.
+    #[test]
+    fn column_encodings_roundtrip(values in proptest::collection::vec(arb_scalar(), 1..80)) {
+        let (seg, _enc) = ColumnSegment::build(&values).unwrap();
+        prop_assert_eq!(seg.decode(), values.clone());
+        prop_assert_eq!(seg.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            let got = seg.get(i);
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+    }
+
+    /// Integer columns round-trip under the Delta encoding specifically
+    /// (wrapping arithmetic must be exact).
+    #[test]
+    fn delta_encoding_exact(ints in proptest::collection::vec(any::<i64>(), 1..60)) {
+        let values: Vec<Value> = ints.iter().copied().map(Value::Int).collect();
+        let seg = ColumnSegment::encode_as(&values, Encoding::Delta);
+        prop_assert_eq!(seg.decode(), values);
+    }
+
+    /// WAL decode(encode(w)) is the identity, and any truncation of the
+    /// byte stream yields a prefix of the records (crash safety).
+    #[test]
+    fn wal_roundtrip_and_truncation(
+        writes in proptest::collection::vec((any::<u64>(), any::<u64>(), arb_scalar()), 0..20),
+        cut in any::<u16>(),
+    ) {
+        let mut wal = Wal::new();
+        for (txn, key, v) in &writes {
+            wal.append(LogRecord::Write { txn: *txn, key: *key, value: Some(v.clone()) });
+            wal.append(LogRecord::Commit { txn: *txn });
+        }
+        let bytes = wal.encode();
+        let decoded = Wal::decode(bytes.clone());
+        prop_assert_eq!(decoded.records(), wal.records());
+        // Truncation: decoded records are a prefix.
+        let cut = (cut as usize) % (bytes.len() + 1);
+        let torn = Wal::decode(bytes.slice(0..cut));
+        prop_assert!(torn.len() <= wal.len());
+        prop_assert_eq!(torn.records(), &wal.records()[..torn.len()]);
+        // Recovery never replays more transactions than committed.
+        let (_tm, report) = recover(&torn);
+        prop_assert!(report.transactions_replayed <= writes.len());
+    }
+
+    /// Cluster layouts are permutations for every strategy and any
+    /// observed workload.
+    #[test]
+    fn layouts_are_permutations(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(0u64..200, 1..6), 0..40),
+        page in 1u64..32,
+    ) {
+        let mut tracker = CoAccessTracker::default();
+        for g in &groups {
+            tracker.observe(g);
+        }
+        for strategy in [
+            ClusterStrategy::Identity,
+            ClusterStrategy::FrequencyOrder,
+            ClusterStrategy::CoAccessGreedy,
+        ] {
+            let layout = ClusteredLayout::build(&tracker, 200, PageConfig::new(page), strategy);
+            let mut seen = [false; 200];
+            for o in 0..200u64 {
+                let p = layout.map.position_of(o).unwrap() as usize;
+                prop_assert!(!seen[p], "{:?}", strategy);
+                seen[p] = true;
+            }
+        }
+    }
+
+    /// t-norm laws hold for all inputs: bounds, commutativity,
+    /// monotonicity, identity.
+    #[test]
+    fn t_norm_laws(a in 0.0f64..=1.0, b in 0.0f64..=1.0, c in 0.0f64..=1.0) {
+        for norm in [TNorm::Minimum, TNorm::Product, TNorm::Lukasiewicz] {
+            let ab = t_norm(norm, a, b);
+            prop_assert!((0.0..=1.0).contains(&ab));
+            prop_assert!((ab - t_norm(norm, b, a)).abs() < 1e-12);
+            prop_assert!((t_norm(norm, a, 1.0) - a).abs() < 1e-12);
+            // Monotone in each argument.
+            if b <= c {
+                prop_assert!(t_norm(norm, a, b) <= t_norm(norm, a, c) + 1e-12);
+            }
+            // Conorm dual bounds.
+            let o = t_conorm(norm, a, b);
+            prop_assert!((0.0..=1.0).contains(&o));
+            prop_assert!(o + 1e-12 >= a.max(b));
+        }
+    }
+
+    /// Evidence intervals stay well-formed under the whole algebra.
+    #[test]
+    fn evidence_wellformed(
+        s1 in 0.0f64..=1.0, p1 in 0.0f64..=1.0,
+        s2 in 0.0f64..=1.0, p2 in 0.0f64..=1.0,
+        w1 in 0.0f64..=5.0, w2 in 0.0f64..=5.0,
+    ) {
+        let a = Evidence::new(s1, p1);
+        let b = Evidence::new(s2, p2);
+        for e in [a.and(b), a.or(b), a.not(), Evidence::fuse(&[(a, w1), (b, w2)])] {
+            prop_assert!(e.support() >= 0.0 && e.support() <= 1.0);
+            prop_assert!(e.plausibility() >= e.support());
+            prop_assert!(e.plausibility() <= 1.0);
+        }
+        // Double negation is the identity.
+        let nn = a.not().not();
+        prop_assert!((nn.support() - a.support()).abs() < 1e-12);
+        prop_assert!((nn.plausibility() - a.plausibility()).abs() < 1e-12);
+    }
+
+    /// Saturation is monotone: adding a subclass axiom never removes
+    /// derived type facts.
+    #[test]
+    fn saturation_is_monotone(
+        axioms in proptest::collection::vec((0u32..8, 0u32..8), 1..10),
+        extra in (0u32..8, 0u32..8),
+        typed in proptest::collection::vec((0u64..6, 0u32..8), 1..8),
+    ) {
+        use scdb_semantic::{Ontology, Reasoner};
+        use scdb_types::{Confidence, EntityId};
+        let build = |axs: &[(u32, u32)]| {
+            let mut o = Ontology::new();
+            // Pre-declare 8 concepts deterministically.
+            for i in 0..8 {
+                o.concept(&format!("C{i}"));
+            }
+            for (sub, sup) in axs {
+                let s = o.find_concept(&format!("C{sub}")).unwrap();
+                let p = o.find_concept(&format!("C{sup}")).unwrap();
+                o.add_axiom(scdb_semantic::Axiom::Subclass(
+                    s,
+                    scdb_semantic::Concept::Named(p),
+                ));
+            }
+            for (e, c) in &typed {
+                let cid = o.find_concept(&format!("C{c}")).unwrap();
+                o.assert_type(EntityId(*e), cid, Confidence::CERTAIN);
+            }
+            o
+        };
+        let base = build(&axioms);
+        let mut extended_axioms = axioms.clone();
+        extended_axioms.push(extra);
+        let extended = build(&extended_axioms);
+        let r = Reasoner::new();
+        let sat_base = r.saturate(&base);
+        let sat_ext = r.saturate(&extended);
+        for e in 0..6u64 {
+            for (c, _) in base.axioms().iter().enumerate() {
+                let _ = c;
+                let _ = e;
+            }
+        }
+        // Every (entity, concept) fact of the base remains derivable.
+        for e in 0..6u64 {
+            for i in 0..8u32 {
+                let cid = base.find_concept(&format!("C{i}")).unwrap();
+                if sat_base.has_type(EntityId(e), cid) {
+                    prop_assert!(
+                        sat_ext.has_type(EntityId(e), cid),
+                        "fact lost after adding an axiom"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fuzzy CLOSE TO membership: symmetric around the center, monotone
+    /// decreasing in distance, and bounded.
+    #[test]
+    fn close_to_membership_laws(
+        center in -100.0f64..100.0,
+        width in 0.01f64..50.0,
+        d1 in 0.0f64..100.0,
+        d2 in 0.0f64..100.0,
+    ) {
+        use scdb_uncertain::FuzzyPredicate;
+        let p = FuzzyPredicate::CloseTo { center, width };
+        let m = |x: f64| p.membership(x);
+        prop_assert!((m(center) - 1.0).abs() < 1e-12);
+        prop_assert!((m(center + d1) - m(center - d1)).abs() < 1e-9, "symmetry");
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(m(center + near) + 1e-12 >= m(center + far), "monotone");
+        prop_assert!((0.0..=1.0).contains(&m(center + d1)));
+    }
+
+    /// ScQL display → parse is a fixpoint for generated simple queries.
+    #[test]
+    fn scql_display_reparses(
+        attr in "[a-z]{1,8}",
+        value in -1000i64..1000,
+        limit in proptest::option::of(0usize..100),
+    ) {
+        let q = scdb_query::Query {
+            select: vec![attr.clone()],
+            from: "src".into(),
+            atoms: vec![scdb_query::Atom::Compare {
+                attr,
+                op: scdb_query::CompareOp::Le,
+                value: scdb_query::ast::Literal::Int(value),
+            }],
+            limit,
+        };
+        let reparsed = scdb_query::parse(&q.to_string()).unwrap();
+        prop_assert_eq!(reparsed, q);
+    }
+}

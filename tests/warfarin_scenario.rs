@@ -1,0 +1,163 @@
+//! The §4.2 Warfarin scenario as an integration test (experiment E-S4).
+//!
+//! Asserts the paper's headline qualitative result: over three
+//! demographically biased clinical sources, the naive certain answer to
+//! "is 5.0 mg effective?" is **false** while the parallel-world justified
+//! answer is **true** — and the flip depends on the semantic layer
+//! actually proving the population premises disjoint.
+
+use scdb_datagen::clinical::{generate, paper_populations, TrialSource};
+use scdb_semantic::Taxonomy;
+use scdb_types::{Record, SymbolTable, WorldId};
+use scdb_uncertain::{FuzzyPredicate, ParallelWorld, ParallelWorldSet};
+
+struct Scenario {
+    worlds: ParallelWorldSet,
+    taxonomy: Taxonomy,
+    ontology: scdb_semantic::Ontology,
+    symbols: SymbolTable,
+}
+
+fn build(populations: &[TrialSource], seed: u64) -> Scenario {
+    let mut symbols = SymbolTable::new();
+    let corpus = generate(populations, seed, &mut symbols);
+    let mut worlds = ParallelWorldSet::new();
+    for (i, src) in corpus.sources.iter().enumerate() {
+        let premise = corpus
+            .ontology
+            .find_concept(&corpus.premises[i])
+            .expect("premise declared");
+        worlds.add(ParallelWorld {
+            id: WorldId(i as u32),
+            premises: vec![premise],
+            tuples: src.records.iter().map(|r| r.record.clone()).collect(),
+        });
+    }
+    let taxonomy = Taxonomy::build(&corpus.ontology);
+    Scenario {
+        worlds,
+        taxonomy,
+        ontology: corpus.ontology,
+        symbols,
+    }
+}
+
+fn dose_degree(symbols: &SymbolTable, center: f64, width: f64) -> impl Fn(&Record) -> f64 {
+    let dose = symbols.get("effective_dose").expect("attr");
+    let pred = FuzzyPredicate::CloseTo { center, width };
+    move |r: &Record| {
+        r.get(dose)
+            .and_then(|v| v.as_float())
+            .map(|x| pred.membership(x))
+            .unwrap_or(0.0)
+    }
+}
+
+#[test]
+fn naive_false_justified_true() {
+    let s = build(&paper_populations(), 42);
+    let degree = dose_degree(&s.symbols, 5.0, 0.5);
+    assert!(!s.worlds.naive_certain(&degree, 0.5), "naive: false");
+    let t = &s.taxonomy;
+    let ans = s
+        .worlds
+        .justified(&degree, 0.5, |a, b| t.are_disjoint(a, b));
+    assert!(ans.justified, "justified: true");
+    assert!(ans.premises_disjoint);
+    // The supporting world is the white-population one (index 0).
+    let (best, deg) = ans.best_world().unwrap();
+    assert_eq!(best, WorldId(0));
+    assert!(deg > 0.5);
+}
+
+#[test]
+fn flip_requires_semantic_disjointness() {
+    let s = build(&paper_populations(), 42);
+    let degree = dose_degree(&s.symbols, 5.0, 0.5);
+    // Without the disjointness proof the worlds are competing views and
+    // the intersection semantics is retained.
+    let ans = s.worlds.justified(&degree, 0.5, |_, _| false);
+    assert!(!ans.justified, "no semantics ⇒ no flip");
+}
+
+#[test]
+fn every_population_has_a_justified_dose() {
+    let s = build(&paper_populations(), 7);
+    let t = &s.taxonomy;
+    for (concept, center) in [
+        ("WhitePopulation", 5.1),
+        ("AsianPopulation", 3.4),
+        ("BlackPopulation", 6.1),
+    ] {
+        let premise = s.ontology.find_concept(concept).unwrap();
+        let degree = dose_degree(&s.symbols, center, 0.5);
+        let ans = s.worlds.justified_given(&degree, 0.5, premise);
+        assert!(ans.justified, "{concept} supports {center} mg");
+        // And the *wrong* dose is not justified for that population.
+        let wrong = dose_degree(&s.symbols, center + 2.0, 0.3);
+        let ans = s.worlds.justified_given(&wrong, 0.5, premise);
+        assert!(!ans.justified, "{concept} rejects {} mg", center + 2.0);
+        let _ = t;
+    }
+}
+
+#[test]
+fn wider_therapeutic_range_weakens_the_contrast() {
+    // If Warfarin did NOT have a narrow range, even the naive answer can
+    // flip — the fuzzy width is what makes semantics necessary.
+    let s = build(&paper_populations(), 42);
+    let wide = dose_degree(&s.symbols, 5.0, 10.0);
+    assert!(
+        s.worlds.naive_certain(&wide, 0.5),
+        "with a huge width every world supports 5.0"
+    );
+}
+
+#[test]
+fn two_source_variant_still_flips() {
+    let populations = vec![
+        TrialSource {
+            population: "GroupA".into(),
+            mean_dose: 5.1,
+            std_dose: 0.05,
+            n: 20,
+        },
+        TrialSource {
+            population: "GroupB".into(),
+            mean_dose: 9.0,
+            std_dose: 0.05,
+            n: 20,
+        },
+    ];
+    let s = build(&populations, 3);
+    let degree = dose_degree(&s.symbols, 5.0, 0.5);
+    assert!(!s.worlds.naive_certain(&degree, 0.5));
+    let t = &s.taxonomy;
+    assert!(
+        s.worlds
+            .justified(&degree, 0.5, |a, b| t.are_disjoint(a, b))
+            .justified
+    );
+}
+
+#[test]
+fn scaling_sources_preserves_shape() {
+    // More disjoint populations never turn a justified yes into a no.
+    let mut populations = paper_populations();
+    for i in 0..5 {
+        populations.push(TrialSource {
+            population: format!("Extra{i}"),
+            mean_dose: 2.0 + i as f64,
+            std_dose: 0.1,
+            n: 10,
+        });
+    }
+    let s = build(&populations, 11);
+    let degree = dose_degree(&s.symbols, 5.0, 0.5);
+    let t = &s.taxonomy;
+    let ans = s
+        .worlds
+        .justified(&degree, 0.5, |a, b| t.are_disjoint(a, b));
+    assert!(ans.justified);
+    assert_eq!(ans.support.len(), 8);
+}
