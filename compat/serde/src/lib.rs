@@ -1,0 +1,202 @@
+//! Workspace shim for `serde`.
+//!
+//! The offline build environment cannot fetch the real `serde`, so this
+//! crate supplies the small surface scdb needs. Instead of the real
+//! visitor architecture, [`Serialize`] builds a [`SerValue`] tree that
+//! `serde_json` (also shimmed) renders to text. [`Deserialize`] exists so
+//! `#[derive(Deserialize)]` and trait bounds compile; typed decoding is
+//! done by hand from `serde_json::Value` where needed.
+//!
+//! The `derive` feature re-exports inert derive macros; the `rc` feature
+//! is accepted for manifest compatibility (Arc/Rc impls are always on).
+
+#![deny(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serializer-independent data tree (the shim's stand-in for serde's
+/// data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SerValue {
+    /// Unit / nothing.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<SerValue>),
+    /// Key-ordered map (string keys, as JSON requires).
+    Map(Vec<(String, SerValue)>),
+}
+
+/// Types that can render themselves into a [`SerValue`] tree.
+pub trait Serialize {
+    /// Build the data tree for this value.
+    fn to_ser_value(&self) -> SerValue;
+}
+
+/// Marker trait so `#[derive(Deserialize)]` and bounds compile; the shim
+/// decodes JSON by hand through `serde_json::Value` instead.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! ser_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_ser_value(&self) -> SerValue {
+                SerValue::I64(*self as i64)
+            }
+        }
+    )*};
+}
+macro_rules! ser_uint {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_ser_value(&self) -> SerValue {
+                SerValue::U64(*self as u64)
+            }
+        }
+    )*};
+}
+
+ser_int!(i8 i16 i32 i64 isize);
+ser_uint!(u8 u16 u32 u64 usize);
+
+impl Serialize for bool {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Bool(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::F64(f64::from(*self))
+    }
+}
+impl Serialize for f64 {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::F64(*self)
+    }
+}
+impl Serialize for str {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Str(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_ser_value(&self) -> SerValue {
+        (**self).to_ser_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_ser_value(&self) -> SerValue {
+        (**self).to_ser_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_ser_value(&self) -> SerValue {
+        (**self).to_ser_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_ser_value(&self) -> SerValue {
+        (**self).to_ser_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_ser_value(&self) -> SerValue {
+        match self {
+            None => SerValue::Null,
+            Some(v) => v.to_ser_value(),
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Seq(self.iter().map(Serialize::to_ser_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Seq(self.iter().map(Serialize::to_ser_value).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Seq(self.iter().map(Serialize::to_ser_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_ser_value(&self) -> SerValue {
+        SerValue::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_ser_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
+    fn to_ser_value(&self) -> SerValue {
+        let mut entries: Vec<(String, SerValue)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_ser_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        SerValue::Map(entries)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_ser_value(&self) -> SerValue {
+                SerValue::Seq(vec![$(self.$n.to_ser_value()),+])
+            }
+        }
+    )+};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(42i64.to_ser_value(), SerValue::I64(42));
+        assert_eq!(7usize.to_ser_value(), SerValue::U64(7));
+        assert_eq!("x".to_ser_value(), SerValue::Str("x".into()));
+        assert_eq!(Option::<i64>::None.to_ser_value(), SerValue::Null);
+        let seq = vec![1u64, 2].to_ser_value();
+        assert_eq!(seq, SerValue::Seq(vec![SerValue::U64(1), SerValue::U64(2)]));
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), true);
+        assert_eq!(
+            m.to_ser_value(),
+            SerValue::Map(vec![("k".into(), SerValue::Bool(true))])
+        );
+    }
+}

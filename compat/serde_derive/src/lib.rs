@@ -1,0 +1,22 @@
+//! Inert derive macros for the offline `serde` shim.
+//!
+//! The real `serde_derive` generates visitor-based trait impls; this shim
+//! intentionally generates nothing. Types that need to be serialized
+//! implement [`serde::Serialize`] by hand (the trait in the sibling shim
+//! is a single `to_ser_value` method, so manual impls are one-liners).
+//! The derives still *parse* so existing `#[derive(Serialize,
+//! Deserialize)]` and `#[serde(...)]` attributes compile unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,10 +1,28 @@
 //! Run every experiment binary in sequence, writing each report to
 //! `target/experiments/<id>.txt` — the inputs EXPERIMENTS.md records.
 //!
-//! Usage: `cargo run --release -p scdb-bench --bin run_all_experiments`
+//! Usage:
+//!   `cargo run --release -p scdb-bench --bin run_all_experiments`
+//!   `cargo run --release -p scdb-bench --bin run_all_experiments -- --metrics-json out.json`
+//!
+//! With `--metrics-json <path>` the binary instead drives an in-process
+//! workload through every instrumented subsystem — ingest, entity
+//! resolution, reasoning, query, transactions, storage clustering — and
+//! writes the resulting [`scdb_obs`] metrics snapshot as JSON. (The
+//! experiment binaries are child processes; their metric registries are
+//! invisible here, so the observability sweep has to run in-process.)
 
 use std::path::Path;
 use std::process::Command;
+
+use scdb_bench::curated_db;
+use scdb_datagen::corrupt::CorruptionConfig;
+use scdb_datagen::life_science::ScaledConfig;
+use scdb_storage::cluster::{ClusterStrategy, ClusteredLayout, CoAccessTracker};
+use scdb_storage::page::PageConfig;
+use scdb_storage::RowStore;
+use scdb_txn::{LogRecord, TxnManager, Wal};
+use scdb_types::{Record, SourceId, Value};
 
 const EXPERIMENTS: &[&str] = &[
     "e_f1_holistic",
@@ -27,6 +45,16 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--metrics-json") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--metrics-json requires a path argument");
+            std::process::exit(2);
+        };
+        metrics_sweep(path);
+        return;
+    }
+
     let out_dir = Path::new("target/experiments");
     std::fs::create_dir_all(out_dir).expect("create output dir");
     let mut failures = Vec::new();
@@ -60,4 +88,106 @@ fn main() {
         println!("\nfailed: {failures:?}");
         std::process::exit(1);
     }
+}
+
+/// Drive every instrumented subsystem once, then write the global
+/// metrics snapshot to `path` as JSON.
+fn metrics_sweep(path: &str) {
+    scdb_obs::metrics().set_enabled(true);
+
+    // Ingest + ER + link discovery + storage writes.
+    let cfg = ScaledConfig {
+        n_drugs: 120,
+        n_genes: 40,
+        n_diseases: 20,
+        n_sources: 3,
+        duplicate_rate: 0.5,
+        corruption: CorruptionConfig::moderate(),
+        seed: 0x0B5,
+    };
+    let (mut db, _sources) = curated_db(&cfg);
+
+    // Semantics + queries (plan / optimize / execute + profile).
+    db.register_source("trials", Some("drug"));
+    let drug = db.symbols().intern("drug");
+    let dose = db.symbols().intern("dose");
+    for i in 0..200i64 {
+        let name = ["Warfarin", "Ibuprofen", "Methotrexate"][(i % 3) as usize];
+        let r = Record::from_pairs([
+            (drug, Value::str(name)),
+            (dose, Value::Float(2.0 + (i % 50) as f64 / 10.0)),
+        ]);
+        db.ingest("trials", r, None).expect("ingest trial");
+    }
+    db.ontology_mut().subclass("Anticoagulant", "Drug");
+    db.assert_entity_type("Warfarin", "Anticoagulant")
+        .expect("typed");
+    let profile = db
+        .query("SELECT drug, dose FROM trials WHERE drug IS 'Drug' AND dose >= 4.0 LIMIT 5")
+        .expect("semantic query")
+        .profile;
+    db.query("SELECT drug FROM trials WHERE dose >= 6.0")
+        .expect("range query");
+
+    // Transactions: MVCC begin/commit/abort + WAL append/encode.
+    let mgr = TxnManager::new();
+    let mut wal = Wal::new();
+    for k in 0..16u64 {
+        let mut txn = mgr.begin();
+        txn.write(k, Value::Int(k as i64)).expect("write");
+        wal.append(LogRecord::Write {
+            txn: txn.id(),
+            key: k,
+            value: Some(Value::Int(k as i64)),
+        });
+        if k % 4 == 3 {
+            mgr.abort(&mut txn);
+            wal.append(LogRecord::Abort { txn: txn.id() });
+        } else {
+            let ts = mgr.commit(&mut txn).expect("commit");
+            wal.append(LogRecord::Commit { txn: txn.id() });
+            let _ = ts;
+        }
+    }
+    let _encoded = wal.encode();
+
+    // Storage: direct point reads + a clustering pass.
+    let mut store = RowStore::new(SourceId(99));
+    let attr = {
+        let mut symbols = scdb_types::SymbolTable::new();
+        symbols.intern("k")
+    };
+    let ids: Vec<_> = (0..64i64)
+        .map(|i| store.append(Record::from_pairs([(attr, Value::Int(i))])))
+        .collect();
+    for id in &ids {
+        store.get(*id).expect("stored");
+    }
+    let mut tracker = CoAccessTracker::new(1024);
+    for g in 0..16u64 {
+        tracker.observe(&[g, g + 16, g + 32]);
+    }
+    ClusteredLayout::build(
+        &tracker,
+        64,
+        PageConfig::new(8),
+        ClusterStrategy::CoAccessGreedy,
+    );
+
+    let snapshot = db.metrics_report();
+    let json = serde_json::to_string_pretty(&snapshot.to_json()).expect("serializable");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+
+    println!("{}", profile.render());
+    println!("{}", snapshot.render());
+    println!(
+        "wrote {} metrics ({} counters, {} gauges, {} histograms) → {path}",
+        snapshot.counters.len() + snapshot.gauges.len() + snapshot.histograms.len(),
+        snapshot.counters.len(),
+        snapshot.gauges.len(),
+        snapshot.histograms.len(),
+    );
 }

@@ -9,11 +9,13 @@
 //! invalidates it.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use scdb_er::normalize::normalize;
 use scdb_er::{IncrementalResolver, ResolverConfig};
 use scdb_graph::metrics::{assess, RichnessReport};
 use scdb_graph::PropertyGraph;
+use scdb_obs::{metrics, MetricsSnapshot, ProfileBuilder, QueryProfile};
 use scdb_query::exec::{EvalEnv, Executor, SemanticEnv, StoreSource};
 use scdb_query::optimizer::{Optimizer, OptimizerConfig, SemanticContext};
 use scdb_query::plan::LogicalPlan;
@@ -66,6 +68,9 @@ pub struct QueryOutcome {
     pub plan: LogicalPlan,
     /// Execution counters.
     pub stats: ExecStats,
+    /// `EXPLAIN ANALYZE`-style per-stage breakdown (see
+    /// [`QueryProfile::render`] for the human-readable form).
+    pub profile: QueryProfile,
 }
 
 struct SourceState {
@@ -184,6 +189,7 @@ impl SelfCuratingDb {
         record: Record,
         text: Option<&str>,
     ) -> Result<IngestReport, CoreError> {
+        let _span = scdb_obs::span!("core.ingest");
         self.tick += 1;
         let tick = self.tick;
         // 1. Instance layer.
@@ -317,6 +323,7 @@ impl SelfCuratingDb {
     /// Re-run link discovery over every stored record — used after bulk
     /// loads where references preceded their targets. Returns new links.
     pub fn discover_links(&mut self) -> Result<usize, CoreError> {
+        let _span = scdb_obs::span!("core.discover_links");
         self.tick += 1;
         let tick = self.tick;
         let mut new_links = 0usize;
@@ -361,6 +368,7 @@ impl SelfCuratingDb {
         if new_links > 0 {
             self.saturation = None;
         }
+        metrics().add("core.links_discovered", new_links as u64);
         Ok(new_links)
     }
 
@@ -400,6 +408,7 @@ impl SelfCuratingDb {
     /// saturates. The result is cached until the next curation write.
     pub fn reason(&mut self) -> Result<&Saturation, CoreError> {
         if self.saturation.is_none() {
+            let _span = scdb_obs::span!("core.reason");
             let mut effective = self.ontology.clone();
             // Fold relation-layer edges into the ABox.
             let mut edges: Vec<(EntityId, String, EntityId, u64)> = Vec::new();
@@ -426,6 +435,9 @@ impl SelfCuratingDb {
             let sat = Reasoner::new().saturate(&effective);
             self.stats.inferred_facts = sat.derived_count();
             self.stats.reason_runs += 1;
+            let m = metrics();
+            m.inc("core.reason_runs");
+            m.gauge_set("core.inferred_facts", self.stats.inferred_facts as i64);
             self.saturation = Some(sat);
         }
         if self.taxonomy.is_none() {
@@ -483,8 +495,13 @@ impl SelfCuratingDb {
         self.run_query(&query)
     }
 
-    /// Execute an already-parsed query.
+    /// Execute an already-parsed query. The returned outcome carries an
+    /// `EXPLAIN ANALYZE`-style [`QueryProfile`] with per-stage timings
+    /// (plan → optimize → execute), per-operator row counts, and the
+    /// optimizer decisions that fired.
     pub fn run_query(&mut self, query: &Query) -> Result<QueryOutcome, CoreError> {
+        let _span = scdb_obs::span!("core.query");
+        let mut profile = ProfileBuilder::new();
         // Ensure semantic cache when the query uses semantic atoms.
         let needs_semantic = query.atoms.iter().any(|a| {
             matches!(
@@ -493,14 +510,22 @@ impl SelfCuratingDb {
             )
         });
         if needs_semantic {
-            self.reason()?;
+            profile.timed("semantic_prep", || self.reason().map(|_| ()))?;
         } else if self.taxonomy.is_none() {
             self.taxonomy = Some(Taxonomy::build(&self.ontology));
         }
 
         let state = self.source_state(&query.from)?;
         let base_rows = state.store.len() as u64;
+        let plan_start = Instant::now();
         let plan = LogicalPlan::from_query(query);
+        let plan_elapsed = plan_start.elapsed();
+        metrics().observe("query.plan_ns", plan_elapsed.as_nanos() as u64);
+        profile.stage("plan", plan_elapsed).notes.push(format!(
+            "{} atom(s), {} node(s)",
+            query.atoms.len(),
+            plan.nodes.len()
+        ));
         let taxonomy = self.taxonomy.as_ref().expect("built above");
         let ctx = SemanticContext {
             ontology: &self.ontology,
@@ -508,7 +533,14 @@ impl SelfCuratingDb {
             saturation: self.saturation.as_ref(),
         };
         let optimizer = Optimizer::new(self.optimizer_config);
+        let opt_start = Instant::now();
         let plan = optimizer.optimize(plan, Some(&ctx), Some(&state.stats), base_rows);
+        let opt_elapsed = opt_start.elapsed();
+        metrics().observe("query.optimize_ns", opt_elapsed.as_nanos() as u64);
+        profile.stage("optimize", opt_elapsed);
+        for rewrite in &plan.rewrites {
+            profile.decision(rewrite.clone());
+        }
 
         let source = StoreSource::new(query.from.clone(), &state.store, &self.symbols);
         let mut env = EvalEnv::default();
@@ -538,8 +570,23 @@ impl SelfCuratingDb {
                 ),
             );
         }
-        let (rows, stats) = Executor.execute(&plan, &source, &env)?;
-        Ok(QueryOutcome { rows, plan, stats })
+        let exec_start = Instant::now();
+        let (rows, stats) = Executor.execute_profiled(&plan, &source, &env, &mut profile)?;
+        metrics().observe("query.execute_ns", exec_start.elapsed().as_nanos() as u64);
+        Ok(QueryOutcome {
+            rows,
+            plan,
+            stats,
+            profile: profile.finish(),
+        })
+    }
+
+    /// Snapshot of the global metrics registry: every counter, gauge, and
+    /// latency histogram the pipeline has touched so far. Serialize with
+    /// [`MetricsSnapshot::to_json`] or render with
+    /// [`MetricsSnapshot::render`].
+    pub fn metrics_report(&self) -> MetricsSnapshot {
+        metrics().snapshot()
     }
 
     /// The relation-layer graph.

@@ -58,3 +58,4 @@ pub use codd::{codd_report, CoddItem, CoddStatus};
 pub use db::{CurationStats, IngestReport, QueryOutcome, SelfCuratingDb};
 pub use error::CoreError;
 pub use explore::{explore, ExplorationOutcome, ExploreConfig};
+pub use scdb_obs::{MetricsSnapshot, QueryProfile};

@@ -225,6 +225,7 @@ impl IncrementalResolver {
     /// Resolve one incoming record.
     pub fn add(&mut self, id: RecordId, record: Record, symbols: &SymbolTable) -> MergeEvent {
         self.added += 1;
+        let comparisons_before = self.comparisons;
         self.aligners
             .entry(id.source)
             .or_insert_with(|| SchemaAligner::new(self.config.align_sample_cap))
@@ -253,9 +254,13 @@ impl IncrementalResolver {
             }
         }
 
+        let m = scdb_obs::metrics();
+        m.add("er.comparisons", self.comparisons - comparisons_before);
+
         if matched_roots.is_empty() {
             let entity = self.idgen.next_entity();
             self.entity_of_root.insert(handle, entity);
+            m.inc("er.fresh_entities");
             return MergeEvent {
                 record: id,
                 entity,
@@ -264,6 +269,7 @@ impl IncrementalResolver {
                 fresh: true,
             };
         }
+        m.inc("er.matches");
 
         // Union all matched clusters plus the new record. Keep the entity
         // with the smallest id (the oldest) as the survivor.
@@ -291,6 +297,7 @@ impl IncrementalResolver {
         self.entity_of_root
             .retain(|h, _| self.parent[*h as usize] == *h);
 
+        m.add("er.entities_absorbed", absorbed.len() as u64);
         MergeEvent {
             record: id,
             entity: survivor,

@@ -230,7 +230,73 @@ impl Executor {
             out.push(projected);
         }
         stats.rows_out = out.len() as u64;
+        let m = scdb_obs::metrics();
+        m.add("query.rows_scanned", stats.rows_scanned);
+        m.add("query.atom_evals", stats.atom_evals);
+        m.add("query.rows_out", stats.rows_out);
         Ok((out, stats))
+    }
+
+    /// Run `plan` while appending an operator-level breakdown to
+    /// `profile`: an `execute` stage plus per-operator rows in/out
+    /// (`scan` → `filter` → `project` → `limit`, as present in the
+    /// plan). The single-pass loop doesn't time operators individually,
+    /// so operator entries carry rows only (zero duration).
+    pub fn execute_profiled(
+        &self,
+        plan: &LogicalPlan,
+        source: &dyn RowSource,
+        env: &EvalEnv<'_>,
+        profile: &mut scdb_obs::ProfileBuilder,
+    ) -> Result<(Vec<Record>, ExecStats), QueryError> {
+        let start = std::time::Instant::now();
+        let result = self.execute(plan, source, env);
+        let elapsed = start.elapsed();
+        if let Ok((_, stats)) = &result {
+            {
+                let s = profile.stage("execute", elapsed);
+                s.rows_in = Some(source.len() as u64);
+                s.rows_out = Some(stats.rows_out);
+                if plan.empty {
+                    s.notes.push("plan proven empty: scan skipped".into());
+                }
+            }
+            {
+                let s = profile.stage_at("scan", 1, std::time::Duration::ZERO);
+                s.rows_out = Some(stats.rows_scanned);
+                if let Some(name) = plan.source() {
+                    s.notes.push(format!("source={name}"));
+                }
+            }
+            let atoms = plan.filter_atoms();
+            if !atoms.is_empty() {
+                let s = profile.stage_at("filter", 1, std::time::Duration::ZERO);
+                s.rows_in = Some(stats.rows_scanned);
+                s.rows_out = Some(stats.rows_out);
+                s.notes.push(format!(
+                    "{} atom(s), {} eval(s)",
+                    atoms.len(),
+                    stats.atom_evals
+                ));
+            }
+            for node in &plan.nodes {
+                match node {
+                    PlanNode::Project { attrs } => {
+                        let s = profile.stage_at("project", 1, std::time::Duration::ZERO);
+                        s.rows_in = Some(stats.rows_out);
+                        s.rows_out = Some(stats.rows_out);
+                        s.notes.push(attrs.join(", "));
+                    }
+                    PlanNode::Limit { n } => {
+                        let s = profile.stage_at("limit", 1, std::time::Duration::ZERO);
+                        s.rows_out = Some(stats.rows_out);
+                        s.notes.push(format!("limit {n}"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        result
     }
 }
 

@@ -98,10 +98,12 @@ impl MaterializationCache {
     pub fn lookup(&mut self, context: &str) -> Option<&[DiscoveredFact]> {
         if self.entries.contains_key(context) {
             self.hits += 1;
+            scdb_obs::metrics().inc("query.mat_cache_hits");
             self.touch(context);
             self.entries.get(context).map(Vec::as_slice)
         } else {
             self.misses += 1;
+            scdb_obs::metrics().inc("query.mat_cache_misses");
             None
         }
     }

@@ -97,6 +97,22 @@ impl Optimizer {
     /// statistics. `base_rows` is the scanned source's cardinality.
     pub fn optimize(
         &self,
+        plan: LogicalPlan,
+        semantic: Option<&SemanticContext<'_>>,
+        stats: Option<&HashMap<String, AttrStatistics>>,
+        base_rows: u64,
+    ) -> LogicalPlan {
+        let rewrites_before = plan.rewrites.len();
+        let plan = self.optimize_inner(plan, semantic, stats, base_rows);
+        scdb_obs::metrics().add(
+            "query.rewrites",
+            (plan.rewrites.len() - rewrites_before) as u64,
+        );
+        plan
+    }
+
+    fn optimize_inner(
+        &self,
         mut plan: LogicalPlan,
         semantic: Option<&SemanticContext<'_>>,
         stats: Option<&HashMap<String, AttrStatistics>>,

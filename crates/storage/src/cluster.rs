@@ -124,7 +124,7 @@ impl ClusteredLayout {
         pages: PageConfig,
         strategy: ClusterStrategy,
     ) -> Self {
-        match strategy {
+        let layout = match strategy {
             ClusterStrategy::Identity => ClusteredLayout {
                 map: PageMap::identity(n),
                 strategy,
@@ -140,7 +140,11 @@ impl ClusteredLayout {
                 }
             }
             ClusterStrategy::CoAccessGreedy => Self::greedy(tracker, n, pages),
-        }
+        };
+        let m = scdb_obs::metrics();
+        m.inc("storage.cluster_builds");
+        m.gauge_set("storage.clusters_formed", layout.clusters_formed as i64);
+        layout
     }
 
     /// Greedy agglomerative packing: process co-access edges heaviest

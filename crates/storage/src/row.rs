@@ -54,9 +54,13 @@ impl RowStore {
     pub fn append(&mut self, record: Record) -> RecordId {
         let offset = self.slots.len() as u64;
         self.schema.observe(&record);
-        self.bytes += record.approx_size();
+        let size = record.approx_size();
+        self.bytes += size;
         self.slots.push(Some(record));
         self.live += 1;
+        let m = scdb_obs::metrics();
+        m.inc("storage.rows_appended");
+        m.add("storage.bytes_written", size as u64);
         RecordId::new(self.source, offset)
     }
 
@@ -78,6 +82,7 @@ impl RowStore {
     pub fn get(&self, id: RecordId) -> Result<&Record, StorageError> {
         let idx = self.check(id)?;
         self.touches.touch(self.pages.page_of(idx as u64));
+        scdb_obs::metrics().inc("storage.page_reads");
         Ok(self.slots[idx].as_ref().expect("checked live"))
     }
 

@@ -162,6 +162,7 @@ impl TxnManager {
 
     /// Begin a transaction with a snapshot at the current timestamp.
     pub fn begin(&self) -> Transaction {
+        scdb_obs::metrics().inc("txn.begin");
         Transaction {
             id: self.inner.next_txn.fetch_add(1, Ordering::Relaxed),
             snapshot_ts: self.inner.next_ts.load(Ordering::SeqCst),
@@ -197,6 +198,7 @@ impl TxnManager {
                 if latest.commit_ts > txn.snapshot_ts {
                     txn.status = TxnStatus::Aborted;
                     self.inner.aborts.fetch_add(1, Ordering::Relaxed);
+                    scdb_obs::metrics().inc("txn.abort");
                     return Err(TxnError::WriteConflict { key: *key });
                 }
             }
@@ -214,6 +216,7 @@ impl TxnManager {
         }
         txn.status = TxnStatus::Committed;
         self.inner.commits.fetch_add(1, Ordering::Relaxed);
+        scdb_obs::metrics().inc("txn.commit");
         Ok(commit_ts)
     }
 
@@ -223,6 +226,7 @@ impl TxnManager {
             txn.status = TxnStatus::Aborted;
             txn.writes.clear();
             self.inner.aborts.fetch_add(1, Ordering::Relaxed);
+            scdb_obs::metrics().inc("txn.abort");
         }
     }
 

@@ -144,6 +144,7 @@ impl Wal {
 
     /// Append a record.
     pub fn append(&mut self, record: LogRecord) {
+        scdb_obs::metrics().inc("txn.wal_records");
         self.records.push(record);
     }
 
@@ -199,6 +200,7 @@ impl Wal {
                 LogRecord::Checkpoint => buf.put_u8(TAG_CHECKPOINT),
             }
         }
+        scdb_obs::metrics().add("txn.wal_bytes", buf.len() as u64);
         buf.freeze()
     }
 

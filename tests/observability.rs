@@ -1,0 +1,124 @@
+//! Observability integration: query profiles are populated end to end,
+//! and the enabled metrics registry stays within its overhead budget
+//! (DESIGN.md "Observability": < 5% on an ingest+query loop).
+
+use std::time::{Duration, Instant};
+
+use scdb_core::SelfCuratingDb;
+use scdb_types::{Record, Value};
+
+#[test]
+fn query_outcome_carries_populated_profile() {
+    let mut db = SelfCuratingDb::new();
+    db.register_source("drugs", Some("drug"));
+    let drug = db.symbols().intern("drug");
+    let dose = db.symbols().intern("dose");
+    for i in 0..100i64 {
+        let r = Record::from_pairs([
+            (drug, Value::str(format!("Drug-{i}"))),
+            (dose, Value::Float(i as f64 / 10.0)),
+        ]);
+        db.ingest("drugs", r, None).expect("ingest");
+    }
+    let out = db
+        .query("SELECT drug FROM drugs WHERE dose >= 5.0 LIMIT 10")
+        .expect("query");
+
+    let profile = &out.profile;
+    assert!(!profile.is_empty(), "profile must be populated");
+    for stage in ["plan", "optimize", "execute"] {
+        assert!(profile.stage(stage).is_some(), "missing stage {stage}");
+    }
+    let execute = profile.stage("execute").expect("execute stage");
+    assert_eq!(execute.rows_in, Some(100));
+    assert_eq!(execute.rows_out, Some(out.rows.len() as u64));
+    let scan = profile.stage("scan").expect("scan operator");
+    assert_eq!(scan.depth, 1);
+    assert!(scan.rows_out.is_some());
+    assert!(profile.total >= profile.stage("execute").unwrap().duration);
+
+    let rendered = profile.render();
+    assert!(rendered.starts_with("EXPLAIN ANALYZE"));
+    assert!(rendered.contains("-> execute"));
+    assert!(rendered.contains("rows"));
+}
+
+#[test]
+fn semantic_query_profile_records_optimizer_decisions() {
+    let mut db = SelfCuratingDb::new();
+    db.register_source("trials", Some("drug"));
+    let drug = db.symbols().intern("drug");
+    let dose = db.symbols().intern("dose");
+    for i in 0..50i64 {
+        let r = Record::from_pairs([
+            (
+                drug,
+                Value::str(["Warfarin", "Ibuprofen"][(i % 2) as usize]),
+            ),
+            (dose, Value::Float(2.0 + i as f64 / 10.0)),
+        ]);
+        db.ingest("trials", r, None).expect("ingest");
+    }
+    db.ontology_mut().subclass("Anticoagulant", "Drug");
+    db.assert_entity_type("Warfarin", "Anticoagulant")
+        .expect("typed");
+    let out = db
+        .query("SELECT drug FROM trials WHERE drug IS 'Drug' AND dose >= 3.0 AND dose >= 4.0")
+        .expect("semantic query");
+    assert!(
+        out.profile.stage("semantic_prep").is_some(),
+        "semantic queries record the reasoning stage"
+    );
+    assert!(
+        !out.profile.optimizer_decisions.is_empty(),
+        "multi-atom query should trigger at least one rewrite, got: {:?}",
+        out.profile.optimizer_decisions
+    );
+}
+
+/// One ingest+query loop: `n` rows in, ten selective queries out.
+fn workload(n: i64) -> Duration {
+    let start = Instant::now();
+    let mut db = SelfCuratingDb::new();
+    db.register_source("s", Some("k"));
+    let k = db.symbols().intern("k");
+    let v = db.symbols().intern("v");
+    for i in 0..n {
+        let r = Record::from_pairs([(k, Value::str(format!("key-{i}"))), (v, Value::Int(i))]);
+        db.ingest("s", r, None).expect("ingest");
+    }
+    for _ in 0..10 {
+        db.query("SELECT k FROM s WHERE v >= 5000 LIMIT 100")
+            .expect("query");
+    }
+    start.elapsed()
+}
+
+/// DESIGN.md overhead budget: the enabled registry costs < 5% on a
+/// 10k-row ingest+query loop. Min-of-N interleaved trials filter
+/// scheduler noise; the assertion allows a small measurement margin on
+/// top of the budget so the guard fails on regressions, not jitter.
+#[test]
+fn metrics_overhead_under_budget() {
+    let registry = scdb_obs::metrics();
+    let n = 10_000;
+    workload(n); // warm-up (allocator, symbol table code paths)
+
+    let mut enabled_min = Duration::MAX;
+    let mut disabled_min = Duration::MAX;
+    for _ in 0..4 {
+        registry.set_enabled(false);
+        disabled_min = disabled_min.min(workload(n));
+        registry.set_enabled(true);
+        enabled_min = enabled_min.min(workload(n));
+    }
+    registry.set_enabled(true);
+
+    let budget = disabled_min.as_secs_f64() * 1.05 + 0.010;
+    assert!(
+        enabled_min.as_secs_f64() <= budget,
+        "enabled registry overhead out of budget: enabled min {:?} vs disabled min {:?}",
+        enabled_min,
+        disabled_min
+    );
+}
