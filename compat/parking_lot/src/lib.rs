@@ -64,9 +64,127 @@ pub struct RwLock<T: ?Sized> {
 }
 
 /// Shared-read guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> RwLockReadGuard<'a, T> {
+    /// Project the guard to a component of the protected value, keeping
+    /// the lock held (the shim analogue of `parking_lot`'s guard `map`).
+    ///
+    /// Unlike the real parking_lot — which stores the projected pointer —
+    /// this safe shim stores the projection and re-applies it on each
+    /// deref, so `f` must be a pure borrow of the guarded value.
+    pub fn map<U: ?Sized + 'a>(
+        s: Self,
+        f: impl for<'x> Fn(&'x T) -> &'x U + 'a,
+    ) -> MappedRwLockReadGuard<'a, U>
+    where
+        T: 'a,
+    {
+        MappedRwLockReadGuard {
+            inner: Box::new(Projected {
+                guard: s,
+                project: Box::new(f),
+            }),
+        }
+    }
+}
+
+/// Object-safe access to a projected component; erases the source type
+/// `T` so [`MappedRwLockReadGuard`] is generic over the target only
+/// (matching real `parking_lot`).
+trait MappedRead<U: ?Sized> {
+    fn get(&self) -> &U;
+}
+
+struct Projected<'a, T: ?Sized, U: ?Sized> {
+    guard: RwLockReadGuard<'a, T>,
+    #[allow(clippy::type_complexity)]
+    project: Box<dyn for<'x> Fn(&'x T) -> &'x U + 'a>,
+}
+
+impl<T: ?Sized, U: ?Sized> MappedRead<U> for Projected<'_, T, U> {
+    fn get(&self) -> &U {
+        (self.project)(&self.guard)
+    }
+}
+
+/// A read guard projected to a component of the locked value (see
+/// [`RwLockReadGuard::map`]). Holds the underlying lock until dropped.
+pub struct MappedRwLockReadGuard<'a, U: ?Sized> {
+    inner: Box<dyn MappedRead<U> + 'a>,
+}
+
+impl<'a, U: ?Sized> MappedRwLockReadGuard<'a, U> {
+    /// Project further (component of a component), keeping the lock held.
+    pub fn map<V: ?Sized + 'a>(
+        s: Self,
+        f: impl for<'x> Fn(&'x U) -> &'x V + 'a,
+    ) -> MappedRwLockReadGuard<'a, V>
+    where
+        U: 'a,
+    {
+        MappedRwLockReadGuard {
+            inner: Box::new(Remapped {
+                prev: s,
+                project: Box::new(f),
+            }),
+        }
+    }
+}
+
+struct Remapped<'a, U: ?Sized, V: ?Sized> {
+    prev: MappedRwLockReadGuard<'a, U>,
+    #[allow(clippy::type_complexity)]
+    project: Box<dyn for<'x> Fn(&'x U) -> &'x V + 'a>,
+}
+
+impl<U: ?Sized, V: ?Sized> MappedRead<V> for Remapped<'_, U, V> {
+    fn get(&self) -> &V {
+        (self.project)(&self.prev)
+    }
+}
+
+impl<U: ?Sized> std::ops::Deref for MappedRwLockReadGuard<'_, U> {
+    type Target = U;
+    fn deref(&self) -> &U {
+        self.inner.get()
+    }
+}
+
+impl<U: ?Sized + std::fmt::Debug> std::fmt::Debug for MappedRwLockReadGuard<'_, U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
 /// Exclusive-write guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> RwLock<T> {
     /// Create a new lock protecting `value`.
@@ -87,12 +205,16 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read guard.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Acquire an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -119,6 +241,28 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn read_guard_map_projects_and_holds_lock() {
+        struct Shard {
+            names: Vec<String>,
+            count: usize,
+        }
+        let l = RwLock::new(Shard {
+            names: vec!["a".into(), "b".into()],
+            count: 7,
+        });
+        let names = RwLockReadGuard::map(l.read(), |s| &s.names);
+        assert_eq!(names.len(), 2);
+        assert_eq!(&*names[0], "a");
+        // A projection capturing state (e.g. an index) also works.
+        let idx = 1usize;
+        drop(names);
+        let second = RwLockReadGuard::map(l.read(), move |s| &s.names[idx]);
+        assert_eq!(&*second, "b");
+        drop(second);
+        assert_eq!(l.read().count, 7);
     }
 
     #[test]

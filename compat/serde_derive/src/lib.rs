@@ -2,7 +2,7 @@
 //!
 //! The real `serde_derive` generates visitor-based trait impls; this shim
 //! intentionally generates nothing. Types that need to be serialized
-//! implement [`serde::Serialize`] by hand (the trait in the sibling shim
+//! implement `serde::Serialize` by hand (the trait in the sibling shim
 //! is a single `to_ser_value` method, so manual impls are one-liners).
 //! The derives still *parse* so existing `#[derive(Serialize,
 //! Deserialize)]` and `#[serde(...)]` attributes compile unchanged.

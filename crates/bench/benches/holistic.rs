@@ -19,8 +19,8 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("curate_100_drugs_3_sources", |b| {
         b.iter(|| {
-            let (mut db, _) = curated_db(&cfg);
-            *db.ontology_mut() = figure2_ontology();
+            let (db, _) = curated_db(&cfg);
+            db.set_ontology(figure2_ontology());
             db.reason().expect("saturation");
             black_box(db.stats().records)
         })

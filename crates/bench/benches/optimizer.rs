@@ -2,15 +2,15 @@
 //! on vs off, per rewrite class.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use scdb_core::SelfCuratingDb;
+use scdb_core::Db;
 use scdb_query::optimizer::OptimizerConfig;
 use scdb_types::{Record, Value};
 
-fn curated() -> SelfCuratingDb {
-    let mut db = SelfCuratingDb::new();
+fn curated() -> Db {
+    let db = Db::new();
     db.register_source("drugs", Some("name"));
-    let name = db.symbols().intern("name");
-    let dose = db.symbols().intern("dose");
+    let name = db.intern("name");
+    let dose = db.intern("dose");
     for i in 0..10_000i64 {
         let r = Record::from_pairs([
             (name, Value::str(drug_name(i))),
@@ -18,12 +18,11 @@ fn curated() -> SelfCuratingDb {
         ]);
         db.ingest("drugs", r, None).expect("ingest");
     }
-    {
-        let o = db.ontology_mut();
+    db.with_ontology(|o| {
         o.subclass("ApprovedDrug", "Drug");
         o.subclass("Drug", "Chemical");
         o.disjoint("Chemical", "Disease");
-    }
+    });
     for i in 0..50 {
         db.assert_entity_type(&drug_name(i), "ApprovedDrug")
             .expect("typed");
@@ -32,7 +31,7 @@ fn curated() -> SelfCuratingDb {
 }
 
 fn bench_rewrites(c: &mut Criterion) {
-    let mut db = curated();
+    let db = curated();
     let reorder_sql = format!(
         "SELECT name FROM drugs WHERE dose >= 1.0 AND name = '{}'",
         drug_name(42)

@@ -2,7 +2,7 @@
 //! and end-to-end execution including semantic atoms.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use scdb_core::SelfCuratingDb;
+use scdb_core::Db;
 use scdb_query::optimizer::{Optimizer, OptimizerConfig};
 use scdb_query::parse;
 use scdb_query::plan::LogicalPlan;
@@ -12,11 +12,11 @@ const SQL: &str = "SELECT name, dose FROM drugs \
     WHERE dose CLOSE TO 5.0 WITHIN 0.5 AND name != 'placebo' \
       AND dose > 1.0 AND dose > 2.0 AND dose < 9.0 LIMIT 50";
 
-fn curated() -> SelfCuratingDb {
-    let mut db = SelfCuratingDb::new();
+fn curated() -> Db {
+    let db = Db::new();
     db.register_source("drugs", Some("name"));
-    let name = db.symbols().intern("name");
-    let dose = db.symbols().intern("dose");
+    let name = db.intern("name");
+    let dose = db.intern("dose");
     for i in 0..5000i64 {
         let r = Record::from_pairs([
             (name, Value::str(drug_name(i))),
@@ -24,7 +24,7 @@ fn curated() -> SelfCuratingDb {
         ]);
         db.ingest("drugs", r, None).expect("ingest");
     }
-    db.ontology_mut().subclass("ApprovedDrug", "Drug");
+    db.with_ontology(|o| o.subclass("ApprovedDrug", "Drug"));
     for i in 0..100 {
         db.assert_entity_type(&drug_name(i), "ApprovedDrug")
             .expect("typed");
@@ -48,7 +48,7 @@ fn bench_optimize(c: &mut Criterion) {
 }
 
 fn bench_execute(c: &mut Criterion) {
-    let mut db = curated();
+    let db = curated();
     c.bench_function("query/execute_5k_rows", |b| {
         b.iter(|| black_box(db.query(SQL).unwrap().rows.len()))
     });

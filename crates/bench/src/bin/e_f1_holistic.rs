@@ -31,14 +31,14 @@ fn main() {
             corruption: CorruptionConfig::moderate(),
             seed: 0xF1,
         };
-        let (mut db, ms) = {
-            let ((mut db, _), load_ms) = time_ms(|| curated_db(&cfg));
+        let (db, ms) = {
+            let ((db, _), load_ms) = time_ms(|| curated_db(&cfg));
             // Instance layer, continued: a gene source whose identities
             // the drug records reference — link discovery knits them.
             let (_, extra_ms) = time_ms(|| {
                 db.register_source("genes", Some("gene"));
-                let gene = db.symbols().intern("gene");
-                let func = db.symbols().intern("function");
+                let gene = db.intern("gene");
+                let func = db.intern("function");
                 for i in 0..cfg.n_genes {
                     let r = Record::from_pairs([
                         (gene, Value::str(format!("GEN{i:03}"))),
@@ -52,8 +52,7 @@ fn main() {
                 db.discover_links().expect("links");
                 // Semantic layer: role + taxonomy + existential axiom, and
                 // typing of the gene entities.
-                {
-                    let o = db.ontology_mut();
+                db.with_ontology(|o| {
                     o.subclass("ApprovedDrug", "Drug");
                     o.subclass_exists("Drug", "has_target", "Gene");
                     let role = o.role("gene");
@@ -61,7 +60,7 @@ fn main() {
                     let gene_c = o.concept("Gene");
                     o.add_axiom(scdb_semantic::Axiom::Domain(role, drug_c));
                     o.add_axiom(scdb_semantic::Axiom::Range(role, gene_c));
-                }
+                });
                 for i in 0..cfg.n_genes {
                     let _ = db.assert_entity_type(&format!("GEN{i:03}"), "Gene");
                 }

@@ -6,7 +6,7 @@
 //! inference for Acetaminophen.
 
 use scdb_bench::{banner, Table};
-use scdb_core::SelfCuratingDb;
+use scdb_core::Db;
 use scdb_datagen::life_science::{figure2_ontology, figure2_sources};
 
 fn main() {
@@ -15,8 +15,8 @@ fn main() {
         "Figure 2 (life-science example)",
         "heterogeneous sources fuse into one enriched graph; missing links are inferred",
     );
-    let mut db = SelfCuratingDb::new();
-    let sources = figure2_sources(db.symbols());
+    let db = Db::new();
+    let sources = db.with_symbols(figure2_sources);
     let identity = ["Drug Name", "Gene", "Gene"];
     for (i, src) in sources.iter().enumerate() {
         db.register_source(&src.name, Some(identity[i]));
@@ -26,7 +26,7 @@ fn main() {
         }
     }
     let late = db.discover_links().expect("links");
-    *db.ontology_mut() = figure2_ontology();
+    db.set_ontology(figure2_ontology());
     for drug in ["Ibuprofen", "Acetaminophen", "Methotrexate", "Warfarin"] {
         db.assert_entity_type(drug, "ApprovedDrug").expect("typed");
     }
@@ -104,7 +104,7 @@ fn main() {
         "no disjointness violations".to_string(),
     );
 
-    let taxonomy = scdb_semantic::Taxonomy::build(db.ontology());
+    let taxonomy = scdb_semantic::Taxonomy::build(&db.ontology());
     let osteo = db.ontology().find_concept("Osteosarcoma").expect("c");
     let disease = db.ontology().find_concept("Disease").expect("c");
     claim(

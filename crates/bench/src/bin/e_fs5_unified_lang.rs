@@ -6,7 +6,7 @@
 //! declarativeness, OWL's semantics, and an ML model in one WHERE clause.
 
 use scdb_bench::{banner, Table};
-use scdb_core::SelfCuratingDb;
+use scdb_core::Db;
 use scdb_semantic::{ModelKind, ModelSpec};
 use scdb_types::{Record, Value};
 
@@ -16,11 +16,11 @@ fn main() {
         "Table 1 rows FS.4 + FS.5 (declarative models; unified language)",
         "one language spans relational, fuzzy, semantic, existential, and model atoms",
     );
-    let mut db = SelfCuratingDb::new();
+    let db = Db::new();
     db.register_source("trials", Some("drug"));
-    let drug = db.symbols().intern("drug");
-    let dose = db.symbols().intern("dose");
-    let response = db.symbols().intern("response");
+    let drug = db.intern("drug");
+    let dose = db.intern("dose");
+    let response = db.intern("response");
     // 200 trial rows over 4 drugs.
     let drugs = ["Warfarin", "Ibuprofen", "Methotrexate", "Acetaminophen"];
     for i in 0..200i64 {
@@ -34,9 +34,10 @@ fn main() {
         db.ingest("trials", r, None).unwrap();
     }
     // Semantic layer.
-    db.ontology_mut().subclass("Anticoagulant", "Drug");
-    db.ontology_mut()
-        .subclass_exists("Drug", "has_target", "Gene");
+    db.with_ontology(|o| {
+        o.subclass("Anticoagulant", "Drug");
+        o.subclass_exists("Drug", "has_target", "Gene");
+    });
     db.assert_entity_type("Warfarin", "Anticoagulant").unwrap();
     db.assert_entity_type("Ibuprofen", "Drug").unwrap();
     // Declarative model (FS.4): P(responds | dose).

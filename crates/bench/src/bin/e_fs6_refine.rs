@@ -26,11 +26,11 @@ fn main() {
         corruption: CorruptionConfig::CLEAN,
         seed: 0xF56,
     };
-    let (mut db, _) = curated_db(&cfg);
+    let (db, _) = curated_db(&cfg);
     // A gene source so the relation layer has drug→gene links to walk.
     db.register_source("genes", Some("gene"));
-    let gene_attr = db.symbols().intern("gene");
-    let func = db.symbols().intern("function");
+    let gene_attr = db.intern("gene");
+    let func = db.intern("function");
     for i in 0..cfg.n_genes {
         let r = scdb_types::Record::from_pairs([
             (gene_attr, scdb_types::Value::str(format!("GEN{i:03}"))),
@@ -94,8 +94,8 @@ fn main() {
                 .count() as f64
                 / relevant.len() as f64
         };
-        let seeded = discover(db.graph(), &[seed], &wcfg);
-        let uniform = discover_uniform(db.graph(), &wcfg);
+        let seeded = discover(&db.graph(), &[seed], &wcfg);
+        let uniform = discover_uniform(&db.graph(), &wcfg);
         table.row(&[
             steps.to_string(),
             format!("{:.3}", recall(&seeded)),

@@ -63,7 +63,7 @@ fn main() {
                     continue;
                 };
                 walks += 1;
-                let found = discover(db.graph(), &[seed], &walk);
+                let found = discover(&db.graph(), &[seed], &walk);
                 if use_cache {
                     let facts: Vec<DiscoveredFact> = found
                         .iter()

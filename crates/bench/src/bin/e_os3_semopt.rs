@@ -7,18 +7,18 @@
 //! scanned — deterministic, machine-independent.
 
 use scdb_bench::{banner, Table};
-use scdb_core::SelfCuratingDb;
+use scdb_core::Db;
 use scdb_query::optimizer::OptimizerConfig;
 use scdb_types::{Record, Value};
 
 /// 2000 drug rows with clean attribute names, typed concepts, and a
 /// disjointness axiom — everything the rewrite suite needs.
-fn build_db() -> SelfCuratingDb {
-    let mut db = SelfCuratingDb::new();
+fn build_db() -> Db {
+    let db = Db::new();
     db.register_source("drugs", Some("name"));
-    let name = db.symbols().intern("name");
-    let gene = db.symbols().intern("gene");
-    let dose = db.symbols().intern("dose");
+    let name = db.intern("name");
+    let gene = db.intern("gene");
+    let dose = db.intern("dose");
     for i in 0..2000i64 {
         let r = Record::from_pairs([
             (name, Value::str(drug_name(i))),
@@ -27,12 +27,11 @@ fn build_db() -> SelfCuratingDb {
         ]);
         db.ingest("drugs", r, None).expect("ingest");
     }
-    {
-        let o = db.ontology_mut();
+    db.with_ontology(|o| {
         o.subclass("ApprovedDrug", "Drug");
         o.subclass("Drug", "Chemical");
         o.disjoint("Chemical", "Disease");
-    }
+    });
     // Type a slice of drugs so concept atoms have members.
     for i in 0..200 {
         let concept = if i % 4 == 0 { "ApprovedDrug" } else { "Drug" };
@@ -48,7 +47,7 @@ fn main() {
         "Table 1 row OS.3 (semantic query optimization)",
         "subsumption collapse, disjointness unsat-pruning, and range merging cut execution cost",
     );
-    let mut db = build_db();
+    let db = build_db();
 
     let reorder_sql = format!(
         "SELECT name FROM drugs WHERE dose >= 1.0 AND name = '{}'",

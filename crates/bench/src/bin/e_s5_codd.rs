@@ -20,14 +20,14 @@ fn main() {
         seed: 0x055,
         ..Default::default()
     };
-    let (mut db, _) = curated_db(&cfg);
-    *db.ontology_mut() = figure2_ontology();
+    let (db, _) = curated_db(&cfg);
+    db.set_ontology(figure2_ontology());
     // A gene source: the drug records' gene values now reference real
     // entities, producing the relation-layer links of the information
     // rule.
     db.register_source("genes", Some("gene"));
-    let gene = db.symbols().intern("gene");
-    let function = db.symbols().intern("function");
+    let gene = db.intern("gene");
+    let function = db.intern("function");
     for i in 0..15 {
         db.ingest(
             "genes",
@@ -44,8 +44,8 @@ fn main() {
     // An unstructured + heterogeneous + nullable source: the foundation
     // and null-treatment evidence.
     db.register_source("notes", None);
-    let title = db.symbols().intern("title");
-    let severity = db.symbols().intern("severity");
+    let title = db.intern("title");
+    let severity = db.intern("severity");
     for (i, text) in [
         "free-text clinical observation about warfarin response",
         "nurse note: dosage adjusted after INR reading",
@@ -62,13 +62,13 @@ fn main() {
             (severity, sev),
         ]);
         if i == 0 {
-            r.set(db.symbols().intern("followup"), scdb_types::Value::Null);
+            r.set(db.intern("followup"), scdb_types::Value::Null);
         }
         db.ingest("notes", r, Some(text)).expect("ingest");
     }
 
     let mut t = Table::new(&["status", "rule", "evidence"]);
-    for item in codd_report(&mut db) {
+    for item in codd_report(&db) {
         t.row(&[
             format!("{:?}", item.status),
             item.rule.to_string(),

@@ -42,6 +42,7 @@ const EXPERIMENTS: &[&str] = &[
     "e_os3_semopt",
     "e_os4_placement",
     "e_s5_codd",
+    "e_concurrent_read_scaling",
 ];
 
 fn main() {
@@ -105,12 +106,12 @@ fn metrics_sweep(path: &str) {
         corruption: CorruptionConfig::moderate(),
         seed: 0x0B5,
     };
-    let (mut db, _sources) = curated_db(&cfg);
+    let (db, _sources) = curated_db(&cfg);
 
     // Semantics + queries (plan / optimize / execute + profile).
     db.register_source("trials", Some("drug"));
-    let drug = db.symbols().intern("drug");
-    let dose = db.symbols().intern("dose");
+    let drug = db.intern("drug");
+    let dose = db.intern("dose");
     for i in 0..200i64 {
         let name = ["Warfarin", "Ibuprofen", "Methotrexate"][(i % 3) as usize];
         let r = Record::from_pairs([
@@ -119,7 +120,7 @@ fn metrics_sweep(path: &str) {
         ]);
         db.ingest("trials", r, None).expect("ingest trial");
     }
-    db.ontology_mut().subclass("Anticoagulant", "Drug");
+    db.with_ontology(|o| o.subclass("Anticoagulant", "Drug"));
     db.assert_entity_type("Warfarin", "Anticoagulant")
         .expect("typed");
     let profile = db

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use scdb_core::SelfCuratingDb;
+use scdb_core::Db;
 use scdb_datagen::life_science::{scaled, ScaledConfig};
 use scdb_datagen::SyntheticSource;
 
@@ -73,14 +73,11 @@ pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1000.0)
 }
 
-/// Load a scaled life-science corpus into a fresh [`SelfCuratingDb`],
-/// returning the database and the generated sources (with ground truth).
-pub fn curated_db(config: &ScaledConfig) -> (SelfCuratingDb, Vec<SyntheticSource>) {
-    let mut db = SelfCuratingDb::new();
-    let sources = {
-        let symbols = db.symbols();
-        scaled(config, symbols)
-    };
+/// Load a scaled life-science corpus into a fresh [`Db`], returning the
+/// database handle and the generated sources (with ground truth).
+pub fn curated_db(config: &ScaledConfig) -> (Db, Vec<SyntheticSource>) {
+    let db = Db::new();
+    let sources = db.with_symbols(|symbols| scaled(config, symbols));
     for s in &sources {
         let name = s.name.clone();
         db.register_source(&name, None);
@@ -130,7 +127,7 @@ mod tests {
             n_sources: 2,
             ..Default::default()
         };
-        let (mut db, sources) = curated_db(&cfg);
+        let (db, sources) = curated_db(&cfg);
         assert_eq!(db.source_count(), 2);
         let total: usize = sources.iter().map(|s| s.len()).sum();
         assert_eq!(db.stats().records as usize, total);

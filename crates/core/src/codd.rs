@@ -2,7 +2,7 @@
 //!
 //! The paper closes by revisiting Codd's classical rules and listing how a
 //! self-curating database must deviate from or extend each. This module
-//! turns that prose into checks over a live [`SelfCuratingDb`]: each item
+//! turns that prose into checks over a live [`Db`]: each item
 //! inspects actual system state and reports whether the deviation is
 //! *exhibited* (the system actually behaves the new way), giving the
 //! paper's "comprehensive list of criteria that may serve as a test for
@@ -10,7 +10,7 @@
 
 use scdb_types::ValueKind;
 
-use crate::db::SelfCuratingDb;
+use crate::db::Db;
 
 /// Status of one checklist item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +36,7 @@ pub struct CoddItem {
 }
 
 /// Compute the §5 compliance report.
-pub fn codd_report(db: &mut SelfCuratingDb) -> Vec<CoddItem> {
+pub fn codd_report(db: &Db) -> Vec<CoddItem> {
     let mut items = Vec::new();
 
     // Deviation from the foundation rule: data is not all local/relational.
@@ -58,8 +58,6 @@ pub fn codd_report(db: &mut SelfCuratingDb) -> Vec<CoddItem> {
     // meta-data unified with data.
     let records: usize = db
         .source_names()
-        .map(str::to_string)
-        .collect::<Vec<_>>()
         .iter()
         .map(|n| db.record_count(n).unwrap_or(0))
         .sum();
@@ -82,7 +80,7 @@ pub fn codd_report(db: &mut SelfCuratingDb) -> Vec<CoddItem> {
     // Extended null treatment: heterogeneous/noisy/fuzzy items.
     let mut hetero_columns = 0usize;
     let mut nullable_columns = 0usize;
-    for name in db.source_names().map(str::to_string).collect::<Vec<_>>() {
+    for name in db.source_names() {
         if let Ok(store) = db.store(&name) {
             for (_, stats) in store.schema().attrs() {
                 if stats.kinds.len() > 1 {
@@ -152,7 +150,7 @@ pub fn codd_report(db: &mut SelfCuratingDb) -> Vec<CoddItem> {
 /// True when the store holds any value of more than one kind under one
 /// attribute (column heterogeneity — the paper's departure from BCNF
 /// homogeneity). Helper exposed for tests/benches.
-pub fn has_heterogeneous_column(db: &SelfCuratingDb, source: &str) -> bool {
+pub fn has_heterogeneous_column(db: &Db, source: &str) -> bool {
     db.store(source)
         .map(|s| {
             s.schema()
@@ -169,8 +167,8 @@ mod tests {
 
     #[test]
     fn empty_db_mostly_missing_or_supported() {
-        let mut db = SelfCuratingDb::new();
-        let report = codd_report(&mut db);
+        let db = Db::new();
+        let report = codd_report(&db);
         assert_eq!(report.len(), 6);
         assert!(report
             .iter()
@@ -179,22 +177,21 @@ mod tests {
 
     #[test]
     fn curated_db_exhibits_deviations() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         db.register_source("drugbank", Some("drug"));
         db.register_source("ctd", Some("gene"));
-        let d = db.symbols().intern("drug");
-        let g = db.symbols().intern("gene");
+        let d = db.intern("drug");
+        let g = db.intern("gene");
         let r = Record::from_pairs([(g, Value::str("TP53"))]);
         db.ingest("ctd", r, Some("TP53 is a tumor suppressor"))
             .unwrap();
         let r = Record::from_pairs([(d, Value::str("Warfarin")), (g, Value::str("TP53"))]);
         db.ingest("drugbank", r, None).unwrap();
-        {
-            let o = db.ontology_mut();
+        db.with_ontology(|o| {
             o.subclass("Drug", "Chemical");
-        }
+        });
         db.reason().unwrap();
-        let report = codd_report(&mut db);
+        let report = codd_report(&db);
         let exhibited = report
             .iter()
             .filter(|i| i.status == CoddStatus::Exhibited)
@@ -204,9 +201,9 @@ mod tests {
 
     #[test]
     fn heterogeneous_column_detection() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         db.register_source("mixed", None);
-        let a = db.symbols().intern("v");
+        let a = db.intern("v");
         let r = Record::from_pairs([(a, Value::Int(1))]);
         db.ingest("mixed", r, None).unwrap();
         assert!(!has_heterogeneous_column(&db, "mixed"));

@@ -1,16 +1,44 @@
-//! The [`SelfCuratingDb`] facade.
+//! The [`Db`] facade: a cheaply-clonable, `Send + Sync` handle.
 //!
-//! One instance owns all three layers plus the query machinery. The
+//! One handle owns all three layers plus the query machinery. The
 //! curation loop is *incremental and continuous* (FS.1, §4.2): every
 //! ingested record is immediately resolved against the existing entity
 //! population, linked into the relation graph, and exposed to queries;
 //! nothing requires an offline pass. Semantic saturation is recomputed
 //! lazily (it is the one global step) and cached until curation
 //! invalidates it.
+//!
+//! # Concurrency model
+//!
+//! Interior state is split into per-subsystem [`parking_lot::RwLock`]
+//! shards so readers and the curation writer proceed concurrently:
+//!
+//! | shard      | contents                                              |
+//! |------------|-------------------------------------------------------|
+//! | `symbols`  | the shared [`SymbolTable`]                            |
+//! | `instance` | row stores, per-attribute statistics, text store      |
+//! | `relation` | incremental resolver, property graph, identity index  |
+//! | `semantic` | ontology, cached saturation/taxonomy, trained models  |
+//! | `config`   | optimizer configuration, scan executor                |
+//!
+//! Every method takes `&self`; reads (`query`, `richness`,
+//! `entity_count`, accessors) acquire shard read locks and run
+//! concurrently with each other, while writes (`ingest`,
+//! `discover_links`, ontology edits) take the affected shards
+//! exclusively. To stay deadlock-free, locks are always acquired in the
+//! fixed order **symbols → instance → relation → semantic → config**;
+//! any subset is fine as long as the relative order holds.
+//!
+//! `ingest` holds `instance` and `relation` write locks together for
+//! the whole record pipeline, so a concurrent reader never observes a
+//! stored record whose entity assignment does not exist yet (no torn
+//! reads).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::{MappedRwLockReadGuard, RwLock, RwLockReadGuard};
 use scdb_er::normalize::normalize;
 use scdb_er::{IncrementalResolver, ResolverConfig};
 use scdb_graph::metrics::{assess, RichnessReport};
@@ -24,7 +52,8 @@ use scdb_semantic::{Ontology, Reasoner, Saturation, Taxonomy, TrainedModel};
 use scdb_storage::stats::AttrStatistics;
 use scdb_storage::{RowStore, TextStore};
 use scdb_types::{
-    Confidence, EntityId, Provenance, Record, RecordId, SourceId, SymbolTable, Value, ValueKind,
+    Confidence, EntityId, Provenance, Record, RecordId, SourceId, Symbol, SymbolTable, Value,
+    ValueKind,
 };
 
 use crate::error::CoreError;
@@ -80,90 +109,13 @@ struct SourceState {
     identity_attr: Option<String>,
 }
 
-/// The self-curating database.
-pub struct SelfCuratingDb {
-    symbols: SymbolTable,
+/// Instance-layer shard: row stores and the text index.
+struct InstanceShard {
     sources: Vec<(String, SourceState)>,
-    resolver: IncrementalResolver,
-    graph: PropertyGraph,
     text: TextStore,
-    ontology: Ontology,
-    saturation: Option<Saturation>,
-    taxonomy: Option<Taxonomy>,
-    entity_by_name: HashMap<String, EntityId>,
-    identity_of_entity: HashMap<EntityId, String>,
-    models: HashMap<String, TrainedModel>,
-    optimizer_config: OptimizerConfig,
-    stats: CurationStats,
-    tick: u64,
 }
 
-impl Default for SelfCuratingDb {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl SelfCuratingDb {
-    /// A fresh, empty database with default configuration.
-    pub fn new() -> Self {
-        Self::with_config(ResolverConfig::default(), OptimizerConfig::default())
-    }
-
-    /// Configure the resolver and optimizer explicitly.
-    pub fn with_config(resolver: ResolverConfig, optimizer: OptimizerConfig) -> Self {
-        SelfCuratingDb {
-            symbols: SymbolTable::new(),
-            sources: Vec::new(),
-            resolver: IncrementalResolver::new(resolver),
-            graph: PropertyGraph::new(),
-            text: TextStore::new(),
-            ontology: Ontology::new(),
-            saturation: None,
-            taxonomy: None,
-            entity_by_name: HashMap::new(),
-            identity_of_entity: HashMap::new(),
-            models: HashMap::new(),
-            optimizer_config: optimizer,
-            stats: CurationStats::default(),
-            tick: 0,
-        }
-    }
-
-    /// Register a source; idempotent per name. `identity_attr` names the
-    /// attribute whose value identifies the record's entity (defaults to
-    /// the record's first string attribute at ingest time).
-    pub fn register_source(&mut self, name: &str, identity_attr: Option<&str>) -> SourceId {
-        if let Some((_, s)) = self.sources.iter().find(|(n, _)| n == name) {
-            return s.id;
-        }
-        let id = SourceId(self.sources.len() as u32);
-        if let Some(attr) = identity_attr {
-            let sym = self.symbols.intern(attr);
-            self.resolver.designate_identity(id, sym);
-        }
-        self.sources.push((
-            name.to_string(),
-            SourceState {
-                id,
-                store: RowStore::new(id),
-                stats: HashMap::new(),
-                identity_attr: identity_attr.map(str::to_string),
-            },
-        ));
-        id
-    }
-
-    /// The shared symbol table (intern attribute names through this).
-    pub fn symbols(&mut self) -> &mut SymbolTable {
-        &mut self.symbols
-    }
-
-    /// Read-only symbol table.
-    pub fn symbols_ref(&self) -> &SymbolTable {
-        &self.symbols
-    }
-
+impl InstanceShard {
     fn source_state(&self, name: &str) -> Result<&SourceState, CoreError> {
         self.sources
             .iter()
@@ -179,38 +131,237 @@ impl SelfCuratingDb {
             .map(|(_, s)| s)
             .ok_or_else(|| CoreError::UnknownSource(name.to_string()))
     }
+}
+
+/// Relation-layer shard: resolver, graph, identity index, counters.
+struct RelationShard {
+    resolver: IncrementalResolver,
+    graph: PropertyGraph,
+    entity_by_name: HashMap<String, EntityId>,
+    identity_of_entity: HashMap<EntityId, String>,
+    stats: CurationStats,
+    tick: u64,
+}
+
+/// Semantic-layer shard: ontology, cached inference products, models.
+struct SemanticShard {
+    ontology: Ontology,
+    saturation: Option<Arc<Saturation>>,
+    taxonomy: Option<Taxonomy>,
+    models: HashMap<String, TrainedModel>,
+}
+
+/// Query-machinery configuration shard.
+struct ConfigShard {
+    optimizer: OptimizerConfig,
+    executor: Executor,
+}
+
+struct DbInner {
+    symbols: RwLock<SymbolTable>,
+    instance: RwLock<InstanceShard>,
+    relation: RwLock<RelationShard>,
+    semantic: RwLock<SemanticShard>,
+    config: RwLock<ConfigShard>,
+}
+
+/// The self-curating database handle.
+///
+/// `Db` is an [`Arc`]-backed handle: [`Clone`] is a pointer copy, and
+/// clones share one underlying database, so a writer thread can ingest
+/// while any number of reader threads query through their own clones.
+/// See the [module docs](self) for the shard/locking scheme.
+#[derive(Clone)]
+pub struct Db {
+    inner: Arc<DbInner>,
+}
+
+/// Deprecated name of [`Db`], kept for source compatibility.
+#[deprecated(note = "renamed to `Db`; construct with `Db::new()` or `Db::builder()`")]
+pub type SelfCuratingDb = Db;
+
+/// Fluent constructor for [`Db`]: resolver config, optimizer config,
+/// metrics on/off, and scan parallelism in one chain.
+///
+/// ```
+/// use scdb_core::Db;
+/// let db = Db::builder().metrics(false).scan_workers(2).build();
+/// # let _ = db;
+/// ```
+#[derive(Debug, Clone, Default)]
+#[must_use = "builders do nothing until `.build()` is called"]
+pub struct DbBuilder {
+    resolver: ResolverConfig,
+    optimizer: OptimizerConfig,
+    metrics_enabled: Option<bool>,
+    executor: Executor,
+}
+
+impl DbBuilder {
+    /// Entity-resolution configuration (thresholds, blocking, realign).
+    pub fn resolver(mut self, config: ResolverConfig) -> Self {
+        self.resolver = config;
+        self
+    }
+
+    /// Query-optimizer configuration (rewrite toggles for the OS.3
+    /// ablation).
+    pub fn optimizer(mut self, config: OptimizerConfig) -> Self {
+        self.optimizer = config;
+        self
+    }
+
+    /// Enable or disable the global metrics registry. When left unset
+    /// the registry keeps its current state (enabled by default).
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics_enabled = Some(enabled);
+        self
+    }
+
+    /// Number of scan worker threads for query execution (1 = always
+    /// sequential). Defaults to available parallelism, capped small.
+    pub fn scan_workers(mut self, workers: usize) -> Self {
+        self.executor = Executor::with_workers(workers);
+        self
+    }
+
+    /// Build the database handle.
+    pub fn build(self) -> Db {
+        if let Some(on) = self.metrics_enabled {
+            metrics().set_enabled(on);
+        }
+        Db {
+            inner: Arc::new(DbInner {
+                symbols: RwLock::new(SymbolTable::new()),
+                instance: RwLock::new(InstanceShard {
+                    sources: Vec::new(),
+                    text: TextStore::new(),
+                }),
+                relation: RwLock::new(RelationShard {
+                    resolver: IncrementalResolver::new(self.resolver),
+                    graph: PropertyGraph::new(),
+                    entity_by_name: HashMap::new(),
+                    identity_of_entity: HashMap::new(),
+                    stats: CurationStats::default(),
+                    tick: 0,
+                }),
+                semantic: RwLock::new(SemanticShard {
+                    ontology: Ontology::new(),
+                    saturation: None,
+                    taxonomy: None,
+                    models: HashMap::new(),
+                }),
+                config: RwLock::new(ConfigShard {
+                    optimizer: self.optimizer,
+                    executor: self.executor,
+                }),
+            }),
+        }
+    }
+}
+
+impl Default for Db {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Db {
+    /// A fresh, empty database with default configuration.
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Start a [`DbBuilder`] for explicit configuration.
+    pub fn builder() -> DbBuilder {
+        DbBuilder::default()
+    }
+
+    /// Register a source; idempotent per name. `identity_attr` names the
+    /// attribute whose value identifies the record's entity (defaults to
+    /// the record's first string attribute at ingest time).
+    pub fn register_source(&self, name: &str, identity_attr: Option<&str>) -> SourceId {
+        let mut symbols = self.inner.symbols.write();
+        let mut instance = self.inner.instance.write();
+        let mut relation = self.inner.relation.write();
+        if let Some((_, s)) = instance.sources.iter().find(|(n, _)| n == name) {
+            return s.id;
+        }
+        let id = SourceId(instance.sources.len() as u32);
+        if let Some(attr) = identity_attr {
+            let sym = symbols.intern(attr);
+            relation.resolver.designate_identity(id, sym);
+        }
+        instance.sources.push((
+            name.to_string(),
+            SourceState {
+                id,
+                store: RowStore::new(id),
+                stats: HashMap::new(),
+                identity_attr: identity_attr.map(str::to_string),
+            },
+        ));
+        id
+    }
+
+    /// Run `f` with exclusive access to the symbol table (intern
+    /// attribute names through this).
+    pub fn with_symbols<R>(&self, f: impl FnOnce(&mut SymbolTable) -> R) -> R {
+        f(&mut self.inner.symbols.write())
+    }
+
+    /// Intern one name in the shared symbol table.
+    pub fn intern(&self, name: &str) -> Symbol {
+        self.inner.symbols.write().intern(name)
+    }
+
+    /// Read-only symbol table. The returned guard holds the symbols
+    /// read lock; drop it before calling a `&self` method that writes
+    /// symbols (`intern`, `with_symbols`, `ingest_json`).
+    pub fn symbols_ref(&self) -> RwLockReadGuard<'_, SymbolTable> {
+        self.inner.symbols.read()
+    }
 
     /// Ingest one record into `source`, running the full incremental
     /// curation pipeline: store → schema/stats → ER → graph node →
     /// link discovery. Optional `text` is indexed in the text store.
+    ///
+    /// Holds the `instance` and `relation` shards exclusively for the
+    /// whole pipeline, so concurrent readers see either none or all of
+    /// the record's effects.
     pub fn ingest(
-        &mut self,
+        &self,
         source: &str,
         record: Record,
         text: Option<&str>,
     ) -> Result<IngestReport, CoreError> {
         let _span = scdb_obs::span!("core.ingest");
-        self.tick += 1;
-        let tick = self.tick;
+        let symbols = self.inner.symbols.read();
+        let mut instance = self.inner.instance.write();
+        let mut relation = self.inner.relation.write();
+        let inst = &mut *instance;
+        let rel = &mut *relation;
+        rel.tick += 1;
+        let tick = rel.tick;
         // 1. Instance layer.
         let identity_attr_cfg;
         let source_id;
         let record_id;
         {
-            let state = self.source_state_mut(source)?;
+            let state = inst.source_state_mut(source)?;
             identity_attr_cfg = state.identity_attr.clone();
             source_id = state.id;
             record_id = state.store.append(record.clone());
         }
-        // Per-attribute statistics are keyed by attribute *name*; resolve
-        // symbols outside the source-state borrow.
-        let attr_names: Vec<(String, Value)> = record
+        // Per-attribute statistics are keyed by attribute *name*; keep
+        // the symbol alongside for link discovery below.
+        let attr_entries: Vec<(Symbol, String, Value)> = record
             .iter()
-            .map(|(a, v)| (self.symbols.resolve(a).to_string(), v.clone()))
+            .map(|(a, v)| (a, symbols.resolve(a).to_string(), v.clone()))
             .collect();
         {
-            let state = self.source_state_mut(source)?;
-            for (name, value) in &attr_names {
+            let state = inst.source_state_mut(source)?;
+            for (_, name, value) in &attr_entries {
                 state
                     .stats
                     .entry(name.clone())
@@ -219,30 +370,30 @@ impl SelfCuratingDb {
             }
         }
         // 2. Relation layer: entity resolution.
-        let event = self.resolver.add(record_id, record.clone(), &self.symbols);
+        let event = rel.resolver.add(record_id, record.clone(), &symbols);
         let entity = event.entity;
-        self.stats.records += 1;
+        rel.stats.records += 1;
         if !event.fresh {
-            self.stats.merges += 1;
+            rel.stats.merges += 1;
         }
         // Graph node (merge absorbed entities into the survivor).
-        self.graph.ensure_node(entity);
+        rel.graph.ensure_node(entity);
         for absorbed in &event.absorbed {
-            if self.graph.contains(*absorbed) {
-                self.graph.merge_nodes(entity, *absorbed)?;
+            if rel.graph.contains(*absorbed) {
+                rel.graph.merge_nodes(entity, *absorbed)?;
             }
             // Remap name index entries pointing at the absorbed entity.
-            for target in self.entity_by_name.values_mut() {
+            for target in rel.entity_by_name.values_mut() {
                 if target == absorbed {
                     *target = entity;
                 }
             }
-            if let Some(name) = self.identity_of_entity.remove(absorbed) {
-                self.identity_of_entity.entry(entity).or_insert(name);
+            if let Some(name) = rel.identity_of_entity.remove(absorbed) {
+                rel.identity_of_entity.entry(entity).or_insert(name);
             }
         }
         {
-            let node = self.graph.node_mut(entity)?;
+            let node = rel.graph.node_mut(entity)?;
             for (a, v) in record.iter() {
                 if node.attrs.get(a).is_none() {
                     node.attrs.set(a, v.clone());
@@ -252,10 +403,10 @@ impl SelfCuratingDb {
         }
         // Identity registration.
         let identity_value = match &identity_attr_cfg {
-            Some(attr) => attr_names
+            Some(attr) => attr_entries
                 .iter()
-                .find(|(n, _)| n == attr)
-                .map(|(_, v)| v.clone()),
+                .find(|(_, n, _)| n == attr)
+                .map(|(_, _, v)| v.clone()),
             None => record
                 .iter()
                 .find(|(_, v)| v.kind() == ValueKind::Str)
@@ -264,15 +415,15 @@ impl SelfCuratingDb {
         if let Some(v) = identity_value {
             let key = normalize(&v.render());
             if !key.is_empty() {
-                self.entity_by_name.entry(key.clone()).or_insert(entity);
-                self.identity_of_entity.entry(entity).or_insert(key);
+                rel.entity_by_name.entry(key.clone()).or_insert(entity);
+                rel.identity_of_entity.entry(entity).or_insert(key);
             }
         }
         // 3. Link discovery: non-identity values referencing other
         // entities become edges labelled by the attribute.
         let mut links = 0usize;
-        let identity_key = self.identity_of_entity.get(&entity).cloned();
-        for (attr_name, value) in &attr_names {
+        let identity_key = rel.identity_of_entity.get(&entity).cloned();
+        for (attr_sym, _, value) in &attr_entries {
             if value.kind() != ValueKind::Str {
                 continue;
             }
@@ -280,23 +431,23 @@ impl SelfCuratingDb {
             if key.is_empty() || Some(&key) == identity_key.as_ref() {
                 continue;
             }
-            if let Some(&target) = self.entity_by_name.get(&key) {
+            if let Some(&target) = rel.entity_by_name.get(&key) {
                 if target != entity {
-                    let role = self.symbols.intern(attr_name);
                     let prov = Provenance::inferred(source_id, Confidence::CERTAIN, tick);
-                    if self.graph.add_edge(entity, target, role, prov)? {
+                    if rel.graph.add_edge(entity, target, *attr_sym, prov)? {
                         links += 1;
-                        self.stats.links += 1;
+                        rel.stats.links += 1;
                     }
                 }
             }
         }
         // 4. Unstructured payload.
         if let Some(t) = text {
-            self.text.index(record_id, t);
+            inst.text.index(record_id, t);
         }
-        // Curation changed the world: invalidate the semantic cache.
-        self.saturation = None;
+        // Curation changed the world: invalidate the semantic cache
+        // (semantic comes after relation in the lock order).
+        self.inner.semantic.write().saturation = None;
         Ok(IngestReport {
             record: record_id,
             entity,
@@ -311,112 +462,155 @@ impl SelfCuratingDb {
     /// document is flattened into dotted attribute paths (`drug.name`,
     /// `drug.targets[0]`, …) and then curated exactly like a tabular
     /// record; the raw text is additionally indexed in the text store.
-    pub fn ingest_json(&mut self, source: &str, json: &str) -> Result<IngestReport, CoreError> {
-        let Some(record) = scdb_types::json::flatten_json(json, &mut self.symbols) else {
-            return Err(CoreError::UnknownSource(format!(
-                "source {source}: unparseable JSON document"
-            )));
+    pub fn ingest_json(&self, source: &str, json: &str) -> Result<IngestReport, CoreError> {
+        // Flatten under a scoped symbols write lock, released before the
+        // ingest pipeline re-acquires symbols for reading.
+        let record = {
+            let mut symbols = self.inner.symbols.write();
+            scdb_types::json::flatten_json(json, &mut symbols)
+        };
+        let Some(record) = record else {
+            return Err(CoreError::InvalidDocument {
+                source: source.to_string(),
+                reason: "unparseable JSON document".to_string(),
+            });
         };
         self.ingest(source, record, Some(json))
     }
 
     /// Re-run link discovery over every stored record — used after bulk
     /// loads where references preceded their targets. Returns new links.
-    pub fn discover_links(&mut self) -> Result<usize, CoreError> {
+    pub fn discover_links(&self) -> Result<usize, CoreError> {
         let _span = scdb_obs::span!("core.discover_links");
-        self.tick += 1;
-        let tick = self.tick;
+        let instance = self.inner.instance.read();
+        let mut relation = self.inner.relation.write();
+        let rel = &mut *relation;
+        rel.tick += 1;
+        let tick = rel.tick;
         let mut new_links = 0usize;
-        // Collect (entity, source, attr-name, value) tuples first.
-        let mut work: Vec<(EntityId, SourceId, String, String)> = Vec::new();
-        for (_, state) in &self.sources {
+        // Collect (entity, source, role, value) tuples first.
+        let mut work: Vec<(EntityId, SourceId, Symbol, String)> = Vec::new();
+        for (_, state) in &instance.sources {
             for (rid, record) in state.store.scan() {
-                let Some(entity) = resolver_entity(&mut self.resolver, rid) else {
+                let Some(entity) = rel.resolver.entity_of(rid) else {
                     continue;
                 };
                 for (a, v) in record.iter() {
                     if v.kind() == ValueKind::Str {
-                        work.push((
-                            entity,
-                            state.id,
-                            self.symbols.resolve(a).to_string(),
-                            v.render().into_owned(),
-                        ));
+                        work.push((entity, state.id, a, v.render().into_owned()));
                     }
                 }
             }
         }
-        for (entity, source_id, attr_name, raw) in work {
+        for (entity, source_id, role, raw) in work {
             let key = normalize(&raw);
             if key.is_empty() {
                 continue;
             }
-            if self.identity_of_entity.get(&entity) == Some(&key) {
+            if rel.identity_of_entity.get(&entity) == Some(&key) {
                 continue;
             }
-            if let Some(&target) = self.entity_by_name.get(&key) {
-                if target != entity && self.graph.contains(entity) && self.graph.contains(target) {
-                    let role = self.symbols.intern(&attr_name);
+            if let Some(&target) = rel.entity_by_name.get(&key) {
+                if target != entity && rel.graph.contains(entity) && rel.graph.contains(target) {
                     let prov = Provenance::inferred(source_id, Confidence::CERTAIN, tick);
-                    if self.graph.add_edge(entity, target, role, prov)? {
+                    if rel.graph.add_edge(entity, target, role, prov)? {
                         new_links += 1;
-                        self.stats.links += 1;
+                        rel.stats.links += 1;
                     }
                 }
             }
         }
         if new_links > 0 {
-            self.saturation = None;
+            self.inner.semantic.write().saturation = None;
         }
         metrics().add("core.links_discovered", new_links as u64);
         Ok(new_links)
     }
 
-    /// Mutable access to the ontology (declare concepts, roles, axioms,
-    /// type assertions). Invalidates the cached saturation.
-    pub fn ontology_mut(&mut self) -> &mut Ontology {
-        self.saturation = None;
-        self.taxonomy = None;
-        &mut self.ontology
+    /// Run `f` with exclusive access to the ontology (declare concepts,
+    /// roles, axioms, type assertions). Invalidates the cached
+    /// saturation and taxonomy.
+    pub fn with_ontology<R>(&self, f: impl FnOnce(&mut Ontology) -> R) -> R {
+        let mut semantic = self.inner.semantic.write();
+        let sem = &mut *semantic;
+        let out = f(&mut sem.ontology);
+        sem.saturation = None;
+        sem.taxonomy = None;
+        out
     }
 
-    /// Read-only ontology.
-    pub fn ontology(&self) -> &Ontology {
-        &self.ontology
+    /// Replace the ontology wholesale. Invalidates the cached
+    /// saturation and taxonomy.
+    pub fn set_ontology(&self, ontology: Ontology) {
+        let mut semantic = self.inner.semantic.write();
+        semantic.ontology = ontology;
+        semantic.saturation = None;
+        semantic.taxonomy = None;
+    }
+
+    /// Read-only ontology. The guard holds the semantic shard's read
+    /// lock until dropped.
+    pub fn ontology(&self) -> MappedRwLockReadGuard<'_, Ontology> {
+        RwLockReadGuard::map(self.inner.semantic.read(), |s: &SemanticShard| &s.ontology)
     }
 
     /// Assert that the entity known by `name` is a member of `concept`.
-    pub fn assert_entity_type(&mut self, name: &str, concept: &str) -> Result<(), CoreError> {
+    pub fn assert_entity_type(&self, name: &str, concept: &str) -> Result<(), CoreError> {
         let key = normalize(name);
-        let Some(&entity) = self.entity_by_name.get(&key) else {
-            return Err(CoreError::UnknownSource(format!("no entity named {name}")));
+        let entity = {
+            let relation = self.inner.relation.read();
+            relation.entity_by_name.get(&key).copied()
         };
-        let c = self.ontology.concept(concept);
-        self.ontology.assert_type(entity, c, Confidence::CERTAIN);
-        self.saturation = None;
-        self.taxonomy = None;
+        let Some(entity) = entity else {
+            return Err(CoreError::UnknownEntity(name.to_string()));
+        };
+        let mut semantic = self.inner.semantic.write();
+        let sem = &mut *semantic;
+        let c = sem.ontology.concept(concept);
+        sem.ontology.assert_type(entity, c, Confidence::CERTAIN);
+        sem.saturation = None;
+        sem.taxonomy = None;
         Ok(())
     }
 
     /// The entity registered under `name`, if any.
     pub fn entity_named(&self, name: &str) -> Option<EntityId> {
-        self.entity_by_name.get(&normalize(name)).copied()
+        self.inner
+            .relation
+            .read()
+            .entity_by_name
+            .get(&normalize(name))
+            .copied()
     }
 
     /// Run semantic saturation: graph edges whose role names are declared
     /// in the ontology become ABox role assertions, then the reasoner
-    /// saturates. The result is cached until the next curation write.
-    pub fn reason(&mut self) -> Result<&Saturation, CoreError> {
-        if self.saturation.is_none() {
+    /// saturates. The result is cached until the next curation write; the
+    /// returned [`Arc`] is a consistent snapshot that stays valid even if
+    /// curation invalidates the cache afterwards.
+    pub fn reason(&self) -> Result<Arc<Saturation>, CoreError> {
+        {
+            let semantic = self.inner.semantic.read();
+            if let Some(sat) = &semantic.saturation {
+                if semantic.taxonomy.is_some() {
+                    return Ok(Arc::clone(sat));
+                }
+            }
+        }
+        let symbols = self.inner.symbols.read();
+        let mut relation = self.inner.relation.write();
+        let mut semantic = self.inner.semantic.write();
+        let sem = &mut *semantic;
+        if sem.saturation.is_none() {
             let _span = scdb_obs::span!("core.reason");
-            let mut effective = self.ontology.clone();
+            let mut effective = sem.ontology.clone();
             // Fold relation-layer edges into the ABox.
             let mut edges: Vec<(EntityId, String, EntityId, u64)> = Vec::new();
-            for v in self.graph.node_ids() {
-                for e in self.graph.edges(v) {
+            for v in relation.graph.node_ids() {
+                for e in relation.graph.edges(v) {
                     edges.push((
                         v,
-                        self.symbols.resolve(e.role).to_string(),
+                        symbols.resolve(e.role).to_string(),
                         e.to,
                         e.provenance.tick,
                     ));
@@ -433,17 +627,29 @@ impl SelfCuratingDb {
                 }
             }
             let sat = Reasoner::new().saturate(&effective);
-            self.stats.inferred_facts = sat.derived_count();
-            self.stats.reason_runs += 1;
+            relation.stats.inferred_facts = sat.derived_count();
+            relation.stats.reason_runs += 1;
             let m = metrics();
             m.inc("core.reason_runs");
-            m.gauge_set("core.inferred_facts", self.stats.inferred_facts as i64);
-            self.saturation = Some(sat);
+            m.gauge_set("core.inferred_facts", relation.stats.inferred_facts as i64);
+            sem.saturation = Some(Arc::new(sat));
         }
-        if self.taxonomy.is_none() {
-            self.taxonomy = Some(Taxonomy::build(&self.ontology));
+        if sem.taxonomy.is_none() {
+            sem.taxonomy = Some(Taxonomy::build(&sem.ontology));
         }
-        Ok(self.saturation.as_ref().expect("just computed"))
+        Ok(Arc::clone(sem.saturation.as_ref().expect("just computed")))
+    }
+
+    /// Build the taxonomy cache if missing (cheap, concept-level only).
+    fn ensure_taxonomy(&self) {
+        if self.inner.semantic.read().taxonomy.is_some() {
+            return;
+        }
+        let mut semantic = self.inner.semantic.write();
+        let sem = &mut *semantic;
+        if sem.taxonomy.is_none() {
+            sem.taxonomy = Some(Taxonomy::build(&sem.ontology));
+        }
     }
 
     /// Build the FS.10 parallel-world view of the curated instance: one
@@ -454,18 +660,21 @@ impl SelfCuratingDb {
     /// [`scdb_uncertain::ParallelWorldSet::justified`] against the
     /// taxonomy's disjointness — the §4.2 flow end to end.
     pub fn parallel_worlds(
-        &mut self,
+        &self,
         premise_attr: &str,
     ) -> Result<scdb_uncertain::ParallelWorldSet, CoreError> {
-        let Some(attr) = self.symbols.get(premise_attr) else {
+        let attr = self.inner.symbols.read().get(premise_attr);
+        let Some(attr) = attr else {
             return Ok(scdb_uncertain::ParallelWorldSet::new());
         };
+        let instance = self.inner.instance.read();
+        let semantic = self.inner.semantic.read();
         let mut set = scdb_uncertain::ParallelWorldSet::new();
-        for (_, state) in &self.sources {
+        for (_, state) in &instance.sources {
             let tuples: Vec<Record> = state.store.scan().map(|(_, r)| r.clone()).collect();
             let premise = tuples.iter().find_map(|r| {
                 r.get(attr)
-                    .and_then(|v| self.ontology.find_concept(&v.render()).ok())
+                    .and_then(|v| semantic.ontology.find_concept(&v.render()).ok())
             });
             if let Some(premise) = premise {
                 set.add(scdb_uncertain::ParallelWorld {
@@ -480,17 +689,26 @@ impl SelfCuratingDb {
 
     /// Swap the optimizer configuration (used by the OS.3 ablation to run
     /// the same curated instance under different rewrite sets).
-    pub fn set_optimizer_config(&mut self, config: OptimizerConfig) {
-        self.optimizer_config = config;
+    pub fn set_optimizer_config(&self, config: OptimizerConfig) {
+        self.inner.config.write().optimizer = config;
+    }
+
+    /// Swap the scan executor (worker count / fan-out threshold).
+    pub fn set_executor(&self, executor: Executor) {
+        self.inner.config.write().executor = executor;
     }
 
     /// Register a trained statistical model under its spec name (FS.4).
-    pub fn register_model(&mut self, model: TrainedModel) {
-        self.models.insert(model.spec().name.clone(), model);
+    pub fn register_model(&self, model: TrainedModel) {
+        self.inner
+            .semantic
+            .write()
+            .models
+            .insert(model.spec().name.clone(), model);
     }
 
     /// Parse, optimize, and execute an ScQL query.
-    pub fn query(&mut self, sql: &str) -> Result<QueryOutcome, CoreError> {
+    pub fn query(&self, sql: &str) -> Result<QueryOutcome, CoreError> {
         let query = parse(sql)?;
         self.run_query(&query)
     }
@@ -499,23 +717,42 @@ impl SelfCuratingDb {
     /// `EXPLAIN ANALYZE`-style [`QueryProfile`] with per-stage timings
     /// (plan → optimize → execute), per-operator row counts, and the
     /// optimizer decisions that fired.
-    pub fn run_query(&mut self, query: &Query) -> Result<QueryOutcome, CoreError> {
+    ///
+    /// Runs entirely under shard *read* locks (after an optional
+    /// saturation build), so any number of queries execute concurrently
+    /// with each other and with `ingest` on other threads. Semantic
+    /// atoms evaluate against a saturation snapshot taken at prep time;
+    /// a concurrent ingest does not invalidate it mid-query.
+    pub fn run_query(&self, query: &Query) -> Result<QueryOutcome, CoreError> {
         let _span = scdb_obs::span!("core.query");
         let mut profile = ProfileBuilder::new();
-        // Ensure semantic cache when the query uses semantic atoms.
+        // Semantic prep happens before the execution locks are taken:
+        // reason() acquires symbols → relation → semantic itself.
         let needs_semantic = query.atoms.iter().any(|a| {
             matches!(
                 a,
                 scdb_query::Atom::IsConcept { .. } | scdb_query::Atom::HasSome { .. }
             )
         });
-        if needs_semantic {
-            profile.timed("semantic_prep", || self.reason().map(|_| ()))?;
-        } else if self.taxonomy.is_none() {
-            self.taxonomy = Some(Taxonomy::build(&self.ontology));
-        }
+        let sat_snapshot: Option<Arc<Saturation>> = if needs_semantic {
+            Some(profile.timed("semantic_prep", || self.reason())?)
+        } else {
+            self.ensure_taxonomy();
+            None
+        };
+        // Config is last in the lock order; copy it out up front instead
+        // of holding its guard across execution.
+        let (optimizer_config, executor) = {
+            let config = self.inner.config.read();
+            (config.optimizer, config.executor)
+        };
+        // Execution under read guards, acquired in lock order.
+        let symbols = self.inner.symbols.read();
+        let instance = self.inner.instance.read();
+        let relation = self.inner.relation.read();
+        let semantic = self.inner.semantic.read();
 
-        let state = self.source_state(&query.from)?;
+        let state = instance.source_state(&query.from)?;
         let base_rows = state.store.len() as u64;
         let plan_start = Instant::now();
         let plan = LogicalPlan::from_query(query);
@@ -526,13 +763,26 @@ impl SelfCuratingDb {
             query.atoms.len(),
             plan.nodes.len()
         ));
-        let taxonomy = self.taxonomy.as_ref().expect("built above");
-        let ctx = SemanticContext {
-            ontology: &self.ontology,
-            taxonomy,
-            saturation: self.saturation.as_ref(),
+        // The taxonomy cache may have been invalidated by a concurrent
+        // ontology edit between prep and here; fall back to a local
+        // build from the guarded ontology (consistent, just uncached).
+        let local_taxonomy;
+        let taxonomy = match semantic.taxonomy.as_ref() {
+            Some(t) => t,
+            None => {
+                local_taxonomy = Taxonomy::build(&semantic.ontology);
+                &local_taxonomy
+            }
         };
-        let optimizer = Optimizer::new(self.optimizer_config);
+        // Prefer the cached saturation (fresher) over the prep snapshot.
+        let saturation: Option<&Saturation> =
+            semantic.saturation.as_deref().or(sat_snapshot.as_deref());
+        let ctx = SemanticContext {
+            ontology: &semantic.ontology,
+            taxonomy,
+            saturation,
+        };
+        let optimizer = Optimizer::new(optimizer_config);
         let opt_start = Instant::now();
         let plan = optimizer.optimize(plan, Some(&ctx), Some(&state.stats), base_rows);
         let opt_elapsed = opt_start.elapsed();
@@ -542,20 +792,20 @@ impl SelfCuratingDb {
             profile.decision(rewrite.clone());
         }
 
-        let source = StoreSource::new(query.from.clone(), &state.store, &self.symbols);
+        let source = StoreSource::new(query.from.clone(), &state.store, &symbols);
         let mut env = EvalEnv::default();
-        if let Some(sat) = self.saturation.as_ref() {
+        if let Some(sat) = saturation {
             env.semantic = Some(SemanticEnv {
-                ontology: &self.ontology,
+                ontology: &semantic.ontology,
                 saturation: sat,
-                entity_by_name: &self.entity_by_name,
+                entity_by_name: &relation.entity_by_name,
             });
         }
         // Model atoms: features default to the numeric attributes of the
         // row in attribute order (documented limitation; richer feature
         // maps are provided through `run_query_with_env` in the explore
         // module).
-        for (name, model) in &self.models {
+        for (name, model) in &semantic.models {
             let dims = model.spec().features.len();
             env.models.insert(
                 name.clone(),
@@ -571,7 +821,7 @@ impl SelfCuratingDb {
             );
         }
         let exec_start = Instant::now();
-        let (rows, stats) = Executor.execute_profiled(&plan, &source, &env, &mut profile)?;
+        let (rows, stats) = executor.execute_profiled(&plan, &source, &env, &mut profile)?;
         metrics().observe("query.execute_ns", exec_start.elapsed().as_nanos() as u64);
         Ok(QueryOutcome {
             rows,
@@ -589,24 +839,27 @@ impl SelfCuratingDb {
         metrics().snapshot()
     }
 
-    /// The relation-layer graph.
-    pub fn graph(&self) -> &PropertyGraph {
-        &self.graph
+    /// The relation-layer graph. The guard holds the relation shard's
+    /// read lock until dropped — bind it (`let g = db.graph();`) before
+    /// borrowing edges out of it.
+    pub fn graph(&self) -> MappedRwLockReadGuard<'_, PropertyGraph> {
+        RwLockReadGuard::map(self.inner.relation.read(), |r: &RelationShard| &r.graph)
     }
 
-    /// The text store.
-    pub fn text(&self) -> &TextStore {
-        &self.text
+    /// The text store. The guard holds the instance shard's read lock
+    /// until dropped.
+    pub fn text(&self) -> MappedRwLockReadGuard<'_, TextStore> {
+        RwLockReadGuard::map(self.inner.instance.read(), |i: &InstanceShard| &i.text)
     }
 
     /// Per-source richness (FS.2): metrics over the subgraph of edges
     /// contributed by `source`.
     pub fn source_richness(&self, source: &str) -> Result<RichnessReport, CoreError> {
-        let state = self.source_state(source)?;
-        let sid = state.id;
+        let sid = self.inner.instance.read().source_state(source)?.id;
+        let relation = self.inner.relation.read();
         let mut sub = PropertyGraph::new();
-        for v in self.graph.node_ids() {
-            for e in self.graph.edges(v) {
+        for v in relation.graph.node_ids() {
+            for e in relation.graph.edges(v) {
                 if e.provenance.source == sid {
                     sub.ensure_node(v);
                     sub.ensure_node(e.to);
@@ -619,92 +872,128 @@ impl SelfCuratingDb {
 
     /// Whole-graph richness.
     pub fn richness(&self) -> RichnessReport {
-        assess(&self.graph)
+        assess(&self.inner.relation.read().graph)
     }
 
-    /// Curation counters.
-    pub fn stats(&self) -> &CurationStats {
-        &self.stats
+    /// Curation counters (an owned snapshot).
+    pub fn stats(&self) -> CurationStats {
+        self.inner.relation.read().stats.clone()
     }
 
     /// Number of live entities.
-    pub fn entity_count(&mut self) -> usize {
-        self.resolver.entity_count()
+    pub fn entity_count(&self) -> usize {
+        self.inner.relation.read().resolver.entity_count()
     }
 
     /// Number of registered sources.
     pub fn source_count(&self) -> usize {
-        self.sources.len()
+        self.inner.instance.read().sources.len()
     }
 
     /// Records stored in `source`.
     pub fn record_count(&self, source: &str) -> Result<usize, CoreError> {
-        Ok(self.source_state(source)?.store.len())
+        Ok(self.inner.instance.read().source_state(source)?.store.len())
     }
 
-    /// Iterate source names.
-    pub fn source_names(&self) -> impl Iterator<Item = &str> {
-        self.sources.iter().map(|(n, _)| n.as_str())
+    /// Registered source names, in registration order.
+    pub fn source_names(&self) -> Vec<String> {
+        self.inner
+            .instance
+            .read()
+            .sources
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect()
     }
 
-    /// Read access to a source's store (benches, reports).
-    pub fn store(&self, source: &str) -> Result<&RowStore, CoreError> {
-        Ok(&self.source_state(source)?.store)
+    /// Read access to a source's store (benches, reports). The guard
+    /// holds the instance shard's read lock until dropped.
+    pub fn store(&self, source: &str) -> Result<MappedRwLockReadGuard<'_, RowStore>, CoreError> {
+        let instance = self.inner.instance.read();
+        let pos = instance
+            .sources
+            .iter()
+            .position(|(n, _)| n == source)
+            .ok_or_else(|| CoreError::UnknownSource(source.to_string()))?;
+        Ok(RwLockReadGuard::map(instance, move |i: &InstanceShard| {
+            &i.sources[pos].1.store
+        }))
     }
 
     /// Total pairwise ER comparisons so far (cost metric).
     pub fn er_comparisons(&self) -> u64 {
-        self.resolver.comparisons()
+        self.inner.relation.read().resolver.comparisons()
     }
 
     /// Current record → entity assignments.
-    pub fn assignments(&mut self) -> HashMap<RecordId, EntityId> {
-        self.resolver.assignments()
+    pub fn assignments(&self) -> HashMap<RecordId, EntityId> {
+        self.inner.relation.read().resolver.assignments()
     }
-}
-
-fn resolver_entity(resolver: &mut IncrementalResolver, rid: RecordId) -> Option<EntityId> {
-    resolver.entity_of(rid)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn drug_record(db: &mut SelfCuratingDb, name: &str, gene: &str) -> Record {
-        let n = db.symbols().intern("Drug Name");
-        let g = db.symbols().intern("Drug Targets (Genes)");
+    fn drug_record(db: &Db, name: &str, gene: &str) -> Record {
+        let n = db.intern("Drug Name");
+        let g = db.intern("Drug Targets (Genes)");
         Record::from_pairs([(n, Value::str(name)), (g, Value::str(gene))])
     }
 
-    fn gene_record(db: &mut SelfCuratingDb, gene: &str, function: &str) -> Record {
-        let g = db.symbols().intern("Gene");
-        let f = db.symbols().intern("Function");
+    fn gene_record(db: &Db, gene: &str, function: &str) -> Record {
+        let g = db.intern("Gene");
+        let f = db.intern("Function");
         Record::from_pairs([(g, Value::str(gene)), (f, Value::str(function))])
     }
 
     #[test]
+    fn handle_is_send_sync_and_cheap_to_clone() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<Db>();
+        let db = Db::new();
+        db.register_source("a", None);
+        let clone = db.clone();
+        // Clones share state: a source registered through one handle is
+        // visible through the other.
+        assert_eq!(clone.source_count(), 1);
+        assert_eq!(clone.source_names(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn builder_configures_all_knobs() {
+        let db = Db::builder()
+            .resolver(ResolverConfig::default())
+            .optimizer(OptimizerConfig::default())
+            .scan_workers(2)
+            .build();
+        db.register_source("t", None);
+        assert_eq!(db.record_count("t").unwrap(), 0);
+    }
+
+    #[test]
     fn ingest_resolves_and_links() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         db.register_source("uniprot", Some("Gene"));
         db.register_source("drugbank", Some("Drug Name"));
-        let r = gene_record(&mut db, "DHFR", "Limits Cell Growth");
+        let r = gene_record(&db, "DHFR", "Limits Cell Growth");
         let gene_report = db.ingest("uniprot", r, None).unwrap();
         assert!(gene_report.fresh_entity);
-        let r = drug_record(&mut db, "Methotrexate", "DHFR");
+        let r = drug_record(&db, "Methotrexate", "DHFR");
         let drug_report = db.ingest("drugbank", r, None).unwrap();
         assert!(drug_report.fresh_entity);
         assert_eq!(drug_report.links_discovered, 1, "drug → gene link");
-        let edges = db.graph().edges(drug_report.entity);
+        let g = db.graph();
+        let edges = g.edges(drug_report.entity);
         assert_eq!(edges[0].to, gene_report.entity);
     }
 
     #[test]
     fn duplicate_names_resolve_to_same_entity() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         db.register_source("a", Some("Drug Name"));
-        let r1 = drug_record(&mut db, "Warfarin", "TP53");
-        let r2 = drug_record(&mut db, "warfarin", "TP53");
+        let r1 = drug_record(&db, "Warfarin", "TP53");
+        let r2 = drug_record(&db, "warfarin", "TP53");
         let e1 = db.ingest("a", r1, None).unwrap();
         let e2 = db.ingest("a", r2, None).unwrap();
         assert_eq!(e1.entity, e2.entity);
@@ -713,14 +1002,14 @@ mod tests {
 
     #[test]
     fn discover_links_after_bulk_load() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         db.register_source("drugbank", Some("Drug Name"));
         db.register_source("uniprot", Some("Gene"));
         // Drug arrives BEFORE its gene target exists.
-        let r = drug_record(&mut db, "Methotrexate", "DHFR");
+        let r = drug_record(&db, "Methotrexate", "DHFR");
         let d = db.ingest("drugbank", r, None).unwrap();
         assert_eq!(d.links_discovered, 0);
-        let r = gene_record(&mut db, "DHFR", "Limits Cell Growth");
+        let r = gene_record(&db, "DHFR", "Limits Cell Growth");
         db.ingest("uniprot", r, None).unwrap();
         let new_links = db.discover_links().unwrap();
         assert_eq!(new_links, 1, "late link discovered");
@@ -728,42 +1017,58 @@ mod tests {
 
     #[test]
     fn reason_over_graph_edges() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         db.register_source("uniprot", Some("Gene"));
         db.register_source("drugbank", Some("Drug Name"));
-        let r = gene_record(&mut db, "DHFR", "Limits Cell Growth");
+        let r = gene_record(&db, "DHFR", "Limits Cell Growth");
         db.ingest("uniprot", r, None).unwrap();
-        let r = drug_record(&mut db, "Methotrexate", "DHFR");
+        let r = drug_record(&db, "Methotrexate", "DHFR");
         db.ingest("drugbank", r, None).unwrap();
         // Ontology: the edge role name (attribute name) declared as a
         // role; domain typing makes anything with a target a Drug.
-        {
-            let o = db.ontology_mut();
+        db.with_ontology(|o| {
             let role = o.role("Drug Targets (Genes)");
             let drug = o.concept("Drug");
             let gene = o.concept("Gene");
             o.add_axiom(scdb_semantic::Axiom::Domain(role, drug));
             o.add_axiom(scdb_semantic::Axiom::Range(role, gene));
-        }
-        db.reason().unwrap();
+        });
+        let sat = db.reason().unwrap();
         let drug_c = db.ontology().find_concept("Drug").unwrap();
         let mtx = db.entity_named("Methotrexate").unwrap();
-        assert!(db.saturation.as_ref().unwrap().has_type(mtx, drug_c));
+        assert!(sat.has_type(mtx, drug_c));
+    }
+
+    #[test]
+    fn reason_snapshot_survives_invalidation() {
+        let db = Db::new();
+        db.register_source("a", Some("Drug Name"));
+        let r = drug_record(&db, "Warfarin", "TP53");
+        db.ingest("a", r, None).unwrap();
+        let sat = db.reason().unwrap();
+        // A subsequent ingest invalidates the cache, but the Arc we hold
+        // is a stable snapshot.
+        let r2 = drug_record(&db, "Aspirin", "PTGS2");
+        db.ingest("a", r2, None).unwrap();
+        let _ = sat.derived_count();
+        // A fresh reason() recomputes rather than returning the old Arc.
+        let sat2 = db.reason().unwrap();
+        assert!(!Arc::ptr_eq(&sat, &sat2), "cache was invalidated");
     }
 
     #[test]
     fn query_end_to_end_with_semantics() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         db.register_source("drugbank", Some("Drug Name"));
         for (d, g) in [
             ("Warfarin", "TP53"),
             ("Methotrexate", "DHFR"),
             ("Ibuprofen", "PTGS2"),
         ] {
-            let r = drug_record(&mut db, d, g);
+            let r = drug_record(&db, d, g);
             db.ingest("drugbank", r, None).unwrap();
         }
-        db.ontology_mut().subclass("ApprovedDrug", "Drug");
+        db.with_ontology(|o| o.subclass("ApprovedDrug", "Drug"));
         db.assert_entity_type("Warfarin", "ApprovedDrug").unwrap();
         let out = db
             .query("SELECT * FROM drugbank WHERE Drug_Name IS 'Drug'")
@@ -776,14 +1081,19 @@ mod tests {
             .query("SELECT * FROM drugbank WHERE LINKED BY none >= 0.0")
             .err();
         assert!(out.is_some(), "unknown model errors");
+        // Unknown entity assertion surfaces the dedicated variant.
+        assert!(matches!(
+            db.assert_entity_type("Nope", "Drug"),
+            Err(CoreError::UnknownEntity(_))
+        ));
     }
 
     #[test]
     fn query_with_stats_and_optimizer() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         db.register_source("trials", Some("drug"));
-        let d = db.symbols().intern("drug");
-        let dose = db.symbols().intern("dose");
+        let d = db.intern("drug");
+        let dose = db.intern("dose");
         for i in 0..100 {
             let r = Record::from_pairs([
                 (
@@ -807,9 +1117,9 @@ mod tests {
 
     #[test]
     fn unsat_query_scans_nothing() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         db.register_source("t", None);
-        let a = db.symbols().intern("a");
+        let a = db.intern("a");
         for i in 0..50 {
             let r = Record::from_pairs([(a, Value::Int(i))]);
             db.ingest("t", r, None).unwrap();
@@ -821,22 +1131,23 @@ mod tests {
 
     #[test]
     fn unknown_source_errors() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         assert!(matches!(
             db.query("SELECT * FROM nope"),
             Err(CoreError::UnknownSource(_))
         ));
         assert!(db.record_count("nope").is_err());
+        assert!(db.store("nope").is_err());
     }
 
     #[test]
     fn richness_reports() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         db.register_source("uniprot", Some("Gene"));
         db.register_source("drugbank", Some("Drug Name"));
-        let r = gene_record(&mut db, "DHFR", "x");
+        let r = gene_record(&db, "DHFR", "x");
         db.ingest("uniprot", r, None).unwrap();
-        let r = drug_record(&mut db, "Methotrexate", "DHFR");
+        let r = drug_record(&db, "Methotrexate", "DHFR");
         db.ingest("drugbank", r, None).unwrap();
         let whole = db.richness();
         assert!(whole.edges >= 1);
@@ -849,23 +1160,22 @@ mod tests {
     #[test]
     fn parallel_worlds_from_curated_sources() {
         use scdb_uncertain::FuzzyPredicate;
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         // Records must carry symbols minted by the db's own table.
-        let corpus = {
-            let symbols = db.symbols();
+        let corpus = db.with_symbols(|symbols| {
             scdb_datagen::clinical::generate(
                 &scdb_datagen::clinical::paper_populations(),
                 7,
                 symbols,
             )
-        };
+        });
         for src in &corpus.sources {
             db.register_source(&src.name, Some("drug"));
             for rec in &src.records {
                 db.ingest(&src.name, rec.record.clone(), None).unwrap();
             }
         }
-        *db.ontology_mut() = corpus.ontology.clone();
+        db.set_ontology(corpus.ontology.clone());
         let worlds = db.parallel_worlds("population").unwrap();
         assert_eq!(worlds.len(), 3, "one world per clinical source");
         // The §4.2 evaluation over the curated store.
@@ -880,7 +1190,7 @@ mod tests {
                 .map(|x| narrow.membership(x))
                 .unwrap_or(0.0)
         };
-        let taxonomy = scdb_semantic::Taxonomy::build(db.ontology());
+        let taxonomy = scdb_semantic::Taxonomy::build(&db.ontology());
         assert!(!worlds.naive_certain(&degree, 0.5));
         let ans = worlds.justified(&degree, 0.5, |a, b| taxonomy.are_disjoint(a, b));
         assert!(ans.justified && ans.premises_disjoint);
@@ -890,10 +1200,10 @@ mod tests {
 
     #[test]
     fn json_ingestion_flattens_and_curates() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         db.register_source("uniprot", Some("gene"));
         db.register_source("docs", Some("drug.name"));
-        let g = db.symbols().intern("gene");
+        let g = db.intern("gene");
         db.ingest(
             "uniprot",
             Record::from_pairs([(g, Value::str("TP53"))]),
@@ -916,15 +1226,18 @@ mod tests {
         assert_eq!(out.rows.len(), 1);
         // The raw document is text-searchable.
         assert!(!db.text().search("Warfarin", 3).is_empty());
-        // Garbage is rejected.
-        assert!(db.ingest_json("docs", "{not json").is_err());
+        // Garbage is rejected with the dedicated variant.
+        assert!(matches!(
+            db.ingest_json("docs", "{not json"),
+            Err(CoreError::InvalidDocument { .. })
+        ));
     }
 
     #[test]
     fn text_ingestion_searchable() {
-        let mut db = SelfCuratingDb::new();
+        let db = Db::new();
         db.register_source("docs", None);
-        let a = db.symbols().intern("title");
+        let a = db.intern("title");
         let r = Record::from_pairs([(a, Value::str("warfarin study"))]);
         let rep = db
             .ingest("docs", r, Some("warfarin prevents blood clots"))

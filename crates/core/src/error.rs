@@ -2,11 +2,20 @@
 
 use std::fmt;
 
-/// Errors surfaced by [`crate::SelfCuratingDb`].
+/// Errors surfaced by [`crate::Db`].
 #[derive(Debug)]
 pub enum CoreError {
     /// A source name was not registered.
     UnknownSource(String),
+    /// No entity is registered under the given name.
+    UnknownEntity(String),
+    /// A semi-structured document could not be parsed for ingestion.
+    InvalidDocument {
+        /// The source the document was destined for.
+        source: String,
+        /// What was wrong with it.
+        reason: String,
+    },
     /// Storage layer failure.
     Storage(scdb_storage::StorageError),
     /// Relation layer failure.
@@ -21,6 +30,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::UnknownSource(s) => write!(f, "unknown source: {s}"),
+            CoreError::UnknownEntity(n) => write!(f, "no entity named {n}"),
+            CoreError::InvalidDocument { source, reason } => {
+                write!(f, "source {source}: {reason}")
+            }
             CoreError::Storage(e) => write!(f, "storage: {e}"),
             CoreError::Graph(e) => write!(f, "graph: {e}"),
             CoreError::Semantic(e) => write!(f, "semantic: {e}"),
@@ -32,12 +45,32 @@ impl fmt::Display for CoreError {
 impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CoreError::UnknownSource(_) => None,
+            CoreError::UnknownSource(_)
+            | CoreError::UnknownEntity(_)
+            | CoreError::InvalidDocument { .. } => None,
             CoreError::Storage(e) => Some(e),
             CoreError::Graph(e) => Some(e),
             CoreError::Semantic(e) => Some(e),
             CoreError::Query(e) => Some(e),
         }
+    }
+}
+
+impl CoreError {
+    /// Render the full `source()` chain, outermost first, separated by
+    /// `: ` — e.g. `query: scan worker 2 failed: …: unknown model in
+    /// LINKED BY atom: m`. Diagnosing a failure deep in the parallel scan
+    /// path needs every layer's context, and `Display` alone only shows
+    /// the top frame for wrapped errors.
+    pub fn chain(&self) -> String {
+        let mut out = self.to_string();
+        let mut cur: Option<&(dyn std::error::Error + 'static)> = std::error::Error::source(self);
+        while let Some(e) = cur {
+            out.push_str(": ");
+            out.push_str(&e.to_string());
+            cur = e.source();
+        }
+        out
     }
 }
 
@@ -75,5 +108,28 @@ mod tests {
         let e: CoreError = scdb_query::QueryError::UnknownModel("m".into()).into();
         assert!(e.to_string().starts_with("query:"));
         assert!(e.source().is_some());
+        assert_eq!(
+            CoreError::UnknownEntity("Aspirin".into()).to_string(),
+            "no entity named Aspirin"
+        );
+    }
+
+    #[test]
+    fn chain_renders_every_layer() {
+        let worker = scdb_query::QueryError::Worker {
+            worker: 2,
+            cause: Box::new(scdb_query::QueryError::UnknownModel("m".into())),
+        };
+        let e: CoreError = worker.into();
+        let chain = e.chain();
+        assert!(chain.contains("query:"), "{chain}");
+        assert!(chain.contains("scan worker 2"), "{chain}");
+        assert!(
+            chain.contains("unknown model in LINKED BY atom: m"),
+            "innermost cause present: {chain}"
+        );
+        // A leaf error's chain is just its Display.
+        let leaf = CoreError::UnknownSource("x".into());
+        assert_eq!(leaf.chain(), leaf.to_string());
     }
 }

@@ -13,7 +13,7 @@ use scdb_query::refine::{discover, refine_queries, Discovery, RefineConfig};
 use scdb_query::{parse, Query};
 use scdb_types::{EntityId, ValueKind};
 
-use crate::db::{QueryOutcome, SelfCuratingDb};
+use crate::db::{Db, QueryOutcome};
 use crate::error::CoreError;
 
 /// Exploration knobs.
@@ -41,7 +41,7 @@ pub struct ExplorationOutcome {
 /// Run one explore round against `db`, materializing discoveries into
 /// `cache`.
 pub fn explore(
-    db: &mut SelfCuratingDb,
+    db: &Db,
     sql: &str,
     config: &ExploreConfig,
     cache: &mut MaterializationCache,
@@ -64,7 +64,7 @@ pub fn explore(
     }
     seeds.sort();
 
-    let discoveries = discover(db.graph(), &seeds, &config.walk);
+    let discoveries = discover(&db.graph(), &seeds, &config.walk);
 
     // Refined queries probe discovered entities through the query's
     // first projected attribute (or the identity attribute convention).
@@ -74,7 +74,7 @@ pub fn explore(
         .cloned()
         .unwrap_or_else(|| "name".to_string());
     let refined = match db.symbols_ref().get(&name_attr_str) {
-        Some(sym) => refine_queries(&query, &discoveries, db.graph(), sym, &name_attr_str),
+        Some(sym) => refine_queries(&query, &discoveries, &db.graph(), sym, &name_attr_str),
         None => Vec::new(),
     };
 
@@ -82,16 +82,21 @@ pub fn explore(
     // under the context key, weighted by current graph richness.
     let richness = db.richness().richness;
     let mut facts = Vec::new();
-    for d in &discoveries {
-        for seed in &seeds {
-            for e in db.graph().edges(*seed) {
-                if e.to == d.entity {
-                    facts.push(DiscoveredFact {
-                        subject: *seed,
-                        role: db.symbols_ref().resolve(e.role).to_string(),
-                        object: d.entity,
-                        richness,
-                    });
+    {
+        // Lock order: symbols before relation (the graph guard).
+        let symbols = db.symbols_ref();
+        let graph = db.graph();
+        for d in &discoveries {
+            for seed in &seeds {
+                for e in graph.edges(*seed) {
+                    if e.to == d.entity {
+                        facts.push(DiscoveredFact {
+                            subject: *seed,
+                            role: symbols.resolve(e.role).to_string(),
+                            object: d.entity,
+                            richness,
+                        });
+                    }
                 }
             }
         }
@@ -115,13 +120,13 @@ mod tests {
     use super::*;
     use scdb_types::{Record, Value};
 
-    fn seeded_db() -> SelfCuratingDb {
-        let mut db = SelfCuratingDb::new();
+    fn seeded_db() -> Db {
+        let db = Db::new();
         db.register_source("drugbank", Some("drug"));
         db.register_source("ctd", Some("gene"));
-        let d = db.symbols().intern("drug");
-        let g = db.symbols().intern("gene");
-        let dis = db.symbols().intern("disease");
+        let d = db.intern("drug");
+        let g = db.intern("gene");
+        let dis = db.intern("disease");
         // Genes first so drug links resolve immediately.
         for gene in ["TP53", "DHFR", "PTGS2"] {
             let r = Record::from_pairs([(g, Value::str(gene)), (dis, Value::str("Osteosarcoma"))]);
@@ -136,10 +141,10 @@ mod tests {
 
     #[test]
     fn explore_discovers_connected_entities() {
-        let mut db = seeded_db();
+        let db = seeded_db();
         let mut cache = MaterializationCache::new(8);
         let out = explore(
-            &mut db,
+            &db,
             "SELECT drug FROM drugbank WHERE drug = 'Warfarin'",
             &ExploreConfig::default(),
             &mut cache,
@@ -157,10 +162,10 @@ mod tests {
 
     #[test]
     fn refined_queries_reference_discovered_names() {
-        let mut db = seeded_db();
+        let db = seeded_db();
         let mut cache = MaterializationCache::new(8);
         let out = explore(
-            &mut db,
+            &db,
             "SELECT drug FROM drugbank WHERE drug = 'Warfarin'",
             &ExploreConfig::default(),
             &mut cache,
@@ -177,10 +182,10 @@ mod tests {
 
     #[test]
     fn empty_result_explores_nothing() {
-        let mut db = seeded_db();
+        let db = seeded_db();
         let mut cache = MaterializationCache::new(8);
         let out = explore(
-            &mut db,
+            &db,
             "SELECT drug FROM drugbank WHERE drug = 'Nonexistent'",
             &ExploreConfig::default(),
             &mut cache,
@@ -194,10 +199,10 @@ mod tests {
 
     #[test]
     fn materialized_context_hits_on_repeat() {
-        let mut db = seeded_db();
+        let db = seeded_db();
         let mut cache = MaterializationCache::new(8);
         let sql = "SELECT drug FROM drugbank WHERE drug = 'Warfarin'";
-        explore(&mut db, sql, &ExploreConfig::default(), &mut cache).unwrap();
+        explore(&db, sql, &ExploreConfig::default(), &mut cache).unwrap();
         let key = context_key(&parse(sql).unwrap());
         assert!(cache.lookup(&key).is_some());
     }

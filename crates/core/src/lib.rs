@@ -1,7 +1,7 @@
 //! `scdb-core` — the self-curating database facade.
 //!
 //! This crate assembles every layer of the paper's holistic data model
-//! (Figure 1) behind one type, [`SelfCuratingDb`]:
+//! (Figure 1) behind one handle, [`Db`]:
 //!
 //! * the **instance layer** (`scdb-storage`) stores raw records and text
 //!   and infers per-source schemas from the data;
@@ -15,27 +15,29 @@
 //!   with semantic optimization, refines queries in context, and answers
 //!   over parallel worlds.
 //!
-//! Curation is not an offline ETL step: every [`SelfCuratingDb::ingest`]
-//! call runs the incremental pipeline, and [`SelfCuratingDb::reason`]
-//! folds graph facts into the semantic layer on demand. The
-//! [`codd`] module renders the paper's §5 "revisited Codd rules" as an
-//! executable compliance report over a live instance.
+//! Curation is not an offline ETL step: every [`Db::ingest`] call runs
+//! the incremental pipeline, and [`Db::reason`] folds graph facts into
+//! the semantic layer on demand. [`Db`] is a cheaply-clonable
+//! `Send + Sync` handle — readers query through shard read locks while
+//! a writer ingests (see the [`db`] module docs for the locking
+//! scheme). The [`codd`] module renders the paper's §5 "revisited Codd
+//! rules" as an executable compliance report over a live instance.
 //!
 //! ```
-//! use scdb_core::SelfCuratingDb;
+//! use scdb_core::Db;
 //! use scdb_types::{Record, Value};
 //!
 //! # fn main() -> Result<(), scdb_core::CoreError> {
-//! let mut db = SelfCuratingDb::new();
+//! let db = Db::builder().build();
 //! db.register_source("drugbank", Some("drug"));
-//! let drug = db.symbols().intern("drug");
-//! let dose = db.symbols().intern("dose_mg");
+//! let drug = db.intern("drug");
+//! let dose = db.intern("dose_mg");
 //! db.ingest(
 //!     "drugbank",
 //!     Record::from_pairs([(drug, Value::str("Warfarin")), (dose, Value::Float(5.1))]),
 //!     None,
 //! )?;
-//! db.ontology_mut().subclass_exists("Drug", "has_target", "Gene");
+//! db.with_ontology(|o| o.subclass_exists("Drug", "has_target", "Gene"));
 //! db.assert_entity_type("Warfarin", "Drug")?;
 //! let out = db.query(
 //!     "SELECT drug FROM drugbank \
@@ -47,7 +49,7 @@
 //! ```
 
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod codd;
 pub mod db;
@@ -55,7 +57,9 @@ pub mod error;
 pub mod explore;
 
 pub use codd::{codd_report, CoddItem, CoddStatus};
-pub use db::{CurationStats, IngestReport, QueryOutcome, SelfCuratingDb};
+#[allow(deprecated)]
+pub use db::SelfCuratingDb;
+pub use db::{CurationStats, Db, DbBuilder, IngestReport, QueryOutcome};
 pub use error::CoreError;
 pub use explore::{explore, ExplorationOutcome, ExploreConfig};
 pub use scdb_obs::{MetricsSnapshot, QueryProfile};

@@ -132,11 +132,22 @@ impl IncrementalResolver {
         self.identity_attrs.insert(source, attr);
     }
 
-    fn find(&mut self, mut h: u64) -> u64 {
+    /// Root of `h` with path compression (mutating fast path for `add`).
+    fn find_compress(&mut self, mut h: u64) -> u64 {
         while self.parent[h as usize] != h {
             let gp = self.parent[self.parent[h as usize] as usize];
             self.parent[h as usize] = gp;
             h = gp;
+        }
+        h
+    }
+
+    /// Root of `h` without compression — keeps read-side lookups `&self`
+    /// so concurrent readers never need exclusive access. Chains stay
+    /// short because `add` compresses on every union.
+    fn find(&self, mut h: u64) -> u64 {
+        while self.parent[h as usize] != h {
+            h = self.parent[h as usize];
         }
         h
     }
@@ -246,7 +257,7 @@ impl IncrementalResolver {
         for c in candidates {
             let sim = self.similarity_between(handle, c, symbols);
             if sim >= self.config.match_threshold {
-                let root = self.find(c);
+                let root = self.find_compress(c);
                 if !matched_roots.contains(&root) {
                     matched_roots.push(root);
                 }
@@ -283,14 +294,14 @@ impl IncrementalResolver {
 
         let mut root = matched_roots[0];
         for &other in &matched_roots[1..] {
-            let (ra, rb) = (self.find(root), self.find(other));
+            let (ra, rb) = (self.find_compress(root), self.find_compress(other));
             if ra != rb {
                 self.parent[rb as usize] = ra;
                 self.entity_of_root.remove(&rb);
                 root = ra;
             }
         }
-        let final_root = self.find(root);
+        let final_root = self.find_compress(root);
         self.parent[handle as usize] = final_root;
         self.entity_of_root.insert(final_root, survivor);
         // Drop stale entries for non-root handles.
@@ -308,20 +319,19 @@ impl IncrementalResolver {
     }
 
     /// The entity a record currently resolves to.
-    pub fn entity_of(&mut self, id: RecordId) -> Option<EntityId> {
+    pub fn entity_of(&self, id: RecordId) -> Option<EntityId> {
         let h = *self.handle_of.get(&id)?;
         let root = self.find(h);
         self.entity_of_root.get(&root).copied()
     }
 
     /// Current clustering: record → entity.
-    pub fn assignments(&mut self) -> HashMap<RecordId, EntityId> {
-        let ids: Vec<(RecordId, u64)> = self.handle_of.iter().map(|(id, h)| (*id, *h)).collect();
-        let mut out = HashMap::with_capacity(ids.len());
-        for (id, h) in ids {
-            let root = self.find(h);
+    pub fn assignments(&self) -> HashMap<RecordId, EntityId> {
+        let mut out = HashMap::with_capacity(self.handle_of.len());
+        for (id, h) in &self.handle_of {
+            let root = self.find(*h);
             if let Some(e) = self.entity_of_root.get(&root) {
-                out.insert(id, *e);
+                out.insert(*id, *e);
             }
         }
         out
@@ -344,7 +354,7 @@ impl IncrementalResolver {
     }
 
     /// Number of distinct entities currently.
-    pub fn entity_count(&mut self) -> usize {
+    pub fn entity_count(&self) -> usize {
         let roots: std::collections::HashSet<u64> = (0..self.records.len() as u64)
             .map(|h| self.find(h))
             .collect();
@@ -517,7 +527,7 @@ mod tests {
 
     #[test]
     fn entity_of_unknown_record_is_none() {
-        let mut r = IncrementalResolver::new(ResolverConfig::default());
+        let r = IncrementalResolver::new(ResolverConfig::default());
         assert_eq!(r.entity_of(rid(5, 5)), None);
     }
 }

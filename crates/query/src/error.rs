@@ -27,6 +27,28 @@ pub enum QueryError {
     UnknownModel(String),
     /// The query referenced an unknown source.
     UnknownSource(String),
+    /// A parallel scan worker failed; wraps the underlying error so the
+    /// failing chunk is identifiable in the `source()` chain.
+    Worker {
+        /// Zero-based index of the scan worker (== chunk index).
+        worker: usize,
+        /// The error the worker hit.
+        cause: Box<QueryError>,
+    },
+}
+
+impl QueryError {
+    /// Tag `self` with the parallel-scan worker it came from, unless it
+    /// is already worker-tagged (a panic placeholder, for instance).
+    pub(crate) fn for_worker(self, worker: usize) -> QueryError {
+        match self {
+            e @ QueryError::Worker { .. } => e,
+            e => QueryError::Worker {
+                worker,
+                cause: Box::new(e),
+            },
+        }
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -44,11 +66,21 @@ impl fmt::Display for QueryError {
             QueryError::UnknownConcept(c) => write!(f, "unknown concept in IS atom: {c}"),
             QueryError::UnknownModel(m) => write!(f, "unknown model in LINKED BY atom: {m}"),
             QueryError::UnknownSource(s) => write!(f, "unknown source: {s}"),
+            QueryError::Worker { worker, cause } => {
+                write!(f, "scan worker {worker} failed: {cause}")
+            }
         }
     }
 }
 
-impl std::error::Error for QueryError {}
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Worker { cause, .. } => Some(cause.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -65,5 +97,17 @@ mod tests {
         assert!(QueryError::Lex { at: 0, ch: '§' }
             .to_string()
             .contains("'§'"));
+    }
+
+    #[test]
+    fn worker_error_chains_cause() {
+        use std::error::Error as _;
+        let e = QueryError::UnknownModel("m".into()).for_worker(3);
+        assert!(e.to_string().contains("scan worker 3"));
+        let src = e.source().expect("worker error has a source");
+        assert!(src.to_string().contains("unknown model"));
+        // Re-tagging keeps the original worker index.
+        let e2 = e.clone().for_worker(9);
+        assert_eq!(e2, e);
     }
 }

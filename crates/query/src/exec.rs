@@ -31,8 +31,25 @@ pub trait RowSource {
     }
     /// Scan all rows.
     fn scan(&self) -> Box<dyn Iterator<Item = &Record> + '_>;
+    /// Scan the `chunk`-th of `of` contiguous, equal-width chunks — the
+    /// unit of work one parallel-scan worker processes. Chunks partition
+    /// the scan: concatenating chunks `0..of` in order yields exactly
+    /// `scan()`. The default skips into the full scan; stores with
+    /// cheaper positional access may override.
+    fn scan_chunk(&self, chunk: usize, of: usize) -> Box<dyn Iterator<Item = &Record> + '_> {
+        let (start, end) = chunk_bounds(self.len(), chunk, of);
+        Box::new(self.scan().skip(start).take(end - start))
+    }
     /// Resolve an attribute name to its symbol.
     fn attr(&self, name: &str) -> Option<Symbol>;
+}
+
+/// Half-open row range `[start, end)` of chunk `chunk` out of `of`.
+fn chunk_bounds(len: usize, chunk: usize, of: usize) -> (usize, usize) {
+    let of = of.max(1);
+    let start = (chunk * len / of).min(len);
+    let end = (((chunk + 1) * len) / of).min(len);
+    (start, end.max(start))
 }
 
 /// A source over an in-memory vector (tests, intermediate results).
@@ -127,8 +144,9 @@ impl SemanticEnv<'_> {
     }
 }
 
-/// Feature extractor for model atoms.
-pub type FeatureFn<'a> = Box<dyn Fn(&Record) -> Vec<f64> + 'a>;
+/// Feature extractor for model atoms. `Send + Sync` so model atoms can be
+/// evaluated from parallel scan workers.
+pub type FeatureFn<'a> = Box<dyn Fn(&Record) -> Vec<f64> + Send + Sync + 'a>;
 
 /// Everything the executor may need beyond the rows.
 pub struct EvalEnv<'a> {
@@ -163,21 +181,109 @@ pub struct ExecStats {
     pub rows_out: u64,
 }
 
+/// What one scan worker did (parallel execution breakdown).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerScan {
+    /// Rows this worker pulled from its chunk.
+    pub rows_scanned: u64,
+    /// Atom evaluations this worker performed.
+    pub atom_evals: u64,
+    /// Rows this worker emitted (pre-merge, pre-limit-truncation).
+    pub rows_out: u64,
+    /// Wall time the worker spent in its chunk.
+    pub duration: std::time::Duration,
+}
+
+/// How the scan stage was executed: one entry per worker. A sequential
+/// run has exactly one entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanBreakdown {
+    /// Per-worker counters in chunk order.
+    pub per_worker: Vec<WorkerScan>,
+}
+
+impl ScanBreakdown {
+    /// True when more than one worker participated.
+    pub fn parallel(&self) -> bool {
+        self.per_worker.len() > 1
+    }
+}
+
+/// Default cap on scan workers — a *small* pool; scans are memory-bound
+/// and oversubscribing cores past this buys nothing.
+pub const MAX_DEFAULT_WORKERS: usize = 4;
+
+/// Default minimum source rows before the scan fans out: below this the
+/// thread-spawn cost exceeds the scan itself.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1024;
+
 /// The executor.
-#[derive(Debug, Default)]
-pub struct Executor;
+///
+/// Scans fan out across `workers` std threads once the source holds at
+/// least `parallel_threshold` rows: the row space is split into
+/// contiguous chunks (see [`RowSource::scan_chunk`]), each worker
+/// filters and projects its chunk independently, and partial results
+/// merge back in chunk order — output ordering and [`ExecStats`] totals
+/// are identical to a sequential run (modulo `LIMIT`, which each worker
+/// applies locally before the merge truncates globally, so a parallel
+/// limited scan may scan more rows than a sequential one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    /// Scan worker threads; 1 means always sequential.
+    pub workers: usize,
+    /// Minimum source rows before fanning out.
+    pub parallel_threshold: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Executor {
+            workers: avail.min(MAX_DEFAULT_WORKERS),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+}
 
 impl Executor {
+    /// An executor that never spawns scan workers.
+    pub fn sequential() -> Self {
+        Executor {
+            workers: 1,
+            parallel_threshold: usize::MAX,
+        }
+    }
+
+    /// An executor with an explicit worker count (≥ 1) and the default
+    /// fan-out threshold.
+    pub fn with_workers(workers: usize) -> Self {
+        Executor {
+            workers: workers.max(1),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
     /// Run `plan` against `source` with environment `env`.
     pub fn execute(
         &self,
         plan: &LogicalPlan,
-        source: &dyn RowSource,
+        source: &(dyn RowSource + Sync),
         env: &EvalEnv<'_>,
     ) -> Result<(Vec<Record>, ExecStats), QueryError> {
-        let mut stats = ExecStats::default();
+        self.execute_inner(plan, source, env)
+            .map(|(rows, stats, _)| (rows, stats))
+    }
+
+    fn execute_inner(
+        &self,
+        plan: &LogicalPlan,
+        source: &(dyn RowSource + Sync),
+        env: &EvalEnv<'_>,
+    ) -> Result<(Vec<Record>, ExecStats, ScanBreakdown), QueryError> {
         if plan.empty {
-            return Ok((Vec::new(), stats));
+            return Ok((Vec::new(), ExecStats::default(), ScanBreakdown::default()));
         }
         match plan.source() {
             Some(s) if s == source.name() => {}
@@ -194,65 +300,131 @@ impl Executor {
             _ => None,
         });
 
-        let mut out = Vec::new();
-        for record in source.scan() {
-            if let Some(l) = limit {
-                if out.len() >= l {
-                    break;
-                }
-            }
-            stats.rows_scanned += 1;
-            let mut pass = true;
-            for atom in atoms {
-                stats.atom_evals += 1;
-                if !eval_atom(atom, record, source, env)? {
-                    pass = false;
-                    break;
-                }
-            }
-            if !pass {
-                continue;
-            }
-            let projected = match project {
-                None => record.clone(),
-                Some(attrs) => {
-                    let mut r = Record::new();
-                    for a in attrs {
-                        if let Some(sym) = source.attr(a) {
-                            if let Some(v) = record.get(sym) {
-                                r.set(sym, v.clone());
-                            }
-                        }
-                    }
-                    r
-                }
+        let workers = self
+            .workers
+            .min(source.len().div_ceil(self.parallel_threshold.max(1)))
+            .max(1);
+        let (mut out, mut stats, breakdown) = if workers > 1 {
+            self.scan_parallel(workers, atoms, project, limit, source, env)?
+        } else {
+            let t0 = std::time::Instant::now();
+            let (rows, w) =
+                scan_chunk_filtered(source.scan(), atoms, project, limit, source, env, t0)?;
+            let stats = ExecStats {
+                rows_scanned: w.rows_scanned,
+                atom_evals: w.atom_evals,
+                rows_out: w.rows_out,
             };
-            out.push(projected);
+            (
+                rows,
+                stats,
+                ScanBreakdown {
+                    per_worker: vec![w],
+                },
+            )
+        };
+        if let Some(l) = limit {
+            out.truncate(l);
         }
         stats.rows_out = out.len() as u64;
         let m = scdb_obs::metrics();
         m.add("query.rows_scanned", stats.rows_scanned);
         m.add("query.atom_evals", stats.atom_evals);
         m.add("query.rows_out", stats.rows_out);
-        Ok((out, stats))
+        if breakdown.parallel() {
+            m.inc("query.parallel_scans");
+        }
+        Ok((out, stats, breakdown))
+    }
+
+    /// Fan the scan out over `workers` std threads. Chunk 0 runs on the
+    /// calling thread; results merge in chunk order, so row order matches
+    /// the sequential scan. On error the lowest-chunk failure wins and is
+    /// wrapped in [`QueryError::Worker`] to record which worker died.
+    fn scan_parallel(
+        &self,
+        workers: usize,
+        atoms: &[Atom],
+        project: Option<&[String]>,
+        limit: Option<usize>,
+        source: &(dyn RowSource + Sync),
+        env: &EvalEnv<'_>,
+    ) -> Result<(Vec<Record>, ExecStats, ScanBreakdown), QueryError> {
+        type ChunkResult = Result<(Vec<Record>, WorkerScan), QueryError>;
+        let mut results: Vec<Option<ChunkResult>> = Vec::new();
+        results.resize_with(workers, || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers - 1);
+            for chunk in 1..workers {
+                handles.push(scope.spawn(move || {
+                    let t0 = std::time::Instant::now();
+                    scan_chunk_filtered(
+                        source.scan_chunk(chunk, workers),
+                        atoms,
+                        project,
+                        limit,
+                        source,
+                        env,
+                        t0,
+                    )
+                }));
+            }
+            let t0 = std::time::Instant::now();
+            results[0] = Some(scan_chunk_filtered(
+                source.scan_chunk(0, workers),
+                atoms,
+                project,
+                limit,
+                source,
+                env,
+                t0,
+            ));
+            for (i, h) in handles.into_iter().enumerate() {
+                // A worker that panicked (it should not: eval errors are
+                // Results) surfaces as an executor-level worker error.
+                results[i + 1] = Some(h.join().unwrap_or_else(|_| {
+                    Err(QueryError::Worker {
+                        worker: i + 1,
+                        cause: Box::new(QueryError::UnknownSource("scan worker panicked".into())),
+                    })
+                }));
+            }
+        });
+        let mut out = Vec::new();
+        let mut stats = ExecStats::default();
+        let mut breakdown = ScanBreakdown::default();
+        for (i, slot) in results.into_iter().enumerate() {
+            let (rows, w) = slot
+                .expect("every chunk filled")
+                .map_err(|e| e.for_worker(i))?;
+            stats.rows_scanned += w.rows_scanned;
+            stats.atom_evals += w.atom_evals;
+            out.extend(rows);
+            breakdown.per_worker.push(w);
+        }
+        stats.rows_out = out.len() as u64;
+        Ok((out, stats, breakdown))
     }
 
     /// Run `plan` while appending an operator-level breakdown to
     /// `profile`: an `execute` stage plus per-operator rows in/out
     /// (`scan` → `filter` → `project` → `limit`, as present in the
     /// plan). The single-pass loop doesn't time operators individually,
-    /// so operator entries carry rows only (zero duration).
+    /// so operator entries carry rows only (zero duration) — except under
+    /// a parallel scan, where each worker's chunk is individually timed
+    /// and reported as a depth-2 `scan.w<i>` entry whose row counts sum
+    /// to the depth-1 `scan` totals.
     pub fn execute_profiled(
         &self,
         plan: &LogicalPlan,
-        source: &dyn RowSource,
+        source: &(dyn RowSource + Sync),
         env: &EvalEnv<'_>,
         profile: &mut scdb_obs::ProfileBuilder,
     ) -> Result<(Vec<Record>, ExecStats), QueryError> {
         let start = std::time::Instant::now();
-        let result = self.execute(plan, source, env);
+        let result = self.execute_inner(plan, source, env);
         let elapsed = start.elapsed();
-        if let Ok((_, stats)) = &result {
+        if let Ok((_, stats, breakdown)) = &result {
             {
                 let s = profile.stage("execute", elapsed);
                 s.rows_in = Some(source.len() as u64);
@@ -266,6 +438,18 @@ impl Executor {
                 s.rows_out = Some(stats.rows_scanned);
                 if let Some(name) = plan.source() {
                     s.notes.push(format!("source={name}"));
+                }
+                if breakdown.parallel() {
+                    s.notes
+                        .push(format!("parallel workers={}", breakdown.per_worker.len()));
+                }
+            }
+            if breakdown.parallel() {
+                for (i, w) in breakdown.per_worker.iter().enumerate() {
+                    let s = profile.stage_at(&format!("scan.w{i}"), 2, w.duration);
+                    s.rows_in = Some(w.rows_scanned);
+                    s.rows_out = Some(w.rows_out);
+                    s.notes.push(format!("{} eval(s)", w.atom_evals));
                 }
             }
             let atoms = plan.filter_atoms();
@@ -296,8 +480,67 @@ impl Executor {
                 }
             }
         }
-        result
+        result.map(|(rows, stats, _)| (rows, stats))
     }
+}
+
+/// Filter + project one chunk of rows. The shared inner loop of the
+/// sequential and parallel paths — identical short-circuit and limit
+/// semantics in both.
+#[allow(clippy::too_many_arguments)]
+fn scan_chunk_filtered<'r>(
+    rows: Box<dyn Iterator<Item = &'r Record> + 'r>,
+    atoms: &[Atom],
+    project: Option<&[String]>,
+    limit: Option<usize>,
+    source: &dyn RowSource,
+    env: &EvalEnv<'_>,
+    started: std::time::Instant,
+) -> Result<(Vec<Record>, WorkerScan), QueryError> {
+    let mut w = WorkerScan {
+        rows_scanned: 0,
+        atom_evals: 0,
+        rows_out: 0,
+        duration: std::time::Duration::ZERO,
+    };
+    let mut out = Vec::new();
+    for record in rows {
+        if let Some(l) = limit {
+            if out.len() >= l {
+                break;
+            }
+        }
+        w.rows_scanned += 1;
+        let mut pass = true;
+        for atom in atoms {
+            w.atom_evals += 1;
+            if !eval_atom(atom, record, source, env)? {
+                pass = false;
+                break;
+            }
+        }
+        if !pass {
+            continue;
+        }
+        let projected = match project {
+            None => record.clone(),
+            Some(attrs) => {
+                let mut r = Record::new();
+                for a in attrs {
+                    if let Some(sym) = source.attr(a) {
+                        if let Some(v) = record.get(sym) {
+                            r.set(sym, v.clone());
+                        }
+                    }
+                }
+                r
+            }
+        };
+        out.push(projected);
+    }
+    w.rows_out = out.len() as u64;
+    w.duration = started.elapsed();
+    Ok((out, w))
 }
 
 fn compare(v: &Value, op: CompareOp, rhs: &Value) -> bool {
@@ -432,7 +675,7 @@ mod tests {
     fn run(sql: &str, src: &VecSource, env: &EvalEnv<'_>) -> (Vec<Record>, ExecStats) {
         let q = parse(sql).unwrap();
         let plan = LogicalPlan::from_query(&q);
-        Executor.execute(&plan, src, env).unwrap()
+        Executor::sequential().execute(&plan, src, env).unwrap()
     }
 
     #[test]
@@ -489,7 +732,9 @@ mod tests {
         let (_syms, src) = trials();
         let q = parse("SELECT * FROM trials WHERE drug = 'Warfarin' LIMIT 1").unwrap();
         let plan = LogicalPlan::from_query(&q);
-        let (rows, stats) = Executor.execute(&plan, &src, &EvalEnv::default()).unwrap();
+        let (rows, stats) = Executor::sequential()
+            .execute(&plan, &src, &EvalEnv::default())
+            .unwrap();
         assert_eq!(rows.len(), 1);
         assert!(stats.rows_scanned < 4, "scan stopped early");
     }
@@ -529,7 +774,7 @@ mod tests {
         let q = parse("SELECT * FROM other").unwrap();
         let plan = LogicalPlan::from_query(&q);
         assert!(matches!(
-            Executor.execute(&plan, &src, &EvalEnv::default()),
+            Executor::sequential().execute(&plan, &src, &EvalEnv::default()),
             Err(QueryError::UnknownSource(_))
         ));
     }
@@ -540,7 +785,9 @@ mod tests {
         let q = parse("SELECT * FROM trials WHERE drug = 'Warfarin'").unwrap();
         let mut plan = LogicalPlan::from_query(&q);
         plan.empty = true;
-        let (rows, stats) = Executor.execute(&plan, &src, &EvalEnv::default()).unwrap();
+        let (rows, stats) = Executor::sequential()
+            .execute(&plan, &src, &EvalEnv::default())
+            .unwrap();
         assert!(rows.is_empty());
         assert_eq!(stats.rows_scanned, 0, "the OS.3 unsat win");
     }
@@ -589,7 +836,7 @@ mod tests {
         let q = parse("SELECT * FROM trials WHERE drug IS 'Drug'").unwrap();
         let plan = LogicalPlan::from_query(&q);
         assert!(matches!(
-            Executor.execute(&plan, &src, &EvalEnv::default()),
+            Executor::sequential().execute(&plan, &src, &EvalEnv::default()),
             Err(QueryError::UnknownConcept(_))
         ));
     }
@@ -629,8 +876,168 @@ mod tests {
         let q = parse("SELECT * FROM trials WHERE LINKED BY nope >= 0.5").unwrap();
         let plan = LogicalPlan::from_query(&q);
         assert!(matches!(
-            Executor.execute(&plan, &src, &env),
+            Executor::sequential().execute(&plan, &src, &env),
             Err(QueryError::UnknownModel(_))
         ));
+    }
+
+    fn wide_trials(n: usize) -> (SymbolTable, VecSource) {
+        let mut syms = SymbolTable::new();
+        let drug = syms.intern("drug");
+        let dose = syms.intern("effective_dose");
+        let rows = (0..n)
+            .map(|i| {
+                Record::from_pairs([
+                    (
+                        drug,
+                        Value::str(if i % 3 == 0 { "Warfarin" } else { "Other" }),
+                    ),
+                    (dose, Value::Float(i as f64 / 10.0)),
+                ])
+            })
+            .collect();
+        let src = VecSource::new("trials", rows, &syms);
+        (syms, src)
+    }
+
+    #[test]
+    fn chunk_bounds_partition_the_row_space() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for of in [1usize, 2, 4, 8] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for chunk in 0..of {
+                    let (start, end) = chunk_bounds(len, chunk, of);
+                    assert_eq!(start, prev_end, "chunks contiguous");
+                    assert!(end >= start);
+                    covered += end - start;
+                    prev_end = end;
+                }
+                assert_eq!(covered, len, "chunks cover every row exactly once");
+            }
+        }
+        // Degenerate `of = 0` is treated as 1.
+        assert_eq!(chunk_bounds(5, 0, 0), (0, 5));
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let (_syms, src) = wide_trials(97);
+        let sql = "SELECT effective_dose FROM trials WHERE drug = 'Warfarin'";
+        let q = parse(sql).unwrap();
+        let plan = LogicalPlan::from_query(&q);
+        let (seq_rows, seq_stats) = Executor::sequential()
+            .execute(&plan, &src, &EvalEnv::default())
+            .unwrap();
+        let par = Executor {
+            workers: 4,
+            parallel_threshold: 1,
+        };
+        let (par_rows, par_stats) = par.execute(&plan, &src, &EvalEnv::default()).unwrap();
+        assert_eq!(par_rows, seq_rows, "row order preserved across chunks");
+        assert_eq!(par_stats.rows_scanned, seq_stats.rows_scanned);
+        assert_eq!(par_stats.atom_evals, seq_stats.atom_evals);
+        assert_eq!(par_stats.rows_out, seq_stats.rows_out);
+    }
+
+    #[test]
+    fn parallel_limit_truncates_at_merge() {
+        let (_syms, src) = wide_trials(60);
+        let q = parse("SELECT * FROM trials WHERE drug = 'Warfarin' LIMIT 5").unwrap();
+        let plan = LogicalPlan::from_query(&q);
+        let par = Executor {
+            workers: 4,
+            parallel_threshold: 1,
+        };
+        let (rows, stats) = par.execute(&plan, &src, &EvalEnv::default()).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(stats.rows_out, 5);
+        // Prefix semantics: the merged limit keeps the first 5 matches in
+        // row order, same as a sequential scan.
+        let (seq_rows, _) = Executor::sequential()
+            .execute(&plan, &src, &EvalEnv::default())
+            .unwrap();
+        assert_eq!(rows, seq_rows);
+    }
+
+    #[test]
+    fn parallel_profile_reports_per_worker_truth() {
+        let (_syms, src) = wide_trials(80);
+        let q = parse("SELECT * FROM trials WHERE drug = 'Warfarin'").unwrap();
+        let plan = LogicalPlan::from_query(&q);
+        let par = Executor {
+            workers: 4,
+            parallel_threshold: 1,
+        };
+        let mut builder = scdb_obs::ProfileBuilder::new();
+        let (_, stats) = par
+            .execute_profiled(&plan, &src, &EvalEnv::default(), &mut builder)
+            .unwrap();
+        let profile = builder.finish();
+        let scan = profile
+            .stages
+            .iter()
+            .find(|s| s.name == "scan")
+            .expect("scan stage present");
+        assert!(
+            scan.notes.iter().any(|n| n == "parallel workers=4"),
+            "scan stage records the fan-out: {:?}",
+            scan.notes
+        );
+        let workers: Vec<_> = profile
+            .stages
+            .iter()
+            .filter(|s| s.name.starts_with("scan.w"))
+            .collect();
+        assert_eq!(workers.len(), 4);
+        let scanned: u64 = workers.iter().map(|s| s.rows_in.unwrap()).sum();
+        let emitted: u64 = workers.iter().map(|s| s.rows_out.unwrap()).sum();
+        assert_eq!(scanned, stats.rows_scanned, "worker rows sum to the total");
+        assert_eq!(emitted, stats.rows_out);
+        assert!(workers.iter().all(|s| s.depth == 2));
+    }
+
+    #[test]
+    fn parallel_worker_error_names_the_chunk() {
+        use std::error::Error as _;
+        let (_syms, src) = wide_trials(40);
+        // A model atom with no registered model fails in every worker; the
+        // merge must surface the lowest chunk's failure, worker-tagged.
+        let q = parse("SELECT * FROM trials WHERE LINKED BY nope >= 0.5").unwrap();
+        let plan = LogicalPlan::from_query(&q);
+        let par = Executor {
+            workers: 4,
+            parallel_threshold: 1,
+        };
+        let err = par
+            .execute(&plan, &src, &EvalEnv::default())
+            .expect_err("unknown model must fail");
+        match &err {
+            QueryError::Worker { worker, cause } => {
+                assert_eq!(*worker, 0, "lowest chunk wins deterministically");
+                assert!(matches!(**cause, QueryError::UnknownModel(_)));
+            }
+            other => panic!("expected worker-tagged error, got {other:?}"),
+        }
+        assert!(err.source().is_some(), "source chain intact");
+    }
+
+    #[test]
+    fn threshold_keeps_small_scans_sequential() {
+        let (_syms, src) = wide_trials(10);
+        let q = parse("SELECT * FROM trials").unwrap();
+        let plan = LogicalPlan::from_query(&q);
+        let ex = Executor {
+            workers: 8,
+            parallel_threshold: 1024,
+        };
+        let mut builder = scdb_obs::ProfileBuilder::new();
+        ex.execute_profiled(&plan, &src, &EvalEnv::default(), &mut builder)
+            .unwrap();
+        let profile = builder.finish();
+        assert!(
+            !profile.stages.iter().any(|s| s.name.starts_with("scan.w")),
+            "below the threshold the scan stays on one thread"
+        );
     }
 }

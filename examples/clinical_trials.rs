@@ -8,29 +8,43 @@
 //! **yes**, because the sources' premises are disjoint population classes
 //! and the white-population world supports the dosage at fuzzy degree 0.8.
 //!
+//! The worlds are not built by hand: the trial feeds are ingested into a
+//! [`Db`] and [`Db::parallel_worlds`] derives one world per source from
+//! the `population` column — the FS.10 flow end to end.
+//!
 //! Run with: `cargo run --example clinical_trials`
 
+use scdb_core::Db;
 use scdb_datagen::clinical::{generate, paper_populations};
 use scdb_semantic::Taxonomy;
-use scdb_types::{Record, SymbolTable, WorldId};
-use scdb_uncertain::{FuzzyPredicate, ParallelWorld, ParallelWorldSet};
+use scdb_types::Record;
+use scdb_uncertain::FuzzyPredicate;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut symbols = SymbolTable::new();
-    let corpus = generate(&paper_populations(), 2026, &mut symbols);
-    let dose = symbols.get("effective_dose").expect("generated attr");
+    let db = Db::builder().build();
+    let corpus = db.with_symbols(|symbols| generate(&paper_populations(), 2026, symbols));
+    let dose = db
+        .symbols_ref()
+        .get("effective_dose")
+        .expect("generated attr");
 
-    // One parallel world per source, tagged with its population premise.
-    let mut worlds = ParallelWorldSet::new();
-    for (i, src) in corpus.sources.iter().enumerate() {
-        let premise = corpus.ontology.find_concept(&corpus.premises[i])?;
-        worlds.add(ParallelWorld {
-            id: WorldId(i as u32),
-            premises: vec![premise],
-            tuples: src.records.iter().map(|r| r.record.clone()).collect(),
-        });
-        println!("world {i}: {:<35} ({} trials)", src.name, src.len());
+    // Instance layer: one source per trial feed.
+    for src in &corpus.sources {
+        db.register_source(&src.name, None);
+        for rec in &src.records {
+            db.ingest(&src.name, rec.record.clone(), rec.text.as_deref())?;
+        }
+        println!("loaded {:<35} ({} trials)", src.name, src.len());
     }
+    // Semantic layer: the populations are pairwise-disjoint concepts.
+    db.set_ontology(corpus.ontology.clone());
+
+    // One parallel world per source, premise read from the population tag.
+    let worlds = db.parallel_worlds("population")?;
+    println!(
+        "derived {} parallel worlds from the curated instance",
+        worlds.len()
+    );
 
     // "Close to 5.0 mg" under Warfarin's narrow therapeutic range.
     let narrow = FuzzyPredicate::CloseTo {
@@ -45,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // The semantic layer knows the populations are pairwise disjoint.
-    let taxonomy = Taxonomy::build(&corpus.ontology);
+    let taxonomy = Taxonomy::build(&db.ontology());
     let disjoint = |a, b| taxonomy.are_disjoint(a, b);
 
     println!("\nQ: Is 5.0 mg an effective dosage of Warfarin?");
@@ -69,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Context-conditioned refinement: "…for the Asian population?"
-    let asian = corpus.ontology.find_concept("AsianPopulation")?;
+    let asian = db.ontology().find_concept("AsianPopulation")?;
     let close_34 = FuzzyPredicate::CloseTo {
         center: 3.4,
         width: 0.5,

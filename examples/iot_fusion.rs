@@ -9,22 +9,19 @@
 //!
 //! Run with: `cargo run --example iot_fusion`
 
-use scdb_core::{explore, ExploreConfig, SelfCuratingDb};
+use scdb_core::{explore, Db, ExploreConfig};
 use scdb_datagen::iot::{generate, pearson, IotConfig};
 use scdb_query::materialize::MaterializationCache;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = SelfCuratingDb::new();
+    let db = Db::new();
     let cfg = IotConfig {
         n_products: 10,
         days: 20,
         correlation: 0.9,
         seed: 11,
     };
-    let sources = {
-        let symbols = db.symbols();
-        generate(&cfg, symbols)
-    };
+    let sources = db.with_symbols(|symbols| generate(&cfg, symbols));
     for src in &sources {
         db.register_source(&src.name, Some("product"));
         for rec in &src.records {
@@ -66,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Context-aware exploration from one product.
     let mut cache = MaterializationCache::new(16);
     let out = explore(
-        &mut db,
+        &db,
         "SELECT product FROM retail_sales WHERE product = 'Product 05' LIMIT 1",
         &ExploreConfig::default(),
         &mut cache,

@@ -9,14 +9,14 @@
 //!
 //! Run with: `cargo run --example life_science`
 
-use scdb_core::{codd_report, SelfCuratingDb};
+use scdb_core::{codd_report, Db};
 use scdb_datagen::life_science::{figure2_ontology, figure2_sources};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = SelfCuratingDb::new();
+    let db = Db::new();
 
     // Instance layer: the three sources of Figure 2.
-    let sources = figure2_sources(db.symbols());
+    let sources = db.with_symbols(figure2_sources);
     let identity = ["Drug Name", "Gene", "Gene"];
     for (i, src) in sources.iter().enumerate() {
         db.register_source(&src.name, Some(identity[i]));
@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("late-discovered links: {late}");
 
     // Semantic layer: the figure's taxonomies + Drug ⊑ ∃has_target.Gene.
-    *db.ontology_mut() = figure2_ontology();
+    db.set_ontology(figure2_ontology());
     for gene in ["TP53", "DHFR", "PTGS2"] {
         // PTGS2 only appears as a target value; register when present.
         if db.entity_named(gene).is_some() {
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Richness (FS.2) per source.
     println!("\nSource richness (FS.2):");
-    for name in db.source_names().map(str::to_string).collect::<Vec<_>>() {
+    for name in db.source_names() {
         let r = db.source_richness(&name)?;
         println!(
             "  {:<55} nodes={} edges={} richness={:.3}",
@@ -79,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // §5: the revisited-Codd compliance report.
     println!("\nRevisited Codd rules (§5):");
-    for item in codd_report(&mut db) {
+    for item in codd_report(&db) {
         println!("  [{:?}] {}", item.status, item.rule);
         println!("         {}", item.evidence);
     }

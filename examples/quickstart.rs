@@ -7,20 +7,20 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use scdb_core::SelfCuratingDb;
+use scdb_core::Db;
 use scdb_types::{Record, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = SelfCuratingDb::new();
+    let db = Db::builder().metrics(true).build();
 
     // Two independent sources with different vocabularies.
     db.register_source("drugbank", Some("drug"));
     db.register_source("uniprot", Some("gene"));
 
-    let drug = db.symbols().intern("drug");
-    let gene = db.symbols().intern("gene");
-    let dose = db.symbols().intern("dose_mg");
-    let function = db.symbols().intern("function");
+    let drug = db.intern("drug");
+    let gene = db.intern("gene");
+    let dose = db.intern("dose_mg");
+    let function = db.intern("function");
 
     // Genes first…
     for (g, f) in [("TP53", "tumor suppressor"), ("DHFR", "limits cell growth")] {
@@ -46,8 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // A little semantics: every drug has some gene target (§3.3).
-    db.ontology_mut()
-        .subclass_exists("Drug", "has_target", "Gene");
+    db.with_ontology(|o| o.subclass_exists("Drug", "has_target", "Gene"));
     db.assert_entity_type("Warfarin", "Drug")?;
     db.reason()?;
 

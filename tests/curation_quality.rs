@@ -121,7 +121,7 @@ fn curated_db_links_multiple_sources() {
         corruption: CorruptionConfig::CLEAN,
         ..Default::default()
     };
-    let (mut db, _) = curated_db(&cfg);
+    let (db, _) = curated_db(&cfg);
     assert_eq!(db.source_count(), 3);
     assert!(db.stats().merges > 0, "cross-source merges happened");
     assert!(db.entity_count() < db.stats().records as usize);
@@ -130,11 +130,11 @@ fn curated_db_links_multiple_sources() {
 #[test]
 fn richer_source_scores_higher_richness() {
     // Build two sources by hand: one with links, one isolated.
-    let mut db = scdb_core::SelfCuratingDb::new();
+    let db = scdb_core::Db::new();
     db.register_source("rich", Some("a"));
     db.register_source("poor", Some("a"));
-    let a = db.symbols().intern("a");
-    let b = db.symbols().intern("b");
+    let a = db.intern("a");
+    let b = db.intern("b");
     // Rich source: chain of records referencing each other.
     for i in 0..10 {
         let rec = scdb_types::Record::from_pairs([

@@ -4,15 +4,15 @@
 
 use std::time::{Duration, Instant};
 
-use scdb_core::SelfCuratingDb;
+use scdb_core::Db;
 use scdb_types::{Record, Value};
 
 #[test]
 fn query_outcome_carries_populated_profile() {
-    let mut db = SelfCuratingDb::new();
+    let db = Db::new();
     db.register_source("drugs", Some("drug"));
-    let drug = db.symbols().intern("drug");
-    let dose = db.symbols().intern("dose");
+    let drug = db.intern("drug");
+    let dose = db.intern("dose");
     for i in 0..100i64 {
         let r = Record::from_pairs([
             (drug, Value::str(format!("Drug-{i}"))),
@@ -45,10 +45,10 @@ fn query_outcome_carries_populated_profile() {
 
 #[test]
 fn semantic_query_profile_records_optimizer_decisions() {
-    let mut db = SelfCuratingDb::new();
+    let db = Db::new();
     db.register_source("trials", Some("drug"));
-    let drug = db.symbols().intern("drug");
-    let dose = db.symbols().intern("dose");
+    let drug = db.intern("drug");
+    let dose = db.intern("dose");
     for i in 0..50i64 {
         let r = Record::from_pairs([
             (
@@ -59,7 +59,7 @@ fn semantic_query_profile_records_optimizer_decisions() {
         ]);
         db.ingest("trials", r, None).expect("ingest");
     }
-    db.ontology_mut().subclass("Anticoagulant", "Drug");
+    db.with_ontology(|o| o.subclass("Anticoagulant", "Drug"));
     db.assert_entity_type("Warfarin", "Anticoagulant")
         .expect("typed");
     let out = db
@@ -79,10 +79,10 @@ fn semantic_query_profile_records_optimizer_decisions() {
 /// One ingest+query loop: `n` rows in, ten selective queries out.
 fn workload(n: i64) -> Duration {
     let start = Instant::now();
-    let mut db = SelfCuratingDb::new();
+    let db = Db::new();
     db.register_source("s", Some("k"));
-    let k = db.symbols().intern("k");
-    let v = db.symbols().intern("v");
+    let k = db.intern("k");
+    let v = db.intern("v");
     for i in 0..n {
         let r = Record::from_pairs([(k, Value::str(format!("key-{i}"))), (v, Value::Int(i))]);
         db.ingest("s", r, None).expect("ingest");

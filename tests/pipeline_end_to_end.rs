@@ -3,12 +3,12 @@
 //! Instance → relation → semantic → query, exercised exactly the way the
 //! paper's §3 walkthrough describes, against the exact Figure 2 data.
 
-use scdb_core::{codd_report, CoddStatus, SelfCuratingDb};
+use scdb_core::{codd_report, CoddStatus, Db};
 use scdb_datagen::life_science::{figure2_ontology, figure2_sources};
 
-fn loaded_db() -> SelfCuratingDb {
-    let mut db = SelfCuratingDb::new();
-    let sources = figure2_sources(db.symbols());
+fn loaded_db() -> Db {
+    let db = Db::new();
+    let sources = db.with_symbols(figure2_sources);
     let identity = ["Drug Name", "Gene", "Gene"];
     for (i, src) in sources.iter().enumerate() {
         db.register_source(&src.name, Some(identity[i]));
@@ -18,7 +18,7 @@ fn loaded_db() -> SelfCuratingDb {
         }
     }
     db.discover_links().expect("late links");
-    *db.ontology_mut() = figure2_ontology();
+    db.set_ontology(figure2_ontology());
     for drug in ["Ibuprofen", "Acetaminophen", "Methotrexate", "Warfarin"] {
         db.assert_entity_type(drug, "ApprovedDrug").expect("typed");
     }
@@ -30,7 +30,7 @@ fn loaded_db() -> SelfCuratingDb {
 
 #[test]
 fn figure2_loads_with_expected_shape() {
-    let mut db = loaded_db();
+    let db = loaded_db();
     assert_eq!(db.source_count(), 3);
     assert_eq!(db.stats().records, 8, "4 + 2 + 2 figure rows");
     // Entities: 4 drugs + 3 genes (TP53, DHFR, PTGS2) + diseases… at
@@ -50,7 +50,7 @@ fn figure2_loads_with_expected_shape() {
 
 #[test]
 fn cross_source_identity_established() {
-    let mut db = loaded_db();
+    let db = loaded_db();
     // TP53 appears in DrugBank (as a target), CTD (twice), and Uniprot —
     // one entity.
     let tp53 = db.entity_named("TP53").expect("tp53");
@@ -76,7 +76,7 @@ fn relation_layer_links_drugs_to_genes() {
 
 #[test]
 fn semantic_layer_infers_existential_target() {
-    let mut db = loaded_db();
+    let db = loaded_db();
     let acetaminophen = db.entity_named("Acetaminophen").unwrap();
     let gene = db.ontology().find_concept("Gene").unwrap();
     let drug = db.ontology().find_concept("Drug").unwrap();
@@ -93,12 +93,12 @@ fn semantic_layer_infers_existential_target() {
 #[test]
 fn taxonomy_subsumption_queries() {
     let db = {
-        let mut db = loaded_db();
+        let db = loaded_db();
         db.reason().unwrap();
         db
     };
     let o = db.ontology();
-    let t = scdb_semantic::Taxonomy::build(o);
+    let t = scdb_semantic::Taxonomy::build(&o);
     let osteo = o.find_concept("Osteosarcoma").unwrap();
     let disease = o.find_concept("Disease").unwrap();
     let chemical = o.find_concept("Chemical").unwrap();
@@ -110,13 +110,13 @@ fn taxonomy_subsumption_queries() {
 
 #[test]
 fn scql_over_curated_data() {
-    let mut db = loaded_db();
+    let db = loaded_db();
     // Source names with spaces are not addressable in ScQL (quoting source
     // names is not in the grammar); register an alias-friendly source and
     // verify the relational path.
     db.register_source("genes", Some("Gene"));
-    let g = db.symbols().intern("Gene");
-    let f = db.symbols().intern("Function");
+    let g = db.intern("Gene");
+    let f = db.intern("Function");
     db.ingest(
         "genes",
         scdb_types::Record::from_pairs([
@@ -134,9 +134,9 @@ fn scql_over_curated_data() {
 
 #[test]
 fn codd_checklist_fully_exhibited() {
-    let mut db = loaded_db();
+    let db = loaded_db();
     db.reason().unwrap();
-    let report = codd_report(&mut db);
+    let report = codd_report(&db);
     let exhibited = report
         .iter()
         .filter(|i| i.status == CoddStatus::Exhibited)
