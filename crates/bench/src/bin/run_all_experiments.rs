@@ -43,6 +43,7 @@ const EXPERIMENTS: &[&str] = &[
     "e_os4_placement",
     "e_s5_codd",
     "e_concurrent_read_scaling",
+    "e_recovery",
 ];
 
 fn main() {

@@ -97,6 +97,54 @@ pub fn banner(id: &str, anchor: &str, claim: &str) {
     println!();
 }
 
+/// Drive one [`scdb_datagen::crash`] schedule op against a [`Db`] handle
+/// (durable or volatile). Shared by the durability crash matrix, the
+/// crash-recovery property test, and the E-REC recovery experiment, so
+/// every harness interprets a schedule identically.
+pub fn apply_curation_op(
+    db: &Db,
+    op: &scdb_datagen::crash::CurationOp,
+) -> Result<(), scdb_core::CoreError> {
+    use scdb_datagen::crash::CurationOp;
+    use scdb_types::{Record, Value};
+    match op {
+        CurationOp::Register {
+            source,
+            identity_attr,
+        } => db
+            .try_register_source(source, identity_attr.as_deref())
+            .map(|_| ()),
+        CurationOp::Ingest {
+            source,
+            attrs,
+            text,
+        } => {
+            let pairs: Vec<_> = attrs
+                .iter()
+                .map(|(name, value)| (db.intern(name), value.clone()))
+                .collect();
+            db.ingest(source, Record::from_pairs(pairs), text.as_deref())
+                .map(|_| ())
+        }
+        CurationOp::DiscoverLinks => db.discover_links().map(|_| ()),
+        CurationOp::KvPut { key, value } => {
+            let mut txn = db.kv_begin();
+            txn.write(*key, Value::Int(*value))
+                .map_err(scdb_core::CoreError::from)?;
+            db.kv_commit(&mut txn).map(|_| ())
+        }
+        CurationOp::Enrich { key, value } => db.kv_enrich(*key, Value::Float(*value)).map(|_| ()),
+        CurationOp::Retract { key } => db.kv_retract(*key).map(|_| ()),
+        CurationOp::Checkpoint => {
+            // Volatile reference databases have no log to checkpoint.
+            if db.is_durable() {
+                db.checkpoint()?;
+            }
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,7 @@
 //! | `symbols`  | the shared [`SymbolTable`]                            |
 //! | `instance` | row stores, per-attribute statistics, text store      |
 //! | `relation` | incremental resolver, property graph, identity index  |
+//! | `durable`  | the optional disk-backed WAL ([`DurableWal`])         |
 //! | `semantic` | ontology, cached saturation/taxonomy, trained models  |
 //! | `config`   | optimizer configuration, scan executor                |
 //!
@@ -26,19 +27,36 @@
 //! concurrently with each other, while writes (`ingest`,
 //! `discover_links`, ontology edits) take the affected shards
 //! exclusively. To stay deadlock-free, locks are always acquired in the
-//! fixed order **symbols → instance → relation → semantic → config**;
-//! any subset is fine as long as the relative order holds.
+//! fixed order **symbols → instance → relation → durable → semantic →
+//! config**; any subset is fine as long as the relative order holds.
 //!
 //! `ingest` holds `instance` and `relation` write locks together for
 //! the whole record pipeline, so a concurrent reader never observes a
 //! stored record whose entity assignment does not exist yet (no torn
 //! reads).
+//!
+//! # Durability
+//!
+//! With [`DbBuilder::durability`] configured, every curation mutation is
+//! logged to a segmented, CRC-framed on-disk WAL *before* the in-memory
+//! state changes, and sealed with a commit record — redo logging in its
+//! classical form. Because the WAL append happens under the `instance` +
+//! `relation` write locks, log order equals apply order, which matters:
+//! entity resolution is order-dependent, so replay must see ingests in
+//! exactly the sequence the live pipeline did. [`Db::open`] rebuilds
+//! state as *newest valid snapshot + committed log suffix*; unsealed
+//! tails are discarded and torn/bit-rotted bytes are physically cut
+//! (see [`DbRecoveryReport`]). [`Db::checkpoint`] installs a snapshot
+//! atomically and truncates the sealed prefix. The semantic shard is
+//! deliberately not logged — it is derived or user-supplied
+//! configuration, re-established by the application after `open`.
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{MappedRwLockReadGuard, RwLock, RwLockReadGuard};
+use parking_lot::{MappedRwLockReadGuard, Mutex, RwLock, RwLockReadGuard};
 use scdb_er::normalize::normalize;
 use scdb_er::{IncrementalResolver, ResolverConfig};
 use scdb_graph::metrics::{assess, RichnessReport};
@@ -51,12 +69,17 @@ use scdb_query::{parse, ExecStats, Query};
 use scdb_semantic::{Ontology, Reasoner, Saturation, Taxonomy, TrainedModel};
 use scdb_storage::stats::AttrStatistics;
 use scdb_storage::{RowStore, TextStore};
+use scdb_txn::{
+    CheckpointStats, DurableWal, EnrichedDb, FsStore, FsyncPolicy, IsolationMode, LogRecord,
+    Transaction, TxnManager, VersionOrigin, WalRecoveryReport, WalStore,
+};
 use scdb_types::{
     Confidence, EntityId, Provenance, Record, RecordId, SourceId, Symbol, SymbolTable, Value,
     ValueKind,
 };
 
 use crate::error::CoreError;
+use crate::snapshot::SnapshotRecord;
 
 /// What one ingest did.
 #[derive(Debug, Clone)]
@@ -161,8 +184,55 @@ struct DbInner {
     symbols: RwLock<SymbolTable>,
     instance: RwLock<InstanceShard>,
     relation: RwLock<RelationShard>,
+    /// The optional disk-backed WAL. `None` while recovery replays (so
+    /// replayed mutations are not re-logged) and for purely in-memory
+    /// databases; installed by [`DbBuilder::open`] once replay is done.
+    /// Sits between `relation` and `semantic` in the lock order.
+    durable: Mutex<Option<DurableWal>>,
+    /// The kv/enrichment store shared by user transactions and the
+    /// curation pipeline (internally synchronized).
+    enriched: EnrichedDb,
+    /// What the last `open` recovered; `None` for in-memory databases.
+    recovery: Mutex<Option<DbRecoveryReport>>,
     semantic: RwLock<SemanticShard>,
     config: RwLock<ConfigShard>,
+}
+
+/// What [`Db::open`] rebuilt from the log directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DbRecoveryReport {
+    /// Low-level scan statistics: segments read, bytes physically cut
+    /// from torn/corrupt tails, snapshots discarded.
+    pub wal: WalRecoveryReport,
+    /// Rows reinstalled from the snapshot (no ER re-run).
+    pub snapshot_rows: usize,
+    /// Committed log records replayed through the live pipeline.
+    pub records_replayed: usize,
+    /// Transactions discarded: logged but never sealed by a commit (or
+    /// explicitly aborted) at the time of the crash.
+    pub txns_discarded: usize,
+}
+
+/// Where the WAL lives: a real directory or an injected store (tests
+/// use the fault-injection medium).
+enum DurabilityTarget {
+    Dir(std::path::PathBuf, FsyncPolicy),
+    Store(Box<dyn WalStore>, FsyncPolicy),
+}
+
+impl std::fmt::Debug for DurabilityTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityTarget::Dir(p, policy) => {
+                f.debug_tuple("Dir").field(p).field(policy).finish()
+            }
+            DurabilityTarget::Store(_, policy) => f
+                .debug_tuple("Store")
+                .field(&"<dyn WalStore>")
+                .field(policy)
+                .finish(),
+        }
+    }
 }
 
 /// The self-curating database handle.
@@ -181,20 +251,39 @@ pub struct Db {
 pub type SelfCuratingDb = Db;
 
 /// Fluent constructor for [`Db`]: resolver config, optimizer config,
-/// metrics on/off, and scan parallelism in one chain.
+/// metrics on/off, scan parallelism, enrichment isolation, and
+/// durability in one chain.
 ///
 /// ```
 /// use scdb_core::Db;
 /// let db = Db::builder().metrics(false).scan_workers(2).build();
 /// # let _ = db;
 /// ```
-#[derive(Debug, Clone, Default)]
-#[must_use = "builders do nothing until `.build()` is called"]
+///
+/// With durability configured, finish with [`DbBuilder::open`] (which
+/// recovers whatever the log directory already holds) instead of
+/// [`DbBuilder::build`]:
+///
+/// ```no_run
+/// use scdb_core::{Db, FsyncPolicy};
+/// # fn main() -> Result<(), scdb_core::CoreError> {
+/// let db = Db::builder()
+///     .durability("/var/lib/scdb/wal", FsyncPolicy::Always)
+///     .open()?;
+/// # let _ = db;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+#[must_use = "builders do nothing until `.build()` or `.open()` is called"]
 pub struct DbBuilder {
     resolver: ResolverConfig,
     optimizer: OptimizerConfig,
     metrics_enabled: Option<bool>,
     executor: Executor,
+    isolation: Option<IsolationMode>,
+    durability: Option<DurabilityTarget>,
+    segment_bytes: Option<u64>,
 }
 
 impl DbBuilder {
@@ -225,11 +314,56 @@ impl DbBuilder {
         self
     }
 
-    /// Build the database handle.
+    /// Isolation regime for the kv/enrichment store (`kv_*` methods).
+    /// Defaults to [`IsolationMode::Snapshot`].
+    pub fn isolation(mut self, mode: IsolationMode) -> Self {
+        self.isolation = Some(mode);
+        self
+    }
+
+    /// Log every curation mutation to a segmented on-disk WAL under
+    /// `dir`, fsynced per `policy`. Finish the chain with
+    /// [`DbBuilder::open`] — `build` panics when durability is
+    /// configured, because opening must also recover existing state.
+    pub fn durability(mut self, dir: impl AsRef<std::path::Path>, policy: FsyncPolicy) -> Self {
+        self.durability = Some(DurabilityTarget::Dir(dir.as_ref().to_path_buf(), policy));
+        self
+    }
+
+    /// Like [`DbBuilder::durability`] but over an explicit storage
+    /// medium — the crash-matrix tests inject
+    /// [`scdb_txn::FailpointLog`] here.
+    pub fn durability_store(mut self, store: Box<dyn WalStore>, policy: FsyncPolicy) -> Self {
+        self.durability = Some(DurabilityTarget::Store(store, policy));
+        self
+    }
+
+    /// Segment rotation threshold in bytes (default 1 MiB). Smaller
+    /// segments mean more files but finer-grained checkpoint truncation.
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = Some(bytes);
+        self
+    }
+
+    /// Build an in-memory database handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if durability was configured — a durable database must be
+    /// constructed with [`DbBuilder::open`], which also runs recovery.
     pub fn build(self) -> Db {
+        assert!(
+            self.durability.is_none(),
+            "durability is configured: finish with DbBuilder::open(), not build()"
+        );
+        self.build_volatile()
+    }
+
+    fn build_volatile(self) -> Db {
         if let Some(on) = self.metrics_enabled {
             metrics().set_enabled(on);
         }
+        let isolation = self.isolation.unwrap_or(IsolationMode::Snapshot);
         Db {
             inner: Arc::new(DbInner {
                 symbols: RwLock::new(SymbolTable::new()),
@@ -245,6 +379,9 @@ impl DbBuilder {
                     stats: CurationStats::default(),
                     tick: 0,
                 }),
+                durable: Mutex::new(None),
+                enriched: EnrichedDb::with_manager(TxnManager::new(), isolation),
+                recovery: Mutex::new(None),
                 semantic: RwLock::new(SemanticShard {
                     ontology: Ontology::new(),
                     saturation: None,
@@ -257,6 +394,41 @@ impl DbBuilder {
                 }),
             }),
         }
+    }
+
+    /// Open the database: recover snapshot + committed log suffix from
+    /// the configured durability target, then start logging. Without a
+    /// durability target this is equivalent to [`DbBuilder::build`].
+    pub fn open(mut self) -> Result<Db, CoreError> {
+        let target = self.durability.take();
+        let segment_bytes = self.segment_bytes.unwrap_or(1 << 20);
+        let db = self.build_volatile();
+        let Some(target) = target else {
+            return Ok(db);
+        };
+        let (store, policy): (Box<dyn WalStore>, FsyncPolicy) = match target {
+            DurabilityTarget::Dir(dir, policy) => {
+                let store = FsStore::open(&dir)
+                    .map_err(|e| scdb_txn::TxnError::io(format!("open {}", dir.display()), &e))?;
+                (Box::new(store), policy)
+            }
+            DurabilityTarget::Store(store, policy) => (store, policy),
+        };
+        // Recovery replays through the live pipeline while `durable` is
+        // still `None`, so nothing gets re-logged; the WAL is installed
+        // only once the state matches the committed log.
+        let (wal, recovered) = DurableWal::open(store, policy, segment_bytes)?;
+        let report = db.install_recovery(recovered)?;
+        let m = metrics();
+        m.gauge_set(
+            "core.recovery_records_replayed",
+            report.records_replayed as i64,
+        );
+        m.gauge_set("core.recovery_txns_discarded", report.txns_discarded as i64);
+        m.gauge_set("core.recovery_snapshot_rows", report.snapshot_rows as i64);
+        *db.inner.durable.lock() = Some(wal);
+        *db.inner.recovery.lock() = Some(report);
+        Ok(db)
     }
 }
 
@@ -277,15 +449,48 @@ impl Db {
         DbBuilder::default()
     }
 
+    /// Open (or create) a durable database under `dir` with default
+    /// configuration and [`FsyncPolicy::Always`]: recovers the snapshot
+    /// plus the committed log suffix, then resumes logging.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Db, CoreError> {
+        Self::builder().durability(dir, FsyncPolicy::Always).open()
+    }
+
     /// Register a source; idempotent per name. `identity_attr` names the
     /// attribute whose value identifies the record's entity (defaults to
     /// the record's first string attribute at ingest time).
+    ///
+    /// # Panics
+    ///
+    /// On a durable database, panics if the registration cannot be
+    /// logged; use [`Db::try_register_source`] to handle log I/O errors.
     pub fn register_source(&self, name: &str, identity_attr: Option<&str>) -> SourceId {
+        self.try_register_source(name, identity_attr)
+            .expect("failed to log source registration")
+    }
+
+    /// [`Db::register_source`], surfacing WAL append failures.
+    pub fn try_register_source(
+        &self,
+        name: &str,
+        identity_attr: Option<&str>,
+    ) -> Result<SourceId, CoreError> {
         let mut symbols = self.inner.symbols.write();
         let mut instance = self.inner.instance.write();
         let mut relation = self.inner.relation.write();
         if let Some((_, s)) = instance.sources.iter().find(|(n, _)| n == name) {
-            return s.id;
+            return Ok(s.id);
+        }
+        // Log before mutating (auto-sealed: registration is not gated by
+        // a commit record — it is idempotent and carries no user data).
+        {
+            let mut durable = self.inner.durable.lock();
+            if let Some(wal) = durable.as_mut() {
+                wal.append_sealed(&[LogRecord::SourceReg {
+                    name: name.to_string(),
+                    identity_attr: identity_attr.map(str::to_string),
+                }])?;
+            }
         }
         let id = SourceId(instance.sources.len() as u32);
         if let Some(attr) = identity_attr {
@@ -301,7 +506,7 @@ impl Db {
                 identity_attr: identity_attr.map(str::to_string),
             },
         ));
-        id
+        Ok(id)
     }
 
     /// Run `f` with exclusive access to the symbol table (intern
@@ -341,17 +546,15 @@ impl Db {
         let mut relation = self.inner.relation.write();
         let inst = &mut *instance;
         let rel = &mut *relation;
-        rel.tick += 1;
-        let tick = rel.tick;
-        // 1. Instance layer.
+        // Validate the source and resolve attribute names *before*
+        // touching any state — a failed ingest must leave both memory
+        // and log unchanged.
         let identity_attr_cfg;
         let source_id;
-        let record_id;
         {
-            let state = inst.source_state_mut(source)?;
+            let state = inst.source_state(source)?;
             identity_attr_cfg = state.identity_attr.clone();
             source_id = state.id;
-            record_id = state.store.append(record.clone());
         }
         // Per-attribute statistics are keyed by attribute *name*; keep
         // the symbol alongside for link discovery below.
@@ -359,6 +562,33 @@ impl Db {
             .iter()
             .map(|(a, v)| (a, symbols.resolve(a).to_string(), v.clone()))
             .collect();
+        // Write-ahead: log the row and its commit seal while holding the
+        // instance+relation write locks, so log order equals apply order
+        // (entity resolution is order-dependent). Recovery replays this
+        // record through the same pipeline only if the seal made it to
+        // the medium.
+        {
+            let mut durable = self.inner.durable.lock();
+            if let Some(wal) = durable.as_mut() {
+                let txn = wal.next_txn_id();
+                wal.append_sealed(&[
+                    LogRecord::IngestRow {
+                        txn,
+                        source: source.to_string(),
+                        attrs: attr_entries
+                            .iter()
+                            .map(|(_, n, v)| (n.clone(), v.clone()))
+                            .collect(),
+                        text: text.map(str::to_owned),
+                    },
+                    LogRecord::Commit { txn },
+                ])?;
+            }
+        }
+        rel.tick += 1;
+        let tick = rel.tick;
+        // 1. Instance layer.
+        let record_id = inst.source_state_mut(source)?.store.append(record.clone());
         {
             let state = inst.source_state_mut(source)?;
             for (_, name, value) in &attr_entries {
@@ -485,6 +715,15 @@ impl Db {
         let instance = self.inner.instance.read();
         let mut relation = self.inner.relation.write();
         let rel = &mut *relation;
+        // The sweep mutates the graph deterministically from current
+        // state, so a single sealed marker record is enough for replay.
+        {
+            let mut durable = self.inner.durable.lock();
+            if let Some(wal) = durable.as_mut() {
+                let txn = wal.next_txn_id();
+                wal.append_sealed(&[LogRecord::DiscoverLinks { txn }, LogRecord::Commit { txn }])?;
+            }
+        }
         rel.tick += 1;
         let tick = rel.tick;
         let mut new_links = 0usize;
@@ -929,6 +1168,586 @@ impl Db {
     pub fn assignments(&self) -> HashMap<RecordId, EntityId> {
         self.inner.relation.read().resolver.assignments()
     }
+
+    // ------------------------------------------------------------------
+    // Durability: recovery, checkpointing, state digest.
+    // ------------------------------------------------------------------
+
+    /// What the last [`Db::open`] recovered; `None` for in-memory
+    /// databases.
+    pub fn recovery_report(&self) -> Option<DbRecoveryReport> {
+        self.inner.recovery.lock().clone()
+    }
+
+    /// True when mutations are being logged to a durable WAL.
+    pub fn is_durable(&self) -> bool {
+        self.inner.durable.lock().is_some()
+    }
+
+    /// Write a snapshot of the durable state, seal it atomically, and
+    /// truncate the log segments it supersedes. Subsequent [`Db::open`]
+    /// calls load the snapshot and replay only records logged after it.
+    ///
+    /// Errors with [`CoreError::Recovery`] when durability is not
+    /// configured.
+    pub fn checkpoint(&self) -> Result<CheckpointStats, CoreError> {
+        let _span = scdb_obs::span!("core.checkpoint");
+        // Shard read locks freeze a consistent state; `durable` is
+        // acquired after `relation` per the lock order, and holding it
+        // excludes concurrent loggers, so the snapshot covers exactly
+        // the sealed log prefix.
+        let symbols = self.inner.symbols.read();
+        let instance = self.inner.instance.read();
+        let relation = self.inner.relation.read();
+        let mut durable = self.inner.durable.lock();
+        let Some(wal) = durable.as_mut() else {
+            return Err(CoreError::Recovery(
+                "checkpoint requires durability (DbBuilder::durability + open)".to_string(),
+            ));
+        };
+        let payloads = build_snapshot(&symbols, &instance, &relation, &self.inner.enriched);
+        Ok(wal.checkpoint(&payloads)?)
+    }
+
+    /// Force any unsynced log tail to stable storage (relevant under
+    /// [`FsyncPolicy::EveryN`] / [`FsyncPolicy::OnCheckpoint`]). No-op
+    /// for in-memory databases.
+    pub fn sync_wal(&self) -> Result<(), CoreError> {
+        if let Some(wal) = self.inner.durable.lock().as_mut() {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Canonical digest of the *durable* state: sources, rows, entity
+    /// assignments, graph, identity indexes, kv store, and curation
+    /// counters, rendered deterministically (sorted, symbol-free). Two
+    /// databases with equal dumps are observably equivalent for every
+    /// durable API; the crash matrix compares recovered instances
+    /// against a reference with `assert_eq!(a.state_dump(), …)`.
+    ///
+    /// Deliberately excludes the semantic shard (not durable) and perf
+    /// counters like ER comparisons (recovery's fast path skips them).
+    pub fn state_dump(&self) -> String {
+        let symbols = self.inner.symbols.read();
+        let instance = self.inner.instance.read();
+        let relation = self.inner.relation.read();
+        let mut out = String::new();
+        for (name, state) in &instance.sources {
+            let _ = writeln!(
+                out,
+                "source {name} identity={:?} rows={}",
+                state.identity_attr,
+                state.store.len()
+            );
+            for (rid, record) in state.store.scan() {
+                let mut attrs: Vec<String> = record
+                    .iter()
+                    .map(|(a, v)| format!("{}={}", symbols.resolve(a), v.render()))
+                    .collect();
+                attrs.sort();
+                let entity = relation
+                    .resolver
+                    .entity_of(rid)
+                    .map(|e| e.0 as i64)
+                    .unwrap_or(-1);
+                let text = instance.text.get(rid).unwrap_or("");
+                let _ = writeln!(
+                    out,
+                    "row {}:{} entity={entity} [{}] text={text:?}",
+                    rid.source.0,
+                    rid.offset,
+                    attrs.join(",")
+                );
+            }
+        }
+        let mut nodes: Vec<EntityId> = relation.graph.node_ids().collect();
+        nodes.sort();
+        for v in &nodes {
+            let node = relation.graph.node(*v).expect("listed node exists");
+            let mut attrs: Vec<String> = node
+                .attrs
+                .iter()
+                .map(|(a, val)| format!("{}={}", symbols.resolve(a), val.render()))
+                .collect();
+            attrs.sort();
+            let mut records: Vec<String> = node
+                .records
+                .iter()
+                .map(|r| format!("{}:{}", r.source.0, r.offset))
+                .collect();
+            records.sort();
+            let _ = writeln!(
+                out,
+                "node {} [{}] records=[{}]",
+                v.0,
+                attrs.join(","),
+                records.join(",")
+            );
+            let mut edges: Vec<String> = relation
+                .graph
+                .edges(*v)
+                .iter()
+                .map(|e| {
+                    format!(
+                        "edge {}-[{}]->{} src={} tick={}",
+                        v.0,
+                        symbols.resolve(e.role),
+                        e.to.0,
+                        e.provenance.source.0,
+                        e.provenance.tick
+                    )
+                })
+                .collect();
+            edges.sort();
+            for e in edges {
+                let _ = writeln!(out, "{e}");
+            }
+        }
+        let mut names: Vec<(&String, &EntityId)> = relation.entity_by_name.iter().collect();
+        names.sort();
+        for (key, entity) in names {
+            let _ = writeln!(out, "name {key} -> {}", entity.0);
+        }
+        let mut idents: Vec<(&EntityId, &String)> = relation.identity_of_entity.iter().collect();
+        idents.sort();
+        for (entity, key) in idents {
+            let _ = writeln!(out, "ident {} -> {key}", entity.0);
+        }
+        for (key, value, origin) in self.inner.enriched.txn_manager().latest_entries() {
+            let _ = writeln!(
+                out,
+                "kv {key} = {:?} origin={origin:?}",
+                value.as_ref().map(Value::render)
+            );
+        }
+        let s = &relation.stats;
+        let _ = writeln!(
+            out,
+            "stats records={} merges={} links={} tick={}",
+            s.records, s.merges, s.links, relation.tick
+        );
+        out
+    }
+
+    /// Install a [`scdb_txn::WalRecovery`] into this (empty) database:
+    /// snapshot records first, then the committed log suffix replayed
+    /// through the live pipeline. Called with `durable` still `None`, so
+    /// replay does not re-log.
+    fn install_recovery(
+        &self,
+        recovered: scdb_txn::WalRecovery,
+    ) -> Result<DbRecoveryReport, CoreError> {
+        let mut report = DbRecoveryReport {
+            wal: recovered.report,
+            ..DbRecoveryReport::default()
+        };
+        if let Some(frames) = recovered.snapshot {
+            report.snapshot_rows = self.install_snapshot(frames)?;
+        }
+        // Commit-gated replay: buffer each transaction's operations and
+        // apply them only when its seal arrives. This also tolerates
+        // txn-id reuse across restarts (ids restart after checkpoints).
+        let mut pending: HashMap<u64, Vec<LogRecord>> = HashMap::new();
+        for record in recovered.records {
+            match record {
+                LogRecord::SourceReg {
+                    name,
+                    identity_attr,
+                } => {
+                    self.try_register_source(&name, identity_attr.as_deref())?;
+                    report.records_replayed += 1;
+                }
+                LogRecord::Enrich { key, value } => {
+                    self.inner.enriched.txn_manager().install_recovered(
+                        key,
+                        value,
+                        VersionOrigin::Enrichment,
+                    );
+                    report.records_replayed += 1;
+                }
+                LogRecord::IngestRow { txn, .. }
+                | LogRecord::DiscoverLinks { txn }
+                | LogRecord::Write { txn, .. } => {
+                    pending.entry(txn).or_default().push(record);
+                }
+                LogRecord::Commit { txn } => {
+                    let ops = pending.remove(&txn).unwrap_or_default();
+                    report.records_replayed += ops.len() + 1;
+                    for op in ops {
+                        self.replay_op(op)?;
+                    }
+                }
+                LogRecord::Abort { txn } => {
+                    if pending.remove(&txn).is_some() {
+                        report.txns_discarded += 1;
+                    }
+                }
+                LogRecord::Checkpoint => {}
+            }
+        }
+        // Unsealed tails: logged, never committed — discarded, exactly
+        // what the crash semantics promise.
+        report.txns_discarded += pending.len();
+        Ok(report)
+    }
+
+    fn replay_op(&self, op: LogRecord) -> Result<(), CoreError> {
+        match op {
+            LogRecord::IngestRow {
+                source,
+                attrs,
+                text,
+                ..
+            } => {
+                let record = {
+                    let mut symbols = self.inner.symbols.write();
+                    Record::from_pairs(
+                        attrs
+                            .into_iter()
+                            .map(|(name, value)| (symbols.intern(&name), value)),
+                    )
+                };
+                self.ingest(&source, record, text.as_deref())?;
+            }
+            LogRecord::DiscoverLinks { .. } => {
+                self.discover_links()?;
+            }
+            LogRecord::Write { key, value, .. } => {
+                self.inner.enriched.txn_manager().install_recovered(
+                    key,
+                    value,
+                    VersionOrigin::Explicit,
+                );
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Install snapshot frames into the empty shards. Returns the number
+    /// of rows reinstalled.
+    fn install_snapshot(&self, frames: Vec<bytes::Bytes>) -> Result<usize, CoreError> {
+        let records: Vec<SnapshotRecord> = frames
+            .into_iter()
+            .map(SnapshotRecord::decode)
+            .collect::<Result<_, _>>()?;
+        match records.last() {
+            Some(SnapshotRecord::Tail { count }) if *count as usize == records.len() - 1 => {}
+            _ => {
+                return Err(CoreError::Recovery(
+                    "snapshot is missing its tail record (torn checkpoint)".to_string(),
+                ))
+            }
+        }
+        let mut symbols = self.inner.symbols.write();
+        let mut instance = self.inner.instance.write();
+        let mut relation = self.inner.relation.write();
+        let inst = &mut *instance;
+        let rel = &mut *relation;
+        let mut adopt: Vec<(RecordId, Record, EntityId)> = Vec::new();
+        let mut rows = 0usize;
+        for rec in records {
+            match rec {
+                SnapshotRecord::Source {
+                    name,
+                    identity_attr,
+                } => {
+                    let id = SourceId(inst.sources.len() as u32);
+                    if let Some(attr) = &identity_attr {
+                        let sym = symbols.intern(attr);
+                        rel.resolver.designate_identity(id, sym);
+                    }
+                    inst.sources.push((
+                        name,
+                        SourceState {
+                            id,
+                            store: RowStore::new(id),
+                            stats: HashMap::new(),
+                            identity_attr,
+                        },
+                    ));
+                }
+                SnapshotRecord::Row {
+                    source,
+                    entity,
+                    attrs,
+                    text,
+                } => {
+                    let record = Record::from_pairs(
+                        attrs
+                            .into_iter()
+                            .map(|(name, value)| (symbols.intern(&name), value)),
+                    );
+                    let state = inst.source_state_mut(&source)?;
+                    for (a, v) in record.iter() {
+                        let name = symbols.resolve(a).to_string();
+                        state
+                            .stats
+                            .entry(name)
+                            .or_insert_with(|| AttrStatistics::new(16, 4096))
+                            .observe(v);
+                    }
+                    let rid = state.store.append(record.clone());
+                    if let Some(t) = &text {
+                        inst.text.index(rid, t);
+                    }
+                    adopt.push((rid, record, EntityId(entity)));
+                    rows += 1;
+                }
+                SnapshotRecord::Node {
+                    entity,
+                    attrs,
+                    records,
+                } => {
+                    let node = rel.graph.ensure_node(EntityId(entity));
+                    for (name, value) in attrs {
+                        node.attrs.set(symbols.intern(&name), value);
+                    }
+                    node.records = records
+                        .into_iter()
+                        .map(|(src, off)| RecordId::new(SourceId(src), off))
+                        .collect();
+                }
+                SnapshotRecord::Edge {
+                    from,
+                    to,
+                    role,
+                    source,
+                    tick,
+                } => {
+                    let role = symbols.intern(&role);
+                    let prov = Provenance::inferred(SourceId(source), Confidence::CERTAIN, tick);
+                    rel.graph
+                        .add_edge(EntityId(from), EntityId(to), role, prov)?;
+                    // `links` counters arrive via Meta; don't double-count.
+                }
+                SnapshotRecord::Name { key, entity } => {
+                    rel.entity_by_name.insert(key, EntityId(entity));
+                }
+                SnapshotRecord::Ident { entity, key } => {
+                    rel.identity_of_entity.insert(EntityId(entity), key);
+                }
+                SnapshotRecord::Kv {
+                    key,
+                    value,
+                    enrichment,
+                } => {
+                    let origin = if enrichment {
+                        VersionOrigin::Enrichment
+                    } else {
+                        VersionOrigin::Explicit
+                    };
+                    self.inner
+                        .enriched
+                        .txn_manager()
+                        .install_recovered(key, value, origin);
+                }
+                SnapshotRecord::Meta {
+                    records,
+                    merges,
+                    links,
+                    tick,
+                } => {
+                    rel.stats.records = records;
+                    rel.stats.merges = merges;
+                    rel.stats.links = links;
+                    rel.tick = tick;
+                }
+                SnapshotRecord::Tail { .. } => {}
+            }
+        }
+        // Adopt the final clustering wholesale: no similarity
+        // comparisons, no re-merging — this is what makes checkpointed
+        // recovery flat in log size (experiment E-REC).
+        rel.resolver.adopt_batch(adopt);
+        Ok(rows)
+    }
+
+    // ------------------------------------------------------------------
+    // The kv/enrichment store (FS.11) through the durable log.
+    // ------------------------------------------------------------------
+
+    /// The isolation regime of the kv/enrichment store.
+    pub fn kv_isolation(&self) -> IsolationMode {
+        self.inner.enriched.mode()
+    }
+
+    /// Handle to the kv/enrichment store for reads and anomaly counters.
+    /// Writes routed through the handle directly bypass the WAL — use
+    /// [`Db::kv_commit`] / [`Db::kv_enrich`] / [`Db::kv_retract`] for
+    /// durable writes.
+    pub fn kv_store(&self) -> &EnrichedDb {
+        &self.inner.enriched
+    }
+
+    /// Begin a kv transaction (snapshot taken now).
+    pub fn kv_begin(&self) -> Transaction {
+        self.inner.enriched.begin()
+    }
+
+    /// Read under the configured [`IsolationMode`], recording anomaly
+    /// statistics.
+    pub fn kv_read(&self, txn: &mut Transaction, key: u64) -> Option<Value> {
+        self.inner.enriched.read(txn, key)
+    }
+
+    /// Durably commit a kv transaction: validate first-committer-wins,
+    /// log the write set plus a commit seal, then install. The `durable`
+    /// mutex serializes validation → log → install, so a transaction
+    /// whose seal reached the log always installs.
+    pub fn kv_commit(&self, txn: &mut Transaction) -> Result<u64, CoreError> {
+        let mut durable = self.inner.durable.lock();
+        let tm = self.inner.enriched.txn_manager();
+        if let Some(key) = tm.would_conflict(txn) {
+            return Err(CoreError::Txn(scdb_txn::TxnError::WriteConflict { key }));
+        }
+        if let Some(wal) = durable.as_mut() {
+            let id = wal.next_txn_id();
+            let mut records: Vec<LogRecord> = txn
+                .writes()
+                .map(|(key, value)| LogRecord::Write {
+                    txn: id,
+                    key,
+                    value: value.cloned(),
+                })
+                .collect();
+            records.push(LogRecord::Commit { txn: id });
+            wal.append_sealed(&records)?;
+        }
+        // Cannot conflict: validation above ran under the same lock that
+        // every durable kv writer (commit and enrichment) holds.
+        Ok(tm.commit(txn)?)
+    }
+
+    /// A durable curation write: logged (auto-sealed), then installed at
+    /// a fresh timestamp with enrichment origin.
+    pub fn kv_enrich(&self, key: u64, value: Value) -> Result<u64, CoreError> {
+        let mut durable = self.inner.durable.lock();
+        if let Some(wal) = durable.as_mut() {
+            wal.append_sealed(&[LogRecord::Enrich {
+                key,
+                value: Some(value.clone()),
+            }])?;
+        }
+        Ok(self.inner.enriched.enrich(key, value))
+    }
+
+    /// A durable curation retraction (tombstone with enrichment origin).
+    pub fn kv_retract(&self, key: u64) -> Result<u64, CoreError> {
+        let mut durable = self.inner.durable.lock();
+        if let Some(wal) = durable.as_mut() {
+            wal.append_sealed(&[LogRecord::Enrich { key, value: None }])?;
+        }
+        Ok(self.inner.enriched.retract(key))
+    }
+}
+
+/// Serialize the durable state as snapshot frame payloads, in install
+/// order (sources → rows → nodes → edges → indexes → kv → meta → tail).
+fn build_snapshot(
+    symbols: &SymbolTable,
+    instance: &InstanceShard,
+    relation: &RelationShard,
+    enriched: &EnrichedDb,
+) -> Vec<Vec<u8>> {
+    let mut recs: Vec<SnapshotRecord> = Vec::new();
+    for (name, state) in &instance.sources {
+        recs.push(SnapshotRecord::Source {
+            name: name.clone(),
+            identity_attr: state.identity_attr.clone(),
+        });
+    }
+    // Rows in global ingest order (the resolver's arrival history), with
+    // their final entity assignments.
+    for (rid, record) in relation.resolver.history() {
+        let entity = relation
+            .resolver
+            .entity_of(*rid)
+            .map(|e| e.0)
+            .unwrap_or(u64::MAX);
+        let source = instance
+            .sources
+            .get(rid.source.0 as usize)
+            .map(|(n, _)| n.clone())
+            .unwrap_or_default();
+        recs.push(SnapshotRecord::Row {
+            source,
+            entity,
+            attrs: record
+                .iter()
+                .map(|(a, v)| (symbols.resolve(a).to_string(), v.clone()))
+                .collect(),
+            text: instance.text.get(*rid).map(str::to_owned),
+        });
+    }
+    let mut nodes: Vec<EntityId> = relation.graph.node_ids().collect();
+    nodes.sort();
+    for v in &nodes {
+        let node = relation.graph.node(*v).expect("listed node exists");
+        recs.push(SnapshotRecord::Node {
+            entity: v.0,
+            attrs: node
+                .attrs
+                .iter()
+                .map(|(a, val)| (symbols.resolve(a).to_string(), val.clone()))
+                .collect(),
+            records: node
+                .records
+                .iter()
+                .map(|r| (r.source.0, r.offset))
+                .collect(),
+        });
+    }
+    for v in &nodes {
+        let mut edges: Vec<SnapshotRecord> = relation
+            .graph
+            .edges(*v)
+            .iter()
+            .map(|e| SnapshotRecord::Edge {
+                from: v.0,
+                to: e.to.0,
+                role: symbols.resolve(e.role).to_string(),
+                source: e.provenance.source.0,
+                tick: e.provenance.tick,
+            })
+            .collect();
+        edges.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        recs.extend(edges);
+    }
+    let mut names: Vec<(&String, &EntityId)> = relation.entity_by_name.iter().collect();
+    names.sort();
+    for (key, entity) in names {
+        recs.push(SnapshotRecord::Name {
+            key: key.clone(),
+            entity: entity.0,
+        });
+    }
+    let mut idents: Vec<(&EntityId, &String)> = relation.identity_of_entity.iter().collect();
+    idents.sort();
+    for (entity, key) in idents {
+        recs.push(SnapshotRecord::Ident {
+            entity: entity.0,
+            key: key.clone(),
+        });
+    }
+    for (key, value, origin) in enriched.txn_manager().latest_entries() {
+        recs.push(SnapshotRecord::Kv {
+            key,
+            value,
+            enrichment: origin == VersionOrigin::Enrichment,
+        });
+    }
+    recs.push(SnapshotRecord::Meta {
+        records: relation.stats.records,
+        merges: relation.stats.merges,
+        links: relation.stats.links,
+        tick: relation.tick,
+    });
+    recs.push(SnapshotRecord::Tail {
+        count: recs.len() as u64,
+    });
+    recs.iter().map(SnapshotRecord::encode).collect()
 }
 
 #[cfg(test)]
@@ -1231,6 +2050,143 @@ mod tests {
             db.ingest_json("docs", "{not json"),
             Err(CoreError::InvalidDocument { .. })
         ));
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("scdb-core-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seed_curated(db: &Db) {
+        db.register_source("uniprot", Some("Gene"));
+        db.register_source("drugbank", Some("Drug Name"));
+        db.ingest(
+            "uniprot",
+            gene_record(db, "DHFR", "Limits Cell Growth"),
+            None,
+        )
+        .unwrap();
+        db.ingest(
+            "drugbank",
+            drug_record(db, "Methotrexate", "DHFR"),
+            Some("methotrexate targets dhfr"),
+        )
+        .unwrap();
+        db.ingest("drugbank", drug_record(db, "methotrexate", "DHFR"), None)
+            .unwrap(); // merge
+    }
+
+    #[test]
+    fn durable_reopen_recovers_full_state() {
+        let dir = tmpdir("reopen");
+        let reference = Db::new();
+        seed_curated(&reference);
+        {
+            let db = Db::open(&dir).unwrap();
+            assert!(db.is_durable());
+            seed_curated(&db);
+            assert_eq!(db.state_dump(), reference.state_dump());
+        }
+        let db = Db::open(&dir).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert!(report.records_replayed > 0);
+        assert_eq!(report.txns_discarded, 0);
+        assert_eq!(db.state_dump(), reference.state_dump());
+        // The recovered instance keeps curating and querying normally.
+        db.ingest("drugbank", drug_record(&db, "Warfarin", "TP53"), None)
+            .unwrap();
+        assert_eq!(db.stats().records, 4);
+        assert!(!db.text().search("dhfr", 3).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_skips_replay() {
+        let dir = tmpdir("ckpt");
+        let reference = Db::new();
+        seed_curated(&reference);
+        {
+            let db = Db::open(&dir).unwrap();
+            seed_curated(&db);
+            let stats = db.checkpoint().unwrap();
+            assert!(stats.snapshot_bytes > 0);
+        }
+        let db = Db::open(&dir).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert!(report.wal.snapshot_seq.is_some(), "snapshot was loaded");
+        assert_eq!(report.records_replayed, 0, "nothing after the checkpoint");
+        assert!(report.snapshot_rows >= 3);
+        assert_eq!(db.state_dump(), reference.state_dump());
+        // Post-checkpoint writes replay on the next open.
+        reference
+            .ingest(
+                "drugbank",
+                drug_record(&reference, "Warfarin", "TP53"),
+                None,
+            )
+            .unwrap();
+        db.ingest("drugbank", drug_record(&db, "Warfarin", "TP53"), None)
+            .unwrap();
+        drop(db);
+        let db = Db::open(&dir).unwrap();
+        assert_eq!(db.state_dump(), reference.state_dump());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_kv_and_enrichment_recover() {
+        let dir = tmpdir("kv");
+        {
+            let db = Db::builder()
+                .isolation(IsolationMode::RelaxedEnrichment)
+                .durability(&dir, FsyncPolicy::Always)
+                .open()
+                .unwrap();
+            let mut t = db.kv_begin();
+            t.write(1, Value::Int(10)).unwrap();
+            t.write(2, Value::str("hello")).unwrap();
+            db.kv_commit(&mut t).unwrap();
+            db.kv_enrich(3, Value::Float(0.5)).unwrap();
+            db.kv_retract(2).unwrap();
+        }
+        let db = Db::open(&dir).unwrap();
+        let mut t = db.kv_begin();
+        assert_eq!(db.kv_read(&mut t, 1), Some(Value::Int(10)));
+        assert_eq!(db.kv_read(&mut t, 2), None, "retraction recovered");
+        assert_eq!(db.kv_read(&mut t, 3), Some(Value::Float(0.5)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kv_conflict_is_rejected_before_logging() {
+        let db = Db::new();
+        let mut a = db.kv_begin();
+        let mut b = db.kv_begin();
+        a.write(7, Value::Int(1)).unwrap();
+        b.write(7, Value::Int(2)).unwrap();
+        db.kv_commit(&mut a).unwrap();
+        assert!(matches!(
+            db.kv_commit(&mut b),
+            Err(CoreError::Txn(scdb_txn::TxnError::WriteConflict { key: 7 }))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_requires_durability() {
+        let db = Db::new();
+        assert!(matches!(db.checkpoint(), Err(CoreError::Recovery(_))));
+        assert!(!db.is_durable());
+        assert!(db.recovery_report().is_none());
+        db.sync_wal().unwrap(); // no-op in memory
+    }
+
+    #[test]
+    #[should_panic(expected = "durability is configured")]
+    fn build_panics_when_durability_configured() {
+        let _ = Db::builder()
+            .durability("/tmp/never-created", FsyncPolicy::Always)
+            .build();
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub enum CoreError {
     Semantic(scdb_semantic::SemanticError),
     /// Query layer failure.
     Query(scdb_query::QueryError),
+    /// Transaction / write-ahead-log layer failure.
+    Txn(scdb_txn::TxnError),
+    /// Recovery found an inconsistent snapshot or log, or a durability
+    /// operation was requested on a database without a configured log.
+    Recovery(String),
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +43,8 @@ impl fmt::Display for CoreError {
             CoreError::Graph(e) => write!(f, "graph: {e}"),
             CoreError::Semantic(e) => write!(f, "semantic: {e}"),
             CoreError::Query(e) => write!(f, "query: {e}"),
+            CoreError::Txn(e) => write!(f, "txn: {e}"),
+            CoreError::Recovery(msg) => write!(f, "recovery: {msg}"),
         }
     }
 }
@@ -47,11 +54,13 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::UnknownSource(_)
             | CoreError::UnknownEntity(_)
-            | CoreError::InvalidDocument { .. } => None,
+            | CoreError::InvalidDocument { .. }
+            | CoreError::Recovery(_) => None,
             CoreError::Storage(e) => Some(e),
             CoreError::Graph(e) => Some(e),
             CoreError::Semantic(e) => Some(e),
             CoreError::Query(e) => Some(e),
+            CoreError::Txn(e) => Some(e),
         }
     }
 }
@@ -92,6 +101,11 @@ impl From<scdb_semantic::SemanticError> for CoreError {
 impl From<scdb_query::QueryError> for CoreError {
     fn from(e: scdb_query::QueryError) -> Self {
         CoreError::Query(e)
+    }
+}
+impl From<scdb_txn::TxnError> for CoreError {
+    fn from(e: scdb_txn::TxnError) -> Self {
+        CoreError::Txn(e)
     }
 }
 

@@ -55,11 +55,15 @@ pub mod codd;
 pub mod db;
 pub mod error;
 pub mod explore;
+mod snapshot;
 
 pub use codd::{codd_report, CoddItem, CoddStatus};
 #[allow(deprecated)]
 pub use db::SelfCuratingDb;
-pub use db::{CurationStats, Db, DbBuilder, IngestReport, QueryOutcome};
+pub use db::{CurationStats, Db, DbBuilder, DbRecoveryReport, IngestReport, QueryOutcome};
 pub use error::CoreError;
 pub use explore::{explore, ExplorationOutcome, ExploreConfig};
 pub use scdb_obs::{MetricsSnapshot, QueryProfile};
+pub use scdb_txn::{
+    CheckpointStats, FsyncPolicy, IsolationMode, Transaction, WalRecoveryReport, WalStore,
+};

@@ -1,0 +1,456 @@
+//! Checkpoint snapshot format for [`crate::Db`].
+//!
+//! A snapshot is a sequence of CRC-framed records (the framing lives in
+//! `scdb_txn::frame`; this module only defines the payloads) that
+//! materializes the *durable* portion of a database: sources, rows in
+//! global ingest order with their final entity assignments, the property
+//! graph, the identity indexes, and the kv/enrichment store. Recovery
+//! installs these records directly — no entity resolution re-runs — so
+//! checkpointed recovery costs O(data), not O(data × ER comparisons),
+//! and cannot diverge from the state that was snapshotted (replaying
+//! merges through the live pipeline would be order-sensitive).
+//!
+//! Record order inside a snapshot is load-bearing: `Source` records come
+//! first (row installs need the stores), then `Row` (graph nodes refer
+//! to record ids), then `Node` before `Edge` (edges need endpoints),
+//! then the index maps, the kv store, `Meta`, and a final `Tail` whose
+//! count must match — a snapshot without its `Tail` is a torn write and
+//! is rejected wholesale.
+//!
+//! The semantic layer (ontology, cached saturation, trained models) is
+//! deliberately absent: it is derived or user-supplied configuration,
+//! not curated state, and is documented as non-durable (see ROADMAP).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use scdb_txn::wal::{get_value, put_value};
+use scdb_types::Value;
+
+use crate::error::CoreError;
+
+/// One snapshot payload (one CRC frame in the snapshot file).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum SnapshotRecord {
+    /// A registered source, in registration order.
+    Source {
+        name: String,
+        identity_attr: Option<String>,
+    },
+    /// One stored row, in *global ingest order* across all sources, with
+    /// its final (post-merge) entity assignment.
+    Row {
+        source: String,
+        entity: u64,
+        attrs: Vec<(String, Value)>,
+        text: Option<String>,
+    },
+    /// A property-graph node: merged attribute view plus fused records.
+    Node {
+        entity: u64,
+        attrs: Vec<(String, Value)>,
+        records: Vec<(u32, u64)>,
+    },
+    /// A discovered link (provenance: inferred, certain).
+    Edge {
+        from: u64,
+        to: u64,
+        role: String,
+        source: u32,
+        tick: u64,
+    },
+    /// One `normalized name → entity` index entry.
+    Name { key: String, entity: u64 },
+    /// One `entity → identity key` index entry.
+    Ident { entity: u64, key: String },
+    /// Latest version of one kv/enrichment key.
+    Kv {
+        key: u64,
+        value: Option<Value>,
+        enrichment: bool,
+    },
+    /// Curation counters and the logical clock.
+    Meta {
+        records: u64,
+        merges: u64,
+        links: u64,
+        tick: u64,
+    },
+    /// Terminator: `count` = number of records before it. A snapshot
+    /// whose last record is not a matching `Tail` is rejected.
+    Tail { count: u64 },
+}
+
+const TAG_SOURCE: u8 = 1;
+const TAG_ROW: u8 = 2;
+const TAG_NODE: u8 = 3;
+const TAG_EDGE: u8 = 4;
+const TAG_NAME: u8 = 5;
+const TAG_IDENT: u8 = 6;
+const TAG_KV: u8 = 7;
+const TAG_META: u8 = 8;
+const TAG_TAIL: u8 = 9;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, CoreError> {
+    let corrupt = || CoreError::Recovery("snapshot record truncated".to_string());
+    if buf.remaining() < 4 {
+        return Err(corrupt());
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(corrupt());
+    }
+    let bytes = buf.copy_to_bytes(len);
+    std::str::from_utf8(&bytes)
+        .map(str::to_owned)
+        .map_err(|_| CoreError::Recovery("snapshot string is not utf-8".to_string()))
+}
+
+fn put_opt_str(buf: &mut BytesMut, s: &Option<String>) {
+    match s {
+        None => buf.put_u8(0),
+        Some(s) => {
+            buf.put_u8(1);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_opt_str(buf: &mut Bytes) -> Result<Option<String>, CoreError> {
+    if buf.remaining() < 1 {
+        return Err(CoreError::Recovery("snapshot record truncated".to_string()));
+    }
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => Ok(Some(get_str(buf)?)),
+        _ => Err(CoreError::Recovery(
+            "snapshot option tag invalid".to_string(),
+        )),
+    }
+}
+
+fn put_attrs(buf: &mut BytesMut, attrs: &[(String, Value)]) {
+    buf.put_u32(attrs.len() as u32);
+    for (name, value) in attrs {
+        put_str(buf, name);
+        put_value(buf, &Some(value.clone()));
+    }
+}
+
+fn get_attrs(buf: &mut Bytes) -> Result<Vec<(String, Value)>, CoreError> {
+    if buf.remaining() < 4 {
+        return Err(CoreError::Recovery("snapshot record truncated".to_string()));
+    }
+    let n = buf.get_u32() as usize;
+    let mut attrs = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = get_str(buf)?;
+        let value = get_value(buf, 0)
+            .map_err(|e| CoreError::Recovery(format!("snapshot value: {e}")))?
+            .ok_or_else(|| CoreError::Recovery("snapshot attr without value".to_string()))?;
+        attrs.push((name, value));
+    }
+    Ok(attrs)
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), CoreError> {
+    if buf.remaining() < n {
+        Err(CoreError::Recovery("snapshot record truncated".to_string()))
+    } else {
+        Ok(())
+    }
+}
+
+impl SnapshotRecord {
+    /// Serialize into a standalone frame payload.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        match self {
+            SnapshotRecord::Source {
+                name,
+                identity_attr,
+            } => {
+                buf.put_u8(TAG_SOURCE);
+                put_str(&mut buf, name);
+                put_opt_str(&mut buf, identity_attr);
+            }
+            SnapshotRecord::Row {
+                source,
+                entity,
+                attrs,
+                text,
+            } => {
+                buf.put_u8(TAG_ROW);
+                put_str(&mut buf, source);
+                buf.put_u64(*entity);
+                put_attrs(&mut buf, attrs);
+                put_opt_str(&mut buf, text);
+            }
+            SnapshotRecord::Node {
+                entity,
+                attrs,
+                records,
+            } => {
+                buf.put_u8(TAG_NODE);
+                buf.put_u64(*entity);
+                put_attrs(&mut buf, attrs);
+                buf.put_u32(records.len() as u32);
+                for (src, off) in records {
+                    buf.put_u32(*src);
+                    buf.put_u64(*off);
+                }
+            }
+            SnapshotRecord::Edge {
+                from,
+                to,
+                role,
+                source,
+                tick,
+            } => {
+                buf.put_u8(TAG_EDGE);
+                buf.put_u64(*from);
+                buf.put_u64(*to);
+                put_str(&mut buf, role);
+                buf.put_u32(*source);
+                buf.put_u64(*tick);
+            }
+            SnapshotRecord::Name { key, entity } => {
+                buf.put_u8(TAG_NAME);
+                put_str(&mut buf, key);
+                buf.put_u64(*entity);
+            }
+            SnapshotRecord::Ident { entity, key } => {
+                buf.put_u8(TAG_IDENT);
+                buf.put_u64(*entity);
+                put_str(&mut buf, key);
+            }
+            SnapshotRecord::Kv {
+                key,
+                value,
+                enrichment,
+            } => {
+                buf.put_u8(TAG_KV);
+                buf.put_u64(*key);
+                buf.put_u8(u8::from(*enrichment));
+                put_value(&mut buf, value);
+            }
+            SnapshotRecord::Meta {
+                records,
+                merges,
+                links,
+                tick,
+            } => {
+                buf.put_u8(TAG_META);
+                buf.put_u64(*records);
+                buf.put_u64(*merges);
+                buf.put_u64(*links);
+                buf.put_u64(*tick);
+            }
+            SnapshotRecord::Tail { count } => {
+                buf.put_u8(TAG_TAIL);
+                buf.put_u64(*count);
+            }
+        }
+        buf.freeze().as_slice().to_vec()
+    }
+
+    /// Decode one frame payload.
+    pub(crate) fn decode(mut buf: Bytes) -> Result<SnapshotRecord, CoreError> {
+        need(&buf, 1)?;
+        let tag = buf.get_u8();
+        let rec = match tag {
+            TAG_SOURCE => SnapshotRecord::Source {
+                name: get_str(&mut buf)?,
+                identity_attr: get_opt_str(&mut buf)?,
+            },
+            TAG_ROW => {
+                let source = get_str(&mut buf)?;
+                need(&buf, 8)?;
+                let entity = buf.get_u64();
+                let attrs = get_attrs(&mut buf)?;
+                let text = get_opt_str(&mut buf)?;
+                SnapshotRecord::Row {
+                    source,
+                    entity,
+                    attrs,
+                    text,
+                }
+            }
+            TAG_NODE => {
+                need(&buf, 8)?;
+                let entity = buf.get_u64();
+                let attrs = get_attrs(&mut buf)?;
+                need(&buf, 4)?;
+                let n = buf.get_u32() as usize;
+                let mut records = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    need(&buf, 12)?;
+                    let src = buf.get_u32();
+                    let off = buf.get_u64();
+                    records.push((src, off));
+                }
+                SnapshotRecord::Node {
+                    entity,
+                    attrs,
+                    records,
+                }
+            }
+            TAG_EDGE => {
+                need(&buf, 16)?;
+                let from = buf.get_u64();
+                let to = buf.get_u64();
+                let role = get_str(&mut buf)?;
+                need(&buf, 12)?;
+                SnapshotRecord::Edge {
+                    from,
+                    to,
+                    role,
+                    source: buf.get_u32(),
+                    tick: buf.get_u64(),
+                }
+            }
+            TAG_NAME => {
+                let key = get_str(&mut buf)?;
+                need(&buf, 8)?;
+                SnapshotRecord::Name {
+                    key,
+                    entity: buf.get_u64(),
+                }
+            }
+            TAG_IDENT => {
+                need(&buf, 8)?;
+                let entity = buf.get_u64();
+                SnapshotRecord::Ident {
+                    entity,
+                    key: get_str(&mut buf)?,
+                }
+            }
+            TAG_KV => {
+                need(&buf, 9)?;
+                let key = buf.get_u64();
+                let enrichment = buf.get_u8() != 0;
+                let value = get_value(&mut buf, 0)
+                    .map_err(|e| CoreError::Recovery(format!("snapshot kv value: {e}")))?;
+                SnapshotRecord::Kv {
+                    key,
+                    value,
+                    enrichment,
+                }
+            }
+            TAG_META => {
+                need(&buf, 32)?;
+                SnapshotRecord::Meta {
+                    records: buf.get_u64(),
+                    merges: buf.get_u64(),
+                    links: buf.get_u64(),
+                    tick: buf.get_u64(),
+                }
+            }
+            TAG_TAIL => {
+                need(&buf, 8)?;
+                SnapshotRecord::Tail {
+                    count: buf.get_u64(),
+                }
+            }
+            other => {
+                return Err(CoreError::Recovery(format!(
+                    "unknown snapshot record tag {other}"
+                )))
+            }
+        };
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: SnapshotRecord) {
+        let bytes = rec.encode();
+        let back = SnapshotRecord::decode(Bytes::from(bytes)).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(SnapshotRecord::Source {
+            name: "drugbank".into(),
+            identity_attr: Some("drug".into()),
+        });
+        roundtrip(SnapshotRecord::Source {
+            name: "feed".into(),
+            identity_attr: None,
+        });
+        roundtrip(SnapshotRecord::Row {
+            source: "drugbank".into(),
+            entity: 7,
+            attrs: vec![
+                ("drug".into(), Value::str("Warfarin")),
+                ("dose".into(), Value::Float(5.1)),
+            ],
+            text: Some("raw json".into()),
+        });
+        roundtrip(SnapshotRecord::Node {
+            entity: 7,
+            attrs: vec![("drug".into(), Value::str("Warfarin"))],
+            records: vec![(0, 0), (1, 3)],
+        });
+        roundtrip(SnapshotRecord::Edge {
+            from: 7,
+            to: 9,
+            role: "targets".into(),
+            source: 1,
+            tick: 42,
+        });
+        roundtrip(SnapshotRecord::Name {
+            key: "warfarin".into(),
+            entity: 7,
+        });
+        roundtrip(SnapshotRecord::Ident {
+            entity: 7,
+            key: "warfarin".into(),
+        });
+        roundtrip(SnapshotRecord::Kv {
+            key: 3,
+            value: Some(Value::Int(9)),
+            enrichment: true,
+        });
+        roundtrip(SnapshotRecord::Kv {
+            key: 4,
+            value: None,
+            enrichment: false,
+        });
+        roundtrip(SnapshotRecord::Meta {
+            records: 10,
+            merges: 2,
+            links: 3,
+            tick: 11,
+        });
+        roundtrip(SnapshotRecord::Tail { count: 12 });
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let bytes = SnapshotRecord::Row {
+            source: "s".into(),
+            entity: 1,
+            attrs: vec![("a".into(), Value::Int(1))],
+            text: None,
+        }
+        .encode();
+        for cut in 1..bytes.len() {
+            let res = SnapshotRecord::decode(Bytes::from(&bytes[..cut]));
+            assert!(res.is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let res = SnapshotRecord::decode(Bytes::from(vec![99u8, 0, 0]));
+        assert!(matches!(res, Err(CoreError::Recovery(_))));
+    }
+}

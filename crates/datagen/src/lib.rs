@@ -15,6 +15,8 @@
 //!   with the popularity of the product in social media", §1);
 //! * [`corrupt`] — seeded name corruption (typos, qualifiers, reordering)
 //!   so entity resolution has realistic variation to defeat;
+//! * [`crash`] — deterministic curation-op schedules for the durability
+//!   crash matrix and the E-REC recovery experiment;
 //! * [`workload`] — co-access and traversal workload generators for the
 //!   OS.1/OS.2 locality experiments.
 //!
@@ -26,6 +28,7 @@
 
 pub mod clinical;
 pub mod corrupt;
+pub mod crash;
 pub mod iot;
 pub mod life_science;
 pub mod workload;

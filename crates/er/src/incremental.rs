@@ -318,6 +318,57 @@ impl IncrementalResolver {
         }
     }
 
+    /// Install already-resolved records without scoring — the snapshot
+    /// rehydration fast path. Each row carries the final entity decided
+    /// by the original run; the resolver rebuilds its blocker, aligner
+    /// profiles and union-find from them with **zero** similarity
+    /// comparisons, so recovery from a checkpoint costs I/O, not ER.
+    /// Rows must arrive in the original global ingest order (blocker and
+    /// aligner state are order-sensitive for *future* ingests). Returns
+    /// the number of rows adopted.
+    pub fn adopt_batch<I>(&mut self, rows: I) -> usize
+    where
+        I: IntoIterator<Item = (RecordId, Record, EntityId)>,
+    {
+        let mut root_of_entity: HashMap<EntityId, u64> =
+            self.entity_of_root.iter().map(|(h, e)| (*e, *h)).collect();
+        let mut adopted = 0usize;
+        for (id, record, entity) in rows {
+            self.added += 1;
+            adopted += 1;
+            self.aligners
+                .entry(id.source)
+                .or_insert_with(|| SchemaAligner::new(self.config.align_sample_cap))
+                .observe(&record);
+            let handle = self.records.len() as u64;
+            self.records.push((id, record.clone()));
+            self.parent.push(handle);
+            self.handle_of.insert(id, handle);
+            // Register with the blocker so future live ingests still see
+            // this record as a candidate; the returned candidates are
+            // ignored — the assignment is already known.
+            let _ = self.blocker.insert(handle, &record);
+            match root_of_entity.get(&entity) {
+                Some(&root) => {
+                    self.parent[handle as usize] = root;
+                }
+                None => {
+                    self.entity_of_root.insert(handle, entity);
+                    root_of_entity.insert(entity, handle);
+                }
+            }
+            self.idgen.advance_past(entity);
+        }
+        scdb_obs::metrics().add("er.adopted", adopted as u64);
+        adopted
+    }
+
+    /// Every record added so far, in arrival order, with its id — the
+    /// order-preserving feed checkpoint snapshots are built from.
+    pub fn history(&self) -> impl Iterator<Item = &(RecordId, Record)> {
+        self.records.iter()
+    }
+
     /// The entity a record currently resolves to.
     pub fn entity_of(&self, id: RecordId) -> Option<EntityId> {
         let h = *self.handle_of.get(&id)?;

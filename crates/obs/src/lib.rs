@@ -380,6 +380,44 @@ pub fn metrics() -> &'static MetricsRegistry {
 }
 
 // ---------------------------------------------------------------------------
+// Warnings
+// ---------------------------------------------------------------------------
+
+/// Bounded ring of recent warning messages.
+const WARN_RING: usize = 64;
+
+fn warn_ring() -> &'static parking_lot::Mutex<std::collections::VecDeque<String>> {
+    static RING: OnceLock<parking_lot::Mutex<std::collections::VecDeque<String>>> = OnceLock::new();
+    RING.get_or_init(|| parking_lot::Mutex::new(std::collections::VecDeque::new()))
+}
+
+/// Record a warning: something recoverable but noteworthy happened (e.g.
+/// a torn WAL suffix was truncated during recovery). Bumps the
+/// `obs.warnings` counter and retains the most recent `WARN_RING` (64)
+/// messages for post-mortem inspection via [`recent_warnings`]. Warnings
+/// bypass the registry enable gate — losing a durability diagnostic
+/// because metrics were off would defeat the point.
+pub fn warn(message: impl Into<String>) {
+    let message = message.into();
+    metrics().counter("obs.warnings").inc();
+    let mut ring = warn_ring().lock();
+    if ring.len() == WARN_RING {
+        ring.pop_front();
+    }
+    ring.push_back(message);
+}
+
+/// The most recent warnings, oldest first (bounded ring).
+pub fn recent_warnings() -> Vec<String> {
+    warn_ring().lock().iter().cloned().collect()
+}
+
+/// Clear the warning ring (test isolation).
+pub fn clear_warnings() {
+    warn_ring().lock().clear();
+}
+
+// ---------------------------------------------------------------------------
 // Snapshot + JSON
 // ---------------------------------------------------------------------------
 

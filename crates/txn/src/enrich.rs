@@ -80,8 +80,14 @@ pub struct EnrichedDb {
 impl EnrichedDb {
     /// New store under `mode`.
     pub fn new(mode: IsolationMode) -> Self {
+        Self::with_manager(TxnManager::new(), mode)
+    }
+
+    /// Wrap an existing manager (the `Db` facade shares one store between
+    /// recovery replay and live enrichment).
+    pub fn with_manager(tm: TxnManager, mode: IsolationMode) -> Self {
         EnrichedDb {
-            tm: TxnManager::new(),
+            tm,
             mode,
             stats: Arc::new(ReadStats::default()),
         }

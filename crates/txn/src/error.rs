@@ -18,6 +18,25 @@ pub enum TxnError {
         /// Byte offset of the malformed record.
         offset: usize,
     },
+    /// An I/O failure in the durable log layer. The original
+    /// `std::io::Error` is flattened to its kind + message so the error
+    /// stays `Clone`/`PartialEq` (test assertions compare errors).
+    Io {
+        /// What the log layer was doing (e.g. `append wal-00000001.seg`).
+        context: String,
+        /// Rendered I/O error.
+        message: String,
+    },
+}
+
+impl TxnError {
+    /// Wrap an I/O error with the operation it interrupted.
+    pub fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
+        TxnError::Io {
+            context: context.into(),
+            message: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for TxnError {
@@ -29,6 +48,9 @@ impl fmt::Display for TxnError {
             TxnError::NotActive => write!(f, "transaction is not active"),
             TxnError::CorruptLog { offset } => {
                 write!(f, "corrupt log record at byte offset {offset}")
+            }
+            TxnError::Io { context, message } => {
+                write!(f, "wal io failure during {context}: {message}")
             }
         }
     }

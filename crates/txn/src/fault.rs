@@ -1,0 +1,414 @@
+//! Fault injection for the durable WAL: an in-memory [`WalStore`] that
+//! models the volatile/durable split of a real disk.
+//!
+//! Appended bytes land in a *volatile* buffer (the OS page cache);
+//! `sync` moves them to the *durable* image (the platter). [`crash`]
+//! discards everything volatile — exactly what power loss does — after
+//! which a reopen sees only what was synced. On top of that byte model
+//! the store injects the classic failure modes:
+//!
+//! * **torn write** — an append stops mid-record at a chosen byte and
+//!   errors out;
+//! * **partial fsync** — a `sync` durably retains only a prefix of the
+//!   pending bytes yet reports success (the "lying fsync");
+//! * **bit flip** — a durable byte is mutilated in place (media rot);
+//! * **transient `Interrupted`** — the next *n* operations fail with
+//!   `ErrorKind::Interrupted`, exercising the bounded retry path.
+//!
+//! [`fork`] deep-copies the whole medium so a crash-matrix harness can
+//! re-crash the same history at every byte offset without re-running the
+//! workload.
+//!
+//! [`crash`]: FailpointLog::crash
+//! [`fork`]: FailpointLog::fork
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::durable::WalStore;
+
+#[derive(Debug, Default, Clone)]
+struct FileBuf {
+    durable: Vec<u8>,
+    volatile: Vec<u8>,
+}
+
+impl FileBuf {
+    fn combined(&self) -> Vec<u8> {
+        let mut out = self.durable.clone();
+        out.extend_from_slice(&self.volatile);
+        out
+    }
+
+    fn len(&self) -> u64 {
+        (self.durable.len() + self.volatile.len()) as u64
+    }
+}
+
+#[derive(Debug, Default)]
+struct FailInner {
+    files: BTreeMap<String, FileBuf>,
+    /// Total bytes ever appended (across files) — torn-write marks are
+    /// expressed against this counter.
+    appended_total: u64,
+    torn_at: Option<u64>,
+    interrupts: u32,
+    sync_keep: Option<u64>,
+}
+
+/// An in-memory, crash-able [`WalStore`] with injectable failpoints.
+/// Clones share the same medium (hand one to [`crate::durable::DurableWal`],
+/// keep another to crash and inspect it); [`FailpointLog::fork`] makes an
+/// independent deep copy.
+#[derive(Debug, Clone, Default)]
+pub struct FailpointLog {
+    inner: Arc<Mutex<FailInner>>,
+}
+
+impl FailpointLog {
+    /// Fresh, empty medium with no failpoints armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Independent deep copy of the current medium state (failpoints are
+    /// not copied — forks start clean).
+    pub fn fork(&self) -> FailpointLog {
+        let inner = self.inner.lock();
+        FailpointLog {
+            inner: Arc::new(Mutex::new(FailInner {
+                files: inner.files.clone(),
+                appended_total: inner.appended_total,
+                torn_at: None,
+                interrupts: 0,
+                sync_keep: None,
+            })),
+        }
+    }
+
+    /// Power loss: every unsynced byte vanishes.
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock();
+        for f in inner.files.values_mut() {
+            f.volatile.clear();
+        }
+        // Files created but never synced into existence survive as empty
+        // entries — harmless: recovery treats an empty segment as clean.
+    }
+
+    /// Arm a torn write: the append that would carry the global appended
+    /// byte counter past `mark` stops exactly there and fails.
+    pub fn arm_torn_write(&self, mark: u64) {
+        self.inner.lock().torn_at = Some(mark);
+    }
+
+    /// Arm `n` transient `ErrorKind::Interrupted` failures on subsequent
+    /// append/sync calls.
+    pub fn arm_interrupts(&self, n: u32) {
+        self.inner.lock().interrupts = n;
+    }
+
+    /// Arm a lying fsync: the next `sync` durably retains only the first
+    /// `keep` pending volatile bytes (the rest stays volatile — lost only
+    /// if a crash follows) yet reports success.
+    pub fn arm_partial_sync(&self, keep: u64) {
+        self.inner.lock().sync_keep = Some(keep);
+    }
+
+    /// Flip bit `bit` (0–7) of durable byte `at` in `name` — media rot.
+    pub fn flip_durable_bit(&self, name: &str, at: usize, bit: u8) {
+        let mut inner = self.inner.lock();
+        if let Some(f) = inner.files.get_mut(name) {
+            if at < f.durable.len() {
+                f.durable[at] ^= 1 << (bit & 7);
+            }
+        }
+    }
+
+    /// Cut the durable image of `name` to `len` bytes (and drop anything
+    /// volatile) — simulates a crash that persisted only a prefix.
+    pub fn cut_durable(&self, name: &str, len: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(f) = inner.files.get_mut(name) {
+            f.durable.truncate(len as usize);
+            f.volatile.clear();
+        }
+    }
+
+    /// Durable bytes of `name` (what a crash would preserve).
+    pub fn durable_len(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .files
+            .get(name)
+            .map(|f| f.durable.len() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Total bytes of `name` including unsynced volatile tail.
+    pub fn total_len(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .files
+            .get(name)
+            .map(FileBuf::len)
+            .unwrap_or(0)
+    }
+
+    /// File names present, sorted.
+    pub fn file_names(&self) -> Vec<String> {
+        self.inner.lock().files.keys().cloned().collect()
+    }
+
+    /// Global appended-byte counter (for positioning torn-write marks).
+    pub fn appended_total(&self) -> u64 {
+        self.inner.lock().appended_total
+    }
+}
+
+impl WalStore for FailpointLog {
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.file_names())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.inner
+            .lock()
+            .files
+            .get(name)
+            .map(FileBuf::combined)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_owned()))
+    }
+
+    fn create(&mut self, name: &str) -> io::Result<()> {
+        self.inner.lock().files.entry(name.to_owned()).or_default();
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.interrupts > 0 {
+            inner.interrupts -= 1;
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "injected EINTR"));
+        }
+        let start = inner.appended_total;
+        if let Some(mark) = inner.torn_at {
+            if start < mark && start + data.len() as u64 > mark {
+                let keep = (mark - start) as usize;
+                inner.appended_total = mark;
+                inner.torn_at = None;
+                inner
+                    .files
+                    .entry(name.to_owned())
+                    .or_default()
+                    .volatile
+                    .extend_from_slice(&data[..keep]);
+                return Err(io::Error::other("injected torn write"));
+            }
+        }
+        inner.appended_total += data.len() as u64;
+        inner
+            .files
+            .entry(name.to_owned())
+            .or_default()
+            .volatile
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.interrupts > 0 {
+            inner.interrupts -= 1;
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "injected EINTR"));
+        }
+        let keep = inner.sync_keep.take();
+        let f = inner.files.entry(name.to_owned()).or_default();
+        match keep {
+            Some(k) => {
+                // Lying fsync: only a prefix becomes durable; the
+                // remainder stays in the volatile (cache) image, so a
+                // later crash is what actually loses it.
+                let k = (k as usize).min(f.volatile.len());
+                let moved: Vec<u8> = f.volatile.drain(..k).collect();
+                f.durable.extend_from_slice(&moved);
+            }
+            None => {
+                let moved = std::mem::take(&mut f.volatile);
+                f.durable.extend_from_slice(&moved);
+            }
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        let f = inner
+            .files
+            .get_mut(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_owned()))?;
+        let len = len as usize;
+        if len <= f.durable.len() {
+            f.durable.truncate(len);
+            f.volatile.clear();
+        } else {
+            f.volatile.truncate(len - f.durable.len());
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        self.inner
+            .lock()
+            .files
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_owned()))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        let f = inner
+            .files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, from.to_owned()))?;
+        inner.files.insert(to.to_owned(), f);
+        Ok(())
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        self.inner
+            .lock()
+            .files
+            .get(name)
+            .map(FileBuf::len)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::{DurableWal, FsyncPolicy};
+    use crate::wal::LogRecord;
+    use scdb_types::Value;
+
+    fn w(txn: u64, key: u64, v: i64) -> LogRecord {
+        LogRecord::Write {
+            txn,
+            key,
+            value: Some(Value::Int(v)),
+        }
+    }
+
+    fn open(log: &FailpointLog, policy: FsyncPolicy) -> (DurableWal, crate::durable::WalRecovery) {
+        DurableWal::open(Box::new(log.clone()), policy, 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn crash_discards_unsynced_bytes() {
+        let log = FailpointLog::new();
+        {
+            let (mut wal, _) = open(&log, FsyncPolicy::OnCheckpoint);
+            wal.append_sealed(&[w(1, 1, 1), LogRecord::Commit { txn: 1 }])
+                .unwrap();
+            wal.sync().unwrap();
+            wal.append_sealed(&[w(2, 2, 2), LogRecord::Commit { txn: 2 }])
+                .unwrap();
+            // No sync for txn 2 — and no Drop sync either: crash first.
+            log.crash();
+            std::mem::forget(wal);
+        }
+        let (_wal, rec) = open(&log, FsyncPolicy::OnCheckpoint);
+        assert_eq!(rec.records.len(), 2, "only the synced txn survives");
+    }
+
+    #[test]
+    fn torn_write_leaves_recoverable_prefix() {
+        let log = FailpointLog::new();
+        let (mut wal, _) = open(&log, FsyncPolicy::Always);
+        wal.append_sealed(&[w(1, 1, 1), LogRecord::Commit { txn: 1 }])
+            .unwrap();
+        let mark = log.appended_total() + 5; // mid-frame of the next batch
+        log.arm_torn_write(mark);
+        let err = wal
+            .append_sealed(&[w(2, 2, 2), LogRecord::Commit { txn: 2 }])
+            .unwrap_err();
+        assert!(matches!(err, crate::TxnError::Io { .. }));
+        // Process restart without power loss: the torn partial frame is
+        // still on the medium and must be cut by recovery.
+        drop(wal);
+        let (_wal, rec) = open(&log, FsyncPolicy::Always);
+        assert_eq!(rec.records.len(), 2, "txn 1 intact, torn txn 2 cut");
+        assert!(rec.report.bytes_truncated > 0);
+    }
+
+    #[test]
+    fn partial_fsync_then_crash_loses_suffix_only() {
+        let log = FailpointLog::new();
+        let (mut wal, _) = open(&log, FsyncPolicy::OnCheckpoint);
+        wal.append_sealed(&[w(1, 1, 1), LogRecord::Commit { txn: 1 }])
+            .unwrap();
+        let keep = log.total_len("wal-00000001.seg"); // first batch only
+        wal.append_sealed(&[w(2, 2, 2), LogRecord::Commit { txn: 2 }])
+            .unwrap();
+        log.arm_partial_sync(keep);
+        wal.sync().unwrap(); // lies: txn 2's bytes stay volatile
+        log.crash();
+        std::mem::forget(wal);
+        let (_wal, rec) = open(&log, FsyncPolicy::OnCheckpoint);
+        assert_eq!(rec.records.len(), 2, "partial fsync kept a clean prefix");
+    }
+
+    #[test]
+    fn bit_flip_detected_and_cut() {
+        let log = FailpointLog::new();
+        {
+            let (mut wal, _) = open(&log, FsyncPolicy::Always);
+            wal.append_sealed(&[w(1, 1, 1), LogRecord::Commit { txn: 1 }])
+                .unwrap();
+            wal.append_sealed(&[w(2, 2, 2), LogRecord::Commit { txn: 2 }])
+                .unwrap();
+        }
+        let seg = "wal-00000001.seg";
+        let len = log.durable_len(seg);
+        log.flip_durable_bit(seg, (len - 4) as usize, 3);
+        let (_wal, rec) = open(&log, FsyncPolicy::Always);
+        assert_eq!(rec.records.len(), 3, "flip in txn 2's commit frame");
+        assert!(rec.report.corrupt_tail, "CRC mismatch flagged as corrupt");
+        assert!(rec.report.bytes_truncated > 0);
+    }
+
+    #[test]
+    fn transient_interrupts_are_retried() {
+        scdb_obs::metrics().set_enabled(true);
+        let log = FailpointLog::new();
+        let (mut wal, _) = open(&log, FsyncPolicy::Always);
+        let before = scdb_obs::metrics().counter("txn.wal_retries").get();
+        log.arm_interrupts(3);
+        wal.append_sealed(&[w(1, 1, 1), LogRecord::Commit { txn: 1 }])
+            .unwrap();
+        let after = scdb_obs::metrics().counter("txn.wal_retries").get();
+        assert!(after >= before + 3, "retries recorded: {before} -> {after}");
+        let (_wal, rec) = open(&log, FsyncPolicy::Always);
+        assert_eq!(rec.records.len(), 2);
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let log = FailpointLog::new();
+        let (mut wal, _) = open(&log, FsyncPolicy::Always);
+        wal.append_sealed(&[w(1, 1, 1), LogRecord::Commit { txn: 1 }])
+            .unwrap();
+        let fork = log.fork();
+        wal.append_sealed(&[w(2, 2, 2), LogRecord::Commit { txn: 2 }])
+            .unwrap();
+        let (_w1, rec_fork) = open(&fork, FsyncPolicy::Always);
+        let (_w2, rec_live) = open(&log, FsyncPolicy::Always);
+        assert_eq!(rec_fork.records.len(), 2);
+        assert_eq!(rec_live.records.len(), 4);
+    }
+}

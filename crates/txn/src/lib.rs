@@ -27,12 +27,19 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod enrich;
 pub mod error;
+pub mod fault;
+pub mod frame;
 pub mod mvcc;
 pub mod wal;
 
+pub use durable::{
+    CheckpointStats, DurableWal, FsStore, FsyncPolicy, WalRecovery, WalRecoveryReport, WalStore,
+};
 pub use enrich::{EnrichedDb, IsolationMode, ReadStats};
 pub use error::TxnError;
-pub use mvcc::{Transaction, TxnManager, TxnStatus};
-pub use wal::{LogRecord, RecoveryReport, Wal};
+pub use fault::FailpointLog;
+pub use mvcc::{Transaction, TxnManager, TxnStatus, VersionOrigin};
+pub use wal::{recover_from_bytes, LogRecord, RecoveryReport, Wal};

@@ -123,6 +123,12 @@ impl Transaction {
     pub fn write_set(&self) -> impl Iterator<Item = u64> + '_ {
         self.writes.keys().copied()
     }
+
+    /// Buffered writes as `(key, value)` pairs (`None` = delete). The
+    /// durable facade serializes these into WAL records before commit.
+    pub fn writes(&self) -> impl Iterator<Item = (u64, Option<&Value>)> + '_ {
+        self.writes.iter().map(|(k, v)| (*k, v.as_ref()))
+    }
 }
 
 /// The transaction manager: timestamp oracle plus the shared store.
@@ -220,6 +226,27 @@ impl TxnManager {
         Ok(commit_ts)
     }
 
+    /// First-committer-wins validation without installing anything:
+    /// returns the first conflicting key, if any. The durable facade
+    /// calls this *before* writing the transaction's WAL records — a
+    /// doomed transaction must not reach the log — then commits for
+    /// real; both steps happen under the facade's log mutex so no
+    /// conflicting install can slip between them.
+    pub fn would_conflict(&self, txn: &Transaction) -> Option<u64> {
+        if txn.status != TxnStatus::Active {
+            return None;
+        }
+        let store = self.inner.store.lock();
+        for key in txn.writes.keys() {
+            if let Some(latest) = store.latest(*key) {
+                if latest.commit_ts > txn.snapshot_ts {
+                    return Some(*key);
+                }
+            }
+        }
+        None
+    }
+
     /// Abort explicitly.
     pub fn abort(&self, txn: &mut Transaction) {
         if txn.status == TxnStatus::Active {
@@ -245,11 +272,31 @@ impl TxnManager {
         ts
     }
 
+    /// Install a version outside any transaction during replay/recovery.
+    /// Public variant of the internal raw install used by `Db::open`.
+    pub fn install_recovered(&self, key: u64, value: Option<Value>, origin: VersionOrigin) -> u64 {
+        self.install_raw(key, value, origin)
+    }
+
     /// Read the latest committed value ignoring snapshots (autocommit
     /// read).
     pub fn read_latest(&self, key: u64) -> Option<Value> {
         let store = self.inner.store.lock();
         store.latest(key).and_then(|v| v.value.clone())
+    }
+
+    /// Latest version of every key: `(key, value, origin)`, sorted by
+    /// key. Snapshot/checkpoint code and state digests use this to walk
+    /// the whole store.
+    pub fn latest_entries(&self) -> Vec<(u64, Option<Value>, VersionOrigin)> {
+        let store = self.inner.store.lock();
+        let mut out: Vec<_> = store
+            .chains
+            .iter()
+            .filter_map(|(k, chain)| chain.last().map(|v| (*k, v.value.clone(), v.origin)))
+            .collect();
+        out.sort_by_key(|(k, _, _)| *k);
+        out
     }
 
     /// Snapshot-free visibility query used by the enrichment layer.

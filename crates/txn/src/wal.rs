@@ -3,9 +3,21 @@
 //! A minimal but complete redo log: every transactional write is appended
 //! before commit; a commit record seals the transaction; recovery replays
 //! only sealed transactions (uncommitted tails are discarded, torn/corrupt
-//! suffixes are cut at the last valid record). The log serializes to bytes
-//! so durability can be layered on any medium; here it lives in memory
-//! (tests exercise the full encode → crash → decode → replay path).
+//! suffixes are cut at the last valid record and the truncated byte count
+//! is reported, not swallowed). The log serializes to bytes so durability
+//! can be layered on any medium; [`crate::durable::DurableWal`] layers the
+//! segmented on-disk format (per-record CRC32 framing) on top of the
+//! per-record codec exposed here.
+//!
+//! Besides the classical kv records (`Write`/`Commit`/`Abort`), the log
+//! carries the curation pipeline's own mutations: `SourceReg` (source
+//! registration), `IngestRow` (one raw record entering the instance
+//! layer), `DiscoverLinks` (an instance-level link discovery sweep) and
+//! `Enrich` (an auto-committed curation write). The core crate replays
+//! these through the same ingest pipeline on [`Db::open`]; this crate's
+//! [`recover`] only interprets the kv subset.
+//!
+//! [`Db::open`]: https://docs.rs/scdb-core
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use scdb_types::Value;
@@ -38,14 +50,50 @@ pub enum LogRecord {
     /// A checkpoint: all records before this offset are reflected in the
     /// checkpointed state.
     Checkpoint,
+    /// A source registration in the instance layer.
+    SourceReg {
+        /// Source name.
+        name: String,
+        /// Configured identity attribute, if any.
+        identity_attr: Option<String>,
+    },
+    /// One raw record entering the instance layer via `Db::ingest`.
+    IngestRow {
+        /// The ingest transaction this row belongs to.
+        txn: u64,
+        /// Source name the row was ingested into.
+        source: String,
+        /// Attribute name/value pairs in record order.
+        attrs: Vec<(String, Value)>,
+        /// Free-text payload indexed alongside the row, if any.
+        text: Option<String>,
+    },
+    /// An instance-level link discovery sweep (mutates the graph).
+    DiscoverLinks {
+        /// The ingest transaction sealing this sweep.
+        txn: u64,
+    },
+    /// An auto-committed curation write to the kv/enrichment store.
+    Enrich {
+        /// Key written.
+        key: u64,
+        /// New value (`None` retracts).
+        value: Option<Value>,
+    },
 }
 
 const TAG_WRITE: u8 = 1;
 const TAG_COMMIT: u8 = 2;
 const TAG_ABORT: u8 = 3;
 const TAG_CHECKPOINT: u8 = 4;
+const TAG_SOURCE_REG: u8 = 5;
+const TAG_INGEST_ROW: u8 = 6;
+const TAG_DISCOVER_LINKS: u8 = 7;
+const TAG_ENRICH: u8 = 8;
 
-fn put_value(buf: &mut BytesMut, v: &Option<Value>) {
+/// Serialize an optional [`Value`] in the WAL wire format (shared with
+/// the core crate's snapshot files).
+pub fn put_value(buf: &mut BytesMut, v: &Option<Value>) {
     match v {
         None => buf.put_u8(0),
         Some(Value::Null) => buf.put_u8(1),
@@ -82,7 +130,9 @@ fn put_value(buf: &mut BytesMut, v: &Option<Value>) {
     }
 }
 
-fn get_value(buf: &mut Bytes, at: usize) -> Result<Option<Value>, TxnError> {
+/// Decode an optional [`Value`] written by [`put_value`]. `at` is only
+/// used to report the offset in the error.
+pub fn get_value(buf: &mut Bytes, at: usize) -> Result<Option<Value>, TxnError> {
     let corrupt = TxnError::CorruptLog { offset: at };
     if buf.remaining() < 1 {
         return Err(corrupt);
@@ -130,6 +180,189 @@ fn get_value(buf: &mut Bytes, at: usize) -> Result<Option<Value>, TxnError> {
     }
 }
 
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes, at: usize) -> Result<String, TxnError> {
+    let corrupt = TxnError::CorruptLog { offset: at };
+    if buf.remaining() < 4 {
+        return Err(corrupt);
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(corrupt);
+    }
+    let bytes = buf.copy_to_bytes(len);
+    std::str::from_utf8(&bytes)
+        .map(str::to_owned)
+        .map_err(|_| corrupt)
+}
+
+fn put_opt_str(buf: &mut BytesMut, s: &Option<String>) {
+    match s {
+        None => buf.put_u8(0),
+        Some(s) => {
+            buf.put_u8(1);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_opt_str(buf: &mut Bytes, at: usize) -> Result<Option<String>, TxnError> {
+    if buf.remaining() < 1 {
+        return Err(TxnError::CorruptLog { offset: at });
+    }
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => Ok(Some(get_str(buf, at)?)),
+        _ => Err(TxnError::CorruptLog { offset: at }),
+    }
+}
+
+/// Serialize one record into `buf` (no framing — the durable layer adds
+/// length + CRC32 around each record).
+pub fn encode_record(buf: &mut BytesMut, record: &LogRecord) {
+    match record {
+        LogRecord::Write { txn, key, value } => {
+            buf.put_u8(TAG_WRITE);
+            buf.put_u64(*txn);
+            buf.put_u64(*key);
+            put_value(buf, value);
+        }
+        LogRecord::Commit { txn } => {
+            buf.put_u8(TAG_COMMIT);
+            buf.put_u64(*txn);
+        }
+        LogRecord::Abort { txn } => {
+            buf.put_u8(TAG_ABORT);
+            buf.put_u64(*txn);
+        }
+        LogRecord::Checkpoint => buf.put_u8(TAG_CHECKPOINT),
+        LogRecord::SourceReg {
+            name,
+            identity_attr,
+        } => {
+            buf.put_u8(TAG_SOURCE_REG);
+            put_str(buf, name);
+            put_opt_str(buf, identity_attr);
+        }
+        LogRecord::IngestRow {
+            txn,
+            source,
+            attrs,
+            text,
+        } => {
+            buf.put_u8(TAG_INGEST_ROW);
+            buf.put_u64(*txn);
+            put_str(buf, source);
+            buf.put_u32(attrs.len() as u32);
+            for (name, value) in attrs {
+                put_str(buf, name);
+                put_value(buf, &Some(value.clone()));
+            }
+            put_opt_str(buf, text);
+        }
+        LogRecord::DiscoverLinks { txn } => {
+            buf.put_u8(TAG_DISCOVER_LINKS);
+            buf.put_u64(*txn);
+        }
+        LogRecord::Enrich { key, value } => {
+            buf.put_u8(TAG_ENRICH);
+            buf.put_u64(*key);
+            put_value(buf, value);
+        }
+    }
+}
+
+/// Decode one record from `data` (the cursor advances past it). `at` is
+/// the logical offset used in corruption errors.
+pub fn decode_record(data: &mut Bytes, at: usize) -> Result<LogRecord, TxnError> {
+    let corrupt = TxnError::CorruptLog { offset: at };
+    if data.remaining() < 1 {
+        return Err(corrupt);
+    }
+    let tag = data.get_u8();
+    match tag {
+        TAG_WRITE => {
+            if data.remaining() < 16 {
+                return Err(corrupt);
+            }
+            let txn = data.get_u64();
+            let key = data.get_u64();
+            let value = get_value(data, at)?;
+            Ok(LogRecord::Write { txn, key, value })
+        }
+        TAG_COMMIT => {
+            if data.remaining() < 8 {
+                return Err(corrupt);
+            }
+            Ok(LogRecord::Commit {
+                txn: data.get_u64(),
+            })
+        }
+        TAG_ABORT => {
+            if data.remaining() < 8 {
+                return Err(corrupt);
+            }
+            Ok(LogRecord::Abort {
+                txn: data.get_u64(),
+            })
+        }
+        TAG_CHECKPOINT => Ok(LogRecord::Checkpoint),
+        TAG_SOURCE_REG => {
+            let name = get_str(data, at)?;
+            let identity_attr = get_opt_str(data, at)?;
+            Ok(LogRecord::SourceReg {
+                name,
+                identity_attr,
+            })
+        }
+        TAG_INGEST_ROW => {
+            if data.remaining() < 8 {
+                return Err(corrupt);
+            }
+            let txn = data.get_u64();
+            let source = get_str(data, at)?;
+            if data.remaining() < 4 {
+                return Err(corrupt);
+            }
+            let n = data.get_u32() as usize;
+            let mut attrs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let name = get_str(data, at)?;
+                let value = get_value(data, at)?.ok_or_else(|| corrupt.clone())?;
+                attrs.push((name, value));
+            }
+            let text = get_opt_str(data, at)?;
+            Ok(LogRecord::IngestRow {
+                txn,
+                source,
+                attrs,
+                text,
+            })
+        }
+        TAG_DISCOVER_LINKS => {
+            if data.remaining() < 8 {
+                return Err(corrupt);
+            }
+            Ok(LogRecord::DiscoverLinks {
+                txn: data.get_u64(),
+            })
+        }
+        TAG_ENRICH => {
+            if data.remaining() < 8 {
+                return Err(corrupt);
+            }
+            let key = data.get_u64();
+            let value = get_value(data, at)?;
+            Ok(LogRecord::Enrich { key, value })
+        }
+        _ => Err(corrupt),
+    }
+}
+
 /// An append-only in-memory write-ahead log.
 #[derive(Debug, Default)]
 pub struct Wal {
@@ -163,42 +396,56 @@ impl Wal {
         self.records.is_empty()
     }
 
-    /// Truncate everything before the last checkpoint (log compaction).
+    /// Log compaction around the last checkpoint.
+    ///
+    /// Transactions *sealed* (committed or aborted) before the checkpoint
+    /// are fully reflected in the checkpointed state, so their records —
+    /// and the checkpoint marker itself — are dropped. Records belonging
+    /// to transactions still open at the checkpoint are **retained**:
+    /// dropping them would lose the transaction's writes if it commits
+    /// after the checkpoint (the bug this used to have). Returns the
+    /// number of records dropped.
     pub fn compact(&mut self) -> usize {
-        if let Some(pos) = self
+        let Some(pos) = self
             .records
             .iter()
             .rposition(|r| matches!(r, LogRecord::Checkpoint))
-        {
-            let dropped = pos + 1;
-            self.records.drain(..dropped);
-            dropped
-        } else {
-            0
+        else {
+            return 0;
+        };
+        use std::collections::HashSet;
+        let mut sealed: HashSet<u64> = HashSet::new();
+        for r in &self.records[..pos] {
+            match r {
+                LogRecord::Commit { txn } | LogRecord::Abort { txn } => {
+                    sealed.insert(*txn);
+                }
+                _ => {}
+            }
         }
+        let before = self.records.len();
+        let tail = self.records.split_off(pos + 1);
+        let head = std::mem::take(&mut self.records);
+        let mut kept: Vec<LogRecord> = head
+            .into_iter()
+            .take(pos) // drop the checkpoint marker itself
+            .filter(|r| match r {
+                LogRecord::Write { txn, .. }
+                | LogRecord::IngestRow { txn, .. }
+                | LogRecord::DiscoverLinks { txn } => !sealed.contains(txn),
+                _ => false,
+            })
+            .collect();
+        kept.extend(tail);
+        self.records = kept;
+        before - self.records.len()
     }
 
     /// Serialize to bytes.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
         for r in &self.records {
-            match r {
-                LogRecord::Write { txn, key, value } => {
-                    buf.put_u8(TAG_WRITE);
-                    buf.put_u64(*txn);
-                    buf.put_u64(*key);
-                    put_value(&mut buf, value);
-                }
-                LogRecord::Commit { txn } => {
-                    buf.put_u8(TAG_COMMIT);
-                    buf.put_u64(*txn);
-                }
-                LogRecord::Abort { txn } => {
-                    buf.put_u8(TAG_ABORT);
-                    buf.put_u64(*txn);
-                }
-                LogRecord::Checkpoint => buf.put_u8(TAG_CHECKPOINT),
-            }
+            encode_record(&mut buf, r);
         }
         scdb_obs::metrics().add("txn.wal_bytes", buf.len() as u64);
         buf.freeze()
@@ -206,51 +453,39 @@ impl Wal {
 
     /// Decode from bytes, stopping cleanly at a torn suffix: records up to
     /// the first malformed byte are kept, the rest is discarded (standard
-    /// crash-recovery semantics for a torn tail).
-    pub fn decode(mut data: Bytes) -> Wal {
+    /// crash-recovery semantics for a torn tail). Use
+    /// [`Wal::decode_reporting`] to also learn how many bytes were cut.
+    pub fn decode(data: Bytes) -> Wal {
+        Wal::decode_reporting(data).0
+    }
+
+    /// Decode from bytes, returning the log plus the number of bytes
+    /// discarded at the torn/corrupt suffix. A non-zero count is surfaced
+    /// as an `scdb-obs` warning and the `txn.wal_truncated_bytes` counter
+    /// rather than silently dropped.
+    pub fn decode_reporting(mut data: Bytes) -> (Wal, usize) {
         let total = data.len();
         let mut records = Vec::new();
+        let mut truncated = 0usize;
         while data.has_remaining() {
             let at = total - data.remaining();
-            let tag = data.get_u8();
-            let parsed: Result<LogRecord, TxnError> = (|| {
-                let corrupt = TxnError::CorruptLog { offset: at };
-                match tag {
-                    TAG_WRITE => {
-                        if data.remaining() < 16 {
-                            return Err(corrupt);
-                        }
-                        let txn = data.get_u64();
-                        let key = data.get_u64();
-                        let value = get_value(&mut data, at)?;
-                        Ok(LogRecord::Write { txn, key, value })
-                    }
-                    TAG_COMMIT => {
-                        if data.remaining() < 8 {
-                            return Err(corrupt);
-                        }
-                        Ok(LogRecord::Commit {
-                            txn: data.get_u64(),
-                        })
-                    }
-                    TAG_ABORT => {
-                        if data.remaining() < 8 {
-                            return Err(corrupt);
-                        }
-                        Ok(LogRecord::Abort {
-                            txn: data.get_u64(),
-                        })
-                    }
-                    TAG_CHECKPOINT => Ok(LogRecord::Checkpoint),
-                    _ => Err(corrupt),
-                }
-            })();
-            match parsed {
+            match decode_record(&mut data, at) {
                 Ok(r) => records.push(r),
-                Err(_) => break, // torn tail
+                Err(_) => {
+                    truncated = total - at;
+                    break; // torn tail
+                }
             }
         }
-        Wal { records }
+        if truncated > 0 {
+            scdb_obs::metrics().add("txn.wal_truncated_bytes", truncated as u64);
+            scdb_obs::warn(format!(
+                "wal: discarded {truncated} byte(s) of torn/corrupt log suffix \
+                 after {} clean record(s)",
+                records.len()
+            ));
+        }
+        (Wal { records }, truncated)
     }
 }
 
@@ -263,11 +498,27 @@ pub struct RecoveryReport {
     pub writes_installed: usize,
     /// Transactions discarded (no commit record).
     pub transactions_discarded: usize,
+    /// Bytes discarded at the torn/corrupt log suffix (0 when recovering
+    /// from an in-memory log that was never serialized).
+    pub bytes_truncated: usize,
 }
 
 /// Redo recovery: replay committed transactions' writes, in log order,
-/// into a fresh [`TxnManager`].
+/// into a fresh [`TxnManager`]. Only the kv subset (`Write`) installs
+/// state here; curation records (`IngestRow` et al.) are replayed by the
+/// core crate's `Db::open` and merely participate in commit accounting.
 pub fn recover(wal: &Wal) -> (TxnManager, RecoveryReport) {
+    recover_with_truncation(wal, 0)
+}
+
+/// [`recover`] over a serialized log, threading the torn-suffix byte
+/// count from decoding into the report.
+pub fn recover_from_bytes(data: Bytes) -> (TxnManager, RecoveryReport) {
+    let (wal, truncated) = Wal::decode_reporting(data);
+    recover_with_truncation(&wal, truncated)
+}
+
+fn recover_with_truncation(wal: &Wal, bytes_truncated: usize) -> (TxnManager, RecoveryReport) {
     use std::collections::{HashMap, HashSet};
     let mut committed: HashSet<u64> = HashSet::new();
     let mut seen: HashSet<u64> = HashSet::new();
@@ -276,10 +527,14 @@ pub fn recover(wal: &Wal) -> (TxnManager, RecoveryReport) {
             committed.insert(*txn);
         }
         match r {
-            LogRecord::Write { txn, .. } | LogRecord::Commit { txn } | LogRecord::Abort { txn } => {
+            LogRecord::Write { txn, .. }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn }
+            | LogRecord::IngestRow { txn, .. }
+            | LogRecord::DiscoverLinks { txn } => {
                 seen.insert(*txn);
             }
-            LogRecord::Checkpoint => {}
+            LogRecord::Checkpoint | LogRecord::SourceReg { .. } | LogRecord::Enrich { .. } => {}
         }
     }
     let tm = TxnManager::new();
@@ -303,6 +558,10 @@ pub fn recover(wal: &Wal) -> (TxnManager, RecoveryReport) {
                     }
                 }
             }
+            LogRecord::Enrich { key, value } => {
+                tm.install_raw(*key, value.clone(), VersionOrigin::Enrichment);
+                writes_installed += 1;
+            }
             _ => {}
         }
     }
@@ -310,6 +569,7 @@ pub fn recover(wal: &Wal) -> (TxnManager, RecoveryReport) {
         transactions_replayed: committed.len(),
         writes_installed,
         transactions_discarded: seen.len().saturating_sub(committed.len()),
+        bytes_truncated,
     };
     (tm, report)
 }
@@ -370,14 +630,49 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_curation_records() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::SourceReg {
+            name: "drugbank".into(),
+            identity_attr: Some("drug".into()),
+        });
+        wal.append(LogRecord::SourceReg {
+            name: "free".into(),
+            identity_attr: None,
+        });
+        wal.append(LogRecord::IngestRow {
+            txn: (1 << 63) | 7,
+            source: "drugbank".into(),
+            attrs: vec![
+                ("drug".into(), Value::str("Warfarin")),
+                ("dose".into(), Value::Float(5.1)),
+                ("ok".into(), Value::Bool(true)),
+            ],
+            text: Some("an anticoagulant".into()),
+        });
+        wal.append(LogRecord::DiscoverLinks { txn: (1 << 63) | 8 });
+        wal.append(LogRecord::Enrich {
+            key: 42,
+            value: Some(Value::Int(9)),
+        });
+        wal.append(LogRecord::Enrich {
+            key: 42,
+            value: None,
+        });
+        let decoded = Wal::decode(wal.encode());
+        assert_eq!(decoded.records(), wal.records());
+    }
+
+    #[test]
     fn torn_tail_truncated() {
         let wal = sample();
         let bytes = wal.encode();
         // Cut mid-record.
         let torn = bytes.slice(0..bytes.len() - 3);
-        let decoded = Wal::decode(torn);
+        let (decoded, truncated) = Wal::decode_reporting(torn);
         assert!(decoded.len() < wal.len());
         assert!(decoded.len() >= 3, "prefix preserved");
+        assert!(truncated > 0, "cut bytes are reported, not swallowed");
     }
 
     #[test]
@@ -387,6 +682,7 @@ mod tests {
         assert_eq!(report.transactions_replayed, 1);
         assert_eq!(report.writes_installed, 1);
         assert_eq!(report.transactions_discarded, 2);
+        assert_eq!(report.bytes_truncated, 0);
         assert_eq!(tm.read_latest(10), Some(Value::Int(1)));
         assert_eq!(tm.read_latest(20), None, "uncommitted write dropped");
         assert_eq!(tm.read_latest(30), None, "aborted write dropped");
@@ -416,26 +712,53 @@ mod tests {
         });
         // Crash before commit record.
         let bytes = wal.encode();
-        let (recovered, report) = recover(&Wal::decode(bytes));
+        let (recovered, report) = recover_from_bytes(bytes);
         assert_eq!(recovered.read_latest(1), Some(Value::Int(100)));
         assert_eq!(recovered.read_latest(2), None);
         assert_eq!(report.transactions_discarded, 1);
     }
 
     #[test]
-    fn compaction_drops_through_checkpoint() {
+    fn compaction_drops_sealed_keeps_unsealed() {
         let mut wal = sample();
         wal.append(LogRecord::Checkpoint);
         wal.append(LogRecord::Commit { txn: 9 });
         let dropped = wal.compact();
-        assert_eq!(dropped, 6);
-        assert_eq!(wal.len(), 1);
+        // txn 1 (committed) and txn 3 (aborted) are sealed before the
+        // checkpoint: their three records plus the commit/abort seals and
+        // the checkpoint marker go. txn 2 is still open: its write stays.
+        assert_eq!(dropped, 5);
+        assert_eq!(wal.len(), 2);
+        assert!(matches!(wal.records()[0], LogRecord::Write { txn: 2, .. }));
+        assert!(matches!(wal.records()[1], LogRecord::Commit { txn: 9 }));
         assert_eq!(wal.compact(), 0, "no checkpoint left");
     }
 
     #[test]
-    fn garbage_bytes_yield_empty_log() {
-        let decoded = Wal::decode(Bytes::from_static(&[0xFF, 0x00, 0x01]));
+    fn compaction_never_loses_txn_that_commits_after_checkpoint() {
+        // The regression the old drain-everything compaction had: a write
+        // lands, a checkpoint runs while the txn is open, the txn commits,
+        // then we compact again — the write must still replay.
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Write {
+            txn: 5,
+            key: 50,
+            value: Some(Value::Int(500)),
+        });
+        wal.append(LogRecord::Checkpoint);
+        wal.append(LogRecord::Commit { txn: 5 });
+        wal.compact();
+        let (tm, report) = recover(&wal);
+        assert_eq!(report.transactions_replayed, 1);
+        assert_eq!(tm.read_latest(50), Some(Value::Int(500)));
+    }
+
+    #[test]
+    fn garbage_bytes_yield_empty_log_with_reported_truncation() {
+        let (decoded, truncated) = Wal::decode_reporting(Bytes::from_static(&[0xFF, 0x00, 0x01]));
         assert!(decoded.is_empty());
+        assert_eq!(truncated, 3, "corrupt suffix byte count is threaded out");
+        let (_, report) = recover_from_bytes(Bytes::from_static(&[0xFF, 0x00, 0x01]));
+        assert_eq!(report.bytes_truncated, 3);
     }
 }

@@ -126,6 +126,13 @@ impl IdGen {
     pub fn count(&self) -> u64 {
         self.next
     }
+
+    /// Ensure future ids are strictly greater than `id` — used when
+    /// adopting externally-assigned ids (snapshot rehydration) so fresh
+    /// mints never collide with recovered entities.
+    pub fn advance_past(&mut self, id: EntityId) {
+        self.next = self.next.max(id.0 + 1);
+    }
 }
 
 #[cfg(test)]

@@ -18,4 +18,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 echo "== cargo test -q"
 cargo test -q --offline
 
+echo "== crash matrix (release)"
+cargo test -q --offline --release -p scdb-bench --test durability_crash_matrix
+
+echo "== cargo test -q --release"
+cargo test -q --offline --release
+
 echo "== ci green"

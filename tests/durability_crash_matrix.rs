@@ -1,0 +1,300 @@
+//! The durability crash matrix (ISSUE 3 tentpole acceptance).
+//!
+//! A deterministic curation schedule (from `scdb_datagen::crash`) runs
+//! against a [`FailpointLog`]-backed durable [`Db`]. The medium is forked
+//! at **every operation boundary** and, within each operation's byte
+//! range, cut at **mid-record offsets**; each fork is reopened and its
+//! [`Db::state_dump`] compared against an in-memory reference database
+//! that applied exactly the committed prefix. On top of the clean-crash
+//! sweep, the matrix injects the classic failure modes — bit rot on the
+//! durable tail, a lying fsync followed by power loss, transient
+//! `Interrupted` errors — and exercises the real-file [`FsStore`] path
+//! with checkpoints and multiple reopen generations.
+
+use std::collections::BTreeMap;
+
+use scdb_bench::apply_curation_op as apply;
+use scdb_core::{CoreError, Db, FsyncPolicy};
+use scdb_datagen::crash::{crash_schedule, CurationOp, ScheduleConfig};
+use scdb_txn::FailpointLog;
+use scdb_types::Value;
+
+fn open_store(log: &FailpointLog, segment_bytes: u64) -> Result<Db, CoreError> {
+    Db::builder()
+        .durability_store(Box::new(log.clone()), FsyncPolicy::Always)
+        .segment_bytes(segment_bytes)
+        .open()
+}
+
+fn durable_sizes(log: &FailpointLog) -> BTreeMap<String, u64> {
+    log.file_names()
+        .into_iter()
+        .map(|name| {
+            let len = log.durable_len(&name);
+            (name, len)
+        })
+        .collect()
+}
+
+/// Run `ops` against a fresh durable db + volatile reference, capturing a
+/// fork of the medium, the reference dump, and the durable file sizes
+/// after every op (index 0 = before any op).
+struct MatrixRun {
+    forks: Vec<FailpointLog>,
+    dumps: Vec<String>,
+    sizes: Vec<BTreeMap<String, u64>>,
+}
+
+fn run_schedule(ops: &[CurationOp], segment_bytes: u64) -> MatrixRun {
+    let live = FailpointLog::new();
+    let db = open_store(&live, segment_bytes).expect("open live store");
+    let reference = Db::builder().build();
+    let mut run = MatrixRun {
+        forks: vec![live.fork()],
+        dumps: vec![reference.state_dump()],
+        sizes: vec![durable_sizes(&live)],
+    };
+    for (i, op) in ops.iter().enumerate() {
+        apply(&db, op).unwrap_or_else(|e| panic!("durable op {i} ({op:?}): {e}"));
+        apply(&reference, op).unwrap_or_else(|e| panic!("reference op {i} ({op:?}): {e}"));
+        run.forks.push(live.fork());
+        run.dumps.push(reference.state_dump());
+        run.sizes.push(durable_sizes(&live));
+    }
+    assert_eq!(
+        db.state_dump(),
+        *run.dumps.last().unwrap(),
+        "durable db diverged from the reference before any crash"
+    );
+    run
+}
+
+#[test]
+fn crash_at_every_op_boundary_recovers_the_committed_prefix() {
+    let ops = crash_schedule(
+        &ScheduleConfig {
+            ops: 30,
+            kv_rate: 0.3,
+            ..ScheduleConfig::default()
+        },
+        42,
+    );
+    // 512-byte segments so the boundary sweep crosses several rotations.
+    let run = run_schedule(&ops, 512);
+    for (k, fork) in run.forks.iter().enumerate() {
+        fork.crash(); // power loss: FsyncPolicy::Always ⇒ nothing volatile
+        let recovered = open_store(fork, 512).expect("reopen after crash");
+        assert_eq!(
+            recovered.state_dump(),
+            run.dumps[k],
+            "crash after op {k} must recover exactly ops[0..{k}]"
+        );
+    }
+}
+
+#[test]
+fn crash_mid_record_truncates_to_the_previous_commit() {
+    let ops = crash_schedule(
+        &ScheduleConfig {
+            ops: 20,
+            kv_rate: 0.3,
+            ..ScheduleConfig::default()
+        },
+        7,
+    );
+    let run = run_schedule(&ops, 512);
+    let mut cuts_tested = 0usize;
+    for k in 1..=ops.len() {
+        // Which file did op k grow? Exactly one (a batch never spans
+        // segments; rotation creates the next file empty).
+        let before = &run.sizes[k - 1];
+        let after = &run.sizes[k];
+        let grown: Vec<_> = after
+            .iter()
+            .filter(|(name, len)| **len > before.get(*name).copied().unwrap_or(0))
+            .collect();
+        assert!(grown.len() <= 1, "op {k} ({:?}) grew {grown:?}", ops[k - 1]);
+        let Some((name, end)) = grown.first().map(|(n, l)| ((*n).clone(), **l)) else {
+            continue; // op logged nothing new (cannot happen today)
+        };
+        let start = before.get(&name).copied().unwrap_or(0);
+        // Cut the durable image at every 5th byte inside the op's range,
+        // plus both edges of the final frame.
+        let mut offsets: Vec<u64> = (start + 1..end).step_by(5).collect();
+        offsets.push(end - 1);
+        offsets.sort_unstable();
+        offsets.dedup();
+        for cut in offsets {
+            let victim = run.forks[k].fork();
+            victim.cut_durable(&name, cut);
+            let recovered = open_store(&victim, 512).expect("reopen after cut");
+            assert_eq!(
+                recovered.state_dump(),
+                run.dumps[k - 1],
+                "cut at byte {cut} of {name} (op {k}, {:?}) must discard the torn txn",
+                ops[k - 1]
+            );
+            cuts_tested += 1;
+        }
+        // Cutting exactly at the batch end keeps the whole op.
+        let whole = run.forks[k].fork();
+        whole.cut_durable(&name, end);
+        let recovered = open_store(&whole, 512).expect("reopen at batch end");
+        assert_eq!(recovered.state_dump(), run.dumps[k]);
+    }
+    assert!(
+        cuts_tested > 100,
+        "matrix actually swept bytes: {cuts_tested}"
+    );
+}
+
+#[test]
+fn crash_matrix_survives_checkpoints() {
+    let ops = crash_schedule(
+        &ScheduleConfig {
+            ops: 30,
+            kv_rate: 0.25,
+            checkpoint_every: Some(7),
+            ..ScheduleConfig::default()
+        },
+        11,
+    );
+    assert!(ops.iter().any(|o| matches!(o, CurationOp::Checkpoint)));
+    let run = run_schedule(&ops, 512);
+    let mut snapshot_recoveries = 0usize;
+    for (k, fork) in run.forks.iter().enumerate() {
+        fork.crash();
+        let recovered = open_store(fork, 512).expect("reopen after crash");
+        assert_eq!(
+            recovered.state_dump(),
+            run.dumps[k],
+            "crash after op {k} (checkpointed schedule)"
+        );
+        let report = recovered
+            .recovery_report()
+            .expect("durable open has a report");
+        if report.wal.snapshot_seq.is_some() {
+            snapshot_recoveries += 1;
+            assert!(
+                report.snapshot_rows > 0 || report.records_replayed < k,
+                "snapshot recovery at op {k} did real work"
+            );
+        }
+    }
+    assert!(
+        snapshot_recoveries > 0,
+        "at least the post-checkpoint forks recover via snapshot"
+    );
+}
+
+#[test]
+fn bit_rot_on_the_tail_discards_only_the_last_txn() {
+    let ops = crash_schedule(
+        &ScheduleConfig {
+            ops: 15,
+            kv_rate: 0.3,
+            ..ScheduleConfig::default()
+        },
+        3,
+    );
+    // One big segment so the flipped byte is always in the live tail.
+    let run = run_schedule(&ops, 1 << 20);
+    let fork = run.forks.last().unwrap().fork();
+    let seg = "wal-00000001.seg";
+    let len = fork.durable_len(seg);
+    assert!(len > 8);
+    fork.flip_durable_bit(seg, (len - 4) as usize, 3);
+    let recovered = open_store(&fork, 1 << 20).expect("reopen after bit flip");
+    assert_eq!(
+        recovered.state_dump(),
+        run.dumps[ops.len() - 1],
+        "flipping the final frame voids exactly the last op"
+    );
+    let report = recovered.recovery_report().unwrap();
+    assert!(
+        report.wal.corrupt_tail,
+        "CRC mismatch is flagged as corruption"
+    );
+    assert!(report.wal.bytes_truncated > 0);
+}
+
+#[test]
+fn lying_fsync_then_power_loss_loses_only_the_unsynced_suffix() {
+    let ops = crash_schedule(&ScheduleConfig::default(), 5);
+    let live = FailpointLog::new();
+    let db = open_store(&live, 1 << 20).unwrap();
+    let reference = Db::builder().build();
+    for op in &ops {
+        apply(&db, op).unwrap();
+        apply(&reference, op).unwrap();
+    }
+    let committed = reference.state_dump();
+    // The next commit's fsync lies: it reports success but persists none
+    // of the pending bytes. The write is then lost to the power cut —
+    // the recovered state must still be the clean committed prefix.
+    live.arm_partial_sync(0);
+    db.kv_enrich(99, Value::Int(-1)).unwrap();
+    live.crash();
+    drop(db);
+    let recovered = open_store(&live, 1 << 20).expect("reopen after lying fsync");
+    assert_eq!(recovered.state_dump(), committed);
+}
+
+#[test]
+fn transient_interrupts_are_retried_transparently() {
+    let ops = crash_schedule(&ScheduleConfig::default(), 9);
+    let live = FailpointLog::new();
+    let db = open_store(&live, 1 << 20).unwrap();
+    let reference = Db::builder().build();
+    for (i, op) in ops.iter().enumerate() {
+        if i % 4 == 0 {
+            live.arm_interrupts(2); // below the bounded-retry limit
+        }
+        apply(&db, op).unwrap_or_else(|e| panic!("op {i} not retried: {e}"));
+        apply(&reference, op).unwrap();
+    }
+    live.crash();
+    let recovered = open_store(&live, 1 << 20).unwrap();
+    assert_eq!(recovered.state_dump(), reference.state_dump());
+}
+
+#[test]
+fn fs_store_schedule_survives_reopen_generations() {
+    let dir = std::env::temp_dir().join(format!("scdb-crash-matrix-fs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ops = crash_schedule(
+        &ScheduleConfig {
+            ops: 30,
+            kv_rate: 0.25,
+            checkpoint_every: Some(10),
+            ..ScheduleConfig::default()
+        },
+        21,
+    );
+    let reference = Db::builder().build();
+    {
+        let db = Db::builder()
+            .durability(&dir, FsyncPolicy::EveryN(4))
+            .segment_bytes(1024)
+            .open()
+            .unwrap();
+        for op in &ops {
+            apply(&db, op).unwrap();
+            apply(&reference, op).unwrap();
+        }
+        // Clean shutdown: Drop syncs the EveryN tail.
+    }
+    // Generation 2: recover, verify, keep curating.
+    let db = Db::open(&dir).unwrap();
+    assert_eq!(db.state_dump(), reference.state_dump());
+    let more = crash_schedule(&ScheduleConfig::default(), 22);
+    for op in &more {
+        apply(&db, op).unwrap();
+        apply(&reference, op).unwrap();
+    }
+    drop(db);
+    // Generation 3: both rounds survive.
+    let db = Db::open(&dir).unwrap();
+    assert_eq!(db.state_dump(), reference.state_dump());
+    let _ = std::fs::remove_dir_all(&dir);
+}

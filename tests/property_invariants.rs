@@ -257,3 +257,74 @@ proptest! {
         prop_assert_eq!(reparsed, q);
     }
 }
+
+use scdb_bench::apply_curation_op;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ingest → crash → recover ≡ the committed prefix: for any seeded
+    /// curation schedule, crash point, and torn-tail trim, the recovered
+    /// database equals the reference state after some committed prefix of
+    /// the schedule — exactly the crash-boundary prefix when the tail is
+    /// intact.
+    #[test]
+    fn crash_recovery_yields_a_committed_prefix(
+        seed in any::<u64>(),
+        n_ops in 5usize..20,
+        frac in 0.0f64..=1.0,
+        trim in 0u64..48,
+    ) {
+        use scdb_core::{Db, FsyncPolicy};
+        use scdb_datagen::crash::{crash_schedule, ScheduleConfig};
+        use scdb_txn::FailpointLog;
+
+        let ops = crash_schedule(
+            &ScheduleConfig { ops: n_ops, kv_rate: 0.3, ..ScheduleConfig::default() },
+            seed,
+        );
+        let live = FailpointLog::new();
+        let db = Db::builder()
+            .durability_store(Box::new(live.clone()), FsyncPolicy::Always)
+            .segment_bytes(512)
+            .open()
+            .unwrap();
+        let reference = Db::builder().build();
+        let mut dumps = vec![reference.state_dump()];
+        let mut forks = vec![live.fork()];
+        for op in &ops {
+            apply_curation_op(&db, op).unwrap();
+            apply_curation_op(&reference, op).unwrap();
+            dumps.push(reference.state_dump());
+            forks.push(live.fork());
+        }
+        let k = ((frac * ops.len() as f64) as usize).min(ops.len());
+        let fork = forks[k].clone();
+        fork.crash();
+        if trim > 0 {
+            // Mid-record crash: slice bytes off the newest segment. The
+            // cut may land inside a frame or between a write and its
+            // commit seal; recovery must fall back to a commit boundary.
+            if let Some(name) = fork.file_names().into_iter().rfind(|n| n.ends_with(".seg")) {
+                let len = fork.durable_len(&name);
+                fork.cut_durable(&name, len.saturating_sub(trim));
+            }
+        }
+        let recovered = Db::builder()
+            .durability_store(Box::new(fork.clone()), FsyncPolicy::Always)
+            .segment_bytes(512)
+            .open()
+            .unwrap();
+        let dump = recovered.state_dump();
+        if trim == 0 {
+            prop_assert_eq!(&dump, &dumps[k], "clean crash at op boundary {}", k);
+        } else {
+            prop_assert!(
+                dumps.contains(&dump),
+                "torn crash (op {}, trim {}) recovered a non-prefix state",
+                k,
+                trim
+            );
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! FS.11 integration: concurrent user transactions vs continuous
 //! enrichment, under both isolation regimes, plus WAL crash recovery of a
-//! curated store.
+//! curated store, log compaction under concurrent ingest, and the kv /
+//! isolation surface of the `Db` facade.
 
 use scdb_txn::wal::recover;
 use scdb_txn::{EnrichedDb, IsolationMode, LogRecord, TxnManager, Wal};
@@ -106,4 +107,155 @@ fn wal_roundtrip_of_curated_writes() {
         assert_eq!(recovered.read_latest(i), Some(Value::Int(i as i64 * 2)));
     }
     assert_eq!(recovered.read_latest(999), None);
+}
+
+/// Compaction vs checkpoint under concurrent ingest: writer threads
+/// append `Write` … `Commit` batches while a compactor repeatedly drops
+/// a checkpoint marker, captures the checkpointed state, and compacts.
+/// A transaction that is unsealed at a checkpoint must survive
+/// compaction and commit later — no committed write may be lost between
+/// the cumulative checkpoint state and the remaining log.
+#[test]
+fn compaction_never_drops_unsealed_txns_under_concurrent_ingest() {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    let wal = Arc::new(Mutex::new(Wal::new()));
+    let committed: Arc<Mutex<Vec<(u64, i64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut writers = Vec::new();
+    for w in 0..3u64 {
+        let wal = Arc::clone(&wal);
+        let committed = Arc::clone(&committed);
+        writers.push(std::thread::spawn(move || {
+            for i in 0..150u64 {
+                // Unique txn id and key per write: "latest value" is
+                // unambiguous regardless of thread interleaving.
+                let txn = w * 10_000 + i + 1;
+                let key = w * 10_000 + i;
+                let value = (w * 1_000 + i) as i64;
+                wal.lock().unwrap().append(LogRecord::Write {
+                    txn,
+                    key,
+                    value: Some(Value::Int(value)),
+                });
+                // Invite a checkpoint between the write and its seal.
+                std::thread::yield_now();
+                wal.lock().unwrap().append(LogRecord::Commit { txn });
+                committed.lock().unwrap().push((key, value));
+            }
+        }));
+    }
+
+    let compactor = {
+        let wal = Arc::clone(&wal);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut base: HashMap<u64, Option<Value>> = HashMap::new();
+            let mut dropped = 0usize;
+            let mut checkpoints = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                {
+                    let mut wal = wal.lock().unwrap();
+                    wal.append(LogRecord::Checkpoint);
+                    // The checkpointed state is cumulative: everything
+                    // sealed so far, merged over earlier checkpoints.
+                    let (tm, _) = recover(&wal);
+                    for (k, v, _) in tm.latest_entries() {
+                        base.insert(k, v);
+                    }
+                    dropped += wal.compact();
+                    checkpoints += 1;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            (base, dropped, checkpoints)
+        })
+    };
+
+    for t in writers {
+        t.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (mut base, dropped, checkpoints) = compactor.join().unwrap();
+
+    // Fold the surviving log suffix over the checkpointed state.
+    let (tail, _) = recover(&wal.lock().unwrap());
+    for (k, v, _) in tail.latest_entries() {
+        base.insert(k, v);
+    }
+
+    let committed = committed.lock().unwrap();
+    assert_eq!(committed.len(), 450, "every commit was recorded");
+    for (key, value) in committed.iter() {
+        assert_eq!(
+            base.get(key),
+            Some(&Some(Value::Int(*value))),
+            "committed write to key {key} lost across compaction"
+        );
+    }
+    assert!(checkpoints > 0, "compactor actually ran");
+    assert!(dropped > 0, "compaction actually dropped sealed records");
+}
+
+/// The `Db` facade surfaces the enrichment store's isolation modes: under
+/// `Snapshot`, reads inside a transaction are repeatable while curation
+/// enriches concurrently; under `RelaxedEnrichment`, the same reads see
+/// fresh enrichment immediately.
+#[test]
+fn facade_exposes_isolation_modes() {
+    use scdb_core::Db;
+
+    let db = Db::builder().isolation(IsolationMode::Snapshot).build();
+    assert_eq!(db.kv_isolation(), IsolationMode::Snapshot);
+    db.kv_enrich(1, Value::Int(1)).unwrap();
+    let mut txn = db.kv_begin();
+    assert_eq!(db.kv_read(&mut txn, 1), Some(Value::Int(1)));
+    db.kv_enrich(1, Value::Int(2)).unwrap();
+    assert_eq!(
+        db.kv_read(&mut txn, 1),
+        Some(Value::Int(1)),
+        "snapshot reads stay repeatable under enrichment"
+    );
+
+    let db = Db::builder()
+        .isolation(IsolationMode::RelaxedEnrichment)
+        .build();
+    assert_eq!(db.kv_isolation(), IsolationMode::RelaxedEnrichment);
+    db.kv_enrich(1, Value::Int(1)).unwrap();
+    let mut txn = db.kv_begin();
+    assert_eq!(db.kv_read(&mut txn, 1), Some(Value::Int(1)));
+    db.kv_enrich(1, Value::Int(2)).unwrap();
+    assert_eq!(
+        db.kv_read(&mut txn, 1),
+        Some(Value::Int(2)),
+        "relaxed mode trades repeatability for freshness"
+    );
+}
+
+/// Explicit transactions through the facade keep first-committer-wins
+/// conflict semantics, and retraction tombstones flow through reads.
+#[test]
+fn facade_kv_transactions_conflict_and_retract() {
+    use scdb_core::{CoreError, Db};
+    use scdb_txn::TxnError;
+
+    let db = Db::builder().build();
+    let mut a = db.kv_begin();
+    let mut b = db.kv_begin();
+    a.write(7, Value::Int(1)).unwrap();
+    b.write(7, Value::Int(2)).unwrap();
+    db.kv_commit(&mut a).unwrap();
+    let err = db.kv_commit(&mut b).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Txn(TxnError::WriteConflict { key: 7 })),
+        "unexpected error: {err}"
+    );
+
+    db.kv_enrich(9, Value::str("fact")).unwrap();
+    db.kv_retract(9).unwrap();
+    let mut t = db.kv_begin();
+    assert_eq!(db.kv_read(&mut t, 9), None, "retraction tombstone wins");
 }
