@@ -4,6 +4,7 @@
 //! Usage:
 //!   `cargo run --release -p scdb-bench --bin run_all_experiments`
 //!   `cargo run --release -p scdb-bench --bin run_all_experiments -- --metrics-json out.json`
+//!   `cargo run --release -p scdb-bench --bin run_all_experiments -- --events-jsonl out.jsonl`
 //!
 //! With `--metrics-json <path>` the binary instead drives an in-process
 //! workload through every instrumented subsystem — ingest, entity
@@ -11,6 +12,13 @@
 //! writes the resulting [`scdb_obs`] metrics snapshot as JSON. (The
 //! experiment binaries are child processes; their metric registries are
 //! invisible here, so the observability sweep has to run in-process.)
+//!
+//! With `--events-jsonl <path>` it drives a durable ingest → query →
+//! checkpoint → reopen cycle with the flight recorder enabled, prints
+//! the resulting [`Db::health_report`](scdb_core::Db::health_report)
+//! table, and dumps the event ring as JSON Lines (one event per line,
+//! `seq` strictly increasing) — the input `scripts/check_events.sh`
+//! validates in CI.
 
 use std::path::Path;
 use std::process::Command;
@@ -56,6 +64,14 @@ fn main() {
         metrics_sweep(path);
         return;
     }
+    if let Some(i) = args.iter().position(|a| a == "--events-jsonl") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--events-jsonl requires a path argument");
+            std::process::exit(2);
+        };
+        events_sweep(path);
+        return;
+    }
 
     let out_dir = Path::new("target/experiments");
     std::fs::create_dir_all(out_dir).expect("create output dir");
@@ -90,6 +106,63 @@ fn main() {
         println!("\nfailed: {failures:?}");
         std::process::exit(1);
     }
+}
+
+/// Drive a durable ingest → query → checkpoint → reopen cycle with the
+/// flight recorder on, then dump the event ring to `path` as JSON Lines
+/// and print the health report. (Like the metrics sweep, this has to
+/// run in-process: the event ring of a child experiment binary is
+/// invisible here.)
+fn events_sweep(path: &str) {
+    use scdb_core::{Db, FsyncPolicy};
+
+    scdb_obs::metrics().set_enabled(true);
+    let events = scdb_obs::events();
+    events.set_enabled(true);
+
+    let dir = std::env::temp_dir().join(format!("scdb-events-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Db::builder()
+            .durability(&dir, FsyncPolicy::EveryN(64))
+            .slow_query_threshold(std::time::Duration::ZERO)
+            .open()
+            .expect("open durable db");
+        db.register_source("sweep", Some("k"));
+        let k = db.intern("k");
+        let v = db.intern("v");
+        for i in 0..2_000i64 {
+            let r = Record::from_pairs([(k, Value::str(format!("key-{i}"))), (v, Value::Int(i))]);
+            db.ingest("sweep", r, None).expect("ingest");
+        }
+        for _ in 0..5 {
+            db.query("SELECT k FROM sweep WHERE v >= 1000 LIMIT 50")
+                .expect("query");
+        }
+        db.checkpoint().expect("checkpoint");
+        for i in 2_000..2_100i64 {
+            let r = Record::from_pairs([(k, Value::str(format!("key-{i}"))), (v, Value::Int(i))]);
+            db.ingest("sweep", r, None).expect("ingest tail");
+        }
+        db.sync_wal().expect("sync");
+        println!("{}", db.health_report().render());
+    }
+    // Reopen so the dump also carries the recovery event sequence.
+    let db = Db::open(&dir).expect("reopen");
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let jsonl = events.export_jsonl();
+    if let Err(e) = std::fs::write(path, &jsonl) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} events ({} recorded, {} dropped) → {path}",
+        jsonl.lines().count(),
+        events.recorded(),
+        events.dropped(),
+    );
 }
 
 /// Drive every instrumented subsystem once, then write the global

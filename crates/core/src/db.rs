@@ -51,17 +51,20 @@
 //! deliberately not logged — it is derived or user-supplied
 //! configuration, re-established by the application after `open`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use parking_lot::{MappedRwLockReadGuard, Mutex, RwLock, RwLockReadGuard};
+use parking_lot::{MappedRwLockReadGuard, Mutex, RwLockReadGuard};
 use scdb_er::normalize::normalize;
 use scdb_er::{IncrementalResolver, ResolverConfig};
 use scdb_graph::metrics::{assess, RichnessReport};
 use scdb_graph::PropertyGraph;
-use scdb_obs::{metrics, MetricsSnapshot, ProfileBuilder, QueryProfile};
+use scdb_obs::{
+    metrics, FieldValue as F, MetricsSnapshot, ProfileBuilder, QueryProfile, TrackedMutex,
+    TrackedRwLock,
+};
 use scdb_query::exec::{EvalEnv, Executor, SemanticEnv, StoreSource};
 use scdb_query::optimizer::{Optimizer, OptimizerConfig, SemanticContext};
 use scdb_query::plan::LogicalPlan;
@@ -180,22 +183,46 @@ struct ConfigShard {
     executor: Executor,
 }
 
+/// Capacity of the slow-query ring ([`Db::slow_queries`]).
+pub const SLOW_QUERY_RING: usize = 32;
+
+/// One slow-query capture: a query whose wall time crossed
+/// [`DbBuilder::slow_query_threshold`], with its full profile retained.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The triggering query text (the original ScQL when it came
+    /// through [`Db::query`], the AST rendering otherwise).
+    pub text: String,
+    /// Coarse capture time, milliseconds since the recorder epoch.
+    pub at_ms: u64,
+    /// Total wall time of the execution.
+    pub total: Duration,
+    /// The full `EXPLAIN ANALYZE` profile of the slow run.
+    pub profile: QueryProfile,
+}
+
 struct DbInner {
-    symbols: RwLock<SymbolTable>,
-    instance: RwLock<InstanceShard>,
-    relation: RwLock<RelationShard>,
+    /// When this handle was built/opened (uptime anchor).
+    started: Instant,
+    symbols: TrackedRwLock<SymbolTable>,
+    instance: TrackedRwLock<InstanceShard>,
+    relation: TrackedRwLock<RelationShard>,
     /// The optional disk-backed WAL. `None` while recovery replays (so
     /// replayed mutations are not re-logged) and for purely in-memory
     /// databases; installed by [`DbBuilder::open`] once replay is done.
     /// Sits between `relation` and `semantic` in the lock order.
-    durable: Mutex<Option<DurableWal>>,
+    durable: TrackedMutex<Option<DurableWal>>,
     /// The kv/enrichment store shared by user transactions and the
     /// curation pipeline (internally synchronized).
     enriched: EnrichedDb,
     /// What the last `open` recovered; `None` for in-memory databases.
     recovery: Mutex<Option<DbRecoveryReport>>,
-    semantic: RwLock<SemanticShard>,
-    config: RwLock<ConfigShard>,
+    /// Bounded ring of recent slow-query captures (newest at the back).
+    slow: Mutex<VecDeque<SlowQuery>>,
+    /// Wall-time threshold above which a query is captured into `slow`.
+    slow_threshold: Duration,
+    semantic: TrackedRwLock<SemanticShard>,
+    config: TrackedRwLock<ConfigShard>,
 }
 
 /// What [`Db::open`] rebuilt from the log directory.
@@ -211,6 +238,40 @@ pub struct DbRecoveryReport {
     /// Transactions discarded: logged but never sealed by a commit (or
     /// explicitly aborted) at the time of the crash.
     pub txns_discarded: usize,
+}
+
+impl DbRecoveryReport {
+    /// Rebuild a recovery report from the flight-recorder event stream
+    /// alone: the newest `("txn", "recovery.scan")` summary paired with
+    /// the `("core", "recovery.complete")` event that followed it.
+    /// Returns `None` when either half is missing from `events` (e.g.
+    /// the ring wrapped past them — check `events_dropped`).
+    pub fn from_events(events: &[scdb_obs::Event]) -> Option<DbRecoveryReport> {
+        let complete = events
+            .iter()
+            .rev()
+            .find(|e| e.subsystem.as_str() == "core" && e.kind.as_str() == "recovery.complete")?;
+        let scan = events.iter().rev().find(|e| {
+            e.subsystem.as_str() == "txn"
+                && e.kind.as_str() == "recovery.scan"
+                && e.seq < complete.seq
+        })?;
+        Some(DbRecoveryReport {
+            wal: WalRecoveryReport {
+                segments_scanned: scan.field_u64("segments")? as usize,
+                records_decoded: scan.field_u64("records")? as usize,
+                bytes_truncated: scan.field_u64("bytes_cut")?,
+                corrupt_tail: scan.field_u64("corrupt")? != 0,
+                snapshots_discarded: scan.field_u64("snap_drops")? as usize,
+                snapshot_seq: (scan.field_u64("has_snapshot")? != 0)
+                    .then(|| scan.field_u64("snapshot_seq"))
+                    .flatten(),
+            },
+            snapshot_rows: complete.field_u64("snapshot_rows")? as usize,
+            records_replayed: complete.field_u64("records_replayed")? as usize,
+            txns_discarded: complete.field_u64("txns_discarded")? as usize,
+        })
+    }
 }
 
 /// Where the WAL lives: a real directory or an injected store (tests
@@ -284,6 +345,7 @@ pub struct DbBuilder {
     isolation: Option<IsolationMode>,
     durability: Option<DurabilityTarget>,
     segment_bytes: Option<u64>,
+    slow_query_threshold: Option<Duration>,
 }
 
 impl DbBuilder {
@@ -345,6 +407,26 @@ impl DbBuilder {
         self
     }
 
+    /// Wall-time threshold above which a query execution is captured —
+    /// full [`QueryProfile`] plus query text — into the bounded
+    /// slow-query ring ([`Db::slow_queries`], capacity
+    /// [`SLOW_QUERY_RING`]). Defaults to 100 ms.
+    pub fn slow_query_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_query_threshold = Some(threshold);
+        self
+    }
+
+    /// Lock-wait threshold above which a blocked shard-lock acquisition
+    /// emits a `("lock", "contended")` flight-recorder event. This is a
+    /// process-global knob (it forwards to
+    /// [`scdb_obs::set_lock_contention_threshold_ns`]); the default is
+    /// 1 ms. Waits below the threshold still feed the
+    /// `core.lock.<shard>.wait_ns` histograms.
+    pub fn lock_contention_threshold(self, threshold: Duration) -> Self {
+        scdb_obs::set_lock_contention_threshold_ns(threshold.as_nanos() as u64);
+        self
+    }
+
     /// Build an in-memory database handle.
     ///
     /// # Panics
@@ -366,32 +448,57 @@ impl DbBuilder {
         let isolation = self.isolation.unwrap_or(IsolationMode::Snapshot);
         Db {
             inner: Arc::new(DbInner {
-                symbols: RwLock::new(SymbolTable::new()),
-                instance: RwLock::new(InstanceShard {
-                    sources: Vec::new(),
-                    text: TextStore::new(),
-                }),
-                relation: RwLock::new(RelationShard {
-                    resolver: IncrementalResolver::new(self.resolver),
-                    graph: PropertyGraph::new(),
-                    entity_by_name: HashMap::new(),
-                    identity_of_entity: HashMap::new(),
-                    stats: CurationStats::default(),
-                    tick: 0,
-                }),
-                durable: Mutex::new(None),
+                started: Instant::now(),
+                symbols: TrackedRwLock::new(
+                    "symbols",
+                    "core.lock.symbols.wait_ns",
+                    SymbolTable::new(),
+                ),
+                instance: TrackedRwLock::new(
+                    "instance",
+                    "core.lock.instance.wait_ns",
+                    InstanceShard {
+                        sources: Vec::new(),
+                        text: TextStore::new(),
+                    },
+                ),
+                relation: TrackedRwLock::new(
+                    "relation",
+                    "core.lock.relation.wait_ns",
+                    RelationShard {
+                        resolver: IncrementalResolver::new(self.resolver),
+                        graph: PropertyGraph::new(),
+                        entity_by_name: HashMap::new(),
+                        identity_of_entity: HashMap::new(),
+                        stats: CurationStats::default(),
+                        tick: 0,
+                    },
+                ),
+                durable: TrackedMutex::new("durable", "core.lock.durable.wait_ns", None),
                 enriched: EnrichedDb::with_manager(TxnManager::new(), isolation),
                 recovery: Mutex::new(None),
-                semantic: RwLock::new(SemanticShard {
-                    ontology: Ontology::new(),
-                    saturation: None,
-                    taxonomy: None,
-                    models: HashMap::new(),
-                }),
-                config: RwLock::new(ConfigShard {
-                    optimizer: self.optimizer,
-                    executor: self.executor,
-                }),
+                slow: Mutex::new(VecDeque::new()),
+                slow_threshold: self
+                    .slow_query_threshold
+                    .unwrap_or(Duration::from_millis(100)),
+                semantic: TrackedRwLock::new(
+                    "semantic",
+                    "core.lock.semantic.wait_ns",
+                    SemanticShard {
+                        ontology: Ontology::new(),
+                        saturation: None,
+                        taxonomy: None,
+                        models: HashMap::new(),
+                    },
+                ),
+                config: TrackedRwLock::new(
+                    "config",
+                    "core.lock.config.wait_ns",
+                    ConfigShard {
+                        optimizer: self.optimizer,
+                        executor: self.executor,
+                    },
+                ),
             }),
         }
     }
@@ -421,11 +528,20 @@ impl DbBuilder {
         let report = db.install_recovery(recovered)?;
         let m = metrics();
         m.gauge_set(
-            "core.recovery_records_replayed",
+            "core.recovery.records_replayed",
             report.records_replayed as i64,
         );
-        m.gauge_set("core.recovery_txns_discarded", report.txns_discarded as i64);
-        m.gauge_set("core.recovery_snapshot_rows", report.snapshot_rows as i64);
+        m.gauge_set("core.recovery.txns_discarded", report.txns_discarded as i64);
+        m.gauge_set("core.recovery.snapshot_rows", report.snapshot_rows as i64);
+        scdb_obs::event(
+            "core",
+            "recovery.complete",
+            &[
+                ("snapshot_rows", F::U64(report.snapshot_rows as u64)),
+                ("records_replayed", F::U64(report.records_replayed as u64)),
+                ("txns_discarded", F::U64(report.txns_discarded as u64)),
+            ],
+        );
         *db.inner.durable.lock() = Some(wal);
         *db.inner.recovery.lock() = Some(report);
         Ok(db)
@@ -678,6 +794,17 @@ impl Db {
         // Curation changed the world: invalidate the semantic cache
         // (semantic comes after relation in the lock order).
         self.inner.semantic.write().saturation = None;
+        scdb_obs::event(
+            "core",
+            "ingest",
+            &[
+                ("source", F::Str(source.into())),
+                ("entity", F::U64(entity.0)),
+                ("fresh", F::U64(event.fresh as u64)),
+                ("links", F::U64(links as u64)),
+                ("absorbed", F::U64(event.absorbed.len() as u64)),
+            ],
+        );
         Ok(IngestReport {
             record: record_id,
             entity,
@@ -949,7 +1076,7 @@ impl Db {
     /// Parse, optimize, and execute an ScQL query.
     pub fn query(&self, sql: &str) -> Result<QueryOutcome, CoreError> {
         let query = parse(sql)?;
-        self.run_query(&query)
+        self.run_query_inner(&query, Some(sql))
     }
 
     /// Execute an already-parsed query. The returned outcome carries an
@@ -963,7 +1090,12 @@ impl Db {
     /// atoms evaluate against a saturation snapshot taken at prep time;
     /// a concurrent ingest does not invalidate it mid-query.
     pub fn run_query(&self, query: &Query) -> Result<QueryOutcome, CoreError> {
+        self.run_query_inner(query, None)
+    }
+
+    fn run_query_inner(&self, query: &Query, sql: Option<&str>) -> Result<QueryOutcome, CoreError> {
         let _span = scdb_obs::span!("core.query");
+        let started = Instant::now();
         let mut profile = ProfileBuilder::new();
         // Semantic prep happens before the execution locks are taken:
         // reason() acquires symbols → relation → semantic itself.
@@ -1062,12 +1194,57 @@ impl Db {
         let exec_start = Instant::now();
         let (rows, stats) = executor.execute_profiled(&plan, &source, &env, &mut profile)?;
         metrics().observe("query.execute_ns", exec_start.elapsed().as_nanos() as u64);
+        let profile = profile.finish();
+        let total = started.elapsed();
+        if total >= self.inner.slow_threshold {
+            self.capture_slow_query(query, sql, total, rows.len(), &profile);
+        }
         Ok(QueryOutcome {
             rows,
             plan,
             stats,
-            profile: profile.finish(),
+            profile,
         })
+    }
+
+    /// Record one slow execution into the bounded ring (oldest capture
+    /// evicted at [`SLOW_QUERY_RING`]), bump `query.slow_queries`, and
+    /// emit a `("query", "slow")` event carrying the query text.
+    fn capture_slow_query(
+        &self,
+        query: &Query,
+        sql: Option<&str>,
+        total: Duration,
+        rows_out: usize,
+        profile: &QueryProfile,
+    ) {
+        let text = sql.map(str::to_owned).unwrap_or_else(|| query.to_string());
+        metrics().inc("query.slow_queries");
+        scdb_obs::events().record_with_message(
+            "query",
+            "slow",
+            &[
+                ("ns", F::U64(total.as_nanos() as u64)),
+                ("rows", F::U64(rows_out as u64)),
+            ],
+            &text,
+        );
+        let mut slow = self.inner.slow.lock();
+        if slow.len() == SLOW_QUERY_RING {
+            slow.pop_front();
+        }
+        slow.push_back(SlowQuery {
+            text,
+            at_ms: scdb_obs::event::coarse_now_ms(),
+            total,
+            profile: profile.clone(),
+        });
+    }
+
+    /// Recent slow-query captures, oldest first (bounded ring of
+    /// [`SLOW_QUERY_RING`]; see [`DbBuilder::slow_query_threshold`]).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.inner.slow.lock().iter().cloned().collect()
     }
 
     /// Snapshot of the global metrics registry: every counter, gauge, and
@@ -1076,6 +1253,63 @@ impl Db {
     /// [`MetricsSnapshot::render`].
     pub fn metrics_report(&self) -> MetricsSnapshot {
         metrics().snapshot()
+    }
+
+    /// One composite health summary: uptime counters, WAL lag, per-shard
+    /// lock-wait tails, slow-query and warning ring sizes, and
+    /// flight-recorder loss accounting. Render with
+    /// [`crate::health::DbHealthReport::render`] or serialize with
+    /// [`crate::health::DbHealthReport::to_json`].
+    pub fn health_report(&self) -> crate::health::DbHealthReport {
+        use crate::health::{DbHealthReport, LockWaitSummary, WalHealth};
+        let curation = self.stats();
+        let entities = self.entity_count();
+        let sources = self.source_count();
+        let (durable, wal) = {
+            let guard = self.inner.durable.lock();
+            match guard.as_ref() {
+                Some(w) => (
+                    true,
+                    Some(WalHealth {
+                        lag: w.lag(),
+                        checkpoints: metrics().counter("txn.checkpoints").get(),
+                        fsyncs: metrics().counter("txn.wal.fsyncs").get(),
+                    }),
+                ),
+                None => (false, None),
+            }
+        };
+        let locks = [
+            "symbols", "instance", "relation", "durable", "semantic", "config",
+        ]
+        .iter()
+        .map(|shard| {
+            let h = metrics()
+                .histogram(&format!("core.lock.{shard}.wait_ns"))
+                .snapshot();
+            LockWaitSummary {
+                shard: shard.to_string(),
+                count: h.count,
+                p99_ns: h.p99,
+                max_ns: h.max,
+            }
+        })
+        .collect();
+        let events = scdb_obs::events();
+        DbHealthReport {
+            uptime_ms: self.inner.started.elapsed().as_millis() as u64,
+            curation,
+            entities,
+            sources,
+            durable,
+            wal,
+            locks,
+            slow_queries: self.inner.slow.lock().len(),
+            slow_query_threshold_ms: self.inner.slow_threshold.as_millis() as u64,
+            warnings: scdb_obs::recent_warnings(),
+            events_recorded: events.recorded(),
+            events_dropped: events.dropped(),
+        }
     }
 
     /// The relation-layer graph. The guard holds the relation shard's
@@ -1205,8 +1439,29 @@ impl Db {
                 "checkpoint requires durability (DbBuilder::durability + open)".to_string(),
             ));
         };
+        let serialize_start = Instant::now();
         let payloads = build_snapshot(&symbols, &instance, &relation, &self.inner.enriched);
-        Ok(wal.checkpoint(&payloads)?)
+        let serialize_ns = serialize_start.elapsed().as_nanos() as u64;
+        metrics().observe("core.checkpoint.serialize_ns", serialize_ns);
+        scdb_obs::event(
+            "core",
+            "checkpoint.serialize",
+            &[
+                ("ns", F::U64(serialize_ns)),
+                ("frames", F::U64(payloads.len() as u64)),
+            ],
+        );
+        let stats = wal.checkpoint(&payloads)?;
+        scdb_obs::event(
+            "core",
+            "checkpoint.complete",
+            &[
+                ("seq", F::U64(stats.seq)),
+                ("bytes", F::U64(stats.snapshot_bytes)),
+                ("segments_removed", F::U64(stats.segments_removed as u64)),
+            ],
+        );
+        Ok(stats)
     }
 
     /// Force any unsynced log tail to stable storage (relevant under

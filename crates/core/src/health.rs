@@ -1,0 +1,219 @@
+//! `Db::health_report()` — one struct summarizing the engine's vital
+//! signs: uptime counters, WAL lag, lock-wait tails, warnings, slow
+//! queries, and flight-recorder loss accounting.
+//!
+//! The report is a point-in-time composite read from the shard locks,
+//! the metrics registry, and the event log; [`DbHealthReport::render`]
+//! prints it as a text table, [`DbHealthReport::to_json`] serializes it
+//! for dashboards. Built to answer "is this instance healthy, and if
+//! not, where is it hurting?" without attaching a debugger.
+
+use scdb_txn::WalLag;
+
+use crate::db::CurationStats;
+
+/// Wait-time summary for one shard lock, distilled from its
+/// `core.lock.<shard>.wait_ns` histogram. Only *blocked* acquisitions
+/// are measured (the uncontended fast path records nothing), so
+/// `count` is the number of times anyone waited at all.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LockWaitSummary {
+    /// Shard label (`symbols`, `instance`, `relation`, `durable`,
+    /// `semantic`, `config`).
+    pub shard: String,
+    /// Blocked acquisitions observed.
+    pub count: u64,
+    /// 99th-percentile wait in nanoseconds (bucket upper bound).
+    pub p99_ns: u64,
+    /// Largest single wait in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Durability health: how far the WAL has drifted from its anchors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalHealth {
+    /// Current lag (records since checkpoint, unsynced bytes, active
+    /// segment fill).
+    pub lag: WalLag,
+    /// Checkpoints completed over this process's lifetime.
+    pub checkpoints: u64,
+    /// Fsyncs issued over this process's lifetime.
+    pub fsyncs: u64,
+}
+
+/// The composite health report returned by `Db::health_report()`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DbHealthReport {
+    /// Milliseconds since this handle was built/opened.
+    pub uptime_ms: u64,
+    /// Cumulative curation counters.
+    pub curation: CurationStats,
+    /// Live entities.
+    pub entities: usize,
+    /// Registered sources.
+    pub sources: usize,
+    /// Whether mutations are logged to a durable WAL.
+    pub durable: bool,
+    /// WAL drift and durability counters; `None` for in-memory handles.
+    pub wal: Option<WalHealth>,
+    /// Per-shard lock-wait tails, every shard always present (zeroed
+    /// rows mean nobody ever blocked on that shard).
+    pub locks: Vec<LockWaitSummary>,
+    /// Slow-query captures currently retained (`Db::slow_queries()`).
+    pub slow_queries: usize,
+    /// The capture threshold in milliseconds.
+    pub slow_query_threshold_ms: u64,
+    /// Warning-ring contents, oldest first (`scdb_obs::recent_warnings`).
+    pub warnings: Vec<String>,
+    /// Events ever recorded by the flight recorder.
+    pub events_recorded: u64,
+    /// Events lost to ring wrap-around — counted, never silent.
+    pub events_dropped: u64,
+}
+
+impl DbHealthReport {
+    /// Human-readable text table, one section per concern.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== scdb health ==");
+        let _ = writeln!(out, "uptime_ms            {}", self.uptime_ms);
+        let _ = writeln!(
+            out,
+            "curation             records={} merges={} links={}",
+            self.curation.records, self.curation.merges, self.curation.links
+        );
+        let _ = writeln!(
+            out,
+            "population           entities={} sources={}",
+            self.entities, self.sources
+        );
+        match &self.wal {
+            Some(w) => {
+                let _ = writeln!(
+                    out,
+                    "wal                  records_since_ckpt={} unsynced_bytes={} \
+                     active_seg={} ({} B)",
+                    w.lag.records_since_checkpoint,
+                    w.lag.unsynced_bytes,
+                    w.lag.active_seq,
+                    w.lag.active_segment_bytes
+                );
+                let _ = writeln!(
+                    out,
+                    "wal durability       checkpoints={} fsyncs={}",
+                    w.checkpoints, w.fsyncs
+                );
+            }
+            None => {
+                let _ = writeln!(out, "wal                  (in-memory, no durability)");
+            }
+        }
+        let _ = writeln!(out, "lock waits           (blocked acquisitions only)");
+        for l in &self.locks {
+            let _ = writeln!(
+                out,
+                "  {:<18} count={} p99_ns<={} max_ns={}",
+                l.shard, l.count, l.p99_ns, l.max_ns
+            );
+        }
+        let _ = writeln!(
+            out,
+            "slow queries         {} retained (threshold {} ms)",
+            self.slow_queries, self.slow_query_threshold_ms
+        );
+        let _ = writeln!(
+            out,
+            "events               recorded={} dropped={}",
+            self.events_recorded, self.events_dropped
+        );
+        let _ = writeln!(out, "warnings             {}", self.warnings.len());
+        for w in &self.warnings {
+            let _ = writeln!(out, "  ! {w}");
+        }
+        out
+    }
+
+    /// JSON document form, stable key order.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut root = serde_json::Map::new();
+        root.insert("uptime_ms".into(), serde_json::Value::from(self.uptime_ms));
+        let mut curation = serde_json::Map::new();
+        curation.insert(
+            "records".into(),
+            serde_json::Value::from(self.curation.records),
+        );
+        curation.insert(
+            "merges".into(),
+            serde_json::Value::from(self.curation.merges),
+        );
+        curation.insert("links".into(), serde_json::Value::from(self.curation.links));
+        root.insert("curation".into(), serde_json::Value::Object(curation));
+        root.insert("entities".into(), serde_json::Value::from(self.entities));
+        root.insert("sources".into(), serde_json::Value::from(self.sources));
+        root.insert("durable".into(), serde_json::Value::from(self.durable));
+        if let Some(w) = &self.wal {
+            let mut wal = serde_json::Map::new();
+            wal.insert(
+                "records_since_checkpoint".into(),
+                serde_json::Value::from(w.lag.records_since_checkpoint),
+            );
+            wal.insert(
+                "unsynced_bytes".into(),
+                serde_json::Value::from(w.lag.unsynced_bytes),
+            );
+            wal.insert(
+                "active_segment_bytes".into(),
+                serde_json::Value::from(w.lag.active_segment_bytes),
+            );
+            wal.insert(
+                "active_seq".into(),
+                serde_json::Value::from(w.lag.active_seq),
+            );
+            wal.insert("checkpoints".into(), serde_json::Value::from(w.checkpoints));
+            wal.insert("fsyncs".into(), serde_json::Value::from(w.fsyncs));
+            root.insert("wal".into(), serde_json::Value::Object(wal));
+        } else {
+            root.insert("wal".into(), serde_json::Value::Null);
+        }
+        let locks: Vec<serde_json::Value> = self
+            .locks
+            .iter()
+            .map(|l| {
+                let mut m = serde_json::Map::new();
+                m.insert("shard".into(), serde_json::Value::from(l.shard.as_str()));
+                m.insert("count".into(), serde_json::Value::from(l.count));
+                m.insert("p99_ns".into(), serde_json::Value::from(l.p99_ns));
+                m.insert("max_ns".into(), serde_json::Value::from(l.max_ns));
+                serde_json::Value::Object(m)
+            })
+            .collect();
+        root.insert("locks".into(), serde_json::Value::Array(locks));
+        root.insert(
+            "slow_queries".into(),
+            serde_json::Value::from(self.slow_queries),
+        );
+        root.insert(
+            "slow_query_threshold_ms".into(),
+            serde_json::Value::from(self.slow_query_threshold_ms),
+        );
+        root.insert(
+            "warnings".into(),
+            serde_json::Value::Array(
+                self.warnings
+                    .iter()
+                    .map(|w| serde_json::Value::from(w.as_str()))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "events_recorded".into(),
+            serde_json::Value::from(self.events_recorded),
+        );
+        root.insert(
+            "events_dropped".into(),
+            serde_json::Value::from(self.events_dropped),
+        );
+        serde_json::Value::Object(root)
+    }
+}

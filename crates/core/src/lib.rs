@@ -55,14 +55,19 @@ pub mod codd;
 pub mod db;
 pub mod error;
 pub mod explore;
+pub mod health;
 mod snapshot;
 
 pub use codd::{codd_report, CoddItem, CoddStatus};
 #[allow(deprecated)]
 pub use db::SelfCuratingDb;
-pub use db::{CurationStats, Db, DbBuilder, DbRecoveryReport, IngestReport, QueryOutcome};
+pub use db::{
+    CurationStats, Db, DbBuilder, DbRecoveryReport, IngestReport, QueryOutcome, SlowQuery,
+    SLOW_QUERY_RING,
+};
 pub use error::CoreError;
 pub use explore::{explore, ExplorationOutcome, ExploreConfig};
+pub use health::{DbHealthReport, LockWaitSummary, WalHealth};
 pub use scdb_obs::{MetricsSnapshot, QueryProfile};
 pub use scdb_txn::{
     CheckpointStats, FsyncPolicy, IsolationMode, Transaction, WalRecoveryReport, WalStore,

@@ -309,6 +309,18 @@ impl IncrementalResolver {
             .retain(|h, _| self.parent[*h as usize] == *h);
 
         m.add("er.entities_absorbed", absorbed.len() as u64);
+        if !absorbed.is_empty() {
+            // A record bridged previously-distinct entities — rare and
+            // curation-critical, so it earns a flight-recorder event.
+            scdb_obs::event(
+                "er",
+                "merge",
+                &[
+                    ("entity", scdb_obs::FieldValue::U64(survivor.0)),
+                    ("absorbed", scdb_obs::FieldValue::U64(absorbed.len() as u64)),
+                ],
+            );
+        }
         MergeEvent {
             record: id,
             entity: survivor,

@@ -26,6 +26,8 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod event;
+pub mod lock;
 pub mod profile;
 
 use std::collections::BTreeMap;
@@ -35,6 +37,8 @@ use std::time::Instant;
 
 use parking_lot::RwLock;
 
+pub use event::{event, events, Event, EventFilter, EventLog, FieldValue, SmallStr};
+pub use lock::{set_lock_contention_threshold_ns, TrackedMutex, TrackedRwLock};
 pub use profile::{ProfileBuilder, QueryProfile, StageProfile};
 
 // ---------------------------------------------------------------------------
@@ -383,8 +387,10 @@ pub fn metrics() -> &'static MetricsRegistry {
 // Warnings
 // ---------------------------------------------------------------------------
 
-/// Bounded ring of recent warning messages.
-const WARN_RING: usize = 64;
+/// Capacity of the warning compatibility ring: the most recent
+/// `WARN_RING` (64) messages survive for [`recent_warnings`] even after
+/// the event ring has churned past them.
+pub const WARN_RING: usize = 64;
 
 fn warn_ring() -> &'static parking_lot::Mutex<std::collections::VecDeque<String>> {
     static RING: OnceLock<parking_lot::Mutex<std::collections::VecDeque<String>>> = OnceLock::new();
@@ -393,13 +399,17 @@ fn warn_ring() -> &'static parking_lot::Mutex<std::collections::VecDeque<String>
 
 /// Record a warning: something recoverable but noteworthy happened (e.g.
 /// a torn WAL suffix was truncated during recovery). Bumps the
-/// `obs.warnings` counter and retains the most recent `WARN_RING` (64)
-/// messages for post-mortem inspection via [`recent_warnings`]. Warnings
-/// bypass the registry enable gate — losing a durability diagnostic
-/// because metrics were off would defeat the point.
+/// `obs.warnings` counter, emits a `("obs", "warn")` event carrying the
+/// full message into the flight recorder, and retains the most recent
+/// [`WARN_RING`] messages for post-mortem inspection via
+/// [`recent_warnings`] — a compatibility view that survives event-ring
+/// churn. Warnings bypass the registry enable gate — losing a durability
+/// diagnostic because metrics were off would defeat the point — but the
+/// event copy still honors the event ring's own gate.
 pub fn warn(message: impl Into<String>) {
     let message = message.into();
     metrics().counter("obs.warnings").inc();
+    events().record_with_message("obs", "warn", &[], &message);
     let mut ring = warn_ring().lock();
     if ring.len() == WARN_RING {
         ring.pop_front();

@@ -333,6 +333,21 @@ impl Executor {
         m.add("query.rows_out", stats.rows_out);
         if breakdown.parallel() {
             m.inc("query.parallel_scans");
+            scdb_obs::event(
+                "query",
+                "scan.parallel",
+                &[
+                    (
+                        "workers",
+                        scdb_obs::FieldValue::U64(breakdown.per_worker.len() as u64),
+                    ),
+                    (
+                        "rows_scanned",
+                        scdb_obs::FieldValue::U64(stats.rows_scanned),
+                    ),
+                    ("rows_out", scdb_obs::FieldValue::U64(stats.rows_out)),
+                ],
+            );
         }
         Ok((out, stats, breakdown))
     }

@@ -144,6 +144,17 @@ impl ClusteredLayout {
         let m = scdb_obs::metrics();
         m.inc("storage.cluster_builds");
         m.gauge_set("storage.clusters_formed", layout.clusters_formed as i64);
+        scdb_obs::event(
+            "storage",
+            "cluster.build",
+            &[
+                ("records", scdb_obs::FieldValue::U64(n)),
+                (
+                    "clusters",
+                    scdb_obs::FieldValue::U64(layout.clusters_formed as u64),
+                ),
+            ],
+        );
         layout
     }
 

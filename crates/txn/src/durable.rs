@@ -38,8 +38,10 @@
 //! bounded backoff before surfacing as [`TxnError::Io`].
 
 use std::io;
+use std::time::Instant;
 
 use bytes::{Bytes, BytesMut};
+use scdb_obs::FieldValue as F;
 
 use crate::error::TxnError;
 use crate::frame::{read_frames, write_frame};
@@ -243,6 +245,22 @@ pub struct CheckpointStats {
     pub seq: u64,
 }
 
+/// How far the log has drifted from its last durable anchors — the WAL
+/// half of `Db::health_report()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalLag {
+    /// Records appended since the last checkpoint (recovery replay cost
+    /// grows with this; seeded with the replayed-suffix length on open).
+    pub records_since_checkpoint: u64,
+    /// Bytes appended since the last fsync (the at-risk window under
+    /// `EveryN` / `OnCheckpoint` policies; 0 under `Always`).
+    pub unsynced_bytes: u64,
+    /// Bytes in the active segment so far.
+    pub active_segment_bytes: u64,
+    /// Sequence number of the active segment.
+    pub active_seq: u64,
+}
+
 const MAX_IO_RETRIES: u32 = 5;
 
 /// The disk-backed segmented write-ahead log.
@@ -254,6 +272,8 @@ pub struct DurableWal {
     active_len: u64,
     seals_since_sync: u32,
     next_txn: u64,
+    records_since_checkpoint: u64,
+    unsynced_bytes: u64,
 }
 
 impl std::fmt::Debug for DurableWal {
@@ -309,6 +329,14 @@ impl DurableWal {
             let (frames, tail) = read_frames(&data);
             if tail.truncated_bytes == 0 && !frames.is_empty() {
                 report.snapshot_seq = Some(seq);
+                scdb_obs::event(
+                    "txn",
+                    "recovery.snapshot",
+                    &[
+                        ("seq", F::U64(seq)),
+                        ("frames", F::U64(frames.len() as u64)),
+                    ],
+                );
                 snapshot = Some(frames);
                 // Older snapshots are shadowed; clean them up.
                 for old in snapshots.drain(..) {
@@ -317,6 +345,7 @@ impl DurableWal {
                 break;
             }
             report.snapshots_discarded += 1;
+            scdb_obs::event("txn", "recovery.snapshot_drop", &[("seq", F::U64(seq))]);
             scdb_obs::warn(format!(
                 "wal: snapshot {name} failed validation ({} clean frame(s), \
                  {} byte(s) unreadable) — falling back",
@@ -366,21 +395,35 @@ impl DurableWal {
                 }
             }
             report.records_decoded = records.len();
+            scdb_obs::event(
+                "txn",
+                "recovery.segment",
+                &[
+                    ("seq", F::U64(seq)),
+                    ("records", F::U64(records.len() as u64)),
+                ],
+            );
             if tail.truncated_bytes > 0 || bad_payload {
                 let keep = clean;
-                report.bytes_truncated += data.len() as u64 - keep;
+                let cut = data.len() as u64 - keep;
+                report.bytes_truncated += cut;
                 report.corrupt_tail |= tail.corrupt || bad_payload;
                 store
                     .truncate(&name, keep)
                     .map_err(|e| TxnError::io(format!("truncate {name}"), &e))?;
+                let corrupt = tail.corrupt || bad_payload;
+                scdb_obs::event(
+                    "txn",
+                    "recovery.truncated",
+                    &[
+                        ("seq", F::U64(seq)),
+                        ("bytes", F::U64(cut)),
+                        ("corrupt", F::U64(corrupt as u64)),
+                    ],
+                );
                 scdb_obs::warn(format!(
-                    "wal: cut {} byte(s) of {} tail from {name} during recovery",
-                    data.len() as u64 - keep,
-                    if tail.corrupt || bad_payload {
-                        "corrupt"
-                    } else {
-                        "torn"
-                    },
+                    "wal: cut {cut} byte(s) of {} tail from {name} during recovery",
+                    if corrupt { "corrupt" } else { "torn" },
                 ));
                 cut_at = Some(idx);
                 break;
@@ -398,7 +441,7 @@ impl DurableWal {
             segments.truncate(idx + 1);
         }
         if report.bytes_truncated > 0 {
-            scdb_obs::metrics().add("txn.wal_truncated_bytes", report.bytes_truncated);
+            scdb_obs::metrics().add("txn.wal.truncated_bytes", report.bytes_truncated);
         }
 
         let active_seq = segments.last().copied().unwrap_or(snap_seq.max(1));
@@ -423,6 +466,22 @@ impl DurableWal {
             .max()
             .unwrap_or(0);
 
+        // One summary event carrying the whole report, so a
+        // `WalRecoveryReport` can be rebuilt from the event stream alone.
+        scdb_obs::event(
+            "txn",
+            "recovery.scan",
+            &[
+                ("segments", F::U64(report.segments_scanned as u64)),
+                ("records", F::U64(report.records_decoded as u64)),
+                ("bytes_cut", F::U64(report.bytes_truncated)),
+                ("corrupt", F::U64(report.corrupt_tail as u64)),
+                ("snap_drops", F::U64(report.snapshots_discarded as u64)),
+                ("snapshot_seq", F::U64(report.snapshot_seq.unwrap_or(0))),
+                ("has_snapshot", F::U64(report.snapshot_seq.is_some() as u64)),
+            ],
+        );
+
         let wal = DurableWal {
             store,
             policy,
@@ -431,6 +490,10 @@ impl DurableWal {
             active_len,
             seals_since_sync: 0,
             next_txn: max_txn + 1,
+            // The replayed suffix is exactly what the next checkpoint
+            // will fold in — seed the lag with it.
+            records_since_checkpoint: records.len() as u64,
+            unsynced_bytes: 0,
         };
         let recovery = WalRecovery {
             snapshot,
@@ -438,6 +501,16 @@ impl DurableWal {
             report,
         };
         Ok((wal, recovery))
+    }
+
+    /// Current drift from the last checkpoint / fsync (see [`WalLag`]).
+    pub fn lag(&self) -> WalLag {
+        WalLag {
+            records_since_checkpoint: self.records_since_checkpoint,
+            unsynced_bytes: self.unsynced_bytes,
+            active_segment_bytes: self.active_len,
+            active_seq: self.active_seq,
+        }
     }
 
     /// The fsync policy in effect.
@@ -470,7 +543,7 @@ impl DurableWal {
                 Ok(v) => return Ok(v),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted && attempt < MAX_IO_RETRIES => {
                     attempt += 1;
-                    scdb_obs::metrics().inc("txn.wal_retries");
+                    scdb_obs::metrics().inc("txn.wal.retries");
                     // Bounded linear backoff: transient EINTR-style
                     // failures clear in microseconds; anything persistent
                     // escalates after MAX_IO_RETRIES.
@@ -495,6 +568,7 @@ impl DurableWal {
         }
         let data = buf.freeze();
         let name = segment_name(self.active_seq);
+        let start = Instant::now();
         let appended = self.retry(&format!("append {name}"), |s| {
             s.append(&name, data.as_slice())
         });
@@ -506,9 +580,12 @@ impl DurableWal {
             }
             return Err(e);
         }
+        scdb_obs::metrics().observe("txn.append_ns", start.elapsed().as_nanos() as u64);
         self.active_len += data.len() as u64;
-        scdb_obs::metrics().add("txn.wal_records", records.len() as u64);
-        scdb_obs::metrics().add("txn.wal_bytes", data.len() as u64);
+        self.records_since_checkpoint += records.len() as u64;
+        self.unsynced_bytes += data.len() as u64;
+        scdb_obs::metrics().add("txn.wal.records", records.len() as u64);
+        scdb_obs::metrics().add("txn.wal.bytes", data.len() as u64);
 
         match self.policy {
             FsyncPolicy::Always => self.sync()?,
@@ -529,20 +606,32 @@ impl DurableWal {
     /// Force the active segment to stable storage.
     pub fn sync(&mut self) -> Result<(), TxnError> {
         let name = segment_name(self.active_seq);
+        let start = Instant::now();
         self.retry(&format!("sync {name}"), |s| s.sync(&name))?;
+        scdb_obs::metrics().observe("txn.fsync_ns", start.elapsed().as_nanos() as u64);
         self.seals_since_sync = 0;
-        scdb_obs::metrics().inc("txn.wal_fsyncs");
+        self.unsynced_bytes = 0;
+        scdb_obs::metrics().inc("txn.wal.fsyncs");
         Ok(())
     }
 
     /// Seal the active segment (fsync) and open the next one.
     fn rotate(&mut self) -> Result<(), TxnError> {
         self.sync()?;
+        scdb_obs::event(
+            "txn",
+            "segment.seal",
+            &[
+                ("seq", F::U64(self.active_seq)),
+                ("bytes", F::U64(self.active_len)),
+            ],
+        );
         self.active_seq += 1;
         self.active_len = 0;
         let name = segment_name(self.active_seq);
         self.retry(&format!("create {name}"), |s| s.create(&name))?;
-        scdb_obs::metrics().inc("txn.wal_segments");
+        scdb_obs::metrics().inc("txn.wal.segments");
+        scdb_obs::event("txn", "segment.rotate", &[("seq", F::U64(self.active_seq))]);
         Ok(())
     }
 
@@ -564,13 +653,38 @@ impl DurableWal {
         let data = buf.freeze();
         // Clean slate in case a previous checkpoint died mid-write.
         let _ = self.store.remove(&tmp);
+        // Phase-timed checkpoint: write → sync → rename → prune, each
+        // feeding its own histogram and emitting a phase event.
+        let phase = |kind: &str, ns: u64, extra: u64| {
+            scdb_obs::metrics().observe(&format!("txn.checkpoint.{kind}_ns"), ns);
+            scdb_obs::event(
+                "txn",
+                &format!("checkpoint.{kind}"),
+                &[
+                    ("seq", F::U64(seq)),
+                    ("ns", F::U64(ns)),
+                    ("n", F::U64(extra)),
+                ],
+            );
+        };
+        let start = Instant::now();
         self.retry(&format!("append {tmp}"), |s| {
             s.append(&tmp, data.as_slice())
         })?;
+        phase(
+            "write",
+            start.elapsed().as_nanos() as u64,
+            data.len() as u64,
+        );
+        let start = Instant::now();
         self.retry(&format!("sync {tmp}"), |s| s.sync(&tmp))?;
+        phase("sync", start.elapsed().as_nanos() as u64, 0);
+        let start = Instant::now();
         self.retry(&format!("rename {tmp}"), |s| s.rename(&tmp, &final_name))?;
+        phase("rename", start.elapsed().as_nanos() as u64, 0);
 
         // Everything before the new active segment is now covered.
+        let start = Instant::now();
         let names = self
             .store
             .list()
@@ -580,6 +694,7 @@ impl DurableWal {
             match parse_name(&name) {
                 Some((true, s)) if s < seq => {
                     let _ = self.store.remove(&name);
+                    scdb_obs::event("txn", "segment.prune", &[("seq", F::U64(s))]);
                     removed += 1;
                 }
                 Some((false, s)) if s < seq => {
@@ -588,8 +703,10 @@ impl DurableWal {
                 _ => {}
             }
         }
-        scdb_obs::metrics().inc("core.checkpoints");
-        scdb_obs::metrics().add("txn.snapshot_bytes", data.len() as u64);
+        phase("prune", start.elapsed().as_nanos() as u64, removed as u64);
+        self.records_since_checkpoint = 0;
+        scdb_obs::metrics().inc("txn.checkpoints");
+        scdb_obs::metrics().add("txn.checkpoint.snapshot_bytes", data.len() as u64);
         Ok(CheckpointStats {
             snapshot_bytes: data.len() as u64,
             segments_removed: removed,

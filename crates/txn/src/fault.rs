@@ -387,11 +387,11 @@ mod tests {
         scdb_obs::metrics().set_enabled(true);
         let log = FailpointLog::new();
         let (mut wal, _) = open(&log, FsyncPolicy::Always);
-        let before = scdb_obs::metrics().counter("txn.wal_retries").get();
+        let before = scdb_obs::metrics().counter("txn.wal.retries").get();
         log.arm_interrupts(3);
         wal.append_sealed(&[w(1, 1, 1), LogRecord::Commit { txn: 1 }])
             .unwrap();
-        let after = scdb_obs::metrics().counter("txn.wal_retries").get();
+        let after = scdb_obs::metrics().counter("txn.wal.retries").get();
         assert!(after >= before + 3, "retries recorded: {before} -> {after}");
         let (_wal, rec) = open(&log, FsyncPolicy::Always);
         assert_eq!(rec.records.len(), 2);

@@ -36,7 +36,8 @@ pub mod mvcc;
 pub mod wal;
 
 pub use durable::{
-    CheckpointStats, DurableWal, FsStore, FsyncPolicy, WalRecovery, WalRecoveryReport, WalStore,
+    CheckpointStats, DurableWal, FsStore, FsyncPolicy, WalLag, WalRecovery, WalRecoveryReport,
+    WalStore,
 };
 pub use enrich::{EnrichedDb, IsolationMode, ReadStats};
 pub use error::TxnError;

@@ -377,7 +377,7 @@ impl Wal {
 
     /// Append a record.
     pub fn append(&mut self, record: LogRecord) {
-        scdb_obs::metrics().inc("txn.wal_records");
+        scdb_obs::metrics().inc("txn.wal.records");
         self.records.push(record);
     }
 
@@ -447,7 +447,7 @@ impl Wal {
         for r in &self.records {
             encode_record(&mut buf, r);
         }
-        scdb_obs::metrics().add("txn.wal_bytes", buf.len() as u64);
+        scdb_obs::metrics().add("txn.wal.bytes", buf.len() as u64);
         buf.freeze()
     }
 
@@ -461,7 +461,7 @@ impl Wal {
 
     /// Decode from bytes, returning the log plus the number of bytes
     /// discarded at the torn/corrupt suffix. A non-zero count is surfaced
-    /// as an `scdb-obs` warning and the `txn.wal_truncated_bytes` counter
+    /// as an `scdb-obs` warning and the `txn.wal.truncated_bytes` counter
     /// rather than silently dropped.
     pub fn decode_reporting(mut data: Bytes) -> (Wal, usize) {
         let total = data.len();
@@ -478,7 +478,7 @@ impl Wal {
             }
         }
         if truncated > 0 {
-            scdb_obs::metrics().add("txn.wal_truncated_bytes", truncated as u64);
+            scdb_obs::metrics().add("txn.wal.truncated_bytes", truncated as u64);
             scdb_obs::warn(format!(
                 "wal: discarded {truncated} byte(s) of torn/corrupt log suffix \
                  after {} clean record(s)",

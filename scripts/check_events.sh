@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Validate a flight-recorder JSONL dump (run_all_experiments
+# --events-jsonl): every line parses as a JSON object, `seq` is
+# strictly increasing down the file, every `subsystem` tag belongs to
+# the documented vocabulary (DESIGN.md §7), and `kind` is non-empty.
+#
+# Usage: scripts/check_events.sh <events.jsonl>
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+    echo "usage: $0 <events.jsonl>" >&2
+    exit 2
+fi
+
+python3 - "$1" <<'PY'
+import json
+import sys
+
+KNOWN_SUBSYSTEMS = {"core", "txn", "query", "storage", "er", "obs", "lock"}
+
+path = sys.argv[1]
+prev_seq = -1
+n = 0
+errors = []
+with open(path, encoding="utf-8") as fh:
+    for lineno, line in enumerate(fh, start=1):
+        line = line.strip()
+        if not line:
+            errors.append(f"line {lineno}: empty line")
+            continue
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"line {lineno}: not valid JSON: {e}")
+            continue
+        if not isinstance(ev, dict):
+            errors.append(f"line {lineno}: not a JSON object")
+            continue
+        seq = ev.get("seq")
+        if not isinstance(seq, int):
+            errors.append(f"line {lineno}: missing integer 'seq'")
+        elif seq <= prev_seq:
+            errors.append(
+                f"line {lineno}: seq {seq} not strictly greater than {prev_seq}"
+            )
+        else:
+            prev_seq = seq
+        subsystem = ev.get("subsystem")
+        if subsystem not in KNOWN_SUBSYSTEMS:
+            errors.append(f"line {lineno}: unknown subsystem {subsystem!r}")
+        kind = ev.get("kind")
+        if not isinstance(kind, str) or not kind:
+            errors.append(f"line {lineno}: missing or empty 'kind'")
+        n += 1
+
+if n == 0:
+    errors.append("no events in dump")
+for e in errors[:20]:
+    print(f"check_events: {e}", file=sys.stderr)
+if errors:
+    print(f"check_events: {len(errors)} problem(s) in {n} events", file=sys.stderr)
+    sys.exit(1)
+print(f"check_events: {n} events ok (seq {prev_seq} max)")
+PY

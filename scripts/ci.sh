@@ -24,4 +24,11 @@ cargo test -q --offline --release -p scdb-bench --test durability_crash_matrix
 echo "== cargo test -q --release"
 cargo test -q --offline --release
 
+echo "== flight recorder event dump (release)"
+events_jsonl="target/experiments/events.jsonl"
+mkdir -p target/experiments
+cargo run -q --offline --release -p scdb-bench --bin run_all_experiments -- \
+    --events-jsonl "$events_jsonl"
+scripts/check_events.sh "$events_jsonl"
+
 echo "== ci green"
