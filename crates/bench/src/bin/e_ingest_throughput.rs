@@ -1,0 +1,271 @@
+//! E-ING — ingest throughput: single-record vs batched vs queued group
+//! commit (DESIGN.md §9 "Group commit").
+//!
+//! The paper's continuous-curation model (FS.1) makes ingest the
+//! throughput-critical path, and under `FsyncPolicy::Always` the
+//! per-record pipeline pays one fsync per row. Group commit amortizes:
+//! `Db::ingest_batch` (and the `DbBuilder::ingest_queue` committer)
+//! seals many rows plus one commit record in a single WAL append — one
+//! fsync per *batch*.
+//!
+//! Three modes per fsync policy, at batch sizes {1, 8, 64, 256}:
+//!
+//! * **single** — `Db::ingest` per record (a group commit of one);
+//! * **batch** — explicit `Db::ingest_batch` chunks;
+//! * **queued** — `ingest_queue(batch)` + `ingest_async`, submitting a
+//!   chunk of tickets and then awaiting them, so the committer sees
+//!   full batches.
+//!
+//! Each configuration emits one machine-readable `BENCH JSON {...}`
+//! line (mode, policy, batch, rows, wall ms, rows/sec, fsyncs, fsyncs
+//! per row from the `txn.wal.fsyncs` counter delta). `--smoke` runs a
+//! small deterministic subset and *asserts* the fsync amortization
+//! (≥ 8× fewer fsyncs per row at batch 64 under `Always`) — a count
+//! check, not a wall-clock check, so it is stable on a 1-core CI box.
+//!
+//! Qualitative shape to expect: under `Always` group commit wins big
+//! (fsyncs dominate; fsyncs/row drops as 1/batch); under `EveryN(64)`
+//! the gap narrows because the policy already amortizes; under
+//! `OnCheckpoint` nobody fsyncs, so all modes converge to pipeline
+//! cost and the remaining batch win is one lock acquisition + one WAL
+//! append per batch instead of per row.
+
+use scdb_core::{Db, FsyncPolicy};
+use scdb_types::{Record, Value};
+
+use scdb_bench::{banner, time_ms, Table};
+
+const BATCHES: &[usize] = &[1, 8, 64, 256];
+const FULL_ROWS: usize = 512;
+const SMOKE_ROWS: usize = 128;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Single,
+    Batch,
+    Queued,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Single => "single",
+            Mode::Batch => "batch",
+            Mode::Queued => "queued",
+        }
+    }
+}
+
+fn policy_name(policy: FsyncPolicy) -> &'static str {
+    match policy {
+        FsyncPolicy::Always => "always",
+        FsyncPolicy::EveryN(_) => "every64",
+        FsyncPolicy::OnCheckpoint => "on_checkpoint",
+    }
+}
+
+struct RunResult {
+    rows: usize,
+    ms: f64,
+    fsyncs: u64,
+}
+
+impl RunResult {
+    fn rows_per_sec(&self) -> f64 {
+        if self.ms <= 0.0 {
+            0.0
+        } else {
+            self.rows as f64 / (self.ms / 1000.0)
+        }
+    }
+
+    fn fsyncs_per_row(&self) -> f64 {
+        self.fsyncs as f64 / self.rows.max(1) as f64
+    }
+}
+
+/// Deterministic row `i`: a pool name (drives merges), a float, and a
+/// cross-reference (drives link discovery) — the same record shape the
+/// crash schedules use.
+fn record(db: &Db, i: usize) -> Record {
+    let name = db.intern("name");
+    let dose = db.intern("dose");
+    let target = db.intern("ref");
+    Record::from_pairs([
+        (name, Value::str(format!("drug-{}", i % 64))),
+        (dose, Value::Float((i % 10) as f64 + 0.5)),
+        (target, Value::str(format!("drug-{}", (i * 7 + 1) % 64))),
+    ])
+}
+
+fn run(mode: Mode, policy: FsyncPolicy, batch: usize, rows: usize) -> RunResult {
+    let dir = std::env::temp_dir().join(format!(
+        "scdb-e-ing-{}-{}-{}-{batch}",
+        std::process::id(),
+        mode.name(),
+        policy_name(policy)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut builder = Db::builder().durability(&dir, policy);
+    if mode == Mode::Queued {
+        builder = builder.ingest_queue(batch.max(1));
+    }
+    let db = builder.open().expect("open fresh log");
+    db.register_source("bench", Some("name"));
+    let records: Vec<Record> = (0..rows).map(|i| record(&db, i)).collect();
+    let fsyncs_before = scdb_obs::metrics().counter("txn.wal.fsyncs").get();
+    let ((), ms) = time_ms(|| match mode {
+        Mode::Single => {
+            for r in records {
+                db.ingest("bench", r, None).expect("ingest");
+            }
+        }
+        Mode::Batch => {
+            let mut it = records.into_iter();
+            loop {
+                let chunk: Vec<Record> = it.by_ref().take(batch.max(1)).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                db.ingest_batch("bench", chunk).expect("ingest_batch");
+            }
+        }
+        Mode::Queued => {
+            let mut it = records.into_iter();
+            loop {
+                let chunk: Vec<Record> = it.by_ref().take(batch.max(1)).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                let tickets: Vec<_> = chunk
+                    .into_iter()
+                    .map(|r| db.ingest_async("bench", r, None).expect("submit"))
+                    .collect();
+                for t in tickets {
+                    t.wait().expect("group commit");
+                }
+            }
+        }
+    });
+    let fsyncs = scdb_obs::metrics().counter("txn.wal.fsyncs").get() - fsyncs_before;
+    assert_eq!(db.stats().records, rows as u64, "every row curated");
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    RunResult { rows, ms, fsyncs }
+}
+
+fn emit(table: &mut Table, mode: Mode, policy: FsyncPolicy, batch: usize, r: &RunResult) {
+    table.row(&[
+        mode.name().to_string(),
+        policy_name(policy).to_string(),
+        batch.to_string(),
+        r.rows.to_string(),
+        format!("{:.1}", r.ms),
+        format!("{:.0}", r.rows_per_sec()),
+        r.fsyncs.to_string(),
+        format!("{:.4}", r.fsyncs_per_row()),
+    ]);
+    println!(
+        "BENCH JSON {{\"experiment\":\"ingest_throughput\",\"mode\":\"{}\",\
+         \"policy\":\"{}\",\"batch\":{batch},\"rows\":{},\"ms\":{:.2},\
+         \"rows_per_sec\":{:.1},\"fsyncs\":{},\"fsyncs_per_row\":{:.5}}}",
+        mode.name(),
+        policy_name(policy),
+        r.rows,
+        r.ms,
+        r.rows_per_sec(),
+        r.fsyncs,
+        r.fsyncs_per_row()
+    );
+}
+
+fn smoke() -> i32 {
+    let policy = FsyncPolicy::Always;
+    let mut table = new_table();
+    let single = run(Mode::Single, policy, 1, SMOKE_ROWS);
+    emit(&mut table, Mode::Single, policy, 1, &single);
+    let batch64 = run(Mode::Batch, policy, 64, SMOKE_ROWS);
+    emit(&mut table, Mode::Batch, policy, 64, &batch64);
+    let queued64 = run(Mode::Queued, policy, 64, SMOKE_ROWS);
+    emit(&mut table, Mode::Queued, policy, 64, &queued64);
+    println!("\n{}", table.render());
+    // Fsync *counts* are deterministic for single and batch modes;
+    // queued batch shape depends on committer scheduling, so its gate
+    // is looser. No wall-clock assertions (1-core CI box).
+    let mut ok = true;
+    let reduction = single.fsyncs_per_row() / batch64.fsyncs_per_row().max(f64::EPSILON);
+    if reduction < 8.0 {
+        println!(
+            "SMOKE FAIL: ingest_batch@64 reduced fsyncs/row only {reduction:.1}x \
+             (need >= 8x): single={} batch64={}",
+            single.fsyncs, batch64.fsyncs
+        );
+        ok = false;
+    } else {
+        println!("smoke: ingest_batch@64 fsync reduction {reduction:.1}x (>= 8x) OK");
+    }
+    if queued64.fsyncs > single.fsyncs {
+        println!(
+            "SMOKE FAIL: queued@64 issued more fsyncs than single-record ingest \
+             ({} > {})",
+            queued64.fsyncs, single.fsyncs
+        );
+        ok = false;
+    } else {
+        println!(
+            "smoke: queued@64 fsyncs {} <= single {} OK",
+            queued64.fsyncs, single.fsyncs
+        );
+    }
+    if ok {
+        0
+    } else {
+        1
+    }
+}
+
+fn new_table() -> Table {
+    Table::new(&[
+        "mode",
+        "policy",
+        "batch",
+        "rows",
+        "ms",
+        "rows/sec",
+        "fsyncs",
+        "fsyncs/row",
+    ])
+}
+
+fn main() {
+    banner(
+        "E-ING",
+        "group-commit ingest (DESIGN.md §9): fsync amortization vs batch size",
+        "one WAL append seals a whole batch, so fsyncs/row falls as 1/batch under \
+         FsyncPolicy::Always; EveryN narrows the gap, OnCheckpoint leaves only the \
+         per-batch lock + append savings",
+    );
+    if std::env::args().any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
+    let mut table = new_table();
+    for policy in [
+        FsyncPolicy::Always,
+        FsyncPolicy::EveryN(64),
+        FsyncPolicy::OnCheckpoint,
+    ] {
+        let single = run(Mode::Single, policy, 1, FULL_ROWS);
+        emit(&mut table, Mode::Single, policy, 1, &single);
+        for &batch in BATCHES {
+            let r = run(Mode::Batch, policy, batch, FULL_ROWS);
+            emit(&mut table, Mode::Batch, policy, batch, &r);
+            let r = run(Mode::Queued, policy, batch, FULL_ROWS);
+            emit(&mut table, Mode::Queued, policy, batch, &r);
+        }
+    }
+    println!("\n{}", table.render());
+    println!("shape check: under always, batch/queued fsyncs/row ≈ 1/batch while single stays");
+    println!("at 1.0; under every64 the policy already amortizes so the curves meet near batch");
+    println!("64; under on_checkpoint fsyncs are 0 everywhere and the residual win is one lock");
+    println!("acquisition and one WAL append per batch instead of per row.");
+}

@@ -59,6 +59,7 @@ fn run(ops: usize, checkpoint: bool) -> RunResult {
             link_rate: 0.3,
             kv_rate: 0.2,
             checkpoint_every: None,
+            ..ScheduleConfig::default()
         },
         0xEEC,
     );

@@ -52,6 +52,7 @@ const EXPERIMENTS: &[&str] = &[
     "e_s5_codd",
     "e_concurrent_read_scaling",
     "e_recovery",
+    "e_ingest_throughput",
 ];
 
 fn main() {
@@ -144,6 +145,13 @@ fn events_sweep(path: &str) {
             let r = Record::from_pairs([(k, Value::str(format!("key-{i}"))), (v, Value::Int(i))]);
             db.ingest("sweep", r, None).expect("ingest tail");
         }
+        // One group-committed batch so the dump carries a
+        // ("txn", "group_commit.flush") event and the health report
+        // shows the group-commit section.
+        let batch: Vec<Record> = (2_100..2_164i64)
+            .map(|i| Record::from_pairs([(k, Value::str(format!("key-{i}"))), (v, Value::Int(i))]))
+            .collect();
+        db.ingest_batch("sweep", batch).expect("group batch");
         db.sync_wal().expect("sync");
         println!("{}", db.health_report().render());
     }

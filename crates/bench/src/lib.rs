@@ -126,6 +126,19 @@ pub fn apply_curation_op(
             db.ingest(source, Record::from_pairs(pairs), text.as_deref())
                 .map(|_| ())
         }
+        CurationOp::IngestBatch { source, rows } => {
+            let records: Vec<Record> = rows
+                .iter()
+                .map(|attrs| {
+                    Record::from_pairs(
+                        attrs
+                            .iter()
+                            .map(|(name, value)| (db.intern(name), value.clone())),
+                    )
+                })
+                .collect();
+            db.ingest_batch(source, records).map(|_| ())
+        }
         CurationOp::DiscoverLinks => db.discover_links().map(|_| ()),
         CurationOp::KvPut { key, value } => {
             let mut txn = db.kv_begin();

@@ -35,6 +35,16 @@
 //! stored record whose entity assignment does not exist yet (no torn
 //! reads).
 //!
+//! With [`DbBuilder::ingest_queue`] configured, ingest becomes *group
+//! commit*: producers enqueue into a bounded queue (holding **no** shard
+//! locks while enqueuing or waiting on their
+//! [`CommitTicket`]s, so the queue
+//! adds no edges to the lock order) and a dedicated committer thread
+//! drains batches, acquiring the shards once per *batch* in the same
+//! fixed order and sealing the whole batch with a single WAL append —
+//! one fsync amortized over every queued record. See the
+//! [`group_commit`](crate::group_commit) module docs.
+//!
 //! # Durability
 //!
 //! With [`DbBuilder::durability`] configured, every curation mutation is
@@ -43,7 +53,10 @@
 //! classical form. Because the WAL append happens under the `instance` +
 //! `relation` write locks, log order equals apply order, which matters:
 //! entity resolution is order-dependent, so replay must see ingests in
-//! exactly the sequence the live pipeline did. [`Db::open`] rebuilds
+//! exactly the sequence the live pipeline did. Group-commit batches are
+//! sealed by one `CommitGroup` record listing every transaction in the
+//! batch; a torn seal discards the whole batch, so recovery always
+//! restores exactly the committed prefix of *sealed batches*. [`Db::open`] rebuilds
 //! state as *newest valid snapshot + committed log suffix*; unsealed
 //! tails are discarded and torn/bit-rotted bytes are physically cut
 //! (see [`DbRecoveryReport`]). [`Db::checkpoint`] installs a snapshot
@@ -53,7 +66,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::{MappedRwLockReadGuard, Mutex, RwLockReadGuard};
@@ -82,6 +95,7 @@ use scdb_types::{
 };
 
 use crate::error::CoreError;
+use crate::group_commit::{CommitTicket, IngestItem, IngestQueue, TicketState};
 use crate::snapshot::SnapshotRecord;
 
 /// What one ingest did.
@@ -223,6 +237,20 @@ struct DbInner {
     slow_threshold: Duration,
     semantic: TrackedRwLock<SemanticShard>,
     config: TrackedRwLock<ConfigShard>,
+    /// The bounded group-commit queue; `None` unless
+    /// [`DbBuilder::ingest_queue`] was configured. The committer thread
+    /// holds its own `Arc` to the queue plus a [`Weak`] to this inner,
+    /// so dropping the last [`Db`] handle closes the queue (below) and
+    /// lets the committer drain and exit.
+    ingest_queue: Option<Arc<IngestQueue>>,
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        if let Some(queue) = &self.ingest_queue {
+            queue.close();
+        }
+    }
 }
 
 /// What [`Db::open`] rebuilt from the log directory.
@@ -346,6 +374,7 @@ pub struct DbBuilder {
     durability: Option<DurabilityTarget>,
     segment_bytes: Option<u64>,
     slow_query_threshold: Option<Duration>,
+    ingest_queue: Option<usize>,
 }
 
 impl DbBuilder {
@@ -416,6 +445,21 @@ impl DbBuilder {
         self
     }
 
+    /// Enable group-commit ingest: a bounded in-memory queue of
+    /// `capacity` records (minimum 1) drained by a dedicated committer
+    /// thread. [`Db::ingest`] keeps its exact signature — it enqueues
+    /// and blocks until the batch containing its record is durably
+    /// sealed and applied — while [`Db::ingest_async`] returns the
+    /// [`crate::group_commit::CommitTicket`] directly so producers can
+    /// overlap. Many queued records share one WAL append (one fsync);
+    /// producers hitting a full queue block, and the blocked time feeds
+    /// the `txn.group_commit.stall_ns` histogram (backpressure, bounded
+    /// memory). Without this knob every ingest is a batch of one.
+    pub fn ingest_queue(mut self, capacity: usize) -> Self {
+        self.ingest_queue = Some(capacity);
+        self
+    }
+
     /// Lock-wait threshold above which a blocked shard-lock acquisition
     /// emits a `("lock", "contended")` flight-recorder event. This is a
     /// process-global knob (it forwards to
@@ -446,7 +490,8 @@ impl DbBuilder {
             metrics().set_enabled(on);
         }
         let isolation = self.isolation.unwrap_or(IsolationMode::Snapshot);
-        Db {
+        let queue = self.ingest_queue.map(|cap| Arc::new(IngestQueue::new(cap)));
+        let db = Db {
             inner: Arc::new(DbInner {
                 started: Instant::now(),
                 symbols: TrackedRwLock::new(
@@ -499,8 +544,20 @@ impl DbBuilder {
                         executor: self.executor,
                     },
                 ),
+                ingest_queue: queue.clone(),
             }),
+        };
+        if let Some(queue) = queue {
+            // The committer holds only a Weak: the thread never keeps the
+            // database alive. Recovery (DbBuilder::open) runs before any
+            // producer can enqueue, so the thread just parks until then.
+            let weak = Arc::downgrade(&db.inner);
+            std::thread::Builder::new()
+                .name("scdb-group-commit".to_string())
+                .spawn(move || group_committer(weak, queue))
+                .expect("spawn group-commit committer thread");
         }
+        db
     }
 
     /// Open the database: recover snapshot + committed log suffix from
@@ -647,171 +704,256 @@ impl Db {
     /// curation pipeline: store → schema/stats → ER → graph node →
     /// link discovery. Optional `text` is indexed in the text store.
     ///
-    /// Holds the `instance` and `relation` shards exclusively for the
+    /// Without an ingest queue this is a group commit of one: the
+    /// `instance` and `relation` shards are held exclusively for the
     /// whole pipeline, so concurrent readers see either none or all of
-    /// the record's effects.
+    /// the record's effects. With [`DbBuilder::ingest_queue`] configured
+    /// the record is enqueued for the batching committer and this call
+    /// blocks until the batch containing it is durably sealed and
+    /// applied — same guarantees, one amortized fsync.
     pub fn ingest(
         &self,
         source: &str,
         record: Record,
         text: Option<&str>,
     ) -> Result<IngestReport, CoreError> {
+        if let Some(queue) = &self.inner.ingest_queue {
+            return queue
+                .submit(IngestItem {
+                    source: source.to_string(),
+                    record,
+                    text: text.map(str::to_owned),
+                })?
+                .wait();
+        }
+        self.ingest_direct(source, record, text)
+    }
+
+    /// The unqueued single-record path: a batch of one, applied on the
+    /// caller's thread. Recovery replays through this (never the
+    /// queue), so replay order is exactly log order.
+    fn ingest_direct(
+        &self,
+        source: &str,
+        record: Record,
+        text: Option<&str>,
+    ) -> Result<IngestReport, CoreError> {
+        let item = IngestItem {
+            source: source.to_string(),
+            record,
+            text: text.map(str::to_owned),
+        };
+        self.apply_ingest_batch(vec![item])
+            .pop()
+            .expect("one result per item")
+    }
+
+    /// Ingest many records into `source` as one group-committed batch:
+    /// a single WAL append (one fsync under [`FsyncPolicy::Always`])
+    /// seals the whole batch, and the curation pipeline runs for every
+    /// row under one instance+relation write-lock acquisition. Reports
+    /// come back in input order. With an ingest queue configured the
+    /// records ride the shared committer instead — same semantics.
+    ///
+    /// On a per-record pipeline error the first failure is returned;
+    /// every row of a sealed batch is logged, so memory matches the log
+    /// either way.
+    pub fn ingest_batch(
+        &self,
+        source: &str,
+        records: Vec<Record>,
+    ) -> Result<Vec<IngestReport>, CoreError> {
+        if records.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let Some(queue) = &self.inner.ingest_queue {
+            let tickets: Vec<CommitTicket> = records
+                .into_iter()
+                .map(|record| {
+                    queue.submit(IngestItem {
+                        source: source.to_string(),
+                        record,
+                        text: None,
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            return tickets.into_iter().map(CommitTicket::wait).collect();
+        }
+        let items = records
+            .into_iter()
+            .map(|record| IngestItem {
+                source: source.to_string(),
+                record,
+                text: None,
+            })
+            .collect();
+        self.apply_ingest_batch(items).into_iter().collect()
+    }
+
+    /// Enqueue one record for group commit and return its awaitable
+    /// [`CommitTicket`] without blocking for durability — how a single
+    /// producer thread keeps the committer's batches full. Without an
+    /// ingest queue the record is applied inline and the ticket comes
+    /// back already resolved.
+    pub fn ingest_async(
+        &self,
+        source: &str,
+        record: Record,
+        text: Option<&str>,
+    ) -> Result<CommitTicket, CoreError> {
+        let item = IngestItem {
+            source: source.to_string(),
+            record,
+            text: text.map(str::to_owned),
+        };
+        match &self.inner.ingest_queue {
+            Some(queue) => queue.submit(item),
+            None => Ok(CommitTicket::resolved(
+                self.apply_ingest_batch(vec![item])
+                    .pop()
+                    .expect("one result per item"),
+            )),
+        }
+    }
+
+    /// The batched pipeline core every ingest path funnels into.
+    ///
+    /// Three phases under one symbols-read + instance-write +
+    /// relation-write acquisition, so log order equals apply order
+    /// (entity resolution is order-dependent) and readers never see a
+    /// torn batch:
+    ///
+    /// 1. **Prepare** — validate each item's source and resolve its
+    ///    attribute names, once (the only name allocation on the path).
+    ///    A failed item must leave memory and log unchanged; the rest of
+    ///    the batch is unaffected.
+    /// 2. **Log** — under the `durable` mutex, frame every valid row
+    ///    plus one seal record (`Commit` for a batch of one — byte-wise
+    ///    identical to the historical single-record framing —
+    ///    `CommitGroup` otherwise) into a single WAL append. Attribute
+    ///    names are *moved* into the log records and moved back out
+    ///    after the append, never re-cloned. A failed append fails the
+    ///    whole batch: nothing was applied, nothing gets acked.
+    /// 3. **Apply** — run the curation pipeline per row via
+    ///    [`curate_one`], which clones the row exactly once (the
+    ///    store's copy; the resolver consumes the original).
+    fn apply_ingest_batch(&self, items: Vec<IngestItem>) -> Vec<Result<IngestReport, CoreError>> {
         let _span = scdb_obs::span!("core.ingest");
+        if items.is_empty() {
+            return Vec::new();
+        }
         let symbols = self.inner.symbols.read();
         let mut instance = self.inner.instance.write();
         let mut relation = self.inner.relation.write();
         let inst = &mut *instance;
         let rel = &mut *relation;
-        // Validate the source and resolve attribute names *before*
-        // touching any state — a failed ingest must leave both memory
-        // and log unchanged.
-        let identity_attr_cfg;
-        let source_id;
-        {
-            let state = inst.source_state(source)?;
-            identity_attr_cfg = state.identity_attr.clone();
-            source_id = state.id;
-        }
-        // Per-attribute statistics are keyed by attribute *name*; keep
-        // the symbol alongside for link discovery below.
-        let attr_entries: Vec<(Symbol, String, Value)> = record
-            .iter()
-            .map(|(a, v)| (a, symbols.resolve(a).to_string(), v.clone()))
+        // Phase 1: prepare.
+        let mut prepared: Vec<Result<Prepared, CoreError>> = items
+            .into_iter()
+            .map(|item| {
+                let state = inst.source_state(&item.source)?;
+                let identity_attr = state.identity_attr.clone();
+                let source_id = state.id;
+                let mut syms = Vec::new();
+                let mut attrs = Vec::new();
+                for (a, v) in item.record.iter() {
+                    syms.push(a);
+                    attrs.push((symbols.resolve(a).to_string(), v.clone()));
+                }
+                Ok(Prepared {
+                    source: item.source,
+                    source_id,
+                    identity_attr,
+                    record: item.record,
+                    syms,
+                    attrs,
+                    text: item.text,
+                })
+            })
             .collect();
-        // Write-ahead: log the row and its commit seal while holding the
-        // instance+relation write locks, so log order equals apply order
-        // (entity resolution is order-dependent). Recovery replays this
-        // record through the same pipeline only if the seal made it to
-        // the medium.
+        // Phase 2: log the batch and its seal in one append.
         {
             let mut durable = self.inner.durable.lock();
             if let Some(wal) = durable.as_mut() {
-                let txn = wal.next_txn_id();
-                wal.append_sealed(&[
-                    LogRecord::IngestRow {
-                        txn,
-                        source: source.to_string(),
-                        attrs: attr_entries
-                            .iter()
-                            .map(|(_, n, v)| (n.clone(), v.clone()))
-                            .collect(),
-                        text: text.map(str::to_owned),
-                    },
-                    LogRecord::Commit { txn },
-                ])?;
-            }
-        }
-        rel.tick += 1;
-        let tick = rel.tick;
-        // 1. Instance layer.
-        let record_id = inst.source_state_mut(source)?.store.append(record.clone());
-        {
-            let state = inst.source_state_mut(source)?;
-            for (_, name, value) in &attr_entries {
-                state
-                    .stats
-                    .entry(name.clone())
-                    .or_insert_with(|| AttrStatistics::new(16, 4096))
-                    .observe(value);
-            }
-        }
-        // 2. Relation layer: entity resolution.
-        let event = rel.resolver.add(record_id, record.clone(), &symbols);
-        let entity = event.entity;
-        rel.stats.records += 1;
-        if !event.fresh {
-            rel.stats.merges += 1;
-        }
-        // Graph node (merge absorbed entities into the survivor).
-        rel.graph.ensure_node(entity);
-        for absorbed in &event.absorbed {
-            if rel.graph.contains(*absorbed) {
-                rel.graph.merge_nodes(entity, *absorbed)?;
-            }
-            // Remap name index entries pointing at the absorbed entity.
-            for target in rel.entity_by_name.values_mut() {
-                if target == absorbed {
-                    *target = entity;
-                }
-            }
-            if let Some(name) = rel.identity_of_entity.remove(absorbed) {
-                rel.identity_of_entity.entry(entity).or_insert(name);
-            }
-        }
-        {
-            let node = rel.graph.node_mut(entity)?;
-            for (a, v) in record.iter() {
-                if node.attrs.get(a).is_none() {
-                    node.attrs.set(a, v.clone());
-                }
-            }
-            node.records.push(record_id);
-        }
-        // Identity registration.
-        let identity_value = match &identity_attr_cfg {
-            Some(attr) => attr_entries
-                .iter()
-                .find(|(_, n, _)| n == attr)
-                .map(|(_, _, v)| v.clone()),
-            None => record
-                .iter()
-                .find(|(_, v)| v.kind() == ValueKind::Str)
-                .map(|(_, v)| v.clone()),
-        };
-        if let Some(v) = identity_value {
-            let key = normalize(&v.render());
-            if !key.is_empty() {
-                rel.entity_by_name.entry(key.clone()).or_insert(entity);
-                rel.identity_of_entity.entry(entity).or_insert(key);
-            }
-        }
-        // 3. Link discovery: non-identity values referencing other
-        // entities become edges labelled by the attribute.
-        let mut links = 0usize;
-        let identity_key = rel.identity_of_entity.get(&entity).cloned();
-        for (attr_sym, _, value) in &attr_entries {
-            if value.kind() != ValueKind::Str {
-                continue;
-            }
-            let key = normalize(&value.render());
-            if key.is_empty() || Some(&key) == identity_key.as_ref() {
-                continue;
-            }
-            if let Some(&target) = rel.entity_by_name.get(&key) {
-                if target != entity {
-                    let prov = Provenance::inferred(source_id, Confidence::CERTAIN, tick);
-                    if rel.graph.add_edge(entity, target, *attr_sym, prov)? {
-                        links += 1;
-                        rel.stats.links += 1;
+                let valid: Vec<usize> = prepared
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.is_ok())
+                    .map(|(i, _)| i)
+                    .collect();
+                if !valid.is_empty() {
+                    let mut recs = Vec::with_capacity(valid.len() + 1);
+                    let mut txns = Vec::with_capacity(valid.len());
+                    for &i in &valid {
+                        let p = prepared[i].as_mut().expect("index filtered on Ok");
+                        let txn = wal.next_txn_id();
+                        txns.push(txn);
+                        recs.push(LogRecord::IngestRow {
+                            txn,
+                            source: p.source.clone(),
+                            attrs: std::mem::take(&mut p.attrs),
+                            text: p.text.take(),
+                        });
+                    }
+                    let appended = if txns.len() == 1 {
+                        recs.push(LogRecord::Commit { txn: txns[0] });
+                        wal.append_sealed(&recs)
+                    } else {
+                        recs.push(LogRecord::CommitGroup { txns });
+                        wal.append_group(&recs, valid.len())
+                    };
+                    match appended {
+                        Ok(()) => {
+                            // Hand the framed attrs/text back to their
+                            // slots for the apply phase.
+                            let mut frames = recs.into_iter();
+                            for &i in &valid {
+                                if let Some(LogRecord::IngestRow { attrs, text, .. }) =
+                                    frames.next()
+                                {
+                                    let p = prepared[i].as_mut().expect("index filtered on Ok");
+                                    p.attrs = attrs;
+                                    p.text = text;
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            // The seal never reached the medium: the
+                            // whole batch fails, nothing is applied.
+                            let msg = CoreError::from(e).chain();
+                            for &i in &valid {
+                                prepared[i] = Err(CoreError::GroupCommit(msg.clone()));
+                            }
+                            return prepared
+                                .into_iter()
+                                .map(|p| match p {
+                                    Ok(_) => unreachable!("every valid slot was failed above"),
+                                    Err(e) => Err(e),
+                                })
+                                .collect();
+                        }
                     }
                 }
             }
         }
-        // 4. Unstructured payload.
-        if let Some(t) = text {
-            inst.text.index(record_id, t);
+        // Phase 3: apply, in log order.
+        let mut out = Vec::with_capacity(prepared.len());
+        let mut applied = false;
+        for p in prepared {
+            match p {
+                Ok(p) => {
+                    out.push(curate_one(inst, rel, &symbols, p));
+                    applied = true;
+                }
+                Err(e) => out.push(Err(e)),
+            }
         }
-        // Curation changed the world: invalidate the semantic cache
-        // (semantic comes after relation in the lock order).
-        self.inner.semantic.write().saturation = None;
-        scdb_obs::event(
-            "core",
-            "ingest",
-            &[
-                ("source", F::Str(source.into())),
-                ("entity", F::U64(entity.0)),
-                ("fresh", F::U64(event.fresh as u64)),
-                ("links", F::U64(links as u64)),
-                ("absorbed", F::U64(event.absorbed.len() as u64)),
-            ],
-        );
-        Ok(IngestReport {
-            record: record_id,
-            entity,
-            fresh_entity: event.fresh,
-            absorbed: event.absorbed,
-            links_discovered: links,
-        })
+        // Curation changed the world: invalidate the semantic cache once
+        // per batch (semantic comes after relation in the lock order).
+        if applied {
+            self.inner.semantic.write().saturation = None;
+        }
+        out
     }
 
     /// Ingest a JSON document (§3.1: the instance layer "must natively
@@ -1261,7 +1403,7 @@ impl Db {
     /// [`crate::health::DbHealthReport::render`] or serialize with
     /// [`crate::health::DbHealthReport::to_json`].
     pub fn health_report(&self) -> crate::health::DbHealthReport {
-        use crate::health::{DbHealthReport, LockWaitSummary, WalHealth};
+        use crate::health::{DbHealthReport, GroupCommitHealth, LockWaitSummary, WalHealth};
         let curation = self.stats();
         let entities = self.entity_count();
         let sources = self.source_count();
@@ -1295,6 +1437,29 @@ impl Db {
             }
         })
         .collect();
+        let queue_capacity = self
+            .inner
+            .ingest_queue
+            .as_ref()
+            .map(|q| q.capacity())
+            .unwrap_or(0);
+        let flushes = metrics().counter("txn.group_commit.flushes").get();
+        let group_commit = (queue_capacity > 0 || flushes > 0).then(|| {
+            let batch = metrics()
+                .histogram("txn.group_commit.batch_records")
+                .snapshot();
+            let stall = metrics().histogram("txn.group_commit.stall_ns").snapshot();
+            GroupCommitHealth {
+                queue_capacity,
+                queue_depth: metrics().gauge("core.ingest_queue.depth").get(),
+                flushes,
+                batch_records: batch.sum,
+                max_batch: batch.max,
+                fsyncs_saved: metrics().counter("txn.group_commit.fsyncs_saved").get(),
+                stalls: stall.count,
+                stall_p99_ns: stall.p99,
+            }
+        });
         let events = scdb_obs::events();
         DbHealthReport {
             uptime_ms: self.inner.started.elapsed().as_millis() as u64,
@@ -1303,6 +1468,7 @@ impl Db {
             sources,
             durable,
             wal,
+            group_commit,
             locks,
             slow_queries: self.inner.slow.lock().len(),
             slow_query_threshold_ms: self.inner.slow_threshold.as_millis() as u64,
@@ -1633,6 +1799,19 @@ impl Db {
                         self.replay_op(op)?;
                     }
                 }
+                LogRecord::CommitGroup { txns } => {
+                    // A group seal commits every listed transaction at
+                    // once, in log (= apply) order. A missing/torn seal
+                    // leaves them all in `pending` — discarded below.
+                    report.records_replayed += 1;
+                    for txn in txns {
+                        let ops = pending.remove(&txn).unwrap_or_default();
+                        report.records_replayed += ops.len();
+                        for op in ops {
+                            self.replay_op(op)?;
+                        }
+                    }
+                }
                 LogRecord::Abort { txn } => {
                     if pending.remove(&txn).is_some() {
                         report.txns_discarded += 1;
@@ -1663,7 +1842,7 @@ impl Db {
                             .map(|(name, value)| (symbols.intern(&name), value)),
                     )
                 };
-                self.ingest(&source, record, text.as_deref())?;
+                self.ingest_direct(&source, record, text.as_deref())?;
             }
             LogRecord::DiscoverLinks { .. } => {
                 self.discover_links()?;
@@ -1900,6 +2079,191 @@ impl Db {
 
 /// Serialize the durable state as snapshot frame payloads, in install
 /// order (sources → rows → nodes → edges → indexes → kv → meta → tail).
+/// One prepared row, ready to log and apply: source pre-validated,
+/// attribute names resolved exactly once.
+struct Prepared {
+    source: String,
+    source_id: SourceId,
+    identity_attr: Option<String>,
+    record: Record,
+    /// Attribute symbols, in `record.iter()` order.
+    syms: Vec<Symbol>,
+    /// `(resolved name, value)` pairs, parallel to `syms`.
+    attrs: Vec<(String, Value)>,
+    text: Option<String>,
+}
+
+/// Run the per-record curation pipeline (store → stats → ER → graph →
+/// link discovery → text) under the caller's shard write locks. The row
+/// is cloned exactly once: the store keeps the clone, the resolver
+/// consumes the original.
+fn curate_one(
+    inst: &mut InstanceShard,
+    rel: &mut RelationShard,
+    symbols: &SymbolTable,
+    p: Prepared,
+) -> Result<IngestReport, CoreError> {
+    let Prepared {
+        source,
+        source_id,
+        identity_attr,
+        record,
+        syms,
+        attrs,
+        text,
+    } = p;
+    rel.tick += 1;
+    let tick = rel.tick;
+    // 1. Instance layer.
+    let record_id;
+    {
+        let state = inst.source_state_mut(&source)?;
+        record_id = state.store.append(record.clone());
+        for (name, value) in &attrs {
+            // Two cheap lookups beat cloning the name on every row: the
+            // clone happens only the first time an attribute is seen.
+            if !state.stats.contains_key(name) {
+                state
+                    .stats
+                    .insert(name.clone(), AttrStatistics::new(16, 4096));
+            }
+            state
+                .stats
+                .get_mut(name)
+                .expect("just ensured present")
+                .observe(value);
+        }
+    }
+    // 2. Relation layer: entity resolution.
+    let event = rel.resolver.add(record_id, record, symbols);
+    let entity = event.entity;
+    rel.stats.records += 1;
+    if !event.fresh {
+        rel.stats.merges += 1;
+    }
+    // Graph node (merge absorbed entities into the survivor).
+    rel.graph.ensure_node(entity);
+    for absorbed in &event.absorbed {
+        if rel.graph.contains(*absorbed) {
+            rel.graph.merge_nodes(entity, *absorbed)?;
+        }
+        // Remap name index entries pointing at the absorbed entity.
+        for target in rel.entity_by_name.values_mut() {
+            if target == absorbed {
+                *target = entity;
+            }
+        }
+        if let Some(name) = rel.identity_of_entity.remove(absorbed) {
+            rel.identity_of_entity.entry(entity).or_insert(name);
+        }
+    }
+    {
+        let node = rel.graph.node_mut(entity)?;
+        for (sym, (_, v)) in syms.iter().zip(&attrs) {
+            if node.attrs.get(*sym).is_none() {
+                node.attrs.set(*sym, v.clone());
+            }
+        }
+        node.records.push(record_id);
+    }
+    // Identity registration.
+    let identity_value = match &identity_attr {
+        Some(attr) => attrs
+            .iter()
+            .find(|(n, _)| n == attr)
+            .map(|(_, v)| v.clone()),
+        None => attrs
+            .iter()
+            .find(|(_, v)| v.kind() == ValueKind::Str)
+            .map(|(_, v)| v.clone()),
+    };
+    if let Some(v) = identity_value {
+        let key = normalize(&v.render());
+        if !key.is_empty() {
+            rel.entity_by_name.entry(key.clone()).or_insert(entity);
+            rel.identity_of_entity.entry(entity).or_insert(key);
+        }
+    }
+    // 3. Link discovery: non-identity values referencing other
+    // entities become edges labelled by the attribute.
+    let mut links = 0usize;
+    let identity_key = rel.identity_of_entity.get(&entity).cloned();
+    for (attr_sym, (_, value)) in syms.iter().zip(&attrs) {
+        if value.kind() != ValueKind::Str {
+            continue;
+        }
+        let key = normalize(&value.render());
+        if key.is_empty() || Some(&key) == identity_key.as_ref() {
+            continue;
+        }
+        if let Some(&target) = rel.entity_by_name.get(&key) {
+            if target != entity {
+                let prov = Provenance::inferred(source_id, Confidence::CERTAIN, tick);
+                if rel.graph.add_edge(entity, target, *attr_sym, prov)? {
+                    links += 1;
+                    rel.stats.links += 1;
+                }
+            }
+        }
+    }
+    // 4. Unstructured payload.
+    if let Some(t) = &text {
+        inst.text.index(record_id, t);
+    }
+    scdb_obs::event(
+        "core",
+        "ingest",
+        &[
+            ("source", F::Str(source.as_str().into())),
+            ("entity", F::U64(entity.0)),
+            ("fresh", F::U64(event.fresh as u64)),
+            ("links", F::U64(links as u64)),
+            ("absorbed", F::U64(event.absorbed.len() as u64)),
+        ],
+    );
+    Ok(IngestReport {
+        record: record_id,
+        entity,
+        fresh_entity: event.fresh,
+        absorbed: event.absorbed,
+        links_discovered: links,
+    })
+}
+
+/// The committer loop: drain the queue in batches, run each batch
+/// through the shared pipeline, resolve the tickets. Exits when the
+/// queue is closed and drained (the last [`Db`] handle dropped).
+fn group_committer(inner: Weak<DbInner>, queue: Arc<IngestQueue>) {
+    let max_batch = queue.capacity();
+    loop {
+        let batch = queue.pop_batch(max_batch);
+        if batch.is_empty() {
+            return;
+        }
+        match inner.upgrade() {
+            Some(inner) => {
+                let db = Db { inner };
+                let (items, tickets): (Vec<IngestItem>, Vec<Arc<TicketState>>) =
+                    batch.into_iter().unzip();
+                let results = db.apply_ingest_batch(items);
+                for (ticket, result) in tickets.iter().zip(results) {
+                    ticket.resolve(result);
+                }
+            }
+            None => {
+                // The database is gone: these records were accepted but
+                // never sealed. Their producers must see a failure, not
+                // a silent drop.
+                for (_, ticket) in batch {
+                    ticket.resolve(Err(CoreError::GroupCommit(
+                        "database dropped before the batch was committed".to_string(),
+                    )));
+                }
+            }
+        }
+    }
+}
+
 fn build_snapshot(
     symbols: &SymbolTable,
     instance: &InstanceShard,
@@ -2455,5 +2819,186 @@ mod tests {
             .unwrap();
         let hits = db.text().search("blood clots", 5);
         assert_eq!(hits[0].record, rep.record);
+    }
+
+    /// `(name, gene)` pairs covering a merge (case-folded duplicate) and
+    /// a link (value referencing an earlier entity).
+    const BATCH_ROWS: [(&str, &str); 4] = [
+        ("Methotrexate", "DHFR"),
+        ("methotrexate", "DHFR"),
+        ("Warfarin", "TP53"),
+        ("Aspirin", "methotrexate"),
+    ];
+
+    #[test]
+    fn ingest_batch_matches_per_record_ingest() {
+        let reference = Db::new();
+        reference.register_source("drugbank", Some("Drug Name"));
+        for (n, g) in BATCH_ROWS {
+            reference
+                .ingest("drugbank", drug_record(&reference, n, g), None)
+                .unwrap();
+        }
+        let db = Db::new();
+        db.register_source("drugbank", Some("Drug Name"));
+        let records: Vec<Record> = BATCH_ROWS
+            .iter()
+            .map(|(n, g)| drug_record(&db, n, g))
+            .collect();
+        let reports = db.ingest_batch("drugbank", records).unwrap();
+        assert_eq!(reports.len(), BATCH_ROWS.len());
+        assert!(!reports[1].fresh_entity, "case-folded duplicate merged");
+        assert_eq!(reports[3].links_discovered, 1, "late reference linked");
+        assert_eq!(db.state_dump(), reference.state_dump());
+        assert!(db.ingest_batch("drugbank", Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn queued_ingest_equivalent_and_reported_healthy() {
+        let reference = Db::new();
+        seed_curated(&reference);
+        let db = Db::builder().ingest_queue(8).build();
+        seed_curated(&db);
+        assert_eq!(db.state_dump(), reference.state_dump());
+        let health = db.health_report();
+        let gc = health.group_commit.expect("queue configured");
+        assert_eq!(gc.queue_capacity, 8);
+        assert!(health.render().contains("group commit"));
+        assert!(health
+            .to_json()
+            .get("group_commit")
+            .unwrap()
+            .as_object()
+            .is_some());
+    }
+
+    #[test]
+    fn queued_ingest_surfaces_per_record_errors() {
+        let db = Db::builder().ingest_queue(4).build();
+        db.register_source("a", Some("Drug Name"));
+        let good = db
+            .ingest_async("a", drug_record(&db, "Warfarin", "TP53"), None)
+            .unwrap();
+        let bad = db
+            .ingest_async("nope", drug_record(&db, "Aspirin", "PTGS2"), None)
+            .unwrap();
+        assert!(matches!(bad.wait(), Err(CoreError::UnknownSource(_))));
+        good.wait().unwrap();
+        assert_eq!(db.stats().records, 1, "the bad row touched nothing");
+    }
+
+    #[test]
+    fn ingest_async_without_queue_resolves_inline() {
+        let db = Db::new();
+        db.register_source("a", Some("Drug Name"));
+        let t = db
+            .ingest_async("a", drug_record(&db, "Warfarin", "TP53"), None)
+            .unwrap();
+        assert!(t.is_resolved());
+        assert!(t.wait().unwrap().fresh_entity);
+    }
+
+    #[test]
+    fn full_queue_applies_backpressure_without_deadlock() {
+        let db = Db::builder().ingest_queue(1).build();
+        db.register_source("a", Some("Drug Name"));
+        let tickets: Vec<_> = (0..16)
+            .map(|i| {
+                db.ingest_async("a", drug_record(&db, &format!("Drug{i}"), "TP53"), None)
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(db.stats().records, 16);
+    }
+
+    #[test]
+    fn dropping_db_closes_queue_and_resolves_tickets() {
+        let db = Db::builder().ingest_queue(8).build();
+        db.register_source("a", Some("Drug Name"));
+        let ticket = db
+            .ingest_async("a", drug_record(&db, "Warfarin", "TP53"), None)
+            .unwrap();
+        drop(db);
+        // Either the committer sealed the record before the drop (Ok) or
+        // the close beat it (group-commit error) — but the ticket must
+        // resolve; an enqueued-then-dropped record never hangs a waiter.
+        match ticket.wait() {
+            Ok(r) => assert!(r.fresh_entity),
+            Err(CoreError::GroupCommit(_)) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn queued_durable_group_commit_recovers() {
+        let dir = tmpdir("group");
+        let reference = Db::new();
+        reference.register_source("drugbank", Some("Drug Name"));
+        for (n, g) in BATCH_ROWS {
+            reference
+                .ingest("drugbank", drug_record(&reference, n, g), None)
+                .unwrap();
+        }
+        {
+            let db = Db::builder()
+                .ingest_queue(16)
+                .durability(&dir, FsyncPolicy::Always)
+                .open()
+                .unwrap();
+            db.register_source("drugbank", Some("Drug Name"));
+            // Submit everything before waiting, so the committer can
+            // seal multiple rows under one CommitGroup.
+            let tickets: Vec<_> = BATCH_ROWS
+                .iter()
+                .map(|(n, g)| {
+                    db.ingest_async("drugbank", drug_record(&db, n, g), None)
+                        .unwrap()
+                })
+                .collect();
+            for t in tickets {
+                t.wait().unwrap();
+            }
+            assert_eq!(db.state_dump(), reference.state_dump());
+        }
+        // Reopen WITHOUT a queue: replay of group-sealed rows goes
+        // through the direct path and lands on identical state.
+        let db = Db::open(&dir).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert_eq!(report.txns_discarded, 0);
+        assert!(report.records_replayed >= BATCH_ROWS.len());
+        assert_eq!(db.state_dump(), reference.state_dump());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_ingest_batch_is_one_group_seal() {
+        let dir = tmpdir("batchseal");
+        let reference = Db::new();
+        reference.register_source("drugbank", Some("Drug Name"));
+        for (n, g) in BATCH_ROWS {
+            reference
+                .ingest("drugbank", drug_record(&reference, n, g), None)
+                .unwrap();
+        }
+        {
+            let db = Db::builder()
+                .durability(&dir, FsyncPolicy::Always)
+                .open()
+                .unwrap();
+            db.register_source("drugbank", Some("Drug Name"));
+            let records: Vec<Record> = BATCH_ROWS
+                .iter()
+                .map(|(n, g)| drug_record(&db, n, g))
+                .collect();
+            db.ingest_batch("drugbank", records).unwrap();
+            assert_eq!(db.state_dump(), reference.state_dump());
+        }
+        let db = Db::open(&dir).unwrap();
+        assert_eq!(db.recovery_report().unwrap().txns_discarded, 0);
+        assert_eq!(db.state_dump(), reference.state_dump());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

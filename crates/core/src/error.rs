@@ -29,6 +29,11 @@ pub enum CoreError {
     /// Recovery found an inconsistent snapshot or log, or a durability
     /// operation was requested on a database without a configured log.
     Recovery(String),
+    /// A group-commit batch failed as a whole (e.g. its WAL seal could
+    /// not be written), or an ingest was submitted to a closed queue.
+    /// Carries the rendered cause: one WAL failure fans out to every
+    /// ticket in the batch, and the underlying error is not cloneable.
+    GroupCommit(String),
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +50,7 @@ impl fmt::Display for CoreError {
             CoreError::Query(e) => write!(f, "query: {e}"),
             CoreError::Txn(e) => write!(f, "txn: {e}"),
             CoreError::Recovery(msg) => write!(f, "recovery: {msg}"),
+            CoreError::GroupCommit(msg) => write!(f, "group commit: {msg}"),
         }
     }
 }
@@ -55,7 +61,8 @@ impl std::error::Error for CoreError {
             CoreError::UnknownSource(_)
             | CoreError::UnknownEntity(_)
             | CoreError::InvalidDocument { .. }
-            | CoreError::Recovery(_) => None,
+            | CoreError::Recovery(_)
+            | CoreError::GroupCommit(_) => None,
             CoreError::Storage(e) => Some(e),
             CoreError::Graph(e) => Some(e),
             CoreError::Semantic(e) => Some(e),

@@ -1,0 +1,275 @@
+//! Group-commit ingest machinery: the bounded queue producers feed and
+//! the commit tickets they wait on.
+//!
+//! With [`crate::DbBuilder::ingest_queue`] configured, `Db::ingest` no
+//! longer runs the curation pipeline on the caller's thread. Producers
+//! enqueue `(source, record, text)` items into a bounded queue and
+//! receive a [`CommitTicket`]; a dedicated committer thread drains the
+//! queue in arrival order, seals the whole batch into **one**
+//! `DurableWal` append (one fsync amortized over the batch), applies the
+//! curation pipeline for every row under a single instance+relation
+//! write-lock acquisition, and only then resolves the tickets. Ticket
+//! resolution therefore implies the batch's seal reached the medium —
+//! durability semantics are identical to the per-record path.
+//!
+//! Backpressure: a producer hitting a full queue blocks until the
+//! committer drains it, and the time spent blocked feeds the
+//! `txn.group_commit.stall_ns` histogram. The queue never grows past its
+//! capacity, so memory stays bounded no matter how far producers run
+//! ahead of the medium.
+
+use std::collections::VecDeque;
+// std primitives, not parking_lot: the queue needs a Condvar, and the
+// pairing with poison recovery below keeps a panicking committer from
+// wedging producers.
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use scdb_obs::metrics;
+use scdb_types::Record;
+
+use crate::db::IngestReport;
+use crate::error::CoreError;
+
+/// One queued ingest: the arguments of a `Db::ingest` call, owned.
+pub(crate) struct IngestItem {
+    /// Destination source name.
+    pub source: String,
+    /// The record to curate.
+    pub record: Record,
+    /// Optional free-text payload for the text index.
+    pub text: Option<String>,
+}
+
+/// Shared resolution slot behind a [`CommitTicket`].
+pub(crate) struct TicketState {
+    done: Mutex<Option<Result<IngestReport, CoreError>>>,
+    cv: Condvar,
+}
+
+impl TicketState {
+    fn new() -> Arc<TicketState> {
+        Arc::new(TicketState {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Resolve the ticket; wakes every waiter. Called exactly once, by
+    /// the committer (or by the inline path for unqueued databases).
+    pub(crate) fn resolve(&self, result: Result<IngestReport, CoreError>) {
+        let mut done = lock(&self.done);
+        *done = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// An awaitable acknowledgment for one queued ingest.
+///
+/// Returned by [`crate::Db::ingest_async`]. [`CommitTicket::wait`]
+/// blocks until the batching committer has (a) sealed the batch
+/// containing this record on the durable medium and (b) applied the
+/// curation pipeline — the same guarantee a synchronous
+/// [`crate::Db::ingest`] gives on return. Until `wait` returns the
+/// record is *not* durable: a crash may discard it, and recovery will
+/// never expose a record whose ticket was not yet resolvable.
+#[must_use = "an unawaited ticket gives no durability guarantee"]
+pub struct CommitTicket {
+    inner: Arc<TicketState>,
+}
+
+impl std::fmt::Debug for CommitTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitTicket")
+            .field("resolved", &self.is_resolved())
+            .finish()
+    }
+}
+
+impl CommitTicket {
+    /// A ticket resolved on the spot (the unqueued `ingest_async` path).
+    pub(crate) fn resolved(result: Result<IngestReport, CoreError>) -> CommitTicket {
+        let state = TicketState::new();
+        state.resolve(result);
+        CommitTicket { inner: state }
+    }
+
+    /// True once the committer has resolved this ticket ([`wait`]
+    /// returns immediately).
+    ///
+    /// [`wait`]: CommitTicket::wait
+    pub fn is_resolved(&self) -> bool {
+        lock(&self.inner.done).is_some()
+    }
+
+    /// Block until the batch containing this record is durably sealed
+    /// and applied, then return its [`IngestReport`] (or the error that
+    /// failed it).
+    pub fn wait(self) -> Result<IngestReport, CoreError> {
+        let mut done = lock(&self.inner.done);
+        while done.is_none() {
+            done = wait(&self.inner.cv, done);
+        }
+        done.take().expect("loop exits only when resolved")
+    }
+}
+
+/// Lock with poison recovery: a committer panic must surface as ticket
+/// errors / a closed queue, never as a second panic in a producer.
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Condvar wait with the same poison recovery as [`lock`].
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct QueueState {
+    items: VecDeque<(IngestItem, Arc<TicketState>)>,
+    closed: bool,
+}
+
+/// The bounded producer/committer queue (see the module docs).
+pub(crate) struct IngestQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    /// Signaled when the committer drains (producers blocked on a full
+    /// queue) or the queue closes.
+    not_full: Condvar,
+    /// Signaled when a producer enqueues or the queue closes.
+    not_empty: Condvar,
+}
+
+impl IngestQueue {
+    pub(crate) fn new(capacity: usize) -> IngestQueue {
+        IngestQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Maximum queued items — also the committer's per-flush batch cap.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueue one item, blocking while the queue is full
+    /// (backpressure; the blocked time feeds
+    /// `txn.group_commit.stall_ns`). Errors once the queue is closed.
+    pub(crate) fn submit(&self, item: IngestItem) -> Result<CommitTicket, CoreError> {
+        let mut state = lock(&self.state);
+        if state.items.len() >= self.capacity && !state.closed {
+            let start = Instant::now();
+            while state.items.len() >= self.capacity && !state.closed {
+                state = wait(&self.not_full, state);
+            }
+            metrics().observe(
+                "txn.group_commit.stall_ns",
+                start.elapsed().as_nanos() as u64,
+            );
+        }
+        if state.closed {
+            return Err(CoreError::GroupCommit(
+                "ingest queue is closed (database dropped)".to_string(),
+            ));
+        }
+        let ticket = TicketState::new();
+        state.items.push_back((item, Arc::clone(&ticket)));
+        metrics().gauge_set("core.ingest_queue.depth", state.items.len() as i64);
+        self.not_empty.notify_one();
+        Ok(CommitTicket { inner: ticket })
+    }
+
+    /// Dequeue up to `max` items in arrival order, blocking while the
+    /// queue is empty and open. Returns an empty batch only when the
+    /// queue is closed **and** drained — the committer's exit signal.
+    pub(crate) fn pop_batch(&self, max: usize) -> Vec<(IngestItem, Arc<TicketState>)> {
+        let mut state = lock(&self.state);
+        while state.items.is_empty() && !state.closed {
+            state = wait(&self.not_empty, state);
+        }
+        let n = state.items.len().min(max.max(1));
+        let batch: Vec<_> = state.items.drain(..n).collect();
+        metrics().gauge_set("core.ingest_queue.depth", state.items.len() as i64);
+        if !batch.is_empty() {
+            self.not_full.notify_all();
+        }
+        batch
+    }
+
+    /// Close the queue: producers error out, the committer drains what
+    /// is left and exits. Idempotent.
+    pub(crate) fn close(&self) {
+        let mut state = lock(&self.state);
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(n: u64) -> IngestItem {
+        IngestItem {
+            source: "s".to_string(),
+            record: Record::from_pairs([(scdb_types::Symbol(0), scdb_types::Value::Int(n as i64))]),
+            text: None,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_batch_cap() {
+        let q = IngestQueue::new(8);
+        let tickets: Vec<CommitTicket> = (0..5).map(|n| q.submit(item(n)).unwrap()).collect();
+        let batch = q.pop_batch(3);
+        assert_eq!(batch.len(), 3, "batch cap respected");
+        let vals: Vec<i64> = batch
+            .iter()
+            .filter_map(|(i, _)| i.record.iter().next().and_then(|(_, v)| v.as_int()))
+            .collect();
+        assert_eq!(vals, vec![0, 1, 2], "arrival order preserved");
+        assert_eq!(q.pop_batch(16).len(), 2);
+        drop(tickets);
+    }
+
+    #[test]
+    fn closed_queue_rejects_and_unblocks() {
+        let q = Arc::new(IngestQueue::new(1));
+        let _fill = q.submit(item(0)).unwrap();
+        let q2 = Arc::clone(&q);
+        let blocked = std::thread::spawn(move || q2.submit(item(1)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        let res = blocked.join().unwrap();
+        assert!(matches!(res, Err(CoreError::GroupCommit(_))));
+        assert!(matches!(q.submit(item(2)), Err(CoreError::GroupCommit(_))));
+        // Committer still drains the accepted item, then sees the close.
+        assert_eq!(q.pop_batch(8).len(), 1);
+        assert!(q.pop_batch(8).is_empty(), "closed + drained");
+    }
+
+    #[test]
+    fn ticket_wait_blocks_until_resolved() {
+        let state = TicketState::new();
+        let ticket = CommitTicket {
+            inner: Arc::clone(&state),
+        };
+        assert!(!ticket.is_resolved());
+        let waiter = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        state.resolve(Err(CoreError::GroupCommit("x".to_string())));
+        assert!(matches!(
+            waiter.join().unwrap(),
+            Err(CoreError::GroupCommit(_))
+        ));
+    }
+}

@@ -41,6 +41,31 @@ pub struct WalHealth {
     pub fsyncs: u64,
 }
 
+/// Group-commit ingest health: queue occupancy, flush shape, and how
+/// much fsync work batching saved. Distilled from the
+/// `txn.group_commit.*` metrics plus the `core.ingest_queue.depth`
+/// gauge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommitHealth {
+    /// Configured queue capacity; `0` when no queue is configured (the
+    /// counters below can still be non-zero via `Db::ingest_batch`).
+    pub queue_capacity: usize,
+    /// Records currently queued (last gauge value).
+    pub queue_depth: i64,
+    /// Group flushes (multi-record WAL appends) so far.
+    pub flushes: u64,
+    /// Records committed through group flushes.
+    pub batch_records: u64,
+    /// Largest single batch flushed.
+    pub max_batch: u64,
+    /// Fsyncs avoided versus committing each record individually.
+    pub fsyncs_saved: u64,
+    /// Producer stalls on a full queue (backpressure events).
+    pub stalls: u64,
+    /// 99th-percentile stall in nanoseconds (bucket upper bound).
+    pub stall_p99_ns: u64,
+}
+
 /// The composite health report returned by `Db::health_report()`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DbHealthReport {
@@ -56,6 +81,9 @@ pub struct DbHealthReport {
     pub durable: bool,
     /// WAL drift and durability counters; `None` for in-memory handles.
     pub wal: Option<WalHealth>,
+    /// Group-commit ingest counters; `None` when no ingest queue is
+    /// configured and no group flush ever ran.
+    pub group_commit: Option<GroupCommitHealth>,
     /// Per-shard lock-wait tails, every shard always present (zeroed
     /// rows mean nobody ever blocked on that shard).
     pub locks: Vec<LockWaitSummary>,
@@ -108,6 +136,18 @@ impl DbHealthReport {
             None => {
                 let _ = writeln!(out, "wal                  (in-memory, no durability)");
             }
+        }
+        if let Some(g) = &self.group_commit {
+            let _ = writeln!(
+                out,
+                "group commit         queue={}/{} flushes={} rows={} max_batch={}",
+                g.queue_depth, g.queue_capacity, g.flushes, g.batch_records, g.max_batch
+            );
+            let _ = writeln!(
+                out,
+                "group commit savings fsyncs_saved={} stalls={} stall_p99_ns<={}",
+                g.fsyncs_saved, g.stalls, g.stall_p99_ns
+            );
         }
         let _ = writeln!(out, "lock waits           (blocked acquisitions only)");
         for l in &self.locks {
@@ -175,6 +215,32 @@ impl DbHealthReport {
             root.insert("wal".into(), serde_json::Value::Object(wal));
         } else {
             root.insert("wal".into(), serde_json::Value::Null);
+        }
+        if let Some(g) = &self.group_commit {
+            let mut gc = serde_json::Map::new();
+            gc.insert(
+                "queue_capacity".into(),
+                serde_json::Value::from(g.queue_capacity),
+            );
+            gc.insert("queue_depth".into(), serde_json::Value::from(g.queue_depth));
+            gc.insert("flushes".into(), serde_json::Value::from(g.flushes));
+            gc.insert(
+                "batch_records".into(),
+                serde_json::Value::from(g.batch_records),
+            );
+            gc.insert("max_batch".into(), serde_json::Value::from(g.max_batch));
+            gc.insert(
+                "fsyncs_saved".into(),
+                serde_json::Value::from(g.fsyncs_saved),
+            );
+            gc.insert("stalls".into(), serde_json::Value::from(g.stalls));
+            gc.insert(
+                "stall_p99_ns".into(),
+                serde_json::Value::from(g.stall_p99_ns),
+            );
+            root.insert("group_commit".into(), serde_json::Value::Object(gc));
+        } else {
+            root.insert("group_commit".into(), serde_json::Value::Null);
         }
         let locks: Vec<serde_json::Value> = self
             .locks

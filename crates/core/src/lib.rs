@@ -55,6 +55,7 @@ pub mod codd;
 pub mod db;
 pub mod error;
 pub mod explore;
+pub mod group_commit;
 pub mod health;
 mod snapshot;
 
@@ -67,7 +68,8 @@ pub use db::{
 };
 pub use error::CoreError;
 pub use explore::{explore, ExplorationOutcome, ExploreConfig};
-pub use health::{DbHealthReport, LockWaitSummary, WalHealth};
+pub use group_commit::CommitTicket;
+pub use health::{DbHealthReport, GroupCommitHealth, LockWaitSummary, WalHealth};
 pub use scdb_obs::{MetricsSnapshot, QueryProfile};
 pub use scdb_txn::{
     CheckpointStats, FsyncPolicy, IsolationMode, Transaction, WalRecoveryReport, WalStore,

@@ -33,6 +33,15 @@ pub enum CurationOp {
         /// Optional text payload.
         text: Option<String>,
     },
+    /// Ingest several records into `source` as one group-committed
+    /// batch (`Db::ingest_batch`): one WAL append seals every row, so a
+    /// crash mid-append must discard or keep the batch atomically.
+    IngestBatch {
+        /// Target source.
+        source: String,
+        /// One attribute list per record, in apply order.
+        rows: Vec<Vec<(String, Value)>>,
+    },
     /// Re-run link discovery over the whole instance.
     DiscoverLinks,
     /// Commit an explicit kv transaction writing `key = value`.
@@ -74,6 +83,13 @@ pub struct ScheduleConfig {
     pub kv_rate: f64,
     /// Insert a [`CurationOp::Checkpoint`] every `n` ops, if set.
     pub checkpoint_every: Option<usize>,
+    /// Probability an op is a group-committed [`CurationOp::IngestBatch`]
+    /// instead of a single-record ingest. The default `0.0` reproduces
+    /// pre-group-commit schedules byte for byte (same seed, same ops).
+    pub batch_rate: f64,
+    /// Maximum records per generated batch (clamped to at least 2 when
+    /// a batch is drawn).
+    pub batch_max: usize,
 }
 
 impl Default for ScheduleConfig {
@@ -85,6 +101,8 @@ impl Default for ScheduleConfig {
             link_rate: 0.4,
             kv_rate: 0.2,
             checkpoint_every: None,
+            batch_rate: 0.0,
+            batch_max: 8,
         }
     }
 }
@@ -131,6 +149,26 @@ pub fn crash_schedule(config: &ScheduleConfig, seed: u64) -> Vec<CurationOp> {
             }
         } else if roll < config.kv_rate + 0.05 {
             ops.push(CurationOp::DiscoverLinks);
+        } else if roll < config.kv_rate + 0.05 + config.batch_rate {
+            let source = format!("src{}", rng.gen_range(0..sources));
+            let n = rng.gen_range(2..=config.batch_max.max(2));
+            let rows = (0..n)
+                .map(|_| {
+                    let name = pool_name(rng.gen_range(0..pool));
+                    let mut attrs = vec![
+                        ("name".to_string(), Value::str(&name)),
+                        ("dose".to_string(), Value::Float(rng.gen_range(0.5..10.0))),
+                    ];
+                    if rng.gen_bool(config.link_rate) {
+                        let target = pool_name(rng.gen_range(0..pool));
+                        if target != name {
+                            attrs.push(("ref".to_string(), Value::str(&target)));
+                        }
+                    }
+                    attrs
+                })
+                .collect();
+            ops.push(CurationOp::IngestBatch { source, rows });
         } else {
             let source = format!("src{}", rng.gen_range(0..sources));
             let name = pool_name(rng.gen_range(0..pool));
@@ -179,6 +217,7 @@ mod tests {
             link_rate: 0.5,
             kv_rate: 0.3,
             checkpoint_every: Some(50),
+            ..ScheduleConfig::default()
         };
         let ops = crash_schedule(&cfg, 1);
         assert!(matches!(ops[0], CurationOp::Register { .. }));
@@ -196,5 +235,44 @@ mod tests {
     fn checkpoint_free_schedules_have_no_checkpoints() {
         let ops = crash_schedule(&ScheduleConfig::default(), 3);
         assert!(!ops.iter().any(|o| matches!(o, CurationOp::Checkpoint)));
+    }
+
+    #[test]
+    fn batch_rate_zero_reproduces_legacy_schedules() {
+        // The group-commit knobs must not perturb existing seeds.
+        let legacy = crash_schedule(&ScheduleConfig::default(), 42);
+        let explicit = crash_schedule(
+            &ScheduleConfig {
+                batch_rate: 0.0,
+                batch_max: 64,
+                ..ScheduleConfig::default()
+            },
+            42,
+        );
+        assert_eq!(legacy, explicit);
+        assert!(!legacy
+            .iter()
+            .any(|o| matches!(o, CurationOp::IngestBatch { .. })));
+    }
+
+    #[test]
+    fn batch_rate_emits_group_batches() {
+        let cfg = ScheduleConfig {
+            ops: 120,
+            batch_rate: 0.3,
+            batch_max: 6,
+            ..ScheduleConfig::default()
+        };
+        let ops = crash_schedule(&cfg, 9);
+        let batches: Vec<_> = ops
+            .iter()
+            .filter_map(|o| match o {
+                CurationOp::IngestBatch { rows, .. } => Some(rows),
+                _ => None,
+            })
+            .collect();
+        assert!(!batches.is_empty(), "batch ops drawn");
+        assert!(batches.iter().all(|rows| (2..=6).contains(&rows.len())));
+        assert_eq!(crash_schedule(&cfg, 9), ops, "still deterministic");
     }
 }

@@ -398,6 +398,39 @@ mod tests {
     }
 
     #[test]
+    fn group_flush_is_atomic_across_crash() {
+        let log = FailpointLog::new();
+        {
+            let (mut wal, _) = open(&log, FsyncPolicy::Always);
+            let txns: Vec<u64> = (0..4).map(|_| wal.next_txn_id()).collect();
+            let mut batch: Vec<LogRecord> = txns.iter().map(|&t| w(t, t, t as i64)).collect();
+            batch.push(LogRecord::CommitGroup { txns });
+            wal.append_group(&batch, 4).unwrap();
+            // The single policy fsync covered the whole batch: power loss
+            // immediately after the flush loses nothing.
+            log.crash();
+            std::mem::forget(wal);
+        }
+        let (_wal, rec) = open(&log, FsyncPolicy::Always);
+        assert_eq!(rec.records.len(), 5, "rows + group seal all survived");
+        // A cut inside the group seal frame voids the seal: the rows
+        // remain on the medium but no longer commit — the commit-gated
+        // replayer above discards all of them, never a partial batch.
+        let fork = log.fork();
+        let seg = "wal-00000001.seg";
+        fork.cut_durable(seg, fork.durable_len(seg) - 2);
+        let (_wal, rec) = open(&fork, FsyncPolicy::Always);
+        assert_eq!(rec.records.len(), 4, "group seal was cut");
+        let mut replay = crate::wal::Wal::new();
+        for r in rec.records {
+            replay.append(r);
+        }
+        let (tm, report) = crate::wal::recover(&replay);
+        assert_eq!(report.transactions_replayed, 0, "unsealed batch discarded");
+        assert_eq!(tm.read_latest(1), None);
+    }
+
+    #[test]
     fn fork_is_independent() {
         let log = FailpointLog::new();
         let (mut wal, _) = open(&log, FsyncPolicy::Always);

@@ -47,6 +47,16 @@ pub enum LogRecord {
         /// Aborting transaction.
         txn: u64,
     },
+    /// A group-commit seal: every transaction in `txns` committed
+    /// atomically with this record. Used by the core crate's batching
+    /// ingest committer so one fsync seals many rows; recovery treats it
+    /// as a `Commit` for each listed transaction, in list order. A torn
+    /// or missing group seal discards *all* of the batch's rows — the
+    /// log never exposes a partial batch.
+    CommitGroup {
+        /// Sealed transactions, in log (= apply) order.
+        txns: Vec<u64>,
+    },
     /// A checkpoint: all records before this offset are reflected in the
     /// checkpointed state.
     Checkpoint,
@@ -90,6 +100,7 @@ const TAG_SOURCE_REG: u8 = 5;
 const TAG_INGEST_ROW: u8 = 6;
 const TAG_DISCOVER_LINKS: u8 = 7;
 const TAG_ENRICH: u8 = 8;
+const TAG_COMMIT_GROUP: u8 = 9;
 
 /// Serialize an optional [`Value`] in the WAL wire format (shared with
 /// the core crate's snapshot files).
@@ -239,6 +250,13 @@ pub fn encode_record(buf: &mut BytesMut, record: &LogRecord) {
             buf.put_u8(TAG_ABORT);
             buf.put_u64(*txn);
         }
+        LogRecord::CommitGroup { txns } => {
+            buf.put_u8(TAG_COMMIT_GROUP);
+            buf.put_u32(txns.len() as u32);
+            for txn in txns {
+                buf.put_u64(*txn);
+            }
+        }
         LogRecord::Checkpoint => buf.put_u8(TAG_CHECKPOINT),
         LogRecord::SourceReg {
             name,
@@ -309,6 +327,20 @@ pub fn decode_record(data: &mut Bytes, at: usize) -> Result<LogRecord, TxnError>
             Ok(LogRecord::Abort {
                 txn: data.get_u64(),
             })
+        }
+        TAG_COMMIT_GROUP => {
+            if data.remaining() < 4 {
+                return Err(corrupt);
+            }
+            let n = data.get_u32() as usize;
+            if data.remaining() < n.checked_mul(8).ok_or_else(|| corrupt.clone())? {
+                return Err(corrupt);
+            }
+            let mut txns = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                txns.push(data.get_u64());
+            }
+            Ok(LogRecord::CommitGroup { txns })
         }
         TAG_CHECKPOINT => Ok(LogRecord::Checkpoint),
         TAG_SOURCE_REG => {
@@ -419,6 +451,9 @@ impl Wal {
             match r {
                 LogRecord::Commit { txn } | LogRecord::Abort { txn } => {
                     sealed.insert(*txn);
+                }
+                LogRecord::CommitGroup { txns } => {
+                    sealed.extend(txns.iter().copied());
                 }
                 _ => {}
             }
@@ -534,6 +569,10 @@ fn recover_with_truncation(wal: &Wal, bytes_truncated: usize) -> (TxnManager, Re
             | LogRecord::DiscoverLinks { txn } => {
                 seen.insert(*txn);
             }
+            LogRecord::CommitGroup { txns } => {
+                committed.extend(txns.iter().copied());
+                seen.extend(txns.iter().copied());
+            }
             LogRecord::Checkpoint | LogRecord::SourceReg { .. } | LogRecord::Enrich { .. } => {}
         }
     }
@@ -555,6 +594,16 @@ fn recover_with_truncation(wal: &Wal, bytes_truncated: usize) -> (TxnManager, Re
                     for (key, value) in ws {
                         tm.install_raw(key, value, VersionOrigin::Explicit);
                         writes_installed += 1;
+                    }
+                }
+            }
+            LogRecord::CommitGroup { txns } => {
+                for txn in txns {
+                    if let Some(ws) = buffered.remove(txn) {
+                        for (key, value) in ws {
+                            tm.install_raw(key, value, VersionOrigin::Explicit);
+                            writes_installed += 1;
+                        }
                     }
                 }
             }
@@ -661,6 +710,70 @@ mod tests {
         });
         let decoded = Wal::decode(wal.encode());
         assert_eq!(decoded.records(), wal.records());
+    }
+
+    #[test]
+    fn commit_group_roundtrip_and_recovery() {
+        let mut wal = Wal::new();
+        for txn in [4u64, 5, 6] {
+            wal.append(LogRecord::Write {
+                txn,
+                key: txn * 10,
+                value: Some(Value::Int(txn as i64)),
+            });
+        }
+        // txn 7 is in the log but not in the group seal: discarded.
+        wal.append(LogRecord::Write {
+            txn: 7,
+            key: 70,
+            value: Some(Value::Int(7)),
+        });
+        wal.append(LogRecord::CommitGroup {
+            txns: vec![4, 5, 6],
+        });
+        let decoded = Wal::decode(wal.encode());
+        assert_eq!(decoded.records(), wal.records());
+        let (tm, report) = recover(&wal);
+        assert_eq!(report.transactions_replayed, 3);
+        assert_eq!(report.transactions_discarded, 1);
+        for txn in [4u64, 5, 6] {
+            assert_eq!(tm.read_latest(txn * 10), Some(Value::Int(txn as i64)));
+        }
+        assert_eq!(tm.read_latest(70), None, "outside the group seal");
+        // An empty group is legal on the wire (a fully-invalid batch).
+        let mut empty = Wal::new();
+        empty.append(LogRecord::CommitGroup { txns: vec![] });
+        assert_eq!(Wal::decode(empty.encode()).records(), empty.records());
+    }
+
+    #[test]
+    fn compaction_treats_group_seal_like_commit() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Write {
+            txn: 1,
+            key: 10,
+            value: Some(Value::Int(1)),
+        });
+        wal.append(LogRecord::Write {
+            txn: 2,
+            key: 20,
+            value: Some(Value::Int(2)),
+        });
+        wal.append(LogRecord::CommitGroup { txns: vec![1, 2] });
+        wal.append(LogRecord::Write {
+            txn: 3,
+            key: 30,
+            value: Some(Value::Int(3)),
+        });
+        wal.append(LogRecord::Checkpoint);
+        wal.append(LogRecord::CommitGroup { txns: vec![3] });
+        wal.compact();
+        // Group-sealed txns 1 and 2 are folded into the checkpoint; txn 3
+        // was open at the checkpoint, so its write and later seal survive.
+        let (tm, report) = recover(&wal);
+        assert_eq!(report.transactions_replayed, 1);
+        assert_eq!(tm.read_latest(30), Some(Value::Int(3)));
+        assert_eq!(tm.read_latest(10), None, "compacted into checkpoint");
     }
 
     #[test]

@@ -2,7 +2,9 @@
 # Validate a flight-recorder JSONL dump (run_all_experiments
 # --events-jsonl): every line parses as a JSON object, `seq` is
 # strictly increasing down the file, every `subsystem` tag belongs to
-# the documented vocabulary (DESIGN.md §7), and `kind` is non-empty.
+# the documented vocabulary (DESIGN.md §7), and every `kind` belongs to
+# that subsystem's known event kinds — a new emission site must be
+# added here (and to DESIGN.md) before it ships.
 #
 # Usage: scripts/check_events.sh <events.jsonl>
 set -euo pipefail
@@ -17,6 +19,37 @@ import json
 import sys
 
 KNOWN_SUBSYSTEMS = {"core", "txn", "query", "storage", "er", "obs", "lock"}
+
+# Per-subsystem event kinds (keep in sync with the emission sites; grep
+# for `scdb_obs::event(` / `record_with_message(`).
+KNOWN_KINDS = {
+    "core": {
+        "ingest",
+        "recovery.complete",
+        "checkpoint.serialize",
+        "checkpoint.complete",
+    },
+    "txn": {
+        "recovery.snapshot",
+        "recovery.snapshot_drop",
+        "recovery.segment",
+        "recovery.truncated",
+        "recovery.scan",
+        "group_commit.flush",
+        "segment.seal",
+        "segment.rotate",
+        "segment.prune",
+        "checkpoint.write",
+        "checkpoint.sync",
+        "checkpoint.rename",
+        "checkpoint.prune",
+    },
+    "query": {"scan.parallel", "slow"},
+    "storage": {"cluster.build"},
+    "er": {"merge"},
+    "obs": {"warn"},
+    "lock": {"contended"},
+}
 
 path = sys.argv[1]
 prev_seq = -1
@@ -51,6 +84,10 @@ with open(path, encoding="utf-8") as fh:
         kind = ev.get("kind")
         if not isinstance(kind, str) or not kind:
             errors.append(f"line {lineno}: missing or empty 'kind'")
+        elif subsystem in KNOWN_KINDS and kind not in KNOWN_KINDS[subsystem]:
+            errors.append(
+                f"line {lineno}: unknown kind {kind!r} for subsystem {subsystem!r}"
+            )
         n += 1
 
 if n == 0:

@@ -24,6 +24,11 @@ cargo test -q --offline --release -p scdb-bench --test durability_crash_matrix
 echo "== cargo test -q --release"
 cargo test -q --offline --release
 
+echo "== group-commit ingest smoke (release)"
+# Asserts the fsync amortization (>= 8x fewer fsyncs/row at batch 64
+# under FsyncPolicy::Always) — a count check, stable on 1-core boxes.
+cargo run -q --offline --release -p scdb-bench --bin e_ingest_throughput -- --smoke
+
 echo "== flight recorder event dump (release)"
 events_jsonl="target/experiments/events.jsonl"
 mkdir -p target/experiments

@@ -259,6 +259,163 @@ fn transient_interrupts_are_retried_transparently() {
 }
 
 #[test]
+fn group_commit_batches_crash_atomically_mid_append() {
+    // Schedules that draw multi-record `IngestBatch` ops: one WAL append
+    // seals the whole batch, so a cut strictly inside the batch's byte
+    // range must discard *every* row of it (recovering the pre-batch
+    // state), and a cut at the exact end must keep every row. 512-byte
+    // segments force rotations, so the sweep also proves a batch never
+    // spans segments (each op grows exactly one file).
+    let ops = crash_schedule(
+        &ScheduleConfig {
+            ops: 24,
+            kv_rate: 0.15,
+            batch_rate: 0.35,
+            batch_max: 6,
+            ..ScheduleConfig::default()
+        },
+        13,
+    );
+    let batch_ops = ops
+        .iter()
+        .filter(|o| matches!(o, CurationOp::IngestBatch { .. }))
+        .count();
+    assert!(batch_ops >= 3, "schedule drew group batches: {batch_ops}");
+    let run = run_schedule(&ops, 512);
+    let mut cuts_tested = 0usize;
+    for k in 1..=ops.len() {
+        if !matches!(ops[k - 1], CurationOp::IngestBatch { .. }) {
+            continue;
+        }
+        let before = &run.sizes[k - 1];
+        let after = &run.sizes[k];
+        let grown: Vec<_> = after
+            .iter()
+            .filter(|(name, len)| **len > before.get(*name).copied().unwrap_or(0))
+            .collect();
+        assert_eq!(
+            grown.len(),
+            1,
+            "batch op {k} ({:?}) must land in exactly one segment: {grown:?}",
+            ops[k - 1]
+        );
+        let (name, end) = grown.first().map(|(n, l)| ((*n).clone(), **l)).unwrap();
+        let start = before.get(&name).copied().unwrap_or(0);
+        let mut offsets: Vec<u64> = (start + 1..end).step_by(3).collect();
+        offsets.push(end - 1);
+        offsets.sort_unstable();
+        offsets.dedup();
+        for cut in offsets {
+            let victim = run.forks[k].fork();
+            victim.cut_durable(&name, cut);
+            let recovered = open_store(&victim, 512).expect("reopen after cut");
+            assert_eq!(
+                recovered.state_dump(),
+                run.dumps[k - 1],
+                "cut at byte {cut} of {name} inside batch op {k} must discard the whole batch"
+            );
+            cuts_tested += 1;
+        }
+        let whole = run.forks[k].fork();
+        whole.cut_durable(&name, end);
+        let recovered = open_store(&whole, 512).expect("reopen at batch end");
+        assert_eq!(
+            recovered.state_dump(),
+            run.dumps[k],
+            "cut at the seal boundary of batch op {k} must keep every row"
+        );
+    }
+    assert!(
+        cuts_tested > 50,
+        "swept real mid-batch bytes: {cuts_tested}"
+    );
+}
+
+#[test]
+fn queued_group_commit_crash_recovers_a_sealed_record_prefix() {
+    // Producers enqueue via `ingest_async`; the committer thread seals
+    // FIFO batches whose boundaries depend on scheduling. Forking the
+    // medium at every point between queue-accept and final ack must
+    // still recover *some per-record prefix* of the submit order (log
+    // order = apply order), and a record whose ticket was never acked
+    // must not be observable beyond the sealed prefix. The final fork
+    // (after every ack) must contain every record.
+    const N: usize = 24;
+    let row = |i: usize, db: &Db| {
+        scdb_types::Record::from_pairs([
+            (db.intern("name"), Value::str(format!("drug-{}", i % 5))),
+            (db.intern("dose"), Value::Float(i as f64 + 0.25)),
+            (
+                db.intern("ref"),
+                Value::str(format!("drug-{}", (i + 1) % 5)),
+            ),
+        ])
+    };
+
+    // Reference: one state dump per committed prefix length.
+    let reference = Db::builder().build();
+    reference.register_source("src0", Some("name"));
+    let mut prefix_dumps = vec![reference.state_dump()];
+    for i in 0..N {
+        reference
+            .ingest("src0", row(i, &reference), None)
+            .expect("reference ingest");
+        prefix_dumps.push(reference.state_dump());
+    }
+
+    let live = FailpointLog::new();
+    let db = Db::builder()
+        .durability_store(Box::new(live.clone()), FsyncPolicy::Always)
+        .ingest_queue(4)
+        .open()
+        .expect("open queued durable db");
+    db.register_source("src0", Some("name"));
+    let mut forks = vec![live.fork()]; // crash before any submit
+    let mut tickets = Vec::with_capacity(N);
+    for i in 0..N {
+        tickets.push(db.ingest_async("src0", row(i, &db), None).expect("submit"));
+        forks.push(live.fork()); // crash racing the committer mid-flight
+    }
+    for t in tickets {
+        t.wait().expect("group commit ack");
+    }
+    forks.push(live.fork()); // crash after every ack
+    drop(db);
+
+    for (fi, fork) in forks.iter().enumerate() {
+        fork.crash();
+        let recovered = Db::builder()
+            .durability_store(Box::new(fork.clone()), FsyncPolicy::Always)
+            .open()
+            .expect("reopen after crash");
+        let dump = recovered.state_dump();
+        let prefix = prefix_dumps.iter().position(|d| *d == dump);
+        assert!(
+            prefix.is_some(),
+            "fork {fi} recovered a state that is no per-record prefix of submit order"
+        );
+        let report = recovered
+            .recovery_report()
+            .expect("durable open has a report");
+        assert_eq!(
+            report.txns_discarded, 0,
+            "fsync-always queue crash leaves no unsealed txns (fork {fi})"
+        );
+    }
+    // Every ticket was acked before the last fork, so nothing is lost.
+    let last = forks.last().unwrap();
+    let recovered = Db::builder()
+        .durability_store(Box::new(last.clone()), FsyncPolicy::Always)
+        .open()
+        .unwrap();
+    assert_eq!(
+        recovered.state_dump(),
+        prefix_dumps[N],
+        "acked records must all survive the final crash"
+    );
+}
+
+#[test]
 fn fs_store_schedule_survives_reopen_generations() {
     let dir = std::env::temp_dir().join(format!("scdb-crash-matrix-fs-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
