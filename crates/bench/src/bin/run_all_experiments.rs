@@ -53,6 +53,7 @@ const EXPERIMENTS: &[&str] = &[
     "e_concurrent_read_scaling",
     "e_recovery",
     "e_ingest_throughput",
+    "e_telemetry",
 ];
 
 fn main() {

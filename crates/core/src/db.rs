@@ -66,6 +66,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -75,8 +76,8 @@ use scdb_er::{IncrementalResolver, ResolverConfig};
 use scdb_graph::metrics::{assess, RichnessReport};
 use scdb_graph::PropertyGraph;
 use scdb_obs::{
-    metrics, FieldValue as F, MetricsSnapshot, ProfileBuilder, QueryProfile, TrackedMutex,
-    TrackedRwLock,
+    metrics, FieldValue as F, Histogram, MetricsSnapshot, ProfileBuilder, QueryProfile, Sample,
+    SeriesSummary, TrackedMutex, TrackedRwLock, WatchStatus,
 };
 use scdb_query::exec::{EvalEnv, Executor, SemanticEnv, StoreSource};
 use scdb_query::optimizer::{Optimizer, OptimizerConfig, SemanticContext};
@@ -97,6 +98,7 @@ use scdb_types::{
 use crate::error::CoreError;
 use crate::group_commit::{CommitTicket, IngestItem, IngestQueue, TicketState};
 use crate::snapshot::SnapshotRecord;
+use crate::telemetry::{TelemetryConfig, TelemetryState};
 
 /// What one ingest did.
 #[derive(Debug, Clone)]
@@ -215,6 +217,24 @@ pub struct SlowQuery {
     pub profile: QueryProfile,
 }
 
+impl SlowQuery {
+    /// JSON document form: query text, capture time, total wall time,
+    /// and the full stage breakdown ([`QueryProfile::to_json`]) — what
+    /// an index advisor needs to see *where* a slow query spent its
+    /// time, not just that it was slow.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut root = serde_json::Map::new();
+        root.insert("text".into(), serde_json::Value::from(self.text.as_str()));
+        root.insert("at_ms".into(), serde_json::Value::from(self.at_ms));
+        root.insert(
+            "total_ns".into(),
+            serde_json::Value::from(self.total.as_nanos() as u64),
+        );
+        root.insert("profile".into(), self.profile.to_json());
+        serde_json::Value::Object(root)
+    }
+}
+
 struct DbInner {
     /// When this handle was built/opened (uptime anchor).
     started: Instant,
@@ -243,12 +263,51 @@ struct DbInner {
     /// so dropping the last [`Db`] handle closes the queue (below) and
     /// lets the committer drain and exit.
     ingest_queue: Option<Arc<IngestQueue>>,
+    /// Telemetry pipeline state (time-series ring, watch engine, JSONL
+    /// sink); `None` unless [`DbBuilder::telemetry`] was configured.
+    /// The sampler thread mirrors the committer's lifecycle: it holds
+    /// this `Arc` plus a [`Weak`] to the inner, so dropping the last
+    /// [`Db`] handle stops it (below).
+    telemetry: Option<Arc<TelemetryState>>,
+    /// Monotone health-report sequence ([`Db::health_report`]).
+    health_seq: AtomicU64,
+    /// Pre-resolved handles for the five commit-stage histograms, so the
+    /// per-ingest decomposition skips the registry name lookup on the
+    /// hot path. `Metrics::reset` zeroes histograms in place, so these
+    /// stay registered for the lifetime of the process.
+    stages: StageHistograms,
+}
+
+/// Cached `core.ingest.stage.*` histogram handles (commit-latency
+/// decomposition, DESIGN.md §7).
+struct StageHistograms {
+    queue_wait: Arc<Histogram>,
+    batch_build: Arc<Histogram>,
+    wal_append: Arc<Histogram>,
+    fsync: Arc<Histogram>,
+    apply: Arc<Histogram>,
+}
+
+impl StageHistograms {
+    fn resolve() -> StageHistograms {
+        let m = metrics();
+        StageHistograms {
+            queue_wait: m.histogram("core.ingest.stage.queue_wait_ns"),
+            batch_build: m.histogram("core.ingest.stage.batch_build_ns"),
+            wal_append: m.histogram("core.ingest.stage.wal_append_ns"),
+            fsync: m.histogram("core.ingest.stage.fsync_ns"),
+            apply: m.histogram("core.ingest.stage.apply_ns"),
+        }
+    }
 }
 
 impl Drop for DbInner {
     fn drop(&mut self) {
         if let Some(queue) = &self.ingest_queue {
             queue.close();
+        }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.stop();
         }
     }
 }
@@ -375,6 +434,7 @@ pub struct DbBuilder {
     segment_bytes: Option<u64>,
     slow_query_threshold: Option<Duration>,
     ingest_queue: Option<usize>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl DbBuilder {
@@ -460,6 +520,19 @@ impl DbBuilder {
         self
     }
 
+    /// Enable the telemetry pipeline: a background sampler thread that
+    /// folds a metrics-registry snapshot into a bounded time-series
+    /// ring every [`TelemetryConfig::interval`], evaluates the
+    /// configured watch rules against each sample, and (optionally)
+    /// appends samples/watch transitions/health reports to a JSONL
+    /// file. With a zero interval no thread is spawned and
+    /// [`Db::sample_now`] drives ticks explicitly. See
+    /// [`TelemetryConfig`].
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
+        self
+    }
+
     /// Lock-wait threshold above which a blocked shard-lock acquisition
     /// emits a `("lock", "contended")` flight-recorder event. This is a
     /// process-global knob (it forwards to
@@ -491,6 +564,7 @@ impl DbBuilder {
         }
         let isolation = self.isolation.unwrap_or(IsolationMode::Snapshot);
         let queue = self.ingest_queue.map(|cap| Arc::new(IngestQueue::new(cap)));
+        let telemetry = self.telemetry.map(|c| Arc::new(TelemetryState::new(c)));
         let db = Db {
             inner: Arc::new(DbInner {
                 started: Instant::now(),
@@ -545,6 +619,9 @@ impl DbBuilder {
                     },
                 ),
                 ingest_queue: queue.clone(),
+                telemetry: telemetry.clone(),
+                health_seq: AtomicU64::new(0),
+                stages: StageHistograms::resolve(),
             }),
         };
         if let Some(queue) = queue {
@@ -556,6 +633,17 @@ impl DbBuilder {
                 .name("scdb-group-commit".to_string())
                 .spawn(move || group_committer(weak, queue))
                 .expect("spawn group-commit committer thread");
+        }
+        if let Some(state) = telemetry {
+            // Same Weak lifecycle as the committer. A zero interval
+            // means manual ticks only (Db::sample_now) — no thread.
+            if !state.interval.is_zero() {
+                let weak = Arc::downgrade(&db.inner);
+                std::thread::Builder::new()
+                    .name("scdb-telemetry".to_string())
+                    .spawn(move || telemetry_sampler(weak, state))
+                    .expect("spawn telemetry sampler thread");
+            }
         }
         db
     }
@@ -719,11 +807,11 @@ impl Db {
     ) -> Result<IngestReport, CoreError> {
         if let Some(queue) = &self.inner.ingest_queue {
             return queue
-                .submit(IngestItem {
-                    source: source.to_string(),
+                .submit(IngestItem::new(
+                    source.to_string(),
                     record,
-                    text: text.map(str::to_owned),
-                })?
+                    text.map(str::to_owned),
+                ))?
                 .wait();
         }
         self.ingest_direct(source, record, text)
@@ -738,11 +826,7 @@ impl Db {
         record: Record,
         text: Option<&str>,
     ) -> Result<IngestReport, CoreError> {
-        let item = IngestItem {
-            source: source.to_string(),
-            record,
-            text: text.map(str::to_owned),
-        };
+        let item = IngestItem::new(source.to_string(), record, text.map(str::to_owned));
         self.apply_ingest_batch(vec![item])
             .pop()
             .expect("one result per item")
@@ -769,23 +853,13 @@ impl Db {
         if let Some(queue) = &self.inner.ingest_queue {
             let tickets: Vec<CommitTicket> = records
                 .into_iter()
-                .map(|record| {
-                    queue.submit(IngestItem {
-                        source: source.to_string(),
-                        record,
-                        text: None,
-                    })
-                })
+                .map(|record| queue.submit(IngestItem::new(source.to_string(), record, None)))
                 .collect::<Result<_, _>>()?;
             return tickets.into_iter().map(CommitTicket::wait).collect();
         }
         let items = records
             .into_iter()
-            .map(|record| IngestItem {
-                source: source.to_string(),
-                record,
-                text: None,
-            })
+            .map(|record| IngestItem::new(source.to_string(), record, None))
             .collect();
         self.apply_ingest_batch(items).into_iter().collect()
     }
@@ -801,11 +875,7 @@ impl Db {
         record: Record,
         text: Option<&str>,
     ) -> Result<CommitTicket, CoreError> {
-        let item = IngestItem {
-            source: source.to_string(),
-            record,
-            text: text.map(str::to_owned),
-        };
+        let item = IngestItem::new(source.to_string(), record, text.map(str::to_owned));
         match &self.inner.ingest_queue {
             Some(queue) => queue.submit(item),
             None => Ok(CommitTicket::resolved(
@@ -842,12 +912,38 @@ impl Db {
         if items.is_empty() {
             return Vec::new();
         }
+        // Commit-latency decomposition: how long each row sat in the
+        // ingest queue before the committer picked it up, then per-batch
+        // build / WAL-append / fsync / apply splits. Unqueued paths
+        // stamp `enqueued_at` at call entry, so their queue wait is just
+        // the call overhead (~0) and every acked ingest decomposes the
+        // same way. The timings themselves are plain clock arithmetic;
+        // the histogram writes use pre-resolved handles gated on the
+        // metrics switch, and the summary event self-gates on the ring,
+        // so a disabled registry pays only the branch.
+        let m = metrics();
+        let staged = m.enabled();
+        let stages = &self.inner.stages;
+        let rows = items.len() as u64;
+        let mut max_wait_ns = 0u64;
+        {
+            let now = Instant::now();
+            for item in &items {
+                // duration_since saturates to zero if clocks race.
+                let wait_ns = now.duration_since(item.enqueued_at).as_nanos() as u64;
+                if staged {
+                    stages.queue_wait.record(wait_ns);
+                }
+                max_wait_ns = max_wait_ns.max(wait_ns);
+            }
+        }
         let symbols = self.inner.symbols.read();
         let mut instance = self.inner.instance.write();
         let mut relation = self.inner.relation.write();
         let inst = &mut *instance;
         let rel = &mut *relation;
         // Phase 1: prepare.
+        let build_start = Instant::now();
         let mut prepared: Vec<Result<Prepared, CoreError>> = items
             .into_iter()
             .map(|item| {
@@ -871,7 +967,13 @@ impl Db {
                 })
             })
             .collect();
+        let build_ns = build_start.elapsed().as_nanos() as u64;
+        if staged {
+            stages.batch_build.record(build_ns);
+        }
         // Phase 2: log the batch and its seal in one append.
+        let mut append_ns = 0u64;
+        let mut fsync_ns = 0u64;
         {
             let mut durable = self.inner.durable.lock();
             if let Some(wal) = durable.as_mut() {
@@ -904,6 +1006,9 @@ impl Db {
                     };
                     match appended {
                         Ok(()) => {
+                            // Split out by the WAL itself: pure append
+                            // I/O vs fsync (including rotation fsyncs).
+                            (append_ns, fsync_ns) = wal.last_stage_ns();
                             // Hand the framed attrs/text back to their
                             // slots for the apply phase.
                             let mut frames = recs.into_iter();
@@ -936,7 +1041,15 @@ impl Db {
                 }
             }
         }
+        if staged {
+            // Zero on in-memory databases: no WAL means the append and
+            // fsync stages genuinely cost nothing, but the decomposition
+            // stays complete on every path.
+            stages.wal_append.record(append_ns);
+            stages.fsync.record(fsync_ns);
+        }
         // Phase 3: apply, in log order.
+        let apply_start = Instant::now();
         let mut out = Vec::with_capacity(prepared.len());
         let mut applied = false;
         for p in prepared {
@@ -953,6 +1066,24 @@ impl Db {
         if applied {
             self.inner.semantic.write().saturation = None;
         }
+        let apply_ns = apply_start.elapsed().as_nanos() as u64;
+        if staged {
+            stages.apply.record(apply_ns);
+        }
+        // Per-batch flight-recorder summary; record() is a no-op unless
+        // the ring is enabled, so this does not ride the metrics switch.
+        scdb_obs::event(
+            "core",
+            "ingest.stages",
+            &[
+                ("rows", F::U64(rows)),
+                ("queue_wait_ns", F::U64(max_wait_ns)),
+                ("build_ns", F::U64(build_ns)),
+                ("append_ns", F::U64(append_ns)),
+                ("fsync_ns", F::U64(fsync_ns)),
+                ("apply_ns", F::U64(apply_ns)),
+            ],
+        );
         out
     }
 
@@ -1362,12 +1493,23 @@ impl Db {
     ) {
         let text = sql.map(str::to_owned).unwrap_or_else(|| query.to_string());
         metrics().inc("query.slow_queries");
+        // Attach the stage split so the event alone says where the time
+        // went (missing stages — profiling disabled — read as 0).
+        let stage_ns = |name: &str| {
+            profile
+                .stage(name)
+                .map(|s| s.duration.as_nanos() as u64)
+                .unwrap_or(0)
+        };
         scdb_obs::events().record_with_message(
             "query",
             "slow",
             &[
                 ("ns", F::U64(total.as_nanos() as u64)),
                 ("rows", F::U64(rows_out as u64)),
+                ("plan_ns", F::U64(stage_ns("plan"))),
+                ("optimize_ns", F::U64(stage_ns("optimize"))),
+                ("execute_ns", F::U64(stage_ns("execute"))),
             ],
             &text,
         );
@@ -1397,13 +1539,103 @@ impl Db {
         metrics().snapshot()
     }
 
+    /// Take one telemetry sample right now — the same tick the
+    /// background sampler runs: refresh sampled gauges (WAL lag,
+    /// flight-recorder loss), fold a registry snapshot into the
+    /// time-series ring, evaluate the watch rules, and append to the
+    /// JSONL sink when one is configured. Returns `None` when no
+    /// telemetry pipeline is configured ([`DbBuilder::telemetry`]).
+    pub fn sample_now(&self) -> Option<Arc<Sample>> {
+        let state = Arc::clone(self.inner.telemetry.as_ref()?);
+        Some(self.telemetry_tick(&state))
+    }
+
+    /// The retained time-series history, oldest first (empty when no
+    /// telemetry pipeline is configured or nothing was sampled yet).
+    pub fn telemetry_samples(&self) -> Vec<Arc<Sample>> {
+        self.inner
+            .telemetry
+            .as_ref()
+            .map(|t| t.ring.samples())
+            .unwrap_or_default()
+    }
+
+    /// Summary statistics for one metric across the retained window:
+    /// counter names summarize their per-sample deltas, gauge names
+    /// their levels, histogram names their per-window counts. `None`
+    /// when no telemetry is configured or the metric never appeared.
+    pub fn telemetry_summary(&self, metric: &str) -> Option<SeriesSummary> {
+        self.inner.telemetry.as_ref()?.ring.summary(metric)
+    }
+
+    /// Current status of every configured watch rule (empty without a
+    /// telemetry pipeline).
+    pub fn watch_statuses(&self) -> Vec<WatchStatus> {
+        self.inner
+            .telemetry
+            .as_ref()
+            .map(|t| t.statuses())
+            .unwrap_or_default()
+    }
+
+    /// Render the current metrics registry in the Prometheus text
+    /// exposition format — serve it from a scrape endpoint or write it
+    /// for the textfile collector. Works with or without a telemetry
+    /// pipeline (it reads the registry, not the ring).
+    pub fn export_prometheus(&self) -> String {
+        scdb_obs::prometheus_text(&metrics().snapshot())
+    }
+
+    /// One sampler tick (see [`Db::sample_now`] for the sequence).
+    fn telemetry_tick(&self, state: &TelemetryState) -> Arc<Sample> {
+        let m = metrics();
+        // Refresh sampled gauges so watch rules compare current levels,
+        // not whatever the last mutation happened to leave behind.
+        {
+            let durable = self.inner.durable.lock();
+            if let Some(wal) = durable.as_ref() {
+                let lag = wal.lag();
+                m.gauge_set(
+                    "core.wal.records_since_ckpt",
+                    lag.records_since_checkpoint as i64,
+                );
+                m.gauge_set("core.wal.unsynced_bytes", lag.unsynced_bytes as i64);
+            }
+        }
+        // Mirror flight-recorder loss accounting into monotone counters
+        // so the ring can window and rate them like everything else.
+        let ev = scdb_obs::events();
+        for (name, cur) in [
+            ("obs.events.recorded", ev.recorded()),
+            ("obs.events.dropped", ev.dropped()),
+        ] {
+            let c = m.counter(name);
+            let seen = c.get();
+            if cur > seen {
+                c.add(cur - seen);
+            }
+        }
+        let sample = state.record(m.snapshot(), scdb_obs::event::coarse_now_ms());
+        let transitions = state.evaluate(&sample);
+        state.jsonl_append("sample", &sample.to_json());
+        for status in &transitions {
+            state.jsonl_append("watch", &status.to_json());
+        }
+        if state.jsonl.is_some() {
+            state.jsonl_append("health", &self.health_report().to_json());
+        }
+        sample
+    }
+
     /// One composite health summary: uptime counters, WAL lag, per-shard
     /// lock-wait tails, slow-query and warning ring sizes, and
     /// flight-recorder loss accounting. Render with
     /// [`crate::health::DbHealthReport::render`] or serialize with
     /// [`crate::health::DbHealthReport::to_json`].
     pub fn health_report(&self) -> crate::health::DbHealthReport {
-        use crate::health::{DbHealthReport, GroupCommitHealth, LockWaitSummary, WalHealth};
+        use crate::health::{
+            DbHealthReport, GroupCommitHealth, IngestStageLatency, LockWaitSummary, WalHealth,
+        };
         let curation = self.stats();
         let entities = self.entity_count();
         let sources = self.source_count();
@@ -1444,7 +1676,28 @@ impl Db {
             .map(|q| q.capacity())
             .unwrap_or(0);
         let flushes = metrics().counter("txn.group_commit.flushes").get();
-        let group_commit = (queue_capacity > 0 || flushes > 0).then(|| {
+        // The commit-latency decomposition, in pipeline order. The
+        // per-row queue_wait count doubling as "did any staged ingest
+        // run" widens the section gate below: unqueued ingests also
+        // decompose, so they also deserve the section.
+        let stages: Vec<IngestStageLatency> =
+            ["queue_wait", "batch_build", "wal_append", "fsync", "apply"]
+                .iter()
+                .map(|stage| {
+                    let h = metrics()
+                        .histogram(&format!("core.ingest.stage.{stage}_ns"))
+                        .snapshot();
+                    IngestStageLatency {
+                        stage: stage.to_string(),
+                        count: h.count,
+                        p50_ns: h.p50,
+                        p99_ns: h.p99,
+                        max_ns: h.max,
+                    }
+                })
+                .collect();
+        let staged_rows = stages.first().map(|s| s.count).unwrap_or(0);
+        let group_commit = (queue_capacity > 0 || flushes > 0 || staged_rows > 0).then(|| {
             let batch = metrics()
                 .histogram("txn.group_commit.batch_records")
                 .snapshot();
@@ -1458,10 +1711,16 @@ impl Db {
                 fsyncs_saved: metrics().counter("txn.group_commit.fsyncs_saved").get(),
                 stalls: stall.count,
                 stall_p99_ns: stall.p99,
+                stages,
             }
         });
         let events = scdb_obs::events();
         DbHealthReport {
+            seq: self
+                .inner
+                .health_seq
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            at_ms: scdb_obs::event::coarse_now_ms(),
             uptime_ms: self.inner.started.elapsed().as_millis() as u64,
             curation,
             entities,
@@ -1475,6 +1734,12 @@ impl Db {
             warnings: scdb_obs::recent_warnings(),
             events_recorded: events.recorded(),
             events_dropped: events.dropped(),
+            watches: self
+                .inner
+                .telemetry
+                .as_ref()
+                .map(|t| t.statuses())
+                .unwrap_or_default(),
         }
     }
 
@@ -2264,6 +2529,21 @@ fn group_committer(inner: Weak<DbInner>, queue: Arc<IngestQueue>) {
     }
 }
 
+/// The telemetry sampler loop: sleep one interval (interruptible by
+/// [`TelemetryState::stop`]), upgrade the [`Weak`], run one tick. Exits
+/// on shutdown or once the last [`Db`] handle is gone — the thread
+/// never keeps the database alive, exactly like the committer above.
+fn telemetry_sampler(inner: Weak<DbInner>, state: Arc<TelemetryState>) {
+    loop {
+        if state.wait_shutdown(state.interval) {
+            return;
+        }
+        let Some(inner) = inner.upgrade() else { return };
+        let db = Db { inner };
+        db.telemetry_tick(&state);
+    }
+}
+
 fn build_snapshot(
     symbols: &SymbolTable,
     instance: &InstanceShard,
@@ -2861,7 +3141,7 @@ mod tests {
         seed_curated(&db);
         assert_eq!(db.state_dump(), reference.state_dump());
         let health = db.health_report();
-        let gc = health.group_commit.expect("queue configured");
+        let gc = health.group_commit.clone().expect("queue configured");
         assert_eq!(gc.queue_capacity, 8);
         assert!(health.render().contains("group commit"));
         assert!(health

@@ -39,6 +39,22 @@ pub(crate) struct IngestItem {
     pub record: Record,
     /// Optional free-text payload for the text index.
     pub text: Option<String>,
+    /// When the item was constructed (just before queue submit) — the
+    /// anchor for the `core.ingest.stage.queue_wait_ns` stage of the
+    /// commit-latency decomposition.
+    pub enqueued_at: Instant,
+}
+
+impl IngestItem {
+    /// Build an item stamped with the current instant.
+    pub(crate) fn new(source: String, record: Record, text: Option<String>) -> IngestItem {
+        IngestItem {
+            source,
+            record,
+            text,
+            enqueued_at: Instant::now(),
+        }
+    }
 }
 
 /// Shared resolution slot behind a [`CommitTicket`].
@@ -219,11 +235,11 @@ mod tests {
     use super::*;
 
     fn item(n: u64) -> IngestItem {
-        IngestItem {
-            source: "s".to_string(),
-            record: Record::from_pairs([(scdb_types::Symbol(0), scdb_types::Value::Int(n as i64))]),
-            text: None,
-        }
+        IngestItem::new(
+            "s".to_string(),
+            Record::from_pairs([(scdb_types::Symbol(0), scdb_types::Value::Int(n as i64))]),
+            None,
+        )
     }
 
     #[test]

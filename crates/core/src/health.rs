@@ -8,6 +8,7 @@
 //! for dashboards. Built to answer "is this instance healthy, and if
 //! not, where is it hurting?" without attaching a debugger.
 
+use scdb_obs::WatchStatus;
 use scdb_txn::WalLag;
 
 use crate::db::CurationStats;
@@ -41,11 +42,29 @@ pub struct WalHealth {
     pub fsyncs: u64,
 }
 
-/// Group-commit ingest health: queue occupancy, flush shape, and how
-/// much fsync work batching saved. Distilled from the
-/// `txn.group_commit.*` metrics plus the `core.ingest_queue.depth`
-/// gauge.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Latency summary for one named commit stage, distilled from its
+/// `core.ingest.stage.<stage>_ns` histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestStageLatency {
+    /// Stage name (`queue_wait`, `batch_build`, `wal_append`, `fsync`,
+    /// `apply`).
+    pub stage: String,
+    /// Observations (per-row for `queue_wait`, per-batch otherwise).
+    pub count: u64,
+    /// Median in nanoseconds (bucket upper bound).
+    pub p50_ns: u64,
+    /// 99th percentile in nanoseconds (bucket upper bound).
+    pub p99_ns: u64,
+    /// Largest single observation in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Group-commit ingest health: queue occupancy, flush shape, how much
+/// fsync work batching saved, and the commit-latency decomposition.
+/// Distilled from the `txn.group_commit.*` metrics, the
+/// `core.ingest_queue.depth` gauge, and the `core.ingest.stage.*`
+/// histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GroupCommitHealth {
     /// Configured queue capacity; `0` when no queue is configured (the
     /// counters below can still be non-zero via `Db::ingest_batch`).
@@ -64,11 +83,22 @@ pub struct GroupCommitHealth {
     pub stalls: u64,
     /// 99th-percentile stall in nanoseconds (bucket upper bound).
     pub stall_p99_ns: u64,
+    /// Commit-latency decomposition: every acked ingest split into
+    /// queue-wait → batch-build → WAL-append → fsync → apply. Always
+    /// all five stages, in pipeline order; zeroed rows mean the stage
+    /// was never observed (metrics disabled) or cost nothing.
+    pub stages: Vec<IngestStageLatency>,
 }
 
 /// The composite health report returned by `Db::health_report()`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DbHealthReport {
+    /// Monotone per-handle report number (starts at 0) — correlates a
+    /// rendered report with the JSONL telemetry line it produced.
+    pub seq: u64,
+    /// Capture time, milliseconds since the flight-recorder epoch — the
+    /// same clock events and time-series samples carry.
+    pub at_ms: u64,
     /// Milliseconds since this handle was built/opened.
     pub uptime_ms: u64,
     /// Cumulative curation counters.
@@ -97,6 +127,9 @@ pub struct DbHealthReport {
     pub events_recorded: u64,
     /// Events lost to ring wrap-around — counted, never silent.
     pub events_dropped: u64,
+    /// Current status of every configured watch rule; empty when no
+    /// telemetry pipeline is configured.
+    pub watches: Vec<WatchStatus>,
 }
 
 impl DbHealthReport {
@@ -105,6 +138,11 @@ impl DbHealthReport {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "== scdb health ==");
+        let _ = writeln!(
+            out,
+            "report               seq={} at_ms={}",
+            self.seq, self.at_ms
+        );
         let _ = writeln!(out, "uptime_ms            {}", self.uptime_ms);
         let _ = writeln!(
             out,
@@ -148,6 +186,14 @@ impl DbHealthReport {
                 "group commit savings fsyncs_saved={} stalls={} stall_p99_ns<={}",
                 g.fsyncs_saved, g.stalls, g.stall_p99_ns
             );
+            let _ = writeln!(out, "commit stages        (per acked ingest)");
+            for s in &g.stages {
+                let _ = writeln!(
+                    out,
+                    "  {:<18} count={} p50_ns<={} p99_ns<={} max_ns={}",
+                    s.stage, s.count, s.p50_ns, s.p99_ns, s.max_ns
+                );
+            }
         }
         let _ = writeln!(out, "lock waits           (blocked acquisitions only)");
         for l in &self.locks {
@@ -167,6 +213,23 @@ impl DbHealthReport {
             "events               recorded={} dropped={}",
             self.events_recorded, self.events_dropped
         );
+        if !self.watches.is_empty() {
+            let _ = writeln!(
+                out,
+                "watches              (threshold rules, per sample tick)"
+            );
+            for w in &self.watches {
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {} value={:.1} threshold={:.1} fired={}",
+                    w.name,
+                    if w.firing { "FIRING" } else { "ok" },
+                    w.value,
+                    w.threshold,
+                    w.fired
+                );
+            }
+        }
         let _ = writeln!(out, "warnings             {}", self.warnings.len());
         for w in &self.warnings {
             let _ = writeln!(out, "  ! {w}");
@@ -177,6 +240,8 @@ impl DbHealthReport {
     /// JSON document form, stable key order.
     pub fn to_json(&self) -> serde_json::Value {
         let mut root = serde_json::Map::new();
+        root.insert("seq".into(), serde_json::Value::from(self.seq));
+        root.insert("at_ms".into(), serde_json::Value::from(self.at_ms));
         root.insert("uptime_ms".into(), serde_json::Value::from(self.uptime_ms));
         let mut curation = serde_json::Map::new();
         curation.insert(
@@ -238,6 +303,20 @@ impl DbHealthReport {
                 "stall_p99_ns".into(),
                 serde_json::Value::from(g.stall_p99_ns),
             );
+            let stages: Vec<serde_json::Value> = g
+                .stages
+                .iter()
+                .map(|s| {
+                    let mut m = serde_json::Map::new();
+                    m.insert("stage".into(), serde_json::Value::from(s.stage.as_str()));
+                    m.insert("count".into(), serde_json::Value::from(s.count));
+                    m.insert("p50_ns".into(), serde_json::Value::from(s.p50_ns));
+                    m.insert("p99_ns".into(), serde_json::Value::from(s.p99_ns));
+                    m.insert("max_ns".into(), serde_json::Value::from(s.max_ns));
+                    serde_json::Value::Object(m)
+                })
+                .collect();
+            gc.insert("stages".into(), serde_json::Value::Array(stages));
             root.insert("group_commit".into(), serde_json::Value::Object(gc));
         } else {
             root.insert("group_commit".into(), serde_json::Value::Null);
@@ -279,6 +358,10 @@ impl DbHealthReport {
         root.insert(
             "events_dropped".into(),
             serde_json::Value::from(self.events_dropped),
+        );
+        root.insert(
+            "watches".into(),
+            serde_json::Value::Array(self.watches.iter().map(WatchStatus::to_json).collect()),
         );
         serde_json::Value::Object(root)
     }

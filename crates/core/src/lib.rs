@@ -58,6 +58,7 @@ pub mod explore;
 pub mod group_commit;
 pub mod health;
 mod snapshot;
+pub mod telemetry;
 
 pub use codd::{codd_report, CoddItem, CoddStatus};
 #[allow(deprecated)]
@@ -69,8 +70,14 @@ pub use db::{
 pub use error::CoreError;
 pub use explore::{explore, ExplorationOutcome, ExploreConfig};
 pub use group_commit::CommitTicket;
-pub use health::{DbHealthReport, GroupCommitHealth, LockWaitSummary, WalHealth};
-pub use scdb_obs::{MetricsSnapshot, QueryProfile};
+pub use health::{
+    DbHealthReport, GroupCommitHealth, IngestStageLatency, LockWaitSummary, WalHealth,
+};
+pub use scdb_obs::{
+    default_watches, prometheus_text, MetricsSnapshot, QueryProfile, Sample, SeriesSummary,
+    TimeSeriesRing, WatchOp, WatchRule, WatchSignal, WatchStatus,
+};
 pub use scdb_txn::{
     CheckpointStats, FsyncPolicy, IsolationMode, Transaction, WalRecoveryReport, WalStore,
 };
+pub use telemetry::TelemetryConfig;

@@ -1,0 +1,257 @@
+//! Telemetry pipeline configuration and shared sampler state.
+//!
+//! [`TelemetryConfig`] is the [`crate::DbBuilder::telemetry`] knob: how
+//! often the background sampler captures a [`scdb_obs::MetricsSnapshot`]
+//! delta into the time-series ring, how many samples the ring retains,
+//! which [`WatchRule`]s run against every sample, and (optionally) a
+//! JSONL file that receives each sample, watch transition, and health
+//! report as one appended line.
+//!
+//! The sampler itself is a thread owned by the database handle (spawned
+//! in `build_volatile`, same `Weak`-upgrade-per-tick lifecycle as the
+//! group-commit committer): it never keeps the database alive, and
+//! dropping the last [`crate::Db`] handle signals shutdown. A zero
+//! interval means *no thread* — ticks then happen only through
+//! [`crate::Db::sample_now`], which drives the identical code path and
+//! is how tests and benchmarks sample deterministically.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use scdb_obs::{
+    default_watches, JsonlSink, MetricsSnapshot, Sample, TimeSeriesRing, WatchEngine, WatchRule,
+    WatchStatus,
+};
+
+/// Configuration for the background telemetry sampler (see the module
+/// docs). Defaults: 1 s interval, 120 retained samples (two minutes of
+/// history), the stock [`default_watches`] rule set, no JSONL sink.
+#[derive(Debug)]
+#[must_use = "configs do nothing until passed to DbBuilder::telemetry"]
+pub struct TelemetryConfig {
+    pub(crate) interval: Duration,
+    pub(crate) retention: usize,
+    pub(crate) watches: Vec<WatchRule>,
+    pub(crate) jsonl_path: Option<PathBuf>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            interval: Duration::from_secs(1),
+            retention: 120,
+            watches: default_watches(),
+            jsonl_path: None,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Sampler tick interval. [`Duration::ZERO`] disables the thread:
+    /// samples are then taken only by explicit [`crate::Db::sample_now`]
+    /// calls.
+    pub fn interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// How many samples the ring retains (minimum 2 — a delta needs a
+    /// predecessor).
+    pub fn retention(mut self, samples: usize) -> Self {
+        self.retention = samples;
+        self
+    }
+
+    /// Replace the watch rule set (the default is [`default_watches`]).
+    pub fn watches(mut self, rules: Vec<WatchRule>) -> Self {
+        self.watches = rules;
+        self
+    }
+
+    /// Add one watch rule on top of whatever is configured.
+    pub fn watch(mut self, rule: WatchRule) -> Self {
+        self.watches.push(rule);
+        self
+    }
+
+    /// Append every sample, watch transition, and health report to this
+    /// JSONL file (created, with parents, on open; appended across
+    /// reopens).
+    pub fn jsonl(mut self, path: impl Into<PathBuf>) -> Self {
+        self.jsonl_path = Some(path.into());
+        self
+    }
+}
+
+/// Shared state between the database handle and its sampler thread.
+pub(crate) struct TelemetryState {
+    /// Tick period; `Duration::ZERO` means no thread was spawned.
+    pub(crate) interval: Duration,
+    /// The bounded time-series history.
+    pub(crate) ring: TimeSeriesRing,
+    /// Watch rules + their sustain/firing state, evaluated per tick.
+    pub(crate) watch: parking_lot::Mutex<WatchEngine>,
+    /// Optional JSONL sink (opened lazily on the first tick so a bad
+    /// path degrades to a warning, not a build failure).
+    pub(crate) jsonl: Option<parking_lot::Mutex<JsonlSinkSlot>>,
+    /// Shutdown flag + wakeup for the interval sleep.
+    shutdown: (Mutex<bool>, Condvar),
+}
+
+/// Lazily-opened sink: `Unopened` until the first tick, then either the
+/// live sink or `Failed` (warned once, never retried).
+pub(crate) enum JsonlSinkSlot {
+    Unopened(PathBuf),
+    Open(JsonlSink),
+    Failed,
+}
+
+impl TelemetryState {
+    pub(crate) fn new(config: TelemetryConfig) -> TelemetryState {
+        TelemetryState {
+            interval: config.interval,
+            ring: TimeSeriesRing::new(config.retention),
+            watch: parking_lot::Mutex::new(WatchEngine::new(config.watches)),
+            jsonl: config
+                .jsonl_path
+                .map(|p| parking_lot::Mutex::new(JsonlSinkSlot::Unopened(p))),
+            shutdown: (Mutex::new(false), Condvar::new()),
+        }
+    }
+
+    /// Signal the sampler thread to exit; idempotent.
+    pub(crate) fn stop(&self) {
+        let (flag, cv) = &self.shutdown;
+        let mut stop = flag
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *stop = true;
+        cv.notify_all();
+    }
+
+    /// Sleep for `d` or until [`TelemetryState::stop`]; returns `true`
+    /// when shutdown was requested.
+    pub(crate) fn wait_shutdown(&self, d: Duration) -> bool {
+        let (flag, cv) = &self.shutdown;
+        let mut stop = flag
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let deadline = std::time::Instant::now() + d;
+        while !*stop {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timeout) = cv
+                .wait_timeout(stop, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            stop = guard;
+        }
+        true
+    }
+
+    /// Fold one registry snapshot into the ring (the delta half of a
+    /// tick; the gauge refresh and watch evaluation live in `Db`).
+    pub(crate) fn record(&self, snapshot: MetricsSnapshot, at_ms: u64) -> Arc<Sample> {
+        self.ring.record(snapshot, at_ms)
+    }
+
+    /// Evaluate the watch rules against `sample`, returning the
+    /// transitions (fired/resolved) this tick produced.
+    pub(crate) fn evaluate(&self, sample: &Sample) -> Vec<WatchStatus> {
+        self.watch.lock().evaluate(sample)
+    }
+
+    /// Current status of every configured watch rule.
+    pub(crate) fn statuses(&self) -> Vec<WatchStatus> {
+        self.watch.lock().statuses()
+    }
+
+    /// Append one tagged line to the JSONL sink, opening it on first
+    /// use. A failed open warns once (flight-recorder `("obs","warn")`)
+    /// and disables the sink; a failed append is silently dropped (the
+    /// sink is telemetry, never a durability dependency).
+    pub(crate) fn jsonl_append(&self, tag: &str, value: &serde_json::Value) {
+        let Some(slot) = &self.jsonl else { return };
+        let mut slot = slot.lock();
+        if let JsonlSinkSlot::Unopened(path) = &*slot {
+            match JsonlSink::open(path) {
+                Ok(sink) => *slot = JsonlSinkSlot::Open(sink),
+                Err(e) => {
+                    scdb_obs::events().record_with_message(
+                        "obs",
+                        "warn",
+                        &[],
+                        &format!("telemetry jsonl open failed: {e}"),
+                    );
+                    *slot = JsonlSinkSlot::Failed;
+                }
+            }
+        }
+        if let JsonlSinkSlot::Open(sink) = &mut *slot {
+            let _ = sink.append(tag, value);
+        }
+    }
+}
+
+impl std::fmt::Debug for TelemetryState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryState")
+            .field("interval", &self.interval)
+            .field("samples", &self.ring.len())
+            .field("watches", &self.watch.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_shape() {
+        let c = TelemetryConfig::default();
+        assert_eq!(c.interval, Duration::from_secs(1));
+        assert_eq!(c.retention, 120);
+        assert!(!c.watches.is_empty());
+        assert!(c.jsonl_path.is_none());
+    }
+
+    #[test]
+    fn stop_wakes_wait() {
+        let state = Arc::new(TelemetryState::new(
+            TelemetryConfig::default().interval(Duration::ZERO),
+        ));
+        let s2 = Arc::clone(&state);
+        let waiter = std::thread::spawn(move || s2.wait_shutdown(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        state.stop();
+        assert!(waiter.join().unwrap(), "stop() interrupts the sleep");
+        // Subsequent waits return immediately.
+        assert!(state.wait_shutdown(Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn wait_times_out_without_stop() {
+        let state = TelemetryState::new(TelemetryConfig::default());
+        assert!(!state.wait_shutdown(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn jsonl_failed_open_degrades() {
+        // A path under a file (not a dir) cannot be created.
+        let dir = std::env::temp_dir().join(format!("scdb-tel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, b"x").unwrap();
+        let state = TelemetryState::new(
+            TelemetryConfig::default().jsonl(blocker.join("sub").join("t.jsonl")),
+        );
+        state.jsonl_append("sample", &serde_json::Value::from(1u64));
+        // No panic, slot is dead; a second append is a no-op.
+        state.jsonl_append("sample", &serde_json::Value::from(2u64));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,225 @@
+//! Zero-dependency telemetry exporters: Prometheus text exposition and
+//! an append-only JSONL sink.
+//!
+//! [`prometheus_text`] renders a [`MetricsSnapshot`] in the Prometheus
+//! text exposition format (version 0.0.4): counters as `counter`
+//! samples with the conventional `_total` suffix, gauges as `gauge`
+//! samples, histograms as `summary` families (quantile-labelled samples
+//! plus `_sum`/`_count`). Metric names are sanitized from the internal
+//! dotted convention (`core.ingest.stage.fsync_ns`) into the Prometheus
+//! charset (`scdb_core_ingest_stage_fsync_ns`) — a pure function over a
+//! snapshot, so it can serve an HTTP scrape handler or be written to a
+//! file for the node-exporter textfile collector.
+//!
+//! [`JsonlSink`] appends tagged JSON lines (`{"type":"sample",...}`,
+//! `"health"`, `"watch"`) to a file — the durable half of the telemetry
+//! pipeline, tail-able by humans and trivially parseable by the future
+//! curation daemon.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::MetricsSnapshot;
+
+/// Map one internal metric name onto the Prometheus charset:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, prefixed `scdb_`. Dots and any other
+/// foreign characters become underscores.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("scdb_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render `snapshot` in the Prometheus text exposition format (see the
+/// module docs). Deterministic: snapshots iterate in name order.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let pname = format!("{}_total", prometheus_name(name));
+        let _ = writeln!(out, "# TYPE {pname} counter");
+        let _ = writeln!(out, "{pname} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let pname = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {pname} gauge");
+        let _ = writeln!(out, "{pname} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let pname = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {pname} summary");
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            let _ = writeln!(out, "{pname}{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "{pname}_sum {}", h.sum);
+        let _ = writeln!(out, "{pname}_count {}", h.count);
+    }
+    out
+}
+
+/// Append-only JSON Lines telemetry file (see the module docs). Each
+/// [`JsonlSink::append`] writes one `{"type":<tag>,...}` line and
+/// flushes, so a tail reader never sees a torn line from a clean
+/// process.
+pub struct JsonlSink {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl JsonlSink {
+    /// Open `path` for appending, creating the file (and its parent
+    /// directory) as needed.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(JsonlSink { path, file })
+    }
+
+    /// The file this sink appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one tagged line: `value`'s fields under a leading
+    /// `"type": tag` key (non-object values land under `"data"`).
+    pub fn append(&mut self, tag: &str, value: &serde_json::Value) -> std::io::Result<()> {
+        let mut root = serde_json::Map::new();
+        root.insert("type".into(), serde_json::Value::from(tag));
+        match value.as_object() {
+            Some(obj) => {
+                for (k, v) in obj {
+                    root.insert(k.clone(), v.clone());
+                }
+            }
+            None => {
+                root.insert("data".into(), value.clone());
+            }
+        }
+        let line = serde_json::to_string(&serde_json::Value::Object(root))
+            .map_err(|e| std::io::Error::other(format!("serialize telemetry line: {e:?}")))?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistogramSnapshot;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("core.ingest.rows".into(), 42);
+        s.gauges.insert("core.ingest_queue.depth".into(), -3);
+        s.histograms.insert(
+            "txn.fsync_ns".into(),
+            HistogramSnapshot {
+                count: 7,
+                sum: 700,
+                min: 10,
+                max: 200,
+                p50: 63,
+                p95: 127,
+                p99: 255,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(prometheus_name("core.ingest"), "scdb_core_ingest");
+        assert_eq!(
+            prometheus_name("core.ingest/core.er"),
+            "scdb_core_ingest_core_er"
+        );
+        assert_eq!(prometheus_name("a.b_c.d9"), "scdb_a_b_c_d9");
+    }
+
+    #[test]
+    fn exposition_format_shape() {
+        let text = prometheus_text(&sample_snapshot());
+        assert!(text.contains("# TYPE scdb_core_ingest_rows_total counter\n"));
+        assert!(text.contains("scdb_core_ingest_rows_total 42\n"));
+        assert!(text.contains("# TYPE scdb_core_ingest_queue_depth gauge\n"));
+        assert!(text.contains("scdb_core_ingest_queue_depth -3\n"));
+        assert!(text.contains("# TYPE scdb_txn_fsync_ns summary\n"));
+        assert!(text.contains("scdb_txn_fsync_ns{quantile=\"0.99\"} 255\n"));
+        assert!(text.contains("scdb_txn_fsync_ns_sum 700\n"));
+        assert!(text.contains("scdb_txn_fsync_ns_count 7\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(value.parse::<f64>().is_ok(), "numeric value in {line:?}");
+            let bare = name.split('{').next().unwrap();
+            assert!(
+                bare.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "prometheus-charset name in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_appends_tagged_lines() {
+        let dir = std::env::temp_dir().join(format!("scdb-jsonl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("telemetry.jsonl");
+        {
+            let mut sink = JsonlSink::open(&path).expect("open sink");
+            let mut obj = serde_json::Map::new();
+            obj.insert("seq".into(), serde_json::Value::from(1u64));
+            sink.append("sample", &serde_json::Value::Object(obj))
+                .expect("append object");
+            sink.append("watch", &serde_json::Value::from("fired"))
+                .expect("append scalar");
+        }
+        // Re-open appends, never truncates.
+        {
+            let mut sink = JsonlSink::open(&path).expect("reopen sink");
+            let mut obj = serde_json::Map::new();
+            obj.insert("seq".into(), serde_json::Value::from(2u64));
+            sink.append("sample", &serde_json::Value::Object(obj))
+                .expect("append after reopen");
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first = serde_json::from_str(lines[0]).expect("line parses");
+        assert_eq!(first.get("type").and_then(|v| v.as_str()), Some("sample"));
+        assert_eq!(first.get("seq").and_then(|v| v.as_u64()), Some(1));
+        let second = serde_json::from_str(lines[1]).expect("line parses");
+        assert_eq!(second.get("type").and_then(|v| v.as_str()), Some("watch"));
+        assert_eq!(second.get("data").and_then(|v| v.as_str()), Some("fired"));
+        let third = serde_json::from_str(lines[2]).expect("line parses");
+        assert_eq!(third.get("seq").and_then(|v| v.as_u64()), Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,6 +17,13 @@
 //!    style record (per-stage durations, rows in/out, optimizer
 //!    decisions) built by executors and attached to query outcomes.
 //!
+//! On top sits the telemetry pipeline: [`TimeSeriesRing`] turns
+//! periodic snapshots into bounded per-metric windows with derived
+//! rates ([`timeseries`]), [`WatchEngine`] evaluates declarative
+//! threshold rules against each sample ([`watch`]), and the exporters
+//! ([`export`]) render snapshots as Prometheus text exposition or
+//! append tagged JSONL telemetry lines.
+//!
 //! Naming convention: `subsystem.operation` (e.g. `txn.commit`,
 //! `er.comparisons`, `query.execute_ns`). Explicitly-observed
 //! nanosecond histograms end in `_ns`; span histograms record
@@ -27,8 +34,11 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod export;
 pub mod lock;
 pub mod profile;
+pub mod timeseries;
+pub mod watch;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -38,8 +48,11 @@ use std::time::Instant;
 use parking_lot::RwLock;
 
 pub use event::{event, events, Event, EventFilter, EventLog, FieldValue, SmallStr};
+pub use export::{prometheus_name, prometheus_text, JsonlSink};
 pub use lock::{set_lock_contention_threshold_ns, TrackedMutex, TrackedRwLock};
 pub use profile::{ProfileBuilder, QueryProfile, StageProfile};
+pub use timeseries::{CounterWindow, HistogramWindow, Sample, SeriesSummary, TimeSeriesRing};
+pub use watch::{default_watches, WatchEngine, WatchOp, WatchRule, WatchSignal, WatchStatus};
 
 // ---------------------------------------------------------------------------
 // Counter

@@ -48,6 +48,62 @@ impl QueryProfile {
         self.stages.iter().find(|s| s.name == name)
     }
 
+    /// JSON document form: the full stage breakdown (name, depth,
+    /// nanoseconds, rows in/out, notes) plus total and optimizer
+    /// decisions — what the slow-query log exports so an index advisor
+    /// can see *where* a slow query spent its time.
+    pub fn to_json(&self) -> serde_json::Value {
+        let stages: Vec<serde_json::Value> = self
+            .stages
+            .iter()
+            .map(|s| {
+                let mut m = serde_json::Map::new();
+                m.insert("name".into(), serde_json::Value::from(s.name.as_str()));
+                m.insert("depth".into(), serde_json::Value::from(s.depth));
+                m.insert(
+                    "ns".into(),
+                    serde_json::Value::from(s.duration.as_nanos() as u64),
+                );
+                m.insert(
+                    "rows_in".into(),
+                    s.rows_in
+                        .map_or(serde_json::Value::Null, serde_json::Value::from),
+                );
+                m.insert(
+                    "rows_out".into(),
+                    s.rows_out
+                        .map_or(serde_json::Value::Null, serde_json::Value::from),
+                );
+                m.insert(
+                    "notes".into(),
+                    serde_json::Value::Array(
+                        s.notes
+                            .iter()
+                            .map(|n| serde_json::Value::from(n.as_str()))
+                            .collect(),
+                    ),
+                );
+                serde_json::Value::Object(m)
+            })
+            .collect();
+        let mut root = serde_json::Map::new();
+        root.insert(
+            "total_ns".into(),
+            serde_json::Value::from(self.total.as_nanos() as u64),
+        );
+        root.insert("stages".into(), serde_json::Value::Array(stages));
+        root.insert(
+            "optimizer_decisions".into(),
+            serde_json::Value::Array(
+                self.optimizer_decisions
+                    .iter()
+                    .map(|d| serde_json::Value::from(d.as_str()))
+                    .collect(),
+            ),
+        );
+        serde_json::Value::Object(root)
+    }
+
     /// Human-readable `EXPLAIN ANALYZE` rendering.
     pub fn render(&self) -> String {
         let mut out = format!("EXPLAIN ANALYZE (total {})\n", fmt_duration(self.total));

@@ -1,0 +1,464 @@
+//! Bounded time-series history over [`MetricsSnapshot`] deltas.
+//!
+//! The metrics registry is cumulative: counters only grow, histograms
+//! only accumulate. Trend questions — "is the ingest rate falling?",
+//! "did fsync latency spike in the last minute?" — need *windows*, not
+//! totals. [`TimeSeriesRing`] turns a stream of snapshots into a
+//! bounded ring of [`Sample`]s: each `record` call diffs the new
+//! snapshot against the previous one and stores per-metric deltas plus
+//! derived per-second rates, retaining the most recent `retention`
+//! windows.
+//!
+//! The ring is lock-light by construction: one writer (the sampler
+//! thread, or a test calling `Db::sample_now`) takes the internal
+//! write lock once per interval; readers clone `Arc<Sample>`s out under
+//! a read lock. Nothing on a database hot path ever touches it.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::MetricsSnapshot;
+
+/// One counter's window in a [`Sample`]: the delta over the interval,
+/// the derived per-second rate, and the cumulative total at sample time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterWindow {
+    /// Increments observed during this window.
+    pub delta: u64,
+    /// `delta` normalized to events per second (0 when the interval is
+    /// unknown, i.e. the first sample).
+    pub rate: f64,
+    /// Cumulative counter value at sample time.
+    pub total: u64,
+}
+
+/// One histogram's window in a [`Sample`]: how many observations landed
+/// in the interval and what they summed to, plus the cumulative tail at
+/// sample time (power-of-two buckets are not snapshotted per-window, so
+/// `p99` is the since-start estimate, refreshed each sample).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramWindow {
+    /// Observations recorded during this window.
+    pub count: u64,
+    /// Sum of observations recorded during this window.
+    pub sum: u64,
+    /// Cumulative 99th-percentile estimate at sample time.
+    pub p99: u64,
+    /// Cumulative maximum at sample time.
+    pub max: u64,
+}
+
+impl HistogramWindow {
+    /// Mean of the observations in this window, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One sampler tick: every metric's movement over one interval.
+///
+/// Counters and histograms are stored *sparsely* — only names whose
+/// window is non-empty appear — so idle samples stay small; the
+/// accessors ([`Sample::counter_rate`] etc.) default absent names to
+/// zero, which is also what the watch engine wants (a metric that
+/// stopped moving reads as rate 0, letting rate watches resolve).
+/// Gauges are levels, not deltas, and are carried in full.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Monotonic sample number within this ring (starts at 1).
+    pub seq: u64,
+    /// Capture time, milliseconds since the flight-recorder epoch
+    /// ([`crate::event::coarse_now_ms`]) — directly comparable to event
+    /// `ts_ms` and health-report `at_ms`.
+    pub at_ms: u64,
+    /// Milliseconds since the previous sample (0 for the first).
+    pub interval_ms: u64,
+    /// Counter windows, by name (moved counters only).
+    pub counters: BTreeMap<String, CounterWindow>,
+    /// Gauge levels, by name (all registered gauges).
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram windows, by name (moved histograms only).
+    pub histograms: BTreeMap<String, HistogramWindow>,
+}
+
+impl Sample {
+    /// Per-second rate of counter `name` over this window (0.0 when the
+    /// counter did not move or is unknown).
+    pub fn counter_rate(&self, name: &str) -> f64 {
+        self.counters.get(name).map_or(0.0, |w| w.rate)
+    }
+
+    /// Delta of counter `name` over this window (0 when it did not move).
+    pub fn counter_delta(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |w| w.delta)
+    }
+
+    /// Level of gauge `name` at sample time (0 when unregistered).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Cumulative p99 of histogram `name`, 0 when the histogram saw no
+    /// observations this window (an idle latency source reads as 0, so
+    /// p99 watches resolve when load stops).
+    pub fn histogram_p99(&self, name: &str) -> u64 {
+        self.histograms.get(name).map_or(0, |w| w.p99)
+    }
+
+    /// JSON document form (one JSONL telemetry line under `"sample"`).
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut counters = serde_json::Map::new();
+        for (k, w) in &self.counters {
+            let mut m = serde_json::Map::new();
+            m.insert("delta".into(), serde_json::Value::from(w.delta));
+            m.insert("rate".into(), serde_json::Value::from(w.rate));
+            m.insert("total".into(), serde_json::Value::from(w.total));
+            counters.insert(k.clone(), serde_json::Value::Object(m));
+        }
+        let mut gauges = serde_json::Map::new();
+        for (k, v) in &self.gauges {
+            gauges.insert(k.clone(), serde_json::Value::from(*v));
+        }
+        let mut histograms = serde_json::Map::new();
+        for (k, w) in &self.histograms {
+            let mut m = serde_json::Map::new();
+            m.insert("count".into(), serde_json::Value::from(w.count));
+            m.insert("sum".into(), serde_json::Value::from(w.sum));
+            m.insert("mean".into(), serde_json::Value::from(w.mean()));
+            m.insert("p99".into(), serde_json::Value::from(w.p99));
+            m.insert("max".into(), serde_json::Value::from(w.max));
+            histograms.insert(k.clone(), serde_json::Value::Object(m));
+        }
+        let mut root = serde_json::Map::new();
+        root.insert("seq".into(), serde_json::Value::from(self.seq));
+        root.insert("at_ms".into(), serde_json::Value::from(self.at_ms));
+        root.insert(
+            "interval_ms".into(),
+            serde_json::Value::from(self.interval_ms),
+        );
+        root.insert("counters".into(), serde_json::Value::Object(counters));
+        root.insert("gauges".into(), serde_json::Value::Object(gauges));
+        root.insert("histograms".into(), serde_json::Value::Object(histograms));
+        serde_json::Value::Object(root)
+    }
+}
+
+/// Min/max/sum/count of one metric across every retained window —
+/// counter *deltas*, gauge *levels*, or histogram *window counts*,
+/// whichever the name resolves to (counters win ties).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesSummary {
+    /// Retained windows that contributed a point.
+    pub points: usize,
+    /// Smallest point.
+    pub min: f64,
+    /// Largest point.
+    pub max: f64,
+    /// Sum of points.
+    pub sum: f64,
+    /// Most recent point.
+    pub last: f64,
+}
+
+impl SeriesSummary {
+    /// Arithmetic mean of the points, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.sum / self.points as f64
+        }
+    }
+
+    fn from_points(points: impl Iterator<Item = f64>) -> Option<SeriesSummary> {
+        let mut out: Option<SeriesSummary> = None;
+        for p in points {
+            let s = out.get_or_insert(SeriesSummary {
+                points: 0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                sum: 0.0,
+                last: 0.0,
+            });
+            s.points += 1;
+            s.min = s.min.min(p);
+            s.max = s.max.max(p);
+            s.sum += p;
+            s.last = p;
+        }
+        out
+    }
+}
+
+struct RingState {
+    previous: Option<MetricsSnapshot>,
+    previous_at_ms: u64,
+    next_seq: u64,
+    samples: VecDeque<Arc<Sample>>,
+}
+
+/// The bounded sample ring (see the module docs).
+pub struct TimeSeriesRing {
+    retention: usize,
+    state: RwLock<RingState>,
+}
+
+impl std::fmt::Debug for TimeSeriesRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimeSeriesRing")
+            .field("retention", &self.retention)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl TimeSeriesRing {
+    /// A ring retaining the most recent `retention` samples (minimum 2:
+    /// one window needs two anchors).
+    pub fn new(retention: usize) -> TimeSeriesRing {
+        TimeSeriesRing {
+            retention: retention.max(2),
+            state: RwLock::new(RingState {
+                previous: None,
+                previous_at_ms: 0,
+                next_seq: 1,
+                samples: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Maximum retained samples.
+    pub fn retention(&self) -> usize {
+        self.retention
+    }
+
+    /// Retained samples right now.
+    pub fn len(&self) -> usize {
+        self.state.read().samples.len()
+    }
+
+    /// True when no sample was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Diff `snapshot` against the previous one into a new [`Sample`]
+    /// at time `at_ms`, retain it (evicting the oldest past retention),
+    /// and return it. The first call anchors the series: its deltas are
+    /// all zero, so pre-existing registry totals (the registry is
+    /// process-global) never masquerade as a burst in the first window.
+    pub fn record(&self, snapshot: MetricsSnapshot, at_ms: u64) -> Arc<Sample> {
+        let mut state = self.state.write();
+        let interval_ms = match state.previous {
+            Some(_) => at_ms.saturating_sub(state.previous_at_ms),
+            None => 0,
+        };
+        let mut counters = BTreeMap::new();
+        let mut histograms = BTreeMap::new();
+        if let Some(prev) = &state.previous {
+            for (name, &total) in &snapshot.counters {
+                // saturating: `MetricsRegistry::reset` can move totals
+                // backwards mid-series (test isolation); clamp to 0.
+                let delta = total.saturating_sub(prev.counters.get(name).copied().unwrap_or(total));
+                if delta > 0 {
+                    let rate = if interval_ms > 0 {
+                        delta as f64 * 1000.0 / interval_ms as f64
+                    } else {
+                        0.0
+                    };
+                    counters.insert(name.clone(), CounterWindow { delta, rate, total });
+                }
+            }
+            for (name, h) in &snapshot.histograms {
+                let (pc, ps) = prev
+                    .histograms
+                    .get(name)
+                    .map_or((h.count, h.sum), |p| (p.count, p.sum));
+                let count = h.count.saturating_sub(pc);
+                if count > 0 {
+                    histograms.insert(
+                        name.clone(),
+                        HistogramWindow {
+                            count,
+                            sum: h.sum.saturating_sub(ps),
+                            p99: h.p99,
+                            max: h.max,
+                        },
+                    );
+                }
+            }
+        }
+        let sample = Arc::new(Sample {
+            seq: state.next_seq,
+            at_ms,
+            interval_ms,
+            counters,
+            gauges: snapshot.gauges.clone(),
+            histograms,
+        });
+        state.next_seq += 1;
+        state.previous = Some(snapshot);
+        state.previous_at_ms = at_ms;
+        if state.samples.len() == self.retention {
+            state.samples.pop_front();
+        }
+        state.samples.push_back(Arc::clone(&sample));
+        sample
+    }
+
+    /// Every retained sample, oldest first.
+    pub fn samples(&self) -> Vec<Arc<Sample>> {
+        self.state.read().samples.iter().cloned().collect()
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<Arc<Sample>> {
+        self.state.read().samples.back().cloned()
+    }
+
+    /// Summary of `metric` across the retained windows: counter deltas
+    /// if `metric` names a counter somewhere in the series, else gauge
+    /// levels, else histogram window counts. `None` when no retained
+    /// sample mentions the name.
+    pub fn summary(&self, metric: &str) -> Option<SeriesSummary> {
+        let state = self.state.read();
+        let samples = &state.samples;
+        if samples.iter().any(|s| s.counters.contains_key(metric)) {
+            return SeriesSummary::from_points(
+                samples.iter().map(|s| s.counter_delta(metric) as f64),
+            );
+        }
+        if samples.iter().any(|s| s.gauges.contains_key(metric)) {
+            return SeriesSummary::from_points(samples.iter().map(|s| s.gauge(metric) as f64));
+        }
+        if samples.iter().any(|s| s.histograms.contains_key(metric)) {
+            return SeriesSummary::from_points(
+                samples
+                    .iter()
+                    .map(|s| s.histograms.get(metric).map_or(0, |w| w.count) as f64),
+            );
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistogramSnapshot, MetricsSnapshot};
+
+    fn snap(counter: u64, gauge: i64, hist_count: u64) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("t.c".into(), counter);
+        s.gauges.insert("t.g".into(), gauge);
+        s.histograms.insert(
+            "t.h_ns".into(),
+            HistogramSnapshot {
+                count: hist_count,
+                sum: hist_count * 10,
+                min: 10,
+                max: 10,
+                p50: 15,
+                p95: 15,
+                p99: 15,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn first_sample_anchors_with_zero_deltas() {
+        let ring = TimeSeriesRing::new(8);
+        let s = ring.record(snap(100, 5, 50), 1_000);
+        assert_eq!(s.seq, 1);
+        assert_eq!(s.interval_ms, 0);
+        assert!(s.counters.is_empty(), "no window before an anchor");
+        assert!(s.histograms.is_empty());
+        assert_eq!(s.gauge("t.g"), 5, "gauges are levels, present at once");
+    }
+
+    #[test]
+    fn deltas_rates_and_windows() {
+        let ring = TimeSeriesRing::new(8);
+        ring.record(snap(100, 5, 50), 1_000);
+        let s = ring.record(snap(160, 7, 53), 1_500);
+        assert_eq!(s.seq, 2);
+        assert_eq!(s.interval_ms, 500);
+        assert_eq!(s.counter_delta("t.c"), 60);
+        assert!((s.counter_rate("t.c") - 120.0).abs() < 1e-9, "60 per 500ms");
+        assert_eq!(s.gauge("t.g"), 7);
+        let w = s.histograms.get("t.h_ns").expect("moved histogram");
+        assert_eq!(w.count, 3);
+        assert_eq!(w.sum, 30);
+        assert_eq!(s.histogram_p99("t.h_ns"), 15);
+        // Idle window: nothing moved, sparse maps stay empty.
+        let idle = ring.record(snap(160, 7, 53), 2_000);
+        assert!(idle.counters.is_empty() && idle.histograms.is_empty());
+        assert_eq!(idle.counter_rate("t.c"), 0.0);
+    }
+
+    #[test]
+    fn retention_bounds_the_ring() {
+        let ring = TimeSeriesRing::new(3);
+        for i in 0..10u64 {
+            ring.record(snap(i * 10, 0, 0), i * 100);
+        }
+        assert_eq!(ring.len(), 3);
+        let samples = ring.samples();
+        assert_eq!(samples.first().unwrap().seq, 8, "oldest evicted");
+        assert_eq!(ring.latest().unwrap().seq, 10);
+    }
+
+    #[test]
+    fn counter_reset_clamps_to_zero() {
+        let ring = TimeSeriesRing::new(4);
+        ring.record(snap(100, 0, 0), 0);
+        let s = ring.record(snap(10, 0, 0), 100);
+        assert_eq!(s.counter_delta("t.c"), 0, "backwards total reads as 0");
+    }
+
+    #[test]
+    fn summary_resolves_kind_by_name() {
+        let ring = TimeSeriesRing::new(8);
+        ring.record(snap(0, 1, 0), 0);
+        ring.record(snap(5, 2, 1), 100);
+        ring.record(snap(20, 3, 4), 200);
+        let c = ring.summary("t.c").expect("counter series");
+        assert_eq!(c.points, 3);
+        assert_eq!(c.min, 0.0);
+        assert_eq!(c.max, 15.0);
+        assert_eq!(c.last, 15.0);
+        let g = ring.summary("t.g").expect("gauge series");
+        assert_eq!((g.min, g.max, g.last), (1.0, 3.0, 3.0));
+        let h = ring.summary("t.h_ns").expect("histogram series");
+        assert_eq!(h.max, 3.0, "largest window count");
+        assert!(ring.summary("t.unknown").is_none());
+    }
+
+    #[test]
+    fn sample_json_shape() {
+        let ring = TimeSeriesRing::new(4);
+        ring.record(snap(0, 0, 0), 0);
+        let s = ring.record(snap(50, -2, 2), 1_000);
+        let json = s.to_json();
+        assert_eq!(json.get("seq").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(json.get("interval_ms").and_then(|v| v.as_u64()), Some(1000));
+        let c = json
+            .get("counters")
+            .and_then(|v| v.get("t.c"))
+            .expect("counter window");
+        assert_eq!(c.get("delta").and_then(|v| v.as_u64()), Some(50));
+        assert_eq!(
+            json.get("gauges")
+                .and_then(|v| v.get("t.g"))
+                .and_then(|v| v.as_i64()),
+            Some(-2)
+        );
+    }
+}

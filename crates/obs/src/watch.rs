@@ -1,0 +1,424 @@
+//! Declarative threshold watches over telemetry samples.
+//!
+//! A [`WatchRule`] names a signal read from each [`Sample`] (a counter
+//! rate, a gauge level, a histogram p99), a comparison against a
+//! threshold, and how many *consecutive* breaching samples it takes to
+//! fire — the `sustain` debounce that keeps a one-tick blip from
+//! paging anyone. The [`WatchEngine`] evaluates every rule per sample
+//! tick and tracks firing state across ticks:
+//!
+//! * on the breach that completes the sustain run, the watch **fires**:
+//!   an `("obs", "watch.fired")` flight-recorder event is emitted (rule
+//!   name in the message, observed value and threshold as fields) and
+//!   the `obs.watch.fired` counter is bumped;
+//! * on the first non-breaching sample after firing, the watch
+//!   **resolves** with an `("obs", "watch.resolved")` event.
+//!
+//! [`WatchEngine::statuses`] is the health-report surface, and the
+//! fired/resolved transitions returned by [`WatchEngine::evaluate`] are
+//! what the JSONL telemetry sink appends — the future curation daemon's
+//! trigger feed.
+
+use crate::timeseries::Sample;
+use crate::{events, metrics, FieldValue};
+
+/// What a watch reads from each sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WatchSignal {
+    /// Per-second rate of a counter over the sample window.
+    CounterRate(String),
+    /// Absolute delta of a counter over the sample window.
+    CounterDelta(String),
+    /// Gauge level at sample time.
+    Gauge(String),
+    /// Histogram p99 (cumulative estimate; reads 0 for windows with no
+    /// observations, so latency watches resolve when load stops).
+    HistogramP99(String),
+}
+
+impl WatchSignal {
+    /// The metric name this signal reads.
+    pub fn metric(&self) -> &str {
+        match self {
+            WatchSignal::CounterRate(m)
+            | WatchSignal::CounterDelta(m)
+            | WatchSignal::Gauge(m)
+            | WatchSignal::HistogramP99(m) => m,
+        }
+    }
+
+    /// Short tag for rendering (`rate`, `delta`, `gauge`, `p99`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WatchSignal::CounterRate(_) => "rate",
+            WatchSignal::CounterDelta(_) => "delta",
+            WatchSignal::Gauge(_) => "gauge",
+            WatchSignal::HistogramP99(_) => "p99",
+        }
+    }
+
+    fn read(&self, sample: &Sample) -> f64 {
+        match self {
+            WatchSignal::CounterRate(m) => sample.counter_rate(m),
+            WatchSignal::CounterDelta(m) => sample.counter_delta(m) as f64,
+            WatchSignal::Gauge(m) => sample.gauge(m) as f64,
+            WatchSignal::HistogramP99(m) => sample.histogram_p99(m) as f64,
+        }
+    }
+}
+
+/// Which side of the threshold breaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchOp {
+    /// Breach when the signal is strictly above the threshold.
+    Above,
+    /// Breach when the signal is strictly below the threshold.
+    Below,
+}
+
+/// One declarative threshold rule (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchRule {
+    /// Rule name — the identity in events, statuses, and reports.
+    pub name: String,
+    /// What to read from each sample.
+    pub signal: WatchSignal,
+    /// Breach direction.
+    pub op: WatchOp,
+    /// The threshold the signal is compared against.
+    pub threshold: f64,
+    /// Consecutive breaching samples required to fire (minimum 1).
+    pub sustain: u32,
+}
+
+impl WatchRule {
+    /// A rule firing after one breaching sample; chain
+    /// [`WatchRule::sustain`] to debounce.
+    pub fn new(name: impl Into<String>, signal: WatchSignal, op: WatchOp, threshold: f64) -> Self {
+        WatchRule {
+            name: name.into(),
+            signal,
+            op,
+            threshold,
+            sustain: 1,
+        }
+    }
+
+    /// Require `samples` consecutive breaches before firing.
+    pub fn sustain(mut self, samples: u32) -> Self {
+        self.sustain = samples.max(1);
+        self
+    }
+
+    fn breaches(&self, value: f64) -> bool {
+        match self.op {
+            WatchOp::Above => value > self.threshold,
+            WatchOp::Below => value < self.threshold,
+        }
+    }
+}
+
+/// Point-in-time state of one watch — the health-report row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchStatus {
+    /// Rule name.
+    pub name: String,
+    /// Metric the rule reads.
+    pub metric: String,
+    /// Signal tag (`rate`, `delta`, `gauge`, `p99`).
+    pub kind: &'static str,
+    /// True while the watch is fired and not yet resolved.
+    pub firing: bool,
+    /// Consecutive breaching samples in the current run.
+    pub breaches: u32,
+    /// Times this watch has fired over its lifetime.
+    pub fired: u64,
+    /// Signal value at the last evaluated sample.
+    pub value: f64,
+    /// Configured threshold.
+    pub threshold: f64,
+    /// Configured sustain.
+    pub sustain: u32,
+}
+
+impl WatchStatus {
+    /// JSON document form (health report / JSONL telemetry).
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut m = serde_json::Map::new();
+        m.insert("name".into(), serde_json::Value::from(self.name.as_str()));
+        m.insert(
+            "metric".into(),
+            serde_json::Value::from(self.metric.as_str()),
+        );
+        m.insert("kind".into(), serde_json::Value::from(self.kind));
+        m.insert("firing".into(), serde_json::Value::from(self.firing));
+        m.insert("breaches".into(), serde_json::Value::from(self.breaches));
+        m.insert("fired".into(), serde_json::Value::from(self.fired));
+        m.insert("value".into(), serde_json::Value::from(self.value));
+        m.insert("threshold".into(), serde_json::Value::from(self.threshold));
+        m.insert("sustain".into(), serde_json::Value::from(self.sustain));
+        serde_json::Value::Object(m)
+    }
+}
+
+struct WatchEntry {
+    rule: WatchRule,
+    breaches: u32,
+    firing: bool,
+    fired: u64,
+    last_value: f64,
+}
+
+impl WatchEntry {
+    fn status(&self) -> WatchStatus {
+        WatchStatus {
+            name: self.rule.name.clone(),
+            metric: self.rule.signal.metric().to_string(),
+            kind: self.rule.signal.kind(),
+            firing: self.firing,
+            breaches: self.breaches,
+            fired: self.fired,
+            value: self.last_value,
+            threshold: self.rule.threshold,
+            sustain: self.rule.sustain,
+        }
+    }
+}
+
+/// Evaluates a rule set against successive samples (see module docs).
+pub struct WatchEngine {
+    entries: Vec<WatchEntry>,
+}
+
+impl std::fmt::Debug for WatchEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WatchEngine")
+            .field("rules", &self.entries.len())
+            .finish()
+    }
+}
+
+impl WatchEngine {
+    /// An engine over `rules`, all initially quiet.
+    pub fn new(rules: Vec<WatchRule>) -> WatchEngine {
+        WatchEngine {
+            entries: rules
+                .into_iter()
+                .map(|rule| WatchEntry {
+                    rule,
+                    breaches: 0,
+                    firing: false,
+                    fired: 0,
+                    last_value: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of rules installed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evaluate every rule against `sample`. Returns the statuses of
+    /// watches that *transitioned* this tick (fired or resolved), after
+    /// emitting their `("obs", "watch.fired"/"watch.resolved")` events
+    /// and bumping the `obs.watch.fired` counter.
+    pub fn evaluate(&mut self, sample: &Sample) -> Vec<WatchStatus> {
+        let mut transitions = Vec::new();
+        for entry in &mut self.entries {
+            let value = entry.rule.signal.read(sample);
+            entry.last_value = value;
+            if entry.rule.breaches(value) {
+                entry.breaches = entry.breaches.saturating_add(1);
+                if !entry.firing && entry.breaches >= entry.rule.sustain {
+                    entry.firing = true;
+                    entry.fired += 1;
+                    metrics().inc("obs.watch.fired");
+                    events().record_with_message(
+                        "obs",
+                        "watch.fired",
+                        &[
+                            ("value", FieldValue::U64(value.max(0.0) as u64)),
+                            (
+                                "threshold",
+                                FieldValue::U64(entry.rule.threshold.max(0.0) as u64),
+                            ),
+                            ("sustain", FieldValue::U64(u64::from(entry.rule.sustain))),
+                            ("sample", FieldValue::U64(sample.seq)),
+                        ],
+                        &entry.rule.name,
+                    );
+                    transitions.push(entry.status());
+                }
+            } else {
+                if entry.firing {
+                    entry.firing = false;
+                    events().record_with_message(
+                        "obs",
+                        "watch.resolved",
+                        &[
+                            ("value", FieldValue::U64(value.max(0.0) as u64)),
+                            ("sample", FieldValue::U64(sample.seq)),
+                        ],
+                        &entry.rule.name,
+                    );
+                    transitions.push(entry.status());
+                }
+                entry.breaches = 0;
+            }
+        }
+        transitions
+    }
+
+    /// Current status of every rule, in installation order.
+    pub fn statuses(&self) -> Vec<WatchStatus> {
+        self.entries.iter().map(WatchEntry::status).collect()
+    }
+}
+
+/// The stock rule set wired in by `DbBuilder::telemetry`: the four
+/// pressure signals the ROADMAP's curation daemon triggers on. Tuned
+/// permissive — they flag sustained distress, not busy steady state.
+pub fn default_watches() -> Vec<WatchRule> {
+    vec![
+        // Producers are outrunning the committer. Queue capacity is a
+        // per-database knob the engine cannot see, so the stock rule
+        // uses an absolute depth (¾ of the default capacity 64);
+        // callers with bigger queues install their own rule.
+        WatchRule::new(
+            "ingest-queue-depth-high",
+            WatchSignal::Gauge("core.ingest_queue.depth".into()),
+            WatchOp::Above,
+            48.0,
+        )
+        .sustain(3),
+        // Checkpoints are not keeping up with ingest.
+        WatchRule::new(
+            "wal-lag-high",
+            WatchSignal::Gauge("core.wal.records_since_ckpt".into()),
+            WatchOp::Above,
+            100_000.0,
+        )
+        .sustain(3),
+        // The durable medium is slow: fsync p99 over 50 ms sustained.
+        WatchRule::new(
+            "fsync-p99-high",
+            WatchSignal::HistogramP99("txn.fsync_ns".into()),
+            WatchOp::Above,
+            50_000_000.0,
+        )
+        .sustain(2),
+        // The flight recorder is wrapping faster than anyone reads it.
+        WatchRule::new(
+            "event-drop-rate-high",
+            WatchSignal::CounterRate("obs.events.dropped".into()),
+            WatchOp::Above,
+            1_000.0,
+        )
+        .sustain(2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample_with_gauge(seq: u64, name: &str, value: i64) -> Sample {
+        let mut gauges = BTreeMap::new();
+        gauges.insert(name.to_string(), value);
+        Sample {
+            seq,
+            at_ms: seq * 1_000,
+            interval_ms: 1_000,
+            counters: BTreeMap::new(),
+            gauges,
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn sustain_debounces_then_fires_then_resolves() {
+        let rule = WatchRule::new(
+            "q-high",
+            WatchSignal::Gauge("q.depth".into()),
+            WatchOp::Above,
+            10.0,
+        )
+        .sustain(3);
+        let mut engine = WatchEngine::new(vec![rule]);
+
+        // Two breaches: not sustained yet.
+        for seq in 1..=2 {
+            let t = engine.evaluate(&sample_with_gauge(seq, "q.depth", 50));
+            assert!(t.is_empty(), "must not fire before sustain");
+            assert!(!engine.statuses()[0].firing);
+        }
+        // Third consecutive breach fires.
+        let t = engine.evaluate(&sample_with_gauge(3, "q.depth", 50));
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+        assert_eq!(t[0].fired, 1);
+        // Staying breached does not re-fire.
+        assert!(engine
+            .evaluate(&sample_with_gauge(4, "q.depth", 60))
+            .is_empty());
+        // Recovery resolves exactly once.
+        let t = engine.evaluate(&sample_with_gauge(5, "q.depth", 2));
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].firing);
+        assert!(engine
+            .evaluate(&sample_with_gauge(6, "q.depth", 2))
+            .is_empty());
+        let status = &engine.statuses()[0];
+        assert_eq!(status.fired, 1);
+        assert_eq!(status.value, 2.0);
+    }
+
+    #[test]
+    fn blip_resets_the_sustain_run() {
+        let rule =
+            WatchRule::new("blip", WatchSignal::Gauge("g".into()), WatchOp::Above, 10.0).sustain(2);
+        let mut engine = WatchEngine::new(vec![rule]);
+        assert!(engine.evaluate(&sample_with_gauge(1, "g", 50)).is_empty());
+        assert!(engine.evaluate(&sample_with_gauge(2, "g", 0)).is_empty());
+        assert!(
+            engine.evaluate(&sample_with_gauge(3, "g", 50)).is_empty(),
+            "run restarted; one breach is not two"
+        );
+        assert_eq!(engine.evaluate(&sample_with_gauge(4, "g", 50)).len(), 1);
+    }
+
+    #[test]
+    fn below_watches_and_absent_metrics() {
+        let rule = WatchRule::new(
+            "starved",
+            WatchSignal::CounterRate("ing.rate".into()),
+            WatchOp::Below,
+            5.0,
+        );
+        let mut engine = WatchEngine::new(vec![rule]);
+        // Absent counter reads as 0.0, which is below 5.0 → fires.
+        let t = engine.evaluate(&sample_with_gauge(1, "other", 0));
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+    }
+
+    #[test]
+    fn default_watch_rules_are_well_formed() {
+        let rules = default_watches();
+        assert!(rules.len() >= 4);
+        let engine = WatchEngine::new(rules);
+        for s in engine.statuses() {
+            assert!(!s.firing, "stock rules start quiet");
+            assert!(s.sustain >= 1);
+            assert!(s.metric.contains('.'), "metric names are dotted paths");
+        }
+    }
+}

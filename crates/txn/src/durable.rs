@@ -274,6 +274,12 @@ pub struct DurableWal {
     next_txn: u64,
     records_since_checkpoint: u64,
     unsynced_bytes: u64,
+    /// Stage stamps of the most recent [`DurableWal::append_sealed`]:
+    /// pure append I/O vs fsync time, reset at append entry so the
+    /// caller can decompose its commit latency (see
+    /// [`DurableWal::last_stage_ns`]).
+    last_append_ns: u64,
+    last_fsync_ns: u64,
 }
 
 impl std::fmt::Debug for DurableWal {
@@ -495,6 +501,8 @@ impl DurableWal {
             // will fold in — seed the lag with it.
             records_since_checkpoint: records.len() as u64,
             unsynced_bytes: 0,
+            last_append_ns: 0,
+            last_fsync_ns: 0,
         };
         let recovery = WalRecovery {
             snapshot,
@@ -512,6 +520,15 @@ impl DurableWal {
             active_segment_bytes: self.active_len,
             active_seq: self.active_seq,
         }
+    }
+
+    /// Stage stamps of the most recent append: `(append_ns, fsync_ns)`
+    /// — pure append I/O time vs fsync time (0 when the policy issued
+    /// no fsync). Both reset at [`DurableWal::append_sealed`] entry, so
+    /// read them right after the append whose latency you are
+    /// decomposing (the group-commit committer does).
+    pub fn last_stage_ns(&self) -> (u64, u64) {
+        (self.last_append_ns, self.last_fsync_ns)
     }
 
     /// The fsync policy in effect.
@@ -561,6 +578,8 @@ impl DurableWal {
     /// is resynced from the medium, so a partial (torn) append leaves the
     /// log consistent with what recovery will see.
     pub fn append_sealed(&mut self, records: &[LogRecord]) -> Result<(), TxnError> {
+        self.last_append_ns = 0;
+        self.last_fsync_ns = 0;
         let mut buf = BytesMut::new();
         for r in records {
             let mut payload = BytesMut::new();
@@ -581,7 +600,9 @@ impl DurableWal {
             }
             return Err(e);
         }
-        scdb_obs::metrics().observe("txn.append_ns", start.elapsed().as_nanos() as u64);
+        let append_ns = start.elapsed().as_nanos() as u64;
+        scdb_obs::metrics().observe("txn.append_ns", append_ns);
+        self.last_append_ns = append_ns;
         self.active_len += data.len() as u64;
         self.records_since_checkpoint += records.len() as u64;
         self.unsynced_bytes += data.len() as u64;
@@ -656,7 +677,11 @@ impl DurableWal {
         let name = segment_name(self.active_seq);
         let start = Instant::now();
         self.retry(&format!("sync {name}"), |s| s.sync(&name))?;
-        scdb_obs::metrics().observe("txn.fsync_ns", start.elapsed().as_nanos() as u64);
+        let fsync_ns = start.elapsed().as_nanos() as u64;
+        scdb_obs::metrics().observe("txn.fsync_ns", fsync_ns);
+        // Accumulate (not overwrite): a rotation inside one append can
+        // fsync twice, and both belong to that append's fsync stage.
+        self.last_fsync_ns += fsync_ns;
         self.seals_since_sync = 0;
         self.unsynced_bytes = 0;
         scdb_obs::metrics().inc("txn.wal.fsyncs");

@@ -25,6 +25,7 @@ KNOWN_SUBSYSTEMS = {"core", "txn", "query", "storage", "er", "obs", "lock"}
 KNOWN_KINDS = {
     "core": {
         "ingest",
+        "ingest.stages",
         "recovery.complete",
         "checkpoint.serialize",
         "checkpoint.complete",
@@ -47,7 +48,7 @@ KNOWN_KINDS = {
     "query": {"scan.parallel", "slow"},
     "storage": {"cluster.build"},
     "er": {"merge"},
-    "obs": {"warn"},
+    "obs": {"warn", "watch.fired", "watch.resolved"},
     "lock": {"contended"},
 }
 

@@ -29,6 +29,52 @@ echo "== group-commit ingest smoke (release)"
 # under FsyncPolicy::Always) — a count check, stable on 1-core boxes.
 cargo run -q --offline --release -p scdb-bench --bin e_ingest_throughput -- --smoke
 
+echo "== telemetry pipeline smoke (release)"
+# Asserts the enabled-sampler overhead stays within 5% (+ fixed slack)
+# of the telemetry-off loop, that samples/watches actually fired, and
+# that all five commit-stage histograms were observed. Also writes the
+# Prometheus exposition to target/experiments/telemetry.prom.
+cargo run -q --offline --release -p scdb-bench --bin e_telemetry -- --smoke
+
+echo "== prometheus exposition format lint"
+# Every non-comment line must be `name[{labels}] value` with an
+# scdb_-prefixed metric name and a numeric value.
+python3 - target/experiments/telemetry.prom <<'PY'
+import re
+import sys
+
+path = sys.argv[1]
+name_re = re.compile(r"^scdb_[a-zA-Z0-9_]+(\{[^}]*\})?$")
+n = 0
+errors = []
+with open(path, encoding="utf-8") as fh:
+    for lineno, line in enumerate(fh, start=1):
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            errors.append(f"line {lineno}: not 'name value': {line!r}")
+            continue
+        name, value = parts
+        if not name_re.match(name):
+            errors.append(f"line {lineno}: bad metric name {name!r}")
+        try:
+            float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {value!r}")
+        n += 1
+
+if n == 0:
+    errors.append("no samples in exposition")
+for e in errors[:20]:
+    print(f"check_prom: {e}", file=sys.stderr)
+if errors:
+    print(f"check_prom: {len(errors)} problem(s) in {n} samples", file=sys.stderr)
+    sys.exit(1)
+print(f"check_prom: {n} samples ok")
+PY
+
 echo "== flight recorder event dump (release)"
 events_jsonl="target/experiments/events.jsonl"
 mkdir -p target/experiments

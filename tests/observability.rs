@@ -7,8 +7,10 @@
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use scdb_core::{Db, DbRecoveryReport, FsyncPolicy};
-use scdb_obs::EventFilter;
+use scdb_core::{
+    Db, DbRecoveryReport, FsyncPolicy, TelemetryConfig, WatchOp, WatchRule, WatchSignal,
+};
+use scdb_obs::{EventFilter, EventLog, FieldValue};
 use scdb_types::{Record, Value};
 
 /// Serializes tests that toggle process-global observability state (the
@@ -424,4 +426,493 @@ fn health_report_nontrivial_after_workload() {
 
     drop(db);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tentpole: every acked ingest decomposes into the five named commit
+/// stages — visible in the `core.ingest.stage.*` histograms, a
+/// `("core","ingest.stages")` flight-recorder event per batch, and the
+/// health report's group-commit section.
+#[test]
+fn commit_latency_decomposes_into_stages() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+    scdb_obs::events().set_enabled(true);
+    let seq0 = scdb_obs::events().recorded();
+
+    let dir = scratch_dir("stages");
+    let db = Db::builder()
+        .durability(&dir, FsyncPolicy::Always)
+        .ingest_queue(16)
+        .open()
+        .expect("open");
+    db.register_source("stages", Some("k"));
+    let k = db.intern("k");
+    let v = db.intern("v");
+    let before: Vec<u64> = STAGE_METRICS
+        .iter()
+        .map(|m| scdb_obs::metrics().histogram(m).snapshot().count)
+        .collect();
+    // Queued singles plus an explicit batch: both paths must decompose.
+    for i in 0..20i64 {
+        let r = Record::from_pairs([(k, Value::str(format!("k-{i}"))), (v, Value::Int(i))]);
+        db.ingest("stages", r, None).expect("ingest");
+    }
+    let batch: Vec<Record> = (20..40i64)
+        .map(|i| Record::from_pairs([(k, Value::str(format!("k-{i}"))), (v, Value::Int(i))]))
+        .collect();
+    db.ingest_batch("stages", batch).expect("batch");
+
+    for (m, b) in STAGE_METRICS.iter().zip(&before) {
+        let after = scdb_obs::metrics().histogram(m).snapshot().count;
+        assert!(after > *b, "stage histogram {m} never observed");
+    }
+    // queue_wait counts rows; the other stages count batches.
+    let waits = scdb_obs::metrics()
+        .histogram("core.ingest.stage.queue_wait_ns")
+        .snapshot()
+        .count
+        - before[0];
+    assert!(
+        waits >= 40,
+        "one queue-wait observation per row, got {waits}"
+    );
+
+    let trace = scdb_obs::events().select(&EventFilter::new().seq_min(seq0));
+    let stage_event = trace
+        .iter()
+        .find(|e| e.subsystem.as_str() == "core" && e.kind.as_str() == "ingest.stages")
+        .expect("per-batch ingest.stages event");
+    for field in [
+        "rows",
+        "queue_wait_ns",
+        "build_ns",
+        "append_ns",
+        "fsync_ns",
+        "apply_ns",
+    ] {
+        assert!(
+            stage_event.field_u64(field).is_some(),
+            "ingest.stages missing field {field}"
+        );
+    }
+    assert!(
+        stage_event.field_u64("fsync_ns").unwrap_or(0) > 0,
+        "FsyncPolicy::Always batches carry fsync time"
+    );
+
+    let report = db.health_report();
+    let gc = report.group_commit.as_ref().expect("group-commit section");
+    assert_eq!(gc.stages.len(), 5, "all five stages in the health report");
+    for s in &gc.stages {
+        assert!(s.count > 0, "stage {} empty in health report", s.stage);
+    }
+    assert!(report.render().contains("commit stages"));
+
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+const STAGE_METRICS: &[&str] = &[
+    "core.ingest.stage.queue_wait_ns",
+    "core.ingest.stage.batch_build_ns",
+    "core.ingest.stage.wal_append_ns",
+    "core.ingest.stage.fsync_ns",
+    "core.ingest.stage.apply_ns",
+];
+
+/// Time-series ring: manual sampler ticks capture counter deltas and
+/// rates, retention is bounded, and summaries aggregate the window.
+#[test]
+fn telemetry_ring_captures_deltas_and_summaries() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+
+    let db = Db::builder()
+        .telemetry(
+            TelemetryConfig::default()
+                .interval(Duration::ZERO)
+                .retention(4),
+        )
+        .build();
+    db.register_source("ring", Some("k"));
+    let k = db.intern("k");
+    let v = db.intern("v");
+    db.sample_now().expect("anchor sample");
+    for round in 0..6i64 {
+        for i in 0..10i64 {
+            let r = Record::from_pairs([
+                (k, Value::str(format!("k-{}", round * 10 + i))),
+                (v, Value::Int(i)),
+            ]);
+            db.ingest("ring", r, None).expect("ingest");
+        }
+        db.sample_now().expect("sample");
+    }
+    let samples = db.telemetry_samples();
+    assert_eq!(samples.len(), 4, "retention bounds the ring");
+    let last = samples.last().expect("latest");
+    assert_eq!(
+        last.counter_delta("core.ingest.stage.apply_ns"),
+        0,
+        "histogram names are not counters"
+    );
+    // Ten apply batches per window (unqueued ingest = batch of one).
+    let w = last.histogram_p99("core.ingest.stage.apply_ns");
+    assert!(w > 0, "apply stage visible in the sample window");
+    let summary = db
+        .telemetry_summary("core.ingest.stage.apply_ns")
+        .expect("summary over histogram windows");
+    assert_eq!(summary.points, 4);
+    assert!(
+        summary.sum >= 4.0 * 10.0 - f64::EPSILON,
+        "10 batches per window"
+    );
+    assert!(db.telemetry_summary("no.such.metric").is_none());
+}
+
+/// Watch engine end to end: a sustained breach fires once (event +
+/// counter + status), recovery resolves once, and the health report
+/// carries the watch section.
+#[test]
+fn watch_rules_fire_and_resolve() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+    scdb_obs::events().set_enabled(true);
+    let seq0 = scdb_obs::events().recorded();
+
+    let db = Db::builder()
+        .telemetry(TelemetryConfig::default().interval(Duration::ZERO).watches(
+            vec![WatchRule::new(
+                    "pressure-high",
+                    WatchSignal::Gauge("obsx.pressure".to_string()),
+                    WatchOp::Above,
+                    10.0,
+                )
+                .sustain(2)],
+        ))
+        .build();
+    let m = scdb_obs::metrics();
+    m.gauge_set("obsx.pressure", 50);
+    db.sample_now().expect("breach 1 of 2");
+    let statuses = db.watch_statuses();
+    assert!(!statuses[0].firing, "sustain=2 needs two breaches");
+    db.sample_now().expect("breach 2 of 2 -> fire");
+    let statuses = db.watch_statuses();
+    assert!(statuses[0].firing, "sustained breach fires");
+    assert_eq!(statuses[0].fired, 1);
+    m.gauge_set("obsx.pressure", 0);
+    db.sample_now().expect("recovery -> resolve");
+    let statuses = db.watch_statuses();
+    assert!(!statuses[0].firing, "watch resolved");
+
+    let trace = scdb_obs::events().select(&EventFilter::new().seq_min(seq0));
+    let fired = trace
+        .iter()
+        .find(|e| e.subsystem.as_str() == "obs" && e.kind.as_str() == "watch.fired")
+        .expect("watch.fired event");
+    assert_eq!(fired.message.as_deref(), Some("pressure-high"));
+    assert!(trace
+        .iter()
+        .any(|e| e.subsystem.as_str() == "obs" && e.kind.as_str() == "watch.resolved"));
+
+    let report = db.health_report();
+    assert_eq!(report.watches.len(), 1);
+    assert!(report.render().contains("pressure-high"));
+    assert!(report.to_json().get("watches").is_some());
+    m.gauge_set("obsx.pressure", 0);
+}
+
+/// The background sampler thread ticks on its own and stops with the
+/// last handle.
+#[test]
+fn telemetry_sampler_thread_records_history() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+
+    let db = Db::builder()
+        .telemetry(TelemetryConfig::default().interval(Duration::from_millis(5)))
+        .build();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while db.telemetry_samples().len() < 3 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let n = db.telemetry_samples().len();
+    assert!(n >= 3, "sampler thread ticked, got {n} samples");
+    drop(db); // must not hang: Drop stops the sampler
+}
+
+/// JSONL exporter: manual ticks append tagged, parseable lines —
+/// samples, watch transitions, and health reports.
+#[test]
+fn telemetry_jsonl_sink_appends_tagged_lines() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+
+    let dir = scratch_dir("jsonl");
+    let path = dir.join("telemetry.jsonl");
+    let db = Db::builder()
+        .telemetry(
+            TelemetryConfig::default()
+                .interval(Duration::ZERO)
+                .jsonl(&path),
+        )
+        .build();
+    db.register_source("jl", Some("k"));
+    let k = db.intern("k");
+    for i in 0..5i64 {
+        let r = Record::from_pairs([(k, Value::str(format!("k-{i}")))]);
+        db.ingest("jl", r, None).expect("ingest");
+    }
+    db.sample_now().expect("tick 1");
+    db.sample_now().expect("tick 2");
+
+    let text = std::fs::read_to_string(&path).expect("jsonl written");
+    let mut samples = 0;
+    let mut healths = 0;
+    for line in text.lines() {
+        let v = serde_json::from_str(line).expect("line parses as JSON");
+        match v.get("type").and_then(|t| t.as_str()) {
+            Some("sample") => {
+                assert!(v.get("seq").and_then(|s| s.as_u64()).is_some());
+                samples += 1;
+            }
+            Some("health") => {
+                assert!(v.get("uptime_ms").is_some());
+                healths += 1;
+            }
+            Some("watch") => {}
+            other => panic!("unexpected line type {other:?}"),
+        }
+    }
+    assert_eq!(samples, 2, "one sample line per tick");
+    assert_eq!(healths, 2, "one health line per tick");
+
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Prometheus exposition over the live registry: names sanitized into
+/// the Prometheus charset, every non-comment line `name value`.
+#[test]
+fn prometheus_exposition_parses() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+
+    let db = Db::new();
+    db.register_source("prom", Some("k"));
+    let k = db.intern("k");
+    db.ingest("prom", Record::from_pairs([(k, Value::str("x"))]), None)
+        .expect("ingest");
+    let text = db.export_prometheus();
+    assert!(
+        text.contains("scdb_core_ingest_stage_apply_ns"),
+        "stage histograms exported"
+    );
+    let mut lines = 0;
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("name value pair");
+        assert!(value.parse::<f64>().is_ok(), "numeric value in {line:?}");
+        let bare = name.split('{').next().unwrap();
+        assert!(
+            bare.starts_with("scdb_")
+                && bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "prometheus-charset name in {line:?}"
+        );
+        lines += 1;
+    }
+    assert!(lines > 10, "exposition is non-trivial ({lines} lines)");
+}
+
+/// Satellite: health reports carry a monotone sequence number and the
+/// shared coarse clock, so a rendered report correlates with JSONL
+/// telemetry.
+#[test]
+fn health_report_seq_and_clock_correlate() {
+    let db = Db::new();
+    let r1 = db.health_report();
+    let r2 = db.health_report();
+    assert_eq!(r2.seq, r1.seq + 1, "seq is monotone per handle");
+    assert!(r2.at_ms >= r1.at_ms, "coarse clock never goes backwards");
+    assert!(r2.uptime_ms >= r1.uptime_ms);
+    assert!(r1.render().contains(&format!("seq={}", r1.seq)));
+    assert_eq!(
+        r1.to_json().get("seq").and_then(|v| v.as_u64()),
+        Some(r1.seq)
+    );
+    // A second handle starts its own sequence.
+    let other = Db::new();
+    assert_eq!(other.health_report().seq, 0);
+}
+
+/// Satellite: slow-query captures carry the full stage breakdown, in
+/// the struct, its JSON form, and the flight-recorder event.
+#[test]
+fn slow_query_log_carries_stage_breakdown() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+    scdb_obs::events().set_enabled(true);
+    let seq0 = scdb_obs::events().recorded();
+
+    let db = Db::builder().slow_query_threshold(Duration::ZERO).build();
+    db.register_source("slow", Some("k"));
+    let k = db.intern("k");
+    let v = db.intern("v");
+    for i in 0..50i64 {
+        let r = Record::from_pairs([(k, Value::str(format!("k-{i}"))), (v, Value::Int(i))]);
+        db.ingest("slow", r, None).expect("ingest");
+    }
+    db.query("SELECT k FROM slow WHERE v >= 25").expect("query");
+
+    let slow = db.slow_queries();
+    let q = slow.last().expect("captured");
+    assert!(!q.profile.is_empty(), "profile retained");
+    let json = q.to_json();
+    let profile = json.get("profile").expect("profile in JSON");
+    let stages = profile
+        .get("stages")
+        .and_then(|s| s.as_array().cloned())
+        .expect("stage array");
+    assert!(
+        stages
+            .iter()
+            .filter_map(|s| s.get("name").and_then(|n| n.as_str().map(str::to_owned)))
+            .any(|n| n == "execute"),
+        "execute stage serialized"
+    );
+
+    let trace = scdb_obs::events().select(&EventFilter::new().seq_min(seq0));
+    let ev = trace
+        .iter()
+        .find(|e| e.subsystem.as_str() == "query" && e.kind.as_str() == "slow")
+        .expect("slow event");
+    for field in ["plan_ns", "optimize_ns", "execute_ns"] {
+        assert!(
+            ev.field_u64(field).is_some(),
+            "slow event missing stage field {field}"
+        );
+    }
+    assert!(
+        ev.field_u64("execute_ns").unwrap_or(0) > 0,
+        "execute time attached"
+    );
+}
+
+/// Satellite: flight-recorder loss accounting is exact under ring
+/// overflow with concurrent writers, and the health report reflects the
+/// global ring's accounting.
+#[test]
+fn event_loss_accounting_exact_under_concurrent_overflow() {
+    // Local ring: exactness without global interference.
+    let log = std::sync::Arc::new(EventLog::with_capacity(64));
+    log.set_enabled(true);
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let log = std::sync::Arc::clone(&log);
+            std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    log.record(
+                        "test",
+                        "overflow",
+                        &[("t", FieldValue::U64(t)), ("i", FieldValue::U64(i))],
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("writer");
+    }
+    assert_eq!(log.recorded(), 8000, "every record counted");
+    assert_eq!(log.len(), 64, "ring stays at capacity");
+    assert_eq!(
+        log.dropped(),
+        8000 - 64,
+        "dropped = recorded - retained, exactly"
+    );
+    // Wraparound sanity: the retained suffix is the newest events and
+    // sequence numbers are unique.
+    let snap = log.snapshot();
+    let mut seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), 64, "no duplicate sequence numbers survive");
+
+    // Global ring: the health report mirrors the recorder's accounting.
+    let _g = obs_lock();
+    scdb_obs::events().set_enabled(true);
+    let db = Db::new();
+    let dropped_before = scdb_obs::events().dropped();
+    for i in 0..9000u64 {
+        scdb_obs::event("test", "overflow", &[("i", FieldValue::U64(i))]);
+    }
+    let report = db.health_report();
+    assert!(
+        report.events_dropped > dropped_before,
+        "overflowing the global ring shows up as drops"
+    );
+    assert!(
+        report.events_dropped <= scdb_obs::events().dropped(),
+        "report never over-counts the recorder"
+    );
+}
+
+/// One ingest+query loop against a database with (or without) a
+/// ticking telemetry pipeline — the sampler-overhead workload.
+fn workload_telemetry(n: i64, telemetry: bool) -> Duration {
+    let start = Instant::now();
+    let mut builder = Db::builder();
+    if telemetry {
+        builder = builder.telemetry(
+            TelemetryConfig::default()
+                .interval(Duration::from_millis(5))
+                .retention(64),
+        );
+    }
+    let db = builder.build();
+    db.register_source("s", Some("k"));
+    let k = db.intern("k");
+    let v = db.intern("v");
+    for i in 0..n {
+        let r = Record::from_pairs([(k, Value::str(format!("key-{i}"))), (v, Value::Int(i))]);
+        db.ingest("s", r, None).expect("ingest");
+    }
+    for _ in 0..10 {
+        db.query("SELECT k FROM s WHERE v >= 5000 LIMIT 100")
+            .expect("query");
+    }
+    start.elapsed()
+}
+
+/// ISSUE acceptance gate: a telemetry pipeline ticking every 5 ms costs
+/// the 10k-row ingest+query loop < 5% (paired rounds, same convention
+/// as the metrics/events guards above).
+#[test]
+fn telemetry_sampler_overhead_under_budget() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+    workload_telemetry(10_000, true); // warm-up
+
+    let mut pairs: Vec<(Duration, Duration)> = Vec::new();
+    for round in 0..6 {
+        let mut enabled = Duration::MAX;
+        let mut disabled = Duration::MAX;
+        for phase in 0..2 {
+            let on = (round + phase) % 2 == 0;
+            let t = workload_telemetry(10_000, on);
+            if on {
+                enabled = t;
+            } else {
+                disabled = t;
+            }
+        }
+        pairs.push((enabled, disabled));
+        if enabled.as_secs_f64() <= disabled.as_secs_f64() * 1.05 + 0.010 {
+            eprintln!("E-OBS sampler: round {round} enabled {enabled:?} vs disabled {disabled:?}");
+            return;
+        }
+    }
+    panic!("sampler overhead out of budget in every round (enabled, disabled): {pairs:?}");
 }
