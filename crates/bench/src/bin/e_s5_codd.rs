@@ -2,7 +2,6 @@
 //! curated instance.
 
 use scdb_bench::{banner, curated_db, Table};
-use scdb_core::codd_report;
 use scdb_datagen::corrupt::CorruptionConfig;
 use scdb_datagen::life_science::{figure2_ontology, ScaledConfig};
 
@@ -68,7 +67,7 @@ fn main() {
     }
 
     let mut t = Table::new(&["status", "rule", "evidence"]);
-    for item in codd_report(&db) {
+    for item in db.codd_report() {
         t.row(&[
             format!("{:?}", item.status),
             item.rule.to_string(),

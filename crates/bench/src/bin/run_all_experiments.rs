@@ -54,6 +54,7 @@ const EXPERIMENTS: &[&str] = &[
     "e_recovery",
     "e_ingest_throughput",
     "e_telemetry",
+    "e_index",
 ];
 
 fn main() {
@@ -141,6 +142,15 @@ fn events_sweep(path: &str) {
             db.query("SELECT k FROM sweep WHERE v >= 1000 LIMIT 50")
                 .expect("query");
         }
+        // Index lifecycle so the dump carries the ("core", "index.*")
+        // and ("query", "index.scan") events: an explicit create, an
+        // indexed point query, the slow-ring advisor, and a drop.
+        db.create_index("ix_k", "sweep", "k", scdb_core::IndexKind::Hash)
+            .expect("create index");
+        db.query("SELECT k FROM sweep WHERE k = 'key-42'")
+            .expect("indexed query");
+        db.advise_indexes(false).expect("advise");
+        db.drop_index("ix_k").expect("drop index");
         db.checkpoint().expect("checkpoint");
         for i in 2_000..2_100i64 {
             let r = Record::from_pairs([(k, Value::str(format!("key-{i}"))), (v, Value::Int(i))]);
@@ -212,6 +222,15 @@ fn metrics_sweep(path: &str) {
         .profile;
     db.query("SELECT drug FROM trials WHERE dose >= 6.0")
         .expect("range query");
+
+    // Secondary indexes: create → indexed point query (50 distinct
+    // doses, selectivity 0.02, takes the index) → advisor → drop.
+    db.create_index("ix_dose", "trials", "dose", scdb_core::IndexKind::Hash)
+        .expect("create index");
+    db.query("SELECT drug FROM trials WHERE dose = 4.5")
+        .expect("indexed query");
+    db.advise_indexes(false).expect("advise");
+    db.drop_index("ix_dose").expect("drop index");
 
     // Transactions: MVCC begin/commit/abort + WAL append/encode.
     let mgr = TxnManager::new();

@@ -7,6 +7,10 @@ use std::fmt;
 pub enum CoreError {
     /// A source name was not registered.
     UnknownSource(String),
+    /// A secondary index with this name already exists.
+    DuplicateIndex(String),
+    /// No secondary index is registered under the given name.
+    UnknownIndex(String),
     /// No entity is registered under the given name.
     UnknownEntity(String),
     /// A semi-structured document could not be parsed for ingestion.
@@ -40,6 +44,8 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::UnknownSource(s) => write!(f, "unknown source: {s}"),
+            CoreError::DuplicateIndex(n) => write!(f, "index already exists: {n}"),
+            CoreError::UnknownIndex(n) => write!(f, "unknown index: {n}"),
             CoreError::UnknownEntity(n) => write!(f, "no entity named {n}"),
             CoreError::InvalidDocument { source, reason } => {
                 write!(f, "source {source}: {reason}")
@@ -59,6 +65,8 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::UnknownSource(_)
+            | CoreError::DuplicateIndex(_)
+            | CoreError::UnknownIndex(_)
             | CoreError::UnknownEntity(_)
             | CoreError::InvalidDocument { .. }
             | CoreError::Recovery(_)

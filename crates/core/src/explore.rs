@@ -40,7 +40,33 @@ pub struct ExplorationOutcome {
 
 /// Run one explore round against `db`, materializing discoveries into
 /// `cache`.
+#[deprecated(note = "promoted to a method: use `db.explore(sql, config, cache)`")]
 pub fn explore(
+    db: &Db,
+    sql: &str,
+    config: &ExploreConfig,
+    cache: &mut MaterializationCache,
+) -> Result<ExplorationOutcome, CoreError> {
+    db.explore(sql, config, cache)
+}
+
+impl Db {
+    /// Run one §4.1 exploration round: execute `sql`, take its matched
+    /// entities as the context, discover related entities by the FS.6
+    /// random walk, refine follow-up queries from the top discoveries,
+    /// and materialize the discovered links into `cache` under the
+    /// query's context key (FS.9).
+    pub fn explore(
+        &self,
+        sql: &str,
+        config: &ExploreConfig,
+        cache: &mut MaterializationCache,
+    ) -> Result<ExplorationOutcome, CoreError> {
+        explore_inner(self, sql, config, cache)
+    }
+}
+
+fn explore_inner(
     db: &Db,
     sql: &str,
     config: &ExploreConfig,
@@ -143,13 +169,13 @@ mod tests {
     fn explore_discovers_connected_entities() {
         let db = seeded_db();
         let mut cache = MaterializationCache::new(8);
-        let out = explore(
-            &db,
-            "SELECT drug FROM drugbank WHERE drug = 'Warfarin'",
-            &ExploreConfig::default(),
-            &mut cache,
-        )
-        .unwrap();
+        let out = db
+            .explore(
+                "SELECT drug FROM drugbank WHERE drug = 'Warfarin'",
+                &ExploreConfig::default(),
+                &mut cache,
+            )
+            .unwrap();
         assert_eq!(out.base.rows.len(), 1);
         assert_eq!(out.seeds.len(), 1);
         assert!(!out.discoveries.is_empty(), "walk found neighbors");
@@ -164,6 +190,9 @@ mod tests {
     fn refined_queries_reference_discovered_names() {
         let db = seeded_db();
         let mut cache = MaterializationCache::new(8);
+        // Exercise the deprecated free-function shim once so its
+        // delegation stays covered until removal.
+        #[allow(deprecated)]
         let out = explore(
             &db,
             "SELECT drug FROM drugbank WHERE drug = 'Warfarin'",
@@ -184,13 +213,13 @@ mod tests {
     fn empty_result_explores_nothing() {
         let db = seeded_db();
         let mut cache = MaterializationCache::new(8);
-        let out = explore(
-            &db,
-            "SELECT drug FROM drugbank WHERE drug = 'Nonexistent'",
-            &ExploreConfig::default(),
-            &mut cache,
-        )
-        .unwrap();
+        let out = db
+            .explore(
+                "SELECT drug FROM drugbank WHERE drug = 'Nonexistent'",
+                &ExploreConfig::default(),
+                &mut cache,
+            )
+            .unwrap();
         assert!(out.base.rows.is_empty());
         assert!(out.seeds.is_empty());
         assert!(out.discoveries.is_empty());
@@ -202,7 +231,8 @@ mod tests {
         let db = seeded_db();
         let mut cache = MaterializationCache::new(8);
         let sql = "SELECT drug FROM drugbank WHERE drug = 'Warfarin'";
-        explore(&db, sql, &ExploreConfig::default(), &mut cache).unwrap();
+        db.explore(sql, &ExploreConfig::default(), &mut cache)
+            .unwrap();
         let key = context_key(&parse(sql).unwrap());
         assert!(cache.lookup(&key).is_some());
     }

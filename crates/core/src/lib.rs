@@ -60,15 +60,17 @@ pub mod health;
 mod snapshot;
 pub mod telemetry;
 
-pub use codd::{codd_report, CoddItem, CoddStatus};
 #[allow(deprecated)]
-pub use db::SelfCuratingDb;
+pub use codd::codd_report;
+pub use codd::{CoddItem, CoddStatus};
 pub use db::{
-    CurationStats, Db, DbBuilder, DbRecoveryReport, IngestReport, QueryOutcome, SlowQuery,
-    SLOW_QUERY_RING,
+    CurationStats, Db, DbBuilder, DbRecoveryReport, DurabilityConfig, IngestConfig, IngestReport,
+    QueryOutcome, SlowQuery, SLOW_QUERY_RING,
 };
 pub use error::CoreError;
-pub use explore::{explore, ExplorationOutcome, ExploreConfig};
+#[allow(deprecated)]
+pub use explore::explore;
+pub use explore::{ExplorationOutcome, ExploreConfig};
 pub use group_commit::CommitTicket;
 pub use health::{
     DbHealthReport, GroupCommitHealth, IngestStageLatency, LockWaitSummary, WalHealth,
@@ -77,6 +79,7 @@ pub use scdb_obs::{
     default_watches, prometheus_text, MetricsSnapshot, QueryProfile, Sample, SeriesSummary,
     TimeSeriesRing, WatchOp, WatchRule, WatchSignal, WatchStatus,
 };
+pub use scdb_storage::{IndexDef, IndexKind};
 pub use scdb_txn::{
     CheckpointStats, FsyncPolicy, IsolationMode, Transaction, WalRecoveryReport, WalStore,
 };

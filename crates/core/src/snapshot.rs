@@ -74,6 +74,16 @@ pub(crate) enum SnapshotRecord {
         links: u64,
         tick: u64,
     },
+    /// A secondary-index definition. Contents are never snapshotted —
+    /// they rebuild deterministically from the installed rows — but the
+    /// definitions must ride along because checkpointing truncates the
+    /// WAL records that created them.
+    IndexDef {
+        name: String,
+        source: String,
+        attr: String,
+        kind: u8,
+    },
     /// Terminator: `count` = number of records before it. A snapshot
     /// whose last record is not a matching `Tail` is rejected.
     Tail { count: u64 },
@@ -88,6 +98,7 @@ const TAG_IDENT: u8 = 6;
 const TAG_KV: u8 = 7;
 const TAG_META: u8 = 8;
 const TAG_TAIL: u8 = 9;
+const TAG_INDEX_DEF: u8 = 10;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
@@ -249,6 +260,18 @@ impl SnapshotRecord {
                 buf.put_u64(*links);
                 buf.put_u64(*tick);
             }
+            SnapshotRecord::IndexDef {
+                name,
+                source,
+                attr,
+                kind,
+            } => {
+                buf.put_u8(TAG_INDEX_DEF);
+                put_str(&mut buf, name);
+                put_str(&mut buf, source);
+                put_str(&mut buf, attr);
+                buf.put_u8(*kind);
+            }
             SnapshotRecord::Tail { count } => {
                 buf.put_u8(TAG_TAIL);
                 buf.put_u64(*count);
@@ -349,6 +372,18 @@ impl SnapshotRecord {
                     tick: buf.get_u64(),
                 }
             }
+            TAG_INDEX_DEF => {
+                let name = get_str(&mut buf)?;
+                let source = get_str(&mut buf)?;
+                let attr = get_str(&mut buf)?;
+                need(&buf, 1)?;
+                SnapshotRecord::IndexDef {
+                    name,
+                    source,
+                    attr,
+                    kind: buf.get_u8(),
+                }
+            }
             TAG_TAIL => {
                 need(&buf, 8)?;
                 SnapshotRecord::Tail {
@@ -429,6 +464,12 @@ mod tests {
             merges: 2,
             links: 3,
             tick: 11,
+        });
+        roundtrip(SnapshotRecord::IndexDef {
+            name: "ix_drug".into(),
+            source: "drugbank".into(),
+            attr: "drug".into(),
+            kind: 1,
         });
         roundtrip(SnapshotRecord::Tail { count: 12 });
     }

@@ -11,8 +11,9 @@
 use std::collections::HashMap;
 
 use scdb_semantic::{Ontology, Saturation, TrainedModel};
+use scdb_storage::index::{IndexPredicate, IndexSet};
 use scdb_storage::RowStore;
-use scdb_types::{EntityId, Record, Symbol, SymbolTable, Value};
+use scdb_types::{EntityId, Record, RecordId, Symbol, SymbolTable, Value};
 use scdb_uncertain::FuzzyPredicate;
 
 use crate::ast::{Atom, CompareOp};
@@ -42,6 +43,14 @@ pub trait RowSource {
     }
     /// Resolve an attribute name to its symbol.
     fn attr(&self, name: &str) -> Option<Symbol>;
+    /// Candidate rows for an indexed predicate on `attr`, in scan
+    /// (arrival) order, when a usable secondary index exists. `None`
+    /// means "no index" — the executor falls back to a full scan, so a
+    /// plan carrying a stale [`PlanNode::IndexScan`] still answers
+    /// correctly.
+    fn index_candidates(&self, _attr: &str, _pred: &IndexPredicate) -> Option<Vec<&Record>> {
+        None
+    }
 }
 
 /// Half-open row range `[start, end)` of chunk `chunk` out of `of`.
@@ -94,6 +103,7 @@ pub struct StoreSource<'a> {
     name: String,
     store: &'a RowStore,
     symbols: &'a SymbolTable,
+    indexes: Option<&'a IndexSet>,
 }
 
 impl<'a> StoreSource<'a> {
@@ -103,6 +113,23 @@ impl<'a> StoreSource<'a> {
             name: name.into(),
             store,
             symbols,
+            indexes: None,
+        }
+    }
+
+    /// Wrap a row store together with its secondary indexes, enabling
+    /// the [`PlanNode::IndexScan`] access path.
+    pub fn with_indexes(
+        name: impl Into<String>,
+        store: &'a RowStore,
+        symbols: &'a SymbolTable,
+        indexes: &'a IndexSet,
+    ) -> Self {
+        StoreSource {
+            name: name.into(),
+            store,
+            symbols,
+            indexes: Some(indexes),
         }
     }
 }
@@ -119,6 +146,18 @@ impl RowSource for StoreSource<'_> {
     }
     fn attr(&self, name: &str) -> Option<Symbol> {
         self.symbols.get(name)
+    }
+    fn index_candidates(&self, attr: &str, pred: &IndexPredicate) -> Option<Vec<&Record>> {
+        let offsets = self.indexes?.lookup(attr, pred)?;
+        // Offsets are sorted ascending, i.e. arrival order — the same
+        // order a full scan yields, so downstream limit/merge semantics
+        // are unchanged. Tombstoned offsets (benign races) are skipped.
+        Some(
+            offsets
+                .into_iter()
+                .filter_map(|off| self.store.peek(RecordId::new(self.store.source(), off)))
+                .collect(),
+        )
     }
 }
 
@@ -200,6 +239,9 @@ pub struct WorkerScan {
 pub struct ScanBreakdown {
     /// Per-worker counters in chunk order.
     pub per_worker: Vec<WorkerScan>,
+    /// Name of the index used, when the scan went through the
+    /// [`PlanNode::IndexScan`] access path.
+    pub index: Option<String>,
 }
 
 impl ScanBreakdown {
@@ -300,6 +342,61 @@ impl Executor {
             _ => None,
         });
 
+        // Index-scan access path: fetch candidates through the index,
+        // then run the ordinary filter (all atoms re-checked) over just
+        // those rows. Falls through to the scan path when the source has
+        // no usable index (e.g. it was dropped after planning).
+        if let Some((index_name, atom)) = plan.index_scan() {
+            if let Some(pred) = index_predicate(atom) {
+                let attr = match atom {
+                    Atom::Compare { attr, .. } => attr.as_str(),
+                    _ => unreachable!("index scans are driven by comparison atoms"),
+                };
+                if let Some(candidates) = source.index_candidates(attr, &pred) {
+                    let t0 = std::time::Instant::now();
+                    let n_candidates = candidates.len() as u64;
+                    let (mut out, w) = scan_chunk_filtered(
+                        Box::new(candidates.into_iter()),
+                        atoms,
+                        project,
+                        limit,
+                        source,
+                        env,
+                        t0,
+                    )?;
+                    if let Some(l) = limit {
+                        out.truncate(l);
+                    }
+                    let stats = ExecStats {
+                        rows_scanned: w.rows_scanned,
+                        atom_evals: w.atom_evals,
+                        rows_out: out.len() as u64,
+                    };
+                    let m = scdb_obs::metrics();
+                    m.inc("query.index.scans");
+                    m.add("query.index.candidates", n_candidates);
+                    m.add("query.rows_scanned", stats.rows_scanned);
+                    m.add("query.atom_evals", stats.atom_evals);
+                    m.add("query.rows_out", stats.rows_out);
+                    scdb_obs::event(
+                        "query",
+                        "index.scan",
+                        &[
+                            ("index", scdb_obs::FieldValue::Str(index_name.into())),
+                            ("candidates", scdb_obs::FieldValue::U64(n_candidates)),
+                            ("rows_out", scdb_obs::FieldValue::U64(stats.rows_out)),
+                        ],
+                    );
+                    let breakdown = ScanBreakdown {
+                        per_worker: vec![w],
+                        index: Some(index_name.to_string()),
+                    };
+                    return Ok((out, stats, breakdown));
+                }
+                scdb_obs::metrics().inc("query.index.fallbacks");
+            }
+        }
+
         let workers = self
             .workers
             .min(source.len().div_ceil(self.parallel_threshold.max(1)))
@@ -320,6 +417,7 @@ impl Executor {
                 stats,
                 ScanBreakdown {
                     per_worker: vec![w],
+                    index: None,
                 },
             )
         };
@@ -447,12 +545,28 @@ impl Executor {
                 if plan.empty {
                     s.notes.push("plan proven empty: scan skipped".into());
                 }
+                if let Some(est) = plan.estimated_rows {
+                    s.notes.push(format!(
+                        "estimated {est:.1} rows, actual {}",
+                        stats.rows_out
+                    ));
+                }
             }
             {
                 let s = profile.stage_at("scan", 1, std::time::Duration::ZERO);
                 s.rows_out = Some(stats.rows_scanned);
                 if let Some(name) = plan.source() {
                     s.notes.push(format!("source={name}"));
+                }
+                match &breakdown.index {
+                    Some(index) => s.notes.push(format!(
+                        "access=index_scan via '{index}' ({} candidate row(s))",
+                        stats.rows_scanned
+                    )),
+                    None if plan.index_scan().is_some() => s
+                        .notes
+                        .push("access=scan (index unavailable, fell back)".into()),
+                    None => {}
                 }
                 if breakdown.parallel() {
                     s.notes
@@ -556,6 +670,35 @@ fn scan_chunk_filtered<'r>(
     w.rows_out = out.len() as u64;
     w.duration = started.elapsed();
     Ok((out, w))
+}
+
+/// Translate an index-scan driving atom into an index predicate.
+/// Returns `None` for atom shapes no index answers (`!=`).
+fn index_predicate(atom: &Atom) -> Option<IndexPredicate> {
+    let Atom::Compare { op, value, .. } = atom else {
+        return None;
+    };
+    let v = value.to_value();
+    match op {
+        CompareOp::Eq => Some(IndexPredicate::Eq(v)),
+        CompareOp::Ne => None,
+        CompareOp::Lt => Some(IndexPredicate::Range {
+            lo: None,
+            hi: Some((v, false)),
+        }),
+        CompareOp::Le => Some(IndexPredicate::Range {
+            lo: None,
+            hi: Some((v, true)),
+        }),
+        CompareOp::Gt => Some(IndexPredicate::Range {
+            lo: Some((v, false)),
+            hi: None,
+        }),
+        CompareOp::Ge => Some(IndexPredicate::Range {
+            lo: Some((v, true)),
+            hi: None,
+        }),
+    }
 }
 
 fn compare(v: &Value, op: CompareOp, rhs: &Value) -> bool {
@@ -1035,6 +1178,159 @@ mod tests {
             other => panic!("expected worker-tagged error, got {other:?}"),
         }
         assert!(err.source().is_some(), "source chain intact");
+    }
+
+    fn indexed_store(
+        n: i64,
+    ) -> (
+        SymbolTable,
+        scdb_storage::RowStore,
+        scdb_storage::index::IndexSet,
+    ) {
+        use scdb_storage::index::{IndexDef, IndexKind};
+        let mut syms = SymbolTable::new();
+        let name = syms.intern("name");
+        let score = syms.intern("score");
+        let mut store = scdb_storage::RowStore::new(scdb_types::SourceId(0));
+        for i in 0..n {
+            store.append(Record::from_pairs([
+                (name, Value::str(format!("r{i}"))),
+                (score, Value::Int(i)),
+            ]));
+        }
+        let mut set = scdb_storage::index::IndexSet::new();
+        set.create(
+            IndexDef {
+                name: "ix_name".into(),
+                source: "trials".into(),
+                attr: "name".into(),
+                kind: IndexKind::Hash,
+            },
+            &syms,
+            &store,
+        );
+        set.create(
+            IndexDef {
+                name: "ix_score".into(),
+                source: "trials".into(),
+                attr: "score".into(),
+                kind: IndexKind::Ordered,
+            },
+            &syms,
+            &store,
+        );
+        (syms, store, set)
+    }
+
+    fn index_plan(sql: &str, index: &str) -> LogicalPlan {
+        let q = parse(sql).unwrap();
+        let mut plan = LogicalPlan::from_query(&q);
+        let atom = plan.filter_atoms()[0].clone();
+        plan.nodes[0] = PlanNode::IndexScan {
+            source: q.from.clone(),
+            index: index.into(),
+            atom,
+        };
+        plan
+    }
+
+    #[test]
+    fn index_scan_matches_full_scan() {
+        let (syms, store, set) = indexed_store(100);
+        let src = StoreSource::with_indexes("trials", &store, &syms, &set);
+        for (sql, index) in [
+            ("SELECT * FROM trials WHERE name = 'r42'", "ix_name"),
+            ("SELECT * FROM trials WHERE score >= 90", "ix_score"),
+            (
+                "SELECT name FROM trials WHERE score < 5 LIMIT 3",
+                "ix_score",
+            ),
+        ] {
+            let q = parse(sql).unwrap();
+            let full = LogicalPlan::from_query(&q);
+            let (want, want_stats) = Executor::sequential()
+                .execute(&full, &src, &EvalEnv::default())
+                .unwrap();
+            let (got, got_stats) = Executor::sequential()
+                .execute(&index_plan(sql, index), &src, &EvalEnv::default())
+                .unwrap();
+            assert_eq!(got, want, "rows and order identical: {sql}");
+            assert!(
+                got_stats.rows_scanned <= want_stats.rows_scanned,
+                "index never scans more than the full scan for {sql}: {} vs {}",
+                got_stats.rows_scanned,
+                want_stats.rows_scanned
+            );
+        }
+        // The selective point lookup touches exactly its one candidate
+        // where the full scan walks all 100 rows.
+        let (_, stats) = Executor::sequential()
+            .execute(
+                &index_plan("SELECT * FROM trials WHERE name = 'r42'", "ix_name"),
+                &src,
+                &EvalEnv::default(),
+            )
+            .unwrap();
+        assert_eq!(stats.rows_scanned, 1);
+    }
+
+    #[test]
+    fn index_scan_rechecks_residual_atoms() {
+        let (syms, store, set) = indexed_store(100);
+        let src = StoreSource::with_indexes("trials", &store, &syms, &set);
+        // Index narrows to score >= 90, residual name filter re-checks.
+        let sql = "SELECT * FROM trials WHERE score >= 90 AND name = 'r95'";
+        let q = parse(sql).unwrap();
+        let mut plan = LogicalPlan::from_query(&q);
+        let atom = plan.filter_atoms()[0].clone();
+        plan.nodes[0] = PlanNode::IndexScan {
+            source: "trials".into(),
+            index: "ix_score".into(),
+            atom,
+        };
+        let (rows, stats) = Executor::sequential()
+            .execute(&plan, &src, &EvalEnv::default())
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(stats.rows_scanned, 10, "only the candidate rows visited");
+    }
+
+    #[test]
+    fn index_scan_without_index_falls_back_to_scan() {
+        let (syms, store, _set) = indexed_store(50);
+        // Source wrapped WITHOUT indexes: the plan's IndexScan degrades
+        // to a full scan with identical results.
+        let src = StoreSource::new("trials", &store, &syms);
+        let sql = "SELECT * FROM trials WHERE name = 'r7'";
+        let (rows, stats) = Executor::sequential()
+            .execute(&index_plan(sql, "ix_name"), &src, &EvalEnv::default())
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(stats.rows_scanned, 50, "full scan fallback");
+    }
+
+    #[test]
+    fn index_scan_profile_names_the_access_path() {
+        let (syms, store, set) = indexed_store(100);
+        let src = StoreSource::with_indexes("trials", &store, &syms, &set);
+        let mut builder = scdb_obs::ProfileBuilder::new();
+        let plan = index_plan("SELECT * FROM trials WHERE name = 'r42'", "ix_name");
+        Executor::sequential()
+            .execute_profiled(&plan, &src, &EvalEnv::default(), &mut builder)
+            .unwrap();
+        let profile = builder.finish();
+        let scan = profile
+            .stages
+            .iter()
+            .find(|s| s.name == "scan")
+            .expect("scan stage present");
+        assert!(
+            scan.notes
+                .iter()
+                .any(|n| n.contains("access=index_scan via 'ix_name'")),
+            "scan stage names the index: {:?}",
+            scan.notes
+        );
     }
 
     #[test]

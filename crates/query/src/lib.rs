@@ -51,7 +51,7 @@ pub mod error;
 
 pub use ast::{Atom, CompareOp, Literal, Query};
 pub use error::QueryError;
-pub use exec::{ExecStats, Executor, RowSource};
-pub use optimizer::{Optimizer, OptimizerConfig, SemanticContext};
+pub use exec::{ExecStats, Executor, RowSource, StoreSource};
+pub use optimizer::{Optimizer, OptimizerConfig, SemanticContext, INDEX_SELECTIVITY_THRESHOLD};
 pub use parser::parse;
 pub use plan::{LogicalPlan, PlanNode};

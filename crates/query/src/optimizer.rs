@@ -26,10 +26,11 @@
 use std::collections::HashMap;
 
 use scdb_semantic::{Ontology, Saturation, Taxonomy};
+use scdb_storage::index::{IndexDef, IndexKind};
 use scdb_storage::stats::AttrStatistics;
 
 use crate::ast::{Atom, CompareOp, Literal};
-use crate::plan::LogicalPlan;
+use crate::plan::{LogicalPlan, PlanNode};
 
 /// Semantic knowledge available to the optimizer.
 pub struct SemanticContext<'a> {
@@ -54,6 +55,9 @@ pub struct OptimizerConfig {
     pub detect_unsat: bool,
     /// Reorder atoms by estimated selectivity.
     pub reorder_by_selectivity: bool,
+    /// Consider secondary-index access paths (when index metadata is
+    /// supplied) instead of always scanning.
+    pub use_index_scan: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -64,6 +68,7 @@ impl Default for OptimizerConfig {
             collapse_subsumed: true,
             detect_unsat: true,
             reorder_by_selectivity: true,
+            use_index_scan: true,
         }
     }
 }
@@ -77,9 +82,15 @@ impl OptimizerConfig {
             collapse_subsumed: false,
             detect_unsat: false,
             reorder_by_selectivity: false,
+            use_index_scan: false,
         }
     }
 }
+
+/// An index-scan only pays off when the predicate keeps at most this
+/// fraction of the source: above it, fetching scattered candidates and
+/// re-checking them costs more than the (parallel) sequential scan.
+pub const INDEX_SELECTIVITY_THRESHOLD: f64 = 0.25;
 
 /// The optimizer.
 #[derive(Debug, Default)]
@@ -102,8 +113,24 @@ impl Optimizer {
         stats: Option<&HashMap<String, AttrStatistics>>,
         base_rows: u64,
     ) -> LogicalPlan {
+        self.optimize_with_indexes(plan, semantic, stats, base_rows, &[])
+    }
+
+    /// [`Optimizer::optimize`] plus access-path selection: when the
+    /// scanned source has secondary indexes (`indexes`), the most
+    /// selective indexable comparison atom may replace the full scan
+    /// with a [`PlanNode::IndexScan`]. The decision (either way) lands
+    /// in the rewrite log for EXPLAIN ANALYZE.
+    pub fn optimize_with_indexes(
+        &self,
+        plan: LogicalPlan,
+        semantic: Option<&SemanticContext<'_>>,
+        stats: Option<&HashMap<String, AttrStatistics>>,
+        base_rows: u64,
+        indexes: &[IndexDef],
+    ) -> LogicalPlan {
         let rewrites_before = plan.rewrites.len();
-        let plan = self.optimize_inner(plan, semantic, stats, base_rows);
+        let plan = self.optimize_inner(plan, semantic, stats, base_rows, indexes);
         scdb_obs::metrics().add(
             "query.rewrites",
             (plan.rewrites.len() - rewrites_before) as u64,
@@ -117,6 +144,7 @@ impl Optimizer {
         semantic: Option<&SemanticContext<'_>>,
         stats: Option<&HashMap<String, AttrStatistics>>,
         base_rows: u64,
+        indexes: &[IndexDef],
     ) -> LogicalPlan {
         let mut atoms: Vec<Atom> = plan.filter_atoms().to_vec();
 
@@ -185,6 +213,10 @@ impl Optimizer {
         let combined: f64 = sels.iter().product();
         plan.estimated_rows = Some(combined * base_rows as f64);
 
+        if self.config.use_index_scan && !indexes.is_empty() {
+            self.choose_access_path(&mut plan, &atoms, &sels, base_rows, indexes);
+        }
+
         if self.config.reorder_by_selectivity && atoms.len() > 1 {
             let mut order: Vec<usize> = (0..atoms.len()).collect();
             order.sort_by(|&i, &j| sels[i].total_cmp(&sels[j]));
@@ -197,6 +229,78 @@ impl Optimizer {
 
         plan.set_filter_atoms(atoms);
         plan
+    }
+
+    /// Pick index-scan vs full scan from the statistics: the most
+    /// selective comparison atom whose attribute has a usable index
+    /// (equality on any kind, ranges on ordered only) becomes an
+    /// [`PlanNode::IndexScan`] when its estimated selectivity clears
+    /// [`INDEX_SELECTIVITY_THRESHOLD`]; otherwise the scan stays and the
+    /// rejection is logged.
+    fn choose_access_path(
+        &self,
+        plan: &mut LogicalPlan,
+        atoms: &[Atom],
+        sels: &[f64],
+        base_rows: u64,
+        indexes: &[IndexDef],
+    ) {
+        let Some(source) = plan.source().map(str::to_string) else {
+            return;
+        };
+        let mut best: Option<(usize, &IndexDef, f64)> = None;
+        for (i, atom) in atoms.iter().enumerate() {
+            let Atom::Compare { attr, op, .. } = atom else {
+                continue;
+            };
+            for def in indexes {
+                if def.source != source || def.attr != *attr {
+                    continue;
+                }
+                let usable = match op {
+                    CompareOp::Eq => true,
+                    CompareOp::Ne => false,
+                    CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => {
+                        def.kind == IndexKind::Ordered
+                    }
+                };
+                if !usable {
+                    continue;
+                }
+                if best.is_none_or(|(_, _, s)| sels[i] < s) {
+                    best = Some((i, def, sels[i]));
+                }
+            }
+        }
+        let Some((i, def, sel)) = best else {
+            return;
+        };
+        let est = sel * base_rows as f64;
+        if sel <= INDEX_SELECTIVITY_THRESHOLD {
+            let Some(pos) = plan
+                .nodes
+                .iter()
+                .position(|n| matches!(n, PlanNode::Scan { .. }))
+            else {
+                return;
+            };
+            plan.nodes[pos] = PlanNode::IndexScan {
+                source,
+                index: def.name.clone(),
+                atom: atoms[i].clone(),
+            };
+            plan.rewrites.push(format!(
+                "access path: index_scan via '{}' on {} \
+                 (estimated {est:.1} of {base_rows} rows, selectivity {sel:.4})",
+                def.name, def.attr
+            ));
+        } else {
+            plan.rewrites.push(format!(
+                "access path: scan (best index '{}' selectivity {sel:.2} \
+                 above threshold {INDEX_SELECTIVITY_THRESHOLD})",
+                def.name
+            ));
+        }
     }
 }
 
@@ -644,5 +748,166 @@ mod tests {
         let p = optimize("SELECT * FROM t WHERE a = 1", OptimizerConfig::default());
         let rows = p.estimated_rows.unwrap();
         assert!(rows > 0.0 && rows < 1000.0);
+    }
+
+    fn index_fixture() -> (HashMap<String, AttrStatistics>, Vec<IndexDef>) {
+        let mut stats = HashMap::new();
+        // `name`: 1000 distinct values — equality is highly selective.
+        let mut name = AttrStatistics::new(16, 4096);
+        for i in 0..1000 {
+            name.observe(&scdb_types::Value::str(format!("r{i}")));
+        }
+        stats.insert("name".to_string(), name);
+        // `category`: one value covers 60% of rows.
+        let mut cat = AttrStatistics::new(16, 4096);
+        for i in 0..1000 {
+            cat.observe(&scdb_types::Value::str(if i % 5 < 3 {
+                "hot"
+            } else {
+                "cold"
+            }));
+        }
+        stats.insert("category".to_string(), cat);
+        // `score`: uniform numeric 0..1000. The incremental histogram
+        // seeds its range from the first value, so give it the settled
+        // full-range histogram an ANALYZE pass would produce.
+        let mut score = AttrStatistics::new(16, 4096);
+        for i in 0..1000 {
+            score.observe(&scdb_types::Value::Float(i as f64));
+        }
+        score.histogram =
+            scdb_storage::stats::Histogram::from_values((0..1000).map(|i| i as f64), 32);
+        stats.insert("score".to_string(), score);
+        let indexes = vec![
+            IndexDef {
+                name: "ix_name".into(),
+                source: "t".into(),
+                attr: "name".into(),
+                kind: IndexKind::Hash,
+            },
+            IndexDef {
+                name: "ix_cat".into(),
+                source: "t".into(),
+                attr: "category".into(),
+                kind: IndexKind::Hash,
+            },
+            IndexDef {
+                name: "ix_score".into(),
+                source: "t".into(),
+                attr: "score".into(),
+                kind: IndexKind::Ordered,
+            },
+        ];
+        (stats, indexes)
+    }
+
+    fn optimize_indexed(sql: &str, cfg: OptimizerConfig) -> LogicalPlan {
+        let (stats, indexes) = index_fixture();
+        let q = parse(sql).unwrap();
+        let plan = LogicalPlan::from_query(&q);
+        Optimizer::new(cfg).optimize_with_indexes(plan, None, Some(&stats), 1000, &indexes)
+    }
+
+    #[test]
+    fn selective_equality_chooses_index_scan() {
+        let p = optimize_indexed(
+            "SELECT * FROM t WHERE name = 'r42'",
+            OptimizerConfig::default(),
+        );
+        assert!(
+            matches!(&p.nodes[0], PlanNode::IndexScan { index, .. } if index == "ix_name"),
+            "expected index scan: {p}"
+        );
+        assert!(p.rewrites.iter().any(|r| r.contains("index_scan")));
+        // The driving atom stays in the filter (residual re-check).
+        assert_eq!(p.filter_atoms().len(), 1);
+    }
+
+    #[test]
+    fn non_selective_equality_keeps_scan() {
+        let p = optimize_indexed(
+            "SELECT * FROM t WHERE category = 'hot'",
+            OptimizerConfig::default(),
+        );
+        assert!(
+            matches!(&p.nodes[0], PlanNode::Scan { .. }),
+            "60% selectivity must not use the index: {p}"
+        );
+        assert!(
+            p.rewrites.iter().any(|r| r.contains("access path: scan")),
+            "rejection surfaced in EXPLAIN: {:?}",
+            p.rewrites
+        );
+    }
+
+    #[test]
+    fn range_uses_ordered_index_only() {
+        let p = optimize_indexed(
+            "SELECT * FROM t WHERE score < 100.0",
+            OptimizerConfig::default(),
+        );
+        assert!(
+            matches!(&p.nodes[0], PlanNode::IndexScan { index, .. } if index == "ix_score"),
+            "selective range rides the ordered index: {p}"
+        );
+        // A range over the hash-indexed attr cannot use it: no access-path
+        // candidate at all, so no decision line either.
+        let p = optimize_indexed(
+            "SELECT * FROM t WHERE name > 'r5'",
+            OptimizerConfig::default(),
+        );
+        assert!(matches!(&p.nodes[0], PlanNode::Scan { .. }));
+        assert!(!p.rewrites.iter().any(|r| r.contains("access path")));
+    }
+
+    #[test]
+    fn most_selective_indexable_atom_wins() {
+        let p = optimize_indexed(
+            "SELECT * FROM t WHERE category = 'hot' AND name = 'r42'",
+            OptimizerConfig::default(),
+        );
+        assert!(
+            matches!(&p.nodes[0], PlanNode::IndexScan { index, .. } if index == "ix_name"),
+            "name (1/1000) beats category (0.6): {p}"
+        );
+    }
+
+    #[test]
+    fn index_scan_disabled_by_config_and_empty_metadata() {
+        let p = optimize_indexed(
+            "SELECT * FROM t WHERE name = 'r42'",
+            OptimizerConfig {
+                use_index_scan: false,
+                ..OptimizerConfig::default()
+            },
+        );
+        assert!(matches!(&p.nodes[0], PlanNode::Scan { .. }));
+        // No index metadata: plain optimize() never switches access path.
+        let (stats, _) = index_fixture();
+        let q = parse("SELECT * FROM t WHERE name = 'r42'").unwrap();
+        let p = Optimizer::new(OptimizerConfig::default()).optimize(
+            LogicalPlan::from_query(&q),
+            None,
+            Some(&stats),
+            1000,
+        );
+        assert!(matches!(&p.nodes[0], PlanNode::Scan { .. }));
+    }
+
+    #[test]
+    fn foreign_source_indexes_ignored() {
+        let (stats, mut indexes) = index_fixture();
+        for d in &mut indexes {
+            d.source = "other".into();
+        }
+        let q = parse("SELECT * FROM t WHERE name = 'r42'").unwrap();
+        let p = Optimizer::new(OptimizerConfig::default()).optimize_with_indexes(
+            LogicalPlan::from_query(&q),
+            None,
+            Some(&stats),
+            1000,
+            &indexes,
+        );
+        assert!(matches!(&p.nodes[0], PlanNode::Scan { .. }));
     }
 }

@@ -20,6 +20,18 @@ pub enum PlanNode {
         /// Source name.
         source: String,
     },
+    /// Fetch candidate rows through a secondary index instead of
+    /// scanning every row. The driving atom stays in the filter stage
+    /// too (residual re-check), so an index that is concurrently
+    /// dropped degrades to a full scan without changing results.
+    IndexScan {
+        /// Source name.
+        source: String,
+        /// Index name (for EXPLAIN; execution matches on the attribute).
+        index: String,
+        /// The comparison atom pushed into the index lookup.
+        atom: Atom,
+    },
     /// Filter by conjunctive atoms, evaluated in order.
     Filter {
         /// Ordered atoms (the optimizer orders them most-selective
@@ -112,7 +124,15 @@ impl LogicalPlan {
     /// The scanned source name.
     pub fn source(&self) -> Option<&str> {
         self.nodes.iter().find_map(|n| match n {
-            PlanNode::Scan { source } => Some(source.as_str()),
+            PlanNode::Scan { source } | PlanNode::IndexScan { source, .. } => Some(source.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The index-scan access path, when the optimizer chose one.
+    pub fn index_scan(&self) -> Option<(&str, &Atom)> {
+        self.nodes.iter().find_map(|n| match n {
+            PlanNode::IndexScan { index, atom, .. } => Some((index.as_str(), atom)),
             _ => None,
         })
     }
@@ -127,6 +147,11 @@ impl fmt::Display for LogicalPlan {
             let indent = "  ".repeat(i);
             match node {
                 PlanNode::Scan { source } => writeln!(f, "{indent}Scan {source}")?,
+                PlanNode::IndexScan {
+                    source,
+                    index,
+                    atom,
+                } => writeln!(f, "{indent}IndexScan {source} via {index} [{atom}]")?,
                 PlanNode::Filter { atoms } => {
                     let rendered: Vec<String> = atoms.iter().map(|a| a.to_string()).collect();
                     writeln!(f, "{indent}Filter [{}]", rendered.join(" AND "))?;

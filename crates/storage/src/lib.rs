@@ -15,7 +15,9 @@
 //! * [`text`] — a token-indexed text/blob store for the unstructured end of
 //!   the spectrum;
 //! * [`stats`] — per-attribute statistics (histograms, common values) that
-//!   feed the cost-based side of the query optimizer (OS.3).
+//!   feed the cost-based side of the query optimizer (OS.3);
+//! * [`mod@index`] — secondary hash / ordered indexes over attribute
+//!   values, the optimizer's alternative access path to a full scan.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@
 pub mod cluster;
 pub mod column;
 pub mod error;
+pub mod index;
 pub mod page;
 pub mod row;
 pub mod stats;
@@ -31,6 +34,7 @@ pub mod text;
 pub use cluster::{ClusteredLayout, CoAccessTracker};
 pub use column::{ColumnSegment, Encoding};
 pub use error::StorageError;
+pub use index::{IndexDef, IndexKind, IndexPredicate, IndexSet, SecondaryIndex};
 pub use page::{PageConfig, PageMap, TouchCounter};
 pub use row::RowStore;
 pub use stats::{AttrStatistics, Histogram};

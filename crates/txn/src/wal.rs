@@ -90,6 +90,26 @@ pub enum LogRecord {
         /// New value (`None` retracts).
         value: Option<Value>,
     },
+    /// A secondary-index creation. Auto-sealed like `SourceReg`: the
+    /// definition takes effect at this log position and the index
+    /// contents rebuild deterministically from the rows visible at that
+    /// point (contents are never logged). Checkpoints also carry the
+    /// definitions, since compaction drops pre-checkpoint records.
+    IndexCreate {
+        /// Index name (unique across the database).
+        name: String,
+        /// Source whose rows are indexed.
+        source: String,
+        /// Indexed attribute.
+        attr: String,
+        /// Index-kind wire tag (`scdb-storage`'s `IndexKind::tag`).
+        kind: u8,
+    },
+    /// A secondary-index drop (auto-sealed).
+    IndexDrop {
+        /// Index name.
+        name: String,
+    },
 }
 
 const TAG_WRITE: u8 = 1;
@@ -101,6 +121,8 @@ const TAG_INGEST_ROW: u8 = 6;
 const TAG_DISCOVER_LINKS: u8 = 7;
 const TAG_ENRICH: u8 = 8;
 const TAG_COMMIT_GROUP: u8 = 9;
+const TAG_INDEX_CREATE: u8 = 10;
+const TAG_INDEX_DROP: u8 = 11;
 
 /// Serialize an optional [`Value`] in the WAL wire format (shared with
 /// the core crate's snapshot files).
@@ -291,6 +313,22 @@ pub fn encode_record(buf: &mut BytesMut, record: &LogRecord) {
             buf.put_u64(*key);
             put_value(buf, value);
         }
+        LogRecord::IndexCreate {
+            name,
+            source,
+            attr,
+            kind,
+        } => {
+            buf.put_u8(TAG_INDEX_CREATE);
+            put_str(buf, name);
+            put_str(buf, source);
+            put_str(buf, attr);
+            buf.put_u8(*kind);
+        }
+        LogRecord::IndexDrop { name } => {
+            buf.put_u8(TAG_INDEX_DROP);
+            put_str(buf, name);
+        }
     }
 }
 
@@ -390,6 +428,25 @@ pub fn decode_record(data: &mut Bytes, at: usize) -> Result<LogRecord, TxnError>
             let key = data.get_u64();
             let value = get_value(data, at)?;
             Ok(LogRecord::Enrich { key, value })
+        }
+        TAG_INDEX_CREATE => {
+            let name = get_str(data, at)?;
+            let source = get_str(data, at)?;
+            let attr = get_str(data, at)?;
+            if data.remaining() < 1 {
+                return Err(corrupt);
+            }
+            let kind = data.get_u8();
+            Ok(LogRecord::IndexCreate {
+                name,
+                source,
+                attr,
+                kind,
+            })
+        }
+        TAG_INDEX_DROP => {
+            let name = get_str(data, at)?;
+            Ok(LogRecord::IndexDrop { name })
         }
         _ => Err(corrupt),
     }
@@ -573,7 +630,11 @@ fn recover_with_truncation(wal: &Wal, bytes_truncated: usize) -> (TxnManager, Re
                 committed.extend(txns.iter().copied());
                 seen.extend(txns.iter().copied());
             }
-            LogRecord::Checkpoint | LogRecord::SourceReg { .. } | LogRecord::Enrich { .. } => {}
+            LogRecord::Checkpoint
+            | LogRecord::SourceReg { .. }
+            | LogRecord::Enrich { .. }
+            | LogRecord::IndexCreate { .. }
+            | LogRecord::IndexDrop { .. } => {}
         }
     }
     let tm = TxnManager::new();
@@ -710,6 +771,33 @@ mod tests {
         });
         let decoded = Wal::decode(wal.encode());
         assert_eq!(decoded.records(), wal.records());
+    }
+
+    #[test]
+    fn roundtrip_index_records() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::IndexCreate {
+            name: "ix_drug".into(),
+            source: "drugbank".into(),
+            attr: "drug".into(),
+            kind: 0,
+        });
+        wal.append(LogRecord::IndexCreate {
+            name: "ix_dose".into(),
+            source: "drugbank".into(),
+            attr: "dose".into(),
+            kind: 1,
+        });
+        wal.append(LogRecord::IndexDrop {
+            name: "ix_drug".into(),
+        });
+        let decoded = Wal::decode(wal.encode());
+        assert_eq!(decoded.records(), wal.records());
+        // Auto-sealed: recovery must not treat them as open-transaction
+        // work nor report torn bytes.
+        let (_, report) = recover_from_bytes(wal.encode());
+        assert_eq!(report.bytes_truncated, 0);
+        assert_eq!(report.transactions_discarded, 0);
     }
 
     #[test]

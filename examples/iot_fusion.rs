@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example iot_fusion`
 
-use scdb_core::{explore, Db, ExploreConfig};
+use scdb_core::{Db, ExploreConfig};
 use scdb_datagen::iot::{generate, pearson, IotConfig};
 use scdb_query::materialize::MaterializationCache;
 
@@ -62,8 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Context-aware exploration from one product.
     let mut cache = MaterializationCache::new(16);
-    let out = explore(
-        &db,
+    let out = db.explore(
         "SELECT product FROM retail_sales WHERE product = 'Product 05' LIMIT 1",
         &ExploreConfig::default(),
         &mut cache,

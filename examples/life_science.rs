@@ -1,7 +1,7 @@
 //! The paper's Figure 2, end to end.
 //!
 //! Loads the exact DrugBank/CTD/Uniprot rows of Figure 2 into a
-//! `SelfCuratingDb`, installs the figure's chemical & disease taxonomies,
+//! [`Db`], installs the figure's chemical & disease taxonomies,
 //! and reproduces the §3.3 showcase inference: *"if the actual instance
 //! data only stated that Acetaminophen is a Drug, a self-curating database
 //! could infer that Acetaminophen has a target, even if the specific
@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example life_science`
 
-use scdb_core::{codd_report, Db};
+use scdb_core::Db;
 use scdb_datagen::life_science::{figure2_ontology, figure2_sources};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -79,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // §5: the revisited-Codd compliance report.
     println!("\nRevisited Codd rules (§5):");
-    for item in codd_report(&db) {
+    for item in db.codd_report() {
         println!("  [{:?}] {}", item.status, item.rule);
         println!("         {}", item.evidence);
     }

@@ -29,6 +29,9 @@ KNOWN_KINDS = {
         "recovery.complete",
         "checkpoint.serialize",
         "checkpoint.complete",
+        "index.create",
+        "index.drop",
+        "index.advise",
     },
     "txn": {
         "recovery.snapshot",
@@ -45,7 +48,7 @@ KNOWN_KINDS = {
         "checkpoint.rename",
         "checkpoint.prune",
     },
-    "query": {"scan.parallel", "slow"},
+    "query": {"scan.parallel", "slow", "index.scan"},
     "storage": {"cluster.build"},
     "er": {"merge"},
     "obs": {"warn", "watch.fired", "watch.resolved"},

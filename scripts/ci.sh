@@ -29,6 +29,12 @@ echo "== group-commit ingest smoke (release)"
 # under FsyncPolicy::Always) — a count check, stable on 1-core boxes.
 cargo run -q --offline --release -p scdb-bench --bin e_ingest_throughput -- --smoke
 
+echo "== secondary index smoke (release)"
+# Asserts the statistics-driven access path: a selective point query
+# takes the index scan, returns rows identical to the full scan, and
+# touches >= 100x fewer rows — count checks, stable on 1-core boxes.
+cargo run -q --offline --release -p scdb-bench --bin e_index -- --smoke
+
 echo "== telemetry pipeline smoke (release)"
 # Asserts the enabled-sampler overhead stays within 5% (+ fixed slack)
 # of the telemetry-off loop, that samples/watches actually fired, and

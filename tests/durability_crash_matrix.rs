@@ -416,6 +416,87 @@ fn queued_group_commit_crash_recovers_a_sealed_record_prefix() {
 }
 
 #[test]
+fn crash_mid_index_create_discards_or_keeps_the_whole_definition() {
+    use scdb_core::IndexKind;
+    // Seed identical durable and reference instances, then byte-sweep
+    // cuts inside the auto-sealed IndexCreate record: every cut strictly
+    // inside it must recover the pre-create state (no phantom index),
+    // and a cut at the exact record end must keep the definition AND
+    // rebuild contents that agree with a full scan.
+    let live = FailpointLog::new();
+    let db = open_store(&live, 1 << 20).unwrap();
+    let reference = Db::builder().build();
+    for handle in [&db, &reference] {
+        handle.register_source("trials", None);
+        let d = handle.intern("drug");
+        let dose = handle.intern("dose");
+        for i in 0..40 {
+            let r = scdb_types::Record::from_pairs([
+                (d, Value::str(format!("d{}", i % 8))),
+                (dose, Value::Int(i)),
+            ]);
+            handle.ingest("trials", r, None).unwrap();
+        }
+    }
+    let before_dump = reference.state_dump();
+    assert_eq!(db.state_dump(), before_dump);
+
+    let seg = "wal-00000001.seg";
+    let start = live.durable_len(seg);
+    db.create_index("ix_drug", "trials", "drug", IndexKind::Hash)
+        .unwrap();
+    reference
+        .create_index("ix_drug", "trials", "drug", IndexKind::Hash)
+        .unwrap();
+    let end = live.durable_len(seg);
+    assert!(end > start, "index create appended to the WAL");
+    let after_create = live.fork();
+
+    for cut in start + 1..end {
+        let victim = after_create.fork();
+        victim.cut_durable(seg, cut);
+        let recovered = open_store(&victim, 1 << 20).expect("reopen after cut");
+        assert_eq!(
+            recovered.state_dump(),
+            before_dump,
+            "cut at byte {cut} inside the IndexCreate record must void it"
+        );
+        assert!(
+            recovered.indexes().is_empty(),
+            "cut at byte {cut}: no phantom index definition"
+        );
+    }
+
+    let whole = after_create.fork();
+    whole.cut_durable(seg, end);
+    let recovered = open_store(&whole, 1 << 20).expect("reopen at record end");
+    assert_eq!(recovered.state_dump(), reference.state_dump());
+    assert_eq!(recovered.indexes().len(), 1);
+    // Post-recovery ingest keeps maintaining the rebuilt index, and the
+    // index access path agrees with a forced full scan (the range form
+    // defeats the hash index).
+    let d = recovered.intern("drug");
+    let dose = recovered.intern("dose");
+    recovered
+        .ingest(
+            "trials",
+            scdb_types::Record::from_pairs([(d, Value::str("d3")), (dose, Value::Int(999))]),
+            None,
+        )
+        .unwrap();
+    let indexed = recovered
+        .query("SELECT drug, dose FROM trials WHERE drug = 'd3'")
+        .unwrap();
+    assert!(indexed.plan.index_scan().is_some(), "{}", indexed.plan);
+    let forced = recovered
+        .query("SELECT drug, dose FROM trials WHERE drug >= 'd3' AND drug <= 'd3'")
+        .unwrap();
+    assert!(forced.plan.index_scan().is_none());
+    assert_eq!(indexed.rows, forced.rows, "index path ≡ full scan");
+    assert_eq!(indexed.rows.len(), 6);
+}
+
+#[test]
 fn fs_store_schedule_survives_reopen_generations() {
     let dir = std::env::temp_dir().join(format!("scdb-crash-matrix-fs-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

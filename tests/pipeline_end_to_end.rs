@@ -3,7 +3,7 @@
 //! Instance → relation → semantic → query, exercised exactly the way the
 //! paper's §3 walkthrough describes, against the exact Figure 2 data.
 
-use scdb_core::{codd_report, CoddStatus, Db};
+use scdb_core::{CoddStatus, Db};
 use scdb_datagen::life_science::{figure2_ontology, figure2_sources};
 
 fn loaded_db() -> Db {
@@ -136,7 +136,7 @@ fn scql_over_curated_data() {
 fn codd_checklist_fully_exhibited() {
     let db = loaded_db();
     db.reason().unwrap();
-    let report = codd_report(&db);
+    let report = db.codd_report();
     let exhibited = report
         .iter()
         .filter(|i| i.status == CoddStatus::Exhibited)
