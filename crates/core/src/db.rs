@@ -66,7 +66,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -87,8 +87,8 @@ use scdb_semantic::{Ontology, Reasoner, Saturation, Taxonomy, TrainedModel};
 use scdb_storage::stats::AttrStatistics;
 use scdb_storage::{IndexDef, IndexKind, IndexSet, RowStore, TextStore};
 use scdb_txn::{
-    CheckpointStats, DurableWal, EnrichedDb, FsStore, FsyncPolicy, IsolationMode, LogRecord,
-    Transaction, TxnManager, VersionOrigin, WalRecoveryReport, WalStore,
+    CheckpointStats, DurableWal, EnrichedDb, FaultInjector, FaultPlan, FsStore, FsyncPolicy,
+    IsolationMode, LogRecord, Transaction, TxnManager, VersionOrigin, WalRecoveryReport, WalStore,
 };
 use scdb_types::{
     Confidence, EntityId, Provenance, Record, RecordId, SourceId, Symbol, SymbolTable, Value,
@@ -240,6 +240,44 @@ impl SlowQuery {
     }
 }
 
+/// The write-availability state of a [`Db`] node.
+///
+/// A persistent WAL failure — an append or fsync error that survives
+/// the bounded retry, or a background-thread restart storm — trips the
+/// node from `Normal` to `Degraded` *read-only* operation instead of
+/// wedging or corrupting: every write entry point fails fast with
+/// [`CoreError::Degraded`], reads keep serving from the in-memory
+/// shards, and a background recovery probe re-arms durability (with
+/// exponential backoff) once the fault clears. Observe with
+/// [`Db::mode`]; force an immediate probe with [`Db::try_recover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbMode {
+    /// Writes and reads both serving.
+    Normal,
+    /// Read-only: the write path is tripped.
+    Degraded {
+        /// Rendered cause of the trip (the WAL error or storm).
+        reason: String,
+        /// When the node degraded, milliseconds since the
+        /// flight-recorder epoch (comparable to event timestamps).
+        since_ms: u64,
+    },
+}
+
+impl DbMode {
+    /// True in [`DbMode::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, DbMode::Degraded { .. })
+    }
+}
+
+/// Mode-machine state behind [`DbInner::degraded`]'s fast-path flag.
+struct ModeState {
+    mode: DbMode,
+    /// True while a recovery-probe thread is alive — at most one runs.
+    probing: bool,
+}
+
 struct DbInner {
     /// When this handle was built/opened (uptime anchor).
     started: Instant,
@@ -274,6 +312,13 @@ struct DbInner {
     /// this `Arc` plus a [`Weak`] to the inner, so dropping the last
     /// [`Db`] handle stops it (below).
     telemetry: Option<Arc<TelemetryState>>,
+    /// Fast-path write gate: mirrors `mode` so every write entry point
+    /// pays one relaxed load, not a lock, while healthy.
+    degraded: AtomicBool,
+    /// The degraded-mode state machine (reason, trip time, probe
+    /// liveness). A leaf lock: held only briefly and never while
+    /// acquiring any shard lock.
+    mode: Mutex<ModeState>,
     /// Monotone health-report sequence ([`Db::health_report`]).
     health_seq: AtomicU64,
     /// Pre-resolved handles for the five commit-stage histograms, so the
@@ -462,11 +507,13 @@ impl DurabilityConfig {
 }
 
 /// Ingest-pipeline knobs as one value: the group-commit queue capacity
-/// (see [`DbBuilder::ingest_queue`], which remains as a thin delegate).
+/// (see [`DbBuilder::ingest_queue`], which remains as a thin delegate)
+/// and the batch flush deadline.
 #[derive(Debug, Clone, Default)]
 #[must_use = "pass the config to DbBuilder::ingest_config"]
 pub struct IngestConfig {
     queue_capacity: Option<usize>,
+    max_delay: Option<Duration>,
 }
 
 impl IngestConfig {
@@ -479,7 +526,21 @@ impl IngestConfig {
     pub fn queued(capacity: usize) -> Self {
         IngestConfig {
             queue_capacity: Some(capacity),
+            max_delay: None,
         }
+    }
+
+    /// Flush deadline for a partial batch: the committer holds a
+    /// non-full batch open up to `delay` past its oldest record's
+    /// enqueue time, so trickle ingest still amortizes fsyncs without
+    /// unbounded latency (a lone row commits within the bound). Each
+    /// deadline-triggered flush increments the
+    /// `txn.group_commit.deadline_flushes` counter. Without this the
+    /// committer flushes any non-empty queue immediately. Only
+    /// meaningful with a queue configured.
+    pub fn max_delay(mut self, delay: Duration) -> Self {
+        self.max_delay = Some(delay);
+        self
     }
 }
 
@@ -519,7 +580,9 @@ pub struct DbBuilder {
     segment_bytes: Option<u64>,
     slow_query_threshold: Option<Duration>,
     ingest_queue: Option<usize>,
+    ingest_max_delay: Option<Duration>,
     telemetry: Option<TelemetryConfig>,
+    fault: Option<FaultPlan>,
 }
 
 impl DbBuilder {
@@ -585,9 +648,25 @@ impl DbBuilder {
         self
     }
 
-    /// Apply a grouped [`IngestConfig`] (queue capacity) in one call.
+    /// Apply a grouped [`IngestConfig`] (queue capacity + flush
+    /// deadline) in one call.
     pub fn ingest_config(mut self, config: IngestConfig) -> Self {
         self.ingest_queue = config.queue_capacity;
+        self.ingest_max_delay = config.max_delay;
+        self
+    }
+
+    /// Arm a runtime [`FaultPlan`] against the durable medium: the WAL
+    /// store configured by [`DbBuilder::durability`] (or
+    /// [`DbBuilder::durability_store`]) is wrapped in a
+    /// [`FaultInjector`] when [`DbBuilder::open`] installs it, so the
+    /// plan's schedule fires against the *live* database — failed
+    /// fsyncs, a filling medium, seeded write errors, a committer
+    /// panic. Keep a [`scdb_txn::FaultHandle`] (via
+    /// [`FaultPlan::handle`]) to clear the faults later and watch the
+    /// node recover. Ignored without a durability target.
+    pub fn fault_injection(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 
@@ -665,7 +744,10 @@ impl DbBuilder {
             metrics().set_enabled(on);
         }
         let isolation = self.isolation.unwrap_or(IsolationMode::Snapshot);
-        let queue = self.ingest_queue.map(|cap| Arc::new(IngestQueue::new(cap)));
+        let max_delay = self.ingest_max_delay;
+        let queue = self
+            .ingest_queue
+            .map(|cap| Arc::new(IngestQueue::new(cap, max_delay)));
         let telemetry = self.telemetry.map(|c| Arc::new(TelemetryState::new(c)));
         let db = Db {
             inner: Arc::new(DbInner {
@@ -722,18 +804,37 @@ impl DbBuilder {
                 ),
                 ingest_queue: queue.clone(),
                 telemetry: telemetry.clone(),
+                degraded: AtomicBool::new(false),
+                mode: Mutex::new(ModeState {
+                    mode: DbMode::Normal,
+                    probing: false,
+                }),
                 health_seq: AtomicU64::new(0),
                 stages: StageHistograms::resolve(),
             }),
         };
+        metrics().gauge_set("core.mode", 0);
         if let Some(queue) = queue {
             // The committer holds only a Weak: the thread never keeps the
             // database alive. Recovery (DbBuilder::open) runs before any
             // producer can enqueue, so the thread just parks until then.
+            // The supervisor wrapper catches panics (including injected
+            // ones), fails the in-flight tickets, and restarts the loop.
             let weak = Arc::downgrade(&db.inner);
+            let inflight: InflightTickets = Arc::new(std::sync::Mutex::new(Vec::new()));
             std::thread::Builder::new()
                 .name("scdb-group-commit".to_string())
-                .spawn(move || group_committer(weak, queue))
+                .spawn(move || {
+                    let body_weak = weak.clone();
+                    let body_inflight = Arc::clone(&inflight);
+                    supervise("group-commit", weak, Some(inflight), move || {
+                        group_committer(
+                            body_weak.clone(),
+                            Arc::clone(&queue),
+                            Arc::clone(&body_inflight),
+                        )
+                    })
+                })
                 .expect("spawn group-commit committer thread");
         }
         if let Some(state) = telemetry {
@@ -743,7 +844,12 @@ impl DbBuilder {
                 let weak = Arc::downgrade(&db.inner);
                 std::thread::Builder::new()
                     .name("scdb-telemetry".to_string())
-                    .spawn(move || telemetry_sampler(weak, state))
+                    .spawn(move || {
+                        let body_weak = weak.clone();
+                        supervise("telemetry", weak, None, move || {
+                            telemetry_sampler(body_weak.clone(), Arc::clone(&state))
+                        })
+                    })
                     .expect("spawn telemetry sampler thread");
             }
         }
@@ -755,6 +861,7 @@ impl DbBuilder {
     /// durability target this is equivalent to [`DbBuilder::build`].
     pub fn open(mut self) -> Result<Db, CoreError> {
         let target = self.durability.take();
+        let fault = self.fault.take();
         let segment_bytes = self.segment_bytes.unwrap_or(1 << 20);
         let db = self.build_volatile();
         let Some(target) = target else {
@@ -767,6 +874,12 @@ impl DbBuilder {
                 (Box::new(store), policy)
             }
             DurabilityTarget::Store(store, policy) => (store, policy),
+        };
+        // Fault injection sits between the WAL and whatever medium was
+        // configured, so an armed plan fires against live traffic.
+        let store: Box<dyn WalStore> = match &fault {
+            Some(plan) => Box::new(FaultInjector::new(store, plan)),
+            None => store,
         };
         // Recovery replays through the live pipeline while `durable` is
         // still `None`, so nothing gets re-logged; the WAL is installed
@@ -838,6 +951,7 @@ impl Db {
         name: &str,
         identity_attr: Option<&str>,
     ) -> Result<SourceId, CoreError> {
+        self.ensure_writable()?;
         let mut symbols = self.inner.symbols.write();
         let mut instance = self.inner.instance.write();
         let mut relation = self.inner.relation.write();
@@ -852,7 +966,8 @@ impl Db {
                 wal.append_sealed(&[LogRecord::SourceReg {
                     name: name.to_string(),
                     identity_attr: identity_attr.map(str::to_string),
-                }])?;
+                }])
+                .map_err(|e| self.trip_on_io(e))?;
             }
         }
         let id = SourceId(instance.sources.len() as u32);
@@ -908,6 +1023,7 @@ impl Db {
         record: Record,
         text: Option<&str>,
     ) -> Result<IngestReport, CoreError> {
+        self.ensure_writable()?;
         if let Some(queue) = &self.inner.ingest_queue {
             return queue
                 .submit(IngestItem::new(
@@ -950,6 +1066,7 @@ impl Db {
         source: &str,
         records: Vec<Record>,
     ) -> Result<Vec<IngestReport>, CoreError> {
+        self.ensure_writable()?;
         if records.is_empty() {
             return Ok(Vec::new());
         }
@@ -978,6 +1095,7 @@ impl Db {
         record: Record,
         text: Option<&str>,
     ) -> Result<CommitTicket, CoreError> {
+        self.ensure_writable()?;
         let item = IngestItem::new(source.to_string(), record, text.map(str::to_owned));
         match &self.inner.ingest_queue {
             Some(queue) => queue.submit(item),
@@ -1014,6 +1132,17 @@ impl Db {
         let _span = scdb_obs::span!("core.ingest");
         if items.is_empty() {
             return Vec::new();
+        }
+        // Degraded gate, re-checked here so records that were already
+        // queued when the node tripped resolve fast with the cause
+        // instead of hitting the sick medium (or hanging).
+        if self.inner.degraded.load(Ordering::Relaxed) {
+            if let DbMode::Degraded { reason, .. } = self.mode() {
+                return items
+                    .into_iter()
+                    .map(|_| Err(CoreError::Degraded(reason.clone())))
+                    .collect();
+            }
         }
         // Commit-latency decomposition: how long each row sat in the
         // ingest queue before the committer picked it up, then per-batch
@@ -1127,7 +1256,12 @@ impl Db {
                         }
                         Err(e) => {
                             // The seal never reached the medium: the
-                            // whole batch fails, nothing is applied.
+                            // whole batch fails, nothing is applied. A
+                            // persistent I/O failure also trips the
+                            // node to degraded read-only mode.
+                            if e.io_class().is_some() {
+                                self.trip_degraded(e.to_string());
+                            }
                             let msg = CoreError::from(e).chain();
                             for &i in &valid {
                                 prepared[i] = Err(CoreError::GroupCommit(msg.clone()));
@@ -1215,6 +1349,7 @@ impl Db {
     /// loads where references preceded their targets. Returns new links.
     pub fn discover_links(&self) -> Result<usize, CoreError> {
         let _span = scdb_obs::span!("core.discover_links");
+        self.ensure_writable()?;
         let instance = self.inner.instance.read();
         let mut relation = self.inner.relation.write();
         let rel = &mut *relation;
@@ -1224,7 +1359,8 @@ impl Db {
             let mut durable = self.inner.durable.lock();
             if let Some(wal) = durable.as_mut() {
                 let txn = wal.next_txn_id();
-                wal.append_sealed(&[LogRecord::DiscoverLinks { txn }, LogRecord::Commit { txn }])?;
+                wal.append_sealed(&[LogRecord::DiscoverLinks { txn }, LogRecord::Commit { txn }])
+                    .map_err(|e| self.trip_on_io(e))?;
             }
         }
         rel.tick += 1;
@@ -1667,6 +1803,7 @@ impl Db {
         attr: &str,
         kind: IndexKind,
     ) -> Result<IndexDef, CoreError> {
+        self.ensure_writable()?;
         let symbols = self.inner.symbols.read();
         let mut instance = self.inner.instance.write();
         if instance
@@ -1690,7 +1827,8 @@ impl Db {
                     source: source.to_string(),
                     attr: attr.to_string(),
                     kind: kind.tag(),
-                }])?;
+                }])
+                .map_err(|e| self.trip_on_io(e))?;
             }
         }
         let def = IndexDef {
@@ -1721,6 +1859,7 @@ impl Db {
     /// re-checks every atom), so results are unaffected. Durable: the
     /// drop is logged before the in-memory removal.
     pub fn drop_index(&self, name: &str) -> Result<(), CoreError> {
+        self.ensure_writable()?;
         let mut instance = self.inner.instance.write();
         if !instance
             .sources
@@ -1734,7 +1873,8 @@ impl Db {
             if let Some(wal) = durable.as_mut() {
                 wal.append_sealed(&[LogRecord::IndexDrop {
                     name: name.to_string(),
-                }])?;
+                }])
+                .map_err(|e| self.trip_on_io(e))?;
             }
         }
         for (_, state) in &mut instance.sources {
@@ -1948,7 +2088,8 @@ impl Db {
     /// [`crate::health::DbHealthReport::to_json`].
     pub fn health_report(&self) -> crate::health::DbHealthReport {
         use crate::health::{
-            DbHealthReport, GroupCommitHealth, IngestStageLatency, LockWaitSummary, WalHealth,
+            DbHealthReport, GroupCommitHealth, IngestStageLatency, LockWaitSummary, ModeHealth,
+            WalHealth,
         };
         let curation = self.stats();
         let entities = self.entity_count();
@@ -2028,6 +2169,26 @@ impl Db {
                 stages,
             }
         });
+        let mode = {
+            let (degraded, reason, degraded_for_ms) = match self.mode() {
+                DbMode::Normal => (false, None, None),
+                DbMode::Degraded { reason, since_ms } => (
+                    true,
+                    Some(reason),
+                    Some(scdb_obs::event::coarse_now_ms().saturating_sub(since_ms)),
+                ),
+            };
+            ModeHealth {
+                degraded,
+                reason,
+                degraded_for_ms,
+                tripped: metrics().counter("core.fault.tripped").get(),
+                recoveries: metrics().counter("core.fault.recoveries").get(),
+                faults_injected: metrics().counter("core.fault.injected").get(),
+                thread_panics: metrics().counter("core.thread.panics").get(),
+                thread_restarts: metrics().counter("core.thread.restarts").get(),
+            }
+        };
         let events = scdb_obs::events();
         DbHealthReport {
             seq: self
@@ -2040,6 +2201,7 @@ impl Db {
             entities,
             sources,
             durable,
+            mode,
             wal,
             group_commit,
             locks,
@@ -2163,6 +2325,131 @@ impl Db {
         self.inner.durable.lock().is_some()
     }
 
+    // ------------------------------------------------------------------
+    // Degraded-mode state machine.
+    // ------------------------------------------------------------------
+
+    /// The node's current write-availability mode (see [`DbMode`]).
+    pub fn mode(&self) -> DbMode {
+        self.inner.mode.lock().mode.clone()
+    }
+
+    /// One immediate recovery probe (the background probe keeps its own
+    /// backoff schedule): fsync the active WAL segment through the full
+    /// store stack, and return to [`DbMode::Normal`] if the medium
+    /// accepted it. Returns the mode after the probe. A no-op in
+    /// `Normal` mode.
+    pub fn try_recover(&self) -> DbMode {
+        if self.inner.degraded.load(Ordering::Relaxed) && self.probe_durability() {
+            self.mark_recovered(false);
+        }
+        self.mode()
+    }
+
+    /// The write gate every mutating entry point passes first: one
+    /// relaxed load while healthy, a fail-fast [`CoreError::Degraded`]
+    /// (with the trip cause) while degraded.
+    fn ensure_writable(&self) -> Result<(), CoreError> {
+        if !self.inner.degraded.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match &self.inner.mode.lock().mode {
+            DbMode::Degraded { reason, .. } => Err(CoreError::Degraded(reason.clone())),
+            // The flag raced a concurrent recovery; mode is the truth.
+            DbMode::Normal => Ok(()),
+        }
+    }
+
+    /// Wrap a WAL error for the caller, tripping degraded mode first
+    /// when it is an I/O failure: the WAL already spent its bounded
+    /// retry budget, so an I/O error surfacing here is persistent.
+    fn trip_on_io(&self, e: scdb_txn::TxnError) -> CoreError {
+        if e.io_class().is_some() {
+            self.trip_degraded(e.to_string());
+        }
+        CoreError::Txn(e)
+    }
+
+    /// Trip to degraded read-only mode and start the recovery probe.
+    /// Idempotent: a node already degraded keeps its original reason
+    /// and trip time. Callable while holding shard locks (`mode` is a
+    /// leaf lock; the probe runs on its own thread).
+    fn trip_degraded(&self, reason: String) {
+        let mut state = self.inner.mode.lock();
+        if state.mode.is_degraded() {
+            return;
+        }
+        let since_ms = scdb_obs::event::coarse_now_ms();
+        state.mode = DbMode::Degraded {
+            reason: reason.clone(),
+            since_ms,
+        };
+        self.inner.degraded.store(true, Ordering::Relaxed);
+        let m = metrics();
+        m.inc("core.fault.tripped");
+        m.gauge_set("core.mode", 1);
+        scdb_obs::events().record_with_message(
+            "core",
+            "mode.degrade",
+            &[("since_ms", F::U64(since_ms))],
+            &reason,
+        );
+        scdb_obs::warn(format!("degraded read-only mode: {reason}"));
+        if !state.probing {
+            state.probing = true;
+            let weak = Arc::downgrade(&self.inner);
+            let spawned = std::thread::Builder::new()
+                .name("scdb-recovery-probe".to_string())
+                .spawn(move || recovery_probe(weak));
+            if spawned.is_err() {
+                // Can't probe in the background; Db::try_recover still
+                // works, and the next trip will retry the spawn.
+                state.probing = false;
+            }
+        }
+    }
+
+    /// Fsync the active segment through the full store stack — the
+    /// recovery probe's test signal. True when the medium accepted it.
+    /// No writes race this while degraded (they all fail at the gate),
+    /// so a clean sync really means the fault has cleared.
+    fn probe_durability(&self) -> bool {
+        let mut durable = self.inner.durable.lock();
+        match durable.as_mut() {
+            Some(wal) => wal.sync().is_ok(),
+            // No WAL to re-arm (a volatile node only degrades via
+            // restart storm): the probe trivially passes.
+            None => true,
+        }
+    }
+
+    /// Return to [`DbMode::Normal`]: flip the gate, count the
+    /// recovery, emit `mode.recover`. `from_probe` additionally retires
+    /// the probe thread's liveness flag under the same lock (so a
+    /// concurrent trip can't observe a probe that is about to exit).
+    fn mark_recovered(&self, from_probe: bool) {
+        let mut state = self.inner.mode.lock();
+        if from_probe {
+            state.probing = false;
+        }
+        let DbMode::Degraded { since_ms, .. } = state.mode else {
+            return;
+        };
+        state.mode = DbMode::Normal;
+        self.inner.degraded.store(false, Ordering::Relaxed);
+        let m = metrics();
+        m.inc("core.fault.recoveries");
+        m.gauge_set("core.mode", 0);
+        scdb_obs::event(
+            "core",
+            "mode.recover",
+            &[(
+                "degraded_ms",
+                F::U64(scdb_obs::event::coarse_now_ms().saturating_sub(since_ms)),
+            )],
+        );
+    }
+
     /// Write a snapshot of the durable state, seal it atomically, and
     /// truncate the log segments it supersedes. Subsequent [`Db::open`]
     /// calls load the snapshot and replay only records logged after it.
@@ -2171,6 +2458,7 @@ impl Db {
     /// configured.
     pub fn checkpoint(&self) -> Result<CheckpointStats, CoreError> {
         let _span = scdb_obs::span!("core.checkpoint");
+        self.ensure_writable()?;
         // Shard read locks freeze a consistent state; `durable` is
         // acquired after `relation` per the lock order, and holding it
         // excludes concurrent loggers, so the snapshot covers exactly
@@ -2196,7 +2484,7 @@ impl Db {
                 ("frames", F::U64(payloads.len() as u64)),
             ],
         );
-        let stats = wal.checkpoint(&payloads)?;
+        let stats = wal.checkpoint(&payloads).map_err(|e| self.trip_on_io(e))?;
         scdb_obs::event(
             "core",
             "checkpoint.complete",
@@ -2214,7 +2502,9 @@ impl Db {
     /// for in-memory databases.
     pub fn sync_wal(&self) -> Result<(), CoreError> {
         if let Some(wal) = self.inner.durable.lock().as_mut() {
-            wal.sync()?;
+            // Deliberately not gated on mode: a manual sync doubles as
+            // a recovery probe, and a failing one trips the node.
+            wal.sync().map_err(|e| self.trip_on_io(e))?;
         }
         Ok(())
     }
@@ -2668,6 +2958,7 @@ impl Db {
     /// mutex serializes validation → log → install, so a transaction
     /// whose seal reached the log always installs.
     pub fn kv_commit(&self, txn: &mut Transaction) -> Result<u64, CoreError> {
+        self.ensure_writable()?;
         let mut durable = self.inner.durable.lock();
         let tm = self.inner.enriched.txn_manager();
         if let Some(key) = tm.would_conflict(txn) {
@@ -2684,7 +2975,8 @@ impl Db {
                 })
                 .collect();
             records.push(LogRecord::Commit { txn: id });
-            wal.append_sealed(&records)?;
+            wal.append_sealed(&records)
+                .map_err(|e| self.trip_on_io(e))?;
         }
         // Cannot conflict: validation above ran under the same lock that
         // every durable kv writer (commit and enrichment) holds.
@@ -2694,21 +2986,25 @@ impl Db {
     /// A durable curation write: logged (auto-sealed), then installed at
     /// a fresh timestamp with enrichment origin.
     pub fn kv_enrich(&self, key: u64, value: Value) -> Result<u64, CoreError> {
+        self.ensure_writable()?;
         let mut durable = self.inner.durable.lock();
         if let Some(wal) = durable.as_mut() {
             wal.append_sealed(&[LogRecord::Enrich {
                 key,
                 value: Some(value.clone()),
-            }])?;
+            }])
+            .map_err(|e| self.trip_on_io(e))?;
         }
         Ok(self.inner.enriched.enrich(key, value))
     }
 
     /// A durable curation retraction (tombstone with enrichment origin).
     pub fn kv_retract(&self, key: u64) -> Result<u64, CoreError> {
+        self.ensure_writable()?;
         let mut durable = self.inner.durable.lock();
         if let Some(wal) = durable.as_mut() {
-            wal.append_sealed(&[LogRecord::Enrich { key, value: None }])?;
+            wal.append_sealed(&[LogRecord::Enrich { key, value: None }])
+                .map_err(|e| self.trip_on_io(e))?;
         }
         Ok(self.inner.enriched.retract(key))
     }
@@ -2870,10 +3166,23 @@ fn curate_one(
     })
 }
 
+/// Tickets popped from the queue but not yet resolved, shared between
+/// the committer body and its supervisor: after a committer panic the
+/// supervisor fails whatever is still in the slot, so no producer ever
+/// hangs on a ticket whose batch died mid-flight.
+type InflightTickets = Arc<std::sync::Mutex<Vec<Arc<TicketState>>>>;
+
+/// Poison-proof lock for the in-flight slot (the committer panicking
+/// while holding it must not wedge the supervisor).
+fn lock_inflight(slot: &InflightTickets) -> std::sync::MutexGuard<'_, Vec<Arc<TicketState>>> {
+    slot.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The committer loop: drain the queue in batches, run each batch
 /// through the shared pipeline, resolve the tickets. Exits when the
 /// queue is closed and drained (the last [`Db`] handle dropped).
-fn group_committer(inner: Weak<DbInner>, queue: Arc<IngestQueue>) {
+fn group_committer(inner: Weak<DbInner>, queue: Arc<IngestQueue>, inflight: InflightTickets) {
     let max_batch = queue.capacity();
     loop {
         let batch = queue.pop_batch(max_batch);
@@ -2885,10 +3194,15 @@ fn group_committer(inner: Weak<DbInner>, queue: Arc<IngestQueue>) {
                 let db = Db { inner };
                 let (items, tickets): (Vec<IngestItem>, Vec<Arc<TicketState>>) =
                     batch.into_iter().unzip();
+                // Publish the batch's tickets before touching the
+                // pipeline: if apply panics, the supervisor resolves
+                // them from here.
+                *lock_inflight(&inflight) = tickets.clone();
                 let results = db.apply_ingest_batch(items);
                 for (ticket, result) in tickets.iter().zip(results) {
                     ticket.resolve(result);
                 }
+                lock_inflight(&inflight).clear();
             }
             None => {
                 // The database is gone: these records were accepted but
@@ -2901,6 +3215,128 @@ fn group_committer(inner: Weak<DbInner>, queue: Arc<IngestQueue>) {
                 }
             }
         }
+    }
+}
+
+/// Render a panic payload for events and warnings.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Background-thread supervisor: run `body` to completion, catching
+/// panics. A panic is recorded (`core`/`thread.panic`), the in-flight
+/// tickets (if any) are failed so no producer hangs, and the body is
+/// restarted after a capped backoff (`core`/`thread.restart`). A
+/// restart *storm* — [`STORM_PANICS`] panics each within a second of
+/// the last — additionally trips degraded mode: something systematic
+/// is wrong and writes should fail fast rather than churn. The thread
+/// keeps supervising either way; a normal return (queue closed,
+/// telemetry stopped, database dropped) ends supervision.
+fn supervise(
+    name: &'static str,
+    inner: Weak<DbInner>,
+    inflight: Option<InflightTickets>,
+    mut body: impl FnMut(),
+) {
+    let mut streak: u32 = 0;
+    let mut last_panic: Option<Instant> = None;
+    loop {
+        // The shard locks are parking_lot (released on unwind, no
+        // poisoning) and the queue/ticket mutexes recover from poison,
+        // so resuming after a caught panic is sound.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut body)) {
+            Ok(()) => return,
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                metrics().inc("core.thread.panics");
+                scdb_obs::events().record_with_message(
+                    "core",
+                    "thread.panic",
+                    &[("thread", F::Str(name.into()))],
+                    &msg,
+                );
+                scdb_obs::warn(format!("{name} thread panicked: {msg}"));
+                if let Some(slot) = &inflight {
+                    let orphaned = std::mem::take(&mut *lock_inflight(slot));
+                    for ticket in orphaned {
+                        ticket.resolve_if_pending(Err(CoreError::GroupCommit(format!(
+                            "{name} thread panicked mid-batch: {msg}"
+                        ))));
+                    }
+                }
+                streak = match last_panic {
+                    Some(at) if at.elapsed() < Duration::from_secs(1) => streak + 1,
+                    _ => 1,
+                };
+                last_panic = Some(Instant::now());
+                if streak >= STORM_PANICS {
+                    if let Some(strong) = inner.upgrade() {
+                        let db = Db { inner: strong };
+                        db.trip_degraded(format!(
+                            "{name} thread restart storm ({streak} rapid panics): {msg}"
+                        ));
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(10u64 << streak.min(6)));
+                if inner.upgrade().is_none() {
+                    return;
+                }
+                metrics().inc("core.thread.restarts");
+                scdb_obs::event(
+                    "core",
+                    "thread.restart",
+                    &[
+                        ("thread", F::Str(name.into())),
+                        ("streak", F::U64(u64::from(streak))),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+/// Rapid panics (each within 1 s of the last) before the supervisor
+/// also trips degraded mode.
+const STORM_PANICS: u32 = 5;
+
+/// The recovery-probe loop: wake on an exponential-backoff schedule
+/// (50 ms · 2ⁿ, capped at 3.2 s, with deterministic jitter), probe the
+/// durable medium, and re-arm the write path once it heals. At most
+/// one probe runs per node (`ModeState::probing`); the loop exits when
+/// the node recovers — via its own probe or [`Db::try_recover`] — or
+/// the database is dropped.
+fn recovery_probe(inner: Weak<DbInner>) {
+    let mut attempt: u32 = 0;
+    loop {
+        let base_ms = 50u64 << attempt.min(6);
+        // Multiplicative-hash jitter: deterministic per attempt, up to
+        // a quarter of the base, so co-located probes still spread out.
+        let jitter_ms = u64::from(attempt).wrapping_mul(2_654_435_761) % (base_ms / 4 + 1);
+        std::thread::sleep(Duration::from_millis(base_ms + jitter_ms));
+        let Some(strong) = inner.upgrade() else {
+            return;
+        };
+        let db = Db { inner: strong };
+        {
+            let mut state = db.inner.mode.lock();
+            if !state.mode.is_degraded() {
+                // Recovered some other way; retire under the lock so a
+                // concurrent trip either sees us alive or respawns.
+                state.probing = false;
+                return;
+            }
+        }
+        if db.probe_durability() {
+            db.mark_recovered(true);
+            return;
+        }
+        attempt = attempt.saturating_add(1);
     }
 }
 

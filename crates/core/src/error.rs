@@ -38,6 +38,12 @@ pub enum CoreError {
     /// Carries the rendered cause: one WAL failure fans out to every
     /// ticket in the batch, and the underlying error is not cloneable.
     GroupCommit(String),
+    /// The database is in degraded read-only mode
+    /// ([`crate::DbMode::Degraded`]): a persistent WAL failure tripped
+    /// the write path, so writes fail fast while reads keep serving.
+    /// Carries the rendered trip cause. Cleared by the recovery probe
+    /// or [`crate::Db::try_recover`] once the storage fault is gone.
+    Degraded(String),
 }
 
 impl fmt::Display for CoreError {
@@ -57,6 +63,9 @@ impl fmt::Display for CoreError {
             CoreError::Txn(e) => write!(f, "txn: {e}"),
             CoreError::Recovery(msg) => write!(f, "recovery: {msg}"),
             CoreError::GroupCommit(msg) => write!(f, "group commit: {msg}"),
+            CoreError::Degraded(reason) => {
+                write!(f, "database is degraded (read-only): {reason}")
+            }
         }
     }
 }
@@ -70,7 +79,8 @@ impl std::error::Error for CoreError {
             | CoreError::UnknownEntity(_)
             | CoreError::InvalidDocument { .. }
             | CoreError::Recovery(_)
-            | CoreError::GroupCommit(_) => None,
+            | CoreError::GroupCommit(_)
+            | CoreError::Degraded(_) => None,
             CoreError::Storage(e) => Some(e),
             CoreError::Graph(e) => Some(e),
             CoreError::Semantic(e) => Some(e),

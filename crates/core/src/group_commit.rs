@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 // pairing with poison recovery below keeps a panicking committer from
 // wedging producers.
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use scdb_obs::metrics;
 use scdb_types::Record;
@@ -77,6 +77,20 @@ impl TicketState {
         let mut done = lock(&self.done);
         *done = Some(result);
         self.cv.notify_all();
+    }
+
+    /// Resolve only if still pending; returns whether this call won.
+    /// The thread supervisor uses this to fail the in-flight batch of a
+    /// panicked committer without racing a resolution the committer
+    /// already delivered.
+    pub(crate) fn resolve_if_pending(&self, result: Result<IngestReport, CoreError>) -> bool {
+        let mut done = lock(&self.done);
+        if done.is_some() {
+            return false;
+        }
+        *done = Some(result);
+        self.cv.notify_all();
+        true
     }
 }
 
@@ -142,6 +156,13 @@ fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Bounded condvar wait with the same poison recovery as [`lock`].
+fn wait_for<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>, dur: Duration) -> MutexGuard<'a, T> {
+    cv.wait_timeout(guard, dur)
+        .map(|(g, _)| g)
+        .unwrap_or_else(|e| e.into_inner().0)
+}
+
 struct QueueState {
     items: VecDeque<(IngestItem, Arc<TicketState>)>,
     closed: bool,
@@ -150,6 +171,11 @@ struct QueueState {
 /// The bounded producer/committer queue (see the module docs).
 pub(crate) struct IngestQueue {
     capacity: usize,
+    /// Flush deadline for a partial batch: with `Some(d)` the committer
+    /// holds a non-full batch open up to `d` past its oldest item's
+    /// enqueue time (latency-bounded amortization for trickle ingest);
+    /// with `None` any non-empty queue flushes immediately.
+    max_delay: Option<Duration>,
     state: Mutex<QueueState>,
     /// Signaled when the committer drains (producers blocked on a full
     /// queue) or the queue closes.
@@ -159,9 +185,10 @@ pub(crate) struct IngestQueue {
 }
 
 impl IngestQueue {
-    pub(crate) fn new(capacity: usize) -> IngestQueue {
+    pub(crate) fn new(capacity: usize, max_delay: Option<Duration>) -> IngestQueue {
         IngestQueue {
             capacity: capacity.max(1),
+            max_delay,
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 closed: false,
@@ -206,12 +233,37 @@ impl IngestQueue {
     /// Dequeue up to `max` items in arrival order, blocking while the
     /// queue is empty and open. Returns an empty batch only when the
     /// queue is closed **and** drained — the committer's exit signal.
+    ///
+    /// With a `max_delay` configured, a non-full batch is held open
+    /// until the oldest queued item has waited `max_delay`; a flush
+    /// triggered by that deadline (rather than a full batch or a close)
+    /// increments `txn.group_commit.deadline_flushes`.
     pub(crate) fn pop_batch(&self, max: usize) -> Vec<(IngestItem, Arc<TicketState>)> {
+        let max = max.max(1);
         let mut state = lock(&self.state);
         while state.items.is_empty() && !state.closed {
             state = wait(&self.not_empty, state);
         }
-        let n = state.items.len().min(max.max(1));
+        if let Some(delay) = self.max_delay {
+            // Batching window: only the single committer drains, so the
+            // queue can't shrink under us — wait for it to fill, close,
+            // or the oldest item's deadline to pass.
+            while !state.closed && !state.items.is_empty() && state.items.len() < max {
+                let oldest = state
+                    .items
+                    .front()
+                    .expect("checked non-empty")
+                    .0
+                    .enqueued_at;
+                let elapsed = oldest.elapsed();
+                if elapsed >= delay {
+                    metrics().inc("txn.group_commit.deadline_flushes");
+                    break;
+                }
+                state = wait_for(&self.not_empty, state, delay - elapsed);
+            }
+        }
+        let n = state.items.len().min(max);
         let batch: Vec<_> = state.items.drain(..n).collect();
         metrics().gauge_set("core.ingest_queue.depth", state.items.len() as i64);
         if !batch.is_empty() {
@@ -244,7 +296,7 @@ mod tests {
 
     #[test]
     fn fifo_order_and_batch_cap() {
-        let q = IngestQueue::new(8);
+        let q = IngestQueue::new(8, None);
         let tickets: Vec<CommitTicket> = (0..5).map(|n| q.submit(item(n)).unwrap()).collect();
         let batch = q.pop_batch(3);
         assert_eq!(batch.len(), 3, "batch cap respected");
@@ -259,7 +311,7 @@ mod tests {
 
     #[test]
     fn closed_queue_rejects_and_unblocks() {
-        let q = Arc::new(IngestQueue::new(1));
+        let q = Arc::new(IngestQueue::new(1, None));
         let _fill = q.submit(item(0)).unwrap();
         let q2 = Arc::clone(&q);
         let blocked = std::thread::spawn(move || q2.submit(item(1)));
@@ -271,6 +323,51 @@ mod tests {
         // Committer still drains the accepted item, then sees the close.
         assert_eq!(q.pop_batch(8).len(), 1);
         assert!(q.pop_batch(8).is_empty(), "closed + drained");
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        // Without a deadline a lone row flushes immediately; with one,
+        // the committer holds the batch open until the bound, then
+        // flushes whatever arrived.
+        let q = Arc::new(IngestQueue::new(64, Some(Duration::from_millis(30))));
+        let _t = q.submit(item(0)).unwrap();
+        let start = Instant::now();
+        let q2 = Arc::clone(&q);
+        let extra = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.submit(item(1))
+        });
+        let batch = q.pop_batch(64);
+        let waited = start.elapsed();
+        assert_eq!(batch.len(), 2, "late arrival rode the open window");
+        assert!(
+            waited >= Duration::from_millis(25),
+            "flush waited for the deadline, not the second item: {waited:?}"
+        );
+        let _ = extra.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn full_batch_flushes_before_deadline() {
+        let q = IngestQueue::new(2, Some(Duration::from_secs(60)));
+        let _a = q.submit(item(0)).unwrap();
+        let _b = q.submit(item(1)).unwrap();
+        let start = Instant::now();
+        assert_eq!(q.pop_batch(2).len(), 2);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a full batch must not wait out the deadline"
+        );
+    }
+
+    #[test]
+    fn resolve_if_pending_loses_to_resolve() {
+        let state = TicketState::new();
+        state.resolve(Err(CoreError::GroupCommit("first".to_string())));
+        assert!(!state.resolve_if_pending(Err(CoreError::GroupCommit("second".to_string()))));
+        let fresh = TicketState::new();
+        assert!(fresh.resolve_if_pending(Err(CoreError::GroupCommit("only".to_string()))));
     }
 
     #[test]

@@ -90,6 +90,29 @@ pub struct GroupCommitHealth {
     pub stages: Vec<IngestStageLatency>,
 }
 
+/// Degraded-mode and fault-handling health: the current
+/// [`crate::DbMode`] plus lifetime trip/recovery/injection counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModeHealth {
+    /// Whether the node is currently in degraded read-only mode.
+    pub degraded: bool,
+    /// The trip cause, when degraded.
+    pub reason: Option<String>,
+    /// How long the node has been degraded, when degraded.
+    pub degraded_for_ms: Option<u64>,
+    /// Times the node tripped into degraded mode (`core.fault.tripped`).
+    pub tripped: u64,
+    /// Times it recovered back to normal (`core.fault.recoveries`).
+    pub recoveries: u64,
+    /// Faults fired by a configured injector (`core.fault.injected`);
+    /// `0` in production, where no [`crate::FaultPlan`] is installed.
+    pub faults_injected: u64,
+    /// Background-thread panics caught by the supervisor.
+    pub thread_panics: u64,
+    /// Supervised thread restarts after those panics.
+    pub thread_restarts: u64,
+}
+
 /// The composite health report returned by `Db::health_report()`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DbHealthReport {
@@ -109,6 +132,8 @@ pub struct DbHealthReport {
     pub sources: usize,
     /// Whether mutations are logged to a durable WAL.
     pub durable: bool,
+    /// Write-path mode and fault counters.
+    pub mode: ModeHealth,
     /// WAL drift and durability counters; `None` for in-memory handles.
     pub wal: Option<WalHealth>,
     /// Group-commit ingest counters; `None` when no ingest queue is
@@ -153,6 +178,29 @@ impl DbHealthReport {
             out,
             "population           entities={} sources={}",
             self.entities, self.sources
+        );
+        match (&self.mode.degraded, &self.mode.reason) {
+            (true, Some(reason)) => {
+                let _ = writeln!(
+                    out,
+                    "mode                 DEGRADED (read-only) for {} ms: {}",
+                    self.mode.degraded_for_ms.unwrap_or(0),
+                    reason
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "mode                 normal");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "mode counters        tripped={} recoveries={} faults_injected={} \
+             thread_panics={} thread_restarts={}",
+            self.mode.tripped,
+            self.mode.recoveries,
+            self.mode.faults_injected,
+            self.mode.thread_panics,
+            self.mode.thread_restarts
         );
         match &self.wal {
             Some(w) => {
@@ -257,6 +305,43 @@ impl DbHealthReport {
         root.insert("entities".into(), serde_json::Value::from(self.entities));
         root.insert("sources".into(), serde_json::Value::from(self.sources));
         root.insert("durable".into(), serde_json::Value::from(self.durable));
+        let mut mode = serde_json::Map::new();
+        mode.insert(
+            "degraded".into(),
+            serde_json::Value::from(self.mode.degraded),
+        );
+        mode.insert(
+            "reason".into(),
+            match &self.mode.reason {
+                Some(r) => serde_json::Value::from(r.as_str()),
+                None => serde_json::Value::Null,
+            },
+        );
+        mode.insert(
+            "degraded_for_ms".into(),
+            match self.mode.degraded_for_ms {
+                Some(ms) => serde_json::Value::from(ms),
+                None => serde_json::Value::Null,
+            },
+        );
+        mode.insert("tripped".into(), serde_json::Value::from(self.mode.tripped));
+        mode.insert(
+            "recoveries".into(),
+            serde_json::Value::from(self.mode.recoveries),
+        );
+        mode.insert(
+            "faults_injected".into(),
+            serde_json::Value::from(self.mode.faults_injected),
+        );
+        mode.insert(
+            "thread_panics".into(),
+            serde_json::Value::from(self.mode.thread_panics),
+        );
+        mode.insert(
+            "thread_restarts".into(),
+            serde_json::Value::from(self.mode.thread_restarts),
+        );
+        root.insert("mode".into(), serde_json::Value::Object(mode));
         if let Some(w) = &self.wal {
             let mut wal = serde_json::Map::new();
             wal.insert(

@@ -64,8 +64,8 @@ pub mod telemetry;
 pub use codd::codd_report;
 pub use codd::{CoddItem, CoddStatus};
 pub use db::{
-    CurationStats, Db, DbBuilder, DbRecoveryReport, DurabilityConfig, IngestConfig, IngestReport,
-    QueryOutcome, SlowQuery, SLOW_QUERY_RING,
+    CurationStats, Db, DbBuilder, DbMode, DbRecoveryReport, DurabilityConfig, IngestConfig,
+    IngestReport, QueryOutcome, SlowQuery, SLOW_QUERY_RING,
 };
 pub use error::CoreError;
 #[allow(deprecated)]
@@ -73,7 +73,7 @@ pub use explore::explore;
 pub use explore::{ExplorationOutcome, ExploreConfig};
 pub use group_commit::CommitTicket;
 pub use health::{
-    DbHealthReport, GroupCommitHealth, IngestStageLatency, LockWaitSummary, WalHealth,
+    DbHealthReport, GroupCommitHealth, IngestStageLatency, LockWaitSummary, ModeHealth, WalHealth,
 };
 pub use scdb_obs::{
     default_watches, prometheus_text, MetricsSnapshot, QueryProfile, Sample, SeriesSummary,
@@ -81,6 +81,7 @@ pub use scdb_obs::{
 };
 pub use scdb_storage::{IndexDef, IndexKind};
 pub use scdb_txn::{
-    CheckpointStats, FsyncPolicy, IsolationMode, Transaction, WalRecoveryReport, WalStore,
+    CheckpointStats, FaultHandle, FaultInjector, FaultPlan, FsyncPolicy, IoClass, IsolationMode,
+    Transaction, TxnError, WalRecoveryReport, WalStore,
 };
 pub use telemetry::TelemetryConfig;

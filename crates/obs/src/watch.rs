@@ -322,6 +322,16 @@ pub fn default_watches() -> Vec<WatchRule> {
             1_000.0,
         )
         .sustain(2),
+        // The write path tripped into degraded read-only mode (the
+        // core.mode gauge is 0 normal / 1 degraded). Fires on the
+        // first sample: a degraded node needs eyes immediately.
+        WatchRule::new(
+            "db-degraded",
+            WatchSignal::Gauge("core.mode".into()),
+            WatchOp::Above,
+            0.5,
+        )
+        .sustain(1),
     ]
 }
 

@@ -609,15 +609,36 @@ impl DurableWal {
         scdb_obs::metrics().add("txn.wal.records", records.len() as u64);
         scdb_obs::metrics().add("txn.wal.bytes", data.len() as u64);
 
-        match self.policy {
-            FsyncPolicy::Always => self.sync()?,
+        let synced = match self.policy {
+            FsyncPolicy::Always => self.sync(),
             FsyncPolicy::EveryN(n) => {
                 self.seals_since_sync += 1;
                 if self.seals_since_sync >= n.max(1) {
-                    self.sync()?;
+                    self.sync()
+                } else {
+                    Ok(())
                 }
             }
-            FsyncPolicy::OnCheckpoint => {}
+            FsyncPolicy::OnCheckpoint => Ok(()),
+        };
+        if let Err(e) = synced {
+            // The batch landed on the medium but its durability ack
+            // failed, so the caller will report an error: scrub the
+            // appended suffix, or a *later* successful sync (e.g. after
+            // degraded-mode recovery) would silently resurrect a batch
+            // every producer was told had failed. Earlier bytes in the
+            // policy's unsynced window belong to acked-under-EveryN
+            // records and stay pending.
+            let pre_append = self.active_len - data.len() as u64;
+            let _ = self.store.truncate(&name, pre_append);
+            if let Ok(len) = self.store.size(&name) {
+                self.active_len = len;
+            }
+            self.records_since_checkpoint = self
+                .records_since_checkpoint
+                .saturating_sub(records.len() as u64);
+            self.unsynced_bytes = self.unsynced_bytes.saturating_sub(data.len() as u64);
+            return Err(e);
         }
         if self.active_len >= self.segment_bytes {
             self.rotate()?;
@@ -740,21 +761,31 @@ impl DurableWal {
                 ],
             );
         };
-        let start = Instant::now();
-        self.retry(&format!("append {tmp}"), |s| {
-            s.append(&tmp, data.as_slice())
-        })?;
-        phase(
-            "write",
-            start.elapsed().as_nanos() as u64,
-            data.len() as u64,
-        );
-        let start = Instant::now();
-        self.retry(&format!("sync {tmp}"), |s| s.sync(&tmp))?;
-        phase("sync", start.elapsed().as_nanos() as u64, 0);
-        let start = Instant::now();
-        self.retry(&format!("rename {tmp}"), |s| s.rename(&tmp, &final_name))?;
-        phase("rename", start.elapsed().as_nanos() as u64, 0);
+        let staged = (|| -> Result<(), TxnError> {
+            let start = Instant::now();
+            self.retry(&format!("append {tmp}"), |s| {
+                s.append(&tmp, data.as_slice())
+            })?;
+            phase(
+                "write",
+                start.elapsed().as_nanos() as u64,
+                data.len() as u64,
+            );
+            let start = Instant::now();
+            self.retry(&format!("sync {tmp}"), |s| s.sync(&tmp))?;
+            phase("sync", start.elapsed().as_nanos() as u64, 0);
+            let start = Instant::now();
+            self.retry(&format!("rename {tmp}"), |s| s.rename(&tmp, &final_name))?;
+            phase("rename", start.elapsed().as_nanos() as u64, 0);
+            Ok(())
+        })();
+        if let Err(e) = staged {
+            // A failed checkpoint must not leave its staging file around:
+            // deleting it keeps the previous snapshot the recovery root
+            // (open() also sweeps stale `*.tmp` after a crash).
+            let _ = self.store.remove(&tmp);
+            return Err(e);
+        }
 
         // Everything before the new active segment is now covered.
         let start = Instant::now();

@@ -1,6 +1,59 @@
 //! Errors for the transaction layer.
 
 use std::fmt;
+use std::io;
+
+/// Coarse classification of a durable-log I/O failure — what the caller
+/// can reasonably *do* about it, not which syscall produced it.
+///
+/// The class is derived from the underlying [`std::io::ErrorKind`] when
+/// the error is wrapped by [`TxnError::io`]:
+///
+/// * [`IoClass::Transient`] — interruption-style failures
+///   (`Interrupted`, `WouldBlock`, `TimedOut`) that a bounded retry is
+///   expected to clear. The WAL retries these internally; one escaping
+///   to the caller means the retry budget was exhausted, so the fault
+///   is behaving persistently.
+/// * [`IoClass::StorageFull`] — the medium is out of space (`ENOSPC` /
+///   quota). Writes cannot succeed until an operator (or a checkpoint
+///   pruning segments) frees space, but nothing already durable is at
+///   risk.
+/// * [`IoClass::Fatal`] — everything else: permission loss, a vanished
+///   device, unexplained write failures. Retrying blind is as likely to
+///   corrupt expectations as to help; the engine's response is to stop
+///   writing (degraded read-only mode) and probe for recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoClass {
+    /// Expected to clear on retry (EINTR-style).
+    Transient,
+    /// The medium is out of space (`ENOSPC`-style).
+    StorageFull,
+    /// Persistent and unexplained — stop writing, keep reading.
+    Fatal,
+}
+
+impl IoClass {
+    /// Classify a raw I/O error by its kind.
+    pub fn of(err: &io::Error) -> IoClass {
+        match err.kind() {
+            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                IoClass::Transient
+            }
+            io::ErrorKind::StorageFull | io::ErrorKind::QuotaExceeded => IoClass::StorageFull,
+            _ => IoClass::Fatal,
+        }
+    }
+
+    /// Short lowercase tag (`transient` / `storage-full` / `fatal`) for
+    /// rendering and flight-recorder messages.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            IoClass::Transient => "transient",
+            IoClass::StorageFull => "storage-full",
+            IoClass::Fatal => "fatal",
+        }
+    }
+}
 
 /// Errors produced by transactional operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,23 +72,47 @@ pub enum TxnError {
         offset: usize,
     },
     /// An I/O failure in the durable log layer. The original
-    /// `std::io::Error` is flattened to its kind + message so the error
+    /// `std::io::Error` is flattened to its class + message so the error
     /// stays `Clone`/`PartialEq` (test assertions compare errors).
     Io {
         /// What the log layer was doing (e.g. `append wal-00000001.seg`).
         context: String,
         /// Rendered I/O error.
         message: String,
+        /// What kind of failure this is (see [`IoClass`]).
+        class: IoClass,
     },
 }
 
 impl TxnError {
-    /// Wrap an I/O error with the operation it interrupted.
+    /// Wrap an I/O error with the operation it interrupted, classifying
+    /// it by [`IoClass::of`].
     pub fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
         TxnError::Io {
             context: context.into(),
             message: err.to_string(),
+            class: IoClass::of(err),
         }
+    }
+
+    /// The I/O class, for [`TxnError::Io`]; `None` for the logical
+    /// (non-I/O) variants.
+    pub fn io_class(&self) -> Option<IoClass> {
+        match self {
+            TxnError::Io { class, .. } => Some(*class),
+            _ => None,
+        }
+    }
+
+    /// True for an I/O failure the medium is expected to clear on
+    /// retry.
+    pub fn is_transient(&self) -> bool {
+        self.io_class() == Some(IoClass::Transient)
+    }
+
+    /// True for an out-of-space I/O failure.
+    pub fn is_storage_full(&self) -> bool {
+        self.io_class() == Some(IoClass::StorageFull)
     }
 }
 
@@ -49,8 +126,16 @@ impl fmt::Display for TxnError {
             TxnError::CorruptLog { offset } => {
                 write!(f, "corrupt log record at byte offset {offset}")
             }
-            TxnError::Io { context, message } => {
-                write!(f, "wal io failure during {context}: {message}")
+            TxnError::Io {
+                context,
+                message,
+                class,
+            } => {
+                write!(
+                    f,
+                    "wal io failure ({}) during {context}: {message}",
+                    class.tag()
+                )
             }
         }
     }
@@ -69,5 +154,25 @@ mod tests {
             "write-write conflict on key 9"
         );
         assert!(TxnError::CorruptLog { offset: 4 }.to_string().contains("4"));
+    }
+
+    #[test]
+    fn io_classification() {
+        let eintr = io::Error::new(io::ErrorKind::Interrupted, "EINTR");
+        let enospc = io::Error::new(io::ErrorKind::StorageFull, "ENOSPC");
+        let eperm = io::Error::new(io::ErrorKind::PermissionDenied, "EPERM");
+        assert_eq!(IoClass::of(&eintr), IoClass::Transient);
+        assert_eq!(IoClass::of(&enospc), IoClass::StorageFull);
+        assert_eq!(IoClass::of(&eperm), IoClass::Fatal);
+
+        let e = TxnError::io("append wal-00000001.seg", &enospc);
+        assert!(e.is_storage_full());
+        assert!(!e.is_transient());
+        assert_eq!(e.io_class(), Some(IoClass::StorageFull));
+        assert!(
+            e.to_string().contains("storage-full"),
+            "class rendered: {e}"
+        );
+        assert_eq!(TxnError::NotActive.io_class(), None);
     }
 }

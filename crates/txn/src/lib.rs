@@ -32,6 +32,7 @@ pub mod enrich;
 pub mod error;
 pub mod fault;
 pub mod frame;
+pub mod inject;
 pub mod mvcc;
 pub mod wal;
 
@@ -40,7 +41,8 @@ pub use durable::{
     WalStore,
 };
 pub use enrich::{EnrichedDb, IsolationMode, ReadStats};
-pub use error::TxnError;
+pub use error::{IoClass, TxnError};
 pub use fault::FailpointLog;
+pub use inject::{FaultHandle, FaultInjector, FaultPlan};
 pub use mvcc::{Transaction, TxnManager, TxnStatus, VersionOrigin};
 pub use wal::{recover_from_bytes, LogRecord, RecoveryReport, Wal};

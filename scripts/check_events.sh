@@ -32,6 +32,10 @@ KNOWN_KINDS = {
         "index.create",
         "index.drop",
         "index.advise",
+        "mode.degrade",
+        "mode.recover",
+        "thread.panic",
+        "thread.restart",
     },
     "txn": {
         "recovery.snapshot",
@@ -47,6 +51,7 @@ KNOWN_KINDS = {
         "checkpoint.sync",
         "checkpoint.rename",
         "checkpoint.prune",
+        "fault.injected",
     },
     "query": {"scan.parallel", "slow", "index.scan"},
     "storage": {"cluster.build"},

@@ -42,6 +42,14 @@ echo "== telemetry pipeline smoke (release)"
 # Prometheus exposition to target/experiments/telemetry.prom.
 cargo run -q --offline --release -p scdb-bench --bin e_telemetry -- --smoke
 
+echo "== storage-fault resilience smoke (release)"
+# Asserts the degraded-mode contract under an injected persistent fsync
+# failure: zero failed reads while degraded, every write fails fast
+# with CoreError::Degraded (no hung tickets), and the node returns to
+# DbMode::Normal without reopening once the fault clears; plus the
+# supervisor contract for a committer panic mid-batch.
+cargo run -q --offline --release -p scdb-bench --bin e_faults -- --smoke
+
 echo "== prometheus exposition format lint"
 # Every non-comment line must be `name[{labels}] value` with an
 # scdb_-prefixed metric name and a numeric value.

@@ -497,6 +497,77 @@ fn crash_mid_index_create_discards_or_keeps_the_whole_definition() {
 }
 
 #[test]
+fn enospc_mid_checkpoint_recovers_pre_checkpoint_snapshot_plus_wal() {
+    use scdb_txn::FaultPlan;
+    // The medium fills up partway through writing checkpoint #2's
+    // staging snapshot. Nothing is lost: a crashed fork must recover
+    // from checkpoint #1's snapshot plus the complete WAL suffix —
+    // i.e. every committed op — and no `.tmp` litter may survive.
+    let ops = crash_schedule(
+        &ScheduleConfig {
+            ops: 24,
+            kv_rate: 0.25,
+            ..ScheduleConfig::default()
+        },
+        17,
+    );
+    let live = FailpointLog::new();
+    let plan = FaultPlan::new();
+    let handle = plan.handle();
+    let db = Db::builder()
+        .durability_store(Box::new(live.clone()), FsyncPolicy::Always)
+        .fault_injection(plan.clone())
+        .open()
+        .expect("open injected store");
+    let reference = Db::builder().build();
+    for (i, op) in ops.iter().enumerate() {
+        apply(&db, op).unwrap_or_else(|e| panic!("durable op {i}: {e}"));
+        apply(&reference, op).unwrap();
+        if i == ops.len() / 2 {
+            db.checkpoint().expect("checkpoint #1 is healthy");
+        }
+    }
+    let committed = reference.state_dump();
+    assert_eq!(db.state_dump(), committed);
+
+    // ENOSPC 32 bytes into the next append: checkpoint #2's snapshot
+    // write lands a partial `.tmp` prefix and dies.
+    let _ = plan
+        .clone()
+        .enospc_after_bytes(handle.appended_bytes() + 32);
+    db.checkpoint()
+        .expect_err("checkpoint #2 hits the full medium");
+    assert!(
+        live.file_names().iter().all(|n| !n.ends_with(".tmp")),
+        "failed checkpoint removed its staging file: {:?}",
+        live.file_names()
+    );
+
+    // Power loss on the post-failure image: recovery roots at the old
+    // snapshot and replays the WAL suffix to the full committed state.
+    let fork = live.fork();
+    fork.crash();
+    drop(db);
+    let recovered = open_store(&fork, 1 << 20).expect("reopen after failed checkpoint");
+    assert_eq!(
+        recovered.state_dump(),
+        committed,
+        "pre-checkpoint snapshot + WAL suffix reconstruct every committed op"
+    );
+    let report = recovered
+        .recovery_report()
+        .expect("durable open has a report");
+    assert!(
+        report.wal.snapshot_seq.is_some(),
+        "recovery rooted at checkpoint #1's snapshot"
+    );
+    assert!(
+        report.records_replayed > 0,
+        "the post-checkpoint WAL suffix was replayed"
+    );
+}
+
+#[test]
 fn fs_store_schedule_survives_reopen_generations() {
     let dir = std::env::temp_dir().join(format!("scdb-crash-matrix-fs-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
