@@ -113,6 +113,11 @@ pub struct IngestReport {
     pub absorbed: Vec<EntityId>,
     /// Instance-level links discovered from this record's values.
     pub links_discovered: usize,
+    /// Correlation id of the commit batch that carried this record
+    /// (the inline path is a batch of one). Join it against
+    /// `sys.events`' `batch_id` column to reconstruct the batch's
+    /// flush→append→fsync→apply pipeline journey.
+    pub batch_id: u64,
 }
 
 /// Cumulative curation counters.
@@ -204,8 +209,16 @@ struct ConfigShard {
     executor: Executor,
 }
 
-/// Capacity of the slow-query ring ([`Db::slow_queries`]).
+/// Default capacity of the slow-query ring ([`Db::slow_queries`];
+/// override with [`DbBuilder::slow_query_capacity`]).
 pub const SLOW_QUERY_RING: usize = 32;
+
+/// The shard locks, in lock order — the shards `sys.locks` and the
+/// health report summarize (each has a `core.lock.<shard>.wait_ns`
+/// histogram).
+pub(crate) const LOCK_SHARDS: &[&str] = &[
+    "symbols", "instance", "relation", "durable", "semantic", "config",
+];
 
 /// One slow-query capture: a query whose wall time crossed
 /// [`DbBuilder::slow_query_threshold`], with its full profile retained.
@@ -238,6 +251,18 @@ impl SlowQuery {
         root.insert("profile".into(), self.profile.to_json());
         serde_json::Value::Object(root)
     }
+}
+
+/// Receipt for a [`Db::diagnostic_bundle`] call: where the bundle
+/// landed and which files were written (in write order).
+#[derive(Debug, Clone)]
+pub struct DiagnosticBundle {
+    /// The bundle directory (created if it did not exist).
+    pub dir: std::path::PathBuf,
+    /// File names written inside [`DiagnosticBundle::dir`]:
+    /// `health.json`, `metrics.prom`, and one JSONL per exported
+    /// `sys.*` relation.
+    pub files: Vec<String>,
 }
 
 /// The write-availability state of a [`Db`] node.
@@ -298,6 +323,9 @@ struct DbInner {
     slow: Mutex<VecDeque<SlowQuery>>,
     /// Wall-time threshold above which a query is captured into `slow`.
     slow_threshold: Duration,
+    /// Capacity of the `slow` ring ([`DbBuilder::slow_query_capacity`];
+    /// defaults to [`SLOW_QUERY_RING`]).
+    slow_capacity: usize,
     semantic: TrackedRwLock<SemanticShard>,
     config: TrackedRwLock<ConfigShard>,
     /// The bounded group-commit queue; `None` unless
@@ -579,6 +607,7 @@ pub struct DbBuilder {
     durability: Option<DurabilityTarget>,
     segment_bytes: Option<u64>,
     slow_query_threshold: Option<Duration>,
+    slow_query_capacity: Option<usize>,
     ingest_queue: Option<usize>,
     ingest_max_delay: Option<Duration>,
     telemetry: Option<TelemetryConfig>,
@@ -686,6 +715,14 @@ impl DbBuilder {
         self
     }
 
+    /// Capacity of the slow-query ring (minimum 1; default
+    /// [`SLOW_QUERY_RING`] = 32). A long postmortem window wants a
+    /// deeper ring; a memory-tight deployment a shallower one.
+    pub fn slow_query_capacity(mut self, capacity: usize) -> Self {
+        self.slow_query_capacity = Some(capacity);
+        self
+    }
+
     /// Enable group-commit ingest: a bounded in-memory queue of
     /// `capacity` records (minimum 1) drained by a dedicated committer
     /// thread. [`Db::ingest`] keeps its exact signature — it enqueues
@@ -784,6 +821,7 @@ impl DbBuilder {
                 slow_threshold: self
                     .slow_query_threshold
                     .unwrap_or(Duration::from_millis(100)),
+                slow_capacity: self.slow_query_capacity.unwrap_or(SLOW_QUERY_RING).max(1),
                 semantic: TrackedRwLock::new(
                     "semantic",
                     "core.lock.semantic.wait_ns",
@@ -952,6 +990,9 @@ impl Db {
         identity_attr: Option<&str>,
     ) -> Result<SourceId, CoreError> {
         self.ensure_writable()?;
+        if crate::syscat::is_sys_name(name) {
+            return Err(CoreError::ReservedNamespace(name.to_string()));
+        }
         let mut symbols = self.inner.symbols.write();
         let mut instance = self.inner.instance.write();
         let mut relation = self.inner.relation.write();
@@ -1169,6 +1210,12 @@ impl Db {
                 max_wait_ns = max_wait_ns.max(wait_ns);
             }
         }
+        // The batch inherits its oldest member's correlation id (items
+        // arrive in FIFO order, so ids are strictly increasing across
+        // batches); every event this batch emits downstream — flush,
+        // WAL append, fsync, apply, a degraded trip — carries it, and
+        // every acked ticket reports it back.
+        let batch_id = items.first().map_or(0, |i| i.ticket_id);
         let symbols = self.inner.symbols.read();
         let mut instance = self.inner.instance.write();
         let mut relation = self.inner.relation.write();
@@ -1196,6 +1243,7 @@ impl Db {
                     syms,
                     attrs,
                     text: item.text,
+                    batch_id,
                 })
             })
             .collect();
@@ -1229,6 +1277,11 @@ impl Db {
                             text: p.text.take(),
                         });
                     }
+                    // Bracket the append with the batch's correlation id
+                    // so the WAL's append/fsync events carry it; cleared
+                    // on both exits so unrelated appends (checkpoints,
+                    // registrations) stay uncorrelated.
+                    wal.set_batch_context(batch_id);
                     let appended = if txns.len() == 1 {
                         recs.push(LogRecord::Commit { txn: txns[0] });
                         wal.append_sealed(&recs)
@@ -1236,6 +1289,7 @@ impl Db {
                         recs.push(LogRecord::CommitGroup { txns });
                         wal.append_group(&recs, valid.len())
                     };
+                    wal.set_batch_context(0);
                     match appended {
                         Ok(()) => {
                             // Split out by the WAL itself: pure append
@@ -1260,7 +1314,7 @@ impl Db {
                             // persistent I/O failure also trips the
                             // node to degraded read-only mode.
                             if e.io_class().is_some() {
-                                self.trip_degraded(e.to_string());
+                                self.trip_degraded_for_batch(e.to_string(), batch_id);
                             }
                             let msg = CoreError::from(e).chain();
                             for &i in &valid {
@@ -1313,6 +1367,7 @@ impl Db {
             "core",
             "ingest.stages",
             &[
+                ("batch_id", F::U64(batch_id)),
                 ("rows", F::U64(rows)),
                 ("queue_wait_ns", F::U64(max_wait_ns)),
                 ("build_ns", F::U64(build_ns)),
@@ -1607,6 +1662,13 @@ impl Db {
 
     fn run_query_inner(&self, query: &Query, sql: Option<&str>) -> Result<QueryOutcome, CoreError> {
         let _span = scdb_obs::span!("core.query");
+        // System-catalog queries divert to their own path: same plan →
+        // optimize → execute pipeline (full EXPLAIN ANALYZE), but the
+        // source rows are materialized from live telemetry and the run
+        // is never captured into the slow-query ring.
+        if crate::syscat::is_sys_name(&query.from) {
+            return self.run_sys_query(query);
+        }
         let started = Instant::now();
         let mut profile = ProfileBuilder::new();
         // Semantic prep happens before the execution locks are taken:
@@ -1760,7 +1822,7 @@ impl Db {
             &text,
         );
         let mut slow = self.inner.slow.lock();
-        if slow.len() == SLOW_QUERY_RING {
+        while slow.len() >= self.inner.slow_capacity {
             slow.pop_front();
         }
         slow.push_back(SlowQuery {
@@ -1771,10 +1833,227 @@ impl Db {
         });
     }
 
-    /// Recent slow-query captures, oldest first (bounded ring of
+    /// Recent slow-query captures, oldest first (bounded ring,
+    /// capacity [`DbBuilder::slow_query_capacity`], default
     /// [`SLOW_QUERY_RING`]; see [`DbBuilder::slow_query_threshold`]).
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
         self.inner.slow.lock().iter().cloned().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // System catalog: observability as relations (crate::syscat).
+    // ------------------------------------------------------------------
+
+    /// Execute a query over a `sys.*` catalog relation: materialize the
+    /// relation from live telemetry into a transient row store, then
+    /// run the ordinary plan → optimize → execute pipeline against it.
+    /// The profile gains a `sys_refresh` stage (so `EXPLAIN ANALYZE`
+    /// shows the materialization cost), and the run is *never* captured
+    /// into the slow-query ring — a sys query must not amplify the very
+    /// signal it reads.
+    fn run_sys_query(&self, query: &Query) -> Result<QueryOutcome, CoreError> {
+        let mut profile = ProfileBuilder::new();
+        let (optimizer_config, executor) = {
+            let config = self.inner.config.read();
+            (config.optimizer, config.executor)
+        };
+        // Refresh: snapshots from read locks, leaf mutexes, and
+        // lock-free rings only — never a core shard write lock (the
+        // first-ever query of a relation may briefly intern new column
+        // names in `sys_records`; see crate::syscat module docs).
+        let refresh_start = Instant::now();
+        let sys_rows = self.sys_rows(&query.from)?;
+        let records = self.sys_records(sys_rows);
+        let refresh_elapsed = refresh_start.elapsed();
+        metrics().observe("query.sys_refresh_ns", refresh_elapsed.as_nanos() as u64);
+        metrics().inc("query.sys_queries");
+        profile
+            .stage("sys_refresh", refresh_elapsed)
+            .notes
+            .push(format!("{} row(s) from {}", records.len(), query.from));
+        let symbols = self.inner.symbols.read();
+        // Transient store under a sentinel source id: catalog rows never
+        // mix with user sources, and nothing here is logged or curated.
+        let mut store = RowStore::new(SourceId(u32::MAX));
+        for record in records {
+            store.append(record);
+        }
+        let indexes = IndexSet::new();
+        let base_rows = store.len() as u64;
+        let plan_start = Instant::now();
+        let plan = LogicalPlan::from_query(query);
+        let plan_elapsed = plan_start.elapsed();
+        metrics().observe("query.plan_ns", plan_elapsed.as_nanos() as u64);
+        profile.stage("plan", plan_elapsed).notes.push(format!(
+            "{} atom(s), {} node(s)",
+            query.atoms.len(),
+            plan.nodes.len()
+        ));
+        let optimizer = Optimizer::new(optimizer_config);
+        let opt_start = Instant::now();
+        let plan = optimizer.optimize_with_indexes(plan, None, None, base_rows, &indexes.defs());
+        let opt_elapsed = opt_start.elapsed();
+        metrics().observe("query.optimize_ns", opt_elapsed.as_nanos() as u64);
+        profile.stage("optimize", opt_elapsed);
+        for rewrite in &plan.rewrites {
+            profile.decision(rewrite.clone());
+        }
+        let source = StoreSource::with_indexes(query.from.clone(), &store, &symbols, &indexes);
+        let env = EvalEnv::default();
+        let exec_start = Instant::now();
+        let (rows, stats) = executor.execute_profiled(&plan, &source, &env, &mut profile)?;
+        metrics().observe("query.execute_ns", exec_start.elapsed().as_nanos() as u64);
+        let profile = profile.finish();
+        Ok(QueryOutcome {
+            rows,
+            plan,
+            stats,
+            profile,
+        })
+    }
+
+    /// Materialize one catalog relation's rows (see
+    /// [`crate::syscat::RELATIONS`] for the schemas). Unknown `sys.*`
+    /// names fail like any unknown source.
+    fn sys_rows(&self, rel: &str) -> Result<Vec<crate::syscat::SysRow>, CoreError> {
+        use crate::syscat;
+        Ok(match rel {
+            "sys.metrics" => syscat::metrics_rows(&metrics().snapshot()),
+            "sys.events" => syscat::events_rows(&scdb_obs::events().snapshot()),
+            "sys.slow_queries" => {
+                let slow: Vec<SlowQuery> = self.inner.slow.lock().iter().cloned().collect();
+                syscat::slow_query_rows(&slow)
+            }
+            "sys.watches" => syscat::watch_rows(&self.watch_statuses()),
+            "sys.samples" => {
+                let samples = self
+                    .inner
+                    .telemetry
+                    .as_ref()
+                    .map(|t| t.ring.samples())
+                    .unwrap_or_default();
+                syscat::sample_rows(&samples)
+            }
+            "sys.indexes" => {
+                let instance = self.inner.instance.read();
+                let defs: Vec<(IndexDef, u64)> = instance
+                    .sources
+                    .iter()
+                    .flat_map(|(_, s)| {
+                        s.indexes.defs().into_iter().map(|d| {
+                            let entries = s.indexes.get(&d.name).map(|i| i.entries()).unwrap_or(0);
+                            (d, entries)
+                        })
+                    })
+                    .collect();
+                syscat::index_rows(&defs)
+            }
+            "sys.locks" => syscat::lock_rows(&metrics().snapshot()),
+            "sys.wal" => {
+                let lag = self.inner.durable.lock().as_ref().map(|w| w.lag());
+                syscat::wal_rows(lag, &self.mode(), &metrics().snapshot())
+            }
+            "sys.threads" => {
+                syscat::thread_rows(&scdb_obs::events().snapshot(), &metrics().snapshot())
+            }
+            "sys.relations" => syscat::relation_rows(),
+            other => return Err(CoreError::UnknownSource(other.to_string())),
+        })
+    }
+
+    /// Turn catalog rows into [`Record`]s against the *shared* symbol
+    /// table, so callers resolve sys columns via [`Db::symbols_ref`]
+    /// exactly like user attributes. Steady state resolves every column
+    /// under the symbols read lock; only names never seen before (the
+    /// first query of a relation) take a brief write lock to intern.
+    fn sys_records(&self, rows: Vec<crate::syscat::SysRow>) -> Vec<Record> {
+        let mut resolved: HashMap<String, Symbol> = HashMap::new();
+        let mut missing: Vec<String> = Vec::new();
+        {
+            let symbols = self.inner.symbols.read();
+            for (name, _) in rows.iter().flatten() {
+                if resolved.contains_key(name) {
+                    continue;
+                }
+                match symbols.get(name) {
+                    Some(sym) => {
+                        resolved.insert(name.clone(), sym);
+                    }
+                    None => missing.push(name.clone()),
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let mut symbols = self.inner.symbols.write();
+            for name in missing {
+                let sym = symbols.intern(&name);
+                resolved.insert(name, sym);
+            }
+        }
+        rows.into_iter()
+            .map(|row| Record::from_pairs(row.into_iter().map(|(n, v)| (resolved[&n], v))))
+            .collect()
+    }
+
+    /// Drop a one-call postmortem bundle into `dir` (created if
+    /// needed): `health.json` (the [`Db::health_report`]),
+    /// `metrics.prom` (Prometheus text of the same registry
+    /// `sys.metrics` reads), and `events.jsonl` / `samples.jsonl` /
+    /// `slow_queries.jsonl` / `watches.jsonl` rendered by running
+    /// `SELECT *` over the corresponding `sys.*` relations — the
+    /// catalog is the single source of truth for what lands on disk.
+    pub fn diagnostic_bundle(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<DiagnosticBundle, CoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| {
+            CoreError::Recovery(format!("create bundle dir {}: {e}", dir.display()))
+        })?;
+        let mut files: Vec<String> = Vec::new();
+        let mut write = |name: &str, contents: String| -> Result<(), CoreError> {
+            let path = dir.join(name);
+            std::fs::write(&path, contents)
+                .map_err(|e| CoreError::Recovery(format!("write {}: {e}", path.display())))?;
+            files.push(name.to_string());
+            Ok(())
+        };
+        let health = serde_json::to_string(&self.health_report().to_json())
+            .map_err(|e| CoreError::Recovery(format!("serialize health report: {e:?}")))?;
+        write("health.json", health)?;
+        write("metrics.prom", self.export_prometheus())?;
+        for (rel, file) in [
+            ("sys.events", "events.jsonl"),
+            ("sys.samples", "samples.jsonl"),
+            ("sys.slow_queries", "slow_queries.jsonl"),
+            ("sys.watches", "watches.jsonl"),
+        ] {
+            let query = Query {
+                select: Vec::new(),
+                from: rel.to_string(),
+                atoms: Vec::new(),
+                limit: None,
+            };
+            let out = self.run_sys_query(&query)?;
+            let mut text = String::new();
+            {
+                let symbols = self.inner.symbols.read();
+                for row in &out.rows {
+                    let json = crate::syscat::record_to_json(row, &symbols);
+                    text.push_str(
+                        &serde_json::to_string(&json).map_err(|e| {
+                            CoreError::Recovery(format!("serialize {rel} row: {e:?}"))
+                        })?,
+                    );
+                    text.push('\n');
+                }
+            }
+            write(file, text)?;
+        }
+        Ok(DiagnosticBundle {
+            dir: dir.to_path_buf(),
+            files,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -1804,6 +2083,14 @@ impl Db {
         kind: IndexKind,
     ) -> Result<IndexDef, CoreError> {
         self.ensure_writable()?;
+        if crate::syscat::is_sys_name(name) || crate::syscat::is_sys_name(source) {
+            let offender = if crate::syscat::is_sys_name(name) {
+                name
+            } else {
+                source
+            };
+            return Err(CoreError::ReservedNamespace(offender.to_string()));
+        }
         let symbols = self.inner.symbols.read();
         let mut instance = self.inner.instance.write();
         if instance
@@ -2108,22 +2395,20 @@ impl Db {
                 None => (false, None),
             }
         };
-        let locks = [
-            "symbols", "instance", "relation", "durable", "semantic", "config",
-        ]
-        .iter()
-        .map(|shard| {
-            let h = metrics()
-                .histogram(&format!("core.lock.{shard}.wait_ns"))
-                .snapshot();
-            LockWaitSummary {
-                shard: shard.to_string(),
-                count: h.count,
-                p99_ns: h.p99,
-                max_ns: h.max,
-            }
-        })
-        .collect();
+        let locks = LOCK_SHARDS
+            .iter()
+            .map(|shard| {
+                let h = metrics()
+                    .histogram(&format!("core.lock.{shard}.wait_ns"))
+                    .snapshot();
+                LockWaitSummary {
+                    shard: shard.to_string(),
+                    count: h.count,
+                    p99_ns: h.p99,
+                    max_ns: h.max,
+                }
+            })
+            .collect();
         let queue_capacity = self
             .inner
             .ingest_queue
@@ -2375,6 +2660,14 @@ impl Db {
     /// and trip time. Callable while holding shard locks (`mode` is a
     /// leaf lock; the probe runs on its own thread).
     fn trip_degraded(&self, reason: String) {
+        self.trip_degraded_for_batch(reason, 0);
+    }
+
+    /// [`trip_degraded`](Self::trip_degraded) with the correlation id of
+    /// the batch whose WAL failure caused the trip (0 = not
+    /// batch-caused), stamped on the `mode.degrade` event so the
+    /// degraded leg joins the batch's `sys.events` journey.
+    fn trip_degraded_for_batch(&self, reason: String, batch_id: u64) {
         let mut state = self.inner.mode.lock();
         if state.mode.is_degraded() {
             return;
@@ -2391,7 +2684,10 @@ impl Db {
         scdb_obs::events().record_with_message(
             "core",
             "mode.degrade",
-            &[("since_ms", F::U64(since_ms))],
+            &[
+                ("since_ms", F::U64(since_ms)),
+                ("batch_id", F::U64(batch_id)),
+            ],
             &reason,
         );
         scdb_obs::warn(format!("degraded read-only mode: {reason}"));
@@ -3024,6 +3320,8 @@ struct Prepared {
     /// `(resolved name, value)` pairs, parallel to `syms`.
     attrs: Vec<(String, Value)>,
     text: Option<String>,
+    /// The batch correlation id this row was committed under.
+    batch_id: u64,
 }
 
 /// Run the per-record curation pipeline (store → stats → ER → graph →
@@ -3044,6 +3342,7 @@ fn curate_one(
         syms,
         attrs,
         text,
+        batch_id,
     } = p;
     rel.tick += 1;
     let tick = rel.tick;
@@ -3155,6 +3454,7 @@ fn curate_one(
             ("fresh", F::U64(event.fresh as u64)),
             ("links", F::U64(links as u64)),
             ("absorbed", F::U64(event.absorbed.len() as u64)),
+            ("batch_id", F::U64(batch_id)),
         ],
     );
     Ok(IngestReport {
@@ -3163,6 +3463,7 @@ fn curate_one(
         fresh_entity: event.fresh,
         absorbed: event.absorbed,
         links_discovered: links,
+        batch_id,
     })
 }
 

@@ -38,6 +38,11 @@ pub enum CoreError {
     /// Carries the rendered cause: one WAL failure fans out to every
     /// ticket in the batch, and the underlying error is not cloneable.
     GroupCommit(String),
+    /// The name collides with the reserved `sys` namespace: system
+    /// catalog relations ([`crate::Db::query`] over `sys.*`) are
+    /// materialized from live telemetry and can never be registered,
+    /// ingested into, or indexed.
+    ReservedNamespace(String),
     /// The database is in degraded read-only mode
     /// ([`crate::DbMode::Degraded`]): a persistent WAL failure tripped
     /// the write path, so writes fail fast while reads keep serving.
@@ -63,6 +68,9 @@ impl fmt::Display for CoreError {
             CoreError::Txn(e) => write!(f, "txn: {e}"),
             CoreError::Recovery(msg) => write!(f, "recovery: {msg}"),
             CoreError::GroupCommit(msg) => write!(f, "group commit: {msg}"),
+            CoreError::ReservedNamespace(name) => {
+                write!(f, "name {name} is in the reserved sys namespace")
+            }
             CoreError::Degraded(reason) => {
                 write!(f, "database is degraded (read-only): {reason}")
             }
@@ -80,6 +88,7 @@ impl std::error::Error for CoreError {
             | CoreError::InvalidDocument { .. }
             | CoreError::Recovery(_)
             | CoreError::GroupCommit(_)
+            | CoreError::ReservedNamespace(_)
             | CoreError::Degraded(_) => None,
             CoreError::Storage(e) => Some(e),
             CoreError::Graph(e) => Some(e),

@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 // std primitives, not parking_lot: the queue needs a Condvar, and the
 // pairing with poison recovery below keeps a panicking committer from
 // wedging producers.
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -30,6 +31,14 @@ use scdb_types::Record;
 
 use crate::db::IngestReport;
 use crate::error::CoreError;
+
+/// Process-global mint for batch correlation ids. Every `IngestItem`
+/// takes the next value at construction (i.e. at `CommitTicket`
+/// creation for queued ingest); the committer stamps a whole flushed
+/// batch with its *oldest* item's id, so ids are strictly increasing
+/// across batches and every acked ticket knows which batch carried it.
+/// Starts at 1 — 0 means "no batch context" throughout the pipeline.
+static NEXT_TICKET_ID: AtomicU64 = AtomicU64::new(1);
 
 /// One queued ingest: the arguments of a `Db::ingest` call, owned.
 pub(crate) struct IngestItem {
@@ -43,16 +52,21 @@ pub(crate) struct IngestItem {
     /// anchor for the `core.ingest.stage.queue_wait_ns` stage of the
     /// commit-latency decomposition.
     pub enqueued_at: Instant,
+    /// Correlation id minted at construction; the batch this item lands
+    /// in inherits the oldest member's id (see [`NEXT_TICKET_ID`]).
+    pub ticket_id: u64,
 }
 
 impl IngestItem {
-    /// Build an item stamped with the current instant.
+    /// Build an item stamped with the current instant and a fresh
+    /// correlation id.
     pub(crate) fn new(source: String, record: Record, text: Option<String>) -> IngestItem {
         IngestItem {
             source,
             record,
             text,
             enqueued_at: Instant::now(),
+            ticket_id: NEXT_TICKET_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 }

@@ -58,14 +58,15 @@ pub mod explore;
 pub mod group_commit;
 pub mod health;
 mod snapshot;
+pub mod syscat;
 pub mod telemetry;
 
 #[allow(deprecated)]
 pub use codd::codd_report;
 pub use codd::{CoddItem, CoddStatus};
 pub use db::{
-    CurationStats, Db, DbBuilder, DbMode, DbRecoveryReport, DurabilityConfig, IngestConfig,
-    IngestReport, QueryOutcome, SlowQuery, SLOW_QUERY_RING,
+    CurationStats, Db, DbBuilder, DbMode, DbRecoveryReport, DiagnosticBundle, DurabilityConfig,
+    IngestConfig, IngestReport, QueryOutcome, SlowQuery, SLOW_QUERY_RING,
 };
 pub use error::CoreError;
 #[allow(deprecated)]
@@ -84,4 +85,5 @@ pub use scdb_txn::{
     CheckpointStats, FaultHandle, FaultInjector, FaultPlan, FsyncPolicy, IoClass, IsolationMode,
     Transaction, TxnError, WalRecoveryReport, WalStore,
 };
+pub use syscat::is_sys_name;
 pub use telemetry::TelemetryConfig;

@@ -37,23 +37,61 @@ pub fn prometheus_name(name: &str) -> String {
     out
 }
 
+/// Escape a string for a `# HELP` line per the exposition format:
+/// backslash and newline are the only characters that need escaping in
+/// help text (`\\` and `\n`).
+pub fn prometheus_escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a label *value* per the exposition format: backslash, double
+/// quote, and newline (`\\`, `\"`, `\n`).
+pub fn prometheus_escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render `snapshot` in the Prometheus text exposition format (see the
-/// module docs). Deterministic: snapshots iterate in name order.
+/// module docs). Each family gets `# HELP` (carrying the internal
+/// dotted name, escaped) and `# TYPE` lines before its samples.
+/// Deterministic: snapshots iterate in name order.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
         let pname = format!("{}_total", prometheus_name(name));
+        let help = prometheus_escape_help(name);
+        let _ = writeln!(out, "# HELP {pname} scdb counter {help}");
         let _ = writeln!(out, "# TYPE {pname} counter");
         let _ = writeln!(out, "{pname} {value}");
     }
     for (name, value) in &snapshot.gauges {
         let pname = prometheus_name(name);
+        let help = prometheus_escape_help(name);
+        let _ = writeln!(out, "# HELP {pname} scdb gauge {help}");
         let _ = writeln!(out, "# TYPE {pname} gauge");
         let _ = writeln!(out, "{pname} {value}");
     }
     for (name, h) in &snapshot.histograms {
         let pname = prometheus_name(name);
+        let help = prometheus_escape_help(name);
+        let _ = writeln!(out, "# HELP {pname} scdb histogram {help}");
         let _ = writeln!(out, "# TYPE {pname} summary");
         for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
             let _ = writeln!(out, "{pname}{{quantile=\"{q}\"}} {v}");
@@ -161,8 +199,19 @@ mod tests {
     }
 
     #[test]
+    fn help_and_label_escaping() {
+        assert_eq!(prometheus_escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(prometheus_escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(prometheus_escape_label("plain"), "plain");
+    }
+
+    #[test]
     fn exposition_format_shape() {
         let text = prometheus_text(&sample_snapshot());
+        assert!(text.contains("# HELP scdb_core_ingest_rows_total scdb counter core.ingest.rows\n"));
+        assert!(text
+            .contains("# HELP scdb_core_ingest_queue_depth scdb gauge core.ingest_queue.depth\n"));
+        assert!(text.contains("# HELP scdb_txn_fsync_ns scdb histogram txn.fsync_ns\n"));
         assert!(text.contains("# TYPE scdb_core_ingest_rows_total counter\n"));
         assert!(text.contains("scdb_core_ingest_rows_total 42\n"));
         assert!(text.contains("# TYPE scdb_core_ingest_queue_depth gauge\n"));
@@ -171,9 +220,17 @@ mod tests {
         assert!(text.contains("scdb_txn_fsync_ns{quantile=\"0.99\"} 255\n"));
         assert!(text.contains("scdb_txn_fsync_ns_sum 700\n"));
         assert!(text.contains("scdb_txn_fsync_ns_count 7\n"));
-        // Every non-comment line is `name[{labels}] value`.
+        // Every family announces HELP then TYPE before its samples, and
+        // every non-comment line is `name[{labels}] value`.
+        let mut last_help: Option<&str> = None;
         for line in text.lines() {
-            if line.starts_with('#') {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                last_help = rest.split(' ').next();
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split(' ').next();
+                assert_eq!(name, last_help, "TYPE follows its HELP in {line:?}");
                 continue;
             }
             let (name, value) = line.rsplit_once(' ').expect("name value");

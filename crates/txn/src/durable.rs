@@ -280,6 +280,13 @@ pub struct DurableWal {
     /// [`DurableWal::last_stage_ns`]).
     last_append_ns: u64,
     last_fsync_ns: u64,
+    /// Batch correlation id for the in-flight group-commit flush (0 =
+    /// none). While set, `append_sealed` and `sync` stamp their flight-
+    /// recorder events with `batch_id`, so one query over `sys.events`
+    /// reconstructs a batch's append→fsync journey. Checkpoint syncs,
+    /// source/index registrations, and recovery probes run with it
+    /// cleared and emit no per-batch events.
+    batch_ctx: u64,
 }
 
 impl std::fmt::Debug for DurableWal {
@@ -503,6 +510,7 @@ impl DurableWal {
             unsynced_bytes: 0,
             last_append_ns: 0,
             last_fsync_ns: 0,
+            batch_ctx: 0,
         };
         let recovery = WalRecovery {
             snapshot,
@@ -539,6 +547,14 @@ impl DurableWal {
     /// Bytes appended to the active segment so far.
     pub fn active_len(&self) -> u64 {
         self.active_len
+    }
+
+    /// Set (non-zero) or clear (0) the batch correlation id stamped on
+    /// the `("txn", "wal.append")` / `("txn", "wal.fsync")` events of
+    /// subsequent appends. The group-commit committer brackets each
+    /// flush with set/clear so only batch I/O carries a `batch_id`.
+    pub fn set_batch_context(&mut self, batch_id: u64) {
+        self.batch_ctx = batch_id;
     }
 
     /// Mint a fresh transaction id for a curation-pipeline transaction.
@@ -608,6 +624,18 @@ impl DurableWal {
         self.unsynced_bytes += data.len() as u64;
         scdb_obs::metrics().add("txn.wal.records", records.len() as u64);
         scdb_obs::metrics().add("txn.wal.bytes", data.len() as u64);
+        if self.batch_ctx != 0 {
+            scdb_obs::event(
+                "txn",
+                "wal.append",
+                &[
+                    ("batch_id", F::U64(self.batch_ctx)),
+                    ("records", F::U64(records.len() as u64)),
+                    ("bytes", F::U64(data.len() as u64)),
+                    ("ns", F::U64(append_ns)),
+                ],
+            );
+        }
 
         let synced = match self.policy {
             FsyncPolicy::Always => self.sync(),
@@ -684,6 +712,7 @@ impl DurableWal {
             "txn",
             "group_commit.flush",
             &[
+                ("batch_id", F::U64(self.batch_ctx)),
                 ("rows", F::U64(batch_rows as u64)),
                 ("fsyncs", F::U64(fsyncs)),
                 ("saved", F::U64(saved)),
@@ -706,6 +735,16 @@ impl DurableWal {
         self.seals_since_sync = 0;
         self.unsynced_bytes = 0;
         scdb_obs::metrics().inc("txn.wal.fsyncs");
+        if self.batch_ctx != 0 {
+            scdb_obs::event(
+                "txn",
+                "wal.fsync",
+                &[
+                    ("batch_id", F::U64(self.batch_ctx)),
+                    ("ns", F::U64(fsync_ns)),
+                ],
+            );
+        }
         Ok(())
     }
 

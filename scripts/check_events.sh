@@ -44,6 +44,8 @@ KNOWN_KINDS = {
         "recovery.truncated",
         "recovery.scan",
         "group_commit.flush",
+        "wal.append",
+        "wal.fsync",
         "segment.seal",
         "segment.rotate",
         "segment.prune",
@@ -97,6 +99,22 @@ with open(path, encoding="utf-8") as fh:
             errors.append(
                 f"line {lineno}: unknown kind {kind!r} for subsystem {subsystem!r}"
             )
+        # Correlation-id contract: the batch-scoped WAL events only
+        # exist while a batch context is set, so they must carry a
+        # positive batch_id; any batch_id anywhere must be a
+        # non-negative integer (it joins against sys.events).
+        fields = ev.get("fields")
+        batch_id = fields.get("batch_id") if isinstance(fields, dict) else None
+        if batch_id is not None and (not isinstance(batch_id, int) or batch_id < 0):
+            errors.append(f"line {lineno}: malformed batch_id {batch_id!r}")
+        if kind in ("wal.append", "wal.fsync") and not (
+            isinstance(batch_id, int) and batch_id > 0
+        ):
+            errors.append(
+                f"line {lineno}: {kind} without a positive batch_id: {batch_id!r}"
+            )
+        if kind == "group_commit.flush" and not isinstance(batch_id, int):
+            errors.append(f"line {lineno}: group_commit.flush missing batch_id")
         n += 1
 
 if n == 0:

@@ -50,9 +50,18 @@ echo "== storage-fault resilience smoke (release)"
 # supervisor contract for a committer panic mid-batch.
 cargo run -q --offline --release -p scdb-bench --bin e_faults -- --smoke
 
+echo "== system catalog smoke (release)"
+# Asserts the fully-observed loop (metrics + events + monitoring-cadence
+# sys.* polling) stays within 5% (+ fixed slack) of the unobserved loop,
+# that every relation listed in sys.relations answers SELECT *, and that
+# a real acked batch's correlation id joins to its complete
+# flush -> append -> fsync -> apply journey in sys.events.
+cargo run -q --offline --release -p scdb-bench --bin e_syscat -- --smoke
+
 echo "== prometheus exposition format lint"
 # Every non-comment line must be `name[{labels}] value` with an
-# scdb_-prefixed metric name and a numeric value.
+# scdb_-prefixed metric name and a numeric value, and every metric
+# family must announce `# HELP` then `# TYPE` before its samples.
 python3 - target/experiments/telemetry.prom <<'PY'
 import re
 import sys
@@ -61,10 +70,29 @@ path = sys.argv[1]
 name_re = re.compile(r"^scdb_[a-zA-Z0-9_]+(\{[^}]*\})?$")
 n = 0
 errors = []
+cur_help = None
+cur_type = None
 with open(path, encoding="utf-8") as fh:
     for lineno, line in enumerate(fh, start=1):
         line = line.rstrip("\n")
-        if not line or line.startswith("#"):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):].split(" ", 1)
+            cur_help = rest[0]
+            cur_type = None
+            if len(rest) < 2 or not rest[1]:
+                errors.append(f"line {lineno}: HELP without help text")
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):].split(" ", 1)
+            if rest[0] != cur_help:
+                errors.append(
+                    f"line {lineno}: TYPE {rest[0]!r} does not follow its HELP"
+                )
+            cur_type = rest[0]
+            continue
+        if line.startswith("#"):
             continue
         parts = line.rsplit(" ", 1)
         if len(parts) != 2:
@@ -73,6 +101,12 @@ with open(path, encoding="utf-8") as fh:
         name, value = parts
         if not name_re.match(name):
             errors.append(f"line {lineno}: bad metric name {name!r}")
+        bare = name.split("{", 1)[0]
+        fam = cur_type or ""
+        if bare != fam and bare not in (f"{fam}_sum", f"{fam}_count"):
+            errors.append(
+                f"line {lineno}: sample {bare!r} outside its announced family {fam!r}"
+            )
         try:
             float(value)
         except ValueError:

@@ -1,0 +1,392 @@
+//! System-catalog integration: the `sys.*` relations answer ordinary
+//! ScQL, the batch correlation id reconstructs a group-commit batch's
+//! flush→append→fsync→apply journey from `sys.events`, sys queries
+//! never feed the slow-query ring they expose, the namespace is
+//! reserved against user registration, and one `diagnostic_bundle`
+//! call drops the whole catalog on disk.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use scdb_core::{CoreError, Db, FsyncPolicy, TelemetryConfig};
+use scdb_types::{Record, Value};
+
+/// Serializes tests that toggle process-global observability state or
+/// assert on the contents of the global event ring.
+static GLOBAL_OBS: Mutex<()> = Mutex::new(());
+
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_OBS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("scdb-syscat-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Render one result row as JSON through the shared symbol table — the
+/// same path `diagnostic_bundle` uses for its JSONL files.
+fn row_json(db: &Db, row: &Record) -> serde_json::Value {
+    scdb_core::syscat::record_to_json(row, &db.symbols_ref())
+}
+
+/// The catalog is self-describing: `sys.relations` lists every
+/// relation, and each listed relation answers `SELECT *` through the
+/// ordinary query path with a populated profile.
+#[test]
+fn every_catalog_relation_is_queryable() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+    scdb_obs::events().set_enabled(true);
+
+    let db = Db::new();
+    let out = db.query("SELECT * FROM sys.relations").expect("catalog");
+    assert!(out.rows.len() >= 9, "catalog lists all relations");
+    for row in &out.rows {
+        let json = row_json(&db, row);
+        let name = json
+            .get("name")
+            .and_then(|v| v.as_str())
+            .expect("name column")
+            .to_string();
+        assert!(
+            json.get("description").and_then(|v| v.as_str()).is_some(),
+            "description column on {name}"
+        );
+        let rel = db
+            .query(&format!("SELECT * FROM {name} LIMIT 5"))
+            .unwrap_or_else(|e| panic!("{name} not queryable: {e}"));
+        assert!(
+            rel.profile.stage("sys_refresh").is_some(),
+            "{name} profile carries the sys_refresh stage"
+        );
+        for stage in ["plan", "optimize", "execute"] {
+            assert!(
+                rel.profile.stage(stage).is_some(),
+                "{name} missing pipeline stage {stage}"
+            );
+        }
+    }
+    // Unknown catalog relations fail like any unknown source.
+    assert!(matches!(
+        db.query("SELECT * FROM sys.nope"),
+        Err(CoreError::UnknownSource(_))
+    ));
+}
+
+/// ISSUE acceptance: `SELECT * FROM sys.events WHERE batch_id = N`
+/// returns the complete pipeline journey — group-commit flush, WAL
+/// append, fsync, and apply — of a real batch whose id came back on the
+/// ingest ack.
+#[test]
+fn correlation_id_reconstructs_batch_journey() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+    scdb_obs::events().set_enabled(true);
+
+    let dir = scratch_dir("journey");
+    let db = Db::builder()
+        .durability(&dir, FsyncPolicy::Always)
+        .ingest_queue(64)
+        .open()
+        .expect("open");
+    db.register_source("journey", Some("k"));
+    let k = db.intern("k");
+    let v = db.intern("v");
+    let batch: Vec<Record> = (0..32i64)
+        .map(|i| Record::from_pairs([(k, Value::str(format!("k-{i}"))), (v, Value::Int(i))]))
+        .collect();
+    let reports = db.ingest_batch("journey", batch).expect("acked batch");
+    let batch_id = reports.last().expect("reports").batch_id;
+    assert!(batch_id > 0, "queued ingest acks carry a correlation id");
+
+    let out = db
+        .query(&format!(
+            "SELECT * FROM sys.events WHERE batch_id = {batch_id}"
+        ))
+        .expect("correlated trace");
+    let kinds: Vec<String> = out
+        .rows
+        .iter()
+        .filter_map(|r| {
+            row_json(&db, r)
+                .get("kind")
+                .and_then(|v| v.as_str().map(str::to_owned))
+        })
+        .collect();
+    for kind in [
+        "group_commit.flush",
+        "wal.append",
+        "wal.fsync",
+        "ingest.stages",
+    ] {
+        assert!(
+            kinds.iter().any(|x| x == kind),
+            "batch {batch_id} journey missing {kind}, got {kinds:?}"
+        );
+    }
+    // Every acked report in the call maps to a traceable batch.
+    for r in &reports {
+        assert!(r.batch_id > 0, "every ack carries an id");
+    }
+    // The inline (unqueued) path is a batch of one — traceable too.
+    let inline = Db::new();
+    inline.register_source("inline", Some("k"));
+    let rep = inline
+        .ingest("inline", Record::from_pairs([(k, Value::str("x"))]), None)
+        .expect("inline ingest");
+    assert!(rep.batch_id > 0, "inline path mints a batch of one");
+
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: the catalog stays consistent while a writer hammers the
+/// database — monotone counts across repeated refreshes, and every
+/// `sys.events` row renders with its mandatory columns.
+#[test]
+fn sys_relations_consistent_under_concurrent_ingest() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+    scdb_obs::events().set_enabled(true);
+
+    let db = Db::new();
+    db.register_source("feed", Some("k"));
+    let k = db.intern("k");
+    let v = db.intern("v");
+    let writer = {
+        let db = db.clone();
+        std::thread::spawn(move || {
+            for i in 0..2_000i64 {
+                let r = Record::from_pairs([(k, Value::str(format!("k-{i}"))), (v, Value::Int(i))]);
+                db.ingest("feed", r, None).expect("ingest");
+            }
+        })
+    };
+
+    let mut last_sys_queries = 0i64;
+    let mut last_applies = 0i64;
+    for _ in 0..20 {
+        // The sys-query counter counts this very query stream: strictly
+        // monotone across reads.
+        let out = db
+            .query("SELECT * FROM sys.metrics WHERE name = 'query.sys_queries'")
+            .expect("metrics");
+        if let Some(row) = out.rows.first() {
+            let value = row_json(&db, row)
+                .get("value")
+                .and_then(|v| v.as_i64())
+                .expect("counter value");
+            assert!(value >= last_sys_queries, "counter went backwards");
+            last_sys_queries = value;
+        }
+        // The apply-stage histogram only grows while the writer runs.
+        let out = db
+            .query("SELECT * FROM sys.metrics WHERE name = 'core.ingest.stage.apply_ns'")
+            .expect("metrics");
+        if let Some(row) = out.rows.first() {
+            let count = row_json(&db, row)
+                .get("count")
+                .and_then(|v| v.as_i64())
+                .expect("histogram count");
+            assert!(count >= last_applies, "histogram count went backwards");
+            last_applies = count;
+        }
+        let out = db.query("SELECT * FROM sys.events").expect("events");
+        let mut last_seq = -1i64;
+        for row in &out.rows {
+            let json = row_json(&db, row);
+            let seq = json.get("seq").and_then(|v| v.as_i64()).expect("seq");
+            assert!(seq > last_seq, "event seq strictly increasing");
+            last_seq = seq;
+            for col in ["ts_ms", "subsystem", "kind"] {
+                assert!(json.get(col).is_some(), "event row missing {col}");
+            }
+        }
+    }
+    writer.join().expect("writer");
+    assert!(
+        last_applies > 0,
+        "writer progress visible through sys.metrics"
+    );
+}
+
+/// Satellite: a sys query must never be captured into the slow-query
+/// ring it exposes — even with a zero threshold that captures every
+/// user query.
+#[test]
+fn sys_queries_never_enter_the_slow_ring() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+
+    let db = Db::builder().slow_query_threshold(Duration::ZERO).build();
+    db.register_source("users", Some("k"));
+    let k = db.intern("k");
+    db.ingest("users", Record::from_pairs([(k, Value::str("x"))]), None)
+        .expect("ingest");
+    for _ in 0..5 {
+        db.query("SELECT * FROM sys.slow_queries").expect("sys");
+        db.query("SELECT * FROM sys.metrics LIMIT 3").expect("sys");
+    }
+    db.query("SELECT k FROM users").expect("user query");
+
+    let slow = db.slow_queries();
+    assert!(
+        slow.iter().any(|q| q.text.contains("FROM users")),
+        "zero threshold still captures user queries"
+    );
+    assert!(
+        slow.iter().all(|q| !q.text.contains("FROM sys.")),
+        "sys queries leaked into the slow ring: {:?}",
+        slow.iter().map(|q| &q.text).collect::<Vec<_>>()
+    );
+}
+
+/// Satellite: the `sys` namespace is reserved — registration, ingest
+/// (via source lookup), and index creation all refuse it.
+#[test]
+fn sys_namespace_is_reserved() {
+    let db = Db::new();
+    for name in ["sys", "sys.events", "sys.custom"] {
+        assert!(
+            matches!(
+                db.try_register_source(name, None),
+                Err(CoreError::ReservedNamespace(_))
+            ),
+            "registration of {name} must be refused"
+        );
+    }
+    // Not reserved: merely sys-like prefixes.
+    db.try_register_source("system", None).expect("system ok");
+    db.register_source("users", Some("k"));
+    let k = db.intern("k");
+    db.ingest("users", Record::from_pairs([(k, Value::str("x"))]), None)
+        .expect("ingest");
+    assert!(matches!(
+        db.ingest(
+            "sys.events",
+            Record::from_pairs([(k, Value::str("x"))]),
+            None
+        ),
+        Err(CoreError::UnknownSource(_))
+    ));
+    assert!(matches!(
+        db.create_index("sys.idx", "users", "k", scdb_core::IndexKind::Hash),
+        Err(CoreError::ReservedNamespace(_))
+    ));
+    assert!(matches!(
+        db.create_index("idx", "sys.events", "kind", scdb_core::IndexKind::Hash),
+        Err(CoreError::ReservedNamespace(_))
+    ));
+}
+
+/// Satellite: `DbBuilder::slow_query_capacity` bounds the ring, keeping
+/// the newest captures.
+#[test]
+fn slow_query_capacity_bounds_the_ring() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+
+    let db = Db::builder()
+        .slow_query_threshold(Duration::ZERO)
+        .slow_query_capacity(3)
+        .build();
+    db.register_source("cap", Some("k"));
+    let k = db.intern("k");
+    let v = db.intern("v");
+    for i in 0..5i64 {
+        let r = Record::from_pairs([(k, Value::str(format!("k-{i}"))), (v, Value::Int(i))]);
+        db.ingest("cap", r, None).expect("ingest");
+    }
+    for i in 0..10i64 {
+        db.query(&format!("SELECT k FROM cap WHERE v >= {i}"))
+            .expect("query");
+    }
+    let slow = db.slow_queries();
+    assert_eq!(slow.len(), 3, "ring bounded at the configured capacity");
+    assert!(
+        slow.last().expect("newest").text.contains(">= 9"),
+        "newest capture retained"
+    );
+    assert!(
+        slow.first().expect("oldest").text.contains(">= 7"),
+        "oldest surviving capture is the third-newest"
+    );
+}
+
+/// Satellite: one `diagnostic_bundle` call writes health JSON,
+/// Prometheus text, and one parseable JSONL file per exported catalog
+/// relation — all from the same `sys.*` machinery queries use.
+#[test]
+fn diagnostic_bundle_exports_the_catalog() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+    scdb_obs::events().set_enabled(true);
+
+    let db = Db::builder()
+        .slow_query_threshold(Duration::ZERO)
+        .telemetry(TelemetryConfig::default().interval(Duration::ZERO))
+        .build();
+    db.register_source("bundle", Some("k"));
+    let k = db.intern("k");
+    let v = db.intern("v");
+    for i in 0..50i64 {
+        let r = Record::from_pairs([(k, Value::str(format!("k-{i}"))), (v, Value::Int(i))]);
+        db.ingest("bundle", r, None).expect("ingest");
+    }
+    db.query("SELECT k FROM bundle WHERE v >= 25")
+        .expect("query");
+    db.sample_now().expect("telemetry tick");
+
+    let dir = scratch_dir("bundle");
+    let bundle = db.diagnostic_bundle(&dir).expect("bundle");
+    assert_eq!(bundle.dir, dir);
+    for name in [
+        "health.json",
+        "metrics.prom",
+        "events.jsonl",
+        "samples.jsonl",
+        "slow_queries.jsonl",
+        "watches.jsonl",
+    ] {
+        assert!(
+            bundle.files.iter().any(|f| f == name),
+            "bundle receipt lists {name}"
+        );
+        assert!(dir.join(name).is_file(), "{name} written");
+    }
+
+    let health: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("health.json")).expect("read"))
+            .expect("health parses");
+    assert!(health.get("uptime_ms").is_some());
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("read");
+    assert!(prom.contains("# HELP ") && prom.contains("# TYPE "));
+    for (file, must_have) in [
+        ("events.jsonl", "kind"),
+        ("samples.jsonl", "metric"),
+        ("slow_queries.jsonl", "profile"),
+    ] {
+        let text = std::fs::read_to_string(dir.join(file)).expect("read");
+        assert!(!text.trim().is_empty(), "{file} non-empty after workload");
+        for line in text.lines() {
+            let json: serde_json::Value = serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("{file} line fails to parse: {e}"));
+            assert!(
+                json.get(must_have).is_some(),
+                "{file} rows carry {must_have}"
+            );
+        }
+    }
+    // The slow-query profiles embed the full EXPLAIN ANALYZE JSON.
+    let slow_text = std::fs::read_to_string(dir.join("slow_queries.jsonl")).expect("read");
+    let first: serde_json::Value =
+        serde_json::from_str(slow_text.lines().next().expect("capture")).expect("parses");
+    let profile: serde_json::Value =
+        serde_json::from_str(first.get("profile").and_then(|p| p.as_str()).expect("str"))
+            .expect("embedded profile parses");
+    assert!(profile.get("stages").is_some(), "stage breakdown embedded");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
