@@ -23,6 +23,16 @@
 //! (≥ 8× fewer fsyncs per row at batch 64 under `Always`) — a count
 //! check, not a wall-clock check, so it is stable on a 1-core CI box.
 //!
+//! A fourth axis measures the range-sharded write path (DESIGN.md §14):
+//! `--shards 1,2,4` runs four concurrent writers against that many
+//! write shards, each writer keeping affinity to one shard so a
+//! multi-shard run commits with no cross-writer lock conflicts while
+//! the single-shard run serializes every commit (and its fsync) on one
+//! instance write lock. The headline number is the instance-lock wait
+//! p99 from the `core.lock.instance*.wait_ns` histograms — telemetry,
+//! not wall clock — which `--smoke` gates on: 4 shards must beat 1
+//! shard, and the 1-shard baseline must actually have contended.
+//!
 //! Qualitative shape to expect: under `Always` group commit wins big
 //! (fsyncs dominate; fsyncs/row drops as 1/batch); under `EveryN(64)`
 //! the gap narrows because the policy already amortizes; under
@@ -31,6 +41,8 @@
 //! append per batch instead of per row.
 
 use scdb_core::{Db, FsyncPolicy};
+use scdb_er::normalize::normalize;
+use scdb_placement::{PlacementPolicy, ShardMap};
 use scdb_types::{Record, Value};
 
 use scdb_bench::{banner, time_ms, Table};
@@ -38,6 +50,10 @@ use scdb_bench::{banner, time_ms, Table};
 const BATCHES: &[usize] = &[1, 8, 64, 256];
 const FULL_ROWS: usize = 512;
 const SMOKE_ROWS: usize = 128;
+const SHARD_AXIS: &[u32] = &[1, 2, 4];
+const SHARD_WRITERS: usize = 4;
+const SHARD_ROWS_PER_WRITER: usize = 64;
+const SHARD_SMOKE_ROWS_PER_WRITER: usize = 24;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Mode {
@@ -154,6 +170,149 @@ fn run(mode: Mode, policy: FsyncPolicy, batch: usize, rows: usize) -> RunResult 
     RunResult { rows, ms, fsyncs }
 }
 
+struct ShardedResult {
+    rows: usize,
+    ms: f64,
+    fsyncs: u64,
+    lock_wait_p99_ns: u64,
+    lock_waits: u64,
+}
+
+impl ShardedResult {
+    fn rows_per_sec(&self) -> f64 {
+        if self.ms <= 0.0 {
+            0.0
+        } else {
+            self.rows as f64 / (self.ms / 1000.0)
+        }
+    }
+}
+
+/// `n` distinct identity keys that the default range map for `shards`
+/// places on writer `w`'s home shard (`w % shards`) — the same routing
+/// the `Db` applies, probed up front so the timed region measures
+/// commits, not placement.
+fn shard_keys(shards: u32, writer: usize, n: usize) -> Vec<String> {
+    let map = ShardMap::build(PlacementPolicy::Range, shards, &[]);
+    let target = writer as u32 % shards;
+    let keys: Vec<String> = (0..200_000)
+        .map(|i| format!("w{writer} entity {i}"))
+        .filter(|k| map.shard_of_key(&normalize(k)) == target)
+        .take(n)
+        .collect();
+    assert_eq!(keys.len(), n, "probe keys for shard {target}");
+    keys
+}
+
+/// Concurrent-writer ingest against `shards` write shards under
+/// `FsyncPolicy::Always`. Each writer runs unqueued `Db::ingest` (the
+/// writer thread itself takes its shard's locks — a committer queue
+/// would hide the contention this axis exists to measure) over keys
+/// that all route to its home shard. With one shard every commit
+/// serializes on one instance write lock held across the fsync; with
+/// `shards >= writers` the writers never collide.
+fn run_sharded(shards: u32, writers: usize, rows_per_writer: usize) -> ShardedResult {
+    let dir = std::env::temp_dir().join(format!(
+        "scdb-e-ing-sharded-{}-{shards}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut builder = Db::builder().durability(&dir, FsyncPolicy::Always);
+    if shards > 1 {
+        builder = builder.write_shards(shards);
+    }
+    let db = builder.open().expect("open fresh sharded log");
+    db.register_source("bench", Some("name"));
+    let name = db.intern("name");
+    let dose = db.intern("dose");
+    let batches: Vec<Vec<Record>> = (0..writers)
+        .map(|w| {
+            shard_keys(shards, w, rows_per_writer)
+                .into_iter()
+                .enumerate()
+                .map(|(i, key)| {
+                    Record::from_pairs([(name, Value::str(key)), (dose, Value::Int(i as i64))])
+                })
+                .collect()
+        })
+        .collect();
+    let rows = writers * rows_per_writer;
+    // Fresh metric state so the lock-wait histograms describe only this
+    // configuration (they accumulate per process otherwise).
+    scdb_obs::metrics().reset();
+    let fsyncs_before = scdb_obs::metrics().counter("txn.wal.fsyncs").get();
+    let ((), ms) = time_ms(|| {
+        std::thread::scope(|scope| {
+            let db = &db;
+            for batch in batches {
+                scope.spawn(move || {
+                    for r in batch {
+                        db.ingest("bench", r, None).expect("ingest");
+                    }
+                });
+            }
+        });
+    });
+    let fsyncs = scdb_obs::metrics().counter("txn.wal.fsyncs").get() - fsyncs_before;
+    assert_eq!(db.stats().records, rows as u64, "every row curated");
+    let snap = scdb_obs::metrics().snapshot();
+    let mut lock_wait_p99_ns = 0u64;
+    let mut lock_waits = 0u64;
+    for (name, h) in &snap.histograms {
+        if name.starts_with("core.lock.instance") && name.ends_with(".wait_ns") {
+            lock_wait_p99_ns = lock_wait_p99_ns.max(h.p99);
+            lock_waits += h.count;
+        }
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    ShardedResult {
+        rows,
+        ms,
+        fsyncs,
+        lock_wait_p99_ns,
+        lock_waits,
+    }
+}
+
+fn sharded_table() -> Table {
+    Table::new(&[
+        "shards",
+        "writers",
+        "rows",
+        "ms",
+        "rows/sec",
+        "fsyncs",
+        "lock-wait p99 us",
+        "waits",
+    ])
+}
+
+fn emit_sharded(table: &mut Table, shards: u32, writers: usize, r: &ShardedResult) {
+    table.row(&[
+        shards.to_string(),
+        writers.to_string(),
+        r.rows.to_string(),
+        format!("{:.1}", r.ms),
+        format!("{:.0}", r.rows_per_sec()),
+        r.fsyncs.to_string(),
+        format!("{:.1}", r.lock_wait_p99_ns as f64 / 1000.0),
+        r.lock_waits.to_string(),
+    ]);
+    println!(
+        "BENCH JSON {{\"experiment\":\"ingest_throughput\",\"mode\":\"sharded\",\
+         \"policy\":\"always\",\"shards\":{shards},\"writers\":{writers},\
+         \"rows\":{},\"ms\":{:.2},\"rows_per_sec\":{:.1},\"fsyncs\":{},\
+         \"lock_wait_p99_ns\":{},\"lock_waits\":{}}}",
+        r.rows,
+        r.ms,
+        r.rows_per_sec(),
+        r.fsyncs,
+        r.lock_wait_p99_ns,
+        r.lock_waits
+    );
+}
+
 fn emit(table: &mut Table, mode: Mode, policy: FsyncPolicy, batch: usize, r: &RunResult) {
     table.row(&[
         mode.name().to_string(),
@@ -217,6 +376,36 @@ fn smoke() -> i32 {
             queued64.fsyncs, single.fsyncs
         );
     }
+    // Sharded-write-path gate: with four writers, four shards must beat
+    // one shard on instance-lock wait p99, and the 1-shard baseline must
+    // actually have contended (otherwise the comparison is vacuous).
+    // Telemetry counts and bucketed waits, not wall clock.
+    let mut shard_table = sharded_table();
+    let one = run_sharded(1, SHARD_WRITERS, SHARD_SMOKE_ROWS_PER_WRITER);
+    emit_sharded(&mut shard_table, 1, SHARD_WRITERS, &one);
+    let four = run_sharded(4, SHARD_WRITERS, SHARD_SMOKE_ROWS_PER_WRITER);
+    emit_sharded(&mut shard_table, 4, SHARD_WRITERS, &four);
+    println!("\n{}", shard_table.render());
+    if one.lock_waits == 0 {
+        println!(
+            "SMOKE FAIL: the 1-shard baseline saw no contended instance-lock \
+             acquisitions across {SHARD_WRITERS} writers — nothing to amortize"
+        );
+        ok = false;
+    }
+    if four.lock_wait_p99_ns >= one.lock_wait_p99_ns.max(1) {
+        println!(
+            "SMOKE FAIL: 4-shard lock-wait p99 {}ns did not beat 1-shard {}ns",
+            four.lock_wait_p99_ns, one.lock_wait_p99_ns
+        );
+        ok = false;
+    } else {
+        println!(
+            "smoke: sharded lock-wait p99 {}ns (4 shards) < {}ns (1 shard), \
+             baseline waits {} OK",
+            four.lock_wait_p99_ns, one.lock_wait_p99_ns, one.lock_waits
+        );
+    }
     if ok {
         0
     } else {
@@ -245,8 +434,29 @@ fn main() {
          FsyncPolicy::Always; EveryN narrows the gap, OnCheckpoint leaves only the \
          per-batch lock + append savings",
     );
-    if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
         std::process::exit(smoke());
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--shards") {
+        // Sharded axis only: `--shards 1,2,4` (defaults to the full axis).
+        let counts: Vec<u32> = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("1,2,4")
+            .split(',')
+            .map(|s| s.trim().parse().expect("--shards takes N[,N...]"))
+            .collect();
+        let mut table = sharded_table();
+        for &shards in &counts {
+            let r = run_sharded(shards, SHARD_WRITERS, SHARD_ROWS_PER_WRITER);
+            emit_sharded(&mut table, shards, SHARD_WRITERS, &r);
+        }
+        println!("\n{}", table.render());
+        println!("shape check: lock-wait p99 falls as shards approach the writer count —");
+        println!("one shard serializes every commit (and its fsync) on one instance write");
+        println!("lock; at shards >= writers each writer owns its shard and never blocks.");
+        return;
     }
     let mut table = new_table();
     for policy in [
@@ -268,4 +478,13 @@ fn main() {
     println!("at 1.0; under every64 the policy already amortizes so the curves meet near batch");
     println!("64; under on_checkpoint fsyncs are 0 everywhere and the residual win is one lock");
     println!("acquisition and one WAL append per batch instead of per row.");
+    let mut shard_table = sharded_table();
+    for &shards in SHARD_AXIS {
+        let r = run_sharded(shards, SHARD_WRITERS, SHARD_ROWS_PER_WRITER);
+        emit_sharded(&mut shard_table, shards, SHARD_WRITERS, &r);
+    }
+    println!("\n{}", shard_table.render());
+    println!("shape check: lock-wait p99 falls as shards approach the writer count — one");
+    println!("shard serializes every commit (and its fsync) on one instance write lock; at");
+    println!("shards >= writers each writer owns its shard and never blocks.");
 }

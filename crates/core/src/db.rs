@@ -79,6 +79,7 @@ use scdb_obs::{
     metrics, FieldValue as F, Histogram, MetricsSnapshot, ProfileBuilder, QueryProfile, Sample,
     SeriesSummary, TrackedMutex, TrackedRwLock, WatchStatus,
 };
+use scdb_placement::{PlacementPolicy, ShardMap};
 use scdb_query::exec::{EvalEnv, Executor, SemanticEnv, StoreSource};
 use scdb_query::optimizer::{Optimizer, OptimizerConfig, SemanticContext};
 use scdb_query::plan::LogicalPlan;
@@ -87,8 +88,9 @@ use scdb_semantic::{Ontology, Reasoner, Saturation, Taxonomy, TrainedModel};
 use scdb_storage::stats::AttrStatistics;
 use scdb_storage::{IndexDef, IndexKind, IndexSet, RowStore, TextStore};
 use scdb_txn::{
-    CheckpointStats, DurableWal, EnrichedDb, FaultInjector, FaultPlan, FsStore, FsyncPolicy,
-    IsolationMode, LogRecord, Transaction, TxnManager, VersionOrigin, WalRecoveryReport, WalStore,
+    discover_shard_count, CheckpointStats, DurableWal, EnrichedDb, FaultInjector, FaultPlan,
+    FsStore, FsyncPolicy, IsolationMode, LogRecord, SharedStore, Transaction, TxnManager,
+    VersionOrigin, WalRecoveryReport, WalStore,
 };
 use scdb_types::{
     Confidence, EntityId, Provenance, Record, RecordId, SourceId, Symbol, SymbolTable, Value,
@@ -195,6 +197,17 @@ struct RelationShard {
     tick: u64,
 }
 
+/// One extra write shard (shards `1..n`): its own instance and relation
+/// state slice plus its own WAL. Shard 0 lives in the legacy
+/// [`DbInner`] fields (`instance`/`relation`/`durable`), so a 1-shard
+/// database is structurally identical to the pre-sharding layout —
+/// same lock labels, same WAL file names, same `state_dump` bytes.
+struct ShardSlice {
+    instance: TrackedRwLock<InstanceShard>,
+    relation: TrackedRwLock<RelationShard>,
+    durable: TrackedMutex<Option<DurableWal>>,
+}
+
 /// Semantic-layer shard: ontology, cached inference products, models.
 struct SemanticShard {
     ontology: Ontology,
@@ -219,6 +232,34 @@ pub const SLOW_QUERY_RING: usize = 32;
 pub(crate) const LOCK_SHARDS: &[&str] = &[
     "symbols", "instance", "relation", "durable", "semantic", "config",
 ];
+
+/// Interned `'static` lock label for write shard `k` ≥ 1, e.g.
+/// `instance.s1`. The tracked-lock API wants `&'static str` labels;
+/// interning (rather than leaking per construction) keeps repeated
+/// `Db` builds from growing the heap.
+fn shard_label(base: &str, shard: u32) -> &'static str {
+    intern_static(format!("{base}.s{shard}"))
+}
+
+/// Interned `'static` metric name for write shard `k` ≥ 1, e.g.
+/// `core.lock.instance.s1.wait_ns`.
+fn shard_metric(base: &str, shard: u32) -> &'static str {
+    intern_static(format!("core.lock.{base}.s{shard}.wait_ns"))
+}
+
+fn intern_static(s: String) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+    static INTERNED: OnceLock<StdMutex<HashSet<&'static str>>> = OnceLock::new();
+    let set = INTERNED.get_or_init(|| StdMutex::new(HashSet::new()));
+    let mut guard = set.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(&existing) = guard.get(s.as_str()) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
 
 /// One slow-query capture: a query whose wall time crossed
 /// [`DbBuilder::slow_query_threshold`], with its full profile retained.
@@ -314,6 +355,27 @@ struct DbInner {
     /// databases; installed by [`DbBuilder::open`] once replay is done.
     /// Sits between `relation` and `semantic` in the lock order.
     durable: TrackedMutex<Option<DurableWal>>,
+    /// Slot→shard routing table for the range-sharded write path
+    /// ([`DbBuilder::write_shards`]). Fixed at build time and persisted
+    /// in checkpoints so a reopened database routes identically.
+    shard_map: ShardMap,
+    /// State slices for write shards `1..n`; empty on an unsharded
+    /// database. Lock order is shard-major: `instance.s1 < relation.s1
+    /// < instance.s2 < …`, all after shard 0's instance/relation and
+    /// before any `durable` lock; the per-shard `durable` locks follow
+    /// in shard order after shard 0's.
+    extra_shards: Vec<ShardSlice>,
+    /// Source name → identity attribute, mirrored from the (broadcast)
+    /// source registry so [`Db::routing_key`] never touches a shard's
+    /// instance lock: a commit holds its shard's instance write lock
+    /// across the fsync, and routing through it would couple every
+    /// writer to shard 0. A leaf lock: held only for the lookup, never
+    /// while acquiring any other lock.
+    identities: parking_lot::RwLock<HashMap<String, Option<String>>>,
+    /// Group-commit queues for shards `1..n` (one committer thread
+    /// each); empty unless both sharding and
+    /// [`DbBuilder::ingest_queue`] are configured.
+    extra_queues: Vec<Arc<IngestQueue>>,
     /// The kv/enrichment store shared by user transactions and the
     /// curation pipeline (internally synchronized).
     enriched: EnrichedDb,
@@ -384,8 +446,50 @@ impl Drop for DbInner {
         if let Some(queue) = &self.ingest_queue {
             queue.close();
         }
+        for queue in &self.extra_queues {
+            queue.close();
+        }
         if let Some(telemetry) = &self.telemetry {
             telemetry.stop();
+        }
+    }
+}
+
+impl DbInner {
+    /// Number of write shards (≥ 1).
+    fn shard_count(&self) -> u32 {
+        self.extra_shards.len() as u32 + 1
+    }
+
+    fn instance_lock(&self, shard: u32) -> &TrackedRwLock<InstanceShard> {
+        if shard == 0 {
+            &self.instance
+        } else {
+            &self.extra_shards[shard as usize - 1].instance
+        }
+    }
+
+    fn relation_lock(&self, shard: u32) -> &TrackedRwLock<RelationShard> {
+        if shard == 0 {
+            &self.relation
+        } else {
+            &self.extra_shards[shard as usize - 1].relation
+        }
+    }
+
+    fn durable_lock(&self, shard: u32) -> &TrackedMutex<Option<DurableWal>> {
+        if shard == 0 {
+            &self.durable
+        } else {
+            &self.extra_shards[shard as usize - 1].durable
+        }
+    }
+
+    fn shard_queue(&self, shard: u32) -> Option<&Arc<IngestQueue>> {
+        if shard == 0 {
+            self.ingest_queue.as_ref()
+        } else {
+            self.extra_queues.get(shard as usize - 1)
         }
     }
 }
@@ -612,6 +716,8 @@ pub struct DbBuilder {
     ingest_max_delay: Option<Duration>,
     telemetry: Option<TelemetryConfig>,
     fault: Option<FaultPlan>,
+    write_shards: Option<u32>,
+    shard_policy: Option<PlacementPolicy>,
 }
 
 impl DbBuilder {
@@ -751,6 +857,33 @@ impl DbBuilder {
         self
     }
 
+    /// Partition the write path into `shards` range-sharded slices (§14,
+    /// DESIGN.md). Each shard owns its own instance/relation state
+    /// slice, its own WAL (`wal-s<k>-*.seg`), and — with an ingest
+    /// queue configured — its own committer thread, so single-shard
+    /// batches commit fully independently: one lock acquisition, one
+    /// append, one fsync per shard. Records route by their identity
+    /// value through a [`ShardMap`] built from [`DbBuilder::shard_policy`]
+    /// (default [`PlacementPolicy::Range`]) and persisted in
+    /// checkpoints. `0`/`1` leave the database unsharded (the default;
+    /// byte-identical WAL and `state_dump` to earlier versions). The
+    /// shard count is fixed for the life of the log directory —
+    /// [`DbBuilder::open`] refuses a directory laid out for a different
+    /// count.
+    pub fn write_shards(mut self, shards: u32) -> Self {
+        self.write_shards = Some(shards.max(1));
+        self
+    }
+
+    /// Placement policy the slot→shard routing table is built from
+    /// (default [`PlacementPolicy::Range`]: contiguous slot ranges, so
+    /// neighbouring keys co-locate). Only meaningful with
+    /// [`DbBuilder::write_shards`] ≥ 2.
+    pub fn shard_policy(mut self, policy: PlacementPolicy) -> Self {
+        self.shard_policy = Some(policy);
+        self
+    }
+
     /// Lock-wait threshold above which a blocked shard-lock acquisition
     /// emits a `("lock", "contended")` flight-recorder event. This is a
     /// process-global knob (it forwards to
@@ -786,6 +919,50 @@ impl DbBuilder {
             .ingest_queue
             .map(|cap| Arc::new(IngestQueue::new(cap, max_delay)));
         let telemetry = self.telemetry.map(|c| Arc::new(TelemetryState::new(c)));
+        let shard_map = ShardMap::build(
+            self.shard_policy.unwrap_or(PlacementPolicy::Range),
+            self.write_shards.unwrap_or(1),
+            &[],
+        );
+        let resolver_config = self.resolver.clone();
+        // Shard 0 reuses the legacy field names and lock labels; extra
+        // shards get `.s<k>`-suffixed labels so their wait histograms
+        // (`core.lock.instance.s1.wait_ns`, …) stay distinguishable.
+        let extra_shards: Vec<ShardSlice> = (1..shard_map.shards())
+            .map(|k| ShardSlice {
+                instance: TrackedRwLock::new(
+                    shard_label("instance", k),
+                    shard_metric("instance", k),
+                    InstanceShard {
+                        sources: Vec::new(),
+                        text: TextStore::new(),
+                    },
+                ),
+                relation: TrackedRwLock::new(
+                    shard_label("relation", k),
+                    shard_metric("relation", k),
+                    RelationShard {
+                        resolver: IncrementalResolver::new(resolver_config.clone()),
+                        graph: PropertyGraph::new(),
+                        entity_by_name: HashMap::new(),
+                        identity_of_entity: HashMap::new(),
+                        stats: CurationStats::default(),
+                        tick: 0,
+                    },
+                ),
+                durable: TrackedMutex::new(
+                    shard_label("durable", k),
+                    shard_metric("durable", k),
+                    None,
+                ),
+            })
+            .collect();
+        let extra_queues: Vec<Arc<IngestQueue>> = match self.ingest_queue {
+            Some(cap) => (1..shard_map.shards())
+                .map(|_| Arc::new(IngestQueue::new(cap, max_delay)))
+                .collect(),
+            None => Vec::new(),
+        };
         let db = Db {
             inner: Arc::new(DbInner {
                 started: Instant::now(),
@@ -815,6 +992,10 @@ impl DbBuilder {
                     },
                 ),
                 durable: TrackedMutex::new("durable", "core.lock.durable.wait_ns", None),
+                shard_map,
+                extra_shards,
+                identities: parking_lot::RwLock::new(HashMap::new()),
+                extra_queues,
                 enriched: EnrichedDb::with_manager(TxnManager::new(), isolation),
                 recovery: Mutex::new(None),
                 slow: Mutex::new(VecDeque::new()),
@@ -852,16 +1033,33 @@ impl DbBuilder {
             }),
         };
         metrics().gauge_set("core.mode", 0);
-        if let Some(queue) = queue {
-            // The committer holds only a Weak: the thread never keeps the
-            // database alive. Recovery (DbBuilder::open) runs before any
-            // producer can enqueue, so the thread just parks until then.
-            // The supervisor wrapper catches panics (including injected
-            // ones), fails the in-flight tickets, and restarts the loop.
+        // One committer thread per shard queue. Each holds only a Weak:
+        // the threads never keep the database alive. Recovery
+        // (DbBuilder::open) runs before any producer can enqueue, so the
+        // threads just park until then. The supervisor wrapper catches
+        // panics (including injected ones), fails the in-flight tickets,
+        // and restarts the loop.
+        let committer_queues: Vec<(u32, Arc<IngestQueue>)> = queue
+            .into_iter()
+            .map(|q| (0u32, q))
+            .chain(
+                db.inner
+                    .extra_queues
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| (i as u32 + 1, Arc::clone(q))),
+            )
+            .collect();
+        for (shard, queue) in committer_queues {
             let weak = Arc::downgrade(&db.inner);
             let inflight: InflightTickets = Arc::new(std::sync::Mutex::new(Vec::new()));
+            let thread_name = if shard == 0 {
+                "scdb-group-commit".to_string()
+            } else {
+                format!("scdb-commit-s{shard}")
+            };
             std::thread::Builder::new()
-                .name("scdb-group-commit".to_string())
+                .name(thread_name)
                 .spawn(move || {
                     let body_weak = weak.clone();
                     let body_inflight = Arc::clone(&inflight);
@@ -870,6 +1068,7 @@ impl DbBuilder {
                             body_weak.clone(),
                             Arc::clone(&queue),
                             Arc::clone(&body_inflight),
+                            shard,
                         )
                     })
                 })
@@ -919,11 +1118,104 @@ impl DbBuilder {
             Some(plan) => Box::new(FaultInjector::new(store, plan)),
             None => store,
         };
+        // The on-disk shard layout is fixed at creation: refuse to open
+        // a directory whose file names describe a different shard count
+        // than the builder configured (a legacy unsharded directory
+        // counts as one shard).
+        let shards = db.inner.shard_count();
+        let found = discover_shard_count(store.as_ref())
+            .map_err(|e| scdb_txn::TxnError::io("scan log dir", &e))?;
+        if let Some(found) = found {
+            if found != shards {
+                return Err(CoreError::Recovery(format!(
+                    "log directory holds {found} write shard(s) but the builder \
+                     configured {shards} — the shard count is fixed when the \
+                     database is created (DbBuilder::write_shards)"
+                )));
+            }
+        }
         // Recovery replays through the live pipeline while `durable` is
-        // still `None`, so nothing gets re-logged; the WAL is installed
-        // only once the state matches the committed log.
-        let (wal, recovered) = DurableWal::open(store, policy, segment_bytes)?;
-        let report = db.install_recovery(recovered)?;
+        // still `None`, so nothing gets re-logged; the WALs are
+        // installed only once the state matches the committed logs.
+        let report = if shards == 1 {
+            let (wal, recovered) = DurableWal::open(store, policy, segment_bytes)?;
+            let report = db.install_recovery(recovered)?;
+            *db.inner.durable.lock() = Some(wal);
+            report
+        } else {
+            // Parallel recovery: one worker per shard over a shared
+            // medium, synchronized only at cross-shard seals (the
+            // ledger). Worker k replays exactly shard k's log into
+            // shard k's slice.
+            let shared = SharedStore::new(store);
+            let ledger = SealLedger::new();
+            let dbref = &db;
+            let results: Vec<Result<(DurableWal, DbRecoveryReport), CoreError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..shards)
+                        .map(|k| {
+                            let shared = shared.clone();
+                            let ledger = &ledger;
+                            scope.spawn(move || {
+                                let out = (|| {
+                                    let (wal, recovered) = DurableWal::open_shard(
+                                        Box::new(shared),
+                                        policy,
+                                        segment_bytes,
+                                        Some(k),
+                                    )?;
+                                    scdb_obs::events().record_with_message(
+                                        "core",
+                                        "shard.recovery",
+                                        &[
+                                            ("shard", F::U64(u64::from(k))),
+                                            ("records", F::U64(recovered.records.len() as u64)),
+                                        ],
+                                        &format!("{:?}", std::thread::current().id()),
+                                    );
+                                    let report =
+                                        dbref.install_recovery_shard(k, recovered, Some(ledger))?;
+                                    Ok((wal, report))
+                                })();
+                                // Decide every seal this worker never
+                                // announced — even on error, so no other
+                                // worker waits on it forever.
+                                ledger.finish(k);
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("recovery worker panicked"))
+                        .collect()
+                });
+            let mut merged = DbRecoveryReport::default();
+            for (k, result) in results.into_iter().enumerate() {
+                let (wal, report) = result?;
+                merged.snapshot_rows += report.snapshot_rows;
+                merged.records_replayed += report.records_replayed;
+                merged.txns_discarded += report.txns_discarded;
+                merged.wal.segments_scanned += report.wal.segments_scanned;
+                merged.wal.records_decoded += report.wal.records_decoded;
+                merged.wal.bytes_truncated += report.wal.bytes_truncated;
+                merged.wal.corrupt_tail |= report.wal.corrupt_tail;
+                merged.wal.snapshots_discarded += report.wal.snapshots_discarded;
+                if k == 0 {
+                    merged.wal.snapshot_seq = report.wal.snapshot_seq;
+                }
+                *db.inner.durable_lock(k as u32).lock() = Some(wal);
+            }
+            scdb_obs::event(
+                "core",
+                "shard.map",
+                &[
+                    ("shards", F::U64(u64::from(shards))),
+                    ("slots", F::U64(db.inner.shard_map.slots().len() as u64)),
+                ],
+            );
+            merged
+        };
         let m = metrics();
         m.gauge_set(
             "core.recovery.records_replayed",
@@ -940,7 +1232,6 @@ impl DbBuilder {
                 ("txns_discarded", F::U64(report.txns_discarded as u64)),
             ],
         );
-        *db.inner.durable.lock() = Some(wal);
         *db.inner.recovery.lock() = Some(report);
         Ok(db)
     }
@@ -993,16 +1284,26 @@ impl Db {
         if crate::syscat::is_sys_name(name) {
             return Err(CoreError::ReservedNamespace(name.to_string()));
         }
+        // DDL broadcasts: every shard gets the source definition (its
+        // own row store, stats, indexes) and logs the registration to
+        // its own WAL, so each shard's log replays standalone. Locks
+        // are acquired shard-major (instance.sK < relation.sK < …),
+        // matching the cross-shard ingest path.
+        let shards = self.inner.shard_count();
         let mut symbols = self.inner.symbols.write();
-        let mut instance = self.inner.instance.write();
-        let mut relation = self.inner.relation.write();
-        if let Some((_, s)) = instance.sources.iter().find(|(n, _)| n == name) {
+        let mut instances = Vec::with_capacity(shards as usize);
+        let mut relations = Vec::with_capacity(shards as usize);
+        for k in 0..shards {
+            instances.push(self.inner.instance_lock(k).write());
+            relations.push(self.inner.relation_lock(k).write());
+        }
+        if let Some((_, s)) = instances[0].sources.iter().find(|(n, _)| n == name) {
             return Ok(s.id);
         }
         // Log before mutating (auto-sealed: registration is not gated by
         // a commit record — it is idempotent and carries no user data).
-        {
-            let mut durable = self.inner.durable.lock();
+        for k in 0..shards {
+            let mut durable = self.inner.durable_lock(k).lock();
             if let Some(wal) = durable.as_mut() {
                 wal.append_sealed(&[LogRecord::SourceReg {
                     name: name.to_string(),
@@ -1011,21 +1312,29 @@ impl Db {
                 .map_err(|e| self.trip_on_io(e))?;
             }
         }
-        let id = SourceId(instance.sources.len() as u32);
+        let id = SourceId(instances[0].sources.len() as u32);
         if let Some(attr) = identity_attr {
             let sym = symbols.intern(attr);
-            relation.resolver.designate_identity(id, sym);
+            for relation in &mut relations {
+                relation.resolver.designate_identity(id, sym);
+            }
         }
-        instance.sources.push((
-            name.to_string(),
-            SourceState {
-                id,
-                store: RowStore::new(id),
-                stats: HashMap::new(),
-                identity_attr: identity_attr.map(str::to_string),
-                indexes: IndexSet::new(),
-            },
-        ));
+        for instance in &mut instances {
+            instance.sources.push((
+                name.to_string(),
+                SourceState {
+                    id,
+                    store: RowStore::new(id),
+                    stats: HashMap::new(),
+                    identity_attr: identity_attr.map(str::to_string),
+                    indexes: IndexSet::new(),
+                },
+            ));
+        }
+        self.inner
+            .identities
+            .write()
+            .insert(name.to_string(), identity_attr.map(str::to_string));
         Ok(id)
     }
 
@@ -1065,13 +1374,14 @@ impl Db {
         text: Option<&str>,
     ) -> Result<IngestReport, CoreError> {
         self.ensure_writable()?;
-        if let Some(queue) = &self.inner.ingest_queue {
-            return queue
-                .submit(IngestItem::new(
-                    source.to_string(),
-                    record,
-                    text.map(str::to_owned),
-                ))?
+        if self.inner.ingest_queue.is_some() {
+            let item = IngestItem::new(source.to_string(), record, text.map(str::to_owned));
+            let shard = self.route_shard(&item.source, &item.record);
+            return self
+                .inner
+                .shard_queue(shard)
+                .expect("one queue per shard when queued ingest is configured")
+                .submit(item)?
                 .wait();
         }
         self.ingest_direct(source, record, text)
@@ -1111,10 +1421,17 @@ impl Db {
         if records.is_empty() {
             return Ok(Vec::new());
         }
-        if let Some(queue) = &self.inner.ingest_queue {
+        if self.inner.ingest_queue.is_some() {
             let tickets: Vec<CommitTicket> = records
                 .into_iter()
-                .map(|record| queue.submit(IngestItem::new(source.to_string(), record, None)))
+                .map(|record| {
+                    let item = IngestItem::new(source.to_string(), record, None);
+                    let shard = self.route_shard(&item.source, &item.record);
+                    self.inner
+                        .shard_queue(shard)
+                        .expect("one queue per shard when queued ingest is configured")
+                        .submit(item)
+                })
                 .collect::<Result<_, _>>()?;
             return tickets.into_iter().map(CommitTicket::wait).collect();
         }
@@ -1139,7 +1456,13 @@ impl Db {
         self.ensure_writable()?;
         let item = IngestItem::new(source.to_string(), record, text.map(str::to_owned));
         match &self.inner.ingest_queue {
-            Some(queue) => queue.submit(item),
+            Some(_) => {
+                let shard = self.route_shard(&item.source, &item.record);
+                self.inner
+                    .shard_queue(shard)
+                    .expect("one queue per shard when queued ingest is configured")
+                    .submit(item)
+            }
             None => Ok(CommitTicket::resolved(
                 self.apply_ingest_batch(vec![item])
                     .pop()
@@ -1169,7 +1492,94 @@ impl Db {
     /// 3. **Apply** — run the curation pipeline per row via
     ///    [`curate_one`], which clones the row exactly once (the
     ///    store's copy; the resolver consumes the original).
+    ///
+    /// On a sharded database this routes: a batch whose rows all land
+    /// on one shard runs [`Db::apply_ingest_batch_shard`] against that
+    /// shard alone (fully independent of the other shards — one lock
+    /// acquisition, one append, one fsync); a batch spanning shards
+    /// runs the cross-shard protocol
+    /// ([`Db::apply_ingest_batch_multi`]).
     fn apply_ingest_batch(&self, items: Vec<IngestItem>) -> Vec<Result<IngestReport, CoreError>> {
+        if self.inner.extra_shards.is_empty() {
+            return self.apply_ingest_batch_shard(0, items);
+        }
+        let shards = self.inner.shard_count() as usize;
+        let mut groups: Vec<Vec<(usize, IngestItem)>> = (0..shards).map(|_| Vec::new()).collect();
+        let total = items.len();
+        for (slot, item) in items.into_iter().enumerate() {
+            let shard = self.route_shard(&item.source, &item.record);
+            groups[shard as usize].push((slot, item));
+        }
+        let involved: Vec<u32> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(k, _)| k as u32)
+            .collect();
+        if involved.len() == 1 {
+            let k = involved[0];
+            // All rows routed to one shard: slots are already in input
+            // order, so the per-shard results come back aligned.
+            let items = groups
+                .swap_remove(k as usize)
+                .into_iter()
+                .map(|(_, item)| item)
+                .collect();
+            return self.apply_ingest_batch_shard(k, items);
+        }
+        self.apply_ingest_batch_multi(groups, total)
+    }
+
+    /// The shard a record's rows belong to: its routing key hashed
+    /// through the [`ShardMap`]. Unsharded databases skip the key
+    /// extraction entirely.
+    fn route_shard(&self, source: &str, record: &Record) -> u32 {
+        if self.inner.extra_shards.is_empty() {
+            return 0;
+        }
+        let key = self.routing_key(source, record);
+        self.inner.shard_map.shard_of_key(&key)
+    }
+
+    /// A record's routing key: the (normalized) value of its source's
+    /// identity attribute when present, else its first string value,
+    /// else its first value rendered. Normalizing matches the identity
+    /// key the resolver registers, so records that name the same entity
+    /// co-locate on one shard and per-shard entity resolution stays
+    /// exact. Source definitions are broadcast to every shard, so shard
+    /// 0's copy answers the identity-attribute lookup.
+    fn routing_key(&self, source: &str, record: &Record) -> String {
+        let symbols = self.inner.symbols.read();
+        // The identity attribute comes from the leaf-lock mirror, not a
+        // shard's instance state: commits hold their shard's instance
+        // write lock across the fsync, and routing must never wait on
+        // that (no cross-shard coordination on the hot path).
+        let identity = self.inner.identities.read().get(source).cloned().flatten();
+        let mut first_str: Option<String> = None;
+        let mut first_any: Option<String> = None;
+        for (a, v) in record.iter() {
+            if let Some(id) = &identity {
+                if symbols.resolve(a) == id.as_str() {
+                    return normalize(&v.render());
+                }
+            }
+            if first_str.is_none() && v.kind() == ValueKind::Str {
+                first_str = Some(normalize(&v.render()));
+            }
+            if first_any.is_none() {
+                first_any = Some(normalize(&v.render()));
+            }
+        }
+        first_str.or(first_any).unwrap_or_default()
+    }
+
+    /// Single-shard batch commit: the three-phase pipeline against one
+    /// shard's instance/relation slice and WAL.
+    fn apply_ingest_batch_shard(
+        &self,
+        shard: u32,
+        items: Vec<IngestItem>,
+    ) -> Vec<Result<IngestReport, CoreError>> {
         let _span = scdb_obs::span!("core.ingest");
         if items.is_empty() {
             return Vec::new();
@@ -1217,35 +1627,15 @@ impl Db {
         // every acked ticket reports it back.
         let batch_id = items.first().map_or(0, |i| i.ticket_id);
         let symbols = self.inner.symbols.read();
-        let mut instance = self.inner.instance.write();
-        let mut relation = self.inner.relation.write();
+        let mut instance = self.inner.instance_lock(shard).write();
+        let mut relation = self.inner.relation_lock(shard).write();
         let inst = &mut *instance;
         let rel = &mut *relation;
         // Phase 1: prepare.
         let build_start = Instant::now();
         let mut prepared: Vec<Result<Prepared, CoreError>> = items
             .into_iter()
-            .map(|item| {
-                let state = inst.source_state(&item.source)?;
-                let identity_attr = state.identity_attr.clone();
-                let source_id = state.id;
-                let mut syms = Vec::new();
-                let mut attrs = Vec::new();
-                for (a, v) in item.record.iter() {
-                    syms.push(a);
-                    attrs.push((symbols.resolve(a).to_string(), v.clone()));
-                }
-                Ok(Prepared {
-                    source: item.source,
-                    source_id,
-                    identity_attr,
-                    record: item.record,
-                    syms,
-                    attrs,
-                    text: item.text,
-                    batch_id,
-                })
-            })
+            .map(|item| prepare_item(inst, &symbols, item, batch_id))
             .collect();
         let build_ns = build_start.elapsed().as_nanos() as u64;
         if staged {
@@ -1255,7 +1645,7 @@ impl Db {
         let mut append_ns = 0u64;
         let mut fsync_ns = 0u64;
         {
-            let mut durable = self.inner.durable.lock();
+            let mut durable = self.inner.durable_lock(shard).lock();
             if let Some(wal) = durable.as_mut() {
                 let valid: Vec<usize> = prepared
                     .iter()
@@ -1286,7 +1676,14 @@ impl Db {
                         recs.push(LogRecord::Commit { txn: txns[0] });
                         wal.append_sealed(&recs)
                     } else {
-                        recs.push(LogRecord::CommitGroup { txns });
+                        // A single-shard group needs no shard vector:
+                        // its seal commit-gates within this shard's log
+                        // alone (and stays byte-identical to the
+                        // unsharded framing).
+                        recs.push(LogRecord::CommitGroup {
+                            txns,
+                            shards: Vec::new(),
+                        });
                         wal.append_group(&recs, valid.len())
                     };
                     wal.set_batch_context(0);
@@ -1374,6 +1771,246 @@ impl Db {
                 ("append_ns", F::U64(append_ns)),
                 ("fsync_ns", F::U64(fsync_ns)),
                 ("apply_ns", F::U64(apply_ns)),
+                ("shard", F::U64(shard as u64)),
+            ],
+        );
+        out
+    }
+
+    /// Cross-shard batch commit. Every involved shard logs its own rows
+    /// to its own WAL, and every participant's append ends in the same
+    /// seal: a `CommitGroup` whose `shards` vector lists each
+    /// `(shard, first_txn)` participant. Recovery commit-gates the
+    /// batch atomically across logs — it applies only when the seal is
+    /// present in *every* participant's log, so a torn or missing seal
+    /// on any one shard discards the whole batch everywhere, while
+    /// single-shard batches on other shards are unaffected.
+    ///
+    /// Lock order is shard-major (`instance.sK < relation.sK <
+    /// instance.sK+1 < …`, then every `durable` in shard order), with
+    /// involved shards acquired ascending — consistent with the
+    /// single-shard path, which takes a subset in the same order.
+    fn apply_ingest_batch_multi(
+        &self,
+        mut groups: Vec<Vec<(usize, IngestItem)>>,
+        total: usize,
+    ) -> Vec<Result<IngestReport, CoreError>> {
+        let _span = scdb_obs::span!("core.ingest");
+        if self.inner.degraded.load(Ordering::Relaxed) {
+            if let DbMode::Degraded { reason, .. } = self.mode() {
+                return (0..total)
+                    .map(|_| Err(CoreError::Degraded(reason.clone())))
+                    .collect();
+            }
+        }
+        let m = metrics();
+        let staged = m.enabled();
+        let stages = &self.inner.stages;
+        let mut max_wait_ns = 0u64;
+        {
+            let now = Instant::now();
+            for (_, item) in groups.iter().flatten() {
+                let wait_ns = now.duration_since(item.enqueued_at).as_nanos() as u64;
+                if staged {
+                    stages.queue_wait.record(wait_ns);
+                }
+                max_wait_ns = max_wait_ns.max(wait_ns);
+            }
+        }
+        let batch_id = groups
+            .iter()
+            .flatten()
+            .map(|(_, item)| item.ticket_id)
+            .min()
+            .unwrap_or(0);
+        let involved: Vec<u32> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(k, _)| k as u32)
+            .collect();
+        let symbols = self.inner.symbols.read();
+        let mut instances = Vec::with_capacity(involved.len());
+        let mut relations = Vec::with_capacity(involved.len());
+        for &k in &involved {
+            instances.push(self.inner.instance_lock(k).write());
+            relations.push(self.inner.relation_lock(k).write());
+        }
+        // Phase 1: prepare, per shard.
+        struct ShardBatch {
+            shard: u32,
+            slots: Vec<usize>,
+            prepared: Vec<Result<Prepared, CoreError>>,
+            txns: Vec<u64>,
+        }
+        let build_start = Instant::now();
+        let mut batches: Vec<ShardBatch> = Vec::with_capacity(involved.len());
+        for (idx, &k) in involved.iter().enumerate() {
+            let inst = &mut *instances[idx];
+            let group = std::mem::take(&mut groups[k as usize]);
+            let mut slots = Vec::with_capacity(group.len());
+            let mut prepared = Vec::with_capacity(group.len());
+            for (slot, item) in group {
+                slots.push(slot);
+                prepared.push(prepare_item(inst, &symbols, item, batch_id));
+            }
+            batches.push(ShardBatch {
+                shard: k,
+                slots,
+                prepared,
+                txns: Vec::new(),
+            });
+        }
+        let build_ns = build_start.elapsed().as_nanos() as u64;
+        if staged {
+            stages.batch_build.record(build_ns);
+        }
+        // Phase 2: log. Mint per-shard transaction ids first so every
+        // participant seals with the same shard vector, then append to
+        // each shard's WAL (involved order — live appends always seal
+        // in ascending shard order, so the seals appear in a consistent
+        // relative order across logs).
+        let mut append_ns = 0u64;
+        let mut fsync_ns = 0u64;
+        {
+            let mut durables = Vec::with_capacity(involved.len());
+            for &k in &involved {
+                durables.push(self.inner.durable_lock(k).lock());
+            }
+            if durables.first().is_some_and(|d| d.is_some()) {
+                for (idx, batch) in batches.iter_mut().enumerate() {
+                    let wal = durables[idx]
+                        .as_mut()
+                        .expect("WALs are installed on every shard together");
+                    for p in &batch.prepared {
+                        if p.is_ok() {
+                            batch.txns.push(wal.next_txn_id());
+                        }
+                    }
+                }
+                let seal_shards: Vec<(u32, u64)> = batches
+                    .iter()
+                    .filter(|b| !b.txns.is_empty())
+                    .map(|b| (b.shard, b.txns[0]))
+                    .collect();
+                let mut failure: Option<scdb_txn::TxnError> = None;
+                for (idx, batch) in batches.iter_mut().enumerate() {
+                    if batch.txns.is_empty() {
+                        continue;
+                    }
+                    let wal = durables[idx].as_mut().expect("checked above");
+                    let mut recs = Vec::with_capacity(batch.txns.len() + 1);
+                    let mut txn_iter = batch.txns.iter();
+                    for p in batch.prepared.iter_mut().flatten() {
+                        recs.push(LogRecord::IngestRow {
+                            txn: *txn_iter.next().expect("one txn per valid row"),
+                            source: p.source.clone(),
+                            attrs: std::mem::take(&mut p.attrs),
+                            text: p.text.take(),
+                        });
+                    }
+                    recs.push(LogRecord::CommitGroup {
+                        txns: batch.txns.clone(),
+                        shards: seal_shards.clone(),
+                    });
+                    wal.set_batch_context(batch_id);
+                    let appended = wal.append_group(&recs, batch.txns.len());
+                    wal.set_batch_context(0);
+                    match appended {
+                        Ok(()) => {
+                            let (a, f) = wal.last_stage_ns();
+                            append_ns += a;
+                            fsync_ns += f;
+                            let mut frames = recs.into_iter();
+                            for p in batch.prepared.iter_mut().flatten() {
+                                if let Some(LogRecord::IngestRow { attrs, text, .. }) =
+                                    frames.next()
+                                {
+                                    p.attrs = attrs;
+                                    p.text = text;
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if let Some(e) = failure {
+                    // Fail the whole batch on every shard. Earlier
+                    // participants may already hold their seal, but
+                    // recovery discards a cross-shard batch whose seal
+                    // is missing from any participant's log, so memory
+                    // (nothing applied) matches the log.
+                    if e.io_class().is_some() {
+                        self.trip_degraded_for_batch(e.to_string(), batch_id);
+                    }
+                    let msg = CoreError::from(e).chain();
+                    let mut out: Vec<Result<IngestReport, CoreError>> = (0..total)
+                        .map(|_| Err(CoreError::GroupCommit(msg.clone())))
+                        .collect();
+                    for batch in batches {
+                        for (slot, p) in batch.slots.into_iter().zip(batch.prepared) {
+                            if let Err(e) = p {
+                                out[slot] = Err(e);
+                            }
+                        }
+                    }
+                    return out;
+                }
+                scdb_obs::event(
+                    "core",
+                    "shard.seal",
+                    &[
+                        ("batch_id", F::U64(batch_id)),
+                        ("shards", F::U64(seal_shards.len() as u64)),
+                        ("rows", F::U64(total as u64)),
+                    ],
+                );
+            }
+        }
+        if staged {
+            stages.wal_append.record(append_ns);
+            stages.fsync.record(fsync_ns);
+        }
+        // Phase 3: apply, per shard in log order.
+        let apply_start = Instant::now();
+        let mut out: Vec<Result<IngestReport, CoreError>> = (0..total)
+            .map(|_| Err(CoreError::GroupCommit("unfilled batch slot".to_string())))
+            .collect();
+        let mut applied = false;
+        for (idx, batch) in batches.into_iter().enumerate() {
+            let inst = &mut *instances[idx];
+            let rel = &mut *relations[idx];
+            for (slot, p) in batch.slots.into_iter().zip(batch.prepared) {
+                match p {
+                    Ok(p) => {
+                        out[slot] = curate_one(inst, rel, &symbols, p);
+                        applied = true;
+                    }
+                    Err(e) => out[slot] = Err(e),
+                }
+            }
+        }
+        if applied {
+            self.inner.semantic.write().saturation = None;
+        }
+        let apply_ns = apply_start.elapsed().as_nanos() as u64;
+        if staged {
+            stages.apply.record(apply_ns);
+        }
+        scdb_obs::event(
+            "core",
+            "ingest.stages",
+            &[
+                ("batch_id", F::U64(batch_id)),
+                ("rows", F::U64(total as u64)),
+                ("queue_wait_ns", F::U64(max_wait_ns)),
+                ("build_ns", F::U64(build_ns)),
+                ("append_ns", F::U64(append_ns)),
+                ("fsync_ns", F::U64(fsync_ns)),
+                ("apply_ns", F::U64(apply_ns)),
             ],
         );
         out
@@ -1402,16 +2039,32 @@ impl Db {
 
     /// Re-run link discovery over every stored record — used after bulk
     /// loads where references preceded their targets. Returns new links.
+    ///
+    /// On a sharded database the sweep runs shard by shard: each
+    /// shard's marker is logged to its own WAL and its sweep sees only
+    /// its own rows and graph, so replay of one shard's log reproduces
+    /// exactly that shard's links.
     pub fn discover_links(&self) -> Result<usize, CoreError> {
-        let _span = scdb_obs::span!("core.discover_links");
         self.ensure_writable()?;
-        let instance = self.inner.instance.read();
-        let mut relation = self.inner.relation.write();
+        let mut total = 0usize;
+        for k in 0..self.inner.shard_count() {
+            total += self.discover_links_shard(k)?;
+        }
+        Ok(total)
+    }
+
+    /// One shard's link-discovery sweep (the live path loops this over
+    /// every shard; replay calls it for the shard whose log carried the
+    /// marker).
+    fn discover_links_shard(&self, shard: u32) -> Result<usize, CoreError> {
+        let _span = scdb_obs::span!("core.discover_links");
+        let instance = self.inner.instance_lock(shard).read();
+        let mut relation = self.inner.relation_lock(shard).write();
         let rel = &mut *relation;
         // The sweep mutates the graph deterministically from current
         // state, so a single sealed marker record is enough for replay.
         {
-            let mut durable = self.inner.durable.lock();
+            let mut durable = self.inner.durable_lock(shard).lock();
             if let Some(wal) = durable.as_mut() {
                 let txn = wal.next_txn_id();
                 wal.append_sealed(&[LogRecord::DiscoverLinks { txn }, LogRecord::Commit { txn }])
@@ -1691,98 +2344,147 @@ impl Db {
             let config = self.inner.config.read();
             (config.optimizer, config.executor)
         };
-        // Execution under read guards, acquired in lock order.
-        let symbols = self.inner.symbols.read();
-        let instance = self.inner.instance.read();
-        let relation = self.inner.relation.read();
-        let semantic = self.inner.semantic.read();
+        // Execution under read guards, acquired in lock order. On a
+        // sharded database the query fans out: sources are broadcast to
+        // every shard and each shard holds a disjoint key-range slice
+        // of the rows, so the same query runs against each shard's
+        // state and the row sets concatenate. The plan and profile
+        // reported are shard 0's (per-shard plans may differ when the
+        // shards' statistics diverge); a shard-local LIMIT still bounds
+        // each slice and the global limit is re-applied afterwards.
+        let shards = self.inner.shard_count();
+        let mut all_rows: Vec<Record> = Vec::new();
+        let mut agg_stats: Option<ExecStats> = None;
+        let mut main_plan = None;
+        for shard in 0..shards {
+            let mut scratch = ProfileBuilder::new();
+            let prof = if shard == 0 {
+                &mut profile
+            } else {
+                &mut scratch
+            };
+            let symbols = self.inner.symbols.read();
+            let instance = self.inner.instance_lock(shard).read();
+            let relation = self.inner.relation_lock(shard).read();
+            let semantic = self.inner.semantic.read();
 
-        let state = instance.source_state(&query.from)?;
-        let base_rows = state.store.len() as u64;
-        let plan_start = Instant::now();
-        let plan = LogicalPlan::from_query(query);
-        let plan_elapsed = plan_start.elapsed();
-        metrics().observe("query.plan_ns", plan_elapsed.as_nanos() as u64);
-        profile.stage("plan", plan_elapsed).notes.push(format!(
-            "{} atom(s), {} node(s)",
-            query.atoms.len(),
-            plan.nodes.len()
-        ));
-        // The taxonomy cache may have been invalidated by a concurrent
-        // ontology edit between prep and here; fall back to a local
-        // build from the guarded ontology (consistent, just uncached).
-        let local_taxonomy;
-        let taxonomy = match semantic.taxonomy.as_ref() {
-            Some(t) => t,
-            None => {
-                local_taxonomy = Taxonomy::build(&semantic.ontology);
-                &local_taxonomy
+            let state = instance.source_state(&query.from)?;
+            let base_rows = state.store.len() as u64;
+            let plan_start = Instant::now();
+            let plan = LogicalPlan::from_query(query);
+            let plan_elapsed = plan_start.elapsed();
+            if shard == 0 {
+                metrics().observe("query.plan_ns", plan_elapsed.as_nanos() as u64);
             }
-        };
-        // Prefer the cached saturation (fresher) over the prep snapshot.
-        let saturation: Option<&Saturation> =
-            semantic.saturation.as_deref().or(sat_snapshot.as_deref());
-        let ctx = SemanticContext {
-            ontology: &semantic.ontology,
-            taxonomy,
-            saturation,
-        };
-        let optimizer = Optimizer::new(optimizer_config);
-        let opt_start = Instant::now();
-        let plan = optimizer.optimize_with_indexes(
-            plan,
-            Some(&ctx),
-            Some(&state.stats),
-            base_rows,
-            &state.indexes.defs(),
-        );
-        let opt_elapsed = opt_start.elapsed();
-        metrics().observe("query.optimize_ns", opt_elapsed.as_nanos() as u64);
-        profile.stage("optimize", opt_elapsed);
-        for rewrite in &plan.rewrites {
-            profile.decision(rewrite.clone());
-        }
-
-        let source =
-            StoreSource::with_indexes(query.from.clone(), &state.store, &symbols, &state.indexes);
-        let mut env = EvalEnv::default();
-        if let Some(sat) = saturation {
-            env.semantic = Some(SemanticEnv {
+            prof.stage("plan", plan_elapsed).notes.push(format!(
+                "{} atom(s), {} node(s)",
+                query.atoms.len(),
+                plan.nodes.len()
+            ));
+            // The taxonomy cache may have been invalidated by a concurrent
+            // ontology edit between prep and here; fall back to a local
+            // build from the guarded ontology (consistent, just uncached).
+            let local_taxonomy;
+            let taxonomy = match semantic.taxonomy.as_ref() {
+                Some(t) => t,
+                None => {
+                    local_taxonomy = Taxonomy::build(&semantic.ontology);
+                    &local_taxonomy
+                }
+            };
+            // Prefer the cached saturation (fresher) over the prep snapshot.
+            let saturation: Option<&Saturation> =
+                semantic.saturation.as_deref().or(sat_snapshot.as_deref());
+            let ctx = SemanticContext {
                 ontology: &semantic.ontology,
-                saturation: sat,
-                entity_by_name: &relation.entity_by_name,
-            });
-        }
-        // Model atoms: features default to the numeric attributes of the
-        // row in attribute order (documented limitation; richer feature
-        // maps are provided through `run_query_with_env` in the explore
-        // module).
-        for (name, model) in &semantic.models {
-            let dims = model.spec().features.len();
-            env.models.insert(
-                name.clone(),
-                (
-                    model,
-                    Box::new(move |r: &Record| {
-                        let mut v: Vec<f64> =
-                            r.iter().filter_map(|(_, val)| val.as_float()).collect();
-                        v.resize(dims, 0.0);
-                        v
-                    }),
-                ),
+                taxonomy,
+                saturation,
+            };
+            let optimizer = Optimizer::new(optimizer_config);
+            let opt_start = Instant::now();
+            let plan = optimizer.optimize_with_indexes(
+                plan,
+                Some(&ctx),
+                Some(&state.stats),
+                base_rows,
+                &state.indexes.defs(),
             );
+            let opt_elapsed = opt_start.elapsed();
+            if shard == 0 {
+                metrics().observe("query.optimize_ns", opt_elapsed.as_nanos() as u64);
+            }
+            prof.stage("optimize", opt_elapsed);
+            for rewrite in &plan.rewrites {
+                prof.decision(rewrite.clone());
+            }
+
+            let source = StoreSource::with_indexes(
+                query.from.clone(),
+                &state.store,
+                &symbols,
+                &state.indexes,
+            );
+            let mut env = EvalEnv::default();
+            if let Some(sat) = saturation {
+                env.semantic = Some(SemanticEnv {
+                    ontology: &semantic.ontology,
+                    saturation: sat,
+                    entity_by_name: &relation.entity_by_name,
+                });
+            }
+            // Model atoms: features default to the numeric attributes of the
+            // row in attribute order (documented limitation; richer feature
+            // maps are provided through `run_query_with_env` in the explore
+            // module).
+            for (name, model) in &semantic.models {
+                let dims = model.spec().features.len();
+                env.models.insert(
+                    name.clone(),
+                    (
+                        model,
+                        Box::new(move |r: &Record| {
+                            let mut v: Vec<f64> =
+                                r.iter().filter_map(|(_, val)| val.as_float()).collect();
+                            v.resize(dims, 0.0);
+                            v
+                        }),
+                    ),
+                );
+            }
+            let exec_start = Instant::now();
+            let (rows, stats) = executor.execute_profiled(&plan, &source, &env, prof)?;
+            if shard == 0 {
+                metrics().observe("query.execute_ns", exec_start.elapsed().as_nanos() as u64);
+            }
+            all_rows.extend(rows);
+            agg_stats = Some(match agg_stats.take() {
+                None => stats,
+                Some(mut total) => {
+                    total.rows_scanned += stats.rows_scanned;
+                    total.atom_evals += stats.atom_evals;
+                    total.rows_out += stats.rows_out;
+                    total
+                }
+            });
+            if shard == 0 {
+                main_plan = Some(plan);
+            }
         }
-        let exec_start = Instant::now();
-        let (rows, stats) = executor.execute_profiled(&plan, &source, &env, &mut profile)?;
-        metrics().observe("query.execute_ns", exec_start.elapsed().as_nanos() as u64);
+        let mut stats = agg_stats.expect("at least one shard executes");
+        if shards > 1 {
+            if let Some(limit) = query.limit {
+                all_rows.truncate(limit);
+            }
+            stats.rows_out = all_rows.len() as u64;
+        }
         let profile = profile.finish();
         let total = started.elapsed();
         if total >= self.inner.slow_threshold {
-            self.capture_slow_query(query, sql, total, rows.len(), &profile);
+            self.capture_slow_query(query, sql, total, all_rows.len(), &profile);
         }
         Ok(QueryOutcome {
-            rows,
-            plan,
+            rows: all_rows,
+            plan: main_plan.expect("shard 0 executes"),
             stats,
             profile,
         })
@@ -1935,23 +2637,46 @@ impl Db {
                 syscat::sample_rows(&samples)
             }
             "sys.indexes" => {
-                let instance = self.inner.instance.read();
-                let defs: Vec<(IndexDef, u64)> = instance
-                    .sources
-                    .iter()
-                    .flat_map(|(_, s)| {
-                        s.indexes.defs().into_iter().map(|d| {
-                            let entries = s.indexes.get(&d.name).map(|i| i.entries()).unwrap_or(0);
-                            (d, entries)
+                // Definitions are broadcast to every shard; entry
+                // counts sum across the shards' slices.
+                let mut defs: Vec<(IndexDef, u64)> = {
+                    let instance = self.inner.instance.read();
+                    instance
+                        .sources
+                        .iter()
+                        .flat_map(|(_, s)| {
+                            s.indexes.defs().into_iter().map(|d| {
+                                let entries =
+                                    s.indexes.get(&d.name).map(|i| i.entries()).unwrap_or(0);
+                                (d, entries)
+                            })
                         })
-                    })
-                    .collect();
+                        .collect()
+                };
+                for k in 1..self.inner.shard_count() {
+                    let instance = self.inner.instance_lock(k).read();
+                    for (_, s) in &instance.sources {
+                        for (def, entries) in defs.iter_mut() {
+                            if let Some(i) = s.indexes.get(&def.name) {
+                                *entries += i.entries();
+                            }
+                        }
+                    }
+                }
                 syscat::index_rows(&defs)
             }
-            "sys.locks" => syscat::lock_rows(&metrics().snapshot()),
+            "sys.locks" => syscat::lock_rows(self.inner.shard_count(), &metrics().snapshot()),
             "sys.wal" => {
-                let lag = self.inner.durable.lock().as_ref().map(|w| w.lag());
-                syscat::wal_rows(lag, &self.mode(), &metrics().snapshot())
+                // One row per write shard's WAL.
+                let lags: Vec<(u32, Option<scdb_txn::WalLag>)> = (0..self.inner.shard_count())
+                    .map(|k| {
+                        (
+                            k,
+                            self.inner.durable_lock(k).lock().as_ref().map(|w| w.lag()),
+                        )
+                    })
+                    .collect();
+                syscat::wal_rows(&lags, &self.mode(), &metrics().snapshot())
             }
             "sys.threads" => {
                 syscat::thread_rows(&scdb_obs::events().snapshot(), &metrics().snapshot())
@@ -2091,23 +2816,30 @@ impl Db {
             };
             return Err(CoreError::ReservedNamespace(offender.to_string()));
         }
+        // DDL broadcasts on a sharded database: the definition lands in
+        // every shard's slice and every shard's WAL, and each shard
+        // builds contents from its own rows.
+        let shards = self.inner.shard_count();
         let symbols = self.inner.symbols.read();
-        let mut instance = self.inner.instance.write();
-        if instance
+        let mut instances = Vec::with_capacity(shards as usize);
+        for k in 0..shards {
+            instances.push(self.inner.instance_lock(k).write());
+        }
+        if instances[0]
             .sources
             .iter()
             .any(|(_, s)| s.indexes.get(name).is_some())
         {
             return Err(CoreError::DuplicateIndex(name.to_string()));
         }
-        instance.source_state(source)?;
+        instances[0].source_state(source)?;
         // Log before mutating (auto-sealed, mirroring source
         // registration): the definition takes effect at this log
         // position, and replay rebuilds contents from the rows visible
         // there — later replayed ingests maintain it incrementally,
         // exactly like the live pipeline did.
-        {
-            let mut durable = self.inner.durable.lock();
+        for k in 0..shards {
+            let mut durable = self.inner.durable_lock(k).lock();
             if let Some(wal) = durable.as_mut() {
                 wal.append_sealed(&[LogRecord::IndexCreate {
                     name: name.to_string(),
@@ -2124,9 +2856,12 @@ impl Db {
             attr: attr.to_string(),
             kind,
         };
-        let state = instance.source_state_mut(source)?;
-        state.indexes.create(def.clone(), &symbols, &state.store);
-        let entries = state.indexes.get(name).map(|i| i.entries()).unwrap_or(0);
+        let mut entries = 0u64;
+        for instance in &mut instances {
+            let state = instance.source_state_mut(source)?;
+            state.indexes.create(def.clone(), &symbols, &state.store);
+            entries += state.indexes.get(name).map(|i| i.entries()).unwrap_or(0);
+        }
         metrics().inc("core.index.creates");
         scdb_obs::event(
             "core",
@@ -2147,16 +2882,20 @@ impl Db {
     /// drop is logged before the in-memory removal.
     pub fn drop_index(&self, name: &str) -> Result<(), CoreError> {
         self.ensure_writable()?;
-        let mut instance = self.inner.instance.write();
-        if !instance
+        let shards = self.inner.shard_count();
+        let mut instances = Vec::with_capacity(shards as usize);
+        for k in 0..shards {
+            instances.push(self.inner.instance_lock(k).write());
+        }
+        if !instances[0]
             .sources
             .iter()
             .any(|(_, s)| s.indexes.get(name).is_some())
         {
             return Err(CoreError::UnknownIndex(name.to_string()));
         }
-        {
-            let mut durable = self.inner.durable.lock();
+        for k in 0..shards {
+            let mut durable = self.inner.durable_lock(k).lock();
             if let Some(wal) = durable.as_mut() {
                 wal.append_sealed(&[LogRecord::IndexDrop {
                     name: name.to_string(),
@@ -2164,9 +2903,11 @@ impl Db {
                 .map_err(|e| self.trip_on_io(e))?;
             }
         }
-        for (_, state) in &mut instance.sources {
-            if state.indexes.drop_index(name) {
-                break;
+        for instance in &mut instances {
+            for (_, state) in &mut instance.sources {
+                if state.indexes.drop_index(name) {
+                    break;
+                }
             }
         }
         metrics().inc("core.index.drops");
@@ -2333,14 +3074,21 @@ impl Db {
         // Refresh sampled gauges so watch rules compare current levels,
         // not whatever the last mutation happened to leave behind.
         {
-            let durable = self.inner.durable.lock();
-            if let Some(wal) = durable.as_ref() {
-                let lag = wal.lag();
-                m.gauge_set(
-                    "core.wal.records_since_ckpt",
-                    lag.records_since_checkpoint as i64,
-                );
-                m.gauge_set("core.wal.unsynced_bytes", lag.unsynced_bytes as i64);
+            let mut records = 0i64;
+            let mut unsynced = 0i64;
+            let mut any = false;
+            for k in 0..self.inner.shard_count() {
+                let durable = self.inner.durable_lock(k).lock();
+                if let Some(wal) = durable.as_ref() {
+                    let lag = wal.lag();
+                    records += lag.records_since_checkpoint as i64;
+                    unsynced += lag.unsynced_bytes as i64;
+                    any = true;
+                }
+            }
+            if any {
+                m.gauge_set("core.wal.records_since_ckpt", records);
+                m.gauge_set("core.wal.unsynced_bytes", unsynced);
             }
         }
         // Mirror flight-recorder loss accounting into monotone counters
@@ -2382,27 +3130,46 @@ impl Db {
         let entities = self.entity_count();
         let sources = self.source_count();
         let (durable, wal) = {
-            let guard = self.inner.durable.lock();
-            match guard.as_ref() {
-                Some(w) => (
-                    true,
-                    Some(WalHealth {
-                        lag: w.lag(),
-                        checkpoints: metrics().counter("txn.checkpoints").get(),
-                        fsyncs: metrics().counter("txn.wal.fsyncs").get(),
-                    }),
-                ),
-                None => (false, None),
+            // Sum WAL lag across every shard's log (one WAL per write
+            // shard); `active_seq` reports the furthest shard.
+            let mut lag_total = scdb_txn::WalLag::default();
+            let mut any = false;
+            for k in 0..self.inner.shard_count() {
+                let guard = self.inner.durable_lock(k).lock();
+                if let Some(w) = guard.as_ref() {
+                    let lag = w.lag();
+                    lag_total.records_since_checkpoint += lag.records_since_checkpoint;
+                    lag_total.unsynced_bytes += lag.unsynced_bytes;
+                    lag_total.active_segment_bytes += lag.active_segment_bytes;
+                    lag_total.active_seq = lag_total.active_seq.max(lag.active_seq);
+                    any = true;
+                }
             }
+            (
+                any,
+                any.then(|| WalHealth {
+                    lag: lag_total,
+                    checkpoints: metrics().counter("txn.checkpoints").get(),
+                    fsyncs: metrics().counter("txn.wal.fsyncs").get(),
+                }),
+            )
         };
-        let locks = LOCK_SHARDS
-            .iter()
+        // Baseline lock set plus the `.s<k>` slices of extra write
+        // shards, so a sharded node's wait tails stay visible per shard.
+        let mut lock_labels: Vec<String> = LOCK_SHARDS.iter().map(|s| s.to_string()).collect();
+        for k in 1..self.inner.shard_count() {
+            for base in ["instance", "relation", "durable"] {
+                lock_labels.push(format!("{base}.s{k}"));
+            }
+        }
+        let locks = lock_labels
+            .into_iter()
             .map(|shard| {
                 let h = metrics()
                     .histogram(&format!("core.lock.{shard}.wait_ns"))
                     .snapshot();
                 LockWaitSummary {
-                    shard: shard.to_string(),
+                    shard,
                     count: h.count,
                     p99_ns: h.p99,
                     max_ns: h.max,
@@ -2540,24 +3307,53 @@ impl Db {
         assess(&self.inner.relation.read().graph)
     }
 
-    /// Curation counters (an owned snapshot).
+    /// Curation counters (an owned snapshot, summed across shards).
     pub fn stats(&self) -> CurationStats {
-        self.inner.relation.read().stats.clone()
+        let mut total = CurationStats::default();
+        for shard in 0..self.inner.shard_count() {
+            let relation = self.inner.relation_lock(shard).read();
+            total.records += relation.stats.records;
+            total.merges += relation.stats.merges;
+            total.links += relation.stats.links;
+            total.inferred_facts += relation.stats.inferred_facts;
+            total.reason_runs += relation.stats.reason_runs;
+        }
+        total
     }
 
-    /// Number of live entities.
+    /// Number of live entities (summed across shards; entities never
+    /// span shards because records route by key range).
     pub fn entity_count(&self) -> usize {
-        self.inner.relation.read().resolver.entity_count()
+        (0..self.inner.shard_count())
+            .map(|shard| {
+                self.inner
+                    .relation_lock(shard)
+                    .read()
+                    .resolver
+                    .entity_count()
+            })
+            .sum()
     }
 
-    /// Number of registered sources.
+    /// Number of registered sources. Registration broadcasts to every
+    /// shard, so shard 0's view is authoritative.
     pub fn source_count(&self) -> usize {
         self.inner.instance.read().sources.len()
     }
 
-    /// Records stored in `source`.
+    /// Records stored in `source`, summed across shards.
     pub fn record_count(&self, source: &str) -> Result<usize, CoreError> {
-        Ok(self.inner.instance.read().source_state(source)?.store.len())
+        let mut total = 0;
+        for shard in 0..self.inner.shard_count() {
+            total += self
+                .inner
+                .instance_lock(shard)
+                .read()
+                .source_state(source)?
+                .store
+                .len();
+        }
+        Ok(total)
     }
 
     /// Registered source names, in registration order.
@@ -2587,10 +3383,20 @@ impl Db {
 
     /// Total pairwise ER comparisons so far (cost metric).
     pub fn er_comparisons(&self) -> u64 {
-        self.inner.relation.read().resolver.comparisons()
+        (0..self.inner.shard_count())
+            .map(|shard| {
+                self.inner
+                    .relation_lock(shard)
+                    .read()
+                    .resolver
+                    .comparisons()
+            })
+            .sum()
     }
 
-    /// Current record → entity assignments.
+    /// Current record → entity assignments. Shard 0 only: `RecordId`s
+    /// are per-shard namespaces and collide across shards, so a merged
+    /// map would be ambiguous on a sharded database.
     pub fn assignments(&self) -> HashMap<RecordId, EntityId> {
         self.inner.relation.read().resolver.assignments()
     }
@@ -2710,13 +3516,20 @@ impl Db {
     /// No writes race this while degraded (they all fail at the gate),
     /// so a clean sync really means the fault has cleared.
     fn probe_durability(&self) -> bool {
-        let mut durable = self.inner.durable.lock();
-        match durable.as_mut() {
-            Some(wal) => wal.sync().is_ok(),
-            // No WAL to re-arm (a volatile node only degrades via
-            // restart storm): the probe trivially passes.
-            None => true,
+        // Every shard shares the medium, but each WAL has its own
+        // active segment — all of them must accept the sync before the
+        // write path re-arms.
+        for k in 0..self.inner.shard_count() {
+            let mut durable = self.inner.durable_lock(k).lock();
+            // A volatile node has no WAL to re-arm (it only degrades via
+            // restart storm): the probe trivially passes that shard.
+            if let Some(wal) = durable.as_mut() {
+                if wal.sync().is_err() {
+                    return false;
+                }
+            }
         }
+        true
     }
 
     /// Return to [`DbMode::Normal`]: flip the gate, count the
@@ -2755,21 +3568,47 @@ impl Db {
     pub fn checkpoint(&self) -> Result<CheckpointStats, CoreError> {
         let _span = scdb_obs::span!("core.checkpoint");
         self.ensure_writable()?;
-        // Shard read locks freeze a consistent state; `durable` is
-        // acquired after `relation` per the lock order, and holding it
-        // excludes concurrent loggers, so the snapshot covers exactly
-        // the sealed log prefix.
+        // Shard read locks freeze a consistent state; the `durable`
+        // locks come after every instance/relation lock per the lock
+        // order, and holding them excludes concurrent loggers, so each
+        // snapshot covers exactly its shard's sealed log prefix. Taking
+        // *every* shard's locks makes the checkpoint a global barrier:
+        // no cross-shard batch is half inside it, which is what lets
+        // recovery gate cross-shard seals per log suffix.
+        let shards = self.inner.shard_count();
         let symbols = self.inner.symbols.read();
-        let instance = self.inner.instance.read();
-        let relation = self.inner.relation.read();
-        let mut durable = self.inner.durable.lock();
-        let Some(wal) = durable.as_mut() else {
+        let mut instances = Vec::with_capacity(shards as usize);
+        let mut relations = Vec::with_capacity(shards as usize);
+        for k in 0..shards {
+            instances.push(self.inner.instance_lock(k).read());
+            relations.push(self.inner.relation_lock(k).read());
+        }
+        let mut durables: Vec<_> = (0..shards)
+            .map(|k| self.inner.durable_lock(k).lock())
+            .collect();
+        if durables[0].is_none() {
             return Err(CoreError::Recovery(
                 "checkpoint requires durability (DbBuilder::durability + open)".to_string(),
             ));
-        };
+        }
         let serialize_start = Instant::now();
-        let payloads = build_snapshot(&symbols, &instance, &relation, &self.inner.enriched);
+        let mut frames_total = 0u64;
+        let mut payloads: Vec<Vec<Vec<u8>>> = Vec::with_capacity(shards as usize);
+        for k in 0..shards {
+            // The kv store is global state; it snapshots with shard 0.
+            // Sharded snapshots lead with the shard's identity + the
+            // routing table, validated on reopen.
+            let p = build_snapshot(
+                &symbols,
+                &instances[k as usize],
+                &relations[k as usize],
+                &self.inner.enriched,
+                (shards > 1).then_some((k, &self.inner.shard_map)),
+                k == 0,
+            );
+            frames_total += p.len() as u64;
+            payloads.push(p);
+        }
         let serialize_ns = serialize_start.elapsed().as_nanos() as u64;
         metrics().observe("core.checkpoint.serialize_ns", serialize_ns);
         scdb_obs::event(
@@ -2777,10 +3616,25 @@ impl Db {
             "checkpoint.serialize",
             &[
                 ("ns", F::U64(serialize_ns)),
-                ("frames", F::U64(payloads.len() as u64)),
+                ("frames", F::U64(frames_total)),
             ],
         );
-        let stats = wal.checkpoint(&payloads).map_err(|e| self.trip_on_io(e))?;
+        let mut stats: Option<CheckpointStats> = None;
+        for (k, payload) in payloads.iter().enumerate() {
+            let wal = durables[k]
+                .as_mut()
+                .expect("shard WALs are installed together");
+            let s = wal.checkpoint(payload).map_err(|e| self.trip_on_io(e))?;
+            stats = Some(match stats {
+                None => s,
+                Some(mut total) => {
+                    total.snapshot_bytes += s.snapshot_bytes;
+                    total.segments_removed += s.segments_removed;
+                    total
+                }
+            });
+        }
+        let stats = stats.expect("at least one shard");
         scdb_obs::event(
             "core",
             "checkpoint.complete",
@@ -2797,10 +3651,12 @@ impl Db {
     /// [`FsyncPolicy::EveryN`] / [`FsyncPolicy::OnCheckpoint`]). No-op
     /// for in-memory databases.
     pub fn sync_wal(&self) -> Result<(), CoreError> {
-        if let Some(wal) = self.inner.durable.lock().as_mut() {
-            // Deliberately not gated on mode: a manual sync doubles as
-            // a recovery probe, and a failing one trips the node.
-            wal.sync().map_err(|e| self.trip_on_io(e))?;
+        for k in 0..self.inner.shard_count() {
+            if let Some(wal) = self.inner.durable_lock(k).lock().as_mut() {
+                // Deliberately not gated on mode: a manual sync doubles
+                // as a recovery probe, and a failing one trips the node.
+                wal.sync().map_err(|e| self.trip_on_io(e))?;
+            }
         }
         Ok(())
     }
@@ -2816,104 +3672,33 @@ impl Db {
     /// counters like ER comparisons (recovery's fast path skips them).
     pub fn state_dump(&self) -> String {
         let symbols = self.inner.symbols.read();
-        let instance = self.inner.instance.read();
-        let relation = self.inner.relation.read();
+        let shards = self.inner.shard_count();
         let mut out = String::new();
-        for (name, state) in &instance.sources {
-            let _ = writeln!(
-                out,
-                "source {name} identity={:?} rows={}",
-                state.identity_attr,
-                state.store.len()
-            );
-            for (rid, record) in state.store.scan() {
-                let mut attrs: Vec<String> = record
-                    .iter()
-                    .map(|(a, v)| format!("{}={}", symbols.resolve(a), v.render()))
-                    .collect();
-                attrs.sort();
-                let entity = relation
-                    .resolver
-                    .entity_of(rid)
-                    .map(|e| e.0 as i64)
-                    .unwrap_or(-1);
-                let text = instance.text.get(rid).unwrap_or("");
-                let _ = writeln!(
-                    out,
-                    "row {}:{} entity={entity} [{}] text={text:?}",
-                    rid.source.0,
-                    rid.offset,
-                    attrs.join(",")
-                );
+        if shards == 1 {
+            let instance = self.inner.instance.read();
+            let relation = self.inner.relation.read();
+            dump_shard_state(&mut out, &symbols, &instance, &relation);
+            self.dump_kv(&mut out);
+            dump_stats_line(&mut out, &relation);
+        } else {
+            // One labelled section per shard, each in the unsharded
+            // format, then the (global) kv store once. The per-shard
+            // sections make the oracle shard-sensitive: a record
+            // recovered onto the wrong shard changes the dump even if
+            // the union of rows is right.
+            for k in 0..shards {
+                let instance = self.inner.instance_lock(k).read();
+                let relation = self.inner.relation_lock(k).read();
+                let _ = writeln!(out, "shard {k}");
+                dump_shard_state(&mut out, &symbols, &instance, &relation);
+                dump_stats_line(&mut out, &relation);
             }
+            self.dump_kv(&mut out);
         }
-        for (_, state) in &instance.sources {
-            for ix in state.indexes.iter() {
-                let d = ix.def();
-                let _ = writeln!(
-                    out,
-                    "index {} on {}.{} kind={} entries={}",
-                    d.name,
-                    d.source,
-                    d.attr,
-                    d.kind,
-                    ix.entries()
-                );
-            }
-        }
-        let mut nodes: Vec<EntityId> = relation.graph.node_ids().collect();
-        nodes.sort();
-        for v in &nodes {
-            let node = relation.graph.node(*v).expect("listed node exists");
-            let mut attrs: Vec<String> = node
-                .attrs
-                .iter()
-                .map(|(a, val)| format!("{}={}", symbols.resolve(a), val.render()))
-                .collect();
-            attrs.sort();
-            let mut records: Vec<String> = node
-                .records
-                .iter()
-                .map(|r| format!("{}:{}", r.source.0, r.offset))
-                .collect();
-            records.sort();
-            let _ = writeln!(
-                out,
-                "node {} [{}] records=[{}]",
-                v.0,
-                attrs.join(","),
-                records.join(",")
-            );
-            let mut edges: Vec<String> = relation
-                .graph
-                .edges(*v)
-                .iter()
-                .map(|e| {
-                    format!(
-                        "edge {}-[{}]->{} src={} tick={}",
-                        v.0,
-                        symbols.resolve(e.role),
-                        e.to.0,
-                        e.provenance.source.0,
-                        e.provenance.tick
-                    )
-                })
-                .collect();
-            edges.sort();
-            for e in edges {
-                let _ = writeln!(out, "{e}");
-            }
-        }
-        let mut names: Vec<(&String, &EntityId)> = relation.entity_by_name.iter().collect();
-        names.sort();
-        for (key, entity) in names {
-            let _ = writeln!(out, "name {key} -> {}", entity.0);
-        }
-        let mut idents: Vec<(&EntityId, &String)> = relation.identity_of_entity.iter().collect();
-        idents.sort();
-        for (entity, key) in idents {
-            let _ = writeln!(out, "ident {} -> {key}", entity.0);
-        }
+        out
+    }
+
+    fn dump_kv(&self, out: &mut String) {
         for (key, value, origin) in self.inner.enriched.txn_manager().latest_entries() {
             let _ = writeln!(
                 out,
@@ -2921,29 +3706,40 @@ impl Db {
                 value.as_ref().map(Value::render)
             );
         }
-        let s = &relation.stats;
-        let _ = writeln!(
-            out,
-            "stats records={} merges={} links={} tick={}",
-            s.records, s.merges, s.links, relation.tick
-        );
-        out
     }
 
     /// Install a [`scdb_txn::WalRecovery`] into this (empty) database:
     /// snapshot records first, then the committed log suffix replayed
     /// through the live pipeline. Called with `durable` still `None`, so
-    /// replay does not re-log.
+    /// replay does not re-log. Single-shard entry point: shard 0, no
+    /// cross-shard ledger.
     fn install_recovery(
         &self,
         recovered: scdb_txn::WalRecovery,
+    ) -> Result<DbRecoveryReport, CoreError> {
+        self.install_recovery_shard(0, recovered, None)
+    }
+
+    /// Replay one shard's log into that shard's state slice. A parallel
+    /// open runs one of these per shard, each on its own worker thread;
+    /// the [`SealLedger`] (present when `shards > 1`) commit-gates
+    /// cross-shard seals — a multi-shard batch is applied only when
+    /// *every* participant's log carries its seal, and discarded on
+    /// every shard otherwise. Everything else (registrations, rows,
+    /// link sweeps, indexes) replays scoped to `shard` alone, never
+    /// re-routed: the record is pinned to the log that carried it.
+    fn install_recovery_shard(
+        &self,
+        shard: u32,
+        recovered: scdb_txn::WalRecovery,
+        ledger: Option<&SealLedger>,
     ) -> Result<DbRecoveryReport, CoreError> {
         let mut report = DbRecoveryReport {
             wal: recovered.report,
             ..DbRecoveryReport::default()
         };
         if let Some(frames) = recovered.snapshot {
-            report.snapshot_rows = self.install_snapshot(frames)?;
+            report.snapshot_rows = self.install_snapshot_shard(shard, frames)?;
         }
         // Commit-gated replay: buffer each transaction's operations and
         // apply them only when its seal arrives. This also tolerates
@@ -2955,7 +3751,7 @@ impl Db {
                     name,
                     identity_attr,
                 } => {
-                    self.try_register_source(&name, identity_attr.as_deref())?;
+                    self.replay_register_source(shard, &name, identity_attr.as_deref())?;
                     report.records_replayed += 1;
                 }
                 LogRecord::Enrich { key, value } => {
@@ -2975,19 +3771,39 @@ impl Db {
                     let ops = pending.remove(&txn).unwrap_or_default();
                     report.records_replayed += ops.len() + 1;
                     for op in ops {
-                        self.replay_op(op)?;
+                        self.replay_op(shard, op)?;
                     }
                 }
-                LogRecord::CommitGroup { txns } => {
+                LogRecord::CommitGroup { txns, shards } => {
                     // A group seal commits every listed transaction at
                     // once, in log (= apply) order. A missing/torn seal
                     // leaves them all in `pending` — discarded below.
+                    // Non-empty `shards` is a cross-shard seal: it
+                    // commits only when every participant's log carries
+                    // it too (the ledger barrier); a participant whose
+                    // copy was torn forces every other shard to discard
+                    // the batch, keeping the group atomic.
                     report.records_replayed += 1;
+                    let commit = if shards.is_empty() {
+                        true
+                    } else {
+                        match ledger {
+                            Some(ledger) => ledger.arrive(shard, &shards),
+                            // An unsharded open can only soundly apply a
+                            // cross-shard seal it is the sole participant
+                            // of (never produced today; defensive).
+                            None => shards.iter().all(|&(s, _)| s == shard),
+                        }
+                    };
                     for txn in txns {
                         let ops = pending.remove(&txn).unwrap_or_default();
-                        report.records_replayed += ops.len();
-                        for op in ops {
-                            self.replay_op(op)?;
+                        if commit {
+                            report.records_replayed += ops.len();
+                            for op in ops {
+                                self.replay_op(shard, op)?;
+                            }
+                        } else if !ops.is_empty() {
+                            report.txns_discarded += 1;
                         }
                     }
                 }
@@ -3009,11 +3825,11 @@ impl Db {
                     let kind = IndexKind::from_tag(kind).ok_or_else(|| {
                         CoreError::Recovery(format!("unknown index kind tag {kind}"))
                     })?;
-                    self.create_index(&name, &source, &attr, kind)?;
+                    self.replay_create_index(shard, name, source, attr, kind)?;
                     report.records_replayed += 1;
                 }
                 LogRecord::IndexDrop { name } => {
-                    self.drop_index(&name)?;
+                    self.replay_drop_index(shard, &name);
                     report.records_replayed += 1;
                 }
                 LogRecord::Checkpoint => {}
@@ -3025,7 +3841,7 @@ impl Db {
         Ok(report)
     }
 
-    fn replay_op(&self, op: LogRecord) -> Result<(), CoreError> {
+    fn replay_op(&self, shard: u32, op: LogRecord) -> Result<(), CoreError> {
         match op {
             LogRecord::IngestRow {
                 source,
@@ -3041,10 +3857,17 @@ impl Db {
                             .map(|(name, value)| (symbols.intern(&name), value)),
                     )
                 };
-                self.ingest_direct(&source, record, text.as_deref())?;
+                // Pinned to the shard whose log carried the row — never
+                // re-routed (routing state may not be rebuilt yet, and
+                // the oracle demands the record land where it was
+                // logged).
+                let item = IngestItem::new(source, record, text);
+                self.apply_ingest_batch_shard(shard, vec![item])
+                    .pop()
+                    .expect("one result per item")?;
             }
             LogRecord::DiscoverLinks { .. } => {
-                self.discover_links()?;
+                self.discover_links_shard(shard)?;
             }
             LogRecord::Write { key, value, .. } => {
                 self.inner.enriched.txn_manager().install_recovered(
@@ -3058,9 +3881,94 @@ impl Db {
         Ok(())
     }
 
-    /// Install snapshot frames into the empty shards. Returns the number
-    /// of rows reinstalled.
-    fn install_snapshot(&self, frames: Vec<bytes::Bytes>) -> Result<usize, CoreError> {
+    /// Replay-scoped source registration: installs the source on
+    /// `shard`'s slice alone. The live [`Db::try_register_source`]
+    /// broadcasts to every shard (and logs to every shard's WAL), so
+    /// each shard's log carries its own `SourceReg` — replaying it
+    /// scoped keeps parallel workers independent.
+    fn replay_register_source(
+        &self,
+        shard: u32,
+        name: &str,
+        identity_attr: Option<&str>,
+    ) -> Result<(), CoreError> {
+        let mut symbols = self.inner.symbols.write();
+        let mut instance = self.inner.instance_lock(shard).write();
+        let mut relation = self.inner.relation_lock(shard).write();
+        if instance.sources.iter().any(|(n, _)| n == name) {
+            return Ok(());
+        }
+        let id = SourceId(instance.sources.len() as u32);
+        if let Some(attr) = identity_attr {
+            let sym = symbols.intern(attr);
+            relation.resolver.designate_identity(id, sym);
+        }
+        instance.sources.push((
+            name.to_string(),
+            SourceState {
+                id,
+                store: RowStore::new(id),
+                stats: HashMap::new(),
+                identity_attr: identity_attr.map(str::to_owned),
+                indexes: IndexSet::new(),
+            },
+        ));
+        self.inner
+            .identities
+            .write()
+            .insert(name.to_string(), identity_attr.map(str::to_owned));
+        Ok(())
+    }
+
+    /// Replay-scoped index creation on one shard's slice (the live
+    /// [`Db::create_index`] broadcasts; each shard's log carries its own
+    /// `IndexCreate`). Idempotent per name.
+    fn replay_create_index(
+        &self,
+        shard: u32,
+        name: String,
+        source: String,
+        attr: String,
+        kind: IndexKind,
+    ) -> Result<(), CoreError> {
+        let symbols = self.inner.symbols.read();
+        let mut instance = self.inner.instance_lock(shard).write();
+        if instance
+            .sources
+            .iter()
+            .any(|(_, s)| s.indexes.get(&name).is_some())
+        {
+            return Ok(());
+        }
+        let state = instance.source_state_mut(&source)?;
+        let def = IndexDef {
+            name,
+            source,
+            attr,
+            kind,
+        };
+        state.indexes.create(def, &symbols, &state.store);
+        Ok(())
+    }
+
+    /// Replay-scoped index drop on one shard's slice. A missing index is
+    /// fine (the create may have been checkpointed away differently).
+    fn replay_drop_index(&self, shard: u32, name: &str) {
+        let mut instance = self.inner.instance_lock(shard).write();
+        for (_, state) in instance.sources.iter_mut() {
+            if state.indexes.drop_index(name) {
+                return;
+            }
+        }
+    }
+
+    /// Install snapshot frames into one (empty) shard slice. Returns the
+    /// number of rows reinstalled.
+    fn install_snapshot_shard(
+        &self,
+        shard: u32,
+        frames: Vec<bytes::Bytes>,
+    ) -> Result<usize, CoreError> {
         let records: Vec<SnapshotRecord> = frames
             .into_iter()
             .map(SnapshotRecord::decode)
@@ -3074,8 +3982,8 @@ impl Db {
             }
         }
         let mut symbols = self.inner.symbols.write();
-        let mut instance = self.inner.instance.write();
-        let mut relation = self.inner.relation.write();
+        let mut instance = self.inner.instance_lock(shard).write();
+        let mut relation = self.inner.relation_lock(shard).write();
         let inst = &mut *instance;
         let rel = &mut *relation;
         let mut adopt: Vec<(RecordId, Record, EntityId)> = Vec::new();
@@ -3091,6 +3999,10 @@ impl Db {
                         let sym = symbols.intern(attr);
                         rel.resolver.designate_identity(id, sym);
                     }
+                    self.inner
+                        .identities
+                        .write()
+                        .insert(name.clone(), identity_attr.clone());
                     inst.sources.push((
                         name,
                         SourceState {
@@ -3211,6 +4123,38 @@ impl Db {
                         &state.store,
                     );
                 }
+                SnapshotRecord::ShardState {
+                    shard: snap_shard,
+                    shards,
+                    slots,
+                } => {
+                    // Routing must be stable across restarts: a record's
+                    // future copies have to land on the same shard as
+                    // its past ones, or entities silently split. Refuse
+                    // to open under a different layout.
+                    if snap_shard != shard || shards != self.inner.shard_count() {
+                        return Err(CoreError::Recovery(format!(
+                            "checkpoint was written by shard {snap_shard}/{shards}, \
+                             opened as shard {shard}/{} — shard layout must match",
+                            self.inner.shard_count()
+                        )));
+                    }
+                    match ShardMap::from_slots(shards, slots) {
+                        Some(map) if map == self.inner.shard_map => {}
+                        Some(_) => {
+                            return Err(CoreError::Recovery(
+                                "checkpoint shard map differs from the configured \
+                                 placement policy — reopen with the original policy"
+                                    .to_string(),
+                            ))
+                        }
+                        None => {
+                            return Err(CoreError::Recovery(
+                                "checkpoint shard map is malformed".to_string(),
+                            ))
+                        }
+                    }
+                }
                 SnapshotRecord::Tail { .. } => {}
             }
         }
@@ -3306,8 +4250,76 @@ impl Db {
     }
 }
 
-/// Serialize the durable state as snapshot frame payloads, in install
-/// order (sources → rows → nodes → edges → indexes → kv → meta → tail).
+/// Cross-shard seal barrier for parallel recovery. Each worker replays
+/// its own shard's log; on reaching a cross-shard seal it announces
+/// itself here and waits until every listed participant has announced
+/// the same seal (→ commit) or some participant finished its log
+/// without announcing it (that copy was torn → discard, everywhere).
+/// Workers hold no shard locks while waiting, and live appends write
+/// cross-shard seals while holding *all* participants' durable locks —
+/// so seal order is identical across the participating logs and the
+/// barrier cannot cycle.
+struct SealLedger {
+    state: std::sync::Mutex<SealLedgerState>,
+    cv: std::sync::Condvar,
+}
+
+#[derive(Default)]
+struct SealLedgerState {
+    /// Seal key (the full participant vector) → shards that announced it.
+    seen: HashMap<Vec<(u32, u64)>, std::collections::HashSet<u32>>,
+    /// Workers that have exhausted their log.
+    done: std::collections::HashSet<u32>,
+}
+
+impl SealLedger {
+    fn new() -> SealLedger {
+        SealLedger {
+            state: std::sync::Mutex::new(SealLedgerState::default()),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Announce `shard`'s copy of seal `key`, then block until the
+    /// seal's fate is decided: true = every participant announced it
+    /// (commit), false = some participant's log ended without it
+    /// (discard).
+    fn arrive(&self, shard: u32, key: &[(u32, u64)]) -> bool {
+        let mut st = self.lock();
+        st.seen.entry(key.to_vec()).or_default().insert(shard);
+        self.cv.notify_all();
+        loop {
+            let seen = st.seen.get(key).expect("inserted above");
+            if key.iter().all(|(s, _)| seen.contains(s)) {
+                return true;
+            }
+            if key
+                .iter()
+                .any(|(s, _)| !seen.contains(s) && st.done.contains(s))
+            {
+                return false;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Mark `shard`'s log exhausted, deciding every seal this shard
+    /// never announced.
+    fn finish(&self, shard: u32) {
+        self.lock().done.insert(shard);
+        self.cv.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SealLedgerState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 /// One prepared row, ready to log and apply: source pre-validated,
 /// attribute names resolved exactly once.
 struct Prepared {
@@ -3322,6 +4334,36 @@ struct Prepared {
     text: Option<String>,
     /// The batch correlation id this row was committed under.
     batch_id: u64,
+}
+
+/// Resolve one queued item against its shard's instance state: source
+/// validated, attribute names resolved exactly once. The result is
+/// ready to log and to feed [`curate_one`].
+fn prepare_item(
+    inst: &InstanceShard,
+    symbols: &SymbolTable,
+    item: IngestItem,
+    batch_id: u64,
+) -> Result<Prepared, CoreError> {
+    let state = inst.source_state(&item.source)?;
+    let source_id = state.id;
+    let identity_attr = state.identity_attr.clone();
+    let mut syms = Vec::new();
+    let mut attrs = Vec::new();
+    for (a, v) in item.record.iter() {
+        syms.push(a);
+        attrs.push((symbols.resolve(a).to_string(), v.clone()));
+    }
+    Ok(Prepared {
+        source: item.source,
+        source_id,
+        identity_attr,
+        record: item.record,
+        syms,
+        attrs,
+        text: item.text,
+        batch_id,
+    })
 }
 
 /// Run the per-record curation pipeline (store → stats → ER → graph →
@@ -3483,7 +4525,17 @@ fn lock_inflight(slot: &InflightTickets) -> std::sync::MutexGuard<'_, Vec<Arc<Ti
 /// The committer loop: drain the queue in batches, run each batch
 /// through the shared pipeline, resolve the tickets. Exits when the
 /// queue is closed and drained (the last [`Db`] handle dropped).
-fn group_committer(inner: Weak<DbInner>, queue: Arc<IngestQueue>, inflight: InflightTickets) {
+///
+/// One committer runs per write shard, each draining its own queue.
+/// Items were routed to the queue at submit time, so the whole batch
+/// belongs to `shard` and commits with one lock acquisition, one
+/// append, and one fsync on that shard alone.
+fn group_committer(
+    inner: Weak<DbInner>,
+    queue: Arc<IngestQueue>,
+    inflight: InflightTickets,
+    shard: u32,
+) {
     let max_batch = queue.capacity();
     loop {
         let batch = queue.pop_batch(max_batch);
@@ -3499,7 +4551,7 @@ fn group_committer(inner: Weak<DbInner>, queue: Arc<IngestQueue>, inflight: Infl
                 // pipeline: if apply panics, the supervisor resolves
                 // them from here.
                 *lock_inflight(&inflight) = tickets.clone();
-                let results = db.apply_ingest_batch(items);
+                let results = db.apply_ingest_batch_shard(shard, items);
                 for (ticket, result) in tickets.iter().zip(results) {
                     ticket.resolve(result);
                 }
@@ -3656,13 +4708,140 @@ fn telemetry_sampler(inner: Weak<DbInner>, state: Arc<TelemetryState>) {
     }
 }
 
+/// Render one shard's durable state (sources, rows, indexes, graph,
+/// identity maps) into `out` in the canonical [`Db::state_dump`] order.
+/// The kv store and the stats line are appended by the caller.
+fn dump_shard_state(
+    out: &mut String,
+    symbols: &SymbolTable,
+    instance: &InstanceShard,
+    relation: &RelationShard,
+) {
+    for (name, state) in &instance.sources {
+        let _ = writeln!(
+            out,
+            "source {name} identity={:?} rows={}",
+            state.identity_attr,
+            state.store.len()
+        );
+        for (rid, record) in state.store.scan() {
+            let mut attrs: Vec<String> = record
+                .iter()
+                .map(|(a, v)| format!("{}={}", symbols.resolve(a), v.render()))
+                .collect();
+            attrs.sort();
+            let entity = relation
+                .resolver
+                .entity_of(rid)
+                .map(|e| e.0 as i64)
+                .unwrap_or(-1);
+            let text = instance.text.get(rid).unwrap_or("");
+            let _ = writeln!(
+                out,
+                "row {}:{} entity={entity} [{}] text={text:?}",
+                rid.source.0,
+                rid.offset,
+                attrs.join(",")
+            );
+        }
+    }
+    for (_, state) in &instance.sources {
+        for ix in state.indexes.iter() {
+            let d = ix.def();
+            let _ = writeln!(
+                out,
+                "index {} on {}.{} kind={} entries={}",
+                d.name,
+                d.source,
+                d.attr,
+                d.kind,
+                ix.entries()
+            );
+        }
+    }
+    let mut nodes: Vec<EntityId> = relation.graph.node_ids().collect();
+    nodes.sort();
+    for v in &nodes {
+        let node = relation.graph.node(*v).expect("listed node exists");
+        let mut attrs: Vec<String> = node
+            .attrs
+            .iter()
+            .map(|(a, val)| format!("{}={}", symbols.resolve(a), val.render()))
+            .collect();
+        attrs.sort();
+        let mut records: Vec<String> = node
+            .records
+            .iter()
+            .map(|r| format!("{}:{}", r.source.0, r.offset))
+            .collect();
+        records.sort();
+        let _ = writeln!(
+            out,
+            "node {} [{}] records=[{}]",
+            v.0,
+            attrs.join(","),
+            records.join(",")
+        );
+        let mut edges: Vec<String> = relation
+            .graph
+            .edges(*v)
+            .iter()
+            .map(|e| {
+                format!(
+                    "edge {}-[{}]->{} src={} tick={}",
+                    v.0,
+                    symbols.resolve(e.role),
+                    e.to.0,
+                    e.provenance.source.0,
+                    e.provenance.tick
+                )
+            })
+            .collect();
+        edges.sort();
+        for e in edges {
+            let _ = writeln!(out, "{e}");
+        }
+    }
+    let mut names: Vec<(&String, &EntityId)> = relation.entity_by_name.iter().collect();
+    names.sort();
+    for (key, entity) in names {
+        let _ = writeln!(out, "name {key} -> {}", entity.0);
+    }
+    let mut idents: Vec<(&EntityId, &String)> = relation.identity_of_entity.iter().collect();
+    idents.sort();
+    for (entity, key) in idents {
+        let _ = writeln!(out, "ident {} -> {key}", entity.0);
+    }
+}
+
+/// The `stats …` line closing one shard's [`Db::state_dump`] section.
+fn dump_stats_line(out: &mut String, relation: &RelationShard) {
+    let s = &relation.stats;
+    let _ = writeln!(
+        out,
+        "stats records={} merges={} links={} tick={}",
+        s.records, s.merges, s.links, relation.tick
+    );
+}
+
 fn build_snapshot(
     symbols: &SymbolTable,
     instance: &InstanceShard,
     relation: &RelationShard,
     enriched: &EnrichedDb,
+    shard_state: Option<(u32, &ShardMap)>,
+    include_kv: bool,
 ) -> Vec<Vec<u8>> {
     let mut recs: Vec<SnapshotRecord> = Vec::new();
+    if let Some((shard, map)) = shard_state {
+        // First frame of every sharded snapshot: who this shard is and
+        // how keys route. Validated on reopen before anything installs.
+        recs.push(SnapshotRecord::ShardState {
+            shard,
+            shards: map.shards(),
+            slots: map.slots().to_vec(),
+        });
+    }
     for (name, state) in &instance.sources {
         recs.push(SnapshotRecord::Source {
             name: name.clone(),
@@ -3754,12 +4933,16 @@ fn build_snapshot(
             });
         }
     }
-    for (key, value, origin) in enriched.txn_manager().latest_entries() {
-        recs.push(SnapshotRecord::Kv {
-            key,
-            value,
-            enrichment: origin == VersionOrigin::Enrichment,
-        });
+    if include_kv {
+        // The kv/enrichment store is global, not sharded: it rides in
+        // shard 0's snapshot only.
+        for (key, value, origin) in enriched.txn_manager().latest_entries() {
+            recs.push(SnapshotRecord::Kv {
+                key,
+                value,
+                enrichment: origin == VersionOrigin::Enrichment,
+            });
+        }
     }
     recs.push(SnapshotRecord::Meta {
         records: relation.stats.records,
@@ -4508,6 +5691,40 @@ mod tests {
                 other => panic!("unexpected dose {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn narrow_range_picks_the_ordered_index_via_live_stats() {
+        // Regression (ISSUE 10 satellite): histograms seeded from the
+        // first observed values used to estimate every range at ~0.5,
+        // so ranges never took the ordered index. The equi-depth
+        // rebuild learns the real value spread from live ingest alone —
+        // no ANALYZE step — and a narrow range must now cost below the
+        // scan and pick the index path.
+        let db = Db::new();
+        trials_db(&db, 400);
+        db.create_index("ix_dose", "trials", "dose", IndexKind::Ordered)
+            .unwrap();
+        let narrow = db
+            .query("SELECT dose FROM trials WHERE dose >= 17 AND dose <= 19")
+            .unwrap();
+        assert!(
+            narrow.plan.index_scan().is_some(),
+            "narrow range takes the ordered index: {}",
+            narrow.plan
+        );
+        assert_eq!(narrow.rows.len(), 3);
+        // A range spanning (nearly) the whole domain stays on the scan:
+        // the histogram prices it as unselective.
+        let wide = db
+            .query("SELECT dose FROM trials WHERE dose >= 0 AND dose <= 399")
+            .unwrap();
+        assert!(
+            wide.plan.index_scan().is_none(),
+            "full-domain range stays on the scan: {}",
+            wide.plan
+        );
+        assert_eq!(wide.rows.len(), 400);
     }
 
     #[test]

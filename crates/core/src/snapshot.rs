@@ -87,6 +87,17 @@ pub(crate) enum SnapshotRecord {
     /// Terminator: `count` = number of records before it. A snapshot
     /// whose last record is not a matching `Tail` is rejected.
     Tail { count: u64 },
+    /// Shard identity and the slot→shard routing table of a
+    /// range-sharded database (first record of every shard snapshot when
+    /// `shards > 1`; absent on unsharded snapshots). Validated on
+    /// install: a reopened database must route identically, or recovery
+    /// refuses rather than silently scattering an entity's future
+    /// records onto different shards than its past ones.
+    ShardState {
+        shard: u32,
+        shards: u32,
+        slots: Vec<u32>,
+    },
 }
 
 const TAG_SOURCE: u8 = 1;
@@ -99,6 +110,7 @@ const TAG_KV: u8 = 7;
 const TAG_META: u8 = 8;
 const TAG_TAIL: u8 = 9;
 const TAG_INDEX_DEF: u8 = 10;
+const TAG_SHARD_STATE: u8 = 11;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
@@ -276,6 +288,19 @@ impl SnapshotRecord {
                 buf.put_u8(TAG_TAIL);
                 buf.put_u64(*count);
             }
+            SnapshotRecord::ShardState {
+                shard,
+                shards,
+                slots,
+            } => {
+                buf.put_u8(TAG_SHARD_STATE);
+                buf.put_u32(*shard);
+                buf.put_u32(*shards);
+                buf.put_u32(slots.len() as u32);
+                for s in slots {
+                    buf.put_u32(*s);
+                }
+            }
         }
         buf.freeze().as_slice().to_vec()
     }
@@ -390,6 +415,22 @@ impl SnapshotRecord {
                     count: buf.get_u64(),
                 }
             }
+            TAG_SHARD_STATE => {
+                need(&buf, 12)?;
+                let shard = buf.get_u32();
+                let shards = buf.get_u32();
+                let n = buf.get_u32() as usize;
+                let mut slots = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    need(&buf, 4)?;
+                    slots.push(buf.get_u32());
+                }
+                SnapshotRecord::ShardState {
+                    shard,
+                    shards,
+                    slots,
+                }
+            }
             other => {
                 return Err(CoreError::Recovery(format!(
                     "unknown snapshot record tag {other}"
@@ -472,6 +513,11 @@ mod tests {
             kind: 1,
         });
         roundtrip(SnapshotRecord::Tail { count: 12 });
+        roundtrip(SnapshotRecord::ShardState {
+            shard: 2,
+            shards: 4,
+            slots: (0..64u32).map(|i| i % 4).collect(),
+        });
     }
 
     #[test]

@@ -272,16 +272,42 @@ pub(crate) fn index_rows(defs: &[(IndexDef, u64)]) -> Vec<SysRow> {
 }
 
 /// `sys.locks`: per-shard wait statistics from the
-/// `core.lock.<shard>.wait_ns` histograms.
-pub(crate) fn lock_rows(snap: &MetricsSnapshot) -> Vec<SysRow> {
-    crate::db::LOCK_SHARDS
+/// `core.lock.<shard>.wait_ns` histograms. The baseline lock set plus
+/// every configured write shard's slices (`instance.s1`, `durable.s2`,
+/// …) are always listed — the wait histograms only materialize on
+/// contended acquisitions, so the rows must not depend on them — and
+/// any further `core.lock.*` histograms are discovered from the
+/// registry, so the relation grows without a schema change here.
+pub(crate) fn lock_rows(write_shards: u32, snap: &MetricsSnapshot) -> Vec<SysRow> {
+    let mut shards: Vec<String> = crate::db::LOCK_SHARDS
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for k in 1..write_shards {
+        for base in ["instance", "relation", "durable"] {
+            shards.push(format!("{base}.s{k}"));
+        }
+    }
+    let mut extra: Vec<String> = snap
+        .histograms
+        .keys()
+        .filter_map(|name| {
+            name.strip_prefix("core.lock.")
+                .and_then(|rest| rest.strip_suffix(".wait_ns"))
+                .filter(|shard| !shards.iter().any(|s| s == shard))
+                .map(str::to_owned)
+        })
+        .collect();
+    extra.sort();
+    shards.extend(extra);
+    shards
         .iter()
         .map(|shard| {
             let name = format!("core.lock.{shard}.wait_ns");
             let h = snap.histograms.get(&name);
             let g = |f: fn(&scdb_obs::HistogramSnapshot) -> u64| h.map(f).unwrap_or(0) as i64;
             vec![
-                ("shard".to_string(), Value::str(*shard)),
+                ("shard".to_string(), Value::str(shard.as_str())),
                 ("count".to_string(), Value::Int(g(|h| h.count))),
                 ("p50_ns".to_string(), Value::Int(g(|h| h.p50))),
                 ("p99_ns".to_string(), Value::Int(g(|h| h.p99))),
@@ -291,42 +317,56 @@ pub(crate) fn lock_rows(snap: &MetricsSnapshot) -> Vec<SysRow> {
         .collect()
 }
 
-/// `sys.wal`: one row — lag, fsync/checkpoint counters, and mode.
-pub(crate) fn wal_rows(lag: Option<WalLag>, mode: &DbMode, snap: &MetricsSnapshot) -> Vec<SysRow> {
+/// `sys.wal`: one row per write-shard WAL — that shard's lag columns,
+/// plus the (global) fsync/checkpoint counters and mode on every row.
+pub(crate) fn wal_rows(
+    lags: &[(u32, Option<WalLag>)],
+    mode: &DbMode,
+    snap: &MetricsSnapshot,
+) -> Vec<SysRow> {
     let counter = |name: &str| *snap.counters.get(name).unwrap_or(&0) as i64;
-    let mut row: SysRow = vec![("durable".to_string(), Value::Bool(lag.is_some()))];
-    if let Some(lag) = lag {
-        row.push((
-            "records_since_ckpt".to_string(),
-            Value::Int(lag.records_since_checkpoint as i64),
-        ));
-        row.push((
-            "unsynced_bytes".to_string(),
-            Value::Int(lag.unsynced_bytes as i64),
-        ));
-        row.push((
-            "active_segment_bytes".to_string(),
-            Value::Int(lag.active_segment_bytes as i64),
-        ));
-        row.push(("active_seq".to_string(), Value::Int(lag.active_seq as i64)));
-    }
-    row.push(("fsyncs".to_string(), Value::Int(counter("txn.wal.fsyncs"))));
-    row.push((
-        "checkpoints".to_string(),
-        Value::Int(counter("txn.checkpoints")),
-    ));
-    match mode {
-        DbMode::Normal => row.push(("mode".to_string(), Value::str("normal"))),
-        DbMode::Degraded { reason, since_ms } => {
-            row.push(("mode".to_string(), Value::str("degraded")));
-            row.push(("reason".to_string(), Value::str(reason)));
+    lags.iter()
+        .map(|(shard, lag)| {
+            let mut row: SysRow = vec![
+                ("shard".to_string(), Value::Int(*shard as i64)),
+                ("durable".to_string(), Value::Bool(lag.is_some())),
+            ];
+            if let Some(lag) = lag {
+                row.push((
+                    "records_since_ckpt".to_string(),
+                    Value::Int(lag.records_since_checkpoint as i64),
+                ));
+                row.push((
+                    "unsynced_bytes".to_string(),
+                    Value::Int(lag.unsynced_bytes as i64),
+                ));
+                row.push((
+                    "active_segment_bytes".to_string(),
+                    Value::Int(lag.active_segment_bytes as i64),
+                ));
+                row.push(("active_seq".to_string(), Value::Int(lag.active_seq as i64)));
+            }
+            row.push(("fsyncs".to_string(), Value::Int(counter("txn.wal.fsyncs"))));
             row.push((
-                "degraded_for_ms".to_string(),
-                Value::Int(scdb_obs::event::coarse_now_ms().saturating_sub(*since_ms) as i64),
+                "checkpoints".to_string(),
+                Value::Int(counter("txn.checkpoints")),
             ));
-        }
-    }
-    vec![row]
+            match mode {
+                DbMode::Normal => row.push(("mode".to_string(), Value::str("normal"))),
+                DbMode::Degraded { reason, since_ms } => {
+                    row.push(("mode".to_string(), Value::str("degraded")));
+                    row.push(("reason".to_string(), Value::str(reason)));
+                    row.push((
+                        "degraded_for_ms".to_string(),
+                        Value::Int(
+                            scdb_obs::event::coarse_now_ms().saturating_sub(*since_ms) as i64
+                        ),
+                    ));
+                }
+            }
+            row
+        })
+        .collect()
 }
 
 /// `sys.threads`: per-thread panic/restart counts aggregated from the

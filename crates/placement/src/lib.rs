@@ -25,7 +25,9 @@
 #![warn(missing_docs)]
 
 pub mod policy;
+pub mod shard;
 pub mod sim;
 
 pub use policy::{compute_placement, PlacementPolicy};
+pub use shard::{ShardMap, SHARD_SLOTS};
 pub use sim::{evaluate, ClusterConfig, Placement, PlacementReport};

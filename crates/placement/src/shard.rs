@@ -1,0 +1,182 @@
+//! Write-shard routing for the range-sharded commit path.
+//!
+//! The core crate partitions its write path into N shards, each with its
+//! own state slice, WAL, and committer. Which shard owns a record is
+//! decided here: a routing key (the record's identity value) hashes onto
+//! one of [`SHARD_SLOTS`] virtual slots, and a slot→shard table — built
+//! from the same [`PlacementPolicy`] machinery that drives the OS.4
+//! placement experiments — maps the slot to its owning shard.
+//!
+//! Virtual slots keep the table small and checkpointable (the core crate
+//! persists the slot vector in its snapshots so a reopened database
+//! routes identically), while the policy choice controls the shape:
+//! [`PlacementPolicy::Range`] assigns contiguous slot ranges per shard
+//! (the default — neighbouring keys co-locate), [`PlacementPolicy::Hash`]
+//! scatters slots uniformly, and [`PlacementPolicy::Affinity`] packs
+//! co-accessed slot groups together when a workload trace is supplied.
+
+use crate::policy::{compute_placement, PlacementPolicy};
+
+/// Number of virtual routing slots. Keys hash onto slots; slots map to
+/// shards. 64 slots comfortably over-partition any realistic shard count
+/// (the core crate caps shards well below this) while keeping the
+/// persisted table a fixed 64 entries.
+pub const SHARD_SLOTS: usize = 64;
+
+/// An immutable slot→shard routing table for the sharded write path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u32,
+    /// `slots[i]` = owning shard of virtual slot `i`; length [`SHARD_SLOTS`].
+    slots: Vec<u32>,
+}
+
+impl ShardMap {
+    /// The identity map for an unsharded database: one shard owns every
+    /// slot.
+    pub fn single() -> ShardMap {
+        ShardMap {
+            shards: 1,
+            slots: vec![0; SHARD_SLOTS],
+        }
+    }
+
+    /// Build a map for `shards` write shards under `policy`. `workload`
+    /// optionally lists co-accessed slot groups (only
+    /// [`PlacementPolicy::Affinity`] consults it); pass `&[]` otherwise.
+    /// A `shards` of 0 or 1 degenerates to [`ShardMap::single`].
+    pub fn build(policy: PlacementPolicy, shards: u32, workload: &[Vec<u64>]) -> ShardMap {
+        if shards <= 1 {
+            return ShardMap::single();
+        }
+        let n = (shards as usize).min(SHARD_SLOTS);
+        let placement = compute_placement(
+            policy,
+            SHARD_SLOTS as u64,
+            n,
+            workload,
+            // Capacity never binds for routing: every shard must accept
+            // its full slot share.
+            usize::MAX,
+            0.0,
+        );
+        let slots = (0..SHARD_SLOTS as u64)
+            .map(|slot| placement.primary_of(slot).unwrap_or(0))
+            .collect();
+        ShardMap {
+            shards: n as u32,
+            slots,
+        }
+    }
+
+    /// Rehydrate a map persisted in a checkpoint. Returns `None` when
+    /// the slot vector is malformed (wrong length, out-of-range shard).
+    pub fn from_slots(shards: u32, slots: Vec<u32>) -> Option<ShardMap> {
+        if shards == 0 || slots.len() != SHARD_SLOTS || slots.iter().any(|&s| s >= shards) {
+            return None;
+        }
+        Some(ShardMap { shards, slots })
+    }
+
+    /// Number of write shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The persisted slot→shard vector (length [`SHARD_SLOTS`]).
+    pub fn slots(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// Owning shard of `slot` (slot taken modulo [`SHARD_SLOTS`]).
+    pub fn shard_of_slot(&self, slot: usize) -> u32 {
+        self.slots[slot % SHARD_SLOTS]
+    }
+
+    /// Owning shard of a routing key: FNV-1a over the key bytes, onto a
+    /// slot, through the table. Deterministic across processes and
+    /// restarts — the crash-recovery oracle depends on it.
+    pub fn shard_of_key(&self, key: &str) -> u32 {
+        self.shard_of_slot(fnv1a(key.as_bytes()) as usize)
+    }
+}
+
+/// 64-bit FNV-1a — stable, dependency-free, and good enough to spread
+/// identity strings over 64 slots.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_map_routes_everything_to_shard_zero() {
+        let map = ShardMap::single();
+        assert_eq!(map.shards(), 1);
+        for key in ["", "a", "aspirin", "§weird§"] {
+            assert_eq!(map.shard_of_key(key), 0);
+        }
+    }
+
+    #[test]
+    fn build_range_covers_every_shard() {
+        for n in [2u32, 3, 4, 8] {
+            let map = ShardMap::build(PlacementPolicy::Range, n, &[]);
+            assert_eq!(map.shards(), n);
+            assert_eq!(map.slots().len(), SHARD_SLOTS);
+            for shard in 0..n {
+                assert!(
+                    map.slots().contains(&shard),
+                    "shard {shard} owns no slot under Range/{n}"
+                );
+            }
+            // Range placement is contiguous in slot space.
+            let mut changes = 0;
+            for w in map.slots().windows(2) {
+                if w[0] != w[1] {
+                    changes += 1;
+                }
+            }
+            assert_eq!(changes, (n - 1) as usize, "contiguous slot ranges");
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spreads() {
+        let map = ShardMap::build(PlacementPolicy::Range, 4, &[]);
+        let mut seen = [0usize; 4];
+        for i in 0..1000 {
+            let key = format!("entity-{i}");
+            let a = map.shard_of_key(&key);
+            let b = map.shard_of_key(&key);
+            assert_eq!(a, b, "routing must be deterministic");
+            seen[a as usize] += 1;
+        }
+        for (shard, &count) in seen.iter().enumerate() {
+            assert!(count > 100, "shard {shard} got {count}/1000 keys");
+        }
+    }
+
+    #[test]
+    fn from_slots_validates() {
+        let map = ShardMap::build(PlacementPolicy::Hash, 3, &[]);
+        let rebuilt = ShardMap::from_slots(3, map.slots().to_vec()).unwrap();
+        assert_eq!(rebuilt, map);
+        assert!(ShardMap::from_slots(0, vec![0; SHARD_SLOTS]).is_none());
+        assert!(ShardMap::from_slots(2, vec![0; 3]).is_none());
+        assert!(ShardMap::from_slots(2, vec![5; SHARD_SLOTS]).is_none());
+    }
+
+    #[test]
+    fn shards_capped_by_slot_count() {
+        let map = ShardMap::build(PlacementPolicy::Range, 1000, &[]);
+        assert_eq!(map.shards() as usize, SHARD_SLOTS);
+    }
+}

@@ -2,38 +2,65 @@
 //!
 //! OS.3 observes that "today's optimizers fail completely in the absence of
 //! statistics". The instance layer therefore maintains cheap, incremental
-//! statistics per attribute: an equi-width histogram over numeric values, a
-//! bounded most-common-values sketch, and null/row counts. The semantic
-//! optimizer (in `scdb-query`) combines these with TBox knowledge to infer
-//! selectivities that the raw statistics alone cannot provide.
+//! statistics per attribute: a self-adjusting histogram over numeric
+//! values, a bounded most-common-values sketch, and null/row counts. The
+//! semantic optimizer (in `scdb-query`) combines these with TBox knowledge
+//! to infer selectivities that the raw statistics alone cannot provide.
 
 use std::collections::HashMap;
 
 use scdb_types::Value;
 
-/// An equi-width histogram over numeric values, built in two passes or
-/// incrementally with a fixed range learned from the first `warmup` values.
+/// Upper bound on the reservoir used to rebuild bucket boundaries. At the
+/// cap the sample is thinned (every other element dropped) and the
+/// admission stride doubled, so memory stays bounded while the sample
+/// stays spread over the whole observation stream.
+const SAMPLE_CAP: usize = 1024;
+
+/// Minimum sample size before an equi-depth rebuild is considered; below
+/// this the quantile estimates are too noisy to beat the seeded range.
+const REBUILD_MIN_SAMPLE: usize = 64;
+
+/// A histogram over numeric values. Buckets start equi-width over the
+/// seeded `[lo, hi]` range, but the histogram also keeps a bounded,
+/// deterministic sample of every observation. When too much of the
+/// observed mass falls outside the bucketed range — the tell-tale of a
+/// range seeded from early, unrepresentative values — the boundaries are
+/// rebuilt equi-depth from the sample's quantiles, so each bucket holds
+/// roughly the same share of observed values no matter how skewed the
+/// distribution. Without this, a histogram seeded on the first value
+/// estimates every wide range at ~0.5 and the optimizer never picks an
+/// ordered index for range predicates.
 #[derive(Debug, Clone)]
 pub struct Histogram {
-    lo: f64,
-    hi: f64,
-    buckets: Vec<u64>,
+    /// Ascending bucket boundaries; `boundaries.len() == counts.len() + 1`.
+    boundaries: Vec<f64>,
+    counts: Vec<u64>,
     total: u64,
     below: u64,
     above: u64,
+    sample: Vec<f64>,
+    /// Every `stride`-th finite observation enters the sample.
+    stride: u64,
+    seen: u64,
 }
 
 impl Histogram {
     /// Histogram over `[lo, hi]` with `buckets` equal-width buckets.
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let n = buckets.max(1);
+        let width = (hi - lo).max(f64::MIN_POSITIVE);
+        let boundaries = (0..=n).map(|i| lo + width * i as f64 / n as f64).collect();
         Histogram {
-            lo,
-            hi,
-            buckets: vec![0; buckets.max(1)],
+            boundaries,
+            counts: vec![0; n],
             total: 0,
             below: 0,
             above: 0,
+            sample: Vec::new(),
+            stride: 1,
+            seen: 0,
         }
     }
 
@@ -58,18 +85,64 @@ impl Histogram {
             return;
         }
         self.total += 1;
-        if v < self.lo {
+        if self.seen.is_multiple_of(self.stride) {
+            self.sample.push(v);
+            if self.sample.len() >= SAMPLE_CAP {
+                let mut keep = false;
+                self.sample.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.stride *= 2;
+            }
+        }
+        self.seen += 1;
+        let lo = self.boundaries[0];
+        let hi = *self.boundaries.last().expect("non-empty boundaries");
+        if v < lo {
             self.below += 1;
-            return;
-        }
-        if v > self.hi {
+        } else if v > hi {
             self.above += 1;
-            return;
+        } else {
+            // Last boundary index with `b <= v`, clamped into the bucket
+            // range (v == hi lands in the final bucket).
+            let idx = self.boundaries.partition_point(|b| *b <= v);
+            let idx = idx.saturating_sub(1).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
         }
-        let width = (self.hi - self.lo).max(f64::MIN_POSITIVE);
-        let idx = (((v - self.lo) / width) * self.buckets.len() as f64) as usize;
-        let idx = idx.min(self.buckets.len() - 1);
-        self.buckets[idx] += 1;
+        let mass: u64 = self.counts.iter().sum();
+        if (self.below + self.above) * 4 > mass && self.sample.len() >= REBUILD_MIN_SAMPLE {
+            self.rebuild_equi_depth();
+        }
+    }
+
+    /// Replace the boundaries with equi-depth quantiles of the sample and
+    /// redistribute the observed mass accordingly. After a rebuild the
+    /// bucketed range spans the sampled min..max, so `below`/`above`
+    /// restart from zero.
+    fn rebuild_equi_depth(&mut self) {
+        let mut sorted = self.sample.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let n = self.counts.len();
+        let last = sorted.len() - 1;
+        let boundaries: Vec<f64> = (0..=n).map(|i| sorted[i * last / n]).collect();
+        // Re-bucket by scaling the sample's distribution to the observed
+        // total; boundary duplicates (heavy repeated values) simply leave
+        // zero-width buckets that the interpolation clamps over.
+        let mut counts = vec![0u64; n];
+        for &v in &sorted {
+            let idx = boundaries.partition_point(|b| *b <= v);
+            let idx = idx.saturating_sub(1).min(n - 1);
+            counts[idx] += 1;
+        }
+        let scale = self.total as f64 / sorted.len() as f64;
+        for c in &mut counts {
+            *c = ((*c as f64) * scale).round() as u64;
+        }
+        self.boundaries = boundaries;
+        self.counts = counts;
+        self.below = 0;
+        self.above = 0;
     }
 
     /// Total observations.
@@ -77,30 +150,37 @@ impl Histogram {
         self.total
     }
 
+    /// Observed mass accounted inside the bucketed range plus the
+    /// out-of-range tails — the denominator for selectivity estimates.
+    fn mass(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.below + self.above
+    }
+
     /// Estimated selectivity of `value <= x` (fraction of rows).
     pub fn selectivity_le(&self, x: f64) -> f64 {
-        if self.total == 0 {
+        let denom = self.mass();
+        if denom == 0 {
             return 0.0;
         }
-        if x < self.lo {
-            return self.below as f64 / self.total as f64 * 0.5;
+        let denom = denom as f64;
+        let lo = self.boundaries[0];
+        let hi = *self.boundaries.last().expect("non-empty boundaries");
+        if x < lo {
+            return self.below as f64 / denom * 0.5;
         }
-        if x >= self.hi {
-            return (self.total - self.above) as f64 / self.total as f64
-                + self.above as f64 / self.total as f64 * 0.5;
+        if x >= hi {
+            return (denom - self.above as f64) / denom + self.above as f64 / denom * 0.5;
         }
-        let width = (self.hi - self.lo).max(f64::MIN_POSITIVE);
-        let pos = (x - self.lo) / width * self.buckets.len() as f64;
-        let full = pos.floor() as usize;
-        let frac = pos - pos.floor();
+        let idx = self.boundaries.partition_point(|b| *b <= x);
+        let idx = idx.saturating_sub(1).min(self.counts.len() - 1);
         let mut count = self.below as f64;
-        for b in &self.buckets[..full.min(self.buckets.len())] {
-            count += *b as f64;
+        for c in &self.counts[..idx] {
+            count += *c as f64;
         }
-        if full < self.buckets.len() {
-            count += self.buckets[full] as f64 * frac;
-        }
-        (count / self.total as f64).clamp(0.0, 1.0)
+        let width = (self.boundaries[idx + 1] - self.boundaries[idx]).max(f64::MIN_POSITIVE);
+        let frac = ((x - self.boundaries[idx]) / width).clamp(0.0, 1.0);
+        count += self.counts[idx] as f64 * frac;
+        (count / denom).clamp(0.0, 1.0)
     }
 
     /// Estimated selectivity of `a <= value <= b`.
@@ -304,6 +384,57 @@ mod tests {
     #[test]
     fn empty_histogram_from_values() {
         assert!(Histogram::from_values(std::iter::empty(), 4).is_none());
+    }
+
+    #[test]
+    fn histogram_rebuilds_equi_depth_when_seeded_range_is_wrong() {
+        // Seeded the way AttrStatistics does on first numeric: a tiny
+        // window around the first value. Everything that follows lands
+        // outside it.
+        let mut h = Histogram::new(0.0, 2.0, 32);
+        h.add(1.0);
+        for i in 0..1000 {
+            h.add(1000.0 + i as f64);
+        }
+        // Before the fix every estimate outside [0,2] collapsed to the
+        // ~0.5 out-of-range guess; after the rebuild the boundaries span
+        // the observed values and ranges resolve proportionally.
+        let narrow = h.selectivity_range(1000.0, 1100.0);
+        assert!(
+            narrow < 0.25,
+            "narrow range over rebuilt histogram estimated {narrow}"
+        );
+        let wide = h.selectivity_range(1000.0, 2000.0);
+        assert!(wide > 0.8, "wide range estimated {wide}");
+    }
+
+    #[test]
+    fn histogram_sample_stays_bounded() {
+        let mut h = Histogram::new(0.0, 1.0, 8);
+        for i in 0..100_000 {
+            h.add(i as f64);
+        }
+        assert!(h.sample.len() < SAMPLE_CAP);
+        assert_eq!(h.total(), 100_000);
+        let s = h.selectivity_le(50_000.0);
+        assert!((s - 0.5).abs() < 0.1, "got {s}");
+    }
+
+    #[test]
+    fn attr_stats_histogram_recovers_from_first_value_seed() {
+        // The live-ingest shape: first numeric seeds [f-1, f+1]; all
+        // later values fall far outside. A narrow range predicate must
+        // still come out selective.
+        let mut s = AttrStatistics::new(8, 4096);
+        for i in 0..500 {
+            s.observe(&Value::Int(i * 10));
+        }
+        let h = s.histogram.as_ref().expect("numeric histogram");
+        let narrow = h.selectivity_range(0.0, 200.0);
+        assert!(
+            narrow < 0.25,
+            "narrow range after equi-depth rebuild estimated {narrow}"
+        );
     }
 
     #[test]

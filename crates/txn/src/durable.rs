@@ -178,29 +178,149 @@ impl WalStore for FsStore {
     }
 }
 
-fn segment_name(seq: u64) -> String {
-    format!("wal-{seq:08}.seg")
+fn segment_name(shard: Option<u32>, seq: u64) -> String {
+    match shard {
+        Some(k) => format!("wal-s{k}-{seq:08}.seg"),
+        None => format!("wal-{seq:08}.seg"),
+    }
 }
 
-fn snapshot_name(seq: u64) -> String {
-    format!("snap-{seq:08}.scdb")
+fn snapshot_name(shard: Option<u32>, seq: u64) -> String {
+    match shard {
+        Some(k) => format!("snap-s{k}-{seq:08}.scdb"),
+        None => format!("snap-{seq:08}.scdb"),
+    }
 }
 
-fn parse_name(name: &str) -> Option<(bool, u64)> {
-    // (is_segment, seq)
-    if let Some(rest) = name
+fn tmp_name(shard: Option<u32>, seq: u64) -> String {
+    match shard {
+        Some(k) => format!("snap-s{k}-{seq:08}.tmp"),
+        None => format!("snap-{seq:08}.tmp"),
+    }
+}
+
+/// Parse a WAL file name into `(is_segment, shard, seq)`. Legacy
+/// single-shard files (`wal-00000001.seg`) carry `shard = None`;
+/// range-sharded files (`wal-s2-00000001.seg`) carry their shard index.
+fn parse_name(name: &str) -> Option<(bool, Option<u32>, u64)> {
+    let (is_segment, rest) = if let Some(rest) = name
         .strip_prefix("wal-")
         .and_then(|r| r.strip_suffix(".seg"))
     {
-        return rest.parse().ok().map(|seq| (true, seq));
-    }
-    if let Some(rest) = name
+        (true, rest)
+    } else if let Some(rest) = name
         .strip_prefix("snap-")
         .and_then(|r| r.strip_suffix(".scdb"))
     {
-        return rest.parse().ok().map(|seq| (false, seq));
+        (false, rest)
+    } else {
+        return None;
+    };
+    if let Some(sharded) = rest.strip_prefix('s') {
+        let (shard, seq) = sharded.split_once('-')?;
+        return Some((is_segment, Some(shard.parse().ok()?), seq.parse().ok()?));
     }
-    None
+    rest.parse().ok().map(|seq| (is_segment, None, seq))
+}
+
+/// Parse a checkpoint staging file name into `(shard, seq)`.
+fn parse_tmp_name(name: &str) -> Option<(Option<u32>, u64)> {
+    let rest = name.strip_prefix("snap-")?.strip_suffix(".tmp")?;
+    if let Some(sharded) = rest.strip_prefix('s') {
+        let (shard, seq) = sharded.split_once('-')?;
+        return Some((Some(shard.parse().ok()?), seq.parse().ok()?));
+    }
+    rest.parse().ok().map(|seq| (None, seq))
+}
+
+/// How many write shards the files on `store` describe: `Some(k + 1)`
+/// when shard-suffixed files up to `wal-sk-*` exist, `Some(1)` when only
+/// legacy unsharded files exist, `None` on an empty (fresh) medium.
+pub fn discover_shard_count(store: &dyn WalStore) -> io::Result<Option<u32>> {
+    let mut max_shard: Option<u32> = None;
+    let mut legacy = false;
+    for name in store.list()? {
+        match parse_name(&name).map(|(_, shard, _)| shard) {
+            Some(Some(k)) => max_shard = Some(max_shard.map_or(k, |m| m.max(k))),
+            Some(None) => legacy = true,
+            None => {}
+        }
+    }
+    Ok(match (max_shard, legacy) {
+        (Some(k), _) => Some(k + 1),
+        (None, true) => Some(1),
+        (None, false) => None,
+    })
+}
+
+/// A cloneable [`WalStore`] handle: the same underlying medium shared by
+/// several [`DurableWal`] instances (one per write shard), serialized by
+/// a mutex. Each shard's WAL touches only its own `wal-s<k>-*` /
+/// `snap-s<k>-*` files, so the mutex only arbitrates medium access, not
+/// file ownership.
+pub struct SharedStore {
+    inner: std::sync::Arc<std::sync::Mutex<Box<dyn WalStore>>>,
+}
+
+impl Clone for SharedStore {
+    fn clone(&self) -> Self {
+        SharedStore {
+            inner: std::sync::Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedStore").finish_non_exhaustive()
+    }
+}
+
+impl SharedStore {
+    /// Wrap `store` for sharing across shard WALs.
+    pub fn new(store: Box<dyn WalStore>) -> Self {
+        SharedStore {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(store)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Box<dyn WalStore>> {
+        // A panic while holding the store lock poisons it; the store
+        // itself holds no invariant across calls, so recover the guard.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl WalStore for SharedStore {
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.lock().list()
+    }
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.lock().read(name)
+    }
+    fn create(&mut self, name: &str) -> io::Result<()> {
+        self.lock().create(name)
+    }
+    fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.lock().append(name, data)
+    }
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        self.lock().sync(name)
+    }
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        self.lock().truncate(name, len)
+    }
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        self.lock().remove(name)
+    }
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
+        self.lock().rename(from, to)
+    }
+    fn size(&self, name: &str) -> io::Result<u64> {
+        self.lock().size(name)
+    }
 }
 
 /// What a fresh open found on the medium.
@@ -287,6 +407,11 @@ pub struct DurableWal {
     /// source/index registrations, and recovery probes run with it
     /// cleared and emit no per-batch events.
     batch_ctx: u64,
+    /// Write-shard index this log belongs to. `None` keeps the legacy
+    /// unsharded file names (`wal-00000001.seg`); `Some(k)` prefixes
+    /// every file with the shard (`wal-s<k>-00000001.seg`) and scopes
+    /// recovery, truncation, and checkpoint pruning to that prefix.
+    shard: Option<u32>,
 }
 
 impl std::fmt::Debug for DurableWal {
@@ -303,24 +428,41 @@ impl std::fmt::Debug for DurableWal {
 impl DurableWal {
     /// Open a log on `store`, recovering whatever is already there.
     /// Returns the ready-to-append log plus the [`WalRecovery`] the
-    /// caller replays into its state.
+    /// caller replays into its state. Uses the legacy unsharded file
+    /// names; a range-sharded write path opens one
+    /// [`DurableWal::open_shard`] per shard instead.
     pub fn open(
+        store: Box<dyn WalStore>,
+        policy: FsyncPolicy,
+        segment_bytes: u64,
+    ) -> Result<(DurableWal, WalRecovery), TxnError> {
+        Self::open_shard(store, policy, segment_bytes, None)
+    }
+
+    /// [`DurableWal::open`] scoped to one write shard: only files with
+    /// the shard's name prefix are recovered, truncated, or swept, so
+    /// several shard WALs can share one medium (see [`SharedStore`])
+    /// and even open in parallel.
+    pub fn open_shard(
         mut store: Box<dyn WalStore>,
         policy: FsyncPolicy,
         segment_bytes: u64,
+        shard: Option<u32>,
     ) -> Result<(DurableWal, WalRecovery), TxnError> {
         let names = store.list().map_err(|e| TxnError::io("list log dir", &e))?;
         let mut segments: Vec<u64> = Vec::new();
         let mut snapshots: Vec<u64> = Vec::new();
         for name in &names {
             match parse_name(name) {
-                Some((true, seq)) => segments.push(seq),
-                Some((false, seq)) => snapshots.push(seq),
+                Some((true, s, seq)) if s == shard => segments.push(seq),
+                Some((false, s, seq)) if s == shard => snapshots.push(seq),
+                Some(_) => {} // another shard's file — not ours to touch
                 None => {
                     // Leftover temp file from a crashed checkpoint (or
                     // foreign debris): a snapshot only counts once its
-                    // final name is installed by the rename.
-                    if name.ends_with(".tmp") {
+                    // final name is installed by the rename. Only our
+                    // own shard's staging files are swept.
+                    if parse_tmp_name(name).map(|(s, _)| s) == Some(shard) {
                         let _ = store.remove(name);
                     }
                 }
@@ -335,7 +477,7 @@ impl DurableWal {
         // dropped (they never finished or rotted on the medium).
         let mut snapshot: Option<Vec<Bytes>> = None;
         while let Some(seq) = snapshots.pop() {
-            let name = snapshot_name(seq);
+            let name = snapshot_name(shard, seq);
             let data = store
                 .read(&name)
                 .map_err(|e| TxnError::io(format!("read {name}"), &e))?;
@@ -353,7 +495,7 @@ impl DurableWal {
                 snapshot = Some(frames);
                 // Older snapshots are shadowed; clean them up.
                 for old in snapshots.drain(..) {
-                    let _ = store.remove(&snapshot_name(old));
+                    let _ = store.remove(&snapshot_name(shard, old));
                 }
                 break;
             }
@@ -372,7 +514,7 @@ impl DurableWal {
         // (the checkpoint crashed before deleting them).
         segments.retain(|&seq| {
             if seq < snap_seq {
-                let _ = store.remove(&segment_name(seq));
+                let _ = store.remove(&segment_name(shard, seq));
                 false
             } else {
                 true
@@ -384,7 +526,7 @@ impl DurableWal {
         let mut records: Vec<LogRecord> = Vec::new();
         let mut cut_at: Option<usize> = None;
         for (idx, &seq) in segments.iter().enumerate() {
-            let name = segment_name(seq);
+            let name = segment_name(shard, seq);
             let data = store
                 .read(&name)
                 .map_err(|e| TxnError::io(format!("read {name}"), &e))?;
@@ -445,7 +587,7 @@ impl DurableWal {
         if let Some(idx) = cut_at {
             // Segments after a cut postdate lost bytes; drop them.
             for &seq in &segments[idx + 1..] {
-                let name = segment_name(seq);
+                let name = segment_name(shard, seq);
                 if let Ok(extra) = store.size(&name) {
                     report.bytes_truncated += extra;
                 }
@@ -458,7 +600,7 @@ impl DurableWal {
         }
 
         let active_seq = segments.last().copied().unwrap_or(snap_seq.max(1));
-        let active_name = segment_name(active_seq);
+        let active_name = segment_name(shard, active_seq);
         store
             .create(&active_name)
             .map_err(|e| TxnError::io(format!("create {active_name}"), &e))?;
@@ -474,7 +616,7 @@ impl DurableWal {
                 | LogRecord::Abort { txn }
                 | LogRecord::IngestRow { txn, .. }
                 | LogRecord::DiscoverLinks { txn } => Some(*txn),
-                LogRecord::CommitGroup { txns } => txns.iter().copied().max(),
+                LogRecord::CommitGroup { txns, .. } => txns.iter().copied().max(),
                 _ => None,
             })
             .max()
@@ -486,6 +628,7 @@ impl DurableWal {
             "txn",
             "recovery.scan",
             &[
+                ("shard", F::U64(u64::from(shard.unwrap_or(0)))),
                 ("segments", F::U64(report.segments_scanned as u64)),
                 ("records", F::U64(report.records_decoded as u64)),
                 ("bytes_cut", F::U64(report.bytes_truncated)),
@@ -511,6 +654,7 @@ impl DurableWal {
             last_append_ns: 0,
             last_fsync_ns: 0,
             batch_ctx: 0,
+            shard,
         };
         let recovery = WalRecovery {
             snapshot,
@@ -603,7 +747,7 @@ impl DurableWal {
             write_frame(&mut buf, payload.freeze().as_slice());
         }
         let data = buf.freeze();
-        let name = segment_name(self.active_seq);
+        let name = segment_name(self.shard, self.active_seq);
         let start = Instant::now();
         let appended = self.retry(&format!("append {name}"), |s| {
             s.append(&name, data.as_slice())
@@ -724,7 +868,7 @@ impl DurableWal {
 
     /// Force the active segment to stable storage.
     pub fn sync(&mut self) -> Result<(), TxnError> {
-        let name = segment_name(self.active_seq);
+        let name = segment_name(self.shard, self.active_seq);
         let start = Instant::now();
         self.retry(&format!("sync {name}"), |s| s.sync(&name))?;
         let fsync_ns = start.elapsed().as_nanos() as u64;
@@ -761,7 +905,7 @@ impl DurableWal {
         );
         self.active_seq += 1;
         self.active_len = 0;
-        let name = segment_name(self.active_seq);
+        let name = segment_name(self.shard, self.active_seq);
         self.retry(&format!("create {name}"), |s| s.create(&name))?;
         scdb_obs::metrics().inc("txn.wal.segments");
         scdb_obs::event("txn", "segment.rotate", &[("seq", F::U64(self.active_seq))]);
@@ -777,8 +921,8 @@ impl DurableWal {
     ) -> Result<CheckpointStats, TxnError> {
         self.rotate()?;
         let seq = self.active_seq;
-        let tmp = format!("snap-{seq:08}.tmp");
-        let final_name = snapshot_name(seq);
+        let tmp = tmp_name(self.shard, seq);
+        let final_name = snapshot_name(self.shard, seq);
         let mut buf = BytesMut::new();
         for p in snapshot_payloads {
             write_frame(&mut buf, p);
@@ -835,12 +979,12 @@ impl DurableWal {
         let mut removed = 0usize;
         for name in names {
             match parse_name(&name) {
-                Some((true, s)) if s < seq => {
+                Some((true, shard, s)) if shard == self.shard && s < seq => {
                     let _ = self.store.remove(&name);
                     scdb_obs::event("txn", "segment.prune", &[("seq", F::U64(s))]);
                     removed += 1;
                 }
-                Some((false, s)) if s < seq => {
+                Some((false, shard, s)) if shard == self.shard && s < seq => {
                     let _ = self.store.remove(&name);
                 }
                 _ => {}
@@ -916,7 +1060,7 @@ mod tests {
                 .unwrap();
         }
         // Tear three bytes off the segment by hand.
-        let seg = dir.join(segment_name(1));
+        let seg = dir.join(segment_name(None, 1));
         let len = std::fs::metadata(&seg).unwrap().len();
         let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
         f.set_len(len - 3).unwrap();

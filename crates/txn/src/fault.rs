@@ -404,7 +404,10 @@ mod tests {
             let (mut wal, _) = open(&log, FsyncPolicy::Always);
             let txns: Vec<u64> = (0..4).map(|_| wal.next_txn_id()).collect();
             let mut batch: Vec<LogRecord> = txns.iter().map(|&t| w(t, t, t as i64)).collect();
-            batch.push(LogRecord::CommitGroup { txns });
+            batch.push(LogRecord::CommitGroup {
+                txns,
+                shards: Vec::new(),
+            });
             wal.append_group(&batch, 4).unwrap();
             // The single policy fsync covered the whole batch: power loss
             // immediately after the flush loses nothing.

@@ -37,8 +37,8 @@ pub mod mvcc;
 pub mod wal;
 
 pub use durable::{
-    CheckpointStats, DurableWal, FsStore, FsyncPolicy, WalLag, WalRecovery, WalRecoveryReport,
-    WalStore,
+    discover_shard_count, CheckpointStats, DurableWal, FsStore, FsyncPolicy, SharedStore, WalLag,
+    WalRecovery, WalRecoveryReport, WalStore,
 };
 pub use enrich::{EnrichedDb, IsolationMode, ReadStats};
 pub use error::{IoClass, TxnError};

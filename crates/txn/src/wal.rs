@@ -53,9 +53,21 @@ pub enum LogRecord {
     /// as a `Commit` for each listed transaction, in list order. A torn
     /// or missing group seal discards *all* of the batch's rows — the
     /// log never exposes a partial batch.
+    ///
+    /// A *cross-shard* batch carries a non-empty `shards` vector: one
+    /// `(shard, first_txn)` entry per participating write shard, in
+    /// ascending shard order. The identical vector is sealed into every
+    /// participant's log, and recovery commits the group only when every
+    /// participant's log contains its matching seal — a torn seal on any
+    /// shard discards the whole batch on all of them. Single-shard
+    /// batches leave `shards` empty, which encodes byte-identically to
+    /// the historical tag-9 framing.
     CommitGroup {
         /// Sealed transactions, in log (= apply) order.
         txns: Vec<u64>,
+        /// Cross-shard participant vector: `(shard, first_txn)` per
+        /// participating shard, ascending; empty for single-shard seals.
+        shards: Vec<(u32, u64)>,
     },
     /// A checkpoint: all records before this offset are reflected in the
     /// checkpointed state.
@@ -272,11 +284,21 @@ pub fn encode_record(buf: &mut BytesMut, record: &LogRecord) {
             buf.put_u8(TAG_ABORT);
             buf.put_u64(*txn);
         }
-        LogRecord::CommitGroup { txns } => {
+        LogRecord::CommitGroup { txns, shards } => {
             buf.put_u8(TAG_COMMIT_GROUP);
             buf.put_u32(txns.len() as u32);
             for txn in txns {
                 buf.put_u64(*txn);
+            }
+            // Optional cross-shard suffix: absent (byte-identical to the
+            // historical framing) for single-shard seals, otherwise a
+            // count followed by (shard, first_txn) pairs.
+            if !shards.is_empty() {
+                buf.put_u32(shards.len() as u32);
+                for (shard, first_txn) in shards {
+                    buf.put_u32(*shard);
+                    buf.put_u64(*first_txn);
+                }
             }
         }
         LogRecord::Checkpoint => buf.put_u8(TAG_CHECKPOINT),
@@ -378,7 +400,21 @@ pub fn decode_record(data: &mut Bytes, at: usize) -> Result<LogRecord, TxnError>
             for _ in 0..n {
                 txns.push(data.get_u64());
             }
-            Ok(LogRecord::CommitGroup { txns })
+            // Cross-shard suffix, present only for multi-shard seals.
+            let mut shards = Vec::new();
+            if data.remaining() >= 4 {
+                let m = data.get_u32() as usize;
+                if data.remaining() < m.checked_mul(12).ok_or_else(|| corrupt.clone())? {
+                    return Err(corrupt);
+                }
+                shards.reserve(m.min(4096));
+                for _ in 0..m {
+                    let shard = data.get_u32();
+                    let first_txn = data.get_u64();
+                    shards.push((shard, first_txn));
+                }
+            }
+            Ok(LogRecord::CommitGroup { txns, shards })
         }
         TAG_CHECKPOINT => Ok(LogRecord::Checkpoint),
         TAG_SOURCE_REG => {
@@ -509,7 +545,7 @@ impl Wal {
                 LogRecord::Commit { txn } | LogRecord::Abort { txn } => {
                     sealed.insert(*txn);
                 }
-                LogRecord::CommitGroup { txns } => {
+                LogRecord::CommitGroup { txns, .. } => {
                     sealed.extend(txns.iter().copied());
                 }
                 _ => {}
@@ -626,7 +662,7 @@ fn recover_with_truncation(wal: &Wal, bytes_truncated: usize) -> (TxnManager, Re
             | LogRecord::DiscoverLinks { txn } => {
                 seen.insert(*txn);
             }
-            LogRecord::CommitGroup { txns } => {
+            LogRecord::CommitGroup { txns, .. } => {
                 committed.extend(txns.iter().copied());
                 seen.extend(txns.iter().copied());
             }
@@ -658,7 +694,7 @@ fn recover_with_truncation(wal: &Wal, bytes_truncated: usize) -> (TxnManager, Re
                     }
                 }
             }
-            LogRecord::CommitGroup { txns } => {
+            LogRecord::CommitGroup { txns, .. } => {
                 for txn in txns {
                     if let Some(ws) = buffered.remove(txn) {
                         for (key, value) in ws {
@@ -818,6 +854,7 @@ mod tests {
         });
         wal.append(LogRecord::CommitGroup {
             txns: vec![4, 5, 6],
+            shards: Vec::new(),
         });
         let decoded = Wal::decode(wal.encode());
         assert_eq!(decoded.records(), wal.records());
@@ -830,7 +867,10 @@ mod tests {
         assert_eq!(tm.read_latest(70), None, "outside the group seal");
         // An empty group is legal on the wire (a fully-invalid batch).
         let mut empty = Wal::new();
-        empty.append(LogRecord::CommitGroup { txns: vec![] });
+        empty.append(LogRecord::CommitGroup {
+            txns: vec![],
+            shards: Vec::new(),
+        });
         assert_eq!(Wal::decode(empty.encode()).records(), empty.records());
     }
 
@@ -847,14 +887,20 @@ mod tests {
             key: 20,
             value: Some(Value::Int(2)),
         });
-        wal.append(LogRecord::CommitGroup { txns: vec![1, 2] });
+        wal.append(LogRecord::CommitGroup {
+            txns: vec![1, 2],
+            shards: Vec::new(),
+        });
         wal.append(LogRecord::Write {
             txn: 3,
             key: 30,
             value: Some(Value::Int(3)),
         });
         wal.append(LogRecord::Checkpoint);
-        wal.append(LogRecord::CommitGroup { txns: vec![3] });
+        wal.append(LogRecord::CommitGroup {
+            txns: vec![3],
+            shards: Vec::new(),
+        });
         wal.compact();
         // Group-sealed txns 1 and 2 are folded into the checkpoint; txn 3
         // was open at the checkpoint, so its write and later seal survive.

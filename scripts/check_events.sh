@@ -36,6 +36,9 @@ KNOWN_KINDS = {
         "mode.recover",
         "thread.panic",
         "thread.restart",
+        "shard.map",
+        "shard.recovery",
+        "shard.seal",
     },
     "txn": {
         "recovery.snapshot",

@@ -26,7 +26,10 @@ cargo test -q --offline --release
 
 echo "== group-commit ingest smoke (release)"
 # Asserts the fsync amortization (>= 8x fewer fsyncs/row at batch 64
-# under FsyncPolicy::Always) — a count check, stable on 1-core boxes.
+# under FsyncPolicy::Always) and the range-sharded write path: with four
+# concurrent writers, 4 shards must beat 1 shard on instance-lock wait
+# p99 while the 1-shard baseline actually contends — telemetry counts
+# and lock-wait histograms, not wall clock, stable on 1-core boxes.
 cargo run -q --offline --release -p scdb-bench --bin e_ingest_throughput -- --smoke
 
 echo "== secondary index smoke (release)"

@@ -390,3 +390,74 @@ fn diagnostic_bundle_exports_the_catalog() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Satellite: `sys.wal` reports one row per write shard (keyed by the
+/// `shard` column) and `sys.locks` discovers the extra shards'
+/// `.s<k>` lock labels from the wait histograms — no schema change,
+/// the relations just grow with `DbBuilder::write_shards`.
+#[test]
+fn wal_and_lock_relations_learn_shards() {
+    let _g = obs_lock();
+    scdb_obs::metrics().set_enabled(true);
+
+    let db = Db::builder()
+        .durability_store(Box::new(scdb_txn::FailpointLog::new()), FsyncPolicy::Always)
+        .write_shards(4)
+        .open()
+        .expect("open sharded db");
+    db.register_source("trials", Some("name"));
+    for i in 0..40i64 {
+        let r = Record::from_pairs([
+            (db.intern("name"), Value::str(format!("entity-{i}"))),
+            (db.intern("dose"), Value::Int(i)),
+        ]);
+        db.ingest("trials", r, None).expect("ingest");
+    }
+
+    let out = db.query("SELECT * FROM sys.wal").expect("sys.wal");
+    assert_eq!(out.rows.len(), 4, "one sys.wal row per write shard");
+    let mut shards = Vec::new();
+    for row in &out.rows {
+        let json = row_json(&db, row);
+        shards.push(
+            json.get("shard")
+                .and_then(|v| v.as_i64())
+                .expect("shard column"),
+        );
+        assert_eq!(
+            json.get("durable").and_then(|v| v.as_bool()),
+            Some(true),
+            "every shard holds an installed WAL"
+        );
+        assert!(
+            json.get("records_since_ckpt").is_some(),
+            "lag columns present on a durable shard row"
+        );
+    }
+    shards.sort_unstable();
+    assert_eq!(shards, vec![0, 1, 2, 3]);
+
+    let locks = db.query("SELECT * FROM sys.locks").expect("sys.locks");
+    let labels: Vec<String> = locks
+        .rows
+        .iter()
+        .map(|r| {
+            row_json(&db, r)
+                .get("shard")
+                .and_then(|v| v.as_str().map(str::to_string))
+                .expect("shard label column")
+        })
+        .collect();
+    for base in ["symbols", "instance", "relation", "durable"] {
+        assert!(
+            labels.iter().any(|l| l == base),
+            "baseline lock label {base} always listed: {labels:?}"
+        );
+    }
+    for k in 1..4 {
+        assert!(
+            labels.iter().any(|l| l == &format!("instance.s{k}")),
+            "shard {k}'s instance lock label discovered from traffic: {labels:?}"
+        );
+    }
+}
